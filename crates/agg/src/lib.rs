@@ -1,0 +1,28 @@
+//! # oij-agg — window aggregation framework
+//!
+//! Implements the aggregation machinery of the paper's Section V-C:
+//!
+//! - [`running::RunningAgg`] — a *Subtract-on-Evict* running aggregate for
+//!   invertible operators (`sum`, `count`, `avg`): when a stale tuple leaves
+//!   the window we apply `⊖`, when a new tuple enters we apply `⊕`
+//!   (Tangwongsan et al., DEBS'17, as adapted by the paper).
+//! - [`twostack::TwoStackAgg`] — an amortised-O(1) FIFO sliding aggregator
+//!   for **non-invertible** operators (`min`, `max`). The paper leaves
+//!   these to future work; this extension covers them.
+//! - [`partial::PartialAgg`] — mergeable partial aggregates, used by the
+//!   SplitJoin baseline's collector to combine per-joiner partial window
+//!   results.
+//! - [`full::FullWindowAgg`] — the recompute-from-scratch accumulator every
+//!   baseline uses, and the fallback for out-of-order base tuples.
+
+#![warn(missing_docs)]
+
+pub mod full;
+pub mod partial;
+pub mod running;
+pub mod twostack;
+
+pub use full::FullWindowAgg;
+pub use partial::PartialAgg;
+pub use running::RunningAgg;
+pub use twostack::TwoStackAgg;

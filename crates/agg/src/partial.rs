@@ -1,0 +1,151 @@
+//! Mergeable partial aggregates.
+//!
+//! SplitJoin's distribution/collection model (paper §V-D) has every joiner
+//! compute a window aggregate over its own storage slice; a collector then
+//! merges the per-joiner partials into the final feature value. A
+//! [`PartialAgg`] carries enough state (`sum`, `count`, `min`, `max`) to
+//! finalise any supported [`AggSpec`] after merging.
+
+use oij_common::AggSpec;
+use serde::{Deserialize, Serialize};
+
+/// A spec-agnostic, mergeable window aggregate fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartialAgg {
+    /// Sum of values.
+    pub sum: f64,
+    /// Number of values.
+    pub count: u64,
+    /// Minimum value (`+∞` when empty).
+    pub min: f64,
+    /// Maximum value (`-∞` when empty).
+    pub max: f64,
+}
+
+impl Default for PartialAgg {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl PartialAgg {
+    /// The identity element of `merge`.
+    #[inline]
+    pub fn empty() -> Self {
+        PartialAgg {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one value into this partial.
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another partial into this one (associative, commutative,
+    /// identity = [`empty`](Self::empty)).
+    #[inline]
+    pub fn merge(&mut self, other: &PartialAgg) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Finalises for a concrete aggregate, with the workspace-wide
+    /// empty-window semantics.
+    #[inline]
+    pub fn finish(&self, spec: AggSpec) -> Option<f64> {
+        match spec {
+            AggSpec::Sum => Some(self.sum),
+            AggSpec::Count => Some(self.count as f64),
+            AggSpec::Avg => {
+                if self.count == 0 {
+                    None
+                } else {
+                    Some(self.sum / self.count as f64)
+                }
+            }
+            AggSpec::Min => (self.count > 0).then_some(self.min),
+            AggSpec::Max => (self.count > 0).then_some(self.max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FullWindowAgg;
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let vals: Vec<f64> = (0..50).map(|i| ((i * 13) % 23) as f64 - 11.0).collect();
+        // Split across 4 "joiners" round-robin, merge, compare to one pass.
+        let mut parts = vec![PartialAgg::empty(); 4];
+        for (i, &v) in vals.iter().enumerate() {
+            parts[i % 4].add(v);
+        }
+        let mut merged = PartialAgg::empty();
+        for p in &parts {
+            merged.merge(p);
+        }
+        for spec in [
+            AggSpec::Sum,
+            AggSpec::Count,
+            AggSpec::Avg,
+            AggSpec::Min,
+            AggSpec::Max,
+        ] {
+            let mut full = FullWindowAgg::new(spec);
+            for &v in &vals {
+                full.add(v);
+            }
+            match (merged.finish(spec), full.finish()) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "{spec:?}"),
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_is_merge_identity() {
+        let mut p = PartialAgg::empty();
+        p.add(3.0);
+        p.add(-1.0);
+        let snapshot = p;
+        p.merge(&PartialAgg::empty());
+        assert_eq!(p, snapshot);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = PartialAgg::empty();
+        a.add(1.0);
+        a.add(5.0);
+        let mut b = PartialAgg::empty();
+        b.add(-2.0);
+
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn all_empty_finishes_like_empty_window() {
+        let p = PartialAgg::empty();
+        assert_eq!(p.finish(AggSpec::Sum), Some(0.0));
+        assert_eq!(p.finish(AggSpec::Count), Some(0.0));
+        assert_eq!(p.finish(AggSpec::Avg), None);
+        assert_eq!(p.finish(AggSpec::Min), None);
+        assert_eq!(p.finish(AggSpec::Max), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! Subtract-on-Evict running aggregates (paper §V-C, Figure 15).
+//!
+//! For invertible operators the aggregate of a new window can be derived
+//! from the previous overlapping window:
+//! `Agg(w') = Agg(w) ⊖ evicted ⊕ added`. A [`RunningAgg`] holds the running
+//! state per (joiner, key); the engine feeds it the delta scans produced by
+//! the time-travel index.
+//!
+//! Floating-point caveat: repeated `⊕`/`⊖` on `f64` accumulates rounding
+//! error relative to a fresh recomputation. The engine bounds this by
+//! resetting the running state whenever the window empties
+//! ([`RunningAgg::reset`] is invoked by [`evict`](RunningAgg::evict) when
+//! `count` reaches zero), which in practice happens regularly for the
+//! paper's workloads. Tests compare against recomputation with a relative
+//! tolerance.
+
+use oij_common::{AggSpec, Error, Result};
+
+/// A running invertible aggregate supporting `⊕` (add) and `⊖` (evict).
+#[derive(Debug, Clone, Copy)]
+pub struct RunningAgg {
+    spec: AggSpec,
+    sum: f64,
+    count: u64,
+}
+
+impl RunningAgg {
+    /// Creates an empty running aggregate. Fails for non-invertible specs
+    /// (`min`/`max`) — use [`crate::TwoStackAgg`] for those.
+    pub fn new(spec: AggSpec) -> Result<Self> {
+        if !spec.is_invertible() {
+            return Err(Error::InvalidConfig(format!(
+                "{} is not invertible; Subtract-on-Evict requires an inverse",
+                spec.sql_name()
+            )));
+        }
+        Ok(RunningAgg {
+            spec,
+            sum: 0.0,
+            count: 0,
+        })
+    }
+
+    /// `⊕`: a tuple entered the window.
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// `⊖`: a tuple left the window.
+    ///
+    /// # Panics
+    /// Debug-asserts that the window is non-empty; evicting from an empty
+    /// window indicates an engine bookkeeping bug.
+    #[inline]
+    pub fn evict(&mut self, v: f64) {
+        debug_assert!(self.count > 0, "evict from empty running window");
+        self.sum -= v;
+        self.count -= 1;
+        if self.count == 0 {
+            // Re-anchor to kill accumulated FP drift.
+            self.sum = 0.0;
+        }
+    }
+
+    /// Clears the state (used when the engine falls back to a full rescan).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.sum = 0.0;
+        self.count = 0;
+    }
+
+    /// Number of tuples currently inside the window.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The raw running sum (exposed so callers can merge the running state
+    /// with a freshly scanned partial, e.g. the unsettled window suffix).
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The current aggregate, with the same empty-window semantics as
+    /// [`crate::FullWindowAgg::finish`].
+    #[inline]
+    pub fn value(&self) -> Option<f64> {
+        match self.spec {
+            AggSpec::Sum => Some(self.sum),
+            AggSpec::Count => Some(self.count as f64),
+            AggSpec::Avg => {
+                if self.count == 0 {
+                    None
+                } else {
+                    Some(self.sum / self.count as f64)
+                }
+            }
+            // unreachable by construction
+            AggSpec::Min | AggSpec::Max => None,
+        }
+    }
+
+    /// The aggregate this state maintains.
+    #[inline]
+    pub fn spec(&self) -> AggSpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FullWindowAgg;
+
+    #[test]
+    fn rejects_non_invertible() {
+        assert!(RunningAgg::new(AggSpec::Min).is_err());
+        assert!(RunningAgg::new(AggSpec::Max).is_err());
+        assert!(RunningAgg::new(AggSpec::Sum).is_ok());
+    }
+
+    #[test]
+    fn paper_figure_15_example() {
+        // Agg_s3 covers {r1, r2, r3}; sliding to s4 evicts r1 and adds r4.
+        let (r1, r2, r3, r4) = (1.0, 2.0, 3.0, 4.0);
+        let mut agg = RunningAgg::new(AggSpec::Sum).unwrap();
+        agg.add(r1);
+        agg.add(r2);
+        agg.add(r3);
+        assert_eq!(agg.value(), Some(6.0));
+        agg.evict(r1);
+        agg.add(r4);
+        assert_eq!(agg.value(), Some(r2 + r3 + r4));
+    }
+
+    #[test]
+    fn matches_recompute_over_sliding_sequence() {
+        // Slide a width-5 window over 100 values; running must equal fresh.
+        let vals: Vec<f64> = (0..100).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        for spec in [AggSpec::Sum, AggSpec::Count, AggSpec::Avg] {
+            let mut run = RunningAgg::new(spec).unwrap();
+            for end in 0..vals.len() {
+                run.add(vals[end]);
+                if end >= 5 {
+                    run.evict(vals[end - 5]);
+                }
+                let lo = end.saturating_sub(4);
+                let mut fresh = FullWindowAgg::new(spec);
+                for &v in &vals[lo..=end] {
+                    fresh.add(v);
+                }
+                match (run.value(), fresh.finish()) {
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "{spec:?}: {a} vs {b}"),
+                    (a, b) => assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_window_reanchors_sum() {
+        let mut agg = RunningAgg::new(AggSpec::Sum).unwrap();
+        agg.add(0.1);
+        agg.add(0.2);
+        agg.evict(0.1);
+        agg.evict(0.2);
+        // Exact zero after drain, not FP residue.
+        assert_eq!(agg.value(), Some(0.0));
+        assert_eq!(agg.count(), 0);
+    }
+
+    #[test]
+    fn avg_empty_is_none() {
+        let mut agg = RunningAgg::new(AggSpec::Avg).unwrap();
+        assert_eq!(agg.value(), None);
+        agg.add(2.0);
+        assert_eq!(agg.value(), Some(2.0));
+        agg.evict(2.0);
+        assert_eq!(agg.value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "evict from empty")]
+    #[cfg(debug_assertions)]
+    fn evict_from_empty_panics_in_debug() {
+        let mut agg = RunningAgg::new(AggSpec::Sum).unwrap();
+        agg.evict(1.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Two-stack FIFO sliding aggregation for non-invertible operators.
+//!
+//! The paper's incremental technique needs an inverse `⊖`, which `min` and
+//! `max` lack; it lists "incremental computing for non-invertible operators"
+//! as future work. This module closes that gap with the classic two-stack
+//! trick (the kernel of DABA/Tangwongsan et al.): a FIFO window is split
+//! into a *front* stack (with suffix aggregates, popped on evict) and a
+//! *back* stack (with a running prefix aggregate, pushed on insert). When
+//! the front drains, the back is flipped over in O(n), giving amortised
+//! O(1) per operation and worst-case O(1) queries.
+
+use oij_common::{AggSpec, Error, Result};
+
+/// Amortised-O(1) sliding window aggregate for any associative operator,
+/// instantiated here for `min`/`max` (it also handles the invertible specs,
+/// which tests exploit for cross-validation).
+#[derive(Debug, Clone)]
+pub struct TwoStackAgg {
+    spec: AggSpec,
+    /// Front stack: `(value, aggregate of this value and everything below)`.
+    front: Vec<(f64, f64)>,
+    /// Back stack values in arrival order.
+    back: Vec<f64>,
+    /// Running aggregate of the whole back stack.
+    back_agg: Option<f64>,
+}
+
+impl TwoStackAgg {
+    /// Creates an empty window.
+    pub fn new(spec: AggSpec) -> Self {
+        TwoStackAgg {
+            spec,
+            front: Vec::new(),
+            back: Vec::new(),
+            back_agg: None,
+        }
+    }
+
+    #[inline]
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        match self.spec {
+            AggSpec::Min => a.min(b),
+            AggSpec::Max => a.max(b),
+            AggSpec::Sum | AggSpec::Avg => a + b,
+            AggSpec::Count => a + b,
+        }
+    }
+
+    #[inline]
+    fn lift(&self, v: f64) -> f64 {
+        // Count aggregates the constant 1 per element.
+        if self.spec == AggSpec::Count {
+            1.0
+        } else {
+            v
+        }
+    }
+
+    /// Pushes the newest value into the window (FIFO tail).
+    pub fn push(&mut self, v: f64) {
+        let lifted = self.lift(v);
+        self.back_agg = Some(match self.back_agg {
+            None => lifted,
+            Some(acc) => self.combine(acc, lifted),
+        });
+        self.back.push(v);
+    }
+
+    /// Evicts the oldest value (FIFO head). Returns it, or an error if the
+    /// window is empty.
+    pub fn evict(&mut self) -> Result<f64> {
+        if self.front.is_empty() {
+            // Flip: move the back stack into the front stack, computing
+            // suffix aggregates so that front.last() covers the whole run.
+            let mut agg: Option<f64> = None;
+            while let Some(v) = self.back.pop() {
+                let lifted = self.lift(v);
+                agg = Some(match agg {
+                    None => lifted,
+                    Some(acc) => self.combine(lifted, acc),
+                });
+                self.front.push((v, agg.expect("just set")));
+            }
+            self.back_agg = None;
+        }
+        match self.front.pop() {
+            Some((v, _)) => Ok(v),
+            None => Err(Error::InvalidState("evict from empty window".into())),
+        }
+    }
+
+    /// Number of values currently in the window.
+    pub fn len(&self) -> usize {
+        self.front.len() + self.back.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current window aggregate (`None` when empty for `min`/`max`/`avg`,
+    /// `Some(0.0)` for `sum`/`count`, matching the other accumulators).
+    pub fn value(&self) -> Option<f64> {
+        let raw = match (self.front.last(), self.back_agg) {
+            (None, None) => None,
+            (Some((_, f)), None) => Some(*f),
+            (None, Some(b)) => Some(b),
+            (Some((_, f)), Some(b)) => Some(self.combine(*f, b)),
+        };
+        match self.spec {
+            AggSpec::Sum | AggSpec::Count => Some(raw.unwrap_or(0.0)),
+            AggSpec::Avg => raw.map(|s| s / self.len() as f64),
+            AggSpec::Min | AggSpec::Max => raw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FullWindowAgg;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut w = TwoStackAgg::new(AggSpec::Max);
+        for v in [1.0, 2.0, 3.0] {
+            w.push(v);
+        }
+        assert_eq!(w.evict().unwrap(), 1.0);
+        assert_eq!(w.evict().unwrap(), 2.0);
+        w.push(4.0);
+        assert_eq!(w.evict().unwrap(), 3.0);
+        assert_eq!(w.evict().unwrap(), 4.0);
+        assert!(w.evict().is_err());
+    }
+
+    #[test]
+    fn max_tracks_departures() {
+        let mut w = TwoStackAgg::new(AggSpec::Max);
+        w.push(9.0);
+        w.push(1.0);
+        w.push(5.0);
+        assert_eq!(w.value(), Some(9.0));
+        w.evict().unwrap(); // 9 leaves — a subtract-based approach fails here
+        assert_eq!(w.value(), Some(5.0));
+        w.evict().unwrap();
+        assert_eq!(w.value(), Some(5.0));
+        w.evict().unwrap();
+        assert_eq!(w.value(), None);
+    }
+
+    #[test]
+    fn min_with_negative_values() {
+        let mut w = TwoStackAgg::new(AggSpec::Min);
+        w.push(-1.0);
+        w.push(-7.0);
+        w.push(3.0);
+        assert_eq!(w.value(), Some(-7.0));
+        w.evict().unwrap();
+        w.evict().unwrap();
+        assert_eq!(w.value(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_semantics_match_full_agg() {
+        for spec in [
+            AggSpec::Sum,
+            AggSpec::Count,
+            AggSpec::Avg,
+            AggSpec::Min,
+            AggSpec::Max,
+        ] {
+            let w = TwoStackAgg::new(spec);
+            assert_eq!(w.value(), FullWindowAgg::new(spec).finish(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn sliding_equivalence_with_recompute() {
+        let vals: Vec<f64> = (0..200).map(|i| (((i * 31) % 17) as f64) - 8.0).collect();
+        for spec in [
+            AggSpec::Min,
+            AggSpec::Max,
+            AggSpec::Sum,
+            AggSpec::Count,
+            AggSpec::Avg,
+        ] {
+            let mut w = TwoStackAgg::new(spec);
+            for end in 0..vals.len() {
+                w.push(vals[end]);
+                if end >= 7 {
+                    assert_eq!(w.evict().unwrap(), vals[end - 7]);
+                }
+                let lo = end.saturating_sub(6);
+                let mut fresh = FullWindowAgg::new(spec);
+                for &v in &vals[lo..=end] {
+                    fresh.add(v);
+                }
+                match (w.value(), fresh.finish()) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-9, "{spec:?} at {end}: {a} vs {b}")
+                    }
+                    (a, b) => assert_eq!(a, b, "{spec:?} at {end}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_push_evict_across_flips() {
+        let mut w = TwoStackAgg::new(AggSpec::Min);
+        let mut model: std::collections::VecDeque<f64> = Default::default();
+        let mut x = 12345u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((x >> 33) % 1000) as f64 - 500.0;
+            if x % 3 == 0 && !model.is_empty() {
+                assert_eq!(w.evict().unwrap(), model.pop_front().unwrap());
+            } else {
+                w.push(v);
+                model.push_back(v);
+            }
+            let want = model.iter().cloned().fold(f64::INFINITY, f64::min);
+            let want = if model.is_empty() { None } else { Some(want) };
+            assert_eq!(w.value(), want);
+            assert_eq!(w.len(), model.len());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests: every incremental aggregator must agree with
+//! recomputation from scratch under arbitrary value sequences and window
+//! slidings.
+
+use oij_common::AggSpec;
+use oij_agg::{FullWindowAgg, PartialAgg, RunningAgg, TwoStackAgg};
+use proptest::prelude::*;
+
+const ALL_SPECS: [AggSpec; 5] = [
+    AggSpec::Sum,
+    AggSpec::Count,
+    AggSpec::Avg,
+    AggSpec::Min,
+    AggSpec::Max,
+];
+
+fn recompute(spec: AggSpec, vals: &[f64]) -> Option<f64> {
+    let mut a = FullWindowAgg::new(spec);
+    for &v in vals {
+        a.add(v);
+    }
+    a.finish()
+}
+
+fn approx(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(a), Some(b)) => {
+            let scale = a.abs().max(b.abs()).max(1.0);
+            (a - b).abs() <= 1e-9 * scale
+        }
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Subtract-on-Evict equals recompute for every invertible spec and any
+    /// FIFO window width.
+    #[test]
+    fn running_agg_matches_recompute(
+        vals in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        width in 1usize..20,
+    ) {
+        for spec in [AggSpec::Sum, AggSpec::Count, AggSpec::Avg] {
+            let mut run = RunningAgg::new(spec).unwrap();
+            for end in 0..vals.len() {
+                run.add(vals[end]);
+                if end >= width {
+                    run.evict(vals[end - width]);
+                }
+                let lo = end + 1 - (end + 1).min(width);
+                prop_assert!(
+                    approx(run.value(), recompute(spec, &vals[lo..=end])),
+                    "{spec:?} at {end}: {:?} vs {:?}", run.value(), recompute(spec, &vals[lo..=end])
+                );
+            }
+        }
+    }
+
+    /// Two-stack equals recompute for every spec (including non-invertible)
+    /// under arbitrary push/evict interleavings.
+    #[test]
+    fn twostack_matches_recompute(
+        ops in proptest::collection::vec(prop_oneof![
+            3 => (-1e6f64..1e6).prop_map(Some),
+            1 => Just(None), // evict
+        ], 1..300),
+    ) {
+        for spec in ALL_SPECS {
+            let mut w = TwoStackAgg::new(spec);
+            let mut model: Vec<f64> = Vec::new();
+            for op in &ops {
+                match op {
+                    Some(v) => {
+                        w.push(*v);
+                        model.push(*v);
+                    }
+                    None => {
+                        if model.is_empty() {
+                            prop_assert!(w.evict().is_err());
+                        } else {
+                            prop_assert_eq!(w.evict().unwrap(), model.remove(0));
+                        }
+                    }
+                }
+                prop_assert_eq!(w.len(), model.len());
+                prop_assert!(approx(w.value(), recompute(spec, &model)), "{:?}", spec);
+            }
+        }
+    }
+
+    /// Partial-aggregate merging is associative and split-invariant: any
+    /// partitioning of the input merges to the single-pass answer.
+    #[test]
+    fn partial_merge_is_split_invariant(
+        vals in proptest::collection::vec(-1e6f64..1e6, 0..100),
+        splits in proptest::collection::vec(0usize..8, 0..100),
+    ) {
+        let mut parts = vec![PartialAgg::empty(); 8];
+        for (i, &v) in vals.iter().enumerate() {
+            let slot = splits.get(i).copied().unwrap_or(0);
+            parts[slot].add(v);
+        }
+        let mut merged = PartialAgg::empty();
+        for p in &parts {
+            merged.merge(p);
+        }
+        for spec in ALL_SPECS {
+            prop_assert!(approx(merged.finish(spec), recompute(spec, &vals)), "{:?}", spec);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Microbenchmarks of the aggregation paths: Subtract-on-Evict vs full
+//! recomputation (the mechanism behind the paper's Figure 16) and the
+//! two-stack extension for non-invertible operators.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use oij_common::AggSpec;
+use oij_agg::{FullWindowAgg, RunningAgg, TwoStackAgg};
+
+/// Slide a window of `width` across `vals`, recomputing from scratch.
+fn slide_recompute(vals: &[f64], width: usize) -> f64 {
+    let mut out = 0.0;
+    for end in 0..vals.len() {
+        let lo = end.saturating_sub(width - 1);
+        let mut agg = FullWindowAgg::new(AggSpec::Sum);
+        for &v in &vals[lo..=end] {
+            agg.add(v);
+        }
+        out = agg.finish().unwrap_or(0.0);
+    }
+    out
+}
+
+/// The same slide with Subtract-on-Evict: O(1) per step.
+fn slide_soe(vals: &[f64], width: usize) -> f64 {
+    let mut agg = RunningAgg::new(AggSpec::Sum).unwrap();
+    let mut out = 0.0;
+    for end in 0..vals.len() {
+        agg.add(vals[end]);
+        if end >= width {
+            agg.evict(vals[end - width]);
+        }
+        out = agg.value().unwrap_or(0.0);
+    }
+    out
+}
+
+fn bench_soe_vs_recompute(c: &mut Criterion) {
+    let vals: Vec<f64> = (0..10_000).map(|i| ((i * 31) % 97) as f64).collect();
+    let mut group = c.benchmark_group("window_slide_10k_steps");
+    for width in [16usize, 256, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("recompute", width),
+            &width,
+            |b, &w| b.iter(|| black_box(slide_recompute(&vals, w))),
+        );
+        group.bench_with_input(BenchmarkId::new("subtract_on_evict", width), &width, |b, &w| {
+            b.iter(|| black_box(slide_soe(&vals, w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_twostack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_stack_min_slide");
+    group.throughput(criterion::Throughput::Elements(1));
+    group.bench_function("push_evict_query", |b| {
+        let mut w = TwoStackAgg::new(AggSpec::Min);
+        for i in 0..1024 {
+            w.push(i as f64);
+        }
+        let mut i = 1024f64;
+        b.iter(|| {
+            i += 1.0;
+            w.push(i);
+            let _ = w.evict();
+            black_box(w.value())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_soe_vs_recompute, bench_twostack
+);
+criterion_main!(benches);

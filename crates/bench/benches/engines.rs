@@ -1,0 +1,64 @@
+//! End-to-end engine microbenchmarks on the Table IV default workload —
+//! a criterion-tracked summary of the big harness comparisons, small
+//! enough to run in CI.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use oij_bench::run_engine;
+use oij_common::Event;
+use oij_core::config::Instrumentation;
+use oij_core::engine::EngineKind;
+use oij_workload::NamedWorkload;
+
+fn events(tuples: usize) -> Vec<Event> {
+    NamedWorkload::table_iv().config(tuples, 1.0).generate()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let base = NamedWorkload::table_iv();
+    let feed = events(20_000);
+    let mut group = c.benchmark_group("engine_20k_tuples_tableiv");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(feed.len() as u64));
+    for kind in [
+        EngineKind::KeyOij,
+        EngineKind::ScaleOij,
+        EngineKind::ScaleOijNoInc,
+        EngineKind::SplitJoin,
+        EngineKind::OpenMldb,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| {
+                black_box(
+                    run_engine(k, base.query(1.0), 2, Instrumentation::none(), &feed)
+                        .expect("engine run"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_large_window_ablation(c: &mut Criterion) {
+    // The Figure 16 mechanism as a tracked microbench: a 50× window.
+    let base = NamedWorkload::table_iv();
+    let feed = events(20_000);
+    let mut query = base.query(1.0);
+    query.window.preceding = oij_common::Duration::from_micros(50_000);
+    let mut group = c.benchmark_group("engine_large_window_ablation");
+    group.sample_size(10);
+    for kind in [EngineKind::ScaleOij, EngineKind::ScaleOijNoInc] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| {
+                black_box(
+                    run_engine(k, query.clone(), 2, Instrumentation::none(), &feed)
+                        .expect("engine run"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_large_window_ablation);
+criterion_main!(benches);

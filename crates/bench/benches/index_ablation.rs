@@ -1,0 +1,129 @@
+//! Index-structure ablation for the §V-A design choice.
+//!
+//! Replays the engine's exact per-key access pattern — mostly-ascending
+//! inserts with bounded disorder, window scans per base tuple, periodic
+//! prefix eviction — against three candidate stores:
+//!
+//! - the SWMR time-travel skip list (what Scale-OIJ uses; also supports
+//!   lock-free shared reads, which the alternatives do not),
+//! - a `BTreeMap` (ordered, single-threaded),
+//! - an unsorted `Vec` with full-scan filtering (what Key-OIJ uses).
+//!
+//! The skip list's value shows where its concurrency-capable design sits
+//! relative to sequential alternatives on pure single-thread cost.
+
+use std::collections::BTreeMap;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// One synthetic workload step: (timestamp, is_base).
+fn pattern(n: usize, disorder: i64) -> Vec<(i64, bool)> {
+    let mut x = 9u64;
+    (0..n)
+        .map(|i| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let jitter = if disorder > 0 {
+                (x >> 33) as i64 % disorder
+            } else {
+                0
+            };
+            (i as i64 - jitter, x % 2 == 0)
+        })
+        .collect()
+}
+
+const WINDOW: i64 = 1_000;
+const RETENTION: i64 = 10_000;
+const EVICT_EVERY: usize = 256;
+
+fn run_skiplist(steps: &[(i64, bool)]) -> f64 {
+    use oij_common::{Timestamp, Tuple, Window};
+    use oij_skiplist::TimeTravelIndex;
+    let (mut w, r) = TimeTravelIndex::with_seed(5);
+    let mut out = 0.0;
+    for (i, &(ts, is_base)) in steps.iter().enumerate() {
+        if is_base {
+            let mut sum = 0.0;
+            r.scan_window(
+                1,
+                Window {
+                    start: Timestamp::from_micros(ts - WINDOW),
+                    end: Timestamp::from_micros(ts),
+                },
+                |t| sum += t.value,
+            );
+            out += sum;
+        } else {
+            w.insert(Tuple::new(Timestamp::from_micros(ts), 1, 1.0));
+        }
+        if i % EVICT_EVERY == EVICT_EVERY - 1 {
+            w.evict_below(Timestamp::from_micros(ts - RETENTION));
+        }
+    }
+    out
+}
+
+fn run_btreemap(steps: &[(i64, bool)]) -> f64 {
+    let mut map: BTreeMap<(i64, u64), f64> = BTreeMap::new();
+    let mut seq = 0u64;
+    let mut out = 0.0;
+    for (i, &(ts, is_base)) in steps.iter().enumerate() {
+        if is_base {
+            let sum: f64 = map.range((ts - WINDOW, 0)..=(ts, u64::MAX)).map(|(_, v)| *v).sum();
+            out += sum;
+        } else {
+            seq += 1;
+            map.insert((ts, seq), 1.0);
+        }
+        if i % EVICT_EVERY == EVICT_EVERY - 1 {
+            map = map.split_off(&(ts - RETENTION, 0));
+        }
+    }
+    out
+}
+
+fn run_unsorted_vec(steps: &[(i64, bool)]) -> f64 {
+    let mut buf: Vec<(i64, f64)> = Vec::new();
+    let mut out = 0.0;
+    for (i, &(ts, is_base)) in steps.iter().enumerate() {
+        if is_base {
+            let sum: f64 = buf
+                .iter()
+                .filter(|(t, _)| *t >= ts - WINDOW && *t <= ts)
+                .map(|(_, v)| *v)
+                .sum();
+            out += sum;
+        } else {
+            buf.push((ts, 1.0));
+        }
+        if i % EVICT_EVERY == EVICT_EVERY - 1 {
+            buf.retain(|(t, _)| *t >= ts - RETENTION);
+        }
+    }
+    out
+}
+
+fn bench_index_ablation(c: &mut Criterion) {
+    for disorder in [0i64, 2_000] {
+        let steps = pattern(50_000, disorder);
+        let mut group =
+            c.benchmark_group(format!("index_ablation_disorder_{disorder}us"));
+        group.sample_size(10);
+        group.throughput(criterion::Throughput::Elements(steps.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter("swmr_skiplist"), &steps, |b, s| {
+            b.iter(|| black_box(run_skiplist(s)))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("btreemap"), &steps, |b, s| {
+            b.iter(|| black_box(run_btreemap(s)))
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter("unsorted_vec_fullscan"),
+            &steps,
+            |b, s| b.iter(|| black_box(run_unsorted_vec(s))),
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_index_ablation);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Microbenchmarks of the dynamic scheduler (Algorithm 3): one rebalance
+//! pass must be cheap enough to run every few milliseconds.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use oij_core::scaleoij::schedule::{rebalance, Schedule};
+
+fn skewed_counts(partitions: usize) -> Vec<f64> {
+    (0..partitions).map(|p| 10_000.0 / (p + 1) as f64).collect()
+}
+
+fn bench_rebalance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm3_rebalance");
+    for (partitions, joiners) in [(64usize, 8usize), (64, 16), (256, 16)] {
+        let schedule = Schedule::initial(partitions, joiners);
+        let counts = skewed_counts(partitions);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("P{partitions}_J{joiners}")),
+            &(partitions, joiners),
+            |b, &(_, j)| {
+                b.iter(|| black_box(rebalance(&schedule, &counts, j, 0.01)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_convergence(c: &mut Criterion) {
+    c.bench_function("algorithm3_converge_P64_J16", |b| {
+        let counts = skewed_counts(64);
+        b.iter(|| {
+            let mut s = Schedule::initial(64, 16);
+            let mut steps = 0;
+            while let Some(next) = rebalance(&s, &counts, 16, 0.001) {
+                s = next;
+                steps += 1;
+                if steps > 1000 {
+                    break;
+                }
+            }
+            black_box((s, steps))
+        });
+    });
+}
+
+fn bench_load_estimation(c: &mut Criterion) {
+    c.bench_function("eq3_estimated_loads_P256_J16", |b| {
+        let mut s = Schedule::initial(256, 16);
+        // Make teams non-trivial.
+        for p in 0..64 {
+            s.teams[p].push((p + 1) % 16);
+        }
+        let counts = skewed_counts(256);
+        b.iter(|| black_box(s.estimated_loads(&counts, 16)));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rebalance, bench_full_convergence, bench_load_estimation
+);
+criterion_main!(benches);

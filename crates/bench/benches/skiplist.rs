@@ -1,0 +1,114 @@
+//! Microbenchmarks of the SWMR time-travel index — the data-structure-level
+//! version of the paper's Figure 11 claim: window scans cost O(log n + k)
+//! regardless of how much retained (out-of-window) data surrounds them.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use oij_common::{Timestamp, Tuple, Window};
+use oij_skiplist::{SwmrSkipList, TimeTravelIndex};
+
+fn index_with(keys: u64, per_key: i64) -> (oij_skiplist::IndexWriter, oij_skiplist::IndexReader) {
+    let (mut w, r) = TimeTravelIndex::with_seed(7);
+    for ts in 0..per_key {
+        for key in 0..keys {
+            w.insert(Tuple::new(Timestamp::from_micros(ts), key, ts as f64));
+        }
+    }
+    (w, r)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timetravel_insert");
+    group.throughput(criterion::Throughput::Elements(1));
+    group.bench_function("in_order", |b| {
+        let (mut w, _r) = TimeTravelIndex::with_seed(3);
+        let mut ts = 0i64;
+        b.iter(|| {
+            ts += 1;
+            w.insert(Tuple::new(Timestamp::from_micros(ts), (ts % 64) as u64, 1.0));
+        });
+    });
+    group.bench_function("disordered", |b| {
+        let (mut w, _r) = TimeTravelIndex::with_seed(3);
+        let mut ts = 0i64;
+        let mut x = 5u64;
+        b.iter(|| {
+            ts += 1;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let jitter = (x >> 33) as i64 % 1000;
+            w.insert(Tuple::new(
+                Timestamp::from_micros(ts - jitter),
+                (ts % 64) as u64,
+                1.0,
+            ));
+        });
+    });
+    group.finish();
+}
+
+/// The headline property: scanning a fixed-size window costs the same no
+/// matter how much retained data the lateness forces the index to hold.
+fn bench_window_scan_vs_retained(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_scan_vs_retained_data");
+    for retained in [1_000i64, 10_000, 100_000] {
+        let (_w, r) = index_with(4, retained);
+        let window = Window {
+            start: Timestamp::from_micros(retained - 100),
+            end: Timestamp::from_micros(retained),
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(retained),
+            &retained,
+            |b, _| {
+                b.iter(|| {
+                    let mut sum = 0.0;
+                    r.scan_window(black_box(2), black_box(window), |t| sum += t.value);
+                    black_box(sum)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_evict(c: &mut Criterion) {
+    c.bench_function("timetravel_evict_10pct", |b| {
+        b.iter_batched(
+            || index_with(8, 5_000).0,
+            |mut w| {
+                black_box(w.evict_below(Timestamp::from_micros(500)));
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_raw_skiplist_vs_btreemap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordered_map_comparison");
+    group.bench_function("swmr_skiplist_insert_get", |b| {
+        let (mut w, r) = SwmrSkipList::with_seed::<i64, i64>(11);
+        let mut k = 0i64;
+        b.iter(|| {
+            k += 1;
+            w.insert(k, k);
+            black_box(r.get_cloned(&(k / 2)));
+        });
+    });
+    group.bench_function("btreemap_insert_get", |b| {
+        let mut m = std::collections::BTreeMap::<i64, i64>::new();
+        let mut k = 0i64;
+        b.iter(|| {
+            k += 1;
+            m.insert(k, k);
+            black_box(m.get(&(k / 2)).copied());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_insert, bench_window_scan_vs_retained, bench_evict, bench_raw_skiplist_vs_btreemap
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Thin wrapper around `oij_bench::experiments::fig04_scalability`.
+fn main() {
+    let ctx = oij_bench::BenchCtx::from_env(200000);
+    oij_bench::experiments::fig04_scalability::run(&ctx);
+}

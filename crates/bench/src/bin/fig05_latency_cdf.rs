@@ -1,0 +1,5 @@
+//! Thin wrapper around `oij_bench::experiments::fig05_latency_cdf`.
+fn main() {
+    let ctx = oij_bench::BenchCtx::from_env(200000);
+    oij_bench::experiments::fig05_latency_cdf::run(&ctx);
+}

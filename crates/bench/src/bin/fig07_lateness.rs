@@ -1,0 +1,5 @@
+//! Thin wrapper around `oij_bench::experiments::fig07_lateness`.
+fn main() {
+    let ctx = oij_bench::BenchCtx::from_env(500000);
+    oij_bench::experiments::fig07_lateness::run(&ctx);
+}

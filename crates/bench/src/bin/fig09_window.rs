@@ -1,0 +1,5 @@
+//! Thin wrapper around `oij_bench::experiments::fig09_window`.
+fn main() {
+    let ctx = oij_bench::BenchCtx::from_env(600000);
+    oij_bench::experiments::fig09_window::run(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Thin wrapper around `oij_bench::experiments::fig14_skew_cpu`.
+fn main() {
+    let ctx = oij_bench::BenchCtx::from_env(300000);
+    oij_bench::experiments::fig14_skew_cpu::run(&ctx);
+}

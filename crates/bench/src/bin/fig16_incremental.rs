@@ -1,0 +1,5 @@
+//! Thin wrapper around `oij_bench::experiments::fig16_incremental`.
+fn main() {
+    let ctx = oij_bench::BenchCtx::from_env(400000);
+    oij_bench::experiments::fig16_incremental::run(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Thin wrapper around `oij_bench::experiments::fig21_limitations`.
+fn main() {
+    let ctx = oij_bench::BenchCtx::from_env(150000);
+    oij_bench::experiments::fig21_limitations::run(&ctx);
+}

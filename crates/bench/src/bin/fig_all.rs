@@ -1,0 +1,26 @@
+//! Runs every experiment in DESIGN.md's per-experiment index, writing all
+//! figure data to `EXPERIMENTS-data/`. Per-experiment default sizes match
+//! the individual binaries; `OIJ_BENCH_TUPLES` overrides all of them.
+use oij_bench::{experiments as ex, BenchCtx};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let ctx = |tuples: usize| BenchCtx::from_env(tuples);
+    println!("running the full experiment suite (scale = {})", ctx(0).scale);
+    ex::fig04_scalability::run(&ctx(200_000));
+    ex::fig05_latency_cdf::run(&ctx(200_000));
+    ex::fig06_breakdown::run(&ctx(150_000));
+    ex::fig07_lateness::run(&ctx(500_000));
+    ex::fig08_keys::run(&ctx(150_000));
+    ex::fig09_window::run(&ctx(600_000));
+    ex::fig11_lateness_scale::run(&ctx(400_000));
+    ex::fig13_dynamic::run(&ctx(150_000));
+    ex::fig14_skew_cpu::run(&ctx(300_000));
+    ex::fig16_incremental::run(&ctx(400_000));
+    ex::fig17_20_workloads::run(&ctx(150_000));
+    ex::fig21_limitations::run(&ctx(150_000));
+    ex::fig22_23_openmldb::run(&ctx(150_000));
+    ex::abl_schedule::run(&ctx(150_000));
+    let out = ctx(0).out_dir;
+    println!("\nall experiments done in {:.1}s; data in {}", t0.elapsed().as_secs_f64(), out.display());
+}

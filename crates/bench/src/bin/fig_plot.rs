@@ -1,0 +1,67 @@
+//! Renders saved experiment figures (`EXPERIMENTS-data/*.json`) as ASCII
+//! charts. Usage: `fig_plot [figure-id ...]` (default: all saved figures).
+use oij_bench::plot::{render, PlotOptions};
+use oij_bench::Figure;
+
+fn main() {
+    let dir = std::env::var("OIJ_BENCH_OUT").unwrap_or_else(|_| "EXPERIMENTS-data".into());
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let mut entries: Vec<_> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok()).collect(),
+        Err(e) => {
+            eprintln!("cannot read {dir}: {e} (run fig_all first)");
+            std::process::exit(1);
+        }
+    };
+    entries.sort_by_key(|e| e.file_name());
+    let mut shown = 0;
+    for entry in entries {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        if !filter.is_empty() && !filter.iter().any(|f| stem.contains(f.as_str())) {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        // Figure is Serialize-only; parse the JSON loosely.
+        let Ok(fig) = serde_json::from_str::<serde_json::Value>(&text) else {
+            continue;
+        };
+        let fig = Figure {
+            id: fig["id"].as_str().unwrap_or(stem).to_string(),
+            title: fig["title"].as_str().unwrap_or("").to_string(),
+            x_label: fig["x_label"].as_str().unwrap_or("x").to_string(),
+            y_label: fig["y_label"].as_str().unwrap_or("y").to_string(),
+            series: fig["series"]
+                .as_array()
+                .map(|arr| {
+                    arr.iter()
+                        .map(|s| oij_bench::Series {
+                            label: s["label"].as_str().unwrap_or("?").to_string(),
+                            points: s["points"]
+                                .as_array()
+                                .map(|ps| {
+                                    ps.iter()
+                                        .filter_map(|p| {
+                                            Some((p[0].as_f64()?, p[1].as_f64()?))
+                                        })
+                                        .collect()
+                                })
+                                .unwrap_or_default(),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+            notes: vec![],
+        };
+        println!("{}", render(&fig, PlotOptions::default()));
+        shown += 1;
+    }
+    if shown == 0 {
+        eprintln!("no figures matched (dir {dir})");
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 4 (+ Table II): Key-OIJ throughput vs joiner count on the four
+//! real-world workload proxies.
+//!
+//! Expected shapes (paper §IV-A): A does not scale past 5 joiners (only 5
+//! keys); B is the slowest (large window); C scales but starts low (large
+//! lateness ⇒ wasted scanning); D saturates at its low arrival rate.
+
+use oij_core::config::Instrumentation;
+use oij_core::engine::EngineKind;
+use oij_workload::NamedWorkload;
+
+use crate::{run_engine, BenchCtx, Figure};
+
+use super::{print_spec, workload_events};
+
+/// Runs the experiment.
+pub fn run(ctx: &BenchCtx) {
+    println!("— Table II: benchmark workloads —");
+    for w in NamedWorkload::all_real() {
+        print_spec(&w);
+    }
+
+    let mut fig = Figure::new(
+        "fig04_scalability",
+        "Key-OIJ scalability under four real-world cases (paper Fig. 4)",
+        "joiner threads",
+        "throughput [tuples/s]",
+    );
+    fig.note(format!(
+        "{} events/run, density scale {}",
+        ctx.tuples, ctx.scale
+    ));
+    fig.note("host has fewer cores than the paper's 48-HT Xeon; shapes, not absolutes");
+
+    for w in NamedWorkload::all_real() {
+        let events = workload_events(&w, ctx.tuples, ctx.scale);
+        let query = w.query(ctx.scale);
+        let mut points = Vec::new();
+        for &j in &ctx.threads {
+            let stats = run_engine(
+                EngineKind::KeyOij,
+                query.clone(),
+                j,
+                Instrumentation::none(),
+                &events,
+            )
+            .expect("engine run");
+            println!(
+                "  workload {} joiners {:>2}: {:>12.0} tuples/s (unbalancedness {:.3})",
+                w.name, j, stats.throughput, stats.unbalancedness
+            );
+            points.push((j as f64, stats.throughput));
+        }
+        fig.push_series(format!("Workload {}", w.name), points);
+    }
+    fig.finish(ctx);
+}

@@ -1,0 +1,71 @@
+//! Figure 5: Key-OIJ latency CDF on the four workloads (16 joiners).
+//!
+//! Expected shape (paper §IV-A): A and D mostly below the 20 ms SLA; B and
+//! C with long tails.
+
+use oij_core::config::Instrumentation;
+use oij_core::engine::EngineKind;
+use oij_workload::NamedWorkload;
+
+use crate::{latency_cdf_series, run_engine, run_engine_paced, BenchCtx, Figure};
+
+use super::workload_events;
+
+/// Runs the experiment.
+pub fn run(ctx: &BenchCtx) {
+    let joiners = *ctx.threads.last().expect("threads non-empty");
+    let mut fig = Figure::new(
+        "fig05_latency_cdf",
+        "Key-OIJ latency CDF under four real-world cases (paper Fig. 5)",
+        "latency [ms]",
+        "cumulative fraction",
+    );
+    fig.note(format!("{joiners} joiner threads; green line in paper = 20 ms SLA"));
+
+    for w in NamedWorkload::all_real() {
+        let events = workload_events(&w, ctx.tuples, ctx.scale);
+        // Latency is measured at the workload's published arrival rate:
+        // probe the engine's capacity, then pace at load_factor × capacity
+        // (∞-rate workloads run unpaced).
+        let stats = match w.load_factor {
+            None => run_engine(
+                EngineKind::KeyOij,
+                w.query(ctx.scale),
+                joiners,
+                Instrumentation::latency(),
+                &events,
+            )
+            .expect("engine run"),
+            Some(lf) => {
+                let capacity = run_engine(
+                    EngineKind::KeyOij,
+                    w.query(ctx.scale),
+                    joiners,
+                    Instrumentation::none(),
+                    &events,
+                )
+                .expect("capacity probe")
+                .throughput;
+                run_engine_paced(
+                    EngineKind::KeyOij,
+                    w.query(ctx.scale),
+                    joiners,
+                    Instrumentation::latency(),
+                    &events,
+                    capacity * lf,
+                )
+                .expect("paced run")
+            }
+        };
+        let lat = stats.latency.as_ref().expect("latency instrumented");
+        println!(
+            "  workload {}: p50 {:.3} ms, p99 {:.3} ms, ≤20ms: {:.1}%",
+            w.name,
+            lat.quantile_ns(0.5) as f64 / 1e6,
+            lat.quantile_ns(0.99) as f64 / 1e6,
+            lat.cdf_at(20_000_000) * 100.0
+        );
+        fig.push_series(format!("Workload {}", w.name), latency_cdf_series(&stats));
+    }
+    fig.finish(ctx);
+}

@@ -1,0 +1,53 @@
+//! Figure 6: Key-OIJ processing-time breakdown on the four workloads.
+//!
+//! Expected shape (paper §IV-A): match time dominates on the large-window
+//! Workload B; lookup time dominates on the large-lateness Workload C.
+
+use oij_core::config::Instrumentation;
+use oij_core::engine::EngineKind;
+use oij_workload::NamedWorkload;
+
+use crate::{run_engine, BenchCtx, Figure};
+
+use super::workload_events;
+
+/// Runs the experiment.
+pub fn run(ctx: &BenchCtx) {
+    let joiners = *ctx.threads.last().expect("threads non-empty");
+    let mut fig = Figure::new(
+        "fig06_breakdown",
+        "Key-OIJ time breakdown under four real-world cases (paper Fig. 6)",
+        "workload (A=1 B=2 C=3 D=4)",
+        "fraction of processing time",
+    );
+    let instrument = Instrumentation {
+        breakdown: true,
+        ..Instrumentation::none()
+    };
+
+    let mut lookup_pts = Vec::new();
+    let mut match_pts = Vec::new();
+    let mut other_pts = Vec::new();
+    for (i, w) in NamedWorkload::all_real().iter().enumerate() {
+        let events = workload_events(w, ctx.tuples, ctx.scale);
+        let stats = run_engine(
+            EngineKind::KeyOij,
+            w.query(ctx.scale),
+            joiners,
+            instrument.clone(),
+            &events,
+        )
+        .expect("engine run");
+        let b = stats.breakdown.expect("breakdown instrumented");
+        let (l, m, o) = b.fractions();
+        println!("  workload {}: {b}", w.name);
+        let x = (i + 1) as f64;
+        lookup_pts.push((x, l));
+        match_pts.push((x, m));
+        other_pts.push((x, o));
+    }
+    fig.push_series("lookup", lookup_pts);
+    fig.push_series("match", match_pts);
+    fig.push_series("other", other_pts);
+    fig.finish(ctx);
+}

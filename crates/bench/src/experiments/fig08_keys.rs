@@ -1,0 +1,61 @@
+//! Figure 8: unique-key effect on Key-OIJ (Table IV default workload) —
+//! throughput (8a) plus unbalancedness and LLC misses (8b).
+//!
+//! Expected shapes (paper §IV-B): throughput collapses at few keys
+//! (unbalanced static partitions) and dips again at many keys (LLC misses
+//! from the enlarged footprint), peaking in between.
+
+use oij_cachesim::CacheConfig;
+use oij_core::config::Instrumentation;
+use oij_core::engine::EngineKind;
+use oij_workload::NamedWorkload;
+
+use crate::{run_engine, BenchCtx, Figure};
+
+/// The key-count sweep.
+pub const KEYS: [u64; 5] = [10, 100, 1_000, 10_000, 100_000];
+
+/// Runs the experiment.
+pub fn run(ctx: &BenchCtx) {
+    let joiners = *ctx.threads.last().expect("threads non-empty");
+    let base = NamedWorkload::table_iv();
+    let mut fig = Figure::new(
+        "fig08_keys",
+        "Unique-key effect on Key-OIJ (paper Fig. 8)",
+        "unique keys",
+        "throughput / unbalancedness / LLC misses per 1k tuples",
+    );
+    fig.note("Table IV defaults with varying u; LLC = simulated Xeon 6252 cache");
+
+    let mut tp = Vec::new();
+    let mut unb = Vec::new();
+    let mut llc = Vec::new();
+    for u in KEYS {
+        let mut config = base.config(ctx.tuples, 1.0);
+        config.unique_keys = u;
+        let events = config.generate();
+        let stats = run_engine(
+            EngineKind::KeyOij,
+            base.query(1.0),
+            joiners,
+            Instrumentation {
+                cache: Some(CacheConfig::xeon_gold_6252_llc()),
+                ..Instrumentation::none()
+            },
+            &events,
+        )
+        .expect("engine run");
+        let misses_per_1k = stats.cache_misses as f64 / (ctx.tuples as f64 / 1000.0);
+        println!(
+            "  u={:>7}: {:>12.0} tuples/s, unbalancedness {:.3}, LLC misses/1k tuples {:.1}",
+            u, stats.throughput, stats.unbalancedness, misses_per_1k
+        );
+        tp.push((u as f64, stats.throughput));
+        unb.push((u as f64, stats.unbalancedness));
+        llc.push((u as f64, misses_per_1k));
+    }
+    fig.push_series("Key-OIJ throughput", tp);
+    fig.push_series("unbalancedness", unb);
+    fig.push_series("LLC misses / 1k tuples", llc);
+    fig.finish(ctx);
+}

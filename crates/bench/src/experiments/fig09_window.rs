@@ -1,0 +1,47 @@
+//! Figure 9: window-size effect on Key-OIJ (Table IV default workload).
+//!
+//! Expected shape (paper §IV-B): throughput drops steeply as the window
+//! grows — more in-window tuples to read and aggregate per base tuple,
+//! with none of the overlap reused.
+
+use oij_common::Duration;
+use oij_core::config::Instrumentation;
+use oij_core::engine::EngineKind;
+use oij_workload::NamedWorkload;
+
+use crate::{run_engine, BenchCtx, Figure};
+
+/// The window sweep, in µs.
+pub const WINDOWS_US: [i64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Runs the experiment.
+pub fn run(ctx: &BenchCtx) {
+    let joiners = *ctx.threads.last().expect("threads non-empty");
+    let base = NamedWorkload::table_iv();
+    let mut fig = Figure::new(
+        "fig09_window",
+        "Window-size effect on Key-OIJ (paper Fig. 9)",
+        "window [µs]",
+        "throughput [tuples/s]",
+    );
+    fig.note("Table IV defaults with varying |w|");
+
+    let events = base.config(ctx.tuples, 1.0).generate();
+    let mut tp = Vec::new();
+    for w_us in WINDOWS_US {
+        let mut query = base.query(1.0);
+        query.window.preceding = Duration::from_micros(w_us);
+        let stats = run_engine(
+            EngineKind::KeyOij,
+            query,
+            joiners,
+            Instrumentation::none(),
+            &events,
+        )
+        .expect("engine run");
+        println!("  |w|={:>9}µs: {:>12.0} tuples/s", w_us, stats.throughput);
+        tp.push((w_us as f64, stats.throughput));
+    }
+    fig.push_series("Key-OIJ throughput", tp);
+    fig.finish(ctx);
+}

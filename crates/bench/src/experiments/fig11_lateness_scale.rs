@@ -1,0 +1,61 @@
+//! Figure 11: lateness sweep, Key-OIJ vs Scale-OIJ.
+//!
+//! Expected shape (paper §V-A): Key-OIJ degrades with lateness; Scale-OIJ
+//! is flat — the time-travel index locates the window boundary directly
+//! and never visits the retained out-of-window tuples.
+
+use oij_common::Duration;
+use oij_core::config::Instrumentation;
+use oij_core::engine::EngineKind;
+use oij_workload::NamedWorkload;
+
+use crate::{run_engine, BenchCtx, Figure};
+
+use super::fig07_lateness::LATENESS_US;
+
+/// Runs the experiment.
+pub fn run(ctx: &BenchCtx) {
+    let joiners = *ctx.threads.last().expect("threads non-empty");
+    let base = NamedWorkload::table_iv();
+    let mut fig = Figure::new(
+        "fig11_lateness_scale",
+        "Lateness: Key-OIJ vs Scale-OIJ (paper Fig. 11)",
+        "lateness [µs]",
+        "throughput [tuples/s]",
+    );
+    fig.note("Scale-OIJ runs without incremental aggregation to isolate the index effect");
+    fig.note("query lateness swept; dataset disorder fixed at the 100µs default (see fig07)");
+
+    let config = base.config(ctx.tuples, 1.0);
+    let events = config.generate();
+    let mut series: Vec<(EngineKind, Vec<(f64, f64)>)> = vec![
+        (EngineKind::KeyOij, Vec::new()),
+        (EngineKind::ScaleOijNoInc, Vec::new()),
+    ];
+    for l in LATENESS_US {
+        let lateness = Duration::from_micros(l);
+        let mut query = base.query(1.0);
+        query.window.lateness = lateness;
+        for (kind, points) in &mut series {
+            let stats = run_engine(
+                *kind,
+                query.clone(),
+                joiners,
+                Instrumentation::none(),
+                &events,
+            )
+            .expect("engine run");
+            println!(
+                "  lateness {:>7}µs {:<18}: {:>12.0} tuples/s",
+                l,
+                kind.label(),
+                stats.throughput
+            );
+            points.push((l as f64, stats.throughput));
+        }
+    }
+    for (kind, points) in series {
+        fig.push_series(kind.label(), points);
+    }
+    fig.finish(ctx);
+}

@@ -1,0 +1,122 @@
+//! Figure 13: the dynamic balanced schedule.
+//!
+//! - 13a: scalability with only 5 unique keys — Key-OIJ plateaus at 5
+//!   joiners, Scale-OIJ keeps scaling via shared processing.
+//! - 13b: key-count sweep, Key-OIJ vs Scale-OIJ throughput.
+//! - 13c: unbalancedness across the same sweep (Scale-OIJ stays near 0).
+//! - 13d: simulated LLC misses across the sweep (both engines rise with
+//!   the footprint; the paper's explanation for the many-key dip).
+
+use oij_cachesim::CacheConfig;
+use oij_core::config::Instrumentation;
+use oij_core::engine::EngineKind;
+use oij_workload::NamedWorkload;
+
+use crate::{run_engine, BenchCtx, Figure};
+
+use super::fig08_keys::KEYS;
+
+/// Runs the experiment.
+pub fn run(ctx: &BenchCtx) {
+    let base = NamedWorkload::table_iv();
+    scalability_with_5_keys(ctx, &base);
+    key_sweep(ctx, &base);
+}
+
+fn scalability_with_5_keys(ctx: &BenchCtx, base: &NamedWorkload) {
+    let mut fig = Figure::new(
+        "fig13a_scalability_5keys",
+        "Scalability with 5 unique keys (paper Fig. 13a)",
+        "joiner threads",
+        "throughput [tuples/s]",
+    );
+    let mut config = base.config(ctx.tuples, 1.0);
+    config.unique_keys = 5;
+    let events = config.generate();
+    for kind in [EngineKind::KeyOij, EngineKind::ScaleOij] {
+        let mut points = Vec::new();
+        for &j in &ctx.threads {
+            let stats = run_engine(
+                kind,
+                base.query(1.0),
+                j,
+                Instrumentation::none(),
+                &events,
+            )
+            .expect("engine run");
+            println!(
+                "  u=5 {:<10} joiners {:>2}: {:>12.0} tuples/s (unb {:.3}, idle joiners {})",
+                kind.label(),
+                j,
+                stats.throughput,
+                stats.unbalancedness,
+                stats.joiner_loads.iter().filter(|&&l| l == 0).count()
+            );
+            points.push((j as f64, stats.throughput));
+        }
+        fig.push_series(kind.label(), points);
+    }
+    fig.finish(ctx);
+}
+
+fn key_sweep(ctx: &BenchCtx, base: &NamedWorkload) {
+    let joiners = *ctx.threads.last().expect("threads non-empty");
+    let mut tp_fig = Figure::new(
+        "fig13b_keys_throughput",
+        "Key-count sweep: throughput (paper Fig. 13b)",
+        "unique keys",
+        "throughput [tuples/s]",
+    );
+    let mut unb_fig = Figure::new(
+        "fig13c_keys_unbalancedness",
+        "Key-count sweep: unbalancedness (paper Fig. 13c)",
+        "unique keys",
+        "unbalancedness",
+    );
+    let mut llc_fig = Figure::new(
+        "fig13d_keys_llc",
+        "Key-count sweep: simulated LLC misses (paper Fig. 13d)",
+        "unique keys",
+        "LLC misses per 1k tuples",
+    );
+
+    for kind in [EngineKind::KeyOij, EngineKind::ScaleOij] {
+        let mut tp = Vec::new();
+        let mut unb = Vec::new();
+        let mut llc = Vec::new();
+        for u in KEYS {
+            let mut config = base.config(ctx.tuples, 1.0);
+            config.unique_keys = u;
+            let events = config.generate();
+            let stats = run_engine(
+                kind,
+                base.query(1.0),
+                joiners,
+                Instrumentation {
+                    cache: Some(CacheConfig::xeon_gold_6252_llc()),
+                    ..Instrumentation::none()
+                },
+                &events,
+            )
+            .expect("engine run");
+            let misses_per_1k = stats.cache_misses as f64 / (ctx.tuples as f64 / 1000.0);
+            println!(
+                "  u={:>7} {:<10}: {:>12.0} tuples/s, unb {:.3}, LLC/1k {:.1}",
+                u,
+                kind.label(),
+                stats.throughput,
+                stats.unbalancedness,
+                misses_per_1k
+            );
+            tp.push((u as f64, stats.throughput));
+            unb.push((u as f64, stats.unbalancedness));
+            llc.push((u as f64, misses_per_1k));
+        }
+        tp_fig.push_series(kind.label(), tp);
+        unb_fig.push_series(kind.label(), unb);
+        llc_fig.push_series(kind.label(), llc);
+    }
+    tp_fig.finish(ctx);
+    unb_fig.finish(ctx);
+    llc_fig.finish(ctx);
+}

@@ -1,0 +1,47 @@
+//! Figure 16: incremental interval join under growing windows.
+//!
+//! Expected shape (paper §V-C): without the incremental technique,
+//! throughput decays with the window (more data re-read and re-aggregated
+//! per base tuple); with Subtract-on-Evict the cost per base tuple is the
+//! *delta* between neighbour windows, so throughput stays high.
+
+use oij_common::Duration;
+use oij_core::config::Instrumentation;
+use oij_core::engine::EngineKind;
+use oij_workload::NamedWorkload;
+
+use crate::{run_engine, BenchCtx, Figure};
+
+use super::fig09_window::WINDOWS_US;
+
+/// Runs the experiment.
+pub fn run(ctx: &BenchCtx) {
+    let joiners = *ctx.threads.last().expect("threads non-empty");
+    let base = NamedWorkload::table_iv();
+    let mut fig = Figure::new(
+        "fig16_incremental",
+        "Incremental interval join across window sizes (paper Fig. 16)",
+        "window [µs]",
+        "throughput [tuples/s]",
+    );
+
+    let events = base.config(ctx.tuples, 1.0).generate();
+    for kind in [EngineKind::ScaleOij, EngineKind::ScaleOijNoInc] {
+        let mut points = Vec::new();
+        for w_us in WINDOWS_US {
+            let mut query = base.query(1.0);
+            query.window.preceding = Duration::from_micros(w_us);
+            let stats = run_engine(kind, query, joiners, Instrumentation::none(), &events)
+                .expect("engine run");
+            println!(
+                "  |w|={:>9}µs {:<18}: {:>12.0} tuples/s",
+                w_us,
+                kind.label(),
+                stats.throughput
+            );
+            points.push((w_us as f64, stats.throughput));
+        }
+        fig.push_series(kind.label(), points);
+    }
+    fig.finish(ctx);
+}

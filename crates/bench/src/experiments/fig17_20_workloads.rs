@@ -1,0 +1,118 @@
+//! Figures 17–20: the full engine comparison on Workloads A–D —
+//! throughput vs joiner count plus latency CDFs at the maximum thread
+//! count, for Key-OIJ, Scale-OIJ, Scale-OIJ w/o incremental and SplitJoin.
+//!
+//! Expected shapes (paper §V-D):
+//! - A (5 keys): Scale-OIJ ≫ Key-OIJ (dynamic schedule); SplitJoin has
+//!   decent latency but far lower throughput (broadcast cost).
+//! - B (large window): the incremental technique is the difference-maker.
+//! - C (large lateness): the time-travel index alone already wins;
+//!   incremental adds little.
+//! - D (low arrival rate): similar throughput everywhere; Scale-OIJ has
+//!   the lowest latency.
+
+use oij_core::config::Instrumentation;
+use oij_core::engine::EngineKind;
+use oij_workload::NamedWorkload;
+
+use crate::{latency_cdf_series, run_engine, run_engine_paced, BenchCtx, Figure};
+
+use super::workload_events;
+
+const ENGINES: [EngineKind; 4] = [
+    EngineKind::KeyOij,
+    EngineKind::ScaleOij,
+    EngineKind::ScaleOijNoInc,
+    EngineKind::SplitJoin,
+];
+
+/// Runs the experiment.
+pub fn run(ctx: &BenchCtx) {
+    for (w, fig_no) in NamedWorkload::all_real().iter().zip([17, 18, 19, 20]) {
+        one_workload(ctx, w, fig_no);
+    }
+}
+
+fn one_workload(ctx: &BenchCtx, w: &NamedWorkload, fig_no: u32) {
+    let events = workload_events(w, ctx.tuples, ctx.scale);
+    let query = w.query(ctx.scale);
+
+    let mut tp_fig = Figure::new(
+        &format!("fig{fig_no}a_workload_{}_throughput", w.name),
+        &format!("Workload {}: throughput vs joiners (paper Fig. {fig_no})", w.name),
+        "joiner threads",
+        "throughput [tuples/s]",
+    );
+    for kind in ENGINES {
+        let mut points = Vec::new();
+        for &j in &ctx.threads {
+            let stats = run_engine(kind, query.clone(), j, Instrumentation::none(), &events)
+                .expect("engine run");
+            println!(
+                "  W{} {:<18} joiners {:>2}: {:>12.0} tuples/s",
+                w.name,
+                kind.label(),
+                j,
+                stats.throughput
+            );
+            points.push((j as f64, stats.throughput));
+        }
+        tp_fig.push_series(kind.label(), points);
+    }
+    tp_fig.finish(ctx);
+
+    let joiners = *ctx.threads.last().expect("threads non-empty");
+    let mut lat_fig = Figure::new(
+        &format!("fig{fig_no}b_workload_{}_latency", w.name),
+        &format!(
+            "Workload {}: latency CDF at {joiners} joiners (paper Fig. {fig_no})",
+            w.name
+        ),
+        "latency [ms]",
+        "cumulative fraction",
+    );
+    for kind in ENGINES {
+        // Latency at the workload's published arrival rate (see fig05).
+        let stats = match w.load_factor {
+            None => run_engine(
+                kind,
+                query.clone(),
+                joiners,
+                Instrumentation::latency(),
+                &events,
+            )
+            .expect("engine run"),
+            Some(lf) => {
+                let capacity = run_engine(
+                    kind,
+                    query.clone(),
+                    joiners,
+                    Instrumentation::none(),
+                    &events,
+                )
+                .expect("capacity probe")
+                .throughput;
+                run_engine_paced(
+                    kind,
+                    query.clone(),
+                    joiners,
+                    Instrumentation::latency(),
+                    &events,
+                    capacity * lf,
+                )
+                .expect("paced run")
+            }
+        };
+        if let Some(lat) = &stats.latency {
+            println!(
+                "  W{} {:<18} latency: p50 {:.3} ms, p99 {:.3} ms",
+                w.name,
+                kind.label(),
+                lat.quantile_ns(0.5) as f64 / 1e6,
+                lat.quantile_ns(0.99) as f64 / 1e6
+            );
+        }
+        lat_fig.push_series(kind.label(), latency_cdf_series(&stats));
+    }
+    lat_fig.finish(ctx);
+}

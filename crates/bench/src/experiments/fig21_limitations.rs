@@ -1,0 +1,54 @@
+//! Figure 21 (+ Table V): the adversarial synthetic workload where
+//! Scale-OIJ's optimisations buy nothing.
+//!
+//! u = 1000 keys, |w| = 100 µs, l = 10 µs. Expected shape (paper §V-D):
+//! Key-OIJ wins — many keys already balance the static partitioning, the
+//! tiny window leaves no overlap for incremental reuse, and the tiny
+//! lateness voids the time-travel index; SplitJoin degrades with threads
+//! as broadcast costs dominate the shrinking per-tuple work.
+
+use oij_core::config::Instrumentation;
+use oij_core::engine::EngineKind;
+use oij_workload::NamedWorkload;
+
+use crate::{run_engine, BenchCtx, Figure};
+
+use super::{print_spec, workload_events};
+
+/// Runs the experiment.
+pub fn run(ctx: &BenchCtx) {
+    let w = NamedWorkload::table_v();
+    println!("— Table V: adversarial synthetic workload —");
+    print_spec(&w);
+
+    let events = workload_events(&w, ctx.tuples, 1.0);
+    let query = w.query(1.0);
+
+    let mut fig = Figure::new(
+        "fig21_limitations",
+        "Limitations of Scale-OIJ: Table V workload (paper Fig. 21)",
+        "joiner threads",
+        "throughput [tuples/s]",
+    );
+    for kind in [
+        EngineKind::KeyOij,
+        EngineKind::ScaleOij,
+        EngineKind::ScaleOijNoInc,
+        EngineKind::SplitJoin,
+    ] {
+        let mut points = Vec::new();
+        for &j in &ctx.threads {
+            let stats = run_engine(kind, query.clone(), j, Instrumentation::none(), &events)
+                .expect("engine run");
+            println!(
+                "  {:<18} joiners {:>2}: {:>12.0} tuples/s",
+                kind.label(),
+                j,
+                stats.throughput
+            );
+            points.push((j as f64, stats.throughput));
+        }
+        fig.push_series(kind.label(), points);
+    }
+    fig.finish(ctx);
+}

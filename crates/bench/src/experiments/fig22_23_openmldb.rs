@@ -1,0 +1,94 @@
+//! Figures 22–23: Scale-OIJ vs the OpenMLDB baseline on Workloads A–D.
+//!
+//! Expected shapes (paper §V-E): the shared-store baseline holds up only
+//! on the low-rate Workload D; everywhere else Scale-OIJ wins by large
+//! factors (paper: 8× on B, 7× on C) because the baseline's insertions
+//! serialise on the store lock and every join re-reads a large window.
+
+use oij_core::config::Instrumentation;
+use oij_core::engine::EngineKind;
+use oij_workload::NamedWorkload;
+
+use crate::{latency_cdf_series, run_engine, run_engine_paced, BenchCtx, Figure};
+
+use super::workload_events;
+
+/// Runs the experiment.
+pub fn run(ctx: &BenchCtx) {
+    let joiners = *ctx.threads.last().expect("threads non-empty");
+    let mut tp_fig = Figure::new(
+        "fig22_openmldb_throughput",
+        "Scale-OIJ vs OpenMLDB baseline: throughput (paper Fig. 22)",
+        "workload (A=1 B=2 C=3 D=4)",
+        "throughput [tuples/s]",
+    );
+    let mut lat_fig = Figure::new(
+        "fig23_openmldb_latency",
+        "Scale-OIJ vs OpenMLDB baseline: p99 latency (paper Fig. 23)",
+        "workload (A=1 B=2 C=3 D=4)",
+        "p99 latency [ms]",
+    );
+    tp_fig.note("baseline runs eager with no disorder handling, as in the paper's comparison");
+
+    for kind in [EngineKind::ScaleOij, EngineKind::OpenMldb] {
+        let mut tp = Vec::new();
+        let mut lat = Vec::new();
+        let mut cdf_series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+        for (i, w) in NamedWorkload::all_real().iter().enumerate() {
+            let events = workload_events(w, ctx.tuples, ctx.scale);
+            // Throughput unpaced; latency paced at the published rate.
+            let stats = run_engine(
+                kind,
+                w.query(ctx.scale),
+                joiners,
+                Instrumentation::none(),
+                &events,
+            )
+            .expect("engine run");
+            let lat_stats = match w.load_factor {
+                None => run_engine(
+                    kind,
+                    w.query(ctx.scale),
+                    joiners,
+                    Instrumentation::latency(),
+                    &events,
+                )
+                .expect("latency run"),
+                Some(lf) => run_engine_paced(
+                    kind,
+                    w.query(ctx.scale),
+                    joiners,
+                    Instrumentation::latency(),
+                    &events,
+                    stats.throughput * lf,
+                )
+                .expect("paced run"),
+            };
+            let p99_ms = lat_stats
+                .latency
+                .as_ref()
+                .map(|h| h.quantile_ns(0.99) as f64 / 1e6)
+                .unwrap_or(f64::NAN);
+            println!(
+                "  W{} {:<10}: {:>12.0} tuples/s, p99 {:.3} ms",
+                w.name,
+                kind.label(),
+                stats.throughput,
+                p99_ms
+            );
+            tp.push(((i + 1) as f64, stats.throughput));
+            lat.push(((i + 1) as f64, p99_ms));
+            cdf_series.push((
+                format!("{} W{}", kind.label(), w.name),
+                latency_cdf_series(&lat_stats),
+            ));
+        }
+        tp_fig.push_series(kind.label(), tp);
+        lat_fig.push_series(kind.label(), lat);
+        for (label, points) in cdf_series {
+            lat_fig.push_series(label, points);
+        }
+    }
+    tp_fig.finish(ctx);
+    lat_fig.finish(ctx);
+}

@@ -1,0 +1,45 @@
+//! One module per paper figure/table. Each exposes `run(&BenchCtx)`;
+//! the `src/bin/` wrappers and `fig_all` call these.
+
+pub mod abl_schedule;
+pub mod fig04_scalability;
+pub mod fig05_latency_cdf;
+pub mod fig06_breakdown;
+pub mod fig07_lateness;
+pub mod fig08_keys;
+pub mod fig09_window;
+pub mod fig11_lateness_scale;
+pub mod fig13_dynamic;
+pub mod fig14_skew_cpu;
+pub mod fig16_incremental;
+pub mod fig17_20_workloads;
+pub mod fig21_limitations;
+pub mod fig22_23_openmldb;
+
+use oij_common::Event;
+use oij_workload::NamedWorkload;
+
+/// Generates a named workload's event feed at the context's sizing.
+pub fn workload_events(w: &NamedWorkload, tuples: usize, scale: f64) -> Vec<Event> {
+    w.config(tuples, scale).generate()
+}
+
+/// Prints the Table II row of a workload (spec provenance in every run).
+pub fn print_spec(w: &NamedWorkload) {
+    let rate = match w.paper.arrival_rate {
+        Some(r) => format!("{:.0}K/s", r / 1000.0),
+        None => "∞".into(),
+    };
+    println!(
+        "Workload {:<8} [{}]  v={:<8} u={:<6} |w|={:<6}s l={:<6}s  (proxy: w={}µs l={}µs, ~{:.0} matches/window at scale 1.0)",
+        w.name,
+        w.sector,
+        rate,
+        w.paper.unique_keys,
+        w.paper.window_secs,
+        w.paper.lateness_secs,
+        w.window_us,
+        w.lateness_us,
+        w.paper.matches_per_window,
+    );
+}

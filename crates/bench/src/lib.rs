@@ -1,0 +1,380 @@
+//! # oij-bench — the experiment harness
+//!
+//! One binary per figure/table of the paper's evaluation (see DESIGN.md
+//! §4 for the full index). Each binary prints the series the paper plots
+//! and writes machine-readable JSON under `EXPERIMENTS-data/`.
+//!
+//! Run everything with `cargo run -p oij-bench --release --bin fig_all`,
+//! or a single experiment, e.g.:
+//!
+//! ```text
+//! cargo run -p oij-bench --release --bin fig07_lateness
+//! ```
+//!
+//! ## Sizing
+//!
+//! Absolute numbers depend on the host; the paper ran a 48-HT-core Xeon.
+//! The *shapes* (who wins, where the cliffs are) are what these harnesses
+//! reproduce. Environment knobs:
+//!
+//! - `OIJ_BENCH_TUPLES` — events per run (default per experiment).
+//! - `OIJ_BENCH_SCALE` — density scale for the Table II workload proxies
+//!   (default 0.05: 5% of the paper's matches-per-window so a full sweep
+//!   finishes in minutes on a laptop; set 1.0 for paper-density runs).
+//! - `OIJ_BENCH_OUT` — output directory (default `EXPERIMENTS-data`).
+//! - `OIJ_BENCH_THREADS` — comma-separated joiner counts for sweeps
+//!   (default `1,2,4,8,16`).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod plot;
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use oij_common::{EmitMode, Event, OijQuery, Result};
+use oij_core::config::{EngineConfig, Instrumentation};
+use oij_core::engine::{EngineKind, OijEngine, RunStats};
+use oij_core::sink::Sink;
+use oij_core::{KeyOij, OpenMldbBaseline, ScaleOij, SplitJoin};
+
+/// Experiment context: sizing knobs and the output directory.
+#[derive(Debug, Clone)]
+pub struct BenchCtx {
+    /// Events per run.
+    pub tuples: usize,
+    /// Density scale for Table II workload proxies.
+    pub scale: f64,
+    /// Joiner counts to sweep.
+    pub threads: Vec<usize>,
+    /// Where JSON outputs go.
+    pub out_dir: PathBuf,
+}
+
+impl BenchCtx {
+    /// Reads the environment knobs, with an experiment-specific default
+    /// event count.
+    pub fn from_env(default_tuples: usize) -> Self {
+        let tuples = std::env::var("OIJ_BENCH_TUPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_tuples);
+        let scale = std::env::var("OIJ_BENCH_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.05);
+        let threads = std::env::var("OIJ_BENCH_THREADS")
+            .ok()
+            .map(|v| {
+                v.split(',')
+                    .filter_map(|t| t.trim().parse().ok())
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| vec![1, 2, 4, 8, 16]);
+        let out_dir = PathBuf::from(
+            std::env::var("OIJ_BENCH_OUT").unwrap_or_else(|_| "EXPERIMENTS-data".into()),
+        );
+        BenchCtx {
+            tuples,
+            scale,
+            threads,
+            out_dir,
+        }
+    }
+
+    /// Writes a serialisable result under `out_dir/<name>.json`.
+    pub fn save<T: Serialize>(&self, name: &str, value: &T) {
+        if let Err(e) = std::fs::create_dir_all(&self.out_dir) {
+            eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
+            return;
+        }
+        let path = self.out_dir.join(format!("{name}.json"));
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                let json = serde_json::to_string_pretty(value).expect("serialisable");
+                if let Err(e) = f.write_all(json.as_bytes()) {
+                    eprintln!("warning: write {} failed: {e}", path.display());
+                } else {
+                    println!("\n[saved {}]", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: create {} failed: {e}", path.display()),
+        }
+    }
+}
+
+/// Spawns an engine by kind and streams `events` through it.
+pub fn run_engine(
+    kind: EngineKind,
+    query: OijQuery,
+    joiners: usize,
+    instrument: Instrumentation,
+    events: &[Event],
+) -> Result<RunStats> {
+    let mut cfg = EngineConfig::new(query, joiners)?.with_instrument(instrument);
+    if kind == EngineKind::ScaleOijNoInc {
+        cfg = cfg.without_incremental();
+    }
+    run_engine_cfg(kind, cfg, events)
+}
+
+/// Like [`run_engine`] but with a fully custom config.
+pub fn run_engine_cfg(kind: EngineKind, cfg: EngineConfig, events: &[Event]) -> Result<RunStats> {
+    let sink = Sink::null();
+    match kind {
+        EngineKind::KeyOij => drive(KeyOij::spawn(cfg, sink)?, events),
+        EngineKind::ScaleOij | EngineKind::ScaleOijNoInc => {
+            drive(ScaleOij::spawn(cfg, sink)?, events)
+        }
+        EngineKind::SplitJoin => drive(SplitJoin::spawn(cfg, sink)?, events),
+        EngineKind::OpenMldb => {
+            let mut cfg = cfg;
+            cfg.query.emit = EmitMode::Eager; // the baseline's only mode
+            drive(OpenMldbBaseline::spawn(cfg, sink)?, events)
+        }
+    }
+}
+
+fn drive<E: OijEngine>(mut engine: E, events: &[Event]) -> Result<RunStats> {
+    for e in events {
+        engine.push(e.clone())?;
+    }
+    engine.finish()
+}
+
+/// Streams `events` at a fixed wall-clock arrival rate (tuples/second).
+/// Used for latency experiments: the paper's latency CDFs are measured at
+/// each workload's published arrival rate, not at saturation.
+pub fn run_engine_paced(
+    kind: EngineKind,
+    query: OijQuery,
+    joiners: usize,
+    instrument: Instrumentation,
+    events: &[Event],
+    rate: f64,
+) -> Result<RunStats> {
+    let mut cfg = EngineConfig::new(query, joiners)?.with_instrument(instrument);
+    if kind == EngineKind::ScaleOijNoInc {
+        cfg = cfg.without_incremental();
+    }
+    let sink = Sink::null();
+    match kind {
+        EngineKind::KeyOij => drive_paced(KeyOij::spawn(cfg, sink)?, events, rate),
+        EngineKind::ScaleOij | EngineKind::ScaleOijNoInc => {
+            drive_paced(ScaleOij::spawn(cfg, sink)?, events, rate)
+        }
+        EngineKind::SplitJoin => drive_paced(SplitJoin::spawn(cfg, sink)?, events, rate),
+        EngineKind::OpenMldb => {
+            cfg.query.emit = EmitMode::Eager;
+            drive_paced(OpenMldbBaseline::spawn(cfg, sink)?, events, rate)
+        }
+    }
+}
+
+fn drive_paced<E: OijEngine>(mut engine: E, events: &[Event], rate: f64) -> Result<RunStats> {
+    assert!(rate > 0.0, "pacing rate must be positive");
+    let start = std::time::Instant::now();
+    for (i, e) in events.iter().enumerate() {
+        // Re-sync every 32 tuples; sleeping per tuple would be dominated by
+        // timer overhead at realistic rates.
+        if i % 32 == 0 {
+            let target = std::time::Duration::from_secs_f64(i as f64 / rate);
+            let elapsed = start.elapsed();
+            if elapsed < target {
+                std::thread::sleep(target - elapsed);
+            }
+        }
+        engine.push(e.clone())?;
+    }
+    engine.finish()
+}
+
+/// A labelled x/y series, as plotted in the paper's figures.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A figure's worth of series plus metadata, printed and saved as JSON.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Identifier, e.g. `"fig07_lateness"`.
+    pub id: String,
+    /// Human title, e.g. `"Lateness Effect (paper Fig. 7)"`.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form notes (sizing, host caveats).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: &str, title: &str, x_label: &str, y_label: &str) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push(Series {
+            label: label.into(),
+            points,
+        });
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Prints the figure as an aligned text table (x in rows, series in
+    /// columns) and saves it through the context.
+    pub fn finish(&self, ctx: &BenchCtx) {
+        println!("\n=== {} — {} ===", self.id, self.title);
+        print!("{:>16}", self.x_label);
+        for s in &self.series {
+            print!("{:>22}", s.label);
+        }
+        println!("    [{}]", self.y_label);
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.0).collect())
+            .unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            print!("{x:>16.3}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, y)) => print!("{y:>22.3}"),
+                    None => print!("{:>22}", "-"),
+                }
+            }
+            println!();
+        }
+        for n in &self.notes {
+            println!("  note: {n}");
+        }
+        ctx.save(&self.id, self);
+    }
+}
+
+/// Formats a latency histogram as the CDF series the paper plots
+/// (x = latency in ms, y = cumulative fraction), downsampled to the
+/// non-empty buckets.
+pub fn latency_cdf_series(stats: &RunStats) -> Vec<(f64, f64)> {
+    stats
+        .latency
+        .as_ref()
+        .map(|h| {
+            h.cdf()
+                .into_iter()
+                .map(|(ns, frac)| (ns as f64 / 1e6, frac))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oij_common::{Duration, Side, Timestamp, Tuple};
+
+    fn tiny_events(n: u64) -> Vec<Event> {
+        (0..n)
+            .map(|i| {
+                Event::data(
+                    i,
+                    if i % 2 == 0 { Side::Probe } else { Side::Base },
+                    Tuple::new(Timestamp::from_micros(i as i64), i % 4, 1.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_engine_covers_every_kind() {
+        let q = OijQuery::sum_over_preceding(Duration::from_micros(10), Duration::ZERO).unwrap();
+        let events = tiny_events(200);
+        for kind in [
+            EngineKind::KeyOij,
+            EngineKind::ScaleOij,
+            EngineKind::ScaleOijNoInc,
+            EngineKind::SplitJoin,
+            EngineKind::OpenMldb,
+        ] {
+            let stats =
+                run_engine(kind, q.clone(), 2, Instrumentation::none(), &events).unwrap();
+            assert_eq!(stats.input_tuples, 200, "{kind:?}");
+            assert_eq!(stats.results, 100, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn figure_roundtrips_to_json() {
+        let ctx = BenchCtx {
+            tuples: 1,
+            scale: 1.0,
+            threads: vec![1],
+            out_dir: std::env::temp_dir().join("oij-bench-test"),
+        };
+        let mut fig = Figure::new("test_fig", "Test", "x", "y");
+        fig.push_series("a", vec![(1.0, 2.0), (2.0, 4.0)]);
+        fig.note("hello");
+        fig.finish(&ctx);
+        let loaded =
+            std::fs::read_to_string(ctx.out_dir.join("test_fig.json")).expect("saved file");
+        assert!(loaded.contains("\"test_fig\""));
+        assert!(loaded.contains("hello"));
+    }
+
+    #[test]
+    fn paced_run_respects_rate() {
+        let q = OijQuery::sum_over_preceding(
+            oij_common::Duration::from_micros(10),
+            oij_common::Duration::ZERO,
+        )
+        .unwrap();
+        let events = tiny_events(2_000);
+        // 40k tuples/s → 2000 tuples take ≥ 50ms.
+        let stats = run_engine_paced(
+            EngineKind::KeyOij,
+            q,
+            1,
+            Instrumentation::none(),
+            &events,
+            40_000.0,
+        )
+        .unwrap();
+        assert!(
+            stats.elapsed.as_millis() >= 45,
+            "paced run finished too fast: {:?}",
+            stats.elapsed
+        );
+        assert!(stats.throughput <= 45_000.0, "{}", stats.throughput);
+    }
+
+    #[test]
+    fn ctx_env_defaults() {
+        let ctx = BenchCtx::from_env(1234);
+        assert!(ctx.tuples > 0);
+        assert!(!ctx.threads.is_empty());
+    }
+}

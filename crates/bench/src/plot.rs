@@ -1,0 +1,199 @@
+//! Terminal rendering of saved figures.
+//!
+//! The harness writes every figure as JSON under `EXPERIMENTS-data/`; this
+//! module renders them as ASCII line charts so results can be inspected
+//! without leaving the terminal (`cargo run -p oij-bench --bin fig_plot`).
+
+use crate::{Figure, Series};
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct PlotOptions {
+    /// Chart width in columns (plot area, excluding the y-axis gutter).
+    pub width: usize,
+    /// Chart height in rows.
+    pub height: usize,
+    /// Log-scale the x axis (auto-enabled for sweeps spanning ≥ 2 decades).
+    pub log_x: Option<bool>,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        PlotOptions {
+            width: 72,
+            height: 18,
+            log_x: None,
+        }
+    }
+}
+
+/// Marker glyphs cycled across series.
+const MARKS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders a figure as an ASCII chart with a legend.
+pub fn render(fig: &Figure, opts: PlotOptions) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} — {}\n", fig.id, fig.title));
+
+    let points: Vec<&(f64, f64)> = fig.series.iter().flat_map(|s| &s.points).collect();
+    if points.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &&(x, y) in &points {
+        if x.is_finite() {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+        }
+        if y.is_finite() {
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if !x_min.is_finite() || !y_min.is_finite() {
+        out.push_str("  (no finite data)\n");
+        return out;
+    }
+    y_min = y_min.min(0.0).min(y_min); // anchor at zero for magnitudes ≥ 0
+    if y_min > 0.0 {
+        y_min = 0.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let log_x = opts
+        .log_x
+        .unwrap_or(x_min > 0.0 && x_max / x_min.max(f64::MIN_POSITIVE) >= 100.0);
+    let fx = |x: f64| -> f64 {
+        if log_x {
+            (x.max(f64::MIN_POSITIVE)).log10()
+        } else {
+            x
+        }
+    };
+    let (px_min, px_max) = (fx(x_min), fx(x_max));
+    let x_span = (px_max - px_min).max(f64::EPSILON);
+    let y_span = y_max - y_min;
+
+    let mut grid = vec![vec![' '; opts.width]; opts.height];
+    for (si, series) in fig.series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        plot_series(&mut grid, series, mark, |x, y| {
+            let cx = ((fx(x) - px_min) / x_span * (opts.width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / y_span * (opts.height - 1) as f64).round() as usize;
+            (cx.min(opts.width - 1), cy.min(opts.height - 1))
+        });
+    }
+
+    // Paint top-down with a y-axis gutter.
+    for row in (0..opts.height).rev() {
+        let label = if row == opts.height - 1 {
+            format!("{:>10.3e}", y_max)
+        } else if row == 0 {
+            format!("{:>10.3e}", y_min)
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(grid[row].iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push('+');
+    out.push_str(&"-".repeat(opts.width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>11}{:<width$}\n",
+        "",
+        format!(
+            "{}{:.4} .. {:.4}  [{}]",
+            if log_x { "log " } else { "" },
+            x_min,
+            x_max,
+            fig.x_label
+        ),
+        width = opts.width
+    ));
+    for (si, series) in fig.series.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>12} {} = {}\n",
+            "",
+            MARKS[si % MARKS.len()],
+            series.label
+        ));
+    }
+    out
+}
+
+fn plot_series(
+    grid: &mut [Vec<char>],
+    series: &Series,
+    mark: char,
+    to_cell: impl Fn(f64, f64) -> (usize, usize),
+) {
+    for &(x, y) in &series.points {
+        if !x.is_finite() || !y.is_finite() {
+            continue;
+        }
+        let (cx, cy) = to_cell(x, y);
+        grid[cy][cx] = mark;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        let mut f = Figure::new("t", "Test figure", "x", "y");
+        f.push_series("up", vec![(1.0, 1.0), (2.0, 2.0), (4.0, 4.0)]);
+        f.push_series("down", vec![(1.0, 4.0), (2.0, 2.0), (4.0, 1.0)]);
+        f
+    }
+
+    #[test]
+    fn renders_markers_and_legend() {
+        let text = render(&fig(), PlotOptions::default());
+        assert!(text.contains("Test figure"));
+        assert!(text.contains('*'));
+        assert!(text.contains('o'));
+        assert!(text.contains("* = up"));
+        assert!(text.contains("o = down"));
+        assert!(text.contains("[x]"));
+    }
+
+    #[test]
+    fn empty_figure_is_handled() {
+        let f = Figure::new("e", "Empty", "x", "y");
+        let text = render(&f, PlotOptions::default());
+        assert!(text.contains("no data"));
+    }
+
+    #[test]
+    fn log_x_auto_enables_for_wide_sweeps() {
+        let mut f = Figure::new("l", "Log", "keys", "y");
+        f.push_series("s", vec![(10.0, 1.0), (100.0, 2.0), (100_000.0, 3.0)]);
+        let text = render(&f, PlotOptions::default());
+        assert!(text.contains("log "), "{text}");
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut f = Figure::new("c", "Const", "x", "y");
+        f.push_series("s", vec![(1.0, 5.0), (2.0, 5.0)]);
+        let text = render(&f, PlotOptions::default());
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let mut f = Figure::new("n", "NaN", "x", "y");
+        f.push_series("s", vec![(1.0, f64::NAN), (2.0, 3.0)]);
+        let text = render(&f, PlotOptions::default());
+        assert!(text.contains('*'));
+    }
+}

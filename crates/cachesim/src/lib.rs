@@ -1,0 +1,267 @@
+//! # oij-cachesim — software LLC model
+//!
+//! The paper explains two throughput cliffs (Figures 8b and 13d) with
+//! hardware **last-level-cache miss counters**: as the number of unique
+//! keys grows, the per-join touched footprint (`#keys × window`) exceeds
+//! the LLC and misses surge. Reading PMU counters is neither portable nor
+//! possible in many CI environments, so this crate provides the standard
+//! software stand-in: a **set-associative LRU cache simulator** fed with
+//! the tuple-buffer addresses the engines actually touch. The simulator
+//! reproduces the same footprint-driven miss growth, which is all the
+//! paper's argument needs.
+//!
+//! The default geometry matches the paper's Intel Xeon Gold 6252:
+//! 35.75 MB, 11-way, 64-byte lines.
+//!
+//! Engines run with instrumentation **off** by default (zero cost); the
+//! benchmark harness enables it for the two miss-rate figures.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Cache line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Ways per set.
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// The LLC of the paper's evaluation machine (Xeon Gold 6252):
+    /// 35.75 MB, 11-way, 64 B lines.
+    pub fn xeon_gold_6252_llc() -> Self {
+        CacheConfig {
+            size_bytes: 35 * 1024 * 1024 + 768 * 1024, // 35.75 MB
+            line_bytes: 64,
+            associativity: 11,
+        }
+    }
+
+    /// A small cache for tests (4 KiB, 4-way, 64 B lines).
+    pub fn tiny() -> Self {
+        CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 64,
+            associativity: 4,
+        }
+    }
+
+    /// Number of sets implied by the geometry (at least 1).
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.line_bytes * self.associativity)).max(1)
+    }
+}
+
+/// A set-associative LRU cache simulator counting hits and misses.
+///
+/// Not thread-safe by design: each joiner owns one simulator (modelling its
+/// slice of the shared LLC) and the harness sums the counters afterwards.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    line_shift: u32,
+    set_mask: u64,
+    assoc: usize,
+    /// `tags[set * assoc + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl CacheSim {
+    /// Builds a simulator for the given geometry. The set count is rounded
+    /// down to a power of two so set selection is a mask.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(config.associativity > 0, "associativity must be positive");
+        let raw_sets = config.sets();
+        let sets = if raw_sets.is_power_of_two() {
+            raw_sets
+        } else {
+            (raw_sets.next_power_of_two() >> 1).max(1)
+        };
+        CacheSim {
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            assoc: config.associativity,
+            tags: vec![u64::MAX; sets * config.associativity],
+            stamps: vec![0; sets * config.associativity],
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Simulates one access to `addr` covering `bytes` bytes (every covered
+    /// line is accessed). Returns the number of misses incurred.
+    pub fn access(&mut self, addr: usize, bytes: usize) -> u64 {
+        let first = (addr as u64) >> self.line_shift;
+        let last = (addr as u64 + bytes.max(1) as u64 - 1) >> self.line_shift;
+        let mut misses = 0;
+        for line in first..=last {
+            if !self.touch_line(line) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Touches one line address; returns `true` on hit.
+    fn touch_line(&mut self, line: u64) -> bool {
+        self.accesses += 1;
+        self.clock += 1;
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.assoc;
+        let ways = &mut self.tags[base..base + self.assoc];
+
+        // Hit path: refresh LRU stamp.
+        if let Some(way) = ways.iter().position(|&t| t == line) {
+            self.stamps[base + way] = self.clock;
+            return true;
+        }
+
+        // Miss: evict LRU way.
+        self.misses += 1;
+        let lru = (0..self.assoc)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("assoc > 0");
+        self.tags[base + lru] = line;
+        self.stamps[base + lru] = self.clock;
+        false
+    }
+
+    /// Total simulated line accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total simulated misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio (0.0 when idle).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Resets the counters but keeps cache contents (for warmup phases).
+    pub fn reset_counters(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_derivation() {
+        let c = CacheConfig::xeon_gold_6252_llc();
+        // 35.75MB / (64B * 11) = 53248 sets
+        assert_eq!(c.sets(), 53_248);
+        assert_eq!(CacheConfig::tiny().sets(), 16);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut sim = CacheSim::new(CacheConfig::tiny());
+        assert_eq!(sim.access(0x1000, 8), 1); // cold miss
+        assert_eq!(sim.access(0x1000, 8), 0); // hit
+        assert_eq!(sim.access(0x1004, 8), 0); // same line → hit
+        assert_eq!(sim.misses(), 1);
+        assert_eq!(sim.accesses(), 3);
+    }
+
+    #[test]
+    fn access_spanning_lines_touches_each() {
+        let mut sim = CacheSim::new(CacheConfig::tiny());
+        // 128 bytes from a line-aligned address = 2 lines.
+        assert_eq!(sim.access(0x2000, 128), 2);
+        assert_eq!(sim.accesses(), 2);
+        // Unaligned 64B spanning two lines.
+        assert_eq!(sim.access(0x3020, 64), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // tiny: 16 sets, 4 ways, 64B lines. Same set: addresses 64*16 apart.
+        let mut sim = CacheSim::new(CacheConfig::tiny());
+        let stride = 64 * 16;
+        for i in 0..4 {
+            assert_eq!(sim.access(i * stride, 1), 1); // fill set 0
+        }
+        for i in 0..4 {
+            assert_eq!(sim.access(i * stride, 1), 0, "way {i} resident");
+        }
+        assert_eq!(sim.access(4 * stride, 1), 1); // evicts line 0 (LRU)
+        assert_eq!(sim.access(0, 1), 1); // line 0 gone; its refill evicts the next LRU (line 16)
+        assert_eq!(sim.access(4 * stride, 1), 0); // line 64 still resident
+        assert_eq!(sim.access(stride, 1), 1); // line 16 was the second victim
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut sim = CacheSim::new(CacheConfig::tiny());
+        // Touch 16 KiB (4× capacity) cyclically: after warmup every access misses.
+        for _round in 0..4 {
+            for line in 0..256u64 {
+                sim.access((line * 64) as usize, 1);
+            }
+        }
+        sim.reset_counters();
+        for line in 0..256u64 {
+            sim.access((line * 64) as usize, 1);
+        }
+        assert_eq!(sim.miss_ratio(), 1.0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits() {
+        let mut sim = CacheSim::new(CacheConfig::tiny());
+        for _ in 0..2 {
+            for line in 0..32u64 {
+                sim.access((line * 64) as usize, 1); // 2 KiB, fits in 4 KiB
+            }
+        }
+        sim.reset_counters();
+        for line in 0..32u64 {
+            sim.access((line * 64) as usize, 1);
+        }
+        assert_eq!(sim.misses(), 0);
+    }
+
+    #[test]
+    fn footprint_driven_miss_growth() {
+        // The property the paper's Figures 8b/13d rely on: with fixed total
+        // accesses, a larger key footprint produces more misses.
+        let misses_for_keys = |keys: usize| {
+            let mut sim = CacheSim::new(CacheConfig::tiny());
+            let mut x = 1u64;
+            for _ in 0..100_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let key = (x >> 32) as usize % keys;
+                sim.access(key * 256, 64); // each key owns a 256B buffer
+            }
+            sim.misses()
+        };
+        let few = misses_for_keys(8);
+        let many = misses_for_keys(4096);
+        assert!(
+            many > few * 10,
+            "expected strong miss growth: few={few} many={many}"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests: the set-associative LRU simulator must agree with a
+//! naive reference model on arbitrary access traces.
+
+use std::collections::HashMap;
+
+use oij_cachesim::{CacheConfig, CacheSim};
+use proptest::prelude::*;
+
+/// Naive reference: per set, a map line→last-use stamp; evict the smallest
+/// stamp when over capacity.
+struct RefCache {
+    sets: Vec<HashMap<u64, u64>>,
+    set_mask: u64,
+    line_shift: u32,
+    assoc: usize,
+    clock: u64,
+    misses: u64,
+    accesses: u64,
+}
+
+impl RefCache {
+    fn new(config: CacheConfig) -> Self {
+        let raw_sets = config.sets();
+        let sets = if raw_sets.is_power_of_two() {
+            raw_sets
+        } else {
+            (raw_sets.next_power_of_two() >> 1).max(1)
+        };
+        RefCache {
+            sets: vec![HashMap::new(); sets],
+            set_mask: sets as u64 - 1,
+            line_shift: config.line_bytes.trailing_zeros(),
+            assoc: config.associativity,
+            clock: 0,
+            misses: 0,
+            accesses: 0,
+        }
+    }
+
+    fn access(&mut self, addr: usize, bytes: usize) {
+        let first = (addr as u64) >> self.line_shift;
+        let last = (addr as u64 + bytes.max(1) as u64 - 1) >> self.line_shift;
+        for line in first..=last {
+            self.accesses += 1;
+            self.clock += 1;
+            let set = &mut self.sets[(line & self.set_mask) as usize];
+            if set.contains_key(&line) {
+                set.insert(line, self.clock);
+                continue;
+            }
+            self.misses += 1;
+            if set.len() >= self.assoc {
+                let victim = *set
+                    .iter()
+                    .min_by_key(|(_, &stamp)| stamp)
+                    .map(|(line, _)| line)
+                    .expect("non-empty");
+                set.remove(&victim);
+            }
+            set.insert(line, self.clock);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Simulator equals the reference model on random traces over a space
+    /// larger than the cache (forcing evictions).
+    #[test]
+    fn simulator_matches_reference(
+        trace in proptest::collection::vec((0usize..32_768, 1usize..256), 1..2_000),
+    ) {
+        let config = CacheConfig::tiny();
+        let mut sim = CacheSim::new(config);
+        let mut reference = RefCache::new(config);
+        for &(addr, bytes) in &trace {
+            sim.access(addr, bytes);
+            reference.access(addr, bytes);
+        }
+        prop_assert_eq!(sim.accesses(), reference.accesses);
+        prop_assert_eq!(sim.misses(), reference.misses);
+    }
+
+    /// Misses never exceed accesses and replays are deterministic.
+    #[test]
+    fn determinism_and_bounds(
+        trace in proptest::collection::vec((0usize..1_000_000, 1usize..128), 1..500),
+    ) {
+        let run = |t: &[(usize, usize)]| {
+            let mut sim = CacheSim::new(CacheConfig::xeon_gold_6252_llc());
+            for &(a, b) in t {
+                sim.access(a, b);
+            }
+            (sim.accesses(), sim.misses())
+        };
+        let (a1, m1) = run(&trace);
+        let (a2, m2) = run(&trace);
+        prop_assert_eq!((a1, m1), (a2, m2));
+        prop_assert!(m1 <= a1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types shared across the workspace.
+
+use core::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors surfaced by the OIJ engines and front-ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A configuration value is out of range or inconsistent
+    /// (negative offsets, zero joiners, …).
+    InvalidConfig(String),
+    /// SQL text could not be parsed into an OIJ plan.
+    SqlParse {
+        /// Byte offset in the input where parsing failed.
+        offset: usize,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// The engine was asked to do something in the wrong lifecycle state
+    /// (e.g. pushing tuples after flush).
+    InvalidState(String),
+    /// A worker thread terminated abnormally.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::SqlParse { offset, message } => {
+                write!(f, "SQL parse error at byte {offset}: {message}")
+            }
+            Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+            Error::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::InvalidConfig("joiners must be > 0".into());
+        assert!(e.to_string().contains("joiners must be > 0"));
+
+        let e = Error::SqlParse {
+            offset: 12,
+            message: "expected PRECEDING".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("12") && s.contains("PRECEDING"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::InvalidState("x".into()));
+    }
+}

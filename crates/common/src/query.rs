@@ -1,0 +1,242 @@
+//! OIJ query definitions.
+//!
+//! An [`OijQuery`] is the engine-independent description of one online
+//! interval join: the relative window, the lateness bound, the aggregation
+//! to apply to each window, and the emission semantics. It corresponds to
+//! the OpenMLDB SQL in Section II-A of the paper:
+//!
+//! ```sql
+//! SELECT sum(col2) OVER w1 FROM S
+//! WINDOW w1 AS (UNION R PARTITION BY key ORDER BY timestamp
+//!               ROWS_RANGE BETWEEN 1s PRECEDING AND 1s FOLLOWING);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::time::Duration;
+use crate::window::WindowSpec;
+
+/// The aggregation function applied over each base tuple's window.
+///
+/// `Sum`, `Count` and `Avg` are **invertible** (they admit a subtraction
+/// operator and therefore the Subtract-on-Evict incremental path of §V-C);
+/// `Min` and `Max` are non-invertible and are served by the two-stack
+/// aggregator extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggSpec {
+    /// Sum of the probe tuples' `value` column.
+    Sum,
+    /// Number of probe tuples in the window.
+    Count,
+    /// Arithmetic mean of the probe tuples' `value` column.
+    Avg,
+    /// Minimum `value` in the window (non-invertible).
+    Min,
+    /// Maximum `value` in the window (non-invertible).
+    Max,
+}
+
+impl AggSpec {
+    /// Whether the aggregate admits an inverse (`⊖`) and can use
+    /// Subtract-on-Evict incremental maintenance.
+    #[inline]
+    pub const fn is_invertible(self) -> bool {
+        matches!(self, AggSpec::Sum | AggSpec::Count | AggSpec::Avg)
+    }
+
+    /// SQL function name, as accepted by the SQL front-end.
+    #[inline]
+    pub const fn sql_name(self) -> &'static str {
+        match self {
+            AggSpec::Sum => "sum",
+            AggSpec::Count => "count",
+            AggSpec::Avg => "avg",
+            AggSpec::Min => "min",
+            AggSpec::Max => "max",
+        }
+    }
+
+    /// Parses a SQL function name (case-insensitive).
+    pub fn from_sql_name(name: &str) -> Result<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "sum" => Ok(AggSpec::Sum),
+            "count" => Ok(AggSpec::Count),
+            "avg" => Ok(AggSpec::Avg),
+            "min" => Ok(AggSpec::Min),
+            "max" => Ok(AggSpec::Max),
+            other => Err(Error::InvalidConfig(format!(
+                "unsupported aggregation function: {other}"
+            ))),
+        }
+    }
+}
+
+/// When a base tuple's aggregate is emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EmitMode {
+    /// Join the base tuple against the probe buffer **at arrival** and emit
+    /// immediately. This is how Flink's interval join and the paper's
+    /// engines behave: lateness governs retention only, so a probe tuple
+    /// arriving after a matching base tuple is missed. Lowest latency.
+    #[default]
+    Eager,
+    /// Hold each base tuple until the watermark passes `ts + FOL`, then
+    /// join and emit. Exact under any disorder within the lateness bound,
+    /// at the cost of at least `FOL + lateness` of added latency. Used by
+    /// correctness tests against the brute-force oracle.
+    Watermark,
+}
+
+/// A complete online interval join query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OijQuery {
+    /// Relative window and lateness.
+    pub window: WindowSpec,
+    /// Aggregation applied per window.
+    pub agg: AggSpec,
+    /// Emission semantics.
+    pub emit: EmitMode,
+}
+
+impl OijQuery {
+    /// Starts building a query. At minimum the window offsets must be set.
+    pub fn builder() -> OijQueryBuilder {
+        OijQueryBuilder::default()
+    }
+
+    /// Convenience constructor for the common "sum over the last `pre`"
+    /// query shape.
+    pub fn sum_over_preceding(pre: Duration, lateness: Duration) -> Result<Self> {
+        Ok(OijQuery {
+            window: WindowSpec::preceding_only(pre, lateness)?,
+            agg: AggSpec::Sum,
+            emit: EmitMode::Eager,
+        })
+    }
+}
+
+/// Builder for [`OijQuery`].
+///
+/// ```
+/// use oij_common::{OijQuery, AggSpec, EmitMode, Duration};
+///
+/// let q = OijQuery::builder()
+///     .preceding(Duration::from_secs(1))
+///     .following(Duration::from_secs(1))
+///     .lateness(Duration::from_millis(100))
+///     .agg(AggSpec::Sum)
+///     .emit(EmitMode::Eager)
+///     .build()
+///     .unwrap();
+/// assert_eq!(q.window.length(), Duration::from_secs(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OijQueryBuilder {
+    preceding: Duration,
+    following: Duration,
+    lateness: Duration,
+    agg: Option<AggSpec>,
+    emit: EmitMode,
+}
+
+impl OijQueryBuilder {
+    /// Sets the preceding offset `PRE`.
+    pub fn preceding(mut self, d: Duration) -> Self {
+        self.preceding = d;
+        self
+    }
+
+    /// Sets the following offset `FOL`.
+    pub fn following(mut self, d: Duration) -> Self {
+        self.following = d;
+        self
+    }
+
+    /// Sets the lateness bound `l`.
+    pub fn lateness(mut self, d: Duration) -> Self {
+        self.lateness = d;
+        self
+    }
+
+    /// Sets the aggregation function (defaults to `Sum` if unset).
+    pub fn agg(mut self, agg: AggSpec) -> Self {
+        self.agg = Some(agg);
+        self
+    }
+
+    /// Sets the emission mode (defaults to `Eager`).
+    pub fn emit(mut self, emit: EmitMode) -> Self {
+        self.emit = emit;
+        self
+    }
+
+    /// Validates and builds the query.
+    pub fn build(self) -> Result<OijQuery> {
+        Ok(OijQuery {
+            window: WindowSpec::new(self.preceding, self.following, self.lateness)?,
+            agg: self.agg.unwrap_or(AggSpec::Sum),
+            emit: self.emit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invertibility_classification() {
+        assert!(AggSpec::Sum.is_invertible());
+        assert!(AggSpec::Count.is_invertible());
+        assert!(AggSpec::Avg.is_invertible());
+        assert!(!AggSpec::Min.is_invertible());
+        assert!(!AggSpec::Max.is_invertible());
+    }
+
+    #[test]
+    fn sql_name_roundtrip() {
+        for agg in [
+            AggSpec::Sum,
+            AggSpec::Count,
+            AggSpec::Avg,
+            AggSpec::Min,
+            AggSpec::Max,
+        ] {
+            assert_eq!(AggSpec::from_sql_name(agg.sql_name()).unwrap(), agg);
+        }
+        assert_eq!(AggSpec::from_sql_name("SUM").unwrap(), AggSpec::Sum);
+        assert!(AggSpec::from_sql_name("median").is_err());
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let q = OijQuery::builder()
+            .preceding(Duration::from_micros(10))
+            .build()
+            .unwrap();
+        assert_eq!(q.agg, AggSpec::Sum);
+        assert_eq!(q.emit, EmitMode::Eager);
+        assert_eq!(q.window.following, Duration::ZERO);
+    }
+
+    #[test]
+    fn builder_rejects_negative() {
+        assert!(OijQuery::builder()
+            .preceding(Duration::from_micros(-5))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn paper_sql_query_shape() {
+        // BETWEEN 1s PRECEDING AND 1s FOLLOWING
+        let q = OijQuery::builder()
+            .preceding(Duration::from_secs(1))
+            .following(Duration::from_secs(1))
+            .agg(AggSpec::Sum)
+            .build()
+            .unwrap();
+        assert_eq!(q.window.length(), Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,80 @@
+//! Join outputs: one feature row per base tuple.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Timestamp;
+use crate::tuple::Key;
+
+/// The aggregated output produced for one base tuple — a "feature row" in
+/// OpenMLDB terms. The cardinality of an OIJ's output equals the
+/// cardinality of the base stream `S` (paper Definition 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureRow {
+    /// The base tuple's event timestamp.
+    pub ts: Timestamp,
+    /// The base tuple's key.
+    pub key: Key,
+    /// Arrival sequence number of the base tuple (ties output to input for
+    /// exact result comparison in tests).
+    pub seq: u64,
+    /// The window aggregate. `None` when the window matched no probe tuple
+    /// and the aggregate has no identity-valued answer (min/max/avg);
+    /// sum/count report `Some(0.0)` on empty windows.
+    pub agg: Option<f64>,
+    /// How many probe tuples matched the window (used for effectiveness
+    /// accounting and in tests).
+    pub matched: u64,
+}
+
+impl FeatureRow {
+    /// Creates a feature row.
+    pub fn new(ts: Timestamp, key: Key, seq: u64, agg: Option<f64>, matched: u64) -> Self {
+        FeatureRow {
+            ts,
+            key,
+            seq,
+            agg,
+            matched,
+        }
+    }
+
+    /// Compares two rows for aggregate equality within a floating-point
+    /// tolerance, used by tests that compare engines against the oracle.
+    pub fn agg_approx_eq(&self, other: &FeatureRow, eps: f64) -> bool {
+        match (self.agg, other.agg) {
+            (None, None) => true,
+            (Some(a), Some(b)) => {
+                let scale = a.abs().max(b.abs()).max(1.0);
+                (a - b).abs() <= eps * scale
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_tolerates_fp_noise() {
+        let a = FeatureRow::new(Timestamp::from_micros(1), 2, 0, Some(1.0), 3);
+        let b = FeatureRow::new(Timestamp::from_micros(1), 2, 0, Some(1.0 + 1e-12), 3);
+        assert!(a.agg_approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_scales_with_magnitude() {
+        let a = FeatureRow::new(Timestamp::from_micros(1), 2, 0, Some(1e12), 3);
+        let b = FeatureRow::new(Timestamp::from_micros(1), 2, 0, Some(1e12 + 1.0), 3);
+        assert!(a.agg_approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_distinguishes_none() {
+        let a = FeatureRow::new(Timestamp::from_micros(1), 2, 0, None, 0);
+        let b = FeatureRow::new(Timestamp::from_micros(1), 2, 0, Some(0.0), 0);
+        assert!(!a.agg_approx_eq(&b, 1e-9));
+        assert!(a.agg_approx_eq(&a.clone(), 1e-9));
+    }
+}

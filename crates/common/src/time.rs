@@ -1,0 +1,223 @@
+//! Event-time primitives.
+//!
+//! All engines operate on **event time** expressed in microseconds. The
+//! paper's workloads span window lengths from 100 µs (Table V) to 150 s
+//! (Workload B), so microsecond resolution in an `i64` covers every
+//! configuration with ~292 000 years of head-room.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in event time, in microseconds since an arbitrary epoch.
+///
+/// `Timestamp` is a transparent newtype over `i64`: it is `Copy`, totally
+/// ordered, and supports the arithmetic needed for window computation
+/// (`ts - PRE`, `ts + FOL`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Timestamp(pub i64);
+
+/// A span of event time, in microseconds.
+///
+/// Used for window offsets (`PRE`, `FOL`), lateness `l`, and window lengths.
+/// Durations may be zero (e.g. `FOL = 0` for a purely preceding window) but
+/// engine configuration rejects negative spans.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Duration(pub i64);
+
+impl Timestamp {
+    /// The smallest representable timestamp. Used as the initial watermark.
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    /// The largest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    /// Constructs a timestamp from raw microseconds.
+    #[inline]
+    pub const fn from_micros(us: i64) -> Self {
+        Timestamp(us)
+    }
+
+    /// Constructs a timestamp from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: i64) -> Self {
+        Timestamp(ms * 1_000)
+    }
+
+    /// Constructs a timestamp from seconds.
+    #[inline]
+    pub const fn from_secs(s: i64) -> Self {
+        Timestamp(s * 1_000_000)
+    }
+
+    /// Raw microseconds since the epoch.
+    #[inline]
+    pub const fn as_micros(self) -> i64 {
+        self.0
+    }
+
+    /// Saturating addition of a duration: `Timestamp::MAX` on overflow.
+    #[inline]
+    pub const fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// Saturating subtraction of a duration: `Timestamp::MIN` on underflow.
+    #[inline]
+    pub const fn saturating_sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+
+    /// Signed distance `self - other` as a [`Duration`] (saturating).
+    #[inline]
+    pub const fn delta(self, other: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Constructs a duration from raw microseconds.
+    #[inline]
+    pub const fn from_micros(us: i64) -> Self {
+        Duration(us)
+    }
+
+    /// Constructs a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: i64) -> Self {
+        Duration(ms * 1_000)
+    }
+
+    /// Constructs a duration from seconds.
+    #[inline]
+    pub const fn from_secs(s: i64) -> Self {
+        Duration(s * 1_000_000)
+    }
+
+    /// Raw microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> i64 {
+        self.0
+    }
+
+    /// Whether this duration is negative (invalid in configurations).
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Saturating sum of two durations.
+    #[inline]
+    pub const fn saturating_add(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_add(other.0))
+    }
+}
+
+impl core::ops::Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 + d.0)
+    }
+}
+
+impl core::ops::Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 - d.0)
+    }
+}
+
+impl core::ops::Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, other: Timestamp) -> Duration {
+        Duration(self.0 - other.0)
+    }
+}
+
+impl core::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl core::fmt::Display for Duration {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.0 != 0 && self.0 % 1_000_000 == 0 {
+            write!(f, "{}s", self.0 / 1_000_000)
+        } else if self.0 != 0 && self.0 % 1_000 == 0 {
+            write!(f, "{}ms", self.0 / 1_000)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Timestamp::from_secs(2), Timestamp::from_micros(2_000_000));
+        assert_eq!(Timestamp::from_millis(3), Timestamp::from_micros(3_000));
+        assert_eq!(Duration::from_secs(1), Duration::from_micros(1_000_000));
+        assert_eq!(Duration::from_millis(5), Duration::from_micros(5_000));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = Timestamp::from_micros(1_000);
+        let d = Duration::from_micros(250);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn saturating_ops_clamp() {
+        assert_eq!(
+            Timestamp::MAX.saturating_add(Duration::from_micros(1)),
+            Timestamp::MAX
+        );
+        assert_eq!(
+            Timestamp::MIN.saturating_sub(Duration::from_micros(1)),
+            Timestamp::MIN
+        );
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(Duration::from_secs(150).to_string(), "150s");
+        assert_eq!(Duration::from_millis(20).to_string(), "20ms");
+        assert_eq!(Duration::from_micros(100).to_string(), "100us");
+        assert_eq!(Duration::ZERO.to_string(), "0us");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            Timestamp::from_micros(5),
+            Timestamp::MIN,
+            Timestamp::from_micros(-3),
+            Timestamp::MAX,
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Timestamp::MIN,
+                Timestamp::from_micros(-3),
+                Timestamp::from_micros(5),
+                Timestamp::MAX
+            ]
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Stream tuples and stream identity.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::time::Timestamp;
+
+/// A join key. Keys are pre-hashed 64-bit identities; the workload layer maps
+/// application keys (user ids, card numbers, …) onto this space.
+pub type Key = u64;
+
+/// Which of the two joined streams a tuple belongs to.
+///
+/// The paper calls `S` the **base** stream (each of its tuples produces one
+/// output feature row) and `R` the **probe** stream (its tuples populate the
+/// relative windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The base stream `S`: drives window creation, one output per tuple.
+    Base,
+    /// The probe stream `R`: provides the data aggregated inside windows.
+    Probe,
+}
+
+impl Side {
+    /// The opposite stream: the one a tuple of this side joins against.
+    #[inline]
+    pub const fn opposite(self) -> Side {
+        match self {
+            Side::Base => Side::Probe,
+            Side::Probe => Side::Base,
+        }
+    }
+
+    /// Short label used in logs and benchmark output (`"S"` / `"R"`).
+    #[inline]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Side::Base => "S",
+            Side::Probe => "R",
+        }
+    }
+}
+
+/// An input tuple `x = {t, k, p}` (paper Table I), with the payload split
+/// into an aggregatable numeric `value` and an opaque byte `payload`.
+///
+/// The numeric `value` is what window aggregations (sum/avg/min/…) consume;
+/// the `payload` models the rest of the row that a real feature platform
+/// carries along and is never inspected by the engines (it only contributes
+/// realistic memory traffic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Event-time timestamp `t`.
+    pub ts: Timestamp,
+    /// Join key `k`.
+    pub key: Key,
+    /// The numeric column that aggregations read (e.g. `col2` in the paper's
+    /// example SQL).
+    pub value: f64,
+    /// Opaque payload bytes carried through the pipeline.
+    #[serde(skip)]
+    pub payload: Bytes,
+}
+
+impl Tuple {
+    /// Creates a tuple with an empty payload.
+    #[inline]
+    pub fn new(ts: Timestamp, key: Key, value: f64) -> Self {
+        Tuple {
+            ts,
+            key,
+            value,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Creates a tuple carrying payload bytes.
+    #[inline]
+    pub fn with_payload(ts: Timestamp, key: Key, value: f64, payload: Bytes) -> Self {
+        Tuple {
+            ts,
+            key,
+            value,
+            payload,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the cache simulator
+    /// to lay tuples out in its modelled address space.
+    #[inline]
+    pub fn footprint(&self) -> usize {
+        core::mem::size_of::<Tuple>() + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_side_is_involutive() {
+        assert_eq!(Side::Base.opposite(), Side::Probe);
+        assert_eq!(Side::Probe.opposite(), Side::Base);
+        assert_eq!(Side::Base.opposite().opposite(), Side::Base);
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(Side::Base.label(), "S");
+        assert_eq!(Side::Probe.label(), "R");
+    }
+
+    #[test]
+    fn footprint_counts_payload() {
+        let bare = Tuple::new(Timestamp::from_micros(1), 7, 1.0);
+        let fat = Tuple::with_payload(
+            Timestamp::from_micros(1),
+            7,
+            1.0,
+            Bytes::from(vec![0u8; 64]),
+        );
+        assert_eq!(fat.footprint() - bare.footprint(), 64);
+    }
+}

@@ -1,0 +1,243 @@
+//! Relative time windows.
+//!
+//! The OIJ window is **relative**: every base tuple `s` spans its own window
+//! `[s.ts - PRE, s.ts + FOL]` (Definition 2 of the paper). This module
+//! provides the immutable window *specification* ([`WindowSpec`]) and the
+//! concrete per-tuple *instance* ([`Window`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::time::{Duration, Timestamp};
+
+/// The relative window specification `(PRE, FOL)` plus the lateness bound.
+///
+/// `PRE` is the preceding offset, `FOL` the following offset, both relative
+/// to the base tuple's timestamp; `lateness` is the maximum disorder `l` the
+/// engine must tolerate while keeping results exact.
+///
+/// ```
+/// use oij_common::{WindowSpec, Duration, Timestamp};
+///
+/// // "BETWEEN 1s PRECEDING AND CURRENT ROW" with 100 ms lateness
+/// let spec = WindowSpec::new(Duration::from_secs(1), Duration::ZERO, Duration::from_millis(100))
+///     .unwrap();
+/// let w = spec.window_of(Timestamp::from_secs(10));
+/// assert_eq!(w.start, Timestamp::from_secs(9));
+/// assert_eq!(w.end, Timestamp::from_secs(10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Preceding offset `PRE` (how far the window reaches into the past).
+    pub preceding: Duration,
+    /// Following offset `FOL` (how far the window reaches into the future).
+    pub following: Duration,
+    /// Lateness `l`: the maximum admissible event-time disorder.
+    pub lateness: Duration,
+}
+
+impl WindowSpec {
+    /// Creates a validated window spec. All three durations must be
+    /// non-negative and the window must be non-empty (`PRE + FOL ≥ 0` holds
+    /// trivially then; a zero-length window — `PRE = FOL = 0` — is allowed
+    /// and matches probe tuples with exactly the base timestamp).
+    pub fn new(preceding: Duration, following: Duration, lateness: Duration) -> Result<Self> {
+        if preceding.is_negative() {
+            return Err(Error::InvalidConfig(format!(
+                "preceding offset must be non-negative, got {preceding}"
+            )));
+        }
+        if following.is_negative() {
+            return Err(Error::InvalidConfig(format!(
+                "following offset must be non-negative, got {following}"
+            )));
+        }
+        if lateness.is_negative() {
+            return Err(Error::InvalidConfig(format!(
+                "lateness must be non-negative, got {lateness}"
+            )));
+        }
+        Ok(WindowSpec {
+            preceding,
+            following,
+            lateness,
+        })
+    }
+
+    /// A purely preceding window (`FOL = 0`), the most common shape in
+    /// feature engineering ("the last 10 minutes of user behaviour").
+    pub fn preceding_only(preceding: Duration, lateness: Duration) -> Result<Self> {
+        Self::new(preceding, Duration::ZERO, lateness)
+    }
+
+    /// Window length `|w| = PRE + FOL`.
+    #[inline]
+    pub fn length(&self) -> Duration {
+        self.preceding.saturating_add(self.following)
+    }
+
+    /// The concrete window instance of a base tuple with timestamp `ts`.
+    #[inline]
+    pub fn window_of(&self, ts: Timestamp) -> Window {
+        Window {
+            start: ts.saturating_sub(self.preceding),
+            end: ts.saturating_add(self.following),
+        }
+    }
+
+    /// How long a **probe** tuple must be retained past the watermark.
+    ///
+    /// A probe tuple with timestamp `t` can still match a base tuple with
+    /// timestamp up to `t + PRE` (its window reaches back `PRE`), and that
+    /// base tuple may itself arrive up to `lateness` late. The tuple is
+    /// therefore expirable once `watermark > t + PRE + l`.
+    #[inline]
+    pub fn probe_retention(&self) -> Duration {
+        self.preceding.saturating_add(self.lateness)
+    }
+
+    /// How long a **base** tuple must be retained past the watermark
+    /// (relevant in watermark emission mode and for symmetric buffering):
+    /// its window reaches `FOL` into the future and probe tuples may be
+    /// `lateness` late.
+    #[inline]
+    pub fn base_retention(&self) -> Duration {
+        self.following.saturating_add(self.lateness)
+    }
+}
+
+/// A concrete window instance `w_i = (t_i^s, t_i^e)` (paper Definition 1),
+/// **inclusive on both ends** to match Definition 2
+/// (`w_i.start ≤ R_j.timestamp ≤ w_i.end`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Window {
+    /// Start timestamp `t^s` (inclusive).
+    pub start: Timestamp,
+    /// End timestamp `t^e` (inclusive).
+    pub end: Timestamp,
+}
+
+impl Window {
+    /// Whether a probe timestamp falls inside this window.
+    #[inline]
+    pub fn contains(&self, ts: Timestamp) -> bool {
+        self.start <= ts && ts <= self.end
+    }
+
+    /// Window length `|w|`.
+    #[inline]
+    pub fn length(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Whether two windows overlap (share at least one timestamp).
+    #[inline]
+    pub fn overlaps(&self, other: &Window) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+impl core::fmt::Display for Window {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(pre: i64, fol: i64, l: i64) -> WindowSpec {
+        WindowSpec::new(
+            Duration::from_micros(pre),
+            Duration::from_micros(fol),
+            Duration::from_micros(l),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_negative_offsets() {
+        assert!(WindowSpec::new(
+            Duration::from_micros(-1),
+            Duration::ZERO,
+            Duration::ZERO
+        )
+        .is_err());
+        assert!(WindowSpec::new(
+            Duration::ZERO,
+            Duration::from_micros(-1),
+            Duration::ZERO
+        )
+        .is_err());
+        assert!(WindowSpec::new(
+            Duration::ZERO,
+            Duration::ZERO,
+            Duration::from_micros(-1)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn window_of_is_inclusive_both_ends() {
+        let w = spec(2, 1, 0).window_of(Timestamp::from_micros(10));
+        assert!(w.contains(Timestamp::from_micros(8)));
+        assert!(w.contains(Timestamp::from_micros(11)));
+        assert!(!w.contains(Timestamp::from_micros(7)));
+        assert!(!w.contains(Timestamp::from_micros(12)));
+    }
+
+    #[test]
+    fn paper_example_window() {
+        // Figure 3a: window (-2s, 0) over base tuples.
+        let s = spec(2_000_000, 0, 0);
+        let w = s.window_of(Timestamp::from_secs(5));
+        assert_eq!(w.start, Timestamp::from_secs(3));
+        assert_eq!(w.end, Timestamp::from_secs(5));
+        assert_eq!(s.length(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn retention_accounts_for_lateness() {
+        let s = spec(1_000, 500, 250);
+        assert_eq!(s.probe_retention(), Duration::from_micros(1_250));
+        assert_eq!(s.base_retention(), Duration::from_micros(750));
+    }
+
+    #[test]
+    fn zero_length_window_matches_exact_timestamp() {
+        let s = spec(0, 0, 0);
+        let w = s.window_of(Timestamp::from_micros(42));
+        assert!(w.contains(Timestamp::from_micros(42)));
+        assert!(!w.contains(Timestamp::from_micros(41)));
+        assert!(!w.contains(Timestamp::from_micros(43)));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Window {
+            start: Timestamp::from_micros(0),
+            end: Timestamp::from_micros(10),
+        };
+        let b = Window {
+            start: Timestamp::from_micros(10),
+            end: Timestamp::from_micros(20),
+        };
+        let c = Window {
+            start: Timestamp::from_micros(11),
+            end: Timestamp::from_micros(20),
+        };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn saturating_window_at_extremes() {
+        let s = spec(100, 100, 0);
+        let w = s.window_of(Timestamp::MIN);
+        assert_eq!(w.start, Timestamp::MIN);
+        let w = s.window_of(Timestamp::MAX);
+        assert_eq!(w.end, Timestamp::MAX);
+    }
+}

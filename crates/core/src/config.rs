@@ -1,0 +1,225 @@
+//! Engine configuration.
+
+use std::time::Duration as StdDuration;
+
+use oij_cachesim::CacheConfig;
+use oij_common::{Error, OijQuery, Result};
+
+/// What to measure during a run. Everything defaults to **off**: the hot
+/// path then contains no timing calls and no simulator feeds.
+#[derive(Debug, Clone, Default)]
+pub struct Instrumentation {
+    /// Record per-result latency histograms.
+    pub latency: bool,
+    /// Record the lookup/match/other time breakdown (adds two `Instant`
+    /// reads per base tuple).
+    pub breakdown: bool,
+    /// Record effectiveness (matched/visited per base tuple).
+    pub effectiveness: bool,
+    /// Feed tuple-buffer accesses into a per-joiner LLC simulator.
+    pub cache: Option<CacheConfig>,
+    /// Record per-joiner busy-time timelines with this bucket width.
+    pub timeline_bucket: Option<StdDuration>,
+}
+
+impl Instrumentation {
+    /// Everything off (the default): pure throughput runs.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Latency histograms only.
+    pub fn latency() -> Self {
+        Instrumentation {
+            latency: true,
+            ..Self::default()
+        }
+    }
+
+    /// The full profiling set used by the study figures.
+    pub fn full() -> Self {
+        Instrumentation {
+            latency: true,
+            breakdown: true,
+            effectiveness: true,
+            cache: None,
+            timeline_bucket: None,
+        }
+    }
+}
+
+/// Configuration shared by every engine (Scale-OIJ additionally reads the
+/// `partitions`/`schedule_*`/`incremental` knobs).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The query to execute.
+    pub query: OijQuery,
+    /// Number of joiner threads `J`.
+    pub joiners: usize,
+    /// Bounded capacity of each joiner's input channel (backpressure).
+    pub channel_capacity: usize,
+    /// Messages between expiration sweeps on each joiner.
+    pub expire_every: usize,
+    /// Pushes between watermark heartbeats broadcast to all joiners (keeps
+    /// idle joiners' expiration and watermark emission moving).
+    pub heartbeat_every: usize,
+    /// What to measure.
+    pub instrument: Instrumentation,
+
+    /// Scale-OIJ: number of key-hash partitions `P` (power of two).
+    pub partitions: usize,
+    /// Scale-OIJ: dynamic-schedule period (Algorithm 3 cadence).
+    pub schedule_interval: StdDuration,
+    /// Scale-OIJ: minimum unbalancedness improvement `δ` to accept a
+    /// replication step.
+    pub schedule_delta: f64,
+    /// Scale-OIJ: rebalancing floor — the scheduler acts only when the
+    /// estimated unbalancedness exceeds this. Replication is monotone
+    /// (teams never shrink), so without a floor, statistical noise on an
+    /// already-balanced system slowly ratchets every partition onto every
+    /// joiner, multiplying read fan-out for no benefit.
+    pub schedule_floor: f64,
+    /// Scale-OIJ: statistics decay factor `λ` applied after each schedule.
+    pub schedule_decay: f64,
+    /// Scale-OIJ: enable the dynamic schedule (off = static partitioning,
+    /// for ablations).
+    pub dynamic_schedule: bool,
+    /// Scale-OIJ: enable incremental window aggregation (Subtract-on-Evict).
+    pub incremental: bool,
+}
+
+impl EngineConfig {
+    /// A validated config with the defaults used throughout the study.
+    pub fn new(query: OijQuery, joiners: usize) -> Result<Self> {
+        let cfg = EngineConfig {
+            query,
+            joiners,
+            channel_capacity: 4096,
+            expire_every: 256,
+            heartbeat_every: 512,
+            instrument: Instrumentation::none(),
+            partitions: 64,
+            schedule_interval: StdDuration::from_millis(5),
+            schedule_delta: 0.01,
+            schedule_floor: 0.1,
+            schedule_decay: 0.5,
+            dynamic_schedule: true,
+            incremental: true,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Replaces the instrumentation set.
+    pub fn with_instrument(mut self, instrument: Instrumentation) -> Self {
+        self.instrument = instrument;
+        self
+    }
+
+    /// Disables the incremental aggregation path (Scale-OIJ ablation,
+    /// "Scale-OIJ w/o inc" in Figures 17–20).
+    pub fn without_incremental(mut self) -> Self {
+        self.incremental = false;
+        self
+    }
+
+    /// Disables the dynamic schedule (Scale-OIJ ablation: static teams).
+    pub fn without_dynamic_schedule(mut self) -> Self {
+        self.dynamic_schedule = false;
+        self
+    }
+
+    /// Validates invariants; called by constructors and engine spawn.
+    pub fn validate(&self) -> Result<()> {
+        if self.joiners == 0 {
+            return Err(Error::InvalidConfig("joiners must be > 0".into()));
+        }
+        if self.joiners > 1024 {
+            return Err(Error::InvalidConfig(format!(
+                "joiners = {} is unreasonably large",
+                self.joiners
+            )));
+        }
+        if self.channel_capacity == 0 {
+            return Err(Error::InvalidConfig("channel_capacity must be > 0".into()));
+        }
+        if self.expire_every == 0 {
+            return Err(Error::InvalidConfig("expire_every must be > 0".into()));
+        }
+        if self.heartbeat_every == 0 {
+            return Err(Error::InvalidConfig("heartbeat_every must be > 0".into()));
+        }
+        if !self.partitions.is_power_of_two() {
+            return Err(Error::InvalidConfig(format!(
+                "partitions must be a power of two, got {}",
+                self.partitions
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.schedule_decay) {
+            return Err(Error::InvalidConfig(format!(
+                "schedule_decay must be in [0,1], got {}",
+                self.schedule_decay
+            )));
+        }
+        if self.schedule_delta < 0.0 {
+            return Err(Error::InvalidConfig(format!(
+                "schedule_delta must be ≥ 0, got {}",
+                self.schedule_delta
+            )));
+        }
+        if self.schedule_floor < 0.0 {
+            return Err(Error::InvalidConfig(format!(
+                "schedule_floor must be ≥ 0, got {}",
+                self.schedule_floor
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oij_common::Duration;
+
+    fn query() -> OijQuery {
+        OijQuery::sum_over_preceding(Duration::from_micros(100), Duration::ZERO).unwrap()
+    }
+
+    #[test]
+    fn defaults_validate() {
+        let cfg = EngineConfig::new(query(), 4).unwrap();
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.incremental);
+        assert!(cfg.dynamic_schedule);
+    }
+
+    #[test]
+    fn rejects_zero_joiners() {
+        assert!(EngineConfig::new(query(), 0).is_err());
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_partitions() {
+        let mut cfg = EngineConfig::new(query(), 2).unwrap();
+        cfg.partitions = 48;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_decay() {
+        let mut cfg = EngineConfig::new(query(), 2).unwrap();
+        cfg.schedule_decay = 1.5;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let cfg = EngineConfig::new(query(), 2)
+            .unwrap()
+            .without_incremental()
+            .without_dynamic_schedule();
+        assert!(!cfg.incremental);
+        assert!(!cfg.dynamic_schedule);
+    }
+}

@@ -1,0 +1,121 @@
+//! Driver-side bookkeeping shared by all engines.
+//!
+//! Each engine's `push` runs on the caller's thread ("the driver"). This
+//! helper owns the watermark tracker and run timing and converts public
+//! [`Event`]s into internal [`DataMsg`]s.
+
+use std::time::Instant;
+
+use oij_common::{Duration, Error, Event, EventKind, Result, Timestamp, WatermarkTracker};
+
+use crate::message::DataMsg;
+
+/// Watermark + timing state for one run.
+pub(crate) struct Driver {
+    tracker: WatermarkTracker,
+    started: Option<Instant>,
+    pushed: u64,
+    finished: bool,
+}
+
+/// What `Driver::prepare` tells the engine to do with an event.
+pub(crate) enum Prepared {
+    /// Route this data message.
+    Data(DataMsg),
+    /// The event was an input flush marker; stop accepting input.
+    Flush,
+}
+
+impl Driver {
+    pub(crate) fn new(lateness: Duration) -> Self {
+        Driver {
+            tracker: WatermarkTracker::new(lateness),
+            started: None,
+            pushed: 0,
+            finished: false,
+        }
+    }
+
+    /// Converts an incoming event, stamping arrival time and the
+    /// **pre-observation** watermark (see [`DataMsg::watermark`]).
+    pub(crate) fn prepare(&mut self, event: Event) -> Result<Prepared> {
+        if self.finished {
+            return Err(Error::InvalidState("push after finish".into()));
+        }
+        let now = Instant::now();
+        if self.started.is_none() {
+            self.started = Some(now);
+        }
+        match event.kind {
+            EventKind::Flush => Ok(Prepared::Flush),
+            EventKind::Data { side, tuple } => {
+                let watermark = self.tracker.current().time();
+                self.tracker.observe(tuple.ts);
+                self.pushed += 1;
+                Ok(Prepared::Data(DataMsg {
+                    side,
+                    tuple,
+                    seq: event.seq,
+                    arrival: now,
+                    watermark,
+                }))
+            }
+        }
+    }
+
+    /// Marks the run finished; returns `(input_tuples, elapsed)`.
+    pub(crate) fn finish(&mut self) -> Result<(u64, std::time::Duration)> {
+        if self.finished {
+            return Err(Error::InvalidState("finish called twice".into()));
+        }
+        self.finished = true;
+        let elapsed = self
+            .started
+            .map(|s| s.elapsed())
+            .unwrap_or_else(|| std::time::Duration::from_nanos(1));
+        Ok((self.pushed, elapsed))
+    }
+
+    /// The current watermark (diagnostics).
+    #[allow(dead_code)]
+    pub(crate) fn watermark(&self) -> Timestamp {
+        self.tracker.current().time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oij_common::{Side, Tuple};
+
+    fn ev(seq: u64, ts: i64) -> Event {
+        Event::data(
+            seq,
+            Side::Probe,
+            Tuple::new(Timestamp::from_micros(ts), 1, 0.0),
+        )
+    }
+
+    #[test]
+    fn watermark_is_pre_observation() {
+        let mut d = Driver::new(Duration::from_micros(10));
+        let Prepared::Data(m1) = d.prepare(ev(0, 100)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(m1.watermark, Timestamp::MIN); // nothing observed before
+        let Prepared::Data(m2) = d.prepare(ev(1, 200)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(m2.watermark, Timestamp::from_micros(90)); // 100 - 10
+    }
+
+    #[test]
+    fn push_after_finish_errors() {
+        let mut d = Driver::new(Duration::ZERO);
+        d.prepare(ev(0, 1)).unwrap();
+        let (n, _) = d.finish().unwrap();
+        assert_eq!(n, 1);
+        assert!(d.prepare(ev(1, 2)).is_err());
+        assert!(d.finish().is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! The engine interface and run statistics.
+
+use std::time::Duration as StdDuration;
+
+use oij_common::{Event, Result};
+use oij_metrics::{unbalancedness, LatencyHistogram, TimeBreakdown};
+use serde::{Deserialize, Serialize};
+
+use crate::instrument::JoinerReport;
+
+/// Which engine a harness run used (for labeling output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// The Flink-style key-partitioned baseline.
+    KeyOij,
+    /// The paper's proposal with all optimisations on.
+    ScaleOij,
+    /// Scale-OIJ without incremental aggregation.
+    ScaleOijNoInc,
+    /// SplitJoin adapted to OIJ semantics.
+    SplitJoin,
+    /// The OpenMLDB shared-store baseline.
+    OpenMldb,
+}
+
+impl EngineKind {
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::KeyOij => "Key-OIJ",
+            EngineKind::ScaleOij => "Scale-OIJ",
+            EngineKind::ScaleOijNoInc => "Scale-OIJ w/o inc",
+            EngineKind::SplitJoin => "SplitJoin",
+            EngineKind::OpenMldb => "OpenMLDB",
+        }
+    }
+}
+
+/// Common interface of all parallel OIJ engines.
+///
+/// The driver thread feeds arrival-ordered [`Event`]s through
+/// [`push`](Self::push) and terminates the run with
+/// [`finish`](Self::finish), which flushes all workers, joins their threads
+/// and returns the merged [`RunStats`].
+pub trait OijEngine {
+    /// Feeds one event. Blocks when worker channels are full
+    /// (backpressure). Flush events terminate input early.
+    fn push(&mut self, event: Event) -> Result<()>;
+
+    /// Ends the run: flushes workers, joins threads, merges statistics.
+    /// Calling `push` or `finish` again afterwards is an error.
+    fn finish(&mut self) -> Result<RunStats>;
+}
+
+/// Aggregated statistics of one finished run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Input tuples accepted by `push`.
+    pub input_tuples: u64,
+    /// Feature rows emitted.
+    pub results: u64,
+    /// Wall-clock from the first push to the completion of `finish`.
+    pub elapsed: StdDuration,
+    /// `input_tuples / elapsed` (the paper's throughput definition).
+    pub throughput: f64,
+    /// Merged latency histogram (if instrumented).
+    pub latency: Option<LatencyHistogram>,
+    /// Merged time breakdown (if instrumented).
+    pub breakdown: Option<TimeBreakdown>,
+    /// Average effectiveness, Equation 1 (if instrumented).
+    pub effectiveness: Option<f64>,
+    /// Tuples processed per joiner (`W_i`).
+    pub joiner_loads: Vec<u64>,
+    /// Unbalancedness of `joiner_loads`, Equation 2.
+    pub unbalancedness: f64,
+    /// Summed LLC-simulator accesses/misses (if instrumented).
+    pub cache_accesses: u64,
+    /// Summed LLC-simulator misses (if instrumented).
+    pub cache_misses: u64,
+    /// Per-joiner utilisation timelines (if instrumented).
+    pub timelines: Vec<oij_metrics::timeline::UtilizationSeries>,
+    /// Tuples dropped by expiration.
+    pub evicted: u64,
+    /// Tuples that arrived below the watermark (lateness violations).
+    pub late_violations: u64,
+    /// Schedule publications performed (Scale-OIJ only).
+    pub schedule_changes: u64,
+}
+
+impl RunStats {
+    /// Merges per-joiner reports into run-level statistics.
+    pub(crate) fn from_reports(
+        input_tuples: u64,
+        elapsed: StdDuration,
+        reports: Vec<JoinerReport>,
+        schedule_changes: u64,
+    ) -> RunStats {
+        let mut latency: Option<LatencyHistogram> = None;
+        let mut breakdown: Option<TimeBreakdown> = None;
+        let mut eff_sum: Option<oij_metrics::EffectivenessMeter> = None;
+        let mut joiner_loads = Vec::with_capacity(reports.len());
+        let mut results = 0;
+        let mut cache_accesses = 0;
+        let mut cache_misses = 0;
+        let mut timelines = Vec::new();
+        let mut evicted = 0;
+        let mut late_violations = 0;
+
+        for report in reports {
+            results += report.results;
+            let inst = report.instruments;
+            joiner_loads.push(inst.processed);
+            evicted += inst.evicted;
+            late_violations += inst.late_violations;
+            if let Some(h) = inst.latency {
+                match &mut latency {
+                    None => latency = Some(h),
+                    Some(acc) => acc.merge(&h),
+                }
+            }
+            if let Some(b) = inst.breakdown {
+                match &mut breakdown {
+                    None => breakdown = Some(b),
+                    Some(acc) => acc.merge(&b),
+                }
+            }
+            if let Some(e) = inst.effectiveness {
+                match &mut eff_sum {
+                    None => eff_sum = Some(e),
+                    Some(acc) => acc.merge(&e),
+                }
+            }
+            if let Some(c) = inst.cache {
+                cache_accesses += c.accesses();
+                cache_misses += c.misses();
+            }
+            if let Some(t) = inst.timeline {
+                timelines.push(t.finish());
+            }
+        }
+
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let loads_f: Vec<f64> = joiner_loads.iter().map(|&l| l as f64).collect();
+        RunStats {
+            input_tuples,
+            results,
+            elapsed,
+            throughput: input_tuples as f64 / secs,
+            latency,
+            breakdown,
+            effectiveness: eff_sum.map(|e| e.value()),
+            unbalancedness: unbalancedness(&loads_f),
+            joiner_loads,
+            cache_accesses,
+            cache_misses,
+            timelines,
+            evicted,
+            late_violations,
+            schedule_changes,
+        }
+    }
+
+    /// LLC miss ratio over the simulated accesses (0.0 if uninstrumented).
+    pub fn cache_miss_ratio(&self) -> f64 {
+        if self.cache_accesses == 0 {
+            0.0
+        } else {
+            self.cache_misses as f64 / self.cache_accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Instrumentation;
+    use crate::instrument::JoinerInstruments;
+    use std::time::Instant;
+
+    #[test]
+    fn merges_reports() {
+        let origin = Instant::now();
+        let mk = |processed: u64, results: u64| {
+            let mut inst = JoinerInstruments::new(&Instrumentation::full(), origin);
+            inst.processed = processed;
+            inst.record_effectiveness(1, 2);
+            inst.record_latency(origin);
+            JoinerReport {
+                instruments: inst,
+                results,
+            }
+        };
+        let stats = RunStats::from_reports(
+            100,
+            StdDuration::from_millis(10),
+            vec![mk(60, 30), mk(40, 20)],
+            3,
+        );
+        assert_eq!(stats.results, 50);
+        assert_eq!(stats.joiner_loads, vec![60, 40]);
+        assert!(stats.unbalancedness > 0.0);
+        assert_eq!(stats.latency.as_ref().unwrap().count(), 2);
+        assert!((stats.effectiveness.unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.schedule_changes, 3);
+        assert!((stats.throughput - 100.0 / 0.01).abs() / stats.throughput < 0.01);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(EngineKind::KeyOij.label(), "Key-OIJ");
+        assert_eq!(EngineKind::ScaleOij.label(), "Scale-OIJ");
+        assert_eq!(EngineKind::SplitJoin.label(), "SplitJoin");
+    }
+}

@@ -1,0 +1,570 @@
+//! **Key-OIJ** — the Flink-style key-partitioned parallel OIJ baseline
+//! (paper §II-C).
+//!
+//! Every tuple is routed by `hash(key) mod J` to a statically bound joiner.
+//! Each joiner buffers probe tuples per key in **unsorted append vectors**;
+//! every base tuple triggers a **full scan** of its key's buffer, filtering
+//! by the window predicate. Expired tuples are removed by periodic full
+//! sweeps. These three properties are exactly what the paper's study blames
+//! for Key-OIJ's pitfalls:
+//!
+//! 1. lateness forces the buffers to hold (and every scan to wade through)
+//!    out-of-window tuples (Figure 7),
+//! 2. a small key count starves most joiners (Figure 8a),
+//! 3. overlapping windows are recomputed from scratch (Figure 9).
+
+use std::collections::{BTreeMap, HashMap};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+use oij_agg::FullWindowAgg;
+use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestamp};
+
+use crate::config::EngineConfig;
+use crate::driver::{Driver, Prepared};
+use crate::engine::{OijEngine, RunStats};
+use crate::hash_key;
+use crate::instrument::{JoinerInstruments, JoinerReport};
+use crate::message::{DataMsg, Msg};
+use crate::sink::Sink;
+
+/// The Key-OIJ engine. See the [module docs](self).
+pub struct KeyOij {
+    cfg: EngineConfig,
+    driver: Driver,
+    senders: Vec<Sender<Msg>>,
+    handles: Vec<JoinHandle<JoinerReport>>,
+    since_heartbeat: usize,
+    done: bool,
+}
+
+impl KeyOij {
+    /// Spawns the joiner threads and returns the ready engine.
+    pub fn spawn(cfg: EngineConfig, sink: Sink) -> Result<Self> {
+        cfg.validate()?;
+        let origin = Instant::now();
+        let mut senders = Vec::with_capacity(cfg.joiners);
+        let mut handles = Vec::with_capacity(cfg.joiners);
+        for _ in 0..cfg.joiners {
+            let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
+            let worker = KeyJoiner::new(&cfg, sink.clone(), origin);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("key-oij-joiner".into())
+                    .spawn(move || worker.run(rx))
+                    .map_err(|e| Error::InvalidState(format!("spawn failed: {e}")))?,
+            );
+            senders.push(tx);
+        }
+        let lateness = cfg.query.window.lateness;
+        Ok(KeyOij {
+            cfg,
+            driver: Driver::new(lateness),
+            senders,
+            handles,
+            since_heartbeat: 0,
+            done: false,
+        })
+    }
+}
+
+impl OijEngine for KeyOij {
+    fn push(&mut self, event: Event) -> Result<()> {
+        match self.driver.prepare(event)? {
+            Prepared::Flush => Ok(()),
+            Prepared::Data(msg) => {
+                // Static binding: the key's hash picks the joiner, forever.
+                let joiner = (hash_key(msg.tuple.key) % self.cfg.joiners as u64) as usize;
+                let watermark = msg.watermark;
+                self.senders[joiner]
+                    .send(Msg::Data(Box::new(msg)))
+                    .map_err(|_| Error::WorkerPanic("key-oij joiner hung up".into()))?;
+                self.since_heartbeat += 1;
+                if self.since_heartbeat >= self.cfg.heartbeat_every {
+                    self.since_heartbeat = 0;
+                    for tx in &self.senders {
+                        tx.send(Msg::Heartbeat(watermark))
+                            .map_err(|_| Error::WorkerPanic("key-oij joiner hung up".into()))?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Result<RunStats> {
+        if self.done {
+            return Err(Error::InvalidState("finish called twice".into()));
+        }
+        self.done = true;
+        for tx in &self.senders {
+            tx.send(Msg::Flush)
+                .map_err(|_| Error::WorkerPanic("key-oij joiner hung up".into()))?;
+        }
+        self.senders.clear();
+        let mut reports = Vec::with_capacity(self.handles.len());
+        for handle in self.handles.drain(..) {
+            reports.push(
+                handle
+                    .join()
+                    .map_err(|_| Error::WorkerPanic("key-oij joiner panicked".into()))?,
+            );
+        }
+        let (input, elapsed) = self.driver.finish()?;
+        Ok(RunStats::from_reports(input, elapsed, reports, 0))
+    }
+}
+
+impl Drop for KeyOij {
+    fn drop(&mut self) {
+        // Unblock workers if the engine is dropped without finish().
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A probe tuple as stored in Key-OIJ's unsorted buffers.
+#[derive(Clone, Copy)]
+struct Stored {
+    ts: i64,
+    value: f64,
+}
+
+/// One Key-OIJ worker thread's state.
+struct KeyJoiner {
+    cfg: EngineConfig,
+    sink: Sink,
+    inst: JoinerInstruments,
+    /// Per-key unsorted probe buffers (the paper's "buffer").
+    probes: HashMap<Key, Vec<Stored>>,
+    /// Watermark mode: pending base tuples keyed by (emit_ts, seq).
+    pending: BTreeMap<(i64, u64), PendingBase>,
+    /// Scratch for the breakdown-instrumented two-phase scan.
+    scratch: Vec<f64>,
+    results: u64,
+    since_expire: usize,
+    last_wm: Timestamp,
+}
+
+struct PendingBase {
+    key: Key,
+    ts: Timestamp,
+    arrival: Instant,
+}
+
+impl KeyJoiner {
+    fn new(cfg: &EngineConfig, sink: Sink, origin: Instant) -> Self {
+        KeyJoiner {
+            inst: JoinerInstruments::new(&cfg.instrument, origin),
+            cfg: cfg.clone(),
+            sink,
+            probes: HashMap::new(),
+            pending: BTreeMap::new(),
+            scratch: Vec::new(),
+            results: 0,
+            since_expire: 0,
+            last_wm: Timestamp::MIN,
+        }
+    }
+
+    fn run(mut self, rx: Receiver<Msg>) -> JoinerReport {
+        let timeline_on = self.inst.timeline.is_some();
+        for msg in rx {
+            match msg {
+                Msg::Flush => break,
+                Msg::Heartbeat(wm) => {
+                    // Key-OIJ is single-owner per key: a heartbeat only
+                    // refreshes the expiration watermark.
+                    self.last_wm = self.last_wm.max(wm);
+                    if self.cfg.query.emit == EmitMode::Watermark {
+                        self.drain_pending(self.last_wm);
+                    }
+                }
+                Msg::Data(data) => {
+                    let busy_start = timeline_on.then(Instant::now);
+                    self.handle(*data);
+                    if let Some(s) = busy_start {
+                        self.inst.record_busy(s);
+                    }
+                }
+            }
+        }
+        // End of input: everything is buffered, so all pending bases are
+        // complete — drain them at an infinite watermark.
+        self.drain_pending(Timestamp::MAX);
+        JoinerReport {
+            instruments: self.inst,
+            results: self.results,
+        }
+    }
+
+    fn handle(&mut self, msg: DataMsg) {
+        self.inst.processed += 1;
+        self.last_wm = msg.watermark;
+        if msg.tuple.ts < msg.watermark {
+            self.inst.late_violations += 1;
+        }
+        match msg.side {
+            Side::Probe => {
+                let buf = self.probes.entry(msg.tuple.key).or_default();
+                buf.push(Stored {
+                    ts: msg.tuple.ts.as_micros(),
+                    value: msg.tuple.value,
+                });
+                if self.inst.cache.is_some() {
+                    let addr =
+                        buf.as_ptr() as usize + (buf.len() - 1) * std::mem::size_of::<Stored>();
+                    self.inst.record_access(addr, std::mem::size_of::<Stored>());
+                }
+            }
+            Side::Base => match self.cfg.query.emit {
+                EmitMode::Eager => self.join_and_emit(
+                    msg.tuple.key,
+                    msg.tuple.ts,
+                    msg.seq,
+                    msg.arrival,
+                ),
+                EmitMode::Watermark => {
+                    let emit_ts = msg.tuple.ts + self.cfg.query.window.following;
+                    self.pending.insert(
+                        (emit_ts.as_micros(), msg.seq),
+                        PendingBase {
+                            key: msg.tuple.key,
+                            ts: msg.tuple.ts,
+                            arrival: msg.arrival,
+                        },
+                    );
+                }
+            },
+        }
+        if self.cfg.query.emit == EmitMode::Watermark {
+            self.drain_pending(msg.watermark);
+        }
+        self.since_expire += 1;
+        if self.since_expire >= self.cfg.expire_every {
+            self.since_expire = 0;
+            self.expire();
+        }
+    }
+
+    /// Emits pending base tuples whose windows closed below `watermark`.
+    fn drain_pending(&mut self, watermark: Timestamp) {
+        while let Some(entry) = self.pending.first_entry() {
+            if entry.key().0 > watermark.as_micros() {
+                break;
+            }
+            let ((_, seq), base) = entry.remove_entry();
+            self.join_and_emit(base.key, base.ts, seq, base.arrival);
+        }
+    }
+
+    /// The Key-OIJ join: full scan of the key's unsorted buffer.
+    fn join_and_emit(&mut self, key: Key, ts: Timestamp, seq: u64, arrival: Instant) {
+        let window = self.cfg.query.window.window_of(ts);
+        let (lo, hi) = (window.start.as_micros(), window.end.as_micros());
+        let spec = self.cfg.query.agg;
+        let mut agg = FullWindowAgg::new(spec);
+        let mut visited = 0u64;
+
+        if let Some(buf) = self.probes.get(&key) {
+            visited = buf.len() as u64;
+            let base_addr = buf.as_ptr() as usize;
+            if let Some(cache) = self.inst.cache.as_mut() {
+                // Instrumented scan: feed every slot touch into the LLC
+                // model, then aggregate as usual.
+                for (i, s) in buf.iter().enumerate() {
+                    cache.access(base_addr + i * std::mem::size_of::<Stored>(), 16);
+                    if s.ts >= lo && s.ts <= hi {
+                        agg.add(s.value);
+                    }
+                }
+            } else if self.inst.wants_breakdown() {
+                // Two-phase scan so lookup and match are timed separately,
+                // mirroring the paper's Figure 6 categories.
+                let t0 = Instant::now();
+                self.scratch.clear();
+                for s in buf {
+                    if s.ts >= lo && s.ts <= hi {
+                        self.scratch.push(s.value);
+                    }
+                }
+                let t1 = Instant::now();
+                for &v in &self.scratch {
+                    agg.add(v);
+                }
+                let t2 = Instant::now();
+                self.inst.add_breakdown(
+                    t1.duration_since(t0).as_nanos() as u64,
+                    t2.duration_since(t1).as_nanos() as u64,
+                    0,
+                );
+            } else {
+                for s in buf {
+                    if s.ts >= lo && s.ts <= hi {
+                        agg.add(s.value);
+                    }
+                }
+            }
+        }
+
+        let matched = agg.count();
+        self.inst.record_effectiveness(matched, visited);
+        self.sink
+            .emit(FeatureRow::new(ts, key, seq, agg.finish(), matched));
+        self.results += 1;
+        self.inst.record_latency(arrival);
+    }
+
+    /// Periodic expiration sweep: full scans over every buffer (Key-OIJ has
+    /// no order to exploit).
+    fn expire(&mut self) {
+        if self.last_wm == Timestamp::MIN {
+            return;
+        }
+        // A probe at `t` can still serve a lateness-compliant base `s ≥ wm`
+        // whose window starts at `s − PRE`; pending bases reach back a
+        // further FOL. Keep `t ≥ wm − PRE − FOL`.
+        let bound = self
+            .last_wm
+            .saturating_sub(self.cfg.query.window.length())
+            .as_micros();
+        let other_t0 = self.inst.wants_breakdown().then(Instant::now);
+        let mut evicted = 0u64;
+        for buf in self.probes.values_mut() {
+            let before = buf.len();
+            buf.retain(|s| s.ts >= bound);
+            evicted += (before - buf.len()) as u64;
+        }
+        self.inst.evicted += evicted;
+        if let Some(t0) = other_t0 {
+            self.inst.add_breakdown(0, 0, t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oij_common::{AggSpec, Duration, OijQuery, Tuple};
+
+    fn query(pre: i64, lateness: i64, emit: EmitMode) -> OijQuery {
+        OijQuery::builder()
+            .preceding(Duration::from_micros(pre))
+            .lateness(Duration::from_micros(lateness))
+            .agg(AggSpec::Sum)
+            .emit(emit)
+            .build()
+            .unwrap()
+    }
+
+    fn ev(seq: u64, side: Side, ts: i64, key: Key, value: f64) -> Event {
+        Event::data(seq, side, Tuple::new(Timestamp::from_micros(ts), key, value))
+    }
+
+    #[test]
+    fn single_joiner_matches_eager_oracle() {
+        let q = query(100, 50, EmitMode::Eager);
+        let mut events = Vec::new();
+        let mut x = 3u64;
+        for i in 0..2000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let side = if x % 3 == 0 { Side::Base } else { Side::Probe };
+            events.push(ev(i, side, i as i64 * 2, x % 5, (x % 50) as f64));
+        }
+        let oracle_rows = crate::oracle::Oracle::new(q.clone()).run(&events);
+
+        let (sink, rows) = Sink::collect();
+        let mut engine = KeyOij::spawn(EngineConfig::new(q, 1).unwrap(), sink).unwrap();
+        for e in &events {
+            engine.push(e.clone()).unwrap();
+        }
+        let stats = engine.finish().unwrap();
+        let mut got = rows.lock().unwrap().clone();
+        got.sort_by_key(|r| r.seq);
+        assert_eq!(stats.results as usize, oracle_rows.len());
+        assert_eq!(got.len(), oracle_rows.len());
+        for (g, o) in got.iter().zip(&oracle_rows) {
+            assert_eq!(g.seq, o.seq);
+            assert_eq!(g.matched, o.matched, "seq {}", g.seq);
+            assert!(g.agg_approx_eq(o, 1e-9), "seq {}: {:?} vs {:?}", g.seq, g.agg, o.agg);
+        }
+    }
+
+    #[test]
+    fn multi_joiner_matches_eager_oracle_in_order() {
+        // With in-order streams, key partitioning preserves per-key order,
+        // so any J matches the oracle exactly.
+        let q = query(60, 0, EmitMode::Eager);
+        let mut events = Vec::new();
+        let mut x = 11u64;
+        for i in 0..3000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let side = if x % 2 == 0 { Side::Base } else { Side::Probe };
+            events.push(ev(i, side, i as i64, x % 16, (x % 10) as f64));
+        }
+        let oracle_rows = crate::oracle::Oracle::new(q.clone()).run(&events);
+
+        let (sink, rows) = Sink::collect();
+        let mut engine = KeyOij::spawn(EngineConfig::new(q, 4).unwrap(), sink).unwrap();
+        for e in &events {
+            engine.push(e.clone()).unwrap();
+        }
+        engine.finish().unwrap();
+        let mut got = rows.lock().unwrap().clone();
+        got.sort_by_key(|r| r.seq);
+        assert_eq!(got.len(), oracle_rows.len());
+        for (g, o) in got.iter().zip(&oracle_rows) {
+            assert!(g.agg_approx_eq(o, 1e-9), "seq {}", g.seq);
+        }
+    }
+
+    #[test]
+    fn watermark_mode_is_exact_under_disorder() {
+        let q = query(80, 200, EmitMode::Watermark);
+        // Build a disordered feed: jitter arrival by ≤ 200µs.
+        let mut staged: Vec<(i64, Side, Tuple)> = Vec::new();
+        let mut x = 17u64;
+        for i in 0..4000i64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let side = if x % 3 == 0 { Side::Base } else { Side::Probe };
+            let jitter = (x >> 7) as i64 % 200;
+            staged.push((
+                i + jitter,
+                side,
+                Tuple::new(Timestamp::from_micros(i), x % 8, (x % 30) as f64),
+            ));
+        }
+        staged.sort_by_key(|(a, _, _)| *a);
+        let events: Vec<Event> = staged
+            .into_iter()
+            .enumerate()
+            .map(|(s, (_, side, t))| Event::data(s as u64, side, t))
+            .collect();
+
+        let oracle_rows = crate::oracle::Oracle::new(q.clone()).run(&events);
+        let (sink, rows) = Sink::collect();
+        let mut engine = KeyOij::spawn(EngineConfig::new(q, 4).unwrap(), sink).unwrap();
+        for e in &events {
+            engine.push(e.clone()).unwrap();
+        }
+        engine.finish().unwrap();
+        let mut got = rows.lock().unwrap().clone();
+        got.sort_by_key(|r| r.seq);
+        let mut want = oracle_rows.clone();
+        want.sort_by_key(|r| r.seq);
+        assert_eq!(got.len(), want.len());
+        for (g, o) in got.iter().zip(&want) {
+            assert_eq!(g.matched, o.matched, "seq {}", g.seq);
+            assert!(g.agg_approx_eq(o, 1e-9), "seq {}", g.seq);
+        }
+    }
+
+    #[test]
+    fn expiration_keeps_results_correct() {
+        // Aggressive expiration (every message) must not change results on
+        // a lateness-compliant stream.
+        let q = query(50, 20, EmitMode::Eager);
+        let mut cfg = EngineConfig::new(q.clone(), 2).unwrap();
+        cfg.expire_every = 1;
+        let mut events = Vec::new();
+        for i in 0..2000u64 {
+            let side = if i % 2 == 0 { Side::Probe } else { Side::Base };
+            events.push(ev(i, side, i as i64 * 3, i % 4, 1.0));
+        }
+        let oracle_rows = crate::oracle::Oracle::new(q).run(&events);
+        let (sink, rows) = Sink::collect();
+        let mut engine = KeyOij::spawn(cfg, sink).unwrap();
+        for e in &events {
+            engine.push(e.clone()).unwrap();
+        }
+        let stats = engine.finish().unwrap();
+        assert!(stats.evicted > 0, "expiration must actually run");
+        let mut got = rows.lock().unwrap().clone();
+        got.sort_by_key(|r| r.seq);
+        for (g, o) in got.iter().zip(&oracle_rows) {
+            assert!(g.agg_approx_eq(o, 1e-9), "seq {}", g.seq);
+        }
+    }
+
+    #[test]
+    fn loads_concentrate_with_few_keys() {
+        // The paper's Figure 8 pathology: 2 keys on 4 joiners leaves at
+        // least two joiners idle.
+        let q = query(50, 0, EmitMode::Eager);
+        let (sink, _) = Sink::collect();
+        let mut engine = KeyOij::spawn(EngineConfig::new(q, 4).unwrap(), sink).unwrap();
+        for i in 0..1000u64 {
+            engine
+                .push(ev(i, Side::Probe, i as i64, i % 2, 1.0))
+                .unwrap();
+        }
+        let stats = engine.finish().unwrap();
+        let idle = stats.joiner_loads.iter().filter(|&&l| l == 0).count();
+        assert!(idle >= 2, "loads: {:?}", stats.joiner_loads);
+        assert!(stats.unbalancedness > 0.5);
+    }
+
+    #[test]
+    fn breakdown_and_latency_instrumentation_populate() {
+        use crate::config::Instrumentation;
+        let q = query(200, 50, EmitMode::Eager);
+        let cfg = EngineConfig::new(q, 2)
+            .unwrap()
+            .with_instrument(Instrumentation::full());
+        let (sink, _) = Sink::collect();
+        let mut engine = KeyOij::spawn(cfg, sink).unwrap();
+        let mut bases = 0u64;
+        for i in 0..4000u64 {
+            let side = if i % 2 == 0 { Side::Probe } else { Side::Base };
+            if side == Side::Base {
+                bases += 1;
+            }
+            engine.push(ev(i, side, i as i64, i % 3, 1.0)).unwrap();
+        }
+        let stats = engine.finish().unwrap();
+        let b = stats.breakdown.expect("breakdown on");
+        assert!(b.lookup_ns > 0, "lookup time recorded");
+        assert!(b.match_ns > 0, "match time recorded");
+        let lat = stats.latency.expect("latency on");
+        assert_eq!(lat.count(), bases);
+        assert!(lat.mean_ns() > 0.0);
+        let eff = stats.effectiveness.expect("effectiveness on");
+        assert!(eff > 0.0 && eff <= 1.0);
+    }
+
+    #[test]
+    fn cache_sim_counts_buffer_traffic() {
+        use crate::config::Instrumentation;
+        use oij_cachesim::CacheConfig;
+        let q = query(500, 0, EmitMode::Eager);
+        let cfg = EngineConfig::new(q, 1).unwrap().with_instrument(Instrumentation {
+            cache: Some(CacheConfig::tiny()),
+            ..Instrumentation::none()
+        });
+        let (sink, _) = Sink::collect();
+        let mut engine = KeyOij::spawn(cfg, sink).unwrap();
+        for i in 0..4000u64 {
+            let side = if i % 2 == 0 { Side::Probe } else { Side::Base };
+            engine.push(ev(i, side, i as i64, 1, 1.0)).unwrap();
+        }
+        let stats = engine.finish().unwrap();
+        assert!(stats.cache_accesses > 0);
+        assert!(stats.cache_misses > 0);
+        assert!(stats.cache_miss_ratio() > 0.0 && stats.cache_miss_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn push_after_finish_errors() {
+        let q = query(10, 0, EmitMode::Eager);
+        let (sink, _) = Sink::collect();
+        let mut engine = KeyOij::spawn(EngineConfig::new(q, 1).unwrap(), sink).unwrap();
+        engine.push(ev(0, Side::Probe, 1, 1, 1.0)).unwrap();
+        engine.finish().unwrap();
+        assert!(engine.push(ev(1, Side::Probe, 2, 1, 1.0)).is_err());
+        assert!(engine.finish().is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! Internal driver → joiner channel messages.
+
+use std::time::Instant;
+
+use oij_common::{Side, Timestamp, Tuple};
+
+/// One unit of work handed to a joiner.
+#[derive(Debug, Clone)]
+pub(crate) enum Msg {
+    /// A data tuple.
+    Data(Box<DataMsg>),
+    /// Periodic watermark broadcast so that joiners receiving little or no
+    /// data still advance their published progress (enabling expiration
+    /// and watermark-mode emission on their teammates).
+    Heartbeat(Timestamp),
+    /// End of input. After receiving this a joiner drains its pending
+    /// state and reports its statistics.
+    Flush,
+}
+
+/// The payload of a data message. Boxed to keep the channel slot small.
+#[derive(Debug, Clone)]
+pub(crate) struct DataMsg {
+    /// Which stream the tuple belongs to.
+    pub side: Side,
+    /// The tuple.
+    pub tuple: Tuple,
+    /// Global arrival sequence number.
+    pub seq: u64,
+    /// Wall-clock instant the driver accepted the tuple (latency anchor).
+    pub arrival: Instant,
+    /// The driver's watermark **before** observing this tuple. Joiners use
+    /// it for expiration and, in watermark emission mode, for deciding when
+    /// pending base tuples are complete. Pre-observation semantics make
+    /// `tuple.ts > watermark + lateness` the exact "this tuple advances the
+    /// maximum" test (see Scale-OIJ's late-insert hint).
+    pub watermark: Timestamp,
+}

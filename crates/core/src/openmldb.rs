@@ -1,0 +1,371 @@
+//! **OpenMLDB baseline** — the unmodified feature-store execution path the
+//! paper compares against in §V-E (Figures 22–23).
+//!
+//! OpenMLDB's online engine is a read-optimised in-memory store: ordered
+//! per-key time series, shared by all processing threads. Two properties
+//! make it struggle with streams, both modelled here:
+//!
+//! 1. **Shared-state insertion**: "all the processing threads share the
+//!    same data structure; thus insertion will become a potential
+//!    performance bottleneck". We model the store as one map behind a
+//!    writer-exclusive `RwLock`: every insert blocks all readers and
+//!    writers.
+//! 2. **No disorder handling**: "it cannot properly handle data
+//!    out-of-order". The paper disables accuracy checking for this
+//!    comparison, so the baseline ignores lateness entirely: tuples join
+//!    against whatever is present (eager), and retention ignores `l`.
+//!
+//! The read path is genuinely good — an ordered scan over a `BTreeMap`
+//! (OpenMLDB's skip-list storage) — which is why the baseline holds up at
+//! low arrival rates (Workload D) and collapses at high ones.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use oij_agg::FullWindowAgg;
+use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestamp};
+
+use crate::config::EngineConfig;
+use crate::driver::{Driver, Prepared};
+use crate::engine::{OijEngine, RunStats};
+use crate::instrument::{JoinerInstruments, JoinerReport};
+use crate::message::{DataMsg, Msg};
+use crate::sink::Sink;
+
+/// The shared store: key → ordered time series of `(ts, seq) → value`.
+type Store = RwLock<HashMap<Key, BTreeMap<(i64, u64), f64>>>;
+
+/// The OpenMLDB-style baseline engine. See the [module docs](self).
+///
+/// Only `EmitMode::Eager` is supported — the store has no watermark
+/// machinery, which is precisely the paper's point.
+pub struct OpenMldbBaseline {
+    driver: Driver,
+    senders: Vec<Sender<Msg>>,
+    handles: Vec<JoinHandle<JoinerReport>>,
+    rr: usize,
+    done: bool,
+}
+
+impl OpenMldbBaseline {
+    /// Spawns the worker threads over one shared store.
+    pub fn spawn(cfg: EngineConfig, sink: Sink) -> Result<Self> {
+        cfg.validate()?;
+        if cfg.query.emit == EmitMode::Watermark {
+            return Err(Error::InvalidConfig(
+                "the OpenMLDB baseline has no out-of-order handling; \
+                 watermark emission is unsupported (paper §V-E)"
+                    .into(),
+            ));
+        }
+        let origin = Instant::now();
+        let store: Arc<Store> = Arc::new(RwLock::new(HashMap::new()));
+        // Deduplicates concurrent expiration sweeps.
+        let expired_to = Arc::new(AtomicI64::new(i64::MIN));
+
+        let mut senders = Vec::with_capacity(cfg.joiners);
+        let mut handles = Vec::with_capacity(cfg.joiners);
+        for id in 0..cfg.joiners {
+            let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
+            let worker = MldbWorker {
+                inst: JoinerInstruments::new(&cfg.instrument, origin),
+                cfg: cfg.clone(),
+                sink: sink.clone(),
+                store: Arc::clone(&store),
+                expired_to: Arc::clone(&expired_to),
+                results: 0,
+                since_expire: 0,
+                last_wm: Timestamp::MIN,
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("openmldb-worker-{id}"))
+                    .spawn(move || worker.run(rx))
+                    .map_err(|e| Error::InvalidState(format!("spawn failed: {e}")))?,
+            );
+            senders.push(tx);
+        }
+        let lateness = cfg.query.window.lateness;
+        Ok(OpenMldbBaseline {
+            driver: Driver::new(lateness),
+            senders,
+            handles,
+            rr: 0,
+            done: false,
+        })
+    }
+}
+
+impl OijEngine for OpenMldbBaseline {
+    fn push(&mut self, event: Event) -> Result<()> {
+        match self.driver.prepare(event)? {
+            Prepared::Flush => Ok(()),
+            Prepared::Data(msg) => {
+                // No key affinity — any thread can serve any request
+                // against the shared store (round-robin dispatch).
+                self.rr = (self.rr + 1) % self.senders.len();
+                self.senders[self.rr]
+                    .send(Msg::Data(Box::new(msg)))
+                    .map_err(|_| Error::WorkerPanic("openmldb worker hung up".into()))
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Result<RunStats> {
+        if self.done {
+            return Err(Error::InvalidState("finish called twice".into()));
+        }
+        self.done = true;
+        for tx in &self.senders {
+            tx.send(Msg::Flush)
+                .map_err(|_| Error::WorkerPanic("openmldb worker hung up".into()))?;
+        }
+        self.senders.clear();
+        let mut reports = Vec::with_capacity(self.handles.len());
+        for handle in self.handles.drain(..) {
+            reports.push(
+                handle
+                    .join()
+                    .map_err(|_| Error::WorkerPanic("openmldb worker panicked".into()))?,
+            );
+        }
+        let (input, elapsed) = self.driver.finish()?;
+        Ok(RunStats::from_reports(input, elapsed, reports, 0))
+    }
+}
+
+impl Drop for OpenMldbBaseline {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct MldbWorker {
+    cfg: EngineConfig,
+    sink: Sink,
+    inst: JoinerInstruments,
+    store: Arc<Store>,
+    expired_to: Arc<AtomicI64>,
+    results: u64,
+    since_expire: usize,
+    last_wm: Timestamp,
+}
+
+impl MldbWorker {
+    fn run(mut self, rx: Receiver<Msg>) -> JoinerReport {
+        let timeline_on = self.inst.timeline.is_some();
+        for msg in rx {
+            match msg {
+                Msg::Flush => break,
+                Msg::Heartbeat(wm) => {
+                    self.last_wm = self.last_wm.max(wm);
+                }
+                Msg::Data(data) => {
+                    let busy_start = timeline_on.then(Instant::now);
+                    self.handle(*data);
+                    if let Some(s) = busy_start {
+                        self.inst.record_busy(s);
+                    }
+                }
+            }
+        }
+        JoinerReport {
+            instruments: self.inst,
+            results: self.results,
+        }
+    }
+
+    fn handle(&mut self, msg: DataMsg) {
+        self.inst.processed += 1;
+        self.last_wm = msg.watermark;
+        if msg.tuple.ts < msg.watermark {
+            self.inst.late_violations += 1;
+        }
+        match msg.side {
+            Side::Probe => {
+                // The bottleneck the paper measures: a writer-exclusive
+                // lock over the whole store per insertion.
+                let mut store = self.store.write();
+                store
+                    .entry(msg.tuple.key)
+                    .or_default()
+                    .insert((msg.tuple.ts.as_micros(), msg.seq), msg.tuple.value);
+            }
+            Side::Base => {
+                self.join_and_emit(msg.tuple.key, msg.tuple.ts, msg.seq, msg.arrival);
+            }
+        }
+        self.since_expire += 1;
+        if self.since_expire >= self.cfg.expire_every {
+            self.since_expire = 0;
+            self.expire();
+        }
+    }
+
+    fn join_and_emit(&mut self, key: Key, ts: Timestamp, seq: u64, arrival: Instant) {
+        let window = self.cfg.query.window.window_of(ts);
+        let (lo, hi) = (window.start.as_micros(), window.end.as_micros());
+        let mut agg = FullWindowAgg::new(self.cfg.query.agg);
+        {
+            // Read path: ordered range scan — OpenMLDB is good at this.
+            let store = self.store.read();
+            if let Some(series) = store.get(&key) {
+                let lookup_t0 = self.inst.wants_breakdown().then(Instant::now);
+                for (_, &v) in series.range((lo, 0)..=(hi, u64::MAX)) {
+                    agg.add(v);
+                }
+                if let Some(t0) = lookup_t0 {
+                    // Ordered scans fuse lookup+match; attribute to lookup.
+                    self.inst
+                        .add_breakdown(t0.elapsed().as_nanos() as u64, 0, 0);
+                }
+            }
+        }
+        let matched = agg.count();
+        self.inst.record_effectiveness(matched, matched);
+        self.sink
+            .emit(FeatureRow::new(ts, key, seq, agg.finish(), matched));
+        self.results += 1;
+        self.inst.record_latency(arrival);
+    }
+
+    fn expire(&mut self) {
+        if self.last_wm == Timestamp::MIN {
+            return;
+        }
+        // No lateness slack — the baseline ignores disorder. Retention is
+        // the window length only.
+        let bound = (self.last_wm + self.cfg.query.window.lateness)
+            .saturating_sub(self.cfg.query.window.length())
+            .as_micros();
+        // Skip if another worker already expired past this bound.
+        if self.expired_to.fetch_max(bound, Ordering::AcqRel) >= bound {
+            return;
+        }
+        let mut evicted = 0u64;
+        let mut store = self.store.write();
+        for series in store.values_mut() {
+            let keep = series.split_off(&(bound, 0));
+            evicted += series.len() as u64;
+            *series = keep;
+        }
+        drop(store);
+        self.inst.evicted += evicted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Oracle;
+    use oij_common::{AggSpec, Duration, OijQuery, Tuple};
+
+    fn query(pre: i64) -> OijQuery {
+        OijQuery::builder()
+            .preceding(Duration::from_micros(pre))
+            .agg(AggSpec::Sum)
+            .build()
+            .unwrap()
+    }
+
+    fn in_order_events(n: u64, keys: u64) -> Vec<Event> {
+        let mut events = Vec::new();
+        let mut x = 41u64;
+        for i in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let side = if x % 3 == 0 { Side::Base } else { Side::Probe };
+            events.push(Event::data(
+                i,
+                side,
+                Tuple::new(Timestamp::from_micros(i as i64), x % keys, (x % 15) as f64),
+            ));
+        }
+        events
+    }
+
+    #[test]
+    fn rejects_watermark_mode() {
+        let q = OijQuery {
+            emit: EmitMode::Watermark,
+            ..query(10)
+        };
+        let (sink, _) = Sink::collect();
+        assert!(OpenMldbBaseline::spawn(EngineConfig::new(q, 1).unwrap(), sink).is_err());
+    }
+
+    #[test]
+    fn single_worker_matches_eager_oracle() {
+        let q = query(80);
+        let events = in_order_events(3000, 5);
+        let want = Oracle::new(q.clone()).run(&events);
+        let (sink, rows) = Sink::collect();
+        let mut engine = OpenMldbBaseline::spawn(EngineConfig::new(q, 1).unwrap(), sink).unwrap();
+        for e in &events {
+            engine.push(e.clone()).unwrap();
+        }
+        let stats = engine.finish().unwrap();
+        assert_eq!(stats.results as usize, want.len());
+        let mut got = rows.lock().unwrap().clone();
+        got.sort_by_key(|r| r.seq);
+        for (g, o) in got.iter().zip(&want) {
+            assert_eq!(g.matched, o.matched, "seq {}", g.seq);
+            assert!(g.agg_approx_eq(o, 1e-9), "seq {}", g.seq);
+        }
+    }
+
+    #[test]
+    fn multi_worker_is_near_oracle_on_in_order_streams() {
+        // The shared store is globally consistent, but round-robin dispatch
+        // means a base may be served before an earlier probe is inserted —
+        // bounded by the in-flight window.
+        let q = query(100);
+        let events = in_order_events(6000, 4);
+        let want = Oracle::new(q.clone()).run(&events);
+        let (sink, rows) = Sink::collect();
+        let mut engine = OpenMldbBaseline::spawn(EngineConfig::new(q, 4).unwrap(), sink).unwrap();
+        for e in &events {
+            engine.push(e.clone()).unwrap();
+        }
+        engine.finish().unwrap();
+        let mut got = rows.lock().unwrap().clone();
+        got.sort_by_key(|r| r.seq);
+        assert_eq!(got.len(), want.len());
+        let close = got
+            .iter()
+            .zip(&want)
+            .filter(|(g, o)| g.matched.abs_diff(o.matched) <= 4)
+            .count();
+        assert!(
+            close as f64 > got.len() as f64 * 0.9,
+            "{close}/{} rows close to oracle",
+            got.len()
+        );
+    }
+
+    #[test]
+    fn expiration_runs_once_per_bound() {
+        let q = query(50);
+        let mut cfg = EngineConfig::new(q, 2).unwrap();
+        cfg.expire_every = 16;
+        let events = in_order_events(4000, 3);
+        let (sink, _) = Sink::collect();
+        let mut engine = OpenMldbBaseline::spawn(cfg, sink).unwrap();
+        for e in &events {
+            engine.push(e.clone()).unwrap();
+        }
+        let stats = engine.finish().unwrap();
+        assert!(stats.evicted > 0);
+        // With retention = window only, storage stays near the window size;
+        // most of the stream must have been evicted.
+        assert!(stats.evicted > events.len() as u64 / 4);
+    }
+}

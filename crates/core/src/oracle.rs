@@ -1,0 +1,216 @@
+//! Brute-force single-threaded reference implementation.
+//!
+//! The oracle computes ground-truth feature rows for both emission modes
+//! and is the yardstick every parallel engine is tested against:
+//!
+//! - **Eager** mode replays events in arrival order and, for each base
+//!   tuple, aggregates the probe tuples *that have already arrived* and lie
+//!   in its window — the semantics of Flink's interval join and of all
+//!   engines in `EmitMode::Eager`.
+//! - **Watermark** mode aggregates, for each base tuple, **all** probe
+//!   tuples in its window regardless of arrival order. Engines in
+//!   `EmitMode::Watermark` must match this exactly whenever the stream's
+//!   disorder respects the lateness bound.
+//!
+//! The oracle never evicts: expiration in the engines only drops tuples
+//! that no lateness-compliant base tuple can still match, so the
+//! no-eviction answer is identical on compliant streams.
+
+use std::collections::BTreeMap;
+
+use oij_common::{EmitMode, Event, FeatureRow, Key, OijQuery, Side};
+use oij_agg::FullWindowAgg;
+
+/// The reference implementation. Construct, feed the whole event feed, and
+/// read the rows.
+pub struct Oracle {
+    query: OijQuery,
+}
+
+impl Oracle {
+    /// Creates an oracle for `query` (its `emit` field selects the mode).
+    pub fn new(query: OijQuery) -> Self {
+        Oracle { query }
+    }
+
+    /// Computes the ground-truth rows for an arrival-ordered event feed.
+    /// Rows are returned in base-tuple arrival order.
+    pub fn run(&self, events: &[Event]) -> Vec<FeatureRow> {
+        match self.query.emit {
+            EmitMode::Eager => self.run_eager(events),
+            EmitMode::Watermark => self.run_watermark(events),
+        }
+    }
+
+    fn run_eager(&self, events: &[Event]) -> Vec<FeatureRow> {
+        let mut probes: BTreeMap<Key, BTreeMap<(i64, u64), f64>> = BTreeMap::new();
+        let mut rows = Vec::new();
+        for event in events {
+            let Some((side, tuple)) = event.as_data() else {
+                continue;
+            };
+            match side {
+                Side::Probe => {
+                    probes
+                        .entry(tuple.key)
+                        .or_default()
+                        .insert((tuple.ts.as_micros(), event.seq), tuple.value);
+                }
+                Side::Base => {
+                    let w = self.query.window.window_of(tuple.ts);
+                    let mut agg = FullWindowAgg::new(self.query.agg);
+                    if let Some(series) = probes.get(&tuple.key) {
+                        for (_, &v) in series
+                            .range((w.start.as_micros(), 0)..=(w.end.as_micros(), u64::MAX))
+                        {
+                            agg.add(v);
+                        }
+                    }
+                    rows.push(FeatureRow::new(
+                        tuple.ts,
+                        tuple.key,
+                        event.seq,
+                        agg.finish(),
+                        agg.count(),
+                    ));
+                }
+            }
+        }
+        rows
+    }
+
+    fn run_watermark(&self, events: &[Event]) -> Vec<FeatureRow> {
+        // Full knowledge: index every probe tuple first.
+        let mut probes: BTreeMap<Key, BTreeMap<(i64, u64), f64>> = BTreeMap::new();
+        for event in events {
+            if let Some((Side::Probe, tuple)) = event.as_data() {
+                probes
+                    .entry(tuple.key)
+                    .or_default()
+                    .insert((tuple.ts.as_micros(), event.seq), tuple.value);
+            }
+        }
+        let mut rows = Vec::new();
+        for event in events {
+            if let Some((Side::Base, tuple)) = event.as_data() {
+                let w = self.query.window.window_of(tuple.ts);
+                let mut agg = FullWindowAgg::new(self.query.agg);
+                if let Some(series) = probes.get(&tuple.key) {
+                    for (_, &v) in
+                        series.range((w.start.as_micros(), 0)..=(w.end.as_micros(), u64::MAX))
+                    {
+                        agg.add(v);
+                    }
+                }
+                rows.push(FeatureRow::new(
+                    tuple.ts,
+                    tuple.key,
+                    event.seq,
+                    agg.finish(),
+                    agg.count(),
+                ));
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oij_common::{AggSpec, Duration, Timestamp, Tuple};
+
+    fn ev(seq: u64, side: Side, ts: i64, key: Key, value: f64) -> Event {
+        Event::data(seq, side, Tuple::new(Timestamp::from_micros(ts), key, value))
+    }
+
+    fn query(pre: i64, emit: EmitMode) -> OijQuery {
+        OijQuery::builder()
+            .preceding(Duration::from_micros(pre))
+            .lateness(Duration::from_micros(1000))
+            .agg(AggSpec::Sum)
+            .emit(emit)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_figure_3a_example() {
+        // Window (-2s, 0); streams from Figure 3a (times in seconds→µs).
+        let s = |t: i64| t * 1_000_000;
+        let events = vec![
+            ev(0, Side::Probe, s(1), 1, 10.0), // r1 @1s
+            ev(1, Side::Base, s(2), 1, 0.0),   // s1 @2s → {r1}
+            ev(2, Side::Probe, s(3), 1, 20.0), // r2 @3s
+            ev(3, Side::Probe, s(5), 1, 30.0), // r3 @5s
+            ev(4, Side::Probe, s(6), 1, 40.0), // r4 @6s
+            ev(5, Side::Base, s(7), 1, 0.0),   // s2 @7s → {r3, r4}
+            ev(6, Side::Probe, s(8), 1, 50.0), // r5 @8s
+            ev(7, Side::Base, s(9), 1, 0.0),   // s3 @9s → {r5} (r4 @6s < 7s)
+        ];
+        let q = OijQuery::builder()
+            .preceding(Duration::from_secs(2))
+            .agg(AggSpec::Sum)
+            .build()
+            .unwrap();
+        let rows = Oracle::new(q).run(&events);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].agg, Some(10.0)); // s1: r1
+        assert_eq!(rows[1].agg, Some(70.0)); // s2: r3+r4
+        assert_eq!(rows[2].agg, Some(50.0)); // s3: r5 only (r4 @6s < 7s)
+    }
+
+    #[test]
+    fn eager_misses_probes_arriving_after_base() {
+        let events = vec![
+            ev(0, Side::Base, 100, 1, 0.0),   // base first
+            ev(1, Side::Probe, 90, 1, 5.0),   // in-window probe arrives late
+        ];
+        let eager = Oracle::new(query(50, EmitMode::Eager)).run(&events);
+        assert_eq!(eager[0].agg, Some(0.0));
+        assert_eq!(eager[0].matched, 0);
+
+        let exact = Oracle::new(query(50, EmitMode::Watermark)).run(&events);
+        assert_eq!(exact[0].agg, Some(5.0));
+        assert_eq!(exact[0].matched, 1);
+    }
+
+    #[test]
+    fn modes_agree_on_in_order_streams() {
+        let mut events = Vec::new();
+        let mut x = 5u64;
+        for i in 0..500u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let side = if x % 2 == 0 { Side::Probe } else { Side::Base };
+            events.push(ev(i, side, i as i64 * 3, x % 4, (x % 100) as f64));
+        }
+        let eager = Oracle::new(query(40, EmitMode::Eager)).run(&events);
+        let exact = Oracle::new(query(40, EmitMode::Watermark)).run(&events);
+        assert_eq!(eager, exact);
+        assert!(!eager.is_empty());
+    }
+
+    #[test]
+    fn keys_never_cross_join() {
+        let events = vec![
+            ev(0, Side::Probe, 10, 1, 100.0),
+            ev(1, Side::Probe, 10, 2, 7.0),
+            ev(2, Side::Base, 12, 2, 0.0),
+        ];
+        let rows = Oracle::new(query(50, EmitMode::Eager)).run(&events);
+        assert_eq!(rows[0].agg, Some(7.0));
+    }
+
+    #[test]
+    fn window_bounds_are_inclusive() {
+        let events = vec![
+            ev(0, Side::Probe, 50, 1, 1.0),  // exactly at window start
+            ev(1, Side::Probe, 100, 1, 2.0), // exactly at base ts
+            ev(2, Side::Probe, 49, 1, 4.0),  // just outside
+            ev(3, Side::Base, 100, 1, 0.0),
+        ];
+        let rows = Oracle::new(query(50, EmitMode::Eager)).run(&events);
+        assert_eq!(rows[0].agg, Some(3.0));
+        assert_eq!(rows[0].matched, 2);
+    }
+}

@@ -1,0 +1,529 @@
+//! **Scale-OIJ** — the paper's proposal (§V).
+//!
+//! Combines the three optimisations:
+//!
+//! 1. **SWMR time-travel index** (§V-A): each joiner owns a double-layer
+//!    skip list; the virtual team reads it lock-free while the owner
+//!    writes. Window boundaries are located in `O(log)` so only in-window
+//!    tuples are visited, making lateness irrelevant to join cost.
+//! 2. **Dynamic balanced schedule** (§V-B, Algorithm 3): keys hash into
+//!    fixed partitions; a scheduler thread periodically replicates hot
+//!    partitions from the most loaded joiner onto the least loaded one and
+//!    publishes the new schedule through an RCU cell. Tuples of a shared
+//!    partition are spread round-robin over the virtual team.
+//! 3. **Incremental window aggregation** (§V-C): per (joiner, key) running
+//!    aggregates advance by `⊖ evicted ⊕ added` delta scans instead of
+//!    full window scans; a per-key late-insert counter invalidates the
+//!    running state when a tuple lands inside the already-covered region.
+//!
+//! ## Cross-joiner safety
+//!
+//! Joiners publish their processed watermark (`progress`); expiration uses
+//! `min(progress) − (PRE + FOL)` so that no tuple still reachable by a
+//! queued base tuple is evicted, and watermark-mode emission uses
+//! `min(progress)` as the completeness frontier. Incremental states fall
+//! back to a full rescan whenever their covered region dips below the
+//! eviction bound or a team member absorbed a late insert.
+
+pub mod schedule;
+
+mod joiner;
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam_channel::{bounded, Sender};
+
+use oij_common::{Error, Event, Result};
+use oij_skiplist::{RcuCell, TimeTravelIndex};
+
+use crate::config::EngineConfig;
+use crate::driver::{Driver, Prepared};
+use crate::engine::{OijEngine, RunStats};
+use crate::hash_key;
+use crate::instrument::JoinerReport;
+use crate::message::Msg;
+use crate::sink::Sink;
+
+use schedule::{rebalance, PartitionStats, Schedule};
+
+/// The Scale-OIJ engine. See the [module docs](self).
+pub struct ScaleOij {
+    cfg: EngineConfig,
+    driver: Driver,
+    senders: Vec<Sender<Msg>>,
+    handles: Vec<JoinHandle<JoinerReport>>,
+    scheduler: Option<JoinHandle<u64>>,
+    stop: Arc<AtomicBool>,
+    schedule: Arc<RcuCell<Schedule>>,
+    stats: Arc<PartitionStats>,
+    /// Driver-cached schedule snapshot (refreshed periodically; stale
+    /// snapshots are safe because teams only grow).
+    sched_cache: Arc<Schedule>,
+    sched_refresh: u32,
+    /// Per-partition round-robin cursors for team-member selection.
+    rr: Vec<u32>,
+    part_mask: u64,
+    since_heartbeat: usize,
+    done: bool,
+}
+
+impl ScaleOij {
+    /// Spawns joiners (each owning one time-travel index), wires every
+    /// reader to every joiner (virtual-team visibility), and starts the
+    /// scheduler thread if the dynamic schedule is enabled.
+    pub fn spawn(cfg: EngineConfig, sink: Sink) -> Result<Self> {
+        cfg.validate()?;
+        let origin = Instant::now();
+        let joiners = cfg.joiners;
+
+        // One SWMR index per joiner; readers shared with everyone.
+        let mut writers = Vec::with_capacity(joiners);
+        let mut readers = Vec::with_capacity(joiners);
+        for j in 0..joiners {
+            let (w, r) = TimeTravelIndex::with_seed((0x5CA1E0 ^ ((j as u64) << 7)) | 1);
+            writers.push(w);
+            readers.push(r);
+        }
+
+        let schedule = Arc::new(RcuCell::new(Schedule::initial(cfg.partitions, joiners)));
+        let stats = Arc::new(PartitionStats::new(cfg.partitions));
+        let progress: Arc<Vec<AtomicI64>> =
+            Arc::new((0..joiners).map(|_| AtomicI64::new(i64::MIN)).collect());
+        let hold: Arc<Vec<AtomicI64>> =
+            Arc::new((0..joiners).map(|_| AtomicI64::new(i64::MIN)).collect());
+        let inc_floor: Arc<Vec<AtomicI64>> =
+            Arc::new((0..joiners).map(|_| AtomicI64::new(i64::MAX)).collect());
+        let barrier = Arc::new(Barrier::new(joiners));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut senders = Vec::with_capacity(joiners);
+        let mut handles = Vec::with_capacity(joiners);
+        for (id, writer) in writers.into_iter().enumerate() {
+            let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
+            let worker = joiner::ScaleJoiner::new(
+                id,
+                &cfg,
+                sink.clone(),
+                origin,
+                writer,
+                readers.clone(),
+                Arc::clone(&schedule),
+                Arc::clone(&progress),
+                Arc::clone(&hold),
+                Arc::clone(&inc_floor),
+                Arc::clone(&barrier),
+            );
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("scale-oij-joiner-{id}"))
+                    .spawn(move || worker.run(rx))
+                    .map_err(|e| Error::InvalidState(format!("spawn failed: {e}")))?,
+            );
+            senders.push(tx);
+        }
+
+        let scheduler = if cfg.dynamic_schedule && joiners > 1 {
+            let schedule = Arc::clone(&schedule);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let interval = cfg.schedule_interval;
+            let delta = cfg.schedule_delta;
+            let floor = cfg.schedule_floor;
+            let decay = cfg.schedule_decay;
+            Some(
+                std::thread::Builder::new()
+                    .name("scale-oij-scheduler".into())
+                    .spawn(move || {
+                        let mut changes = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            std::thread::sleep(interval);
+                            let counts = stats.snapshot();
+                            let current = schedule.load();
+                            // Only intervene above the floor: replication is
+                            // monotone, so acting on noise ratchets fan-out.
+                            if current.unbalancedness(&counts, joiners) > floor {
+                                if let Some(next) =
+                                    rebalance(&current, &counts, joiners, delta)
+                                {
+                                    schedule.replace(next);
+                                    changes += 1;
+                                }
+                            }
+                            stats.decay(decay);
+                        }
+                        changes
+                    })
+                    .map_err(|e| Error::InvalidState(format!("spawn failed: {e}")))?,
+            )
+        } else {
+            None
+        };
+
+        let lateness = cfg.query.window.lateness;
+        let sched_cache = schedule.load();
+        let partitions = cfg.partitions;
+        Ok(ScaleOij {
+            cfg,
+            driver: Driver::new(lateness),
+            senders,
+            handles,
+            scheduler,
+            stop,
+            schedule,
+            stats,
+            sched_cache,
+            sched_refresh: 0,
+            rr: vec![0; partitions],
+            part_mask: (partitions - 1) as u64,
+            since_heartbeat: 0,
+            done: false,
+        })
+    }
+
+    /// The current published schedule (diagnostics / tests).
+    pub fn current_schedule(&self) -> Arc<Schedule> {
+        self.schedule.load()
+    }
+}
+
+impl OijEngine for ScaleOij {
+    fn push(&mut self, event: Event) -> Result<()> {
+        match self.driver.prepare(event)? {
+            Prepared::Flush => Ok(()),
+            Prepared::Data(msg) => {
+                let p = (hash_key(msg.tuple.key) & self.part_mask) as usize;
+                self.stats.bump(p);
+                // Refresh the cached schedule every 128 pushes; a stale
+                // snapshot routes to a subset of the current team, which is
+                // still a valid member (replication-only growth).
+                self.sched_refresh = self.sched_refresh.wrapping_add(1);
+                if self.sched_refresh % 128 == 0 {
+                    self.sched_cache = self.schedule.load();
+                }
+                let team = &self.sched_cache.teams[p];
+                let member = team[(self.rr[p] as usize) % team.len()];
+                self.rr[p] = self.rr[p].wrapping_add(1);
+                let watermark = msg.watermark;
+                self.senders[member]
+                    .send(Msg::Data(Box::new(msg)))
+                    .map_err(|_| Error::WorkerPanic("scale-oij joiner hung up".into()))?;
+                self.since_heartbeat += 1;
+                if self.since_heartbeat >= self.cfg.heartbeat_every {
+                    self.since_heartbeat = 0;
+                    for tx in &self.senders {
+                        tx.send(Msg::Heartbeat(watermark)).map_err(|_| {
+                            Error::WorkerPanic("scale-oij joiner hung up".into())
+                        })?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Result<RunStats> {
+        if self.done {
+            return Err(Error::InvalidState("finish called twice".into()));
+        }
+        self.done = true;
+        // Stop the scheduler first so the schedule is stable during drain.
+        self.stop.store(true, Ordering::Relaxed);
+        let schedule_changes = match self.scheduler.take() {
+            Some(h) => h
+                .join()
+                .map_err(|_| Error::WorkerPanic("scheduler panicked".into()))?,
+            None => 0,
+        };
+        for tx in &self.senders {
+            tx.send(Msg::Flush)
+                .map_err(|_| Error::WorkerPanic("scale-oij joiner hung up".into()))?;
+        }
+        self.senders.clear();
+        let mut reports = Vec::with_capacity(self.handles.len());
+        for handle in self.handles.drain(..) {
+            reports.push(
+                handle
+                    .join()
+                    .map_err(|_| Error::WorkerPanic("scale-oij joiner panicked".into()))?,
+            );
+        }
+        let (input, elapsed) = self.driver.finish()?;
+        Ok(RunStats::from_reports(
+            input,
+            elapsed,
+            reports,
+            schedule_changes,
+        ))
+    }
+}
+
+impl Drop for ScaleOij {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Instrumentation;
+    use crate::keyoij::KeyOij;
+    use crate::oracle::Oracle;
+    use oij_common::{
+        AggSpec, Duration, EmitMode, FeatureRow, OijQuery, Side, Timestamp, Tuple,
+    };
+
+    fn query(pre: i64, lateness: i64, emit: EmitMode) -> OijQuery {
+        OijQuery::builder()
+            .preceding(Duration::from_micros(pre))
+            .lateness(Duration::from_micros(lateness))
+            .agg(AggSpec::Sum)
+            .emit(emit)
+            .build()
+            .unwrap()
+    }
+
+    fn in_order_events(n: u64, keys: u64, base_mod: u64) -> Vec<Event> {
+        let mut events = Vec::new();
+        let mut x = 99u64;
+        for i in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let side = if x % base_mod == 0 {
+                Side::Base
+            } else {
+                Side::Probe
+            };
+            events.push(Event::data(
+                i,
+                side,
+                Tuple::new(Timestamp::from_micros(i as i64), x % keys, (x % 40) as f64),
+            ));
+        }
+        events
+    }
+
+    fn disordered_events(n: i64, keys: u64, jitter_max: i64) -> Vec<Event> {
+        let mut staged: Vec<(i64, Side, Tuple)> = Vec::new();
+        let mut x = 1234u64;
+        for i in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let side = if x % 3 == 0 { Side::Base } else { Side::Probe };
+            let jitter = (x >> 9) as i64 % jitter_max;
+            staged.push((
+                i + jitter,
+                side,
+                Tuple::new(Timestamp::from_micros(i), x % keys, (x % 25) as f64),
+            ));
+        }
+        staged.sort_by_key(|(a, _, _)| *a);
+        staged
+            .into_iter()
+            .enumerate()
+            .map(|(s, (_, side, t))| Event::data(s as u64, side, t))
+            .collect()
+    }
+
+    fn run_scale(cfg: EngineConfig, events: &[Event]) -> (RunStats, Vec<FeatureRow>) {
+        let (sink, rows) = Sink::collect();
+        let mut engine = ScaleOij::spawn(cfg, sink).unwrap();
+        for e in events {
+            engine.push(e.clone()).unwrap();
+        }
+        let stats = engine.finish().unwrap();
+        let mut got = rows.lock().unwrap().clone();
+        got.sort_by_key(|r| r.seq);
+        (stats, got)
+    }
+
+    fn assert_rows_equal(got: &[FeatureRow], want: &[FeatureRow]) {
+        assert_eq!(got.len(), want.len(), "row count");
+        for (g, o) in got.iter().zip(want) {
+            assert_eq!(g.seq, o.seq);
+            assert_eq!(g.matched, o.matched, "seq {}", g.seq);
+            assert!(
+                g.agg_approx_eq(o, 1e-9),
+                "seq {}: {:?} vs {:?}",
+                g.seq,
+                g.agg,
+                o.agg
+            );
+        }
+    }
+
+    #[test]
+    fn single_joiner_eager_matches_oracle() {
+        let q = query(100, 50, EmitMode::Eager);
+        let events = disordered_events(3000, 6, 50);
+        let want = Oracle::new(q.clone()).run(&events);
+        let (stats, got) = run_scale(EngineConfig::new(q, 1).unwrap(), &events);
+        assert_eq!(stats.results as usize, want.len());
+        assert_rows_equal(&got, &want);
+    }
+
+    #[test]
+    fn watermark_mode_is_exact_with_four_joiners_and_disorder() {
+        let q = query(120, 300, EmitMode::Watermark);
+        let events = disordered_events(5000, 4, 300);
+        let want = Oracle::new(q.clone()).run(&events);
+        let (_, got) = run_scale(EngineConfig::new(q, 4).unwrap(), &events);
+        let mut want = want;
+        want.sort_by_key(|r| r.seq);
+        assert_rows_equal(&got, &want);
+    }
+
+    #[test]
+    fn watermark_incremental_equals_non_incremental() {
+        let q = query(200, 150, EmitMode::Watermark);
+        let events = disordered_events(4000, 3, 150);
+        let (_, with_inc) = run_scale(EngineConfig::new(q.clone(), 3).unwrap(), &events);
+        let (_, without) = run_scale(
+            EngineConfig::new(q, 3).unwrap().without_incremental(),
+            &events,
+        );
+        assert_rows_equal(&with_inc, &without);
+    }
+
+    #[test]
+    fn eager_multi_joiner_is_near_oracle() {
+        // The cross-member race makes eager J>1 approximate; the engine may
+        // see slightly fewer (in-flight) or more (arrived-early) probes.
+        let q = query(100, 0, EmitMode::Eager);
+        let events = in_order_events(8000, 8, 3);
+        let eager = Oracle::new(q.clone()).run(&events);
+        let exact = Oracle::new(OijQuery {
+            emit: EmitMode::Watermark,
+            ..q.clone()
+        })
+        .run(&events);
+        let (_, got) = run_scale(EngineConfig::new(q, 4).unwrap(), &events);
+        assert_eq!(got.len(), eager.len());
+        let mut exact_matches = 0usize;
+        for ((g, e), x) in got.iter().zip(&eager).zip(&exact) {
+            assert!(g.matched <= x.matched, "seq {}: engine saw too much", g.seq);
+            if g.matched == e.matched {
+                exact_matches += 1;
+            }
+        }
+        assert!(
+            exact_matches as f64 > got.len() as f64 * 0.8,
+            "only {exact_matches}/{} rows matched the eager oracle",
+            got.len()
+        );
+    }
+
+    #[test]
+    fn dynamic_schedule_balances_few_keys() {
+        // 2 keys on 4 joiners: Key-OIJ leaves ≥2 joiners idle; Scale-OIJ's
+        // replication spreads the load.
+        let q = query(50, 0, EmitMode::Eager);
+        let mut events = Vec::new();
+        for i in 0..60_000u64 {
+            events.push(Event::data(
+                i,
+                if i % 4 == 0 { Side::Base } else { Side::Probe },
+                Tuple::new(Timestamp::from_micros(i as i64), i % 2, 1.0),
+            ));
+        }
+        let mut cfg = EngineConfig::new(q.clone(), 4).unwrap();
+        cfg.schedule_interval = std::time::Duration::from_millis(1);
+        let (scale_stats, _) = run_scale(cfg, &events);
+
+        let (sink, _) = Sink::collect();
+        let mut key = KeyOij::spawn(EngineConfig::new(q, 4).unwrap(), sink).unwrap();
+        for e in &events {
+            key.push(e.clone()).unwrap();
+        }
+        let key_stats = key.finish().unwrap();
+
+        assert!(scale_stats.schedule_changes > 0, "scheduler never acted");
+        assert!(
+            scale_stats.unbalancedness < key_stats.unbalancedness * 0.7,
+            "scale {} vs key {} (loads {:?} vs {:?})",
+            scale_stats.unbalancedness,
+            key_stats.unbalancedness,
+            scale_stats.joiner_loads,
+            key_stats.joiner_loads
+        );
+        let idle = scale_stats.joiner_loads.iter().filter(|&&l| l == 0).count();
+        assert_eq!(idle, 0, "loads: {:?}", scale_stats.joiner_loads);
+    }
+
+    #[test]
+    fn effectiveness_stays_one_under_large_lateness() {
+        // The Figure 11 mechanism: Scale-OIJ's time-travel index never
+        // visits out-of-window tuples, Key-OIJ's full scan does.
+        let q = query(50, 2000, EmitMode::Eager);
+        let events = disordered_events(20_000, 4, 2000);
+
+        let cfg = EngineConfig::new(q.clone(), 2)
+            .unwrap()
+            .without_incremental()
+            .with_instrument(Instrumentation {
+                effectiveness: true,
+                ..Instrumentation::none()
+            });
+        let (scale_stats, _) = run_scale(cfg, &events);
+
+        let (sink, _) = Sink::collect();
+        let key_cfg = EngineConfig::new(q, 2).unwrap().with_instrument(Instrumentation {
+            effectiveness: true,
+            ..Instrumentation::none()
+        });
+        let mut key = KeyOij::spawn(key_cfg, sink).unwrap();
+        for e in &events {
+            key.push(e.clone()).unwrap();
+        }
+        let key_stats = key.finish().unwrap();
+
+        let scale_eff = scale_stats.effectiveness.unwrap();
+        let key_eff = key_stats.effectiveness.unwrap();
+        assert!(scale_eff > 0.999, "scale effectiveness {scale_eff}");
+        assert!(key_eff < 0.5, "key effectiveness {key_eff}");
+    }
+
+    #[test]
+    fn min_max_incremental_two_stack_stays_correct() {
+        // min/max use the two-stack incremental extension (the paper's
+        // future-work item); they must stay exact under disorder, with and
+        // without the incremental path.
+        for agg in [AggSpec::Max, AggSpec::Min] {
+            let mut q = query(80, 100, EmitMode::Watermark);
+            q.agg = agg;
+            let events = disordered_events(3000, 5, 100);
+            let mut want = Oracle::new(q.clone()).run(&events);
+            want.sort_by_key(|r| r.seq);
+            let (_, with_inc) = run_scale(EngineConfig::new(q.clone(), 2).unwrap(), &events);
+            assert_rows_equal(&with_inc, &want);
+            let (_, without) = run_scale(
+                EngineConfig::new(q, 2).unwrap().without_incremental(),
+                &events,
+            );
+            assert_rows_equal(&without, &want);
+        }
+    }
+
+    #[test]
+    fn expiration_under_watermark_mode_stays_exact() {
+        let q = query(60, 100, EmitMode::Watermark);
+        let mut cfg = EngineConfig::new(q.clone(), 3).unwrap();
+        cfg.expire_every = 8;
+        cfg.heartbeat_every = 64;
+        let events = disordered_events(6000, 4, 100);
+        let want = Oracle::new(q).run(&events);
+        let (stats, got) = run_scale(cfg, &events);
+        assert!(stats.evicted > 0, "expiration must have run");
+        let mut want = want;
+        want.sort_by_key(|r| r.seq);
+        assert_rows_equal(&got, &want);
+    }
+}

@@ -1,0 +1,107 @@
+//! Processing-time breakdown (paper Figure 6).
+//!
+//! The paper categorises joiner time as **lookup** (visiting stored tuples
+//! to find the in-window ones), **match** (aggregating the in-window
+//! tuples) and **other** (result writing, structure maintenance, …).
+//! Joiners accumulate nanoseconds into a private `TimeBreakdown`; the
+//! harness merges them after a run.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated per-category processing time, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Time spent locating/visiting stored tuples (filtering to the window).
+    pub lookup_ns: u64,
+    /// Time spent aggregating in-window tuples.
+    pub match_ns: u64,
+    /// Everything else: result emission, insertion, expiration, scheduling.
+    pub other_ns: u64,
+}
+
+impl TimeBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total accounted time.
+    pub fn total_ns(&self) -> u64 {
+        self.lookup_ns + self.match_ns + self.other_ns
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &TimeBreakdown) {
+        self.lookup_ns += other.lookup_ns;
+        self.match_ns += other.match_ns;
+        self.other_ns += other.other_ns;
+    }
+
+    /// `(lookup, match, other)` as fractions of the total (zeros if empty).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let total = self.total_ns();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = total as f64;
+        (
+            self.lookup_ns as f64 / t,
+            self.match_ns as f64 / t,
+            self.other_ns as f64 / t,
+        )
+    }
+}
+
+impl core::fmt::Display for TimeBreakdown {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let (l, m, o) = self.fractions();
+        write!(
+            f,
+            "lookup {:.1}% | match {:.1}% | other {:.1}%",
+            l * 100.0,
+            m * 100.0,
+            o * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b = TimeBreakdown {
+            lookup_ns: 300,
+            match_ns: 500,
+            other_ns: 200,
+        };
+        let (l, m, o) = b.fractions();
+        assert!((l + m + o - 1.0).abs() < 1e-12);
+        assert!((l - 0.3).abs() < 1e-12);
+        assert!((m - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_is_all_zero() {
+        assert_eq!(TimeBreakdown::new().fractions(), (0.0, 0.0, 0.0));
+        assert_eq!(TimeBreakdown::new().total_ns(), 0);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = TimeBreakdown {
+            lookup_ns: 1,
+            match_ns: 2,
+            other_ns: 3,
+        };
+        a.merge(&TimeBreakdown {
+            lookup_ns: 10,
+            match_ns: 20,
+            other_ns: 30,
+        });
+        assert_eq!(a.lookup_ns, 11);
+        assert_eq!(a.match_ns, 22);
+        assert_eq!(a.other_ns, 33);
+    }
+}

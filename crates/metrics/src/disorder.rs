@@ -1,0 +1,186 @@
+//! Online disorder estimation — towards "tunable accuracy without prior
+//! knowledge (i.e., lateness)", one of the paper's future-work items.
+//!
+//! The lateness `l` is normally configured from prior knowledge of the
+//! stream's disorder. [`DisorderEstimator`] learns it online instead: it
+//! tracks, per tuple, how far the timestamp lags the running maximum
+//! (`max_seen − ts`, the tuple's *disorder*), keeps the distribution in a
+//! log-bucketed histogram, and recommends the lateness that would have
+//! covered any target fraction of tuples.
+
+use serde::{Deserialize, Serialize};
+
+use oij_common::{Duration, Timestamp};
+
+use crate::latency::LatencyHistogram;
+
+/// Streaming estimator of a stream's event-time disorder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DisorderEstimator {
+    max_ts: Option<i64>,
+    /// Distribution of positive disorder values, in µs (reuses the
+    /// log-bucketed histogram: ≤ ~6% relative quantisation).
+    hist: LatencyHistogram,
+    tuples: u64,
+    late_tuples: u64,
+    max_disorder: i64,
+}
+
+impl Default for DisorderEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DisorderEstimator {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        DisorderEstimator {
+            max_ts: None,
+            hist: LatencyHistogram::new(),
+            tuples: 0,
+            late_tuples: 0,
+            max_disorder: 0,
+        }
+    }
+
+    /// Feeds one tuple timestamp in arrival order.
+    pub fn observe(&mut self, ts: Timestamp) {
+        self.tuples += 1;
+        let t = ts.as_micros();
+        match self.max_ts {
+            None => self.max_ts = Some(t),
+            Some(max) if t >= max => self.max_ts = Some(t),
+            Some(max) => {
+                let disorder = max - t;
+                self.late_tuples += 1;
+                self.max_disorder = self.max_disorder.max(disorder);
+                self.hist.record(disorder as u64);
+            }
+        }
+    }
+
+    /// Tuples observed so far.
+    pub fn tuples(&self) -> u64 {
+        self.tuples
+    }
+
+    /// Fraction of tuples that arrived below the running maximum.
+    pub fn late_fraction(&self) -> f64 {
+        if self.tuples == 0 {
+            0.0
+        } else {
+            self.late_tuples as f64 / self.tuples as f64
+        }
+    }
+
+    /// The largest disorder seen (a lateness of exactly this value would
+    /// have made every observed tuple in-bounds).
+    pub fn max_disorder(&self) -> Duration {
+        Duration::from_micros(self.max_disorder)
+    }
+
+    /// The lateness that would have covered `coverage` of **all** tuples
+    /// (in-order tuples need no allowance, so they count as covered).
+    ///
+    /// `coverage = 1.0` returns [`max_disorder`](Self::max_disorder);
+    /// smaller values trade memory/latency for bounded inaccuracy, which is
+    /// precisely the knob the paper's future work asks for.
+    pub fn recommended_lateness(&self, coverage: f64) -> Duration {
+        let coverage = coverage.clamp(0.0, 1.0);
+        if self.tuples == 0 || self.late_tuples == 0 {
+            return Duration::ZERO;
+        }
+        if coverage >= 1.0 {
+            return self.max_disorder();
+        }
+        let in_order = self.tuples - self.late_tuples;
+        let need = coverage * self.tuples as f64 - in_order as f64;
+        if need <= 0.0 {
+            return Duration::ZERO;
+        }
+        let q = need / self.late_tuples as f64;
+        Duration::from_micros(self.hist.quantile_ns(q) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: i64) -> Timestamp {
+        Timestamp::from_micros(v)
+    }
+
+    #[test]
+    fn in_order_stream_needs_no_lateness() {
+        let mut e = DisorderEstimator::new();
+        for t in 0..1000 {
+            e.observe(us(t));
+        }
+        assert_eq!(e.late_fraction(), 0.0);
+        assert_eq!(e.recommended_lateness(0.999), Duration::ZERO);
+        assert_eq!(e.max_disorder(), Duration::ZERO);
+    }
+
+    #[test]
+    fn constant_disorder_is_learned() {
+        // Pairs arrive swapped: disorder of exactly 10µs for half the
+        // tuples.
+        let mut e = DisorderEstimator::new();
+        for i in 0..500 {
+            e.observe(us(i * 20 + 10));
+            e.observe(us(i * 20)); // 10µs behind the max
+        }
+        assert!((e.late_fraction() - 0.5).abs() < 1e-9);
+        let rec = e.recommended_lateness(1.0).as_micros();
+        assert_eq!(rec, 10);
+        // Covering only the in-order half needs nothing.
+        assert_eq!(e.recommended_lateness(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn heavy_tail_is_separated_by_coverage() {
+        let mut e = DisorderEstimator::new();
+        let mut t = 0i64;
+        let mut x = 7u64;
+        for i in 0..100_000 {
+            t += 10;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // 1% of tuples extremely late (by ~100ms), the rest ≤ 100µs.
+            let lag = if i % 100 == 0 {
+                100_000
+            } else {
+                (x >> 33) as i64 % 100
+            };
+            e.observe(us(t - lag));
+        }
+        let p99 = e.recommended_lateness(0.99).as_micros();
+        let p100 = e.recommended_lateness(1.0).as_micros();
+        assert!(p99 <= 110, "99% coverage should ignore the tail: {p99}");
+        assert!(p100 >= 90_000, "full coverage must include the tail: {p100}");
+    }
+
+    #[test]
+    fn coverage_is_monotone() {
+        let mut e = DisorderEstimator::new();
+        let mut x = 3u64;
+        for i in 0..10_000i64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            e.observe(us(i * 5 - ((x >> 40) as i64 % 500)));
+        }
+        let mut last = -1i64;
+        for c in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rec = e.recommended_lateness(c).as_micros();
+            assert!(rec >= last, "coverage {c}: {rec} < {last}");
+            last = rec;
+        }
+    }
+
+    #[test]
+    fn empty_estimator_is_harmless() {
+        let e = DisorderEstimator::new();
+        assert_eq!(e.tuples(), 0);
+        assert_eq!(e.recommended_lateness(1.0), Duration::ZERO);
+    }
+}

@@ -1,0 +1,278 @@
+//! Log-bucketed latency histogram.
+//!
+//! An HDR-style histogram over nanosecond samples: buckets grow
+//! geometrically (16 linear sub-buckets per power of two), giving ≤ ~6%
+//! relative quantisation error across the full range from 1 ns to ~18 s
+//! with a fixed, allocation-free footprint. Supports merging (per-joiner
+//! recorders are combined after a run) and produces the CDF series the
+//! paper plots in Figures 5, 17–20 and 23.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear sub-buckets per power-of-two decade.
+const SUB_BUCKETS: usize = 16;
+const SUB_BITS: u32 = 4; // log2(SUB_BUCKETS)
+/// Values below this are stored in exact unit buckets.
+const LINEAR_LIMIT: u64 = 2 * SUB_BUCKETS as u64; // 32
+/// Power-of-two decades covered above the linear region: msb 5..=39,
+/// i.e. values up to 2^40 ns ≈ 18.3 minutes; larger samples saturate.
+const DECADES: usize = 35;
+const BUCKETS: usize = LINEAR_LIMIT as usize + DECADES * SUB_BUCKETS;
+
+/// A mergeable, fixed-size latency histogram over `u64` nanosecond samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+    min: u64,
+    sum: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+            sum: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(value_ns: u64) -> usize {
+        if value_ns < LINEAR_LIMIT {
+            return value_ns as usize;
+        }
+        let msb = 63 - value_ns.leading_zeros(); // ≥ 5
+        let shift = msb - SUB_BITS; // top SUB_BITS+1 bits select the bucket
+        let top = (value_ns >> shift) as usize; // ∈ [16, 31]
+        let idx =
+            LINEAR_LIMIT as usize + (msb as usize - 5) * SUB_BUCKETS + (top - SUB_BUCKETS);
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Representative (lower-bound) value of a bucket, in nanoseconds.
+    fn bucket_value(idx: usize) -> u64 {
+        if (idx as u64) < LINEAR_LIMIT {
+            return idx as u64;
+        }
+        let rem = idx - LINEAR_LIMIT as usize;
+        let msb = (rem / SUB_BUCKETS) as u32 + 5;
+        let top = (rem % SUB_BUCKETS + SUB_BUCKETS) as u64;
+        top << (msb - SUB_BITS)
+    }
+
+    /// Records one latency sample, in nanoseconds.
+    #[inline]
+    pub fn record(&mut self, value_ns: u64) {
+        self.counts[Self::bucket_of(value_ns)] += 1;
+        self.total += 1;
+        self.max = self.max.max(value_ns);
+        self.min = self.min.min(value_ns);
+        self.sum += value_ns as u128;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact maximum recorded sample (ns), 0 when empty.
+    pub fn max_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded sample (ns), 0 when empty.
+    pub fn min_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact arithmetic mean (ns), 0.0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` (ns), up to bucket quantisation.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fraction of samples at or below `value_ns` — one point of the CDF.
+    pub fn cdf_at(&self, value_ns: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let cut = Self::bucket_of(value_ns);
+        let below: u64 = self.counts[..=cut].iter().sum();
+        below as f64 / self.total as f64
+    }
+
+    /// The full CDF as `(latency_ns, cumulative_fraction)` points over the
+    /// non-empty buckets, suitable for plotting.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.total == 0 {
+            return out;
+        }
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            out.push((
+                Self::bucket_value(idx).min(self.max),
+                cum as f64 / self.total as f64,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min_ns(), 1);
+        assert_eq!(h.max_ns(), 10);
+        assert_eq!(h.quantile_ns(1.0), 10);
+        assert_eq!(h.mean_ns(), 5.5);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        // 1..10ms uniformly: p50 ≈ 5ms within bucket resolution (~6%).
+        for i in 0..10_000u64 {
+            h.record(1_000_000 + i * 900); // 1.0ms .. 10.0ms
+        }
+        let p50 = h.quantile_ns(0.5) as f64;
+        let expect = 5.5e6;
+        assert!(
+            (p50 - expect).abs() / expect < 0.08,
+            "p50 {p50} vs {expect}"
+        );
+        let p99 = h.quantile_ns(0.99) as f64;
+        assert!((p99 - 9.9e6).abs() / 9.9e6 < 0.08, "p99 {p99}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let mut h = LatencyHistogram::new();
+        let mut x = 9u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            h.record(x % 100_000_000);
+        }
+        let cdf = h.cdf();
+        assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0, "x not sorted");
+            assert!(w[0].1 <= w[1].1, "y not monotone");
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_at_threshold_matches_paper_usage() {
+        // "80%-90% below 20 ms": cdf_at(20ms) must count exactly the
+        // samples ≤ 20ms (up to bucket edges).
+        let mut h = LatencyHistogram::new();
+        for _ in 0..80 {
+            h.record(5_000_000); // 5 ms
+        }
+        for _ in 0..20 {
+            h.record(100_000_000); // 100 ms
+        }
+        let frac = h.cdf_at(20_000_000);
+        assert!((frac - 0.8).abs() < 1e-9, "{frac}");
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            a.record(v * 1000);
+        }
+        for v in [40u64, 50] {
+            b.record(v * 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max_ns(), 50_000);
+        assert_eq!(a.min_ns(), 10_000);
+        assert!((a.mean_ns() - 30_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_roundtrip_bounds() {
+        // bucket_value(bucket_of(v)) must be within ~6.25% of v.
+        let mut v = 1u64;
+        while v < 1 << 39 {
+            let idx = LatencyHistogram::bucket_of(v);
+            let rep = LatencyHistogram::bucket_value(idx);
+            let err = (rep as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / SUB_BUCKETS as f64 + 1e-9, "v={v} rep={rep}");
+            v = v * 3 + 1;
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Derived workload statistics: effectiveness and unbalancedness.
+
+use serde::{Deserialize, Serialize};
+
+/// *Effectiveness* (paper Equation 1): the average, over base tuples, of
+/// `|in-window probe tuples| / |probe tuples visited|`. A full-scan engine
+/// visits everything buffered, so its effectiveness collapses as lateness
+/// grows; the time-travel index keeps it at 1.0.
+///
+/// Base tuples that visited nothing contribute an effectiveness of 1.0
+/// (nothing wasted).
+pub fn effectiveness(samples: &[(u64, u64)]) -> f64 {
+    if samples.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = samples
+        .iter()
+        .map(|&(matched, visited)| {
+            if visited == 0 {
+                1.0
+            } else {
+                matched as f64 / visited as f64
+            }
+        })
+        .sum();
+    sum / samples.len() as f64
+}
+
+/// Streaming accumulator for [`effectiveness`], kept per joiner so the hot
+/// path only bumps two counters per base tuple.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct EffectivenessMeter {
+    ratio_sum: f64,
+    base_tuples: u64,
+}
+
+impl EffectivenessMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one base tuple's `(matched, visited)` counts.
+    #[inline]
+    pub fn record(&mut self, matched: u64, visited: u64) {
+        self.ratio_sum += if visited == 0 {
+            1.0
+        } else {
+            matched as f64 / visited as f64
+        };
+        self.base_tuples += 1;
+    }
+
+    /// Merges another meter into this one.
+    pub fn merge(&mut self, other: &EffectivenessMeter) {
+        self.ratio_sum += other.ratio_sum;
+        self.base_tuples += other.base_tuples;
+    }
+
+    /// The average effectiveness so far (1.0 when no base tuple recorded).
+    pub fn value(&self) -> f64 {
+        if self.base_tuples == 0 {
+            1.0
+        } else {
+            self.ratio_sum / self.base_tuples as f64
+        }
+    }
+
+    /// Number of base tuples recorded.
+    pub fn count(&self) -> u64 {
+        self.base_tuples
+    }
+}
+
+/// *Unbalancedness* (paper Equation 2): the dispersion of per-joiner
+/// workloads `W_i` normalised by the mean.
+///
+/// The paper's printed formula, `(1/(J·μ)) Σ (W_i − μ)`, is identically
+/// zero for any input (the deviations sum to zero); the accompanying text
+/// calls it "the standard deviation of workloads of all Joiner threads".
+/// We therefore implement the evidently intended quantity — the
+/// coefficient of variation `σ/μ` with population standard deviation —
+/// which reproduces the qualitative behaviour of Figures 8b and 13c.
+///
+/// Returns 0.0 for empty input or an all-zero workload.
+pub fn unbalancedness(workloads: &[f64]) -> f64 {
+    if workloads.is_empty() {
+        return 0.0;
+    }
+    let n = workloads.len() as f64;
+    let mean = workloads.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = workloads.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effectiveness_perfect_when_index_visits_only_matches() {
+        assert_eq!(effectiveness(&[(5, 5), (3, 3), (0, 0)]), 1.0);
+    }
+
+    #[test]
+    fn effectiveness_degrades_with_wasted_visits() {
+        // Each base tuple matched 1 of 10 visited.
+        let e = effectiveness(&[(1, 10); 4]);
+        assert!((e - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effectiveness_empty_input_is_one() {
+        assert_eq!(effectiveness(&[]), 1.0);
+    }
+
+    #[test]
+    fn meter_matches_batch_function() {
+        let samples = [(1u64, 4u64), (2, 2), (0, 8), (0, 0)];
+        let mut m = EffectivenessMeter::new();
+        for &(a, b) in &samples {
+            m.record(a, b);
+        }
+        assert!((m.value() - effectiveness(&samples)).abs() < 1e-12);
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn meter_merge() {
+        let mut a = EffectivenessMeter::new();
+        a.record(1, 2);
+        let mut b = EffectivenessMeter::new();
+        b.record(1, 1);
+        a.merge(&b);
+        assert!((a.value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbalancedness_zero_for_even_split() {
+        assert_eq!(unbalancedness(&[10.0, 10.0, 10.0, 10.0]), 0.0);
+    }
+
+    #[test]
+    fn unbalancedness_grows_with_skew() {
+        let even = unbalancedness(&[25.0, 25.0, 25.0, 25.0]);
+        let mild = unbalancedness(&[40.0, 20.0, 20.0, 20.0]);
+        let severe = unbalancedness(&[100.0, 0.0, 0.0, 0.0]);
+        assert!(even < mild && mild < severe);
+        // One joiner does everything among J: σ/μ = sqrt(J−1).
+        assert!((severe - (3.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbalancedness_edge_cases() {
+        assert_eq!(unbalancedness(&[]), 0.0);
+        assert_eq!(unbalancedness(&[0.0, 0.0]), 0.0);
+        assert_eq!(unbalancedness(&[7.0]), 0.0);
+    }
+}

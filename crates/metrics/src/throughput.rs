@@ -1,0 +1,82 @@
+//! Throughput measurement.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Measures tuples/second over a span.
+///
+/// ```
+/// use oij_metrics::ThroughputMeter;
+/// let mut m = ThroughputMeter::start();
+/// m.add(1_000);
+/// let report = m.finish();
+/// assert_eq!(report.tuples, 1_000);
+/// assert!(report.tuples_per_sec > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct ThroughputMeter {
+    started: Instant,
+    tuples: u64,
+}
+
+/// The result of a finished throughput measurement.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Total input tuples processed.
+    pub tuples: u64,
+    /// Elapsed wall-clock seconds.
+    pub elapsed_secs: f64,
+    /// `tuples / elapsed_secs`.
+    pub tuples_per_sec: f64,
+}
+
+impl ThroughputMeter {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        ThroughputMeter {
+            started: Instant::now(),
+            tuples: 0,
+        }
+    }
+
+    /// Adds processed tuples to the tally.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.tuples += n;
+    }
+
+    /// Stops the clock and reports.
+    pub fn finish(self) -> ThroughputReport {
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        ThroughputReport {
+            tuples: self.tuples,
+            elapsed_secs: elapsed,
+            tuples_per_sec: self.tuples as f64 / elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_count_over_time() {
+        let mut m = ThroughputMeter::start();
+        m.add(500);
+        m.add(500);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let r = m.finish();
+        assert_eq!(r.tuples, 1000);
+        assert!(r.elapsed_secs >= 0.01);
+        assert!((r.tuples_per_sec - 1000.0 / r.elapsed_secs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_tuples_is_zero_rate() {
+        let r = ThroughputMeter::start().finish();
+        assert_eq!(r.tuples, 0);
+        assert_eq!(r.tuples_per_sec, 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-joiner busy-time timelines (paper Figure 14).
+//!
+//! The paper samples OS-level CPU utilisation of each joiner thread while a
+//! skewed workload's hot keys rotate. In-process we obtain the same signal
+//! by having each joiner attribute its busy nanoseconds to fixed wall-clock
+//! buckets; utilisation of a bucket is `busy_ns / bucket_ns`.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates one thread's busy time into wall-clock buckets.
+#[derive(Debug)]
+pub struct BusyTimeline {
+    origin: Instant,
+    bucket_ns: u64,
+    busy_per_bucket: Vec<u64>,
+}
+
+/// A finished utilisation series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilizationSeries {
+    /// Bucket width in nanoseconds.
+    pub bucket_ns: u64,
+    /// Utilisation ∈ [0, 1] per bucket.
+    pub utilization: Vec<f64>,
+}
+
+impl BusyTimeline {
+    /// Creates a timeline with the given bucket width, anchored at `origin`
+    /// (pass the same origin to all joiners so their buckets align).
+    pub fn new(origin: Instant, bucket_ns: u64) -> Self {
+        assert!(bucket_ns > 0, "bucket width must be positive");
+        BusyTimeline {
+            origin,
+            bucket_ns,
+            busy_per_bucket: Vec::new(),
+        }
+    }
+
+    /// Attributes `busy_ns` of work ending `at` to the covering bucket(s).
+    /// Work spanning bucket boundaries is split proportionally.
+    pub fn record(&mut self, at: Instant, busy_ns: u64) {
+        let end_off = at.saturating_duration_since(self.origin).as_nanos() as u64;
+        let start_off = end_off.saturating_sub(busy_ns);
+        let mut lo = start_off;
+        while lo < end_off {
+            let bucket = (lo / self.bucket_ns) as usize;
+            let bucket_end = (bucket as u64 + 1) * self.bucket_ns;
+            let hi = end_off.min(bucket_end);
+            if self.busy_per_bucket.len() <= bucket {
+                self.busy_per_bucket.resize(bucket + 1, 0);
+            }
+            self.busy_per_bucket[bucket] += hi - lo;
+            lo = hi;
+        }
+        if busy_ns == 0 {
+            // still make the bucket exist so idle joiners chart as 0
+            let bucket = (end_off / self.bucket_ns) as usize;
+            if self.busy_per_bucket.len() <= bucket {
+                self.busy_per_bucket.resize(bucket + 1, 0);
+            }
+        }
+    }
+
+    /// Converts to a utilisation series (fractions of each bucket busy).
+    pub fn finish(self) -> UtilizationSeries {
+        let bucket_ns = self.bucket_ns;
+        UtilizationSeries {
+            bucket_ns,
+            utilization: self
+                .busy_per_bucket
+                .into_iter()
+                .map(|ns| (ns as f64 / bucket_ns as f64).min(1.0))
+                .collect(),
+        }
+    }
+}
+
+impl UtilizationSeries {
+    /// Standard deviation of utilisation across buckets — the "smoothness"
+    /// the paper eyeballs in Figure 14 (lower = smoother adaptation).
+    pub fn variation(&self) -> f64 {
+        if self.utilization.is_empty() {
+            return 0.0;
+        }
+        let n = self.utilization.len() as f64;
+        let mean = self.utilization.iter().sum::<f64>() / n;
+        (self
+            .utilization
+            .iter()
+            .map(|u| (u - mean) * (u - mean))
+            .sum::<f64>()
+            / n)
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn work_lands_in_right_bucket() {
+        let origin = Instant::now();
+        let mut tl = BusyTimeline::new(origin, 1_000_000); // 1ms buckets
+        // 0.5ms of work ending at t=2.5ms → bucket 2
+        tl.record(origin + Duration::from_micros(2_500), 500_000);
+        let s = tl.finish();
+        assert_eq!(s.utilization.len(), 3);
+        assert_eq!(s.utilization[0], 0.0);
+        assert_eq!(s.utilization[1], 0.0);
+        assert!((s.utilization[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spanning_work_is_split() {
+        let origin = Instant::now();
+        let mut tl = BusyTimeline::new(origin, 1_000);
+        // 2000ns of work ending at t=2500 → 500 in b0? No: spans [500,2500):
+        // 500 in bucket0, 1000 in bucket1, 500 in bucket2.
+        tl.record(origin + Duration::from_nanos(2_500), 2_000);
+        let s = tl.finish();
+        assert!((s.utilization[0] - 0.5).abs() < 1e-9);
+        assert!((s.utilization[1] - 1.0).abs() < 1e-9);
+        assert!((s.utilization[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variation_reflects_smoothness() {
+        let smooth = UtilizationSeries {
+            bucket_ns: 1,
+            utilization: vec![0.5; 10],
+        };
+        let bursty = UtilizationSeries {
+            bucket_ns: 1,
+            utilization: vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0],
+        };
+        assert_eq!(smooth.variation(), 0.0);
+        assert!(bursty.variation() > 0.4);
+    }
+
+    #[test]
+    fn utilization_is_capped_at_one() {
+        let origin = Instant::now();
+        let mut tl = BusyTimeline::new(origin, 100);
+        tl.record(origin + Duration::from_nanos(100), 1_000_000);
+        let s = tl.finish();
+        assert!(s.utilization.iter().all(|&u| u <= 1.0));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the metrics toolkit.
+
+use oij_metrics::{unbalancedness, DisorderEstimator, LatencyHistogram};
+use oij_common::Timestamp;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Histogram quantiles are within the documented ~6.25% quantisation of
+    /// the exact (sorted) quantiles, for arbitrary samples.
+    #[test]
+    fn histogram_quantiles_track_exact(
+        mut samples in proptest::collection::vec(1u64..1_000_000_000, 1..2_000),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let exact = samples[rank - 1] as f64;
+        let approx = h.quantile_ns(q) as f64;
+        // Bucket representative is a lower bound within 1/16 of the value,
+        // and rank rounding can shift by one sample; allow a slack factor.
+        prop_assert!(
+            approx <= exact * 1.0001 + 1.0,
+            "quantile overshoot: {approx} > {exact}"
+        );
+        // The approx value must be ≥ the next-lower exact sample scaled by
+        // the quantisation bound.
+        let lower = samples[rank.saturating_sub(2).min(samples.len() - 1)] as f64;
+        prop_assert!(
+            approx >= lower * (1.0 - 1.0 / 16.0) - 1.0,
+            "quantile undershoot: {approx} < {lower}"
+        );
+    }
+
+    /// Merging histograms equals recording everything into one.
+    #[test]
+    fn histogram_merge_equals_union(
+        a in proptest::collection::vec(1u64..1_000_000, 0..500),
+        b in proptest::collection::vec(1u64..1_000_000, 0..500),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut hu = LatencyHistogram::new();
+        for &s in &a {
+            ha.record(s);
+            hu.record(s);
+        }
+        for &s in &b {
+            hb.record(s);
+            hu.record(s);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.max_ns(), hu.max_ns());
+        prop_assert_eq!(ha.min_ns(), hu.min_ns());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(ha.quantile_ns(q), hu.quantile_ns(q), "q={}", q);
+        }
+    }
+
+    /// Unbalancedness is scale-invariant and zero exactly for uniform loads.
+    #[test]
+    fn unbalancedness_properties(
+        loads in proptest::collection::vec(0.0f64..1e6, 1..64),
+        scale in 0.001f64..1000.0,
+    ) {
+        let u1 = unbalancedness(&loads);
+        let scaled: Vec<f64> = loads.iter().map(|l| l * scale).collect();
+        let u2 = unbalancedness(&scaled);
+        prop_assert!((u1 - u2).abs() < 1e-6 * (1.0 + u1), "{u1} vs {u2}");
+        prop_assert!(u1 >= 0.0);
+        let uniform = vec![loads[0]; loads.len()];
+        prop_assert!(unbalancedness(&uniform) < 1e-12);
+    }
+
+    /// The disorder estimator's full-coverage recommendation always covers
+    /// every observed inversion.
+    #[test]
+    fn disorder_full_coverage_is_sound(
+        deltas in proptest::collection::vec((1i64..1_000, 0i64..5_000), 1..1_000),
+    ) {
+        let mut est = DisorderEstimator::new();
+        let mut t = 0i64;
+        let mut worst = 0i64;
+        let mut max_seen = i64::MIN;
+        for &(step, lag) in &deltas {
+            t += step;
+            let ts = t - lag;
+            if max_seen > ts {
+                worst = worst.max(max_seen - ts);
+            }
+            max_seen = max_seen.max(ts);
+            est.observe(Timestamp::from_micros(ts));
+        }
+        prop_assert_eq!(est.max_disorder().as_micros(), worst);
+        prop_assert_eq!(est.recommended_lateness(1.0).as_micros(), worst);
+        // Lower coverage never recommends more.
+        prop_assert!(est.recommended_lateness(0.9) <= est.recommended_lateness(1.0));
+    }
+}

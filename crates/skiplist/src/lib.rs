@@ -1,0 +1,33 @@
+//! # oij-skiplist — SWMR lock-free ordered indexes for Scale-OIJ
+//!
+//! This crate implements the *time-travel data structure* of the paper's
+//! Section V-A: a **single-writer, multiple-reader (SWMR)** lock-free skip
+//! list ([`swmr::SwmrSkipList`]) and, built from two layers of it, the
+//! double-layer index ([`timetravel::TimeTravelIndex`]) that maps
+//! `key → (timestamp → tuple)`.
+//!
+//! ## Concurrency contract
+//!
+//! Exactly **one** thread (the owning joiner) mutates an index through its
+//! [`swmr::Writer`] handle; any number of threads (the joiner's *virtual
+//! team*) read concurrently through cloneable [`swmr::Reader`] handles. The
+//! write path publishes new nodes with `Release` stores after preparing them
+//! with `Relaxed` stores (paper Algorithm 2); readers traverse with
+//! `Acquire` loads (Algorithm 1). Expired prefixes are unlinked by the
+//! writer and reclaimed through `crossbeam-epoch`, so readers that still
+//! hold references into an evicted prefix remain safe until the grace
+//! period ends.
+//!
+//! The crate also provides [`rcu::RcuCell`], the epoch-based publication
+//! cell the dynamic scheduler uses to atomically replace the partition
+//! schedule (paper §V-B: "atomically replaced after a new schedule").
+
+#![warn(missing_docs)]
+
+pub mod rcu;
+pub mod swmr;
+pub mod timetravel;
+
+pub use rcu::RcuCell;
+pub use swmr::{Reader, SwmrSkipList, Writer};
+pub use timetravel::{IndexReader, IndexWriter, TimeTravelIndex};

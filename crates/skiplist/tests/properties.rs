@@ -1,0 +1,127 @@
+//! Property-based tests: the SWMR skip list and time-travel index must
+//! behave exactly like ordered-map reference models under arbitrary
+//! operation sequences.
+
+use std::collections::BTreeMap;
+
+use oij_common::{Timestamp, Tuple, Window};
+use oij_skiplist::{SwmrSkipList, TimeTravelIndex};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    EvictBelow(i64),
+    RangeScan(i64, i64),
+    Get(i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (-100i64..100, any::<i64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        1 => (-100i64..100).prop_map(Op::EvictBelow),
+        2 => (-100i64..100, -100i64..100).prop_map(|(a, b)| Op::RangeScan(a, b)),
+        2 => (-100i64..100).prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The skip list equals a BTreeMap under any op interleaving, with
+    /// insert-keeps-first semantics and prefix eviction.
+    #[test]
+    fn skiplist_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let (mut w, r) = SwmrSkipList::new::<i64, i64>();
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let inserted = w.insert(k, v);
+                    let model_inserted = !model.contains_key(&k);
+                    if model_inserted {
+                        model.insert(k, v);
+                    }
+                    prop_assert_eq!(inserted, model_inserted);
+                }
+                Op::EvictBelow(bound) => {
+                    let evicted = w.evict_below(&bound);
+                    let before = model.len();
+                    model = model.split_off(&bound);
+                    prop_assert_eq!(evicted, before - model.len());
+                }
+                Op::RangeScan(a, b) => {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    let mut got = Vec::new();
+                    r.for_each_range(&lo, &hi, |k, v| got.push((*k, *v)));
+                    let want: Vec<(i64, i64)> =
+                        model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(r.get_cloned(&k), model.get(&k).copied());
+                }
+            }
+            prop_assert_eq!(w.len(), model.len());
+        }
+
+        // Final full scan equality.
+        let got = r.collect_all();
+        let want: Vec<(i64, i64)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Time-travel window scans equal a naive filter over all inserted,
+    /// non-expired tuples, for any insertion disorder.
+    #[test]
+    fn timetravel_scan_matches_naive_filter(
+        tuples in proptest::collection::vec((0i64..500, 0u64..8, -100.0f64..100.0), 1..300),
+        evict_at in 0i64..500,
+        window in (0i64..500, 0i64..500),
+    ) {
+        let (mut w, r) = TimeTravelIndex::new();
+        for &(ts, key, val) in &tuples {
+            w.insert(Tuple::new(Timestamp::from_micros(ts), key, val));
+        }
+        let evicted = w.evict_below(Timestamp::from_micros(evict_at));
+        let expected_evicted = tuples.iter().filter(|(ts, _, _)| *ts < evict_at).count();
+        prop_assert_eq!(evicted, expected_evicted);
+
+        let (lo, hi) = (window.0.min(window.1), window.0.max(window.1));
+        let win = Window {
+            start: Timestamp::from_micros(lo),
+            end: Timestamp::from_micros(hi),
+        };
+        for key in 0u64..8 {
+            let mut got: Vec<f64> = Vec::new();
+            r.scan_window(key, win, |t| got.push(t.value));
+            let mut want: Vec<(i64, f64)> = tuples
+                .iter()
+                .filter(|(ts, k, _)| *k == key && *ts >= evict_at && *ts >= lo && *ts <= hi)
+                .map(|(ts, _, v)| (*ts, *v))
+                .collect();
+            // Index scans in ts order; equal-ts order is insertion order
+            // (seq), matching a stable sort of the input.
+            want.sort_by_key(|(ts, _)| *ts);
+            let want: Vec<f64> = want.into_iter().map(|(_, v)| v).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Eviction below the minimum and maximum bounds behaves as no-op/clear.
+    #[test]
+    fn eviction_boundaries(keys in proptest::collection::vec(0i64..1000, 1..100)) {
+        let (mut w, _r) = SwmrSkipList::new::<i64, ()>();
+        let mut unique = 0;
+        for &k in &keys {
+            if w.insert(k, ()) {
+                unique += 1;
+            }
+        }
+        prop_assert_eq!(w.evict_below(&i64::MIN), 0);
+        prop_assert_eq!(w.len(), unique);
+        prop_assert_eq!(w.evict_below(&i64::MAX), unique);
+        prop_assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! The parsed query plan.
+
+use oij_common::{AggSpec, Duration, OijQuery, Result};
+use serde::{Deserialize, Serialize};
+
+/// A parsed OpenMLDB window-union query — the SQL form of one online
+/// interval join (paper §II-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowUnionQuery {
+    /// The aggregation function (`sum`, `count`, `avg`, `min`, `max`).
+    pub agg: AggSpec,
+    /// Column the aggregate reads (`col2` in the paper's example). `*` is
+    /// recorded as `"*"` and only valid for `count`.
+    pub agg_column: String,
+    /// The window name after `OVER`.
+    pub window_name: String,
+    /// The base table/stream `S` (`FROM …`).
+    pub base_table: String,
+    /// The probe table/stream `R` (`UNION …`).
+    pub union_table: String,
+    /// The join key column (`PARTITION BY …`).
+    pub partition_key: String,
+    /// The event-time column (`ORDER BY …`).
+    pub order_column: String,
+    /// `PRE`: the `… PRECEDING` bound.
+    pub preceding: Duration,
+    /// `FOL`: the `… FOLLOWING` bound (zero for `CURRENT ROW`).
+    pub following: Duration,
+    /// The `LATENESS …` extension (zero when absent).
+    pub lateness: Duration,
+}
+
+impl WindowUnionQuery {
+    /// Lowers the plan to an engine-ready [`OijQuery`] (eager emission).
+    pub fn to_oij_query(&self) -> Result<OijQuery> {
+        OijQuery::builder()
+            .preceding(self.preceding)
+            .following(self.following)
+            .lateness(self.lateness)
+            .agg(self.agg)
+            .build()
+    }
+
+    /// Renders the plan back to canonical SQL text. `parse(q.to_sql())`
+    /// reproduces `q` (round-trip property-tested).
+    pub fn to_sql(&self) -> String {
+        let mut sql = format!(
+            "SELECT {}({}) OVER {} FROM {} WINDOW {} AS (UNION {} PARTITION BY {}              ORDER BY {} ROWS_RANGE BETWEEN {} PRECEDING AND ",
+            self.agg.sql_name(),
+            self.agg_column,
+            self.window_name,
+            self.base_table,
+            self.window_name,
+            self.union_table,
+            self.partition_key,
+            self.order_column,
+            fmt_duration(self.preceding),
+        );
+        if self.following == Duration::ZERO {
+            sql.push_str("CURRENT ROW");
+        } else {
+            sql.push_str(&fmt_duration(self.following));
+            sql.push_str(" FOLLOWING");
+        }
+        if self.lateness != Duration::ZERO {
+            sql.push_str(" LATENESS ");
+            sql.push_str(&fmt_duration(self.lateness));
+        }
+        sql.push(')');
+        sql
+    }
+}
+
+/// Formats a duration as the shortest exact SQL literal (`2s`, `15ms`,
+/// `7us`).
+fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us != 0 && us % 1_000_000 == 0 {
+        format!("{}s", us / 1_000_000)
+    } else if us != 0 && us % 1_000 == 0 {
+        format!("{}ms", us / 1_000)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowering_carries_all_window_fields() {
+        let q = WindowUnionQuery {
+            agg: AggSpec::Avg,
+            agg_column: "price".into(),
+            window_name: "w".into(),
+            base_table: "s".into(),
+            union_table: "r".into(),
+            partition_key: "k".into(),
+            order_column: "ts".into(),
+            preceding: Duration::from_secs(2),
+            following: Duration::from_millis(5),
+            lateness: Duration::from_micros(7),
+        };
+        let plan = q.to_oij_query().unwrap();
+        assert_eq!(plan.agg, AggSpec::Avg);
+        assert_eq!(plan.window.preceding, Duration::from_secs(2));
+        assert_eq!(plan.window.following, Duration::from_millis(5));
+        assert_eq!(plan.window.lateness, Duration::from_micros(7));
+    }
+}

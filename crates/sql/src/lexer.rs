@@ -1,0 +1,173 @@
+//! SQL tokenizer.
+//!
+//! Produces a flat token stream with byte offsets for error reporting.
+//! Keywords are recognised case-insensitively at the parser level; the
+//! lexer only distinguishes shapes (word / number / duration / symbol).
+
+use oij_common::{Duration, Error, Result};
+
+/// One token with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset where the token starts.
+    pub offset: usize,
+    /// The token payload.
+    pub kind: TokenKind,
+}
+
+/// Token shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`sum`, `WINDOW`, `w1`, …).
+    Word(String),
+    /// Bare integer (`42`).
+    Number(i64),
+    /// Duration literal with unit suffix (`1s`, `100ms`, `500us`, `2min`,
+    /// `1h`, `3d`).
+    Duration(Duration),
+    /// A single punctuation symbol: `( ) , ; . *`.
+    Symbol(char),
+}
+
+/// Tokenizes `input`, rejecting unknown characters and malformed literals.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            tokens.push(Token {
+                offset: start,
+                kind: TokenKind::Word(input[start..i].to_string()),
+            });
+        } else if c.is_ascii_digit() {
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let value: i64 = input[start..i].parse().map_err(|_| Error::SqlParse {
+                offset: start,
+                message: format!("number out of range: {}", &input[start..i]),
+            })?;
+            // Optional unit suffix makes it a duration literal.
+            let unit_start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_alphabetic() {
+                i += 1;
+            }
+            if unit_start == i {
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Number(value),
+                });
+            } else {
+                let micros = match input[unit_start..i].to_ascii_lowercase().as_str() {
+                    "us" => value,
+                    "ms" => value.saturating_mul(1_000),
+                    "s" => value.saturating_mul(1_000_000),
+                    "m" | "min" => value.saturating_mul(60_000_000),
+                    "h" => value.saturating_mul(3_600_000_000),
+                    "d" => value.saturating_mul(86_400_000_000),
+                    unit => {
+                        return Err(Error::SqlParse {
+                            offset: unit_start,
+                            message: format!(
+                                "unknown duration unit '{unit}' (expected us/ms/s/m/min/h/d)"
+                            ),
+                        })
+                    }
+                };
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Duration(Duration::from_micros(micros)),
+                });
+            }
+        } else if matches!(c, '(' | ')' | ',' | ';' | '.' | '*') {
+            i += 1;
+            tokens.push(Token {
+                offset: start,
+                kind: TokenKind::Symbol(c),
+            });
+        } else {
+            return Err(Error::SqlParse {
+                offset: start,
+                message: format!("unexpected character '{c}'"),
+            });
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_numbers_symbols() {
+        assert_eq!(
+            kinds("SELECT sum(col2)"),
+            vec![
+                TokenKind::Word("SELECT".into()),
+                TokenKind::Word("sum".into()),
+                TokenKind::Symbol('('),
+                TokenKind::Word("col2".into()),
+                TokenKind::Symbol(')'),
+            ]
+        );
+        assert_eq!(kinds("42"), vec![TokenKind::Number(42)]);
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(
+            kinds("1s 100ms 500us 2min 1h 1d"),
+            vec![
+                TokenKind::Duration(Duration::from_secs(1)),
+                TokenKind::Duration(Duration::from_millis(100)),
+                TokenKind::Duration(Duration::from_micros(500)),
+                TokenKind::Duration(Duration::from_secs(120)),
+                TokenKind::Duration(Duration::from_secs(3600)),
+                TokenKind::Duration(Duration::from_secs(86_400)),
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_point_at_token_starts() {
+        let toks = tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn rejects_unknown_unit_and_char() {
+        let err = tokenize("5parsecs").unwrap_err();
+        assert!(matches!(err, Error::SqlParse { offset: 1, .. }), "{err}");
+        assert!(tokenize("a @ b").is_err());
+    }
+
+    #[test]
+    fn underscored_identifiers() {
+        assert_eq!(
+            kinds("ROWS_RANGE user_id _tmp"),
+            vec![
+                TokenKind::Word("ROWS_RANGE".into()),
+                TokenKind::Word("user_id".into()),
+                TokenKind::Word("_tmp".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # oij-sql — the OpenMLDB `WINDOW … UNION … ROWS_RANGE` front-end
+//!
+//! OpenMLDB expresses the online interval join in SQL through its *Window
+//! Union* extension (paper §II-A):
+//!
+//! ```sql
+//! SELECT sum(col2) OVER w1 FROM S
+//! WINDOW w1 AS (
+//!     UNION R
+//!     PARTITION BY key
+//!     ORDER BY timestamp
+//!     ROWS_RANGE BETWEEN 1s PRECEDING AND 1s FOLLOWING);
+//! ```
+//!
+//! This crate parses exactly that dialect — plus a `LATENESS <duration>`
+//! extension for the disorder bound, which OpenMLDB configures out of band
+//! — into a [`WindowUnionQuery`] plan that lowers to an engine-ready
+//! [`oij_common::OijQuery`].
+//!
+//! ```
+//! use oij_sql::parse;
+//!
+//! let q = parse(
+//!     "SELECT sum(col2) OVER w1 FROM actions \
+//!      WINDOW w1 AS (UNION orders PARTITION BY user_id ORDER BY ts \
+//!      ROWS_RANGE BETWEEN 1s PRECEDING AND CURRENT ROW LATENESS 100ms)",
+//! ).unwrap();
+//! assert_eq!(q.base_table, "actions");
+//! assert_eq!(q.union_table, "orders");
+//! let plan = q.to_oij_query().unwrap();
+//! assert_eq!(plan.window.preceding, oij_common::Duration::from_secs(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::WindowUnionQuery;
+pub use parser::parse;

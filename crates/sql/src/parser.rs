@@ -1,0 +1,387 @@
+//! Recursive-descent parser for the window-union dialect.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query    := SELECT agg '(' column ')' OVER name FROM table
+//!             WINDOW name AS '(' UNION table
+//!             PARTITION BY column ORDER BY column
+//!             ROWS_RANGE BETWEEN bound PRECEDING AND end_bound
+//!             [LATENESS duration] ')' [';']
+//! bound    := duration | number          (bare numbers are milliseconds,
+//!                                         as in OpenMLDB's ROWS_RANGE)
+//! end_bound := bound FOLLOWING | CURRENT ROW
+//! column   := ident | '*'
+//! ```
+
+use oij_common::{AggSpec, Duration, Error, Result};
+
+use crate::ast::WindowUnionQuery;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses one window-union query.
+pub fn parse(sql: &str) -> Result<WindowUnionQuery> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+        input_len: sql.len(),
+    };
+    let q = p.query()?;
+    p.end()?;
+    Ok(q)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    input_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn here(&self) -> usize {
+        self.peek().map(|t| t.offset).unwrap_or(self.input_len)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(Error::SqlParse {
+            offset: self.here(),
+            message: message.into(),
+        })
+    }
+
+    /// Consumes the given keyword (case-insensitive).
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Word(w),
+                ..
+            }) if w.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => self.err(format!("expected keyword {kw}")),
+        }
+    }
+
+    /// Whether the next token is the given keyword; consumes it if so.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token { kind: TokenKind::Word(w), .. }) if w.eq_ignore_ascii_case(kw)
+        ) && {
+            self.pos += 1;
+            true
+        }
+    }
+
+    fn symbol(&mut self, sym: char) -> Result<()> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Symbol(c),
+                ..
+            }) if *c == sym => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => self.err(format!("expected '{sym}'")),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Word(w),
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(w.clone())
+            }
+            _ => self.err(format!("expected {what}")),
+        }
+    }
+
+    /// A column: identifier or `*`.
+    fn column(&mut self) -> Result<String> {
+        if matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::Symbol('*'),
+                ..
+            })
+        ) {
+            self.pos += 1;
+            return Ok("*".into());
+        }
+        self.ident("a column name")
+    }
+
+    /// A window bound: duration literal or bare number (milliseconds).
+    fn bound(&mut self) -> Result<Duration> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Duration(d),
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(*d)
+            }
+            Some(Token {
+                kind: TokenKind::Number(n),
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(Duration::from_millis(*n))
+            }
+            _ => self.err("expected a window bound (duration or number)"),
+        }
+    }
+
+    fn query(&mut self) -> Result<WindowUnionQuery> {
+        self.keyword("SELECT")?;
+        let agg_offset = self.here();
+        let agg_name = self.ident("an aggregation function")?;
+        let agg = AggSpec::from_sql_name(&agg_name).map_err(|e| Error::SqlParse {
+            offset: agg_offset,
+            message: e.to_string(),
+        })?;
+        self.symbol('(')?;
+        let agg_column = self.column()?;
+        if agg_column == "*" && agg != AggSpec::Count {
+            return Err(Error::SqlParse {
+                offset: agg_offset,
+                message: format!("{}(*) is not valid; only count(*)", agg.sql_name()),
+            });
+        }
+        self.symbol(')')?;
+        self.keyword("OVER")?;
+        let window_name = self.ident("a window name")?;
+        self.keyword("FROM")?;
+        let base_table = self.ident("the base table")?;
+        self.keyword("WINDOW")?;
+        let def_offset = self.here();
+        let defined = self.ident("the window name")?;
+        if !defined.eq_ignore_ascii_case(&window_name) {
+            return Err(Error::SqlParse {
+                offset: def_offset,
+                message: format!(
+                    "window '{defined}' does not match the one used in OVER ('{window_name}')"
+                ),
+            });
+        }
+        self.keyword("AS")?;
+        self.symbol('(')?;
+        self.keyword("UNION")?;
+        let union_table = self.ident("the union (probe) table")?;
+        self.keyword("PARTITION")?;
+        self.keyword("BY")?;
+        let partition_key = self.ident("the partition key column")?;
+        self.keyword("ORDER")?;
+        self.keyword("BY")?;
+        let order_column = self.ident("the order column")?;
+        self.keyword("ROWS_RANGE")?;
+        self.keyword("BETWEEN")?;
+        let preceding = self.bound()?;
+        self.keyword("PRECEDING")?;
+        self.keyword("AND")?;
+        let following = if self.eat_keyword("CURRENT") {
+            self.keyword("ROW")?;
+            Duration::ZERO
+        } else {
+            let d = self.bound()?;
+            self.keyword("FOLLOWING")?;
+            d
+        };
+        let lateness = if self.eat_keyword("LATENESS") {
+            self.bound()?
+        } else {
+            Duration::ZERO
+        };
+        self.symbol(')')?;
+        let _ = self.eat_symbol(';');
+        Ok(WindowUnionQuery {
+            agg,
+            agg_column,
+            window_name,
+            base_table,
+            union_table,
+            partition_key,
+            order_column,
+            preceding,
+            following,
+            lateness,
+        })
+    }
+
+    fn eat_symbol(&mut self, sym: char) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token { kind: TokenKind::Symbol(c), .. }) if *c == sym
+        ) && {
+            self.pos += 1;
+            true
+        }
+    }
+
+    fn end(&mut self) -> Result<()> {
+        if let Some(t) = self.peek() {
+            return Err(Error::SqlParse {
+                offset: t.offset,
+                message: "unexpected trailing input".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_SQL: &str = "SELECT sum(col2) over w1 FROM S \
+        WINDOW w1 AS ( \
+        UNION R \
+        PARTITION BY key \
+        ORDER BY timestamp \
+        ROWS_RANGE \
+        BETWEEN 1s PRECEDING AND 1s FOLLOWING);";
+
+    #[test]
+    fn parses_the_papers_example_verbatim() {
+        let q = parse(PAPER_SQL).unwrap();
+        assert_eq!(q.agg, AggSpec::Sum);
+        assert_eq!(q.agg_column, "col2");
+        assert_eq!(q.base_table, "S");
+        assert_eq!(q.union_table, "R");
+        assert_eq!(q.partition_key, "key");
+        assert_eq!(q.order_column, "timestamp");
+        assert_eq!(q.preceding, Duration::from_secs(1));
+        assert_eq!(q.following, Duration::from_secs(1));
+        assert_eq!(q.lateness, Duration::ZERO);
+        let plan = q.to_oij_query().unwrap();
+        assert_eq!(plan.window.length(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn current_row_means_zero_following() {
+        let q = parse(
+            "SELECT avg(v) OVER w FROM a WINDOW w AS (UNION b PARTITION BY k \
+             ORDER BY t ROWS_RANGE BETWEEN 10m PRECEDING AND CURRENT ROW)",
+        )
+        .unwrap();
+        assert_eq!(q.agg, AggSpec::Avg);
+        assert_eq!(q.preceding, Duration::from_secs(600));
+        assert_eq!(q.following, Duration::ZERO);
+    }
+
+    #[test]
+    fn lateness_extension() {
+        let q = parse(
+            "SELECT count(*) OVER w FROM a WINDOW w AS (UNION b PARTITION BY k \
+             ORDER BY t ROWS_RANGE BETWEEN 100ms PRECEDING AND CURRENT ROW LATENESS 10ms)",
+        )
+        .unwrap();
+        assert_eq!(q.agg, AggSpec::Count);
+        assert_eq!(q.agg_column, "*");
+        assert_eq!(q.lateness, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn bare_numbers_are_milliseconds() {
+        let q = parse(
+            "SELECT max(v) OVER w FROM a WINDOW w AS (UNION b PARTITION BY k \
+             ORDER BY t ROWS_RANGE BETWEEN 1500 PRECEDING AND 500 FOLLOWING)",
+        )
+        .unwrap();
+        assert_eq!(q.preceding, Duration::from_millis(1500));
+        assert_eq!(q.following, Duration::from_millis(500));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse(
+            "select SUM(x) OVER W1 from s window W1 as (union r partition by k \
+             order by t rows_range between 1s preceding and current row)",
+        )
+        .unwrap();
+        assert_eq!(q.agg, AggSpec::Sum);
+    }
+
+    #[test]
+    fn window_name_mismatch_is_rejected() {
+        let err = parse(
+            "SELECT sum(x) OVER w1 FROM s WINDOW w2 AS (UNION r PARTITION BY k \
+             ORDER BY t ROWS_RANGE BETWEEN 1s PRECEDING AND CURRENT ROW)",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn star_only_with_count() {
+        let err = parse(
+            "SELECT sum(*) OVER w FROM s WINDOW w AS (UNION r PARTITION BY k \
+             ORDER BY t ROWS_RANGE BETWEEN 1s PRECEDING AND CURRENT ROW)",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("count(*)"), "{err}");
+    }
+
+    #[test]
+    fn unknown_aggregate_is_rejected_with_offset() {
+        let err = parse(
+            "SELECT median(x) OVER w FROM s WINDOW w AS (UNION r PARTITION BY k \
+             ORDER BY t ROWS_RANGE BETWEEN 1s PRECEDING AND CURRENT ROW)",
+        )
+        .unwrap_err();
+        match err {
+            Error::SqlParse { offset, message } => {
+                assert_eq!(offset, 7);
+                assert!(message.contains("median"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let err = parse(&format!("{PAPER_SQL} extra")).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn multiline_sql_with_semicolon() {
+        let q = parse(
+            "SELECT sum(col2) OVER w1 FROM S\n\
+             WINDOW w1 AS (\n    UNION R\n    PARTITION BY key\n\
+             ORDER BY timestamp\n\
+             ROWS_RANGE\n    BETWEEN 1s PRECEDING AND 1s FOLLOWING);",
+        )
+        .unwrap();
+        assert_eq!(q.union_table, "R");
+    }
+
+    #[test]
+    fn zero_bounds_are_allowed() {
+        let q = parse(
+            "SELECT sum(v) OVER w FROM a WINDOW w AS (UNION b PARTITION BY k \
+             ORDER BY t ROWS_RANGE BETWEEN 0s PRECEDING AND CURRENT ROW)",
+        )
+        .unwrap();
+        assert_eq!(q.preceding, Duration::ZERO);
+        assert!(q.to_oij_query().is_ok());
+    }
+
+    #[test]
+    fn missing_pieces_report_position() {
+        let err = parse("SELECT sum(x) OVER w FROM s").unwrap_err();
+        match err {
+            Error::SqlParse { message, .. } => assert!(message.contains("WINDOW"), "{message}"),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+}

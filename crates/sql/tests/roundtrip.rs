@@ -1,0 +1,55 @@
+//! Property test: every representable plan survives `to_sql` → `parse`.
+
+use oij_common::{AggSpec, Duration};
+use oij_sql::{parse, WindowUnionQuery};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_]{0,12}".prop_filter("avoid keywords", |s| {
+        // Identifiers that collide with grammar keywords would change the
+        // parse; real deployments quote them, our dialect forbids them.
+        !matches!(
+            s.to_ascii_uppercase().as_str(),
+            "SELECT" | "OVER" | "FROM" | "WINDOW" | "AS" | "UNION" | "PARTITION" | "BY"
+                | "ORDER" | "ROWS_RANGE" | "BETWEEN" | "PRECEDING" | "AND" | "FOLLOWING"
+                | "CURRENT" | "ROW" | "LATENESS" | "SUM" | "COUNT" | "AVG" | "MIN" | "MAX"
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn to_sql_then_parse_is_identity(
+        agg_idx in 0usize..5,
+        base in ident(),
+        probe in ident(),
+        window in ident(),
+        key in ident(),
+        order in ident(),
+        column in ident(),
+        pre_us in 0i64..10_000_000,
+        fol_us in 0i64..10_000_000,
+        late_us in 0i64..10_000_000,
+    ) {
+        let agg = [AggSpec::Sum, AggSpec::Count, AggSpec::Avg, AggSpec::Min, AggSpec::Max][agg_idx];
+        let q = WindowUnionQuery {
+            agg,
+            agg_column: if agg == AggSpec::Count { "*".into() } else { column },
+            window_name: window,
+            base_table: base,
+            union_table: probe,
+            partition_key: key,
+            order_column: order,
+            preceding: Duration::from_micros(pre_us),
+            following: Duration::from_micros(fol_us),
+            lateness: Duration::from_micros(late_us),
+        };
+        let sql = q.to_sql();
+        let parsed = parse(&sql).map_err(|e| {
+            TestCaseError::fail(format!("reparse failed for {sql:?}: {e}"))
+        })?;
+        prop_assert_eq!(parsed, q);
+    }
+}

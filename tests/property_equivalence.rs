@@ -1,0 +1,134 @@
+//! Property-based integration tests: for arbitrary workload shapes, the
+//! parallel engines in exact (watermark) mode must equal the brute-force
+//! oracle, and stream generation must respect its disorder contract.
+
+use oij::engine::Oracle;
+use oij::prelude::*;
+use proptest::prelude::*;
+
+fn workload(
+    tuples: usize,
+    keys: u64,
+    disorder_us: i64,
+    probe_fraction: f64,
+    seed: u64,
+) -> Vec<Event> {
+    SyntheticConfig {
+        tuples,
+        unique_keys: keys,
+        key_dist: KeyDist::Uniform,
+        probe_fraction,
+        spacing: Duration::from_micros(1),
+        disorder: Duration::from_micros(disorder_us),
+        payload_bytes: 0,
+        seed,
+    }
+    .generate()
+}
+
+proptest! {
+    // Each case spawns threads; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Scale-OIJ in watermark mode equals the oracle for arbitrary window,
+    /// lateness, key-count, probe-ratio, joiner-count and agg choices.
+    #[test]
+    fn scale_oij_watermark_equals_oracle(
+        pre in 1i64..600,
+        disorder in 0i64..300,
+        keys in 1u64..12,
+        probe_fraction in 0.1f64..0.9,
+        joiners in 1usize..5,
+        seed in any::<u64>(),
+        agg_idx in 0usize..3,
+    ) {
+        let agg = [AggSpec::Sum, AggSpec::Count, AggSpec::Avg][agg_idx];
+        let query = OijQuery::builder()
+            .preceding(Duration::from_micros(pre))
+            .lateness(Duration::from_micros(disorder.max(1)))
+            .agg(agg)
+            .emit(EmitMode::Watermark)
+            .build()
+            .unwrap();
+        let events = workload(4_000, keys, disorder, probe_fraction, seed);
+        let mut want = Oracle::new(query.clone()).run(&events);
+        want.sort_by_key(|r| r.seq);
+
+        let (sink, rows) = Sink::collect();
+        let mut engine = ScaleOij::spawn(EngineConfig::new(query, joiners).unwrap(), sink)
+            .expect("spawn");
+        for e in &events {
+            engine.push(e.clone()).expect("push");
+        }
+        engine.finish().expect("finish");
+        let mut got = rows.lock().unwrap().clone();
+        got.sort_by_key(|r| r.seq);
+
+        prop_assert_eq!(got.len(), want.len());
+        for (g, o) in got.iter().zip(&want) {
+            prop_assert_eq!(g.matched, o.matched, "seq {}", g.seq);
+            prop_assert!(g.agg_approx_eq(o, 1e-9), "seq {}: {:?} vs {:?}", g.seq, g.agg, o.agg);
+        }
+    }
+
+    /// Key-OIJ in watermark mode equals the oracle under the same space.
+    #[test]
+    fn key_oij_watermark_equals_oracle(
+        pre in 1i64..600,
+        disorder in 0i64..300,
+        keys in 1u64..12,
+        joiners in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let query = OijQuery::builder()
+            .preceding(Duration::from_micros(pre))
+            .lateness(Duration::from_micros(disorder.max(1)))
+            .agg(AggSpec::Sum)
+            .emit(EmitMode::Watermark)
+            .build()
+            .unwrap();
+        let events = workload(4_000, keys, disorder, 0.5, seed);
+        let mut want = Oracle::new(query.clone()).run(&events);
+        want.sort_by_key(|r| r.seq);
+
+        let (sink, rows) = Sink::collect();
+        let mut engine = KeyOij::spawn(EngineConfig::new(query, joiners).unwrap(), sink)
+            .expect("spawn");
+        for e in &events {
+            engine.push(e.clone()).expect("push");
+        }
+        engine.finish().expect("finish");
+        let mut got = rows.lock().unwrap().clone();
+        got.sort_by_key(|r| r.seq);
+
+        prop_assert_eq!(got.len(), want.len());
+        for (g, o) in got.iter().zip(&want) {
+            prop_assert_eq!(g.matched, o.matched, "seq {}", g.seq);
+            prop_assert!(g.agg_approx_eq(o, 1e-9), "seq {}", g.seq);
+        }
+    }
+
+    /// Generated streams never violate their own disorder bound: with
+    /// lateness = disorder, no engine ever counts a lateness violation.
+    #[test]
+    fn generator_disorder_respects_lateness_contract(
+        disorder in 0i64..500,
+        keys in 1u64..20,
+        seed in any::<u64>(),
+    ) {
+        let query = OijQuery::builder()
+            .preceding(Duration::from_micros(100))
+            .lateness(Duration::from_micros(disorder))
+            .agg(AggSpec::Sum)
+            .build()
+            .unwrap();
+        let events = workload(3_000, keys, disorder, 0.5, seed);
+        let (sink, _) = Sink::collect();
+        let mut engine = KeyOij::spawn(EngineConfig::new(query, 2).unwrap(), sink).unwrap();
+        for e in &events {
+            engine.push(e.clone()).unwrap();
+        }
+        let stats = engine.finish().unwrap();
+        prop_assert_eq!(stats.late_violations, 0);
+    }
+}

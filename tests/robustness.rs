@@ -1,0 +1,220 @@
+//! Robustness and lifecycle tests: aggressive expiration + scheduling
+//! churn under disorder, drop-without-finish, and misuse of the API.
+
+use oij::engine::Oracle;
+use oij::prelude::*;
+
+fn workload(tuples: usize, keys: u64, disorder_us: i64, seed: u64) -> Vec<Event> {
+    SyntheticConfig {
+        tuples,
+        unique_keys: keys,
+        key_dist: KeyDist::Uniform,
+        probe_fraction: 0.5,
+        spacing: Duration::from_micros(1),
+        disorder: Duration::from_micros(disorder_us),
+        payload_bytes: 0,
+        seed,
+    }
+    .generate()
+}
+
+#[test]
+fn scale_oij_survives_aggressive_everything() {
+    // Expiration every message, heartbeats every 16 pushes, 1ms schedule
+    // churn, Zipf keys, disorder — and still exact in watermark mode.
+    let query = OijQuery::builder()
+        .preceding(Duration::from_micros(150))
+        .lateness(Duration::from_micros(200))
+        .agg(AggSpec::Sum)
+        .emit(EmitMode::Watermark)
+        .build()
+        .unwrap();
+    let events = {
+        let mut cfg = SyntheticConfig {
+            tuples: 30_000,
+            unique_keys: 5,
+            key_dist: KeyDist::Zipf { exponent: 1.0 },
+            probe_fraction: 0.5,
+            spacing: Duration::from_micros(1),
+            disorder: Duration::from_micros(200),
+            payload_bytes: 8,
+            seed: 0xDEAD,
+        };
+        cfg.key_dist = KeyDist::Zipf { exponent: 1.0 };
+        cfg.generate()
+    };
+    let mut want = Oracle::new(query.clone()).run(&events);
+    want.sort_by_key(|r| r.seq);
+
+    let mut cfg = EngineConfig::new(query, 4).unwrap();
+    cfg.expire_every = 1;
+    cfg.heartbeat_every = 16;
+    cfg.schedule_interval = std::time::Duration::from_millis(1);
+    cfg.channel_capacity = 64;
+
+    let (sink, rows) = Sink::collect();
+    let mut engine = ScaleOij::spawn(cfg, sink).unwrap();
+    for e in &events {
+        engine.push(e.clone()).unwrap();
+    }
+    let stats = engine.finish().unwrap();
+    assert!(stats.evicted > 0, "expiration must have run");
+
+    let mut got = rows.lock().unwrap().clone();
+    got.sort_by_key(|r| r.seq);
+    assert_eq!(got.len(), want.len());
+    for (g, o) in got.iter().zip(&want) {
+        assert_eq!(g.matched, o.matched, "seq {}", g.seq);
+        assert!(g.agg_approx_eq(o, 1e-9), "seq {}", g.seq);
+    }
+}
+
+#[test]
+fn engines_drop_cleanly_without_finish() {
+    let query = OijQuery::builder()
+        .preceding(Duration::from_micros(100))
+        .build()
+        .unwrap();
+    let events = workload(2_000, 4, 0, 5);
+
+    // Each engine is dropped mid-stream; worker threads must not hang.
+    let cfg = EngineConfig::new(query.clone(), 3).unwrap();
+    {
+        let mut e = KeyOij::spawn(cfg.clone(), Sink::null()).unwrap();
+        for ev in &events[..500] {
+            e.push(ev.clone()).unwrap();
+        }
+    }
+    {
+        let mut e = ScaleOij::spawn(cfg.clone(), Sink::null()).unwrap();
+        for ev in &events[..500] {
+            e.push(ev.clone()).unwrap();
+        }
+    }
+    {
+        let mut e = SplitJoin::spawn(cfg.clone(), Sink::null()).unwrap();
+        for ev in &events[..500] {
+            e.push(ev.clone()).unwrap();
+        }
+    }
+    {
+        let mut e = OpenMldbBaseline::spawn(cfg, Sink::null()).unwrap();
+        for ev in &events[..500] {
+            e.push(ev.clone()).unwrap();
+        }
+    }
+    // reaching here without deadlock is the assertion
+}
+
+#[test]
+fn flush_event_mid_stream_stops_input() {
+    let query = OijQuery::builder()
+        .preceding(Duration::from_micros(100))
+        .build()
+        .unwrap();
+    let (sink, _) = Sink::collect();
+    let mut e = KeyOij::spawn(EngineConfig::new(query, 1).unwrap(), sink).unwrap();
+    e.push(Event::data(
+        0,
+        Side::Base,
+        Tuple::new(Timestamp::from_micros(1), 1, 1.0),
+    ))
+    .unwrap();
+    e.push(Event::flush(1)).unwrap();
+    let stats = e.finish().unwrap();
+    assert_eq!(stats.input_tuples, 1); // the flush marker is not data
+}
+
+#[test]
+fn tiny_channels_backpressure_without_deadlock() {
+    let query = OijQuery::builder()
+        .preceding(Duration::from_micros(50))
+        .build()
+        .unwrap();
+    let mut cfg = EngineConfig::new(query, 2).unwrap();
+    cfg.channel_capacity = 1;
+    let events = workload(5_000, 4, 0, 8);
+    let (sink, _) = Sink::collect();
+    let mut e = SplitJoin::spawn(cfg, sink).unwrap();
+    for ev in &events {
+        e.push(ev.clone()).unwrap();
+    }
+    let stats = e.finish().unwrap();
+    assert_eq!(stats.input_tuples, events.len() as u64);
+}
+
+#[test]
+fn single_key_single_partition_extreme() {
+    // The most extreme skew: one key. The dynamic schedule should grow the
+    // team; watermark mode must stay exact.
+    let query = OijQuery::builder()
+        .preceding(Duration::from_micros(200))
+        .lateness(Duration::from_micros(50))
+        .agg(AggSpec::Avg)
+        .emit(EmitMode::Watermark)
+        .build()
+        .unwrap();
+    let events = workload(20_000, 1, 50, 21);
+    let mut want = Oracle::new(query.clone()).run(&events);
+    want.sort_by_key(|r| r.seq);
+
+    let mut cfg = EngineConfig::new(query, 4).unwrap();
+    cfg.schedule_interval = std::time::Duration::from_millis(1);
+    let (sink, rows) = Sink::collect();
+    let mut engine = ScaleOij::spawn(cfg, sink).unwrap();
+    for e in &events {
+        engine.push(e.clone()).unwrap();
+    }
+    let stats = engine.finish().unwrap();
+    let mut got = rows.lock().unwrap().clone();
+    got.sort_by_key(|r| r.seq);
+    assert_eq!(got.len(), want.len());
+    for (g, o) in got.iter().zip(&want) {
+        assert!(g.agg_approx_eq(o, 1e-9), "seq {}", g.seq);
+    }
+    // With one key the schedule should have replicated it across joiners.
+    let active = stats.joiner_loads.iter().filter(|&&l| l > 0).count();
+    assert!(active >= 2, "loads: {:?}", stats.joiner_loads);
+}
+
+#[test]
+fn empty_and_degenerate_streams() {
+    let query = OijQuery::builder()
+        .preceding(Duration::from_micros(10))
+        .build()
+        .unwrap();
+    // No input at all.
+    let (sink, rows) = Sink::collect();
+    let mut e = ScaleOij::spawn(EngineConfig::new(query.clone(), 2).unwrap(), sink).unwrap();
+    let stats = e.finish().unwrap();
+    assert_eq!(stats.input_tuples, 0);
+    assert_eq!(stats.results, 0);
+    assert!(rows.lock().unwrap().is_empty());
+
+    // Probe-only stream: zero results.
+    let (sink, _) = Sink::collect();
+    let mut e = ScaleOij::spawn(EngineConfig::new(query.clone(), 2).unwrap(), sink).unwrap();
+    for i in 0..100u64 {
+        e.push(Event::data(
+            i,
+            Side::Probe,
+            Tuple::new(Timestamp::from_micros(i as i64), 1, 1.0),
+        ))
+        .unwrap();
+    }
+    assert_eq!(e.finish().unwrap().results, 0);
+
+    // Base-only stream: every window is empty but rows still emit.
+    let (sink, rows) = Sink::collect();
+    let mut e = ScaleOij::spawn(EngineConfig::new(query, 2).unwrap(), sink).unwrap();
+    for i in 0..100u64 {
+        e.push(Event::data(
+            i,
+            Side::Base,
+            Tuple::new(Timestamp::from_micros(i as i64), 1, 1.0),
+        ))
+        .unwrap();
+    }
+    assert_eq!(e.finish().unwrap().results, 100);
+    assert!(rows.lock().unwrap().iter().all(|r| r.agg == Some(0.0)));
+}
