@@ -213,9 +213,11 @@ mod tests {
         let mut model: std::collections::VecDeque<f64> = Default::default();
         let mut x = 12345u64;
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = ((x >> 33) % 1000) as f64 - 500.0;
-            if x % 3 == 0 && !model.is_empty() {
+            if x.is_multiple_of(3) && !model.is_empty() {
                 assert_eq!(w.evict().unwrap(), model.pop_front().unwrap());
             } else {
                 w.push(v);

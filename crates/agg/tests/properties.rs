@@ -2,8 +2,8 @@
 //! recomputation from scratch under arbitrary value sequences and window
 //! slidings.
 
-use oij_common::AggSpec;
 use oij_agg::{FullWindowAgg, PartialAgg, RunningAgg, TwoStackAgg};
+use oij_common::AggSpec;
 use proptest::prelude::*;
 
 const ALL_SPECS: [AggSpec; 5] = [

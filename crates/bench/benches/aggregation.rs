@@ -4,8 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use oij_common::AggSpec;
 use oij_agg::{FullWindowAgg, RunningAgg, TwoStackAgg};
+use oij_common::AggSpec;
 
 /// Slide a window of `width` across `vals`, recomputing from scratch.
 fn slide_recompute(vals: &[f64], width: usize) -> f64 {
@@ -39,14 +39,14 @@ fn bench_soe_vs_recompute(c: &mut Criterion) {
     let vals: Vec<f64> = (0..10_000).map(|i| ((i * 31) % 97) as f64).collect();
     let mut group = c.benchmark_group("window_slide_10k_steps");
     for width in [16usize, 256, 4096] {
-        group.bench_with_input(
-            BenchmarkId::new("recompute", width),
-            &width,
-            |b, &w| b.iter(|| black_box(slide_recompute(&vals, w))),
-        );
-        group.bench_with_input(BenchmarkId::new("subtract_on_evict", width), &width, |b, &w| {
-            b.iter(|| black_box(slide_soe(&vals, w)))
+        group.bench_with_input(BenchmarkId::new("recompute", width), &width, |b, &w| {
+            b.iter(|| black_box(slide_recompute(&vals, w)))
         });
+        group.bench_with_input(
+            BenchmarkId::new("subtract_on_evict", width),
+            &width,
+            |b, &w| b.iter(|| black_box(slide_soe(&vals, w))),
+        );
     }
     group.finish();
 }

@@ -27,7 +27,7 @@ fn pattern(n: usize, disorder: i64) -> Vec<(i64, bool)> {
             } else {
                 0
             };
-            (i as i64 - jitter, x % 2 == 0)
+            (i as i64 - jitter, x.is_multiple_of(2))
         })
         .collect()
 }
@@ -69,7 +69,10 @@ fn run_btreemap(steps: &[(i64, bool)]) -> f64 {
     let mut out = 0.0;
     for (i, &(ts, is_base)) in steps.iter().enumerate() {
         if is_base {
-            let sum: f64 = map.range((ts - WINDOW, 0)..=(ts, u64::MAX)).map(|(_, v)| *v).sum();
+            let sum: f64 = map
+                .range((ts - WINDOW, 0)..=(ts, u64::MAX))
+                .map(|(_, v)| *v)
+                .sum();
             out += sum;
         } else {
             seq += 1;
@@ -106,13 +109,14 @@ fn run_unsorted_vec(steps: &[(i64, bool)]) -> f64 {
 fn bench_index_ablation(c: &mut Criterion) {
     for disorder in [0i64, 2_000] {
         let steps = pattern(50_000, disorder);
-        let mut group =
-            c.benchmark_group(format!("index_ablation_disorder_{disorder}us"));
+        let mut group = c.benchmark_group(format!("index_ablation_disorder_{disorder}us"));
         group.sample_size(10);
         group.throughput(criterion::Throughput::Elements(steps.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter("swmr_skiplist"), &steps, |b, s| {
-            b.iter(|| black_box(run_skiplist(s)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter("swmr_skiplist"),
+            &steps,
+            |b, s| b.iter(|| black_box(run_skiplist(s))),
+        );
         group.bench_with_input(BenchmarkId::from_parameter("btreemap"), &steps, |b, s| {
             b.iter(|| black_box(run_btreemap(s)))
         });

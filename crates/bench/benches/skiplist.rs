@@ -25,7 +25,11 @@ fn bench_insert(c: &mut Criterion) {
         let mut ts = 0i64;
         b.iter(|| {
             ts += 1;
-            w.insert(Tuple::new(Timestamp::from_micros(ts), (ts % 64) as u64, 1.0));
+            w.insert(Tuple::new(
+                Timestamp::from_micros(ts),
+                (ts % 64) as u64,
+                1.0,
+            ));
         });
     });
     group.bench_function("disordered", |b| {
@@ -56,17 +60,13 @@ fn bench_window_scan_vs_retained(c: &mut Criterion) {
             start: Timestamp::from_micros(retained - 100),
             end: Timestamp::from_micros(retained),
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(retained),
-            &retained,
-            |b, _| {
-                b.iter(|| {
-                    let mut sum = 0.0;
-                    r.scan_window(black_box(2), black_box(window), |t| sum += t.value);
-                    black_box(sum)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(retained), &retained, |b, _| {
+            b.iter(|| {
+                let mut sum = 0.0;
+                r.scan_window(black_box(2), black_box(window), |t| sum += t.value);
+                black_box(sum)
+            });
+        });
     }
     group.finish();
 }

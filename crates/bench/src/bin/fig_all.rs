@@ -6,7 +6,10 @@ use oij_bench::{experiments as ex, BenchCtx};
 fn main() {
     let t0 = std::time::Instant::now();
     let ctx = |tuples: usize| BenchCtx::from_env(tuples);
-    println!("running the full experiment suite (scale = {})", ctx(0).scale);
+    println!(
+        "running the full experiment suite (scale = {})",
+        ctx(0).scale
+    );
     ex::fig04_scalability::run(&ctx(200_000));
     ex::fig05_latency_cdf::run(&ctx(200_000));
     ex::fig06_breakdown::run(&ctx(150_000));
@@ -22,5 +25,9 @@ fn main() {
     ex::fig22_23_openmldb::run(&ctx(150_000));
     ex::abl_schedule::run(&ctx(150_000));
     let out = ctx(0).out_dir;
-    println!("\nall experiments done in {:.1}s; data in {}", t0.elapsed().as_secs_f64(), out.display());
+    println!(
+        "\nall experiments done in {:.1}s; data in {}",
+        t0.elapsed().as_secs_f64(),
+        out.display()
+    );
 }

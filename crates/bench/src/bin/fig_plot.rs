@@ -46,9 +46,7 @@ fn main() {
                                 .as_array()
                                 .map(|ps| {
                                     ps.iter()
-                                        .filter_map(|p| {
-                                            Some((p[0].as_f64()?, p[1].as_f64()?))
-                                        })
+                                        .filter_map(|p| Some((p[0].as_f64()?, p[1].as_f64()?)))
                                         .collect()
                                 })
                                 .unwrap_or_default(),

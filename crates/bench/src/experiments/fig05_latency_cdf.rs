@@ -20,7 +20,9 @@ pub fn run(ctx: &BenchCtx) {
         "latency [ms]",
         "cumulative fraction",
     );
-    fig.note(format!("{joiners} joiner threads; green line in paper = 20 ms SLA"));
+    fig.note(format!(
+        "{joiners} joiner threads; green line in paper = 20 ms SLA"
+    ));
 
     for w in NamedWorkload::all_real() {
         let events = workload_events(&w, ctx.tuples, ctx.scale);

@@ -36,14 +36,8 @@ fn scalability_with_5_keys(ctx: &BenchCtx, base: &NamedWorkload) {
     for kind in [EngineKind::KeyOij, EngineKind::ScaleOij] {
         let mut points = Vec::new();
         for &j in &ctx.threads {
-            let stats = run_engine(
-                kind,
-                base.query(1.0),
-                j,
-                Instrumentation::none(),
-                &events,
-            )
-            .expect("engine run");
+            let stats = run_engine(kind, base.query(1.0), j, Instrumentation::none(), &events)
+                .expect("engine run");
             println!(
                 "  u=5 {:<10} joiners {:>2}: {:>12.0} tuples/s (unb {:.3}, idle joiners {})",
                 kind.label(),

@@ -39,7 +39,10 @@ fn one_workload(ctx: &BenchCtx, w: &NamedWorkload, fig_no: u32) {
 
     let mut tp_fig = Figure::new(
         &format!("fig{fig_no}a_workload_{}_throughput", w.name),
-        &format!("Workload {}: throughput vs joiners (paper Fig. {fig_no})", w.name),
+        &format!(
+            "Workload {}: throughput vs joiners (paper Fig. {fig_no})",
+            w.name
+        ),
         "joiner threads",
         "throughput [tuples/s]",
     );

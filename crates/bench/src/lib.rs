@@ -320,8 +320,7 @@ mod tests {
             EngineKind::SplitJoin,
             EngineKind::OpenMldb,
         ] {
-            let stats =
-                run_engine(kind, q.clone(), 2, Instrumentation::none(), &events).unwrap();
+            let stats = run_engine(kind, q.clone(), 2, Instrumentation::none(), &events).unwrap();
             assert_eq!(stats.input_tuples, 200, "{kind:?}");
             assert_eq!(stats.results, 100, "{kind:?}");
         }

@@ -44,8 +44,8 @@ impl RefCache {
             self.accesses += 1;
             self.clock += 1;
             let set = &mut self.sets[(line & self.set_mask) as usize];
-            if set.contains_key(&line) {
-                set.insert(line, self.clock);
+            if let std::collections::hash_map::Entry::Occupied(mut hit) = set.entry(line) {
+                hit.insert(self.clock);
                 continue;
             }
             self.misses += 1;

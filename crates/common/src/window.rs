@@ -158,24 +158,15 @@ mod tests {
 
     #[test]
     fn rejects_negative_offsets() {
-        assert!(WindowSpec::new(
-            Duration::from_micros(-1),
-            Duration::ZERO,
-            Duration::ZERO
-        )
-        .is_err());
-        assert!(WindowSpec::new(
-            Duration::ZERO,
-            Duration::from_micros(-1),
-            Duration::ZERO
-        )
-        .is_err());
-        assert!(WindowSpec::new(
-            Duration::ZERO,
-            Duration::ZERO,
-            Duration::from_micros(-1)
-        )
-        .is_err());
+        assert!(
+            WindowSpec::new(Duration::from_micros(-1), Duration::ZERO, Duration::ZERO).is_err()
+        );
+        assert!(
+            WindowSpec::new(Duration::ZERO, Duration::from_micros(-1), Duration::ZERO).is_err()
+        );
+        assert!(
+            WindowSpec::new(Duration::ZERO, Duration::ZERO, Duration::from_micros(-1)).is_err()
+        );
     }
 
     #[test]

@@ -222,12 +222,9 @@ impl KeyJoiner {
                 }
             }
             Side::Base => match self.cfg.query.emit {
-                EmitMode::Eager => self.join_and_emit(
-                    msg.tuple.key,
-                    msg.tuple.ts,
-                    msg.seq,
-                    msg.arrival,
-                ),
+                EmitMode::Eager => {
+                    self.join_and_emit(msg.tuple.key, msg.tuple.ts, msg.seq, msg.arrival)
+                }
                 EmitMode::Watermark => {
                     let emit_ts = msg.tuple.ts + self.cfg.query.window.following;
                     self.pending.insert(
@@ -341,7 +338,8 @@ impl KeyJoiner {
         }
         self.inst.evicted += evicted;
         if let Some(t0) = other_t0 {
-            self.inst.add_breakdown(0, 0, t0.elapsed().as_nanos() as u64);
+            self.inst
+                .add_breakdown(0, 0, t0.elapsed().as_nanos() as u64);
         }
     }
 }
@@ -362,7 +360,11 @@ mod tests {
     }
 
     fn ev(seq: u64, side: Side, ts: i64, key: Key, value: f64) -> Event {
-        Event::data(seq, side, Tuple::new(Timestamp::from_micros(ts), key, value))
+        Event::data(
+            seq,
+            side,
+            Tuple::new(Timestamp::from_micros(ts), key, value),
+        )
     }
 
     #[test]
@@ -372,7 +374,11 @@ mod tests {
         let mut x = 3u64;
         for i in 0..2000u64 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let side = if x % 3 == 0 { Side::Base } else { Side::Probe };
+            let side = if x.is_multiple_of(3) {
+                Side::Base
+            } else {
+                Side::Probe
+            };
             events.push(ev(i, side, i as i64 * 2, x % 5, (x % 50) as f64));
         }
         let oracle_rows = crate::oracle::Oracle::new(q.clone()).run(&events);
@@ -390,7 +396,13 @@ mod tests {
         for (g, o) in got.iter().zip(&oracle_rows) {
             assert_eq!(g.seq, o.seq);
             assert_eq!(g.matched, o.matched, "seq {}", g.seq);
-            assert!(g.agg_approx_eq(o, 1e-9), "seq {}: {:?} vs {:?}", g.seq, g.agg, o.agg);
+            assert!(
+                g.agg_approx_eq(o, 1e-9),
+                "seq {}: {:?} vs {:?}",
+                g.seq,
+                g.agg,
+                o.agg
+            );
         }
     }
 
@@ -403,7 +415,11 @@ mod tests {
         let mut x = 11u64;
         for i in 0..3000u64 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let side = if x % 2 == 0 { Side::Base } else { Side::Probe };
+            let side = if x.is_multiple_of(2) {
+                Side::Base
+            } else {
+                Side::Probe
+            };
             events.push(ev(i, side, i as i64, x % 16, (x % 10) as f64));
         }
         let oracle_rows = crate::oracle::Oracle::new(q.clone()).run(&events);
@@ -430,7 +446,11 @@ mod tests {
         let mut x = 17u64;
         for i in 0..4000i64 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let side = if x % 3 == 0 { Side::Base } else { Side::Probe };
+            let side = if x.is_multiple_of(3) {
+                Side::Base
+            } else {
+                Side::Probe
+            };
             let jitter = (x >> 7) as i64 % 200;
             staged.push((
                 i + jitter,
@@ -541,10 +561,12 @@ mod tests {
         use crate::config::Instrumentation;
         use oij_cachesim::CacheConfig;
         let q = query(500, 0, EmitMode::Eager);
-        let cfg = EngineConfig::new(q, 1).unwrap().with_instrument(Instrumentation {
-            cache: Some(CacheConfig::tiny()),
-            ..Instrumentation::none()
-        });
+        let cfg = EngineConfig::new(q, 1)
+            .unwrap()
+            .with_instrument(Instrumentation {
+                cache: Some(CacheConfig::tiny()),
+                ..Instrumentation::none()
+            });
         let (sink, _) = Sink::collect();
         let mut engine = KeyOij::spawn(cfg, sink).unwrap();
         for i in 0..4000u64 {

@@ -282,7 +282,11 @@ mod tests {
         let mut x = 41u64;
         for i in 0..n {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let side = if x % 3 == 0 { Side::Base } else { Side::Probe };
+            let side = if x.is_multiple_of(3) {
+                Side::Base
+            } else {
+                Side::Probe
+            };
             events.push(Event::data(
                 i,
                 side,

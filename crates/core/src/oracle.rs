@@ -18,8 +18,8 @@
 
 use std::collections::BTreeMap;
 
-use oij_common::{EmitMode, Event, FeatureRow, Key, OijQuery, Side};
 use oij_agg::FullWindowAgg;
+use oij_common::{EmitMode, Event, FeatureRow, Key, OijQuery, Side};
 
 /// The reference implementation. Construct, feed the whole event feed, and
 /// read the rows.
@@ -60,8 +60,8 @@ impl Oracle {
                     let w = self.query.window.window_of(tuple.ts);
                     let mut agg = FullWindowAgg::new(self.query.agg);
                     if let Some(series) = probes.get(&tuple.key) {
-                        for (_, &v) in series
-                            .range((w.start.as_micros(), 0)..=(w.end.as_micros(), u64::MAX))
+                        for (_, &v) in
+                            series.range((w.start.as_micros(), 0)..=(w.end.as_micros(), u64::MAX))
                         {
                             agg.add(v);
                         }
@@ -121,7 +121,11 @@ mod tests {
     use oij_common::{AggSpec, Duration, Timestamp, Tuple};
 
     fn ev(seq: u64, side: Side, ts: i64, key: Key, value: f64) -> Event {
-        Event::data(seq, side, Tuple::new(Timestamp::from_micros(ts), key, value))
+        Event::data(
+            seq,
+            side,
+            Tuple::new(Timestamp::from_micros(ts), key, value),
+        )
     }
 
     fn query(pre: i64, emit: EmitMode) -> OijQuery {
@@ -163,8 +167,8 @@ mod tests {
     #[test]
     fn eager_misses_probes_arriving_after_base() {
         let events = vec![
-            ev(0, Side::Base, 100, 1, 0.0),   // base first
-            ev(1, Side::Probe, 90, 1, 5.0),   // in-window probe arrives late
+            ev(0, Side::Base, 100, 1, 0.0), // base first
+            ev(1, Side::Probe, 90, 1, 5.0), // in-window probe arrives late
         ];
         let eager = Oracle::new(query(50, EmitMode::Eager)).run(&events);
         assert_eq!(eager[0].agg, Some(0.0));
@@ -181,7 +185,11 @@ mod tests {
         let mut x = 5u64;
         for i in 0..500u64 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let side = if x % 2 == 0 { Side::Probe } else { Side::Base };
+            let side = if x.is_multiple_of(2) {
+                Side::Probe
+            } else {
+                Side::Base
+            };
             events.push(ev(i, side, i as i64 * 3, x % 4, (x % 100) as f64));
         }
         let eager = Oracle::new(query(40, EmitMode::Eager)).run(&events);

@@ -329,11 +329,16 @@ impl ScaleJoiner {
         // Janitor: drop incremental states more than one extra
         // window+lateness behind (idle keys — they rebuild cheaply on their
         // next base tuple), then publish this joiner's floor.
-        let slack = self.cfg.query.window.length().as_micros()
-            + self.cfg.query.window.lateness.as_micros();
+        let slack =
+            self.cfg.query.window.length().as_micros() + self.cfg.query.window.lateness.as_micros();
         let stale_cut = retention_bound.saturating_sub(slack);
         self.inc.retain(|_, st| st.start >= stale_cut);
-        let floor = self.inc.values().map(|st| st.start).min().unwrap_or(i64::MAX);
+        let floor = self
+            .inc
+            .values()
+            .map(|st| st.start)
+            .min()
+            .unwrap_or(i64::MAX);
         self.inc_floor[self.id].store(floor, Ordering::Release);
 
         // Evict below min(retention, every joiner's incremental floor):
@@ -347,7 +352,8 @@ impl ScaleJoiner {
         let bound = Timestamp::from_micros(retention_bound.min(floor_min));
         self.inst.evicted += self.writer.evict_below(bound) as u64;
         if let Some(t0) = other_t0 {
-            self.inst.add_breakdown(0, 0, t0.elapsed().as_nanos() as u64);
+            self.inst
+                .add_breakdown(0, 0, t0.elapsed().as_nanos() as u64);
         }
     }
 

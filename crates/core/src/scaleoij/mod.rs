@@ -145,9 +145,7 @@ impl ScaleOij {
                             // Only intervene above the floor: replication is
                             // monotone, so acting on noise ratchets fan-out.
                             if current.unbalancedness(&counts, joiners) > floor {
-                                if let Some(next) =
-                                    rebalance(&current, &counts, joiners, delta)
-                                {
+                                if let Some(next) = rebalance(&current, &counts, joiners, delta) {
                                     schedule.replace(next);
                                     changes += 1;
                                 }
@@ -200,7 +198,7 @@ impl OijEngine for ScaleOij {
                 // snapshot routes to a subset of the current team, which is
                 // still a valid member (replication-only growth).
                 self.sched_refresh = self.sched_refresh.wrapping_add(1);
-                if self.sched_refresh % 128 == 0 {
+                if self.sched_refresh.is_multiple_of(128) {
                     self.sched_cache = self.schedule.load();
                 }
                 let team = &self.sched_cache.teams[p];
@@ -214,9 +212,8 @@ impl OijEngine for ScaleOij {
                 if self.since_heartbeat >= self.cfg.heartbeat_every {
                     self.since_heartbeat = 0;
                     for tx in &self.senders {
-                        tx.send(Msg::Heartbeat(watermark)).map_err(|_| {
-                            Error::WorkerPanic("scale-oij joiner hung up".into())
-                        })?;
+                        tx.send(Msg::Heartbeat(watermark))
+                            .map_err(|_| Error::WorkerPanic("scale-oij joiner hung up".into()))?;
                     }
                 }
                 Ok(())
@@ -279,9 +276,7 @@ mod tests {
     use crate::config::Instrumentation;
     use crate::keyoij::KeyOij;
     use crate::oracle::Oracle;
-    use oij_common::{
-        AggSpec, Duration, EmitMode, FeatureRow, OijQuery, Side, Timestamp, Tuple,
-    };
+    use oij_common::{AggSpec, Duration, EmitMode, FeatureRow, OijQuery, Side, Timestamp, Tuple};
 
     fn query(pre: i64, lateness: i64, emit: EmitMode) -> OijQuery {
         OijQuery::builder()
@@ -298,7 +293,7 @@ mod tests {
         let mut x = 99u64;
         for i in 0..n {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let side = if x % base_mod == 0 {
+            let side = if x.is_multiple_of(base_mod) {
                 Side::Base
             } else {
                 Side::Probe
@@ -317,7 +312,11 @@ mod tests {
         let mut x = 1234u64;
         for i in 0..n {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let side = if x % 3 == 0 { Side::Base } else { Side::Probe };
+            let side = if x.is_multiple_of(3) {
+                Side::Base
+            } else {
+                Side::Probe
+            };
             let jitter = (x >> 9) as i64 % jitter_max;
             staged.push((
                 i + jitter,
@@ -475,10 +474,12 @@ mod tests {
         let (scale_stats, _) = run_scale(cfg, &events);
 
         let (sink, _) = Sink::collect();
-        let key_cfg = EngineConfig::new(q, 2).unwrap().with_instrument(Instrumentation {
-            effectiveness: true,
-            ..Instrumentation::none()
-        });
+        let key_cfg = EngineConfig::new(q, 2)
+            .unwrap()
+            .with_instrument(Instrumentation {
+                effectiveness: true,
+                ..Instrumentation::none()
+            });
         let mut key = KeyOij::spawn(key_cfg, sink).unwrap();
         for e in &events {
             key.push(e.clone()).unwrap();

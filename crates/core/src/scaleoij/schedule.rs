@@ -109,7 +109,11 @@ pub fn rebalance(
     joiners: usize,
     delta: f64,
 ) -> Option<Schedule> {
-    assert_eq!(current.teams.len(), counts.len(), "partition count mismatch");
+    assert_eq!(
+        current.teams.len(),
+        counts.len(),
+        "partition count mismatch"
+    );
     if joiners <= 1 {
         return None;
     }

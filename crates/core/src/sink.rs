@@ -45,7 +45,13 @@ mod tests {
     #[test]
     fn collect_sink_stores_rows() {
         let (sink, rows) = Sink::collect();
-        sink.emit(FeatureRow::new(Timestamp::from_micros(1), 2, 0, Some(3.0), 1));
+        sink.emit(FeatureRow::new(
+            Timestamp::from_micros(1),
+            2,
+            0,
+            Some(3.0),
+            1,
+        ));
         let clone = sink.clone();
         clone.emit(FeatureRow::new(Timestamp::from_micros(2), 2, 1, None, 0));
         let rows = rows.lock().unwrap();
@@ -56,7 +62,13 @@ mod tests {
     #[test]
     fn null_sink_discards() {
         let sink = Sink::null();
-        sink.emit(FeatureRow::new(Timestamp::from_micros(1), 2, 0, Some(3.0), 1));
+        sink.emit(FeatureRow::new(
+            Timestamp::from_micros(1),
+            2,
+            0,
+            Some(3.0),
+            1,
+        ));
         // nothing to observe — must simply not panic
     }
 }

@@ -302,8 +302,8 @@ impl SplitJoiner {
                         value: msg.tuple.value,
                     });
                     if self.inst.cache.is_some() {
-                        let addr = buf.as_ptr() as usize
-                            + (buf.len() - 1) * std::mem::size_of::<Stored>();
+                        let addr =
+                            buf.as_ptr() as usize + (buf.len() - 1) * std::mem::size_of::<Stored>();
                         self.inst.record_access(addr, std::mem::size_of::<Stored>());
                     }
                 }
@@ -447,8 +447,16 @@ mod tests {
         let mut x = 77u64;
         for i in 0..n as i64 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let side = if x % 3 == 0 { Side::Base } else { Side::Probe };
-            let j = if jitter > 0 { (x >> 11) as i64 % jitter } else { 0 };
+            let side = if x.is_multiple_of(3) {
+                Side::Base
+            } else {
+                Side::Probe
+            };
+            let j = if jitter > 0 {
+                (x >> 11) as i64 % jitter
+            } else {
+                0
+            };
             staged.push((
                 i + j,
                 side,

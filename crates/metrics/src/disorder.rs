@@ -158,7 +158,10 @@ mod tests {
         let p99 = e.recommended_lateness(0.99).as_micros();
         let p100 = e.recommended_lateness(1.0).as_micros();
         assert!(p99 <= 110, "99% coverage should ignore the tail: {p99}");
-        assert!(p100 >= 90_000, "full coverage must include the tail: {p100}");
+        assert!(
+            p100 >= 90_000,
+            "full coverage must include the tail: {p100}"
+        );
     }
 
     #[test]

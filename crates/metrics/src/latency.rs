@@ -55,8 +55,7 @@ impl LatencyHistogram {
         let msb = 63 - value_ns.leading_zeros(); // ≥ 5
         let shift = msb - SUB_BITS; // top SUB_BITS+1 bits select the bucket
         let top = (value_ns >> shift) as usize; // ∈ [16, 31]
-        let idx =
-            LINEAR_LIMIT as usize + (msb as usize - 5) * SUB_BUCKETS + (top - SUB_BUCKETS);
+        let idx = LINEAR_LIMIT as usize + (msb as usize - 5) * SUB_BUCKETS + (top - SUB_BUCKETS);
         idx.min(BUCKETS - 1)
     }
 

@@ -92,7 +92,11 @@ pub fn unbalancedness(workloads: &[f64]) -> f64 {
     if mean == 0.0 {
         return 0.0;
     }
-    let var = workloads.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / n;
+    let var = workloads
+        .iter()
+        .map(|w| (w - mean) * (w - mean))
+        .sum::<f64>()
+        / n;
     var.sqrt() / mean
 }
 

@@ -105,7 +105,7 @@ mod tests {
     fn work_lands_in_right_bucket() {
         let origin = Instant::now();
         let mut tl = BusyTimeline::new(origin, 1_000_000); // 1ms buckets
-        // 0.5ms of work ending at t=2.5ms → bucket 2
+                                                           // 0.5ms of work ending at t=2.5ms → bucket 2
         tl.record(origin + Duration::from_micros(2_500), 500_000);
         let s = tl.finish();
         assert_eq!(s.utilization.len(), 3);

@@ -1,7 +1,7 @@
 //! Property tests for the metrics toolkit.
 
-use oij_metrics::{unbalancedness, DisorderEstimator, LatencyHistogram};
 use oij_common::Timestamp;
+use oij_metrics::{unbalancedness, DisorderEstimator, LatencyHistogram};
 use proptest::prelude::*;
 
 proptest! {

@@ -26,6 +26,7 @@
 
 pub mod rcu;
 pub mod swmr;
+pub(crate) mod sync;
 pub mod timetravel;
 
 pub use rcu::RcuCell;

@@ -8,7 +8,7 @@
 //! value and defers destruction of the old one until all current readers
 //! have moved on.
 
-use std::sync::atomic::Ordering;
+use crate::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crossbeam_epoch::{self as epoch, Atomic, Owned};
@@ -117,10 +117,12 @@ mod tests {
         let mut n = 0u64;
         // Keep replacing until the readers have observably run (bounded so
         // a pathological scheduler cannot hang the test).
-        while n < 2_000 || (loads.load(O::Relaxed) == 0 && n < 50_000_000) {
+        const MIN_REPLACES: u64 = if cfg!(miri) { 200 } else { 2_000 };
+        const MAX_REPLACES: u64 = if cfg!(miri) { 100_000 } else { 50_000_000 };
+        while n < MIN_REPLACES || (loads.load(O::Relaxed) == 0 && n < MAX_REPLACES) {
             n += 1;
             cell.replace((n, n * 2));
-            if n % 4096 == 0 {
+            if n.is_multiple_of(4096) {
                 std::thread::yield_now();
             }
         }

@@ -1,0 +1,25 @@
+//! Facade over the synchronization primitives the index structures use.
+//!
+//! In the normal configuration this re-exports `std::sync::atomic`; when the
+//! crate is compiled with `RUSTFLAGS="--cfg loom"` it re-exports the loom
+//! model checker's instrumented atomics instead, so `swmr`, `timetravel`,
+//! and `rcu` compile unchanged against either backend. The loom tests in
+//! `tests/loom.rs` exhaustively explore thread interleavings of the
+//! publication, linking, eviction, and RCU-swap protocols.
+//!
+//! Everything in the data-structure modules must import atomics from
+//! `crate::sync::atomic` — never from `std::sync::atomic` directly — or the
+//! model checker cannot observe (and so cannot permute) those operations.
+//! `crossbeam_epoch`'s pointer words are instrumented the same way by the
+//! vendored crate's own `cfg(loom)` backend.
+
+#[cfg(not(loom))]
+pub(crate) mod atomic {
+    pub(crate) use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(loom)]
+pub(crate) mod atomic {
+    pub(crate) use loom::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize};
+    pub(crate) use std::sync::atomic::Ordering;
+}

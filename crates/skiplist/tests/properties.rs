@@ -109,6 +109,50 @@ proptest! {
         }
     }
 
+    /// Scan-level eviction boundary on the double-layer index: after
+    /// `evict_below(b)`, no scan (however wide) returns a tuple with
+    /// `ts < b`, and **every** surviving tuple (`ts >= b`) stays reachable
+    /// through its key — eviction must be exact, neither leaking expired
+    /// tuples nor collaterally unlinking live ones.
+    #[test]
+    fn timetravel_eviction_is_exact(
+        tuples in proptest::collection::vec((0i64..400, 0u64..6, -50.0f64..50.0), 1..250),
+        bound in 0i64..400,
+        rounds in 1usize..4,
+    ) {
+        let (mut w, r) = TimeTravelIndex::new();
+        for &(ts, key, val) in &tuples {
+            w.insert(Tuple::new(Timestamp::from_micros(ts), key, val));
+        }
+        // Repeated eviction at the same bound must be idempotent.
+        let mut evicted_total = 0;
+        for _ in 0..rounds {
+            evicted_total += w.evict_below(Timestamp::from_micros(bound));
+        }
+        let expected_evicted = tuples.iter().filter(|(ts, _, _)| *ts < bound).count();
+        prop_assert_eq!(evicted_total, expected_evicted);
+        prop_assert_eq!(w.len(), tuples.len() - expected_evicted);
+
+        let everything = Window {
+            start: Timestamp::from_micros(i64::MIN),
+            end: Timestamp::from_micros(i64::MAX),
+        };
+        for key in 0u64..6 {
+            let mut seen: Vec<(i64, f64)> = Vec::new();
+            r.scan_window(key, everything, |t| seen.push((t.ts.as_micros(), t.value)));
+            // No expired tuple is ever returned...
+            prop_assert!(seen.iter().all(|(ts, _)| *ts >= bound));
+            // ...and every survivor is, in (ts, insertion-seq) order.
+            let mut want: Vec<(i64, f64)> = tuples
+                .iter()
+                .filter(|(ts, k, _)| *k == key && *ts >= bound)
+                .map(|(ts, _, v)| (*ts, *v))
+                .collect();
+            want.sort_by_key(|(ts, _)| *ts);
+            prop_assert_eq!(seen, want);
+        }
+    }
+
     /// Eviction below the minimum and maximum bounds behaves as no-op/clear.
     #[test]
     fn eviction_boundaries(keys in proptest::collection::vec(0i64..1000, 1..100)) {

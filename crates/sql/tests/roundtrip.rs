@@ -10,9 +10,28 @@ fn ident() -> impl Strategy<Value = String> {
         // parse; real deployments quote them, our dialect forbids them.
         !matches!(
             s.to_ascii_uppercase().as_str(),
-            "SELECT" | "OVER" | "FROM" | "WINDOW" | "AS" | "UNION" | "PARTITION" | "BY"
-                | "ORDER" | "ROWS_RANGE" | "BETWEEN" | "PRECEDING" | "AND" | "FOLLOWING"
-                | "CURRENT" | "ROW" | "LATENESS" | "SUM" | "COUNT" | "AVG" | "MIN" | "MAX"
+            "SELECT"
+                | "OVER"
+                | "FROM"
+                | "WINDOW"
+                | "AS"
+                | "UNION"
+                | "PARTITION"
+                | "BY"
+                | "ORDER"
+                | "ROWS_RANGE"
+                | "BETWEEN"
+                | "PRECEDING"
+                | "AND"
+                | "FOLLOWING"
+                | "CURRENT"
+                | "ROW"
+                | "LATENESS"
+                | "SUM"
+                | "COUNT"
+                | "AVG"
+                | "MIN"
+                | "MAX"
         )
     })
 }

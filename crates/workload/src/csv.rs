@@ -70,9 +70,7 @@ pub fn read_csv(reader: impl BufRead) -> io::Result<Vec<Event>> {
             .map_err(|_| bad(format!("bad key '{}'", fields[2])))?;
         let value: f64 = match fields.get(3) {
             None | Some(&"") => 0.0,
-            Some(v) => v
-                .parse()
-                .map_err(|_| bad(format!("bad value '{v}'")))?,
+            Some(v) => v.parse().map_err(|_| bad(format!("bad value '{v}'")))?,
         };
         events.push(Event::data(
             seq,

@@ -71,14 +71,12 @@ impl NamedWorkload {
         // lateness keeps the paper's l/|w| ratio (that ratio is what decides
         // how much out-of-window data a full-scan engine wades through).
         let lateness_secs = window_secs * paper.lateness_secs / paper.window_secs;
-        let load_factor = match paper.arrival_rate {
-            None => None, // ∞: push as fast as possible
-            Some(rate) => {
-                // Anchor A (120 K/s) at 50% utilisation; others scale
-                // linearly with their published rate and are capped at 90%.
-                Some((0.5 * rate / 120_000.0).min(0.9))
-            }
-        };
+        // None (∞ arrival rate) pushes as fast as possible; otherwise anchor
+        // A (120 K/s) at 50% utilisation, scale linearly with the published
+        // rate, and cap at 90%.
+        let load_factor = paper
+            .arrival_rate
+            .map(|rate| (0.5 * rate / 120_000.0).min(0.9));
         NamedWorkload {
             name,
             sector,
@@ -250,7 +248,12 @@ mod tests {
             let cfg = w.config(1000, 1.0);
             let m = cfg.expected_matches_per_window(w.scaled_window(1.0));
             let rel = (m - w.paper.matches_per_window).abs() / w.paper.matches_per_window;
-            assert!(rel < 0.01, "workload {}: {m} vs {}", w.name, w.paper.matches_per_window);
+            assert!(
+                rel < 0.01,
+                "workload {}: {m} vs {}",
+                w.name,
+                w.paper.matches_per_window
+            );
         }
     }
 

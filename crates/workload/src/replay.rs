@@ -80,7 +80,11 @@ pub fn read_events(mut r: impl Read) -> io::Result<Vec<Event>> {
                 let mut payload = vec![0u8; len];
                 r.read_exact(&mut payload)?;
                 let side = if tag == 0 { Side::Base } else { Side::Probe };
-                Event::data(seq, side, Tuple::with_payload(ts, key, value, payload.into()))
+                Event::data(
+                    seq,
+                    side,
+                    Tuple::with_payload(ts, key, value, payload.into()),
+                )
             }
             other => {
                 return Err(io::Error::new(

@@ -290,7 +290,10 @@ mod tests {
             max_seen = max_seen.max(ts);
         }
         assert!(worst > 0, "some disorder expected");
-        assert!(worst <= disorder, "disorder {worst} exceeds bound {disorder}");
+        assert!(
+            worst <= disorder,
+            "disorder {worst} exceeds bound {disorder}"
+        );
     }
 
     #[test]
@@ -343,7 +346,12 @@ mod tests {
             counts[e.as_data().unwrap().1.key as usize] += 1;
         }
         // Key 0 (rank 1) clearly dominates key 50.
-        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         // Head keys carry most of the mass.
         let head: usize = counts[..10].iter().sum();
         assert!(head * 2 > events.len(), "head mass too small: {head}");
@@ -395,7 +403,10 @@ mod tests {
             );
         }
         // Rotation: at least two periods have different hot sets.
-        assert!(tops.windows(2).any(|w| w[0] != w[1]), "hot set never rotated");
+        assert!(
+            tops.windows(2).any(|w| w[0] != w[1]),
+            "hot set never rotated"
+        );
     }
 
     #[test]

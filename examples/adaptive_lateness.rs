@@ -48,9 +48,8 @@ fn main() -> oij::Result<()> {
     // margin — a finite sample cannot bound the unseen tail exactly. (The
     // sub-1.0 coverages above trade bounded violation rates for memory,
     // quantised by the histogram's ~6% bucket resolution.)
-    let learned = Duration::from_micros(
-        (est.recommended_lateness(1.0).as_micros() as f64 * 1.1) as i64,
-    );
+    let learned =
+        Duration::from_micros((est.recommended_lateness(1.0).as_micros() as f64 * 1.1) as i64);
     let query = OijQuery::builder()
         .preceding(Duration::from_millis(5))
         .lateness(learned)

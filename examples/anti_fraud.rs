@@ -62,10 +62,7 @@ fn main() -> oij::Result<()> {
     assert_eq!(mismatches, 0, "watermark mode must be exact");
 
     // A trivial velocity rule on top of the feature.
-    let flagged = got
-        .iter()
-        .filter(|r| r.agg.unwrap_or(0.0) >= 30.0)
-        .count();
+    let flagged = got.iter().filter(|r| r.agg.unwrap_or(0.0) >= 30.0).count();
     println!(
         "cards flagged (≥30 txns / 500ms window): {flagged} of {} swipes",
         got.len()

@@ -36,7 +36,10 @@ fn main() -> oij::Result<()> {
     }
 
     let stats = engine.finish()?;
-    println!("processed {} tuples, {} feature rows\n", stats.input_tuples, stats.results);
+    println!(
+        "processed {} tuples, {} feature rows\n",
+        stats.input_tuples, stats.results
+    );
 
     let mut rows = rows.lock().unwrap().clone();
     rows.sort_by_key(|r| r.seq);

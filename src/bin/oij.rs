@@ -169,8 +169,8 @@ fn build_query(flags: &Flags) -> Result<OijQuery, String> {
         let preceding = flags
             .parse_dur("preceding")?
             .ok_or("either --sql or --preceding is required")?;
-        let agg = AggSpec::from_sql_name(flags.get("agg").unwrap_or("sum"))
-            .map_err(|e| e.to_string())?;
+        let agg =
+            AggSpec::from_sql_name(flags.get("agg").unwrap_or("sum")).map_err(|e| e.to_string())?;
         OijQuery::builder()
             .preceding(preceding)
             .following(flags.parse_dur("following")?.unwrap_or(Duration::ZERO))
@@ -237,7 +237,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let query = build_query(&flags)?;
     let events = build_feed(&flags, query.window.lateness)?;
     let joiners = flags.parse_num("joiners", 4usize)?;
-    let rate: Option<f64> = flags.get("rate").map(|v| v.parse()).transpose()
+    let rate: Option<f64> = flags
+        .get("rate")
+        .map(|v| v.parse())
+        .transpose()
         .map_err(|_| "--rate: bad value".to_string())?;
 
     let mut cfg = EngineConfig::new(query, joiners).map_err(|e| e.to_string())?;

@@ -42,8 +42,7 @@ fn sql_to_scale_oij_matches_oracle_exactly() {
     let want = Oracle::new(query.clone()).run(&events);
 
     let (sink, rows) = Sink::collect();
-    let mut engine =
-        ScaleOij::spawn(EngineConfig::new(query, 4).unwrap(), sink).expect("spawn");
+    let mut engine = ScaleOij::spawn(EngineConfig::new(query, 4).unwrap(), sink).expect("spawn");
     for e in &events {
         engine.push(e.clone()).expect("push");
     }
@@ -84,8 +83,7 @@ fn every_engine_agrees_on_in_order_single_worker_runs() {
     ];
     for (name, spawn) in spawners {
         let (sink, rows) = Sink::collect();
-        let mut engine =
-            spawn(EngineConfig::new(query.clone(), 1).unwrap(), sink).expect("spawn");
+        let mut engine = spawn(EngineConfig::new(query.clone(), 1).unwrap(), sink).expect("spawn");
         for e in &events {
             engine.push(e.clone()).expect("push");
         }
@@ -119,10 +117,26 @@ fn exact_engines_agree_under_disorder_and_parallelism() {
 
     type Spawner = fn(EngineConfig, Sink) -> oij::Result<Box<dyn OijEngine>>;
     let spawners: Vec<(&str, Spawner, bool)> = vec![
-        ("key-oij", (|c, s| Ok(Box::new(KeyOij::spawn(c, s)?))) as Spawner, false),
-        ("scale-oij+inc", |c, s| Ok(Box::new(ScaleOij::spawn(c, s)?)), false),
-        ("scale-oij-inc", |c, s| Ok(Box::new(ScaleOij::spawn(c, s)?)), true),
-        ("splitjoin", |c, s| Ok(Box::new(SplitJoin::spawn(c, s)?)), false),
+        (
+            "key-oij",
+            (|c, s| Ok(Box::new(KeyOij::spawn(c, s)?))) as Spawner,
+            false,
+        ),
+        (
+            "scale-oij+inc",
+            |c, s| Ok(Box::new(ScaleOij::spawn(c, s)?)),
+            false,
+        ),
+        (
+            "scale-oij-inc",
+            |c, s| Ok(Box::new(ScaleOij::spawn(c, s)?)),
+            true,
+        ),
+        (
+            "splitjoin",
+            |c, s| Ok(Box::new(SplitJoin::spawn(c, s)?)),
+            false,
+        ),
     ];
     for (name, spawn, no_inc) in spawners {
         let mut cfg = EngineConfig::new(query.clone(), 4).unwrap();

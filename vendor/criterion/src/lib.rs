@@ -1,0 +1,363 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Exposes the macro and builder surface the workspace benches use
+//! (`criterion_group!` in both forms, `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! `Throughput`, `BatchSize`, `BenchmarkId`, `black_box`) and measures with
+//! plain wall-clock sampling: per benchmark it warms up briefly, takes
+//! `sample_size` samples, and prints the median ns/iteration (plus
+//! throughput when declared). No statistics engine, no HTML reports, no
+//! baseline comparisons — results are indicative, not rigorous.
+//!
+//! `cargo bench` stays fast because iteration counts are auto-scaled down
+//! for slow routines, and `cargo test` runs each bench closure once (the
+//! real crate's behaviour under its test profile) so benches stay compiled
+//! and correct.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each target function.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timing samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Internal: run every routine exactly once instead of timing it.
+    #[doc(hidden)]
+    pub fn test_mode(mut self) -> Self {
+        self.test_mode = true;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single routine outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
+        run_one(id, None, sample_size, test_mode, f);
+        self
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the units processed per iteration (reported as a rate).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Benchmarks a routine under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IdLike, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.render());
+        run_one(
+            &full,
+            self.throughput,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks a routine that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IdLike,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (No-op beyond matching the real crate's API.)
+    pub fn finish(self) {}
+}
+
+/// Either a plain `&str` or a [`BenchmarkId`] — both name a benchmark.
+pub trait IdLike {
+    /// The display form used in output.
+    fn render(&self) -> String;
+}
+
+impl IdLike for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLike for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLike for BenchmarkId {
+    fn render(&self) -> String {
+        self.0.clone()
+    }
+}
+
+/// A benchmark name combining a function label and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `label/parameter`.
+    pub fn new(label: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{label}/{parameter}"))
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (tuples, rows…) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost. This build times each batch of
+/// one routine call individually, so the variants only shape batch sizing
+/// in spirit; they are accepted for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state (setup dominates; fewer iterations).
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// Passed to each routine: receives the closure to time.
+pub struct Bencher {
+    test_mode: bool,
+    /// Target iterations per sample, auto-scaled by the harness.
+    iters: u64,
+    /// Measured duration of the sample's iterations.
+    elapsed: Duration,
+    /// Iterations actually executed in the sample.
+    done: u64,
+}
+
+impl Bencher {
+    /// Times `routine` for this sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.done = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.done = self.iters;
+    }
+
+    /// Times `routine` on fresh state from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.done = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.done = self.iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) {
+    if test_mode {
+        let mut b = Bencher {
+            test_mode: true,
+            iters: 1,
+            elapsed: Duration::ZERO,
+            done: 0,
+        };
+        f(&mut b);
+        return;
+    }
+
+    // Calibrate: start at 1 iteration/sample and grow until a sample costs
+    // ~2 ms, capping total calibration work.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            test_mode: false,
+            iters,
+            elapsed: Duration::ZERO,
+            done: 0,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            test_mode: false,
+            iters,
+            elapsed: Duration::ZERO,
+            done: 0,
+        };
+        f(&mut b);
+        if b.done > 0 {
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / b.done as f64);
+        }
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns
+        .get(per_iter_ns.len() / 2)
+        .copied()
+        .unwrap_or(f64::NAN);
+
+    let rate = throughput.map(|t| {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let per_sec = n as f64 / (median * 1e-9);
+        format!("  ({per_sec:.3e} {unit})")
+    });
+    println!(
+        "bench: {name:<56} {median:>14.1} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the long form with `config = Criterion::default()...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            if ::std::env::var_os("CRITERION_TEST_MODE").is_some() || cfg!(test) {
+                criterion = criterion.test_mode();
+            }
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default().sample_size(2).test_mode();
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default().sample_size(2).test_mode();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(2);
+        let data = vec![1u64, 2, 3];
+        let mut sum = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| sum += d.iter().sum::<u64>())
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| {
+            b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+        assert!(sum > 0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Offline vendored stand-in for `crossbeam-channel`.
+//!
+//! Implements the subset the engines use: [`bounded`] MPMC channels with
+//! cloneable [`Sender`]s and [`Receiver`]s, blocking `send`/`recv` with
+//! disconnect detection, and `for msg in rx` iteration. Built on a
+//! `Mutex<VecDeque>` plus two condvars — not as fast as the real crate's
+//! lock-free rings, but every engine pays the identical cost, so relative
+//! engine comparisons are preserved.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+/// Holds the unsent message, like the real crate.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty (senders still connected).
+    Empty,
+    /// The channel is empty and all senders dropped.
+    Disconnected,
+}
+
+struct Shared<T> {
+    queue: Mutex<State<T>>,
+    /// Signalled when the queue gains an item or loses all senders.
+    not_empty: Condvar,
+    /// Signalled when the queue loses an item or loses all receivers.
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Creates a bounded channel with space for `cap` in-flight messages.
+/// A capacity of 0 is rounded up to 1 (the real crate supports rendezvous
+/// channels; nothing in this workspace uses them).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(State {
+            buf: VecDeque::with_capacity(cap.max(1)),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity: cap.max(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects for
+/// receivers when the last clone drops.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Blocks until there is queue space, then enqueues `msg`. Fails only
+    /// when every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if state.buf.len() < self.shared.capacity {
+                state.buf.push_back(msg);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        state.senders += 1;
+        drop(state);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Wake blocked receivers so they observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+/// The receiving half of a channel. Cloneable (MPMC); each message is
+/// delivered to exactly one receiver.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives. Fails only when the channel is empty
+    /// and every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(msg) = state.buf.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(msg) = state.buf.pop_front() {
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// A blocking iterator over received messages, ending at disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        state.receivers += 1;
+        drop(state);
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            // Wake blocked senders so they observe the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+/// Borrowing message iterator (see [`Receiver::iter`]).
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+/// Owning message iterator (`for msg in rx`).
+pub struct IntoIter<T> {
+    receiver: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { receiver: self }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn iteration_ends_on_disconnect() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.into_iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn bounded_blocks_and_resumes() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        let h = std::thread::spawn(move || tx.send(1).map_err(|_| ()));
+        // The second send blocks until we drain one slot.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(0));
+        h.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn mpmc_delivers_each_message_once() {
+        // Capacity must cover every message: all 100 are enqueued before
+        // either receiver starts draining.
+        let (tx, rx) = bounded(128);
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let h = std::thread::spawn(move || rx2.into_iter().count());
+        let a = rx.into_iter().count();
+        let b = h.join().unwrap();
+        assert_eq!(a + b, 100);
+    }
+}

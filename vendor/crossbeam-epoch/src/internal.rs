@@ -1,0 +1,206 @@
+//! Std-mode reclamation engine: classic three-epoch EBR with eager
+//! collection on the last unpin (see the crate docs for the scheme).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::Guard;
+
+/// The pointer word of an `Atomic<T>`; in std mode a plain `AtomicPtr`
+/// honouring the caller's orderings.
+pub(crate) struct AtomicCell<T>(AtomicPtr<T>);
+
+impl<T> AtomicCell<T> {
+    pub(crate) fn new(ptr: *mut T) -> Self {
+        AtomicCell(AtomicPtr::new(ptr))
+    }
+
+    pub(crate) fn load(&self, ord: Ordering) -> *mut T {
+        self.0.load(ord)
+    }
+
+    pub(crate) fn store(&self, ptr: *mut T, ord: Ordering) {
+        self.0.store(ptr, ord);
+    }
+
+    pub(crate) fn swap(&self, ptr: *mut T, ord: Ordering) -> *mut T {
+        self.0.swap(ptr, ord)
+    }
+}
+
+/// A retired destructor. The `Send` promise is the caller's (that is what
+/// makes `defer_unchecked` unsafe): destructors run on whichever thread
+/// performs the collection.
+pub(crate) struct Deferred(Box<dyn FnOnce()>);
+
+// SAFETY: see type docs — transferred under the defer_unchecked contract.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    pub(crate) fn new(f: Box<dyn FnOnce()>) -> Self {
+        Deferred(f)
+    }
+
+    fn call(self) {
+        (self.0)();
+    }
+}
+
+/// Per-thread epoch record. `active` counts pin nesting; `epoch` is the
+/// global epoch observed by the current outermost pin.
+pub(crate) struct Participant {
+    active: AtomicUsize,
+    epoch: AtomicUsize,
+}
+
+struct Global {
+    epoch: AtomicUsize,
+    participants: Mutex<Vec<Arc<Participant>>>,
+    /// (epoch at retirement, destructor) pairs.
+    garbage: Mutex<Vec<(usize, Deferred)>>,
+    /// Fast-path check so idle unpins skip the garbage mutex.
+    garbage_count: AtomicUsize,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        epoch: AtomicUsize::new(0),
+        participants: Mutex::new(Vec::new()),
+        garbage: Mutex::new(Vec::new()),
+        garbage_count: AtomicUsize::new(0),
+    })
+}
+
+thread_local! {
+    static PARTICIPANT: RefCell<Option<Arc<Participant>>> = const { RefCell::new(None) };
+}
+
+fn participant() -> Arc<Participant> {
+    PARTICIPANT.with(|p| {
+        let mut slot = p.borrow_mut();
+        if let Some(ref arc) = *slot {
+            return Arc::clone(arc);
+        }
+        let arc = Arc::new(Participant {
+            active: AtomicUsize::new(0),
+            epoch: AtomicUsize::new(0),
+        });
+        global().participants.lock().unwrap().push(Arc::clone(&arc));
+        *slot = Some(Arc::clone(&arc));
+        arc
+    })
+}
+
+/// What a `Guard` holds.
+pub(crate) enum GuardKind {
+    /// A real pin on this thread's participant record.
+    Pinned(Arc<Participant>),
+    /// `unprotected()`: no participation.
+    Unprotected,
+}
+
+pub(crate) fn pin() -> Guard {
+    let p = participant();
+    let prev = p.active.fetch_add(1, Ordering::SeqCst);
+    if prev == 0 {
+        // Publish the epoch this pin is entering. The reload loop closes
+        // the window where the global epoch advances between our read and
+        // our store — after it, either our stored epoch is current, or a
+        // concurrent advancer saw us active and stalled.
+        loop {
+            let e = global().epoch.load(Ordering::SeqCst);
+            p.epoch.store(e, Ordering::SeqCst);
+            if global().epoch.load(Ordering::SeqCst) == e {
+                break;
+            }
+        }
+    }
+    Guard {
+        kind: GuardKind::Pinned(p),
+    }
+}
+
+pub(crate) fn unprotected() -> &'static Guard {
+    static UNPROTECTED: Guard = Guard {
+        kind: GuardKind::Unprotected,
+    };
+    &UNPROTECTED
+}
+
+pub(crate) fn defer(guard: &Guard, d: Deferred) {
+    match &guard.kind {
+        // With no pin there is no grace period to wait for; run now. This
+        // matches how `unprotected()` is used: exclusive contexts (Drop).
+        GuardKind::Unprotected => d.call(),
+        GuardKind::Pinned(_) => {
+            let g = global();
+            let e = g.epoch.load(Ordering::SeqCst);
+            g.garbage.lock().unwrap().push((e, d));
+            g.garbage_count.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+pub(crate) fn unpin(guard: &mut Guard) {
+    if let GuardKind::Pinned(p) = &guard.kind {
+        let prev = p.active.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev >= 1, "unpin without pin");
+        if prev == 1 && global().garbage_count.load(Ordering::SeqCst) > 0 {
+            collect();
+        }
+    }
+}
+
+/// Advances the global epoch if every pinned participant has observed the
+/// current one; also prunes records of exited threads.
+fn try_advance() -> bool {
+    let g = global();
+    let mut parts = g.participants.lock().unwrap();
+    // A record owned solely by the global list belongs to an exited thread.
+    parts.retain(|p| Arc::strong_count(p) > 1 || p.active.load(Ordering::SeqCst) > 0);
+    let e = g.epoch.load(Ordering::SeqCst);
+    for p in parts.iter() {
+        if p.active.load(Ordering::SeqCst) > 0 && p.epoch.load(Ordering::SeqCst) != e {
+            return false;
+        }
+    }
+    // Single-advancer discipline: the participants lock is held, so only
+    // one thread can pass the check above for a given epoch value.
+    g.epoch.store(e + 1, Ordering::SeqCst);
+    true
+}
+
+/// Advances as far as possible and runs every destructor whose grace
+/// period (2 epochs past retirement) has elapsed.
+fn collect() {
+    let g = global();
+    while g.garbage_count.load(Ordering::SeqCst) > 0 {
+        if !try_advance() {
+            break;
+        }
+        let e = g.epoch.load(Ordering::SeqCst);
+        // Drain eligible garbage while holding the lock, run it after —
+        // destructors must never run under the garbage mutex.
+        let ready: Vec<Deferred> = {
+            let mut garbage = g.garbage.lock().unwrap();
+            let mut ready = Vec::new();
+            garbage.retain_mut(|(retired, d)| {
+                if *retired + 2 <= e {
+                    // Replace with a no-op so retain can move it out.
+                    let taken = std::mem::replace(d, Deferred(Box::new(|| {})));
+                    ready.push(taken);
+                    false
+                } else {
+                    true
+                }
+            });
+            g.garbage_count.fetch_sub(ready.len(), Ordering::SeqCst);
+            ready
+        };
+        for d in ready {
+            d.call();
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! Offline vendored stand-in for `crossbeam-epoch`: epoch-based memory
+//! reclamation with the same pointer API (`Atomic` / `Owned` / `Shared` /
+//! `Guard`, `pin`, `unprotected`).
+//!
+//! ## Reclamation scheme (std mode)
+//!
+//! Classic three-epoch EBR. Each participating thread keeps a pin count and
+//! the global epoch it observed when it pinned. The global epoch may only
+//! advance when every pinned participant has observed the current value;
+//! garbage retired at epoch `e` is reclaimed once the global epoch reaches
+//! `e + 2` (no pinned thread can still hold a reference by then).
+//!
+//! Divergence from the real crate, chosen for Miri-friendliness: collection
+//! is **eager** — when the last pin in the process drops, the epoch is
+//! advanced repeatedly until all garbage is reclaimed, so an idle process
+//! holds no garbage and leak-checked test runs end clean. The real crate
+//! batches and may hold garbage indefinitely.
+//!
+//! Pointer tags are not implemented (this workspace never tags pointers).
+//!
+//! ## Under `cfg(loom)`
+//!
+//! The pointer word inside [`Atomic`] becomes a `loom` atomic, so every
+//! load/store/swap is a model schedule point. Pinning becomes a no-op and
+//! deferred destructors are **leaked** instead of run: reclamation
+//! correctness is epoch bookkeeping (deterministic, covered by the std-mode
+//! tests and Miri), while the interleavings worth exploring are the
+//! pointer publications. Leaking keeps every model iteration independent —
+//! shared reclamation state across iterations would break deterministic
+//! schedule replay.
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering;
+
+#[cfg(not(loom))]
+mod internal;
+
+#[cfg(not(loom))]
+use internal as imp;
+
+#[cfg(loom)]
+mod loom_imp;
+
+#[cfg(loom)]
+use loom_imp as imp;
+
+// ---------------------------------------------------------------------------
+// Guard / pin / unprotected
+// ---------------------------------------------------------------------------
+
+/// Keeps the current thread pinned; loaded [`Shared`] pointers are safe to
+/// dereference while a guard is live.
+pub struct Guard {
+    pub(crate) kind: imp::GuardKind,
+}
+
+impl Guard {
+    /// Defers an arbitrary closure until no pinned thread can still hold
+    /// references retired before it.
+    ///
+    /// # Safety
+    /// The closure must be safe to run on any thread at any later time;
+    /// the caller guarantees whatever it captures stays valid until then
+    /// and is not freed twice. (Unlike the real crate this bound requires
+    /// `'static`, which every epoch-managed structure here satisfies.)
+    pub unsafe fn defer_unchecked<F, R>(&self, f: F)
+    where
+        F: FnOnce() -> R + 'static,
+    {
+        imp::defer(
+            self,
+            imp::Deferred::new(Box::new(move || {
+                f();
+            })),
+        );
+    }
+
+    /// Defers dropping the boxed value behind `ptr` (which must have been
+    /// created by [`Owned::new`] / [`Atomic::new`]).
+    ///
+    /// # Safety
+    /// `ptr` must be unlinked (unreachable to new readers), non-null, and
+    /// not retired twice.
+    pub unsafe fn defer_destroy<T: 'static>(&self, ptr: Shared<'_, T>) {
+        let raw = ptr.as_raw() as *mut T;
+        // SAFETY: forwarded caller contract; the allocation came from Box.
+        unsafe { self.defer_unchecked(move || drop(Box::from_raw(raw))) };
+    }
+}
+
+impl Guard {
+    /// Nudges reclamation along.
+    ///
+    /// The real crate migrates thread-local deferreds to the global queue
+    /// here; this backend has no local queues and instead collects eagerly
+    /// on the last unpin, so there is nothing to do — the method exists for
+    /// API parity (callers typically loop `pin().flush()`).
+    pub fn flush(&self) {}
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        imp::unpin(self);
+    }
+}
+
+/// Pins the current thread and returns the guard.
+pub fn pin() -> Guard {
+    imp::pin()
+}
+
+/// Returns a guard that does **not** pin the thread.
+///
+/// # Safety
+/// Callers must guarantee no other thread can concurrently reclaim (or
+/// mutate, where relevant) anything accessed through this guard — typically
+/// because they hold `&mut self` or are inside `drop`.
+pub unsafe fn unprotected() -> &'static Guard {
+    imp::unprotected()
+}
+
+// ---------------------------------------------------------------------------
+// Pointer types
+// ---------------------------------------------------------------------------
+
+/// An owned heap value, not yet shared (a `Box` in disguise).
+pub struct Owned<T> {
+    ptr: *mut T,
+}
+
+impl<T> Owned<T> {
+    /// Allocates `value` on the heap.
+    pub fn new(value: T) -> Self {
+        Owned {
+            ptr: Box::into_raw(Box::new(value)),
+        }
+    }
+
+    /// Converts into a [`Shared`], transferring ownership into the data
+    /// structure (something must later retire or free it).
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        let ptr = self.ptr;
+        std::mem::forget(self);
+        Shared {
+            ptr: ptr as *const T,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        // SAFETY: still owned (into_shared forgets self before this runs).
+        unsafe { drop(Box::from_raw(self.ptr)) }
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: owned, live allocation.
+        unsafe { &*self.ptr }
+    }
+}
+
+/// A pointer loaded from an [`Atomic`], valid while its guard is pinned.
+pub struct Shared<'g, T> {
+    ptr: *const T,
+    _marker: PhantomData<&'g ()>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer.
+    pub fn null() -> Self {
+        Shared {
+            ptr: std::ptr::null(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Whether this is null.
+    pub fn is_null(&self) -> bool {
+        self.ptr.is_null()
+    }
+
+    /// The raw pointer.
+    pub fn as_raw(&self) -> *const T {
+        self.ptr
+    }
+
+    /// Dereferences the pointer.
+    ///
+    /// # Safety
+    /// Must be non-null and point to a live value that outlives `'g` (i.e.
+    /// protected by the guard this was loaded with, or otherwise owned).
+    pub unsafe fn deref(&self) -> &'g T {
+        // SAFETY: forwarded caller contract (non-null, live for 'g).
+        unsafe { &*self.ptr }
+    }
+
+    /// Like [`deref`](Self::deref) but returns `None` when null.
+    ///
+    /// # Safety
+    /// Same contract as `deref` for the non-null case.
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        // SAFETY: forwarded caller contract for the non-null case.
+        unsafe { self.ptr.as_ref() }
+    }
+
+    /// Takes back ownership of a `Box`-allocated value.
+    ///
+    /// # Safety
+    /// Must be non-null, allocated by [`Owned::new`] / [`Atomic::new`],
+    /// unreachable to other threads, and never used again.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        debug_assert!(!self.ptr.is_null(), "into_owned on null Shared");
+        Owned {
+            ptr: self.ptr as *mut T,
+        }
+    }
+}
+
+impl<T> From<*const T> for Shared<'_, T> {
+    fn from(ptr: *const T) -> Self {
+        Shared {
+            ptr,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shared({:p})", self.ptr)
+    }
+}
+
+/// Either an [`Owned`] or a [`Shared`] — anything storable in an
+/// [`Atomic`].
+pub trait Pointer<T> {
+    /// Consumes self, yielding the raw pointer.
+    fn into_raw(self) -> *mut T;
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_raw(self) -> *mut T {
+        let p = self.ptr;
+        std::mem::forget(self);
+        p
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_raw(self) -> *mut T {
+        self.ptr as *mut T
+    }
+}
+
+/// An atomic pointer to a `T`, the linking primitive of lock-free
+/// structures.
+pub struct Atomic<T> {
+    inner: imp::AtomicCell<T>,
+}
+
+impl<T> Atomic<T> {
+    /// An atomic holding null.
+    pub fn null() -> Self {
+        Atomic {
+            inner: imp::AtomicCell::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Allocates `value` and stores the pointer.
+    pub fn new(value: T) -> Self {
+        Atomic {
+            inner: imp::AtomicCell::new(Box::into_raw(Box::new(value))),
+        }
+    }
+
+    /// Loads the pointer.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            ptr: self.inner.load(ord) as *const T,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Stores a pointer.
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.inner.store(new.into_raw(), ord);
+    }
+
+    /// Swaps the pointer, returning the previous value.
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
+        Shared {
+            ptr: self.inner.swap(new.into_raw(), ord) as *const T,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Atomic::null()
+    }
+}
+
+impl<T> std::fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Atomic(..)")
+    }
+}
+
+// SAFETY: an Atomic<T> hands out &T across threads (via Shared::deref) and
+// moves T between threads on reclamation — exactly the bounds below.
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: as above; all mutation goes through atomic instructions.
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as O};
+    use std::sync::Arc;
+
+    /// Counts drops so reclamation can be observed.
+    struct DropCounter(Arc<AtomicUsize>);
+
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, O::SeqCst);
+        }
+    }
+
+    /// Reclamation progress is global: another test's transient pin can
+    /// stall an advance, so exact-count asserts must wait it out. Each
+    /// probe pin/unpin retries collection.
+    fn eventually(what: &str, cond: impl Fn() -> bool) {
+        for _ in 0..100_000 {
+            if cond() {
+                return;
+            }
+            drop(pin());
+            std::thread::yield_now();
+        }
+        panic!("timed out waiting for: {what}");
+    }
+
+    #[test]
+    fn deferred_destruction_runs_after_unpin() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let slot: Atomic<DropCounter> = Atomic::new(DropCounter(Arc::clone(&drops)));
+        {
+            let guard = pin();
+            let old = slot.swap(
+                Owned::new(DropCounter(Arc::clone(&drops))),
+                Ordering::AcqRel,
+                &guard,
+            );
+            // SAFETY: `old` was just unlinked and is never touched again.
+            unsafe { guard.defer_destroy(old) };
+            assert_eq!(drops.load(O::SeqCst), 0, "freed while pinned");
+        }
+        // Eager collection: once no pin blocks the epoch, it is reclaimed.
+        eventually("swapped-out value reclaimed", || drops.load(O::SeqCst) == 1);
+        // Free the final value manually, as data structures do in Drop.
+        // SAFETY: the test owns `slot` exclusively here; the stored pointer
+        // came from Owned::new and is dropped exactly once.
+        unsafe {
+            let guard = unprotected();
+            let last = slot.load(Ordering::Relaxed, guard);
+            drop(last.into_owned());
+        }
+        assert_eq!(drops.load(O::SeqCst), 2);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_reclamation() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let slot = Arc::new(Atomic::new(DropCounter(Arc::clone(&drops))));
+
+        let reader_pinned = Arc::new(std::sync::Barrier::new(2));
+        let writer_done = Arc::new(std::sync::Barrier::new(2));
+        let slot2 = Arc::clone(&slot);
+        let drops2 = Arc::clone(&drops);
+        let (rp, wd) = (Arc::clone(&reader_pinned), Arc::clone(&writer_done));
+
+        let reader = std::thread::spawn(move || {
+            let guard = pin();
+            let shared = slot2.load(Ordering::Acquire, &guard);
+            rp.wait(); // writer may now retire the value
+            wd.wait(); // writer has retired it
+                       // Still pinned: the value must not have been dropped.
+            assert_eq!(drops2.load(O::SeqCst), 0);
+            // SAFETY: loaded under this guard, still pinned.
+            let _ = unsafe { shared.deref() };
+        });
+
+        reader_pinned.wait();
+        {
+            let guard = pin();
+            let old = slot.swap(
+                Owned::new(DropCounter(Arc::clone(&drops))),
+                Ordering::AcqRel,
+                &guard,
+            );
+            // SAFETY: unlinked, retired once.
+            unsafe { guard.defer_destroy(old) };
+        }
+        writer_done.wait();
+        reader.join().unwrap();
+
+        // Reader unpinned; collection can now reclaim the old value.
+        eventually("old value reclaimed after reader unpin", || {
+            drops.load(O::SeqCst) == 1
+        });
+        // Cleanup the current value.
+        // SAFETY: reader joined, so the test has exclusive access; the
+        // pointer came from Owned::new and is dropped exactly once.
+        unsafe {
+            let guard = unprotected();
+            drop(slot.load(Ordering::Relaxed, guard).into_owned());
+        }
+    }
+
+    #[test]
+    fn unprotected_defer_runs_immediately() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let d2 = Arc::clone(&drops);
+        // SAFETY: single-threaded test; the closure captures only an Arc
+        // and is safe to run at any time.
+        unsafe {
+            let guard = unprotected();
+            guard.defer_unchecked(move || {
+                d2.fetch_add(1, O::SeqCst);
+            });
+        }
+        assert_eq!(drops.load(O::SeqCst), 1);
+    }
+
+    #[test]
+    fn many_threads_defer_without_leaks_or_double_free() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let retired = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let drops = Arc::clone(&drops);
+                let retired = Arc::clone(&retired);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let guard = pin();
+                        let owned = Owned::new(DropCounter(Arc::clone(&drops)));
+                        let shared = owned.into_shared(&guard);
+                        retired.fetch_add(1, O::SeqCst);
+                        // SAFETY: never published; sole owner retires it.
+                        unsafe { guard.defer_destroy(shared) };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All threads idle: collection flushes everything that was retired.
+        eventually("all retirements reclaimed", || {
+            drops.load(O::SeqCst) == retired.load(O::SeqCst)
+        });
+    }
+}

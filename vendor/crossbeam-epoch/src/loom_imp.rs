@@ -1,0 +1,76 @@
+//! Loom-mode backend: pointer words become loom atomics (every operation a
+//! schedule point); pinning is a no-op and deferred destructors are leaked
+//! so model iterations stay independent (see the crate docs).
+
+use std::sync::atomic::Ordering;
+
+use crate::Guard;
+
+/// The pointer word of an `Atomic<T>`; each op is a loom schedule point.
+pub(crate) struct AtomicCell<T>(loom::sync::atomic::AtomicPtr<T>);
+
+impl<T> AtomicCell<T> {
+    pub(crate) fn new(ptr: *mut T) -> Self {
+        AtomicCell(loom::sync::atomic::AtomicPtr::new(ptr))
+    }
+
+    pub(crate) fn load(&self, ord: Ordering) -> *mut T {
+        self.0.load(ord)
+    }
+
+    pub(crate) fn store(&self, ptr: *mut T, ord: Ordering) {
+        self.0.store(ptr, ord);
+    }
+
+    pub(crate) fn swap(&self, ptr: *mut T, ord: Ordering) -> *mut T {
+        self.0.swap(ptr, ord)
+    }
+}
+
+/// A retired destructor (leaked in loom mode).
+pub(crate) struct Deferred(#[allow(dead_code)] Box<dyn FnOnce()>);
+
+// SAFETY: never actually sent in loom mode (leaked in place); kept for
+// signature parity with the std backend.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    pub(crate) fn new(f: Box<dyn FnOnce()>) -> Self {
+        Deferred(f)
+    }
+}
+
+/// What a `Guard` holds — nothing, in loom mode.
+pub(crate) enum GuardKind {
+    /// From `pin()`.
+    Pinned,
+    /// From `unprotected()`.
+    Unprotected,
+}
+
+pub(crate) fn pin() -> Guard {
+    Guard {
+        kind: GuardKind::Pinned,
+    }
+}
+
+pub(crate) fn unprotected() -> &'static Guard {
+    static UNPROTECTED: Guard = Guard {
+        kind: GuardKind::Unprotected,
+    };
+    &UNPROTECTED
+}
+
+pub(crate) fn defer(guard: &Guard, d: Deferred) {
+    match &guard.kind {
+        // Exclusive context (Drop): run immediately, same as std mode —
+        // structures rely on this to actually free in their destructors.
+        GuardKind::Unprotected => (d.0)(),
+        // Model execution: leak. Reclamation timing is out of scope for
+        // the interleavings being explored, and freeing here would require
+        // shared epoch state across model iterations (breaking replay).
+        GuardKind::Pinned => std::mem::forget(d),
+    }
+}
+
+pub(crate) fn unpin(_guard: &mut Guard) {}

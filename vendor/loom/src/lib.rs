@@ -1,0 +1,355 @@
+//! Offline vendored stand-in for `loom`: a CHESS-style systematic
+//! concurrency model checker.
+//!
+//! [`model`] runs a test body repeatedly, each time under a different thread
+//! interleaving, until the space of schedules (bounded by a preemption
+//! budget) is exhausted. Threads created through [`thread::spawn`] and
+//! every operation on the atomics in [`sync::atomic`] are *schedule
+//! points*: a cooperative scheduler keeps exactly one thread runnable at a
+//! time and decides at each point which thread proceeds next. The decision
+//! tree is explored depth-first; a replayed prefix steers each execution to
+//! the next unvisited branch.
+//!
+//! ## Scope and divergences from the real loom
+//!
+//! - **Sequential consistency only.** Atomic operations execute with
+//!   `SeqCst` regardless of the ordering argument, so weak-memory
+//!   reorderings (a `Relaxed` store overtaking a `Release` one, etc.) are
+//!   *not* modeled — only interleavings of whole operations. Publication
+//!   bugs that need an acquire/release pair to be observed as such are
+//!   caught when they manifest as an operation-order interleaving.
+//! - **No data-race detection for plain (non-atomic) accesses** — there is
+//!   no `loom::cell::UnsafeCell` instrumentation; invariants must be
+//!   asserted by the test body.
+//! - **Preemption bounding.** Schedules with more than
+//!   `LOOM_MAX_PREEMPTIONS` (default 2) involuntary context switches are
+//!   pruned, per the CHESS result that most concurrency bugs manifest with
+//!   very few preemptions.
+//! - Exploration also stops after `LOOM_MAX_ITERS` schedules (default
+//!   20 000) with a warning on stderr, so pathological state spaces cannot
+//!   hang CI.
+//!
+//! Determinism requirement: the body passed to [`model`] must make the same
+//! sequence of schedule-point calls given the same scheduling decisions (no
+//! wall-clock, no OS randomness), otherwise replay diverges and the run
+//! panics with a "replay divergence" message.
+
+#![warn(missing_docs)]
+
+mod rt;
+
+pub mod thread;
+
+pub use rt::model;
+
+/// Synchronization primitives instrumented with schedule points.
+pub mod sync {
+    /// Unchanged std `Arc`: reference counting is not explored (its effects
+    /// are not observable by the tests' assertions), only atomics are.
+    pub use std::sync::Arc;
+
+    /// Instrumented atomic types. Each operation is a schedule point.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        use crate::rt;
+
+        /// An atomic fence; under the model this is only a schedule point
+        /// (operations already execute sequentially consistent).
+        pub fn fence(_order: Ordering) {
+            rt::yield_point();
+        }
+
+        macro_rules! int_atomic {
+            ($(#[$doc:meta] $name:ident: $int:ty => $std:ident),+ $(,)?) => {$(
+                #[$doc]
+                #[derive(Debug, Default)]
+                pub struct $name(std::sync::atomic::$std);
+
+                impl $name {
+                    /// Creates a new atomic with the given value.
+                    pub fn new(v: $int) -> Self {
+                        $name(std::sync::atomic::$std::new(v))
+                    }
+
+                    /// Loads the value (schedule point; executes `SeqCst`).
+                    pub fn load(&self, _order: Ordering) -> $int {
+                        rt::yield_point();
+                        self.0.load(Ordering::SeqCst)
+                    }
+
+                    /// Stores a value (schedule point; executes `SeqCst`).
+                    pub fn store(&self, v: $int, _order: Ordering) {
+                        rt::yield_point();
+                        self.0.store(v, Ordering::SeqCst);
+                    }
+
+                    /// Swaps the value (schedule point).
+                    pub fn swap(&self, v: $int, _order: Ordering) -> $int {
+                        rt::yield_point();
+                        self.0.swap(v, Ordering::SeqCst)
+                    }
+
+                    /// Adds to the value, returning the previous value.
+                    pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
+                        rt::yield_point();
+                        self.0.fetch_add(v, Ordering::SeqCst)
+                    }
+
+                    /// Subtracts from the value, returning the previous value.
+                    pub fn fetch_sub(&self, v: $int, _order: Ordering) -> $int {
+                        rt::yield_point();
+                        self.0.fetch_sub(v, Ordering::SeqCst)
+                    }
+
+                    /// Bitwise-ors the value, returning the previous value.
+                    pub fn fetch_or(&self, v: $int, _order: Ordering) -> $int {
+                        rt::yield_point();
+                        self.0.fetch_or(v, Ordering::SeqCst)
+                    }
+
+                    /// Maximum of current and given value, returning previous.
+                    pub fn fetch_max(&self, v: $int, _order: Ordering) -> $int {
+                        rt::yield_point();
+                        self.0.fetch_max(v, Ordering::SeqCst)
+                    }
+
+                    /// Compare-and-exchange (schedule point; never spurious).
+                    pub fn compare_exchange(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        rt::yield_point();
+                        self.0
+                            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+
+                    /// Weak compare-and-exchange; this model never fails
+                    /// spuriously (a strict subset of allowed behaviours).
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Consumes the atomic, returning the inner value.
+                    pub fn into_inner(self) -> $int {
+                        self.0.into_inner()
+                    }
+                }
+            )+};
+        }
+
+        int_atomic! {
+            /// Instrumented `AtomicUsize`.
+            AtomicUsize: usize => AtomicUsize,
+            /// Instrumented `AtomicU64`.
+            AtomicU64: u64 => AtomicU64,
+            /// Instrumented `AtomicI64`.
+            AtomicI64: i64 => AtomicI64,
+            /// Instrumented `AtomicU32`.
+            AtomicU32: u32 => AtomicU32,
+            /// Instrumented `AtomicU8`.
+            AtomicU8: u8 => AtomicU8,
+        }
+
+        /// Instrumented `AtomicBool`.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates a new atomic with the given value.
+            pub fn new(v: bool) -> Self {
+                AtomicBool(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Loads the value (schedule point).
+            pub fn load(&self, _order: Ordering) -> bool {
+                rt::yield_point();
+                self.0.load(Ordering::SeqCst)
+            }
+
+            /// Stores a value (schedule point).
+            pub fn store(&self, v: bool, _order: Ordering) {
+                rt::yield_point();
+                self.0.store(v, Ordering::SeqCst);
+            }
+
+            /// Swaps the value (schedule point).
+            pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+                rt::yield_point();
+                self.0.swap(v, Ordering::SeqCst)
+            }
+        }
+
+        /// Instrumented `AtomicPtr`.
+        #[derive(Debug)]
+        pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+        impl<T> AtomicPtr<T> {
+            /// Creates a new atomic pointer.
+            pub fn new(p: *mut T) -> Self {
+                AtomicPtr(std::sync::atomic::AtomicPtr::new(p))
+            }
+
+            /// Loads the pointer (schedule point).
+            pub fn load(&self, _order: Ordering) -> *mut T {
+                rt::yield_point();
+                self.0.load(Ordering::SeqCst)
+            }
+
+            /// Stores a pointer (schedule point).
+            pub fn store(&self, p: *mut T, _order: Ordering) {
+                rt::yield_point();
+                self.0.store(p, Ordering::SeqCst);
+            }
+
+            /// Swaps the pointer (schedule point).
+            pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+                rt::yield_point();
+                self.0.swap(p, Ordering::SeqCst)
+            }
+
+            /// Compare-and-exchange (schedule point).
+            pub fn compare_exchange(
+                &self,
+                current: *mut T,
+                new: *mut T,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<*mut T, *mut T> {
+                rt::yield_point();
+                self.0
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            /// Consumes the atomic, returning the inner pointer.
+            pub fn into_inner(self) -> *mut T {
+                self.0.into_inner()
+            }
+
+            /// Mutable access to the pointer (no schedule point: requires
+            /// exclusive access, so no interleaving is possible).
+            pub fn get_mut(&mut self) -> &mut *mut T {
+                self.0.get_mut()
+            }
+        }
+
+        impl<T> Default for AtomicPtr<T> {
+            fn default() -> Self {
+                AtomicPtr::new(std::ptr::null_mut())
+            }
+        }
+    }
+}
+
+/// Miscellaneous instrumented hints.
+pub mod hint {
+    /// A spin-loop hint is a schedule point — under the model, spinning
+    /// must let other threads run or exploration would never terminate.
+    pub fn spin_loop() {
+        crate::rt::yield_point();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use crate::sync::Arc;
+
+    /// The classic message-passing litmus test: with the flag published
+    /// after the data, a reader that observes the flag must observe the
+    /// data. The model must also visit schedules on both sides of the flag
+    /// store — both reader outcomes have to occur.
+    #[test]
+    fn message_passing_holds_and_both_branches_explored() {
+        use std::sync::atomic::{AtomicBool as StdBool, Ordering as StdOrd};
+        let saw_flag = StdBool::new(false);
+        let missed_flag = StdBool::new(false);
+        crate::model(|| {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = crate::thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+                saw_flag.store(true, StdOrd::SeqCst);
+            } else {
+                missed_flag.store(true, StdOrd::SeqCst);
+            }
+            t.join().unwrap();
+        });
+        assert!(saw_flag.load(StdOrd::SeqCst), "never saw the flag set");
+        assert!(missed_flag.load(StdOrd::SeqCst), "never saw the flag unset");
+    }
+
+    /// Counts distinct outcomes of a 2-thread race: both increments must be
+    /// observed in some schedule, and a lost-update must NOT be possible
+    /// with fetch_add.
+    #[test]
+    fn fetch_add_never_loses_updates() {
+        crate::model(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&c);
+            let t = crate::thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    /// A racy read-modify-write (load then store) CAN lose updates; the
+    /// model must find the interleaving that exposes it.
+    #[test]
+    fn racy_increment_bug_is_found() {
+        let lost = std::sync::atomic::AtomicBool::new(false);
+        crate::model(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&c);
+            let t = crate::thread::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = c.load(Ordering::SeqCst);
+            c.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            if c.load(Ordering::SeqCst) == 1 {
+                lost.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        });
+        assert!(
+            lost.load(std::sync::atomic::Ordering::SeqCst),
+            "exploration failed to reach the lost-update interleaving"
+        );
+    }
+
+    /// Three threads, join ordering, and schedule counts stay bounded.
+    #[test]
+    fn three_thread_joins() {
+        crate::model(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let hs: Vec<_> = (0..3)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    crate::thread::spawn(move || c.fetch_add(1, Ordering::SeqCst))
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::SeqCst), 3);
+        });
+    }
+}

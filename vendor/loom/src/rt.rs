@@ -1,0 +1,319 @@
+//! The cooperative scheduler and DFS schedule explorer.
+//!
+//! One OS thread runs at a time, gated by a token (`current` tid) under a
+//! single mutex + condvar. Every schedule point calls [`yield_point`],
+//! which records a *decision*: the set of enabled threads (the canonical
+//! "try order": previously-running thread first, then ascending tid) and
+//! the branch taken. Replaying a recorded prefix steers the next execution
+//! into the next unvisited branch, depth-first, skipping branches that
+//! would exceed the preemption budget.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Hard cap on schedule points in one execution — catches unbounded spin
+/// loops, which this explorer cannot terminate on its own.
+const MAX_STEPS: usize = 200_000;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThreadState {
+    Runnable,
+    /// Waiting for the given tid to finish.
+    Joining(usize),
+    Finished,
+}
+
+#[derive(Clone, Debug)]
+struct Decision {
+    /// Enabled threads in canonical try order (previous thread first when
+    /// still enabled, then ascending tid).
+    try_order: Vec<usize>,
+    /// Index into `try_order` of the branch taken.
+    chosen: usize,
+    /// Whether the previously running thread was enabled here (switching
+    /// away from it counts as a preemption).
+    prev_enabled: bool,
+    /// Preemptions accumulated before this decision.
+    preemptions_before: usize,
+}
+
+struct SchedInner {
+    current: usize,
+    threads: Vec<ThreadState>,
+    replay: Vec<usize>,
+    decisions: Vec<Decision>,
+    preemptions: usize,
+    aborted: bool,
+}
+
+pub(crate) struct Scheduler {
+    inner: Mutex<SchedInner>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    fn new(replay: Vec<usize>) -> Self {
+        Scheduler {
+            inner: Mutex::new(SchedInner {
+                current: 0,
+                threads: vec![ThreadState::Runnable],
+                replay,
+                decisions: Vec::new(),
+                preemptions: 0,
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Registers a newly spawned thread; returns its tid.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.inner.lock().unwrap();
+        st.threads.push(ThreadState::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Picks the next thread to run. Must hold the lock. Returns `false`
+    /// when every thread has finished.
+    fn decide(&self, st: &mut SchedInner) -> bool {
+        // Wake joiners whose target has finished.
+        for i in 0..st.threads.len() {
+            if let ThreadState::Joining(t) = st.threads[i] {
+                if st.threads[t] == ThreadState::Finished {
+                    st.threads[i] = ThreadState::Runnable;
+                }
+            }
+        }
+        let prev = st.current;
+        let mut try_order: Vec<usize> = Vec::new();
+        if st.threads.get(prev) == Some(&ThreadState::Runnable) {
+            try_order.push(prev);
+        }
+        for (tid, s) in st.threads.iter().enumerate() {
+            if *s == ThreadState::Runnable && tid != prev {
+                try_order.push(tid);
+            }
+        }
+        if try_order.is_empty() {
+            if st.threads.iter().all(|s| *s == ThreadState::Finished) {
+                return false;
+            }
+            st.aborted = true;
+            self.cv.notify_all();
+            panic!(
+                "loom: deadlock — no runnable threads, states: {:?}",
+                st.threads
+            );
+        }
+        let prev_enabled = try_order[0] == prev;
+        let step = st.decisions.len();
+        assert!(
+            step < MAX_STEPS,
+            "loom: {MAX_STEPS} schedule points in one execution — \
+             unbounded spin loop in the model body?"
+        );
+        let chosen = if step < st.replay.len() {
+            let want = st.replay[step];
+            try_order
+                .iter()
+                .position(|&t| t == want)
+                .unwrap_or_else(|| {
+                    st.aborted = true;
+                    self.cv.notify_all();
+                    panic!(
+                        "loom: replay divergence at step {step} — the model body \
+                     is nondeterministic (wanted tid {want}, enabled {try_order:?})"
+                    )
+                })
+        } else {
+            0
+        };
+        let preemptions_before = st.preemptions;
+        if prev_enabled && chosen != 0 {
+            st.preemptions += 1;
+        }
+        st.current = try_order[chosen];
+        st.decisions.push(Decision {
+            try_order,
+            chosen,
+            prev_enabled,
+            preemptions_before,
+        });
+        true
+    }
+
+    /// A schedule point for thread `me`: pick who runs next, then block
+    /// until this thread holds the token again.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.inner.lock().unwrap();
+        self.decide(&mut st);
+        self.cv.notify_all();
+        while st.current != me {
+            if st.aborted {
+                panic!("loom: model aborted");
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Blocks `me` until `target` finishes (a schedule point).
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        let mut st = self.inner.lock().unwrap();
+        if st.threads[target] != ThreadState::Finished {
+            st.threads[me] = ThreadState::Joining(target);
+        }
+        self.decide(&mut st);
+        self.cv.notify_all();
+        while st.current != me {
+            if st.aborted {
+                panic!("loom: model aborted");
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Parks a fresh thread until the scheduler first hands it the token.
+    pub(crate) fn wait_for_token(&self, me: usize) {
+        let mut st = self.inner.lock().unwrap();
+        while st.current != me {
+            if st.aborted {
+                panic!("loom: model aborted");
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Marks `me` finished and hands the token onward.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.inner.lock().unwrap();
+        st.threads[me] = ThreadState::Finished;
+        if !st.aborted {
+            self.decide(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    fn abort(&self) {
+        let mut st = self.inner.lock().unwrap();
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Marks the thread finished even if its body panicked, so the scheduler
+/// never hangs waiting on a dead thread.
+pub(crate) struct FinishGuard {
+    pub(crate) sched: Arc<Scheduler>,
+    pub(crate) tid: usize,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        self.sched.finish(self.tid);
+        CTX.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+/// Current thread's scheduler context, if inside a model.
+pub(crate) fn context() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_context(ctx: Option<(Arc<Scheduler>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Schedule point for the current thread; no-op outside [`model`].
+pub(crate) fn yield_point() {
+    if let Some((sched, tid)) = context() {
+        sched.yield_point(tid);
+    }
+}
+
+/// Computes the replay prefix reaching the next unvisited branch, or `None`
+/// when the (preemption-bounded) tree is exhausted.
+fn next_replay(decisions: &[Decision], max_preemptions: usize) -> Option<Vec<usize>> {
+    for d in (0..decisions.len()).rev() {
+        let dec = &decisions[d];
+        for alt in dec.chosen + 1..dec.try_order.len() {
+            // Branch `alt != 0` switches away from a still-enabled previous
+            // thread — that is a preemption; check the budget.
+            let extra = usize::from(dec.prev_enabled && alt != 0);
+            if dec.preemptions_before + extra <= max_preemptions {
+                let mut replay: Vec<usize> = decisions[..d]
+                    .iter()
+                    .map(|x| x.try_order[x.chosen])
+                    .collect();
+                replay.push(dec.try_order[alt]);
+                return Some(replay);
+            }
+        }
+    }
+    None
+}
+
+/// Systematically explores thread interleavings of `body`.
+///
+/// Runs `body` once per schedule until the preemption-bounded decision tree
+/// is exhausted. See the crate docs for the model's scope and limitations.
+/// Panics from any explored schedule propagate after the failing schedule's
+/// statistics are printed to stderr.
+pub fn model<F>(body: F)
+where
+    F: Fn(),
+{
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iters = env_usize("LOOM_MAX_ITERS", 20_000);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut iters: usize = 0;
+
+    loop {
+        iters += 1;
+        let sched = Arc::new(Scheduler::new(replay.clone()));
+        set_context(Some((Arc::clone(&sched), 0)));
+        let result = catch_unwind(AssertUnwindSafe(&body));
+        set_context(None);
+        if let Err(payload) = result {
+            sched.abort();
+            eprintln!(
+                "loom: panic under schedule {iters} (replay prefix {} decisions)",
+                replay.len()
+            );
+            resume_unwind(payload);
+        }
+        let decisions = {
+            let st = sched.inner.lock().unwrap();
+            // tid 0 is the model body itself; it never calls finish().
+            assert!(
+                st.threads[1..].iter().all(|s| *s == ThreadState::Finished),
+                "loom: model body returned with unjoined threads — join every \
+                 spawned thread before the closure ends (states: {:?})",
+                st.threads
+            );
+            st.decisions.clone()
+        };
+        match next_replay(&decisions, max_preemptions) {
+            Some(r) if iters < max_iters => replay = r,
+            Some(_) => {
+                eprintln!(
+                    "loom: exploration capped at {max_iters} schedules \
+                     (LOOM_MAX_ITERS) — state space not exhausted"
+                );
+                break;
+            }
+            None => break,
+        }
+    }
+}

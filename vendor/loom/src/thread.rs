@@ -1,0 +1,70 @@
+//! Instrumented threads.
+//!
+//! Inside [`model`](crate::model), spawned threads are real OS threads
+//! driven one at a time by the scheduler; outside a model they degrade to
+//! plain `std::thread` so code using `loom::thread` still runs normally.
+
+use crate::rt;
+use std::sync::Arc;
+
+/// Handle to a spawned (possibly model-scheduled) thread.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    /// `Some((scheduler, tid))` when spawned inside a model.
+    model: Option<(Arc<rt::Scheduler>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result (or the panic
+    /// payload, as with `std::thread`).
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((sched, target)) = &self.model {
+            if let Some((_, me)) = rt::context() {
+                sched.join_wait(me, *target);
+            }
+        }
+        self.inner.join()
+    }
+}
+
+/// Spawns a thread. Inside a model this registers a schedulable thread and
+/// is itself a schedule point; outside it is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::context() {
+        None => JoinHandle {
+            inner: std::thread::spawn(f),
+            model: None,
+        },
+        Some((sched, me)) => {
+            let tid = sched.register_thread();
+            let child_sched = Arc::clone(&sched);
+            let inner = std::thread::spawn(move || {
+                rt::set_context(Some((Arc::clone(&child_sched), tid)));
+                child_sched.wait_for_token(tid);
+                // Marks the thread finished on both return and panic, so
+                // the scheduler never waits on a dead thread.
+                let _guard = rt::FinishGuard {
+                    sched: child_sched,
+                    tid,
+                };
+                f()
+            });
+            // The child is now enabled: give the scheduler a chance to run
+            // it immediately (thread creation is a schedule point).
+            sched.yield_point(me);
+            JoinHandle {
+                inner,
+                model: Some((sched, tid)),
+            }
+        }
+    }
+}
+
+/// Yields the current thread: a plain schedule point.
+pub fn yield_now() {
+    rt::yield_point();
+}

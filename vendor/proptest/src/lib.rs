@@ -1,0 +1,282 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the strategy combinators, macros and runner this workspace's
+//! property tests use, with deterministic generation (seeded per test name,
+//! overridable via `PROPTEST_SEED`). Key divergence from the real crate:
+//! **no shrinking** — a failing case is reported verbatim with its case
+//! number and the Debug rendering of every generated input, which together
+//! with the fixed seed makes failures reproducible.
+//!
+//! Case counts honour `ProptestConfig::with_cases`, can be overridden with
+//! the `PROPTEST_CASES` env var, and are capped hard under Miri so
+//! interpreter runs stay tractable.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// lies in `len` (half-open, like the real crate's `SizeRange` from a
+    /// `Range`).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.len.start, self.len.end);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with an
+/// optional formatted message) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} — {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Weighted union of strategies producing a common value type:
+/// `prop_oneof![3 => a, 1 => b]` or unweighted `prop_oneof![a, b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests. Mirrors the real crate's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0i64..10, mut v in collection::vec(any::<u64>(), 1..5)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn` item inside [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(
+                $config,
+                stringify!($name),
+                |__rng, __desc| {
+                    $(
+                        let __gen = $crate::strategy::Strategy::generate(&($strat), __rng);
+                        __desc.push_str(&format!(
+                            "  {} = {:?}\n",
+                            stringify!($pat),
+                            &__gen
+                        ));
+                        let $pat = __gen;
+                    )+
+                    (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                },
+            );
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Push(i64),
+        Pop,
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (-50i64..50).prop_map(Op::Push),
+            1 => Just(Op::Pop),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -100i64..100, y in 1u64..10, f in -1.5f64..2.5) {
+            prop_assert!((-100..100).contains(&x));
+            prop_assert!((1..10).contains(&y));
+            prop_assert!((-1.5..2.5).contains(&f), "f={}", f);
+        }
+
+        #[test]
+        fn vec_lengths(mut v in crate::collection::vec(0usize..7, 2..9)) {
+            v.push(0);
+            prop_assert!(v.len() >= 3 && v.len() <= 9);
+        }
+
+        #[test]
+        fn oneof_and_map(ops in crate::collection::vec(op(), 1..30)) {
+            let mut depth = 0i64;
+            for o in &ops {
+                match o {
+                    Op::Push(_) => depth += 1,
+                    Op::Pop => depth -= 1,
+                }
+            }
+            prop_assert!(depth >= -(ops.len() as i64));
+        }
+
+        #[test]
+        fn regex_ident(s in "[a-zA-Z_][a-zA-Z0-9_]{0,12}") {
+            prop_assert!(!s.is_empty() && s.len() <= 13);
+            let first = s.chars().next().unwrap();
+            prop_assert!(first.is_ascii_alphabetic() || first == '_');
+        }
+
+        #[test]
+        fn filter_respected(x in (0i64..100).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn question_mark_and_fail() {
+        crate::test_runner::run(
+            ProptestConfig::with_cases(4),
+            "question_mark",
+            |_rng, _desc| {
+                let parsed: Result<i64, TestCaseError> = "42"
+                    .parse()
+                    .map_err(|e| TestCaseError::fail(format!("{e}")));
+                let v = parsed?;
+                assert_eq!(v, 42);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failing_case_panics_with_inputs() {
+        crate::test_runner::run(ProptestConfig::with_cases(8), "failing", |rng, desc| {
+            let x = Strategy::generate(&(0i64..5), rng);
+            desc.push_str(&format!("  x = {x:?}\n"));
+            prop_assert!(x > 100);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,381 @@
+//! Strategies: deterministic value generators with combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// How many times a filtered strategy retries before the case is abandoned.
+const MAX_FILTER_RETRIES: u32 = 1_000;
+
+/// A generator of values for property tests.
+///
+/// Unlike the real crate there is no value tree / shrinking; `generate`
+/// produces one value per call, deterministically from the runner's RNG.
+/// Combinator methods carry `where Self: Sized` so the trait stays
+/// object-safe and `Box<dyn Strategy<Value = T>>` works (needed by
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values for which `pred` is false, retrying (bounded). The
+    /// `reason` string appears in the panic if the filter starves.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_RETRIES {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "proptest filter starved after {MAX_FILTER_RETRIES} retries: {}",
+            self.reason
+        );
+    }
+}
+
+/// Strategy that always yields a clone of its value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between type-erased strategies (built by
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct WeightedUnion<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> WeightedUnion<T> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof: all weights are zero");
+        WeightedUnion { arms, total }
+    }
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total;
+        for (w, strat) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return strat.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights summed to total")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Width fits in u128 for every integer type we cover.
+                let width = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let off = (u128::from(rng.next_u64()) % width) as i128;
+                ((self.start as i128) + off) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident),+)),+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($t,)+) = self;
+                ($($t.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws a value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over a type's full domain (`any::<i64>()`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite floats spanning a wide magnitude range — the full bit
+        // pattern domain would mostly yield NaN-adjacent extremes.
+        let mag = rng.unit_f64() * 2.0 - 1.0;
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        mag * 10f64.powi(exp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategies
+// ---------------------------------------------------------------------------
+
+/// A parsed atom of the supported regex subset.
+enum ReAtom {
+    /// Literal character.
+    Lit(char),
+    /// Character class: flattened set of candidate chars.
+    Class(Vec<char>),
+}
+
+struct ReElem {
+    atom: ReAtom,
+    min: u32,
+    max: u32,
+}
+
+/// `&str` doubles as a strategy generating strings matching the pattern, as
+/// in the real crate. Supported subset: literal chars, `[...]` classes with
+/// ranges, and `{n}` / `{n,m}` quantifiers — enough for identifier-shaped
+/// patterns like `"[a-zA-Z_][a-zA-Z0-9_]{0,12}"`. Unsupported syntax panics
+/// at generation time with a clear message.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let elems = parse_regex(self);
+        let mut out = String::new();
+        for e in &elems {
+            let n = if e.min == e.max {
+                e.min
+            } else {
+                e.min + (rng.next_u64() % u64::from(e.max - e.min + 1)) as u32
+            };
+            for _ in 0..n {
+                match &e.atom {
+                    ReAtom::Lit(c) => out.push(*c),
+                    ReAtom::Class(set) => {
+                        out.push(set[(rng.next_u64() % set.len() as u64) as usize])
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_regex(pat: &str) -> Vec<ReElem> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut elems = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in regex strategy {pat:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "inverted range in regex strategy {pat:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in regex strategy {pat:?}");
+                i = close + 1;
+                ReAtom::Class(set)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling `\\` in regex strategy {pat:?}"));
+                i += 2;
+                ReAtom::Lit(c)
+            }
+            c @ ('*' | '+' | '?' | '(' | ')' | '|' | '.' | '^' | '$') => {
+                panic!("regex strategy {pat:?}: `{c}` is outside the supported subset")
+            }
+            c => {
+                i += 1;
+                ReAtom::Lit(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed `{{` in regex strategy {pat:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let bounds = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad {n,m} lower bound"),
+                    hi.trim().parse().expect("bad {n,m} upper bound"),
+                ),
+                None => {
+                    let n: u32 = body.trim().parse().expect("bad {n} count");
+                    (n, n)
+                }
+            };
+            i = close + 1;
+            bounds
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in regex strategy {pat:?}");
+        elems.push(ReElem { atom, min, max });
+    }
+    elems
+}

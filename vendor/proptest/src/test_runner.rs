@@ -1,0 +1,149 @@
+//! The case runner: configuration, RNG, and the per-test driver loop.
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated; the test fails.
+    Fail(String),
+    /// The inputs were unsuitable; the case is skipped (not a failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed property with a reason.
+    pub fn fail(reason: impl std::fmt::Display) -> Self {
+        TestCaseError::Fail(reason.to_string())
+    }
+
+    /// A rejected (skipped) case with a reason.
+    pub fn reject(reason: impl std::fmt::Display) -> Self {
+        TestCaseError::Reject(reason.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+/// Runner configuration. Only `cases` is honoured by this vendored build.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property (before env/Miri adjustment).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic RNG handed to strategies (splitmix64 core).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)` from the top 53 bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+fn effective_cases(config: &ProptestConfig) -> u32 {
+    let mut cases = config.cases;
+    if let Ok(env) = std::env::var("PROPTEST_CASES") {
+        if let Ok(n) = env.trim().parse::<u32>() {
+            cases = n;
+        }
+    }
+    if cfg!(miri) {
+        // Interpreted execution is ~100× slower; a handful of cases still
+        // exercises the unsafe paths Miri is checking.
+        cases = cases.min(4);
+    }
+    cases.max(1)
+}
+
+fn base_seed(name: &str) -> u64 {
+    if let Ok(env) = std::env::var("PROPTEST_SEED") {
+        if let Ok(n) = env.trim().parse::<u64>() {
+            return n;
+        }
+    }
+    // FNV-1a over the test name: distinct but reproducible per property.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property: runs `f` for each case with a per-case RNG and a
+/// description buffer the `proptest!` macro fills with the generated inputs.
+/// Panics (failing the `#[test]`) on the first `Fail`; `Reject`s are skipped
+/// up to a global budget.
+pub fn run<F>(config: ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> Result<(), TestCaseError>,
+{
+    let cases = effective_cases(&config);
+    let seed = base_seed(name);
+    let max_rejects = cases.saturating_mul(8).max(64);
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    let mut attempt = 0u64;
+    while case < cases {
+        let mut rng = TestRng::from_seed(seed ^ attempt.wrapping_mul(0xA076_1D64_78BD_642F));
+        attempt += 1;
+        let mut desc = String::new();
+        match f(&mut rng, &mut desc) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "proptest `{name}`: too many rejected cases ({rejects}); last: {reason}"
+                );
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "proptest `{name}` failed at case {case} (seed {seed:#x}, attempt {})\n\
+                     inputs:\n{desc}cause: {reason}",
+                    attempt - 1
+                );
+            }
+        }
+    }
+}

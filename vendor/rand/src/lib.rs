@@ -1,0 +1,287 @@
+//! Offline vendored stand-in for `rand` 0.8.
+//!
+//! Implements the subset the workload generators and tests use: a
+//! deterministic [`rngs::StdRng`] (xoshiro256** seeded via SplitMix64),
+//! [`Rng::gen_range`] over half-open and inclusive integer/float ranges,
+//! [`Rng::gen_bool`], [`Rng::gen`] for primitives, and
+//! [`distributions::Uniform`]. Stream contents differ from the real crate
+//! (different PRNG), but every generator in this workspace is seeded, so
+//! runs remain reproducible.
+
+#![warn(missing_docs)]
+
+/// Core random-number source: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of seeded generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods over any [`RngCore`] (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open `a..b` or inclusive `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        distributions::unit_f64(self.next_u64()) < p
+    }
+
+    /// A sample of the [`distributions::Standard`] distribution for `T`.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// A sample of an explicit distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, dist: D) -> T
+    where
+        Self: Sized,
+    {
+        dist.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic PRNG: xoshiro256**.
+    ///
+    /// Not the real crate's ChaCha12 — streams differ — but passes the
+    /// statistical bar for workload synthesis and is much cheaper.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions and range sampling.
+pub mod distributions {
+    use super::{Rng, RngCore};
+
+    /// A distribution producing values of `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution per type (full range for integers,
+    /// `[0, 1)` for floats, fair coin for `bool`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    /// Maps 64 random bits to `[0, 1)` with 53-bit precision.
+    pub(crate) fn unit_f64(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<i64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniform distribution over a half-open range `[low, high)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: Copy + PartialOrd + std::fmt::Debug> Uniform<T> {
+        /// Creates the distribution. Panics if `low >= high`, like the real
+        /// crate.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new called with empty range");
+            Uniform { low, high }
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            self.low + (self.high - self.low) * unit_f64(rng.next_u64())
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Uniform<$t> {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    let span = (self.high as i128 - self.low as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.low as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// A range usable with [`Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range.
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! range_int {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl SampleRange<f64> for std::ops::Range<f64> {
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "gen_range: empty range");
+            self.start + (self.end - self.start) * unit_f64(rng.next_u64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(0u64..=3);
+            assert!(w <= 3);
+            let f = rng.gen_range(1.0f64..2.0);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn uniform_distribution_covers_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Uniform::new(-100.0f64, 100.0);
+        let mut min = f64::MAX;
+        let mut max = f64::MIN;
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((-100.0..100.0).contains(&v));
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert!(min < -90.0 && max > 90.0);
+    }
+
+    #[test]
+    fn standard_floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

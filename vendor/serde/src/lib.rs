@@ -1,0 +1,452 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! self-contained serialization layer under the same crate and trait names.
+//! Instead of the real crate's visitor-based zero-copy data model, this one
+//! funnels everything through an owned value tree ([`Value`]):
+//!
+//! - [`Serialize`] renders `self` into a [`Value`];
+//! - [`Deserialize`] rebuilds `Self` from a [`Value`].
+//!
+//! The derive macros (re-exported from the vendored `serde_derive`) generate
+//! the same field/variant layout the real serde would: structs become maps,
+//! newtype structs are transparent, enum variants are externally tagged, and
+//! the `#[serde(skip)]` / `#[serde(transparent)]` attributes used in this
+//! workspace are honoured. `serde_json` (also vendored) reads and writes
+//! this value tree as JSON.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, self-describing value tree — the vendored data model.
+///
+/// This doubles as `serde_json::Value` (the vendored `serde_json` re-exports
+/// it), so it carries the handful of accessor methods the experiment
+/// tooling uses (`as_str`, `as_array`, `as_f64`, indexing).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a sequence.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            Value::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `i64`, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::I64(n) => u64::try_from(*n).ok(),
+            Value::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in a map value; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Map lookup; yields `null` for missing keys or non-map values, like
+    /// `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Sequence lookup; yields `null` out of bounds or for non-sequences.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Seq(v) => v.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Serialization into the vendored value tree.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the vendored value tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// A (de)serialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn msg(m: impl std::fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::msg(concat!("expected integer for ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(Error::msg)
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(n) => Value::I64(n),
+                    Err(_) => Value::U64(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::msg(concat!("expected integer for ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(Error::msg)
+            }
+        }
+    )*};
+}
+ser_uint!(u64, usize);
+
+// 128-bit integers don't fit the JSON number model; values within 64-bit
+// range use integer nodes, larger ones round-trip through decimal strings.
+macro_rules! ser_int128 {
+    ($($t:ty => $via:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match <$via>::try_from(*self) {
+                    Ok(n) => n.to_value(),
+                    Err(_) => Value::Str(self.to_string()),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                if let Some(s) = v.as_str() {
+                    return s.parse::<$t>().map_err(Error::msg);
+                }
+                if let Some(n) = v.as_u64() {
+                    return <$t>::try_from(n).map_err(Error::msg);
+                }
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::msg(concat!("expected integer for ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(Error::msg)
+            }
+        }
+    )*};
+}
+ser_int128!(u128 => u64, i128 => i64);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| Error::msg(concat!("expected number for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::msg("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the string to obtain `'static` (the real serde borrows from
+    /// the input instead). Only spec structs with literal names use this,
+    /// and only in tests/tools, so the leak is bounded and acceptable.
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(|s| &*Box::leak::<'static>(s.to_owned().into_boxed_str()))
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let seq = v.as_array().ok_or_else(|| Error::msg("expected tuple array"))?;
+                Ok(($($t::from_value(
+                    seq.get($n).ok_or_else(|| Error::msg("tuple too short"))?,
+                )?,)+))
+            }
+        }
+    )+};
+}
+ser_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+impl Serialize for std::time::Duration {
+    /// Matches real serde's `{secs, nanos}` struct encoding.
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), self.as_secs().to_value()),
+            ("nanos".to_string(), self.subsec_nanos().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let secs = u64::from_value(&v["secs"])?;
+        let nanos = u32::from_value(&v["nanos"])?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::Str(self.display().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_value(&42i64.to_value()), Ok(42));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".into())
+        );
+        assert_eq!(Option::<u64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2].to_value()),
+            Ok(vec![1, 2])
+        );
+        let pair = (1.0f64, 2.0f64);
+        assert_eq!(<(f64, f64)>::from_value(&pair.to_value()), Ok(pair));
+    }
+
+    #[test]
+    fn index_falls_back_to_null() {
+        let v = Value::Map(vec![("a".into(), Value::I64(1))]);
+        assert_eq!(v["a"].as_i64(), Some(1));
+        assert!(v["missing"].is_null());
+        assert!(v[3].is_null());
+    }
+}

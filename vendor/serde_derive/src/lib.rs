@@ -1,0 +1,441 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (value-tree model, see the vendored `serde` crate) for the shapes
+//! this workspace actually derives on:
+//!
+//! - structs with named fields (maps), honouring `#[serde(skip)]` and
+//!   `#[serde(transparent)]`;
+//! - tuple structs (newtypes serialize transparently, larger ones as
+//!   sequences);
+//! - enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged, as real serde defaults to).
+//!
+//! Written directly against `proc_macro` — `syn`/`quote` are unavailable in
+//! the offline container. Generic types are intentionally rejected with a
+//! clear error (nothing in the workspace derives on generics).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed shape
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: (field name, skip?).
+    Struct(Vec<(String, bool)>),
+    /// Tuple struct: number of fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    /// Tuple variant with N fields.
+    Tuple(usize),
+    /// Struct variant field names.
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (manual, no syn)
+// ---------------------------------------------------------------------------
+
+/// Collects one attribute body (`#[...]`) if the cursor is on `#`, returning
+/// its flattened text; advances the iterator past it.
+fn take_attr(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Option<String> {
+    match tokens.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+            tokens.next();
+            match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    Some(g.stream().to_string())
+                }
+                _ => panic!("serde_derive: malformed attribute"),
+            }
+        }
+        _ => None,
+    }
+}
+
+fn attr_has(attrs: &[String], marker: &str) -> bool {
+    attrs.iter().any(|a| {
+        let a: String = a.chars().filter(|c| !c.is_whitespace()).collect();
+        a.starts_with("serde(") && a.contains(marker)
+    })
+}
+
+/// Skips visibility qualifiers (`pub`, `pub(crate)`, …).
+fn skip_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let mut type_attrs = Vec::new();
+    while let Some(a) = take_attr(&mut tokens) {
+        type_attrs.push(a);
+    }
+    skip_vis(&mut tokens);
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (deriving on `{name}`)");
+    }
+
+    let transparent = attr_has(&type_attrs, "transparent");
+    let kind = match (keyword.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Struct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Kind::Unit,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream()))
+        }
+        (kw, other) => panic!("serde_derive: unsupported {kw} body: {other:?}"),
+    };
+    Item {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+/// Parses `name: Type, …` bodies, tracking `#[serde(skip)]` per field.
+fn parse_named_fields(body: TokenStream) -> Vec<(String, bool)> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let mut attrs = Vec::new();
+        while let Some(a) = take_attr(&mut tokens) {
+            attrs.push(a);
+        }
+        skip_vis(&mut tokens);
+        let Some(TokenTree::Ident(field)) = tokens.next() else {
+            break;
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        skip_type_until_comma(&mut tokens);
+        fields.push((field.to_string(), attr_has(&attrs, "skip")));
+    }
+    fields
+}
+
+/// Advances past a type expression, stopping after the next top-level comma.
+/// Angle-bracket depth is tracked manually (they are puncts, not groups).
+fn skip_type_until_comma(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    for tok in tokens.by_ref() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+/// Counts the comma-separated types of a tuple-struct/-variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut tokens = body.into_iter().peekable();
+    let mut n = 0;
+    loop {
+        while take_attr(&mut tokens).is_some() {}
+        skip_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        n += 1;
+        skip_type_until_comma(&mut tokens);
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        while take_attr(&mut tokens).is_some() {}
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream())
+                    .into_iter()
+                    .map(|(f, _)| f)
+                    .collect();
+                tokens.next();
+                VariantFields::Named(named)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantFields::Tuple(n)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Trailing comma between variants.
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen (string-based; the output is parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let live: Vec<_> = fields.iter().filter(|(_, skip)| !skip).collect();
+            if item.transparent {
+                assert!(
+                    live.len() == 1,
+                    "#[serde(transparent)] requires exactly one unskipped field"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", live[0].0)
+            } else {
+                let pushes: String = live
+                    .iter()
+                    .map(|(f, _)| {
+                        format!(
+                            "m.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let mut m: Vec<(String, ::serde::Value)> = Vec::new(); {pushes} ::serde::Value::Map(m)"
+                )
+            }
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vname}(x0) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let live: Vec<_> = fields.iter().filter(|(_, skip)| !skip).collect();
+            if item.transparent {
+                let f = &live[0].0;
+                format!("Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)? }})")
+            } else {
+                let inits: String = fields
+                    .iter()
+                    .map(|(f, skip)| {
+                        if *skip {
+                            format!("{f}: ::core::default::Default::default(),")
+                        } else {
+                            format!(
+                                "{f}: match v.get(\"{f}\") {{ \
+                                     Some(x) => ::serde::Deserialize::from_value(x)?, \
+                                     None => return Err(::serde::Error::msg(\"missing field `{f}` in {name}\")), \
+                                 }},"
+                            )
+                        }
+                    })
+                    .collect();
+                format!("Ok({name} {{ {inits} }})")
+            }
+        }
+        Kind::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Kind::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(seq.get({i}).ok_or_else(|| ::serde::Error::msg(\"tuple too short for {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let seq = v.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array for {name}\"))?; \
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::Unit => format!("let _ = v; Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => return Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(seq.get({i}).ok_or_else(|| ::serde::Error::msg(\"variant tuple too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ \
+                                     let seq = inner.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array variant\"))?; \
+                                     return Ok({name}::{vname}({})); \
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: match inner.get(\"{f}\") {{ \
+                                             Some(x) => ::serde::Deserialize::from_value(x)?, \
+                                             None => return Err(::serde::Error::msg(\"missing field `{f}` in {name}::{vname}\")), \
+                                         }},"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => return Ok({name}::{vname} {{ {inits} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(s) = v.as_str() {{ \
+                     match s {{ {unit_arms} _ => {{}} }} \
+                 }} \
+                 if let Some(m) = v.as_map() {{ \
+                     if m.len() == 1 {{ \
+                         let (tag, inner) = &m[0]; \
+                         let _ = inner; \
+                         match tag.as_str() {{ {tagged_arms} _ => {{}} }} \
+                     }} \
+                 }} \
+                 Err(::serde::Error::msg(\"unrecognised {name} variant\"))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
