@@ -4,8 +4,10 @@
 //! crate is compiled with `RUSTFLAGS="--cfg loom"` it re-exports the loom
 //! model checker's instrumented atomics instead, so `swmr`, `timetravel`,
 //! and `rcu` compile unchanged against either backend. The loom tests in
-//! `tests/loom.rs` exhaustively explore thread interleavings of the
-//! publication, linking, eviction, and RCU-swap protocols.
+//! `tests/loom.rs` systematically explore thread interleavings of the
+//! publication, linking, eviction, and RCU-swap protocols (under
+//! sequential consistency only — the stand-in checker cannot catch wrong
+//! `Release`/`Acquire` orderings; see DESIGN.md §8 for the coverage map).
 //!
 //! Everything in the data-structure modules must import atomics from
 //! `crate::sync::atomic` — never from `std::sync::atomic` directly — or the

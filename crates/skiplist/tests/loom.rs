@@ -9,9 +9,13 @@
 //! Under `--cfg loom` the crate's `sync` facade and the vendored
 //! `crossbeam-epoch`'s pointer words swap to the vendored loom's
 //! instrumented atomics, and `loom::model` explores the distinct thread
-//! interleavings of each scenario exhaustively (up to the preemption
-//! bound; see `vendor/loom` for the exploration strategy and its
-//! SeqCst-only caveat).
+//! interleavings of each scenario (up to the preemption bound). Two
+//! caveats bound what these checks prove: the stand-in models
+//! **sequential consistency only** (wrong `Release`/`Acquire` orderings
+//! are invisible — ThreadSanitizer is the layer that covers those), and
+//! the loom-mode epoch backend **leaks** deferred destructors, so
+//! premature-reclamation bugs are covered by Miri/ASan, not here. See
+//! `vendor/loom`, `vendor/README.md`, and DESIGN.md §8.
 //!
 //! Each scenario checks one leg of the paper's concurrency contract:
 //!

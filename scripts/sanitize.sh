@@ -5,7 +5,12 @@
 #
 # AddressSanitizer catches use-after-free / double-free in the epoch
 # reclamation path; ThreadSanitizer catches data races the type system and
-# loom models might miss. Both need a nightly toolchain. TSan additionally
+# loom models might miss. Because the vendored `crossbeam-epoch` is a
+# from-scratch reimplementation (see vendor/README.md), both sanitizers
+# also run that crate's own stress suite (premature-reclamation canaries,
+# multi-thread defer storms) — this is the primary ordering-sensitive
+# check for the hand-written EBR engine. Both need a nightly toolchain.
+# TSan additionally
 # needs an instrumented std (`-Zbuild-std`, requires the rust-src
 # component); when that is unavailable the TSan leg is skipped with a
 # notice rather than failing the run, so the script degrades gracefully on
@@ -27,15 +32,15 @@ have_rust_src() {
 }
 
 run_asan() {
-  echo "== AddressSanitizer: cargo test -p oij-skiplist =="
+  echo "== AddressSanitizer: cargo test -p oij-skiplist -p crossbeam-epoch =="
   # ASan links its runtime into the test binary; an uninstrumented std is
   # acceptable (allocations still funnel through the instrumented global
   # allocator shims).
   RUSTFLAGS="-Zsanitizer=address" \
   RUSTDOCFLAGS="-Zsanitizer=address" \
   ASAN_OPTIONS="detect_leaks=0" \
-    cargo +nightly test -p oij-skiplist --target "$TARGET_TRIPLE" \
-    --release -q || FAILED=1
+    cargo +nightly test -p oij-skiplist -p crossbeam-epoch \
+    --target "$TARGET_TRIPLE" --release -q || FAILED=1
   # Leak checking is off above: epoch garbage still queued at process exit
   # is reported as leaked even though teardown is sound. Run the targeted
   # drop tests with leak detection on, where every structure is dropped.
@@ -53,12 +58,12 @@ run_tsan() {
          "rust-src --toolchain nightly) =="
     return 0
   fi
-  echo "== ThreadSanitizer: cargo test -p oij-skiplist =="
+  echo "== ThreadSanitizer: cargo test -p oij-skiplist -p crossbeam-epoch =="
   RUSTFLAGS="-Zsanitizer=thread" \
   RUSTDOCFLAGS="-Zsanitizer=thread" \
   TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
-    cargo +nightly test -p oij-skiplist --target "$TARGET_TRIPLE" \
-    -Zbuild-std --release -q || FAILED=1
+    cargo +nightly test -p oij-skiplist -p crossbeam-epoch \
+    --target "$TARGET_TRIPLE" -Zbuild-std --release -q || FAILED=1
 }
 
 if ! have_nightly; then

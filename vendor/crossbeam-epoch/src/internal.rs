@@ -1,11 +1,55 @@
-//! Std-mode reclamation engine: classic three-epoch EBR with eager
-//! collection on the last unpin (see the crate docs for the scheme).
+//! Std-mode reclamation engine: classic three-epoch EBR (see the crate
+//! docs for the scheme and for how this reimplementation diverges from
+//! upstream crossbeam-epoch).
+//!
+//! ## Hot-path cost model
+//!
+//! Readers must stay wait-free on the pin/unpin fast path — the engine's
+//! read latency is part of what this repository measures:
+//!
+//! - `pin` touches only the calling thread's participant record (one RMW,
+//!   one epoch publish, one `SeqCst` fence). Every `PIN_INTERVAL`-th
+//!   outermost pin it *offers* to collect, using `try_lock` so it can
+//!   never block behind another thread.
+//! - `unpin` is a single `fetch_sub`. It never collects (except under
+//!   `cfg(miri)`, where eager collection keeps leak-checked interpreter
+//!   runs clean and performance is irrelevant).
+//! - `defer` (a writer-side operation in this workspace: skip-list
+//!   eviction and RCU replacement) appends under the garbage mutex and
+//!   every `DEFER_INTERVAL`-th retirement offers to collect, again
+//!   non-blocking. The retiring thread thus pays the amortised
+//!   reclamation cost, matching the paper's design where the single
+//!   writer owns expiration work.
+//! - `Guard::flush` is the explicit quiescence API: a *blocking* collect
+//!   that advances the epoch as far as currently possible. Tests and
+//!   teardown paths loop it to drain all garbage.
+//!
+//! The global mutexes (participant registry, garbage queue) are therefore
+//! confined to registration (once per thread), retirement, and collection
+//! — never to the read-only pin/unpin path.
+//!
+//! ## Ordering
+//!
+//! The epoch protocol itself is deliberately conservative: participant
+//! and global epoch words use `SeqCst` RMWs/stores, and — mirroring
+//! upstream crossbeam — `pin` issues a `SeqCst` fence after publishing
+//! its epoch and `try_advance` issues one before reading participant
+//! records, so a collector that misses a concurrent pin is guaranteed
+//! that the pinning thread's subsequent loads see every store that
+//! happened before the collector's check.
 
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::Guard;
+
+/// Outermost pins between collection offers on the reader path (the same
+/// amortisation interval upstream crossbeam-epoch uses).
+const PIN_INTERVAL: u64 = 128;
+
+/// Retirements between collection offers on the defer path.
+const DEFER_INTERVAL: u64 = 64;
 
 /// The pointer word of an `Atomic<T>`; in std mode a plain `AtomicPtr`
 /// honouring the caller's orderings.
@@ -59,7 +103,7 @@ struct Global {
     participants: Mutex<Vec<Arc<Participant>>>,
     /// (epoch at retirement, destructor) pairs.
     garbage: Mutex<Vec<(usize, Deferred)>>,
-    /// Fast-path check so idle unpins skip the garbage mutex.
+    /// Fast-path check so collection offers with no garbage are free.
     garbage_count: AtomicUsize,
 }
 
@@ -75,6 +119,10 @@ fn global() -> &'static Global {
 
 thread_local! {
     static PARTICIPANT: RefCell<Option<Arc<Participant>>> = const { RefCell::new(None) };
+    /// Outermost pins on this thread, for the 1-in-`PIN_INTERVAL` offer.
+    static PIN_TICK: Cell<u64> = const { Cell::new(0) };
+    /// Retirements by this thread, for the 1-in-`DEFER_INTERVAL` offer.
+    static DEFER_TICK: Cell<u64> = const { Cell::new(0) };
 }
 
 fn participant() -> Arc<Participant> {
@@ -116,6 +164,21 @@ pub(crate) fn pin() -> Guard {
                 break;
             }
         }
+        // Pair with the fence in `try_advance`: everything the data
+        // structure loads after this point is at least as new as what any
+        // collector that failed to observe this pin had already seen.
+        fence(Ordering::SeqCst);
+        // Amortised reader-side reclamation, as in upstream crossbeam:
+        // a 1-in-PIN_INTERVAL *non-blocking* offer. A reader never waits
+        // on another thread's collection.
+        let tick = PIN_TICK.with(|t| {
+            let n = t.get().wrapping_add(1);
+            t.set(n);
+            n
+        });
+        if tick.is_multiple_of(PIN_INTERVAL) && global().garbage_count.load(Ordering::SeqCst) > 0 {
+            collect(false);
+        }
     }
     Guard {
         kind: GuardKind::Pinned(p),
@@ -139,6 +202,15 @@ pub(crate) fn defer(guard: &Guard, d: Deferred) {
             let e = g.epoch.load(Ordering::SeqCst);
             g.garbage.lock().unwrap().push((e, d));
             g.garbage_count.fetch_add(1, Ordering::SeqCst);
+            // The retiring thread pays the amortised collection cost.
+            let tick = DEFER_TICK.with(|t| {
+                let n = t.get().wrapping_add(1);
+                t.set(n);
+                n
+            });
+            if tick.is_multiple_of(DEFER_INTERVAL) {
+                collect(false);
+            }
         }
     }
 }
@@ -147,44 +219,79 @@ pub(crate) fn unpin(guard: &mut Guard) {
     if let GuardKind::Pinned(p) = &guard.kind {
         let prev = p.active.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev >= 1, "unpin without pin");
+        // Never collect on the unpin path: collection work on read-only
+        // threads would distort the read-latency profile this repository
+        // exists to measure. Under Miri, eager collection on the last
+        // unpin keeps leak-checked interpreter runs clean instead
+        // (performance is irrelevant there).
+        #[cfg(miri)]
         if prev == 1 && global().garbage_count.load(Ordering::SeqCst) > 0 {
-            collect();
+            collect(true);
         }
     }
 }
 
+/// Runs a full blocking collection (for `Guard::flush`).
+pub(crate) fn flush() {
+    if global().garbage_count.load(Ordering::SeqCst) > 0 {
+        collect(true);
+    }
+}
+
 /// Advances the global epoch if every pinned participant has observed the
-/// current one; also prunes records of exited threads.
-fn try_advance() -> bool {
+/// current one; also prunes records of exited threads. `blocking` decides
+/// whether to wait for the registry lock; `None` means the lock was busy
+/// (only possible when non-blocking).
+fn try_advance(blocking: bool) -> Option<bool> {
     let g = global();
-    let mut parts = g.participants.lock().unwrap();
+    let mut parts = if blocking {
+        g.participants.lock().unwrap()
+    } else {
+        g.participants.try_lock().ok()?
+    };
+    // Pair with the fence in `pin`: a pin not visible to the loop below
+    // ordered its subsequent loads after this point, so advancing (and
+    // later freeing) cannot strand that reader with stale pointers.
+    fence(Ordering::SeqCst);
     // A record owned solely by the global list belongs to an exited thread.
     parts.retain(|p| Arc::strong_count(p) > 1 || p.active.load(Ordering::SeqCst) > 0);
     let e = g.epoch.load(Ordering::SeqCst);
     for p in parts.iter() {
         if p.active.load(Ordering::SeqCst) > 0 && p.epoch.load(Ordering::SeqCst) != e {
-            return false;
+            return Some(false);
         }
     }
     // Single-advancer discipline: the participants lock is held, so only
     // one thread can pass the check above for a given epoch value.
     g.epoch.store(e + 1, Ordering::SeqCst);
-    true
+    Some(true)
 }
 
 /// Advances as far as possible and runs every destructor whose grace
-/// period (2 epochs past retirement) has elapsed.
-fn collect() {
+/// period (2 epochs past retirement) has elapsed. When `blocking` is
+/// false both internal locks are only tried, so the offer from a reader's
+/// pin can never stall behind another thread.
+fn collect(blocking: bool) {
     let g = global();
     while g.garbage_count.load(Ordering::SeqCst) > 0 {
-        if !try_advance() {
-            break;
+        match try_advance(blocking) {
+            Some(true) => {}
+            // Epoch stalled on a straggling pin, or (non-blocking) the
+            // registry was busy — someone else is already collecting.
+            Some(false) | None => break,
         }
         let e = g.epoch.load(Ordering::SeqCst);
         // Drain eligible garbage while holding the lock, run it after —
         // destructors must never run under the garbage mutex.
         let ready: Vec<Deferred> = {
-            let mut garbage = g.garbage.lock().unwrap();
+            let mut garbage = if blocking {
+                g.garbage.lock().unwrap()
+            } else {
+                match g.garbage.try_lock() {
+                    Ok(l) => l,
+                    Err(_) => break,
+                }
+            };
             let mut ready = Vec::new();
             garbage.retain_mut(|(retired, d)| {
                 if *retired + 2 <= e {

@@ -74,3 +74,6 @@ pub(crate) fn defer(guard: &Guard, d: Deferred) {
 }
 
 pub(crate) fn unpin(_guard: &mut Guard) {}
+
+/// Nothing to collect in loom mode (deferred destructors are leaked).
+pub(crate) fn flush() {}
