@@ -1,6 +1,7 @@
 //! Error types shared across the workspace.
 
 use core::fmt;
+use std::time::Duration as StdDuration;
 
 /// Workspace-wide result alias.
 pub type Result<T> = core::result::Result<T, Error>;
@@ -21,8 +22,30 @@ pub enum Error {
     /// The engine was asked to do something in the wrong lifecycle state
     /// (e.g. pushing tuples after flush).
     InvalidState(String),
-    /// A worker thread terminated abnormally.
-    WorkerPanic(String),
+    /// A worker thread terminated abnormally. The supervisor captures the
+    /// panic payload (or disconnect evidence) together with the worker's
+    /// identity, so the failure is attributable instead of a guess.
+    WorkerFailed {
+        /// Which engine the worker belonged to (e.g. `"scale-oij"`;
+        /// auxiliary threads report as `"scale-oij-scheduler"` /
+        /// `"splitjoin-collector"`).
+        engine: &'static str,
+        /// The worker's index within the engine.
+        worker: usize,
+        /// The captured panic payload or disconnect description.
+        cause: String,
+    },
+    /// A worker stopped draining its input channel: a routed send exceeded
+    /// the configured deadline without the worker having recorded a panic.
+    /// Distinguishes a wedged-but-alive worker from a dead one.
+    WorkerStalled {
+        /// Which engine the worker belongs to.
+        engine: &'static str,
+        /// The worker's index within the engine.
+        worker: usize,
+        /// How long the send waited before giving up.
+        waited: StdDuration,
+    },
 }
 
 impl fmt::Display for Error {
@@ -33,7 +56,24 @@ impl fmt::Display for Error {
                 write!(f, "SQL parse error at byte {offset}: {message}")
             }
             Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
-            Error::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+            Error::WorkerFailed {
+                engine,
+                worker,
+                cause,
+            } => {
+                write!(f, "worker failed: {engine} worker {worker}: {cause}")
+            }
+            Error::WorkerStalled {
+                engine,
+                worker,
+                waited,
+            } => {
+                write!(
+                    f,
+                    "worker stalled: {engine} worker {worker} did not accept input \
+                     within {waited:?} (send deadline exceeded)"
+                )
+            }
         }
     }
 }
@@ -55,6 +95,25 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("12") && s.contains("PRECEDING"));
+    }
+
+    #[test]
+    fn worker_failures_carry_identity_and_payload() {
+        let e = Error::WorkerFailed {
+            engine: "scale-oij",
+            worker: 3,
+            cause: "index out of bounds".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("scale-oij") && s.contains('3') && s.contains("index out of bounds"));
+
+        let e = Error::WorkerStalled {
+            engine: "key-oij",
+            worker: 1,
+            waited: StdDuration::from_millis(250),
+        };
+        let s = e.to_string();
+        assert!(s.contains("key-oij") && s.contains("stalled") && s.contains("250"));
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub struct FeatureRow {
     /// How many probe tuples matched the window (used for effectiveness
     /// accounting and in tests).
     pub matched: u64,
+    /// Marks a lateness side-output row: the tuple violated the lateness
+    /// contract and was routed to the sink under
+    /// `LatePolicy::SideOutput` instead of joining the regular output.
+    /// Always `false` for regular feature rows.
+    #[serde(default)]
+    pub late: bool,
 }
 
 impl FeatureRow {
@@ -35,6 +41,21 @@ impl FeatureRow {
             seq,
             agg,
             matched,
+            late: false,
+        }
+    }
+
+    /// Creates a lateness side-output marker for a tuple that arrived
+    /// below the watermark (no aggregate — the row records the violation,
+    /// not a join result).
+    pub fn late_marker(ts: Timestamp, key: Key, seq: u64) -> Self {
+        FeatureRow {
+            ts,
+            key,
+            seq,
+            agg: None,
+            matched: 0,
+            late: true,
         }
     }
 
@@ -68,6 +89,15 @@ mod tests {
         let a = FeatureRow::new(Timestamp::from_micros(1), 2, 0, Some(1e12), 3);
         let b = FeatureRow::new(Timestamp::from_micros(1), 2, 0, Some(1e12 + 1.0), 3);
         assert!(a.agg_approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn late_marker_is_distinguishable() {
+        let m = FeatureRow::late_marker(Timestamp::from_micros(5), 9, 42);
+        assert!(m.late);
+        assert_eq!(m.agg, None);
+        assert_eq!(m.matched, 0);
+        assert!(!FeatureRow::new(Timestamp::from_micros(5), 9, 42, None, 0).late);
     }
 
     #[test]

@@ -5,6 +5,23 @@ use std::time::Duration as StdDuration;
 use oij_cachesim::CacheConfig;
 use oij_common::{Error, OijQuery, Result};
 
+use crate::faults::FaultPlan;
+
+/// What to do with tuples that arrive below the watermark (lateness
+/// contract violations, paper §3.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LatePolicy {
+    /// Silently drop the tuple, counting it in
+    /// [`RunStats::late_violations`](crate::engine::RunStats::late_violations)
+    /// (the paper's behaviour and the default).
+    #[default]
+    Drop,
+    /// Route a marker row ([`FeatureRow::late_marker`](oij_common::FeatureRow::late_marker))
+    /// to the sink so downstream consumers can observe the violation.
+    /// Implemented by Scale-OIJ; the other engines treat it as `Drop`.
+    SideOutput,
+}
+
 /// What to measure during a run. Everything defaults to **off**: the hot
 /// path then contains no timing calls and no simulator feeds.
 #[derive(Debug, Clone, Default)]
@@ -65,6 +82,16 @@ pub struct EngineConfig {
     pub heartbeat_every: usize,
     /// What to measure.
     pub instrument: Instrumentation,
+    /// Deadline for routed sends into worker channels. When a worker stops
+    /// draining its channel, `push` gives up after this long and reports a
+    /// structured [`Error::WorkerStalled`]/[`Error::WorkerFailed`] instead
+    /// of blocking forever.
+    pub send_timeout: StdDuration,
+    /// Deterministic fault-injection plan (empty in production; zero extra
+    /// cost on the hot path when empty).
+    pub faults: FaultPlan,
+    /// What to do with tuples that arrive below the watermark.
+    pub late_policy: LatePolicy,
 
     /// Scale-OIJ: number of key-hash partitions `P` (power of two).
     pub partitions: usize,
@@ -98,6 +125,9 @@ impl EngineConfig {
             expire_every: 256,
             heartbeat_every: 512,
             instrument: Instrumentation::none(),
+            send_timeout: StdDuration::from_secs(1),
+            faults: FaultPlan::none(),
+            late_policy: LatePolicy::default(),
             partitions: 64,
             schedule_interval: StdDuration::from_millis(5),
             schedule_delta: 0.01,
@@ -148,6 +178,9 @@ impl EngineConfig {
         }
         if self.heartbeat_every == 0 {
             return Err(Error::InvalidConfig("heartbeat_every must be > 0".into()));
+        }
+        if self.send_timeout.is_zero() {
+            return Err(Error::InvalidConfig("send_timeout must be > 0".into()));
         }
         if !self.partitions.is_power_of_two() {
             return Err(Error::InvalidConfig(format!(
@@ -204,6 +237,20 @@ mod tests {
         let mut cfg = EngineConfig::new(query(), 2).unwrap();
         cfg.partitions = 48;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_send_timeout() {
+        let mut cfg = EngineConfig::new(query(), 2).unwrap();
+        cfg.send_timeout = StdDuration::ZERO;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn default_plan_is_empty_and_policy_drops() {
+        let cfg = EngineConfig::new(query(), 2).unwrap();
+        assert!(cfg.faults.is_empty());
+        assert_eq!(cfg.late_policy, LatePolicy::Drop);
     }
 
     #[test]

@@ -50,6 +50,14 @@ pub trait OijEngine {
     /// Ends the run: flushes workers, joins threads, merges statistics.
     /// Calling `push` or `finish` again afterwards is an error.
     fn finish(&mut self) -> Result<RunStats>;
+
+    /// Tears the engine down after a failure, salvaging what it can:
+    /// raises the kill flag, joins every surviving worker and returns
+    /// partial [`RunStats`] with [`aborted`](RunStats::aborted) set and
+    /// the in-flight results of the surviving workers accounted. Unlike
+    /// [`finish`](Self::finish), this never fails on a poisoned engine —
+    /// it is the degraded exit path.
+    fn abort(&mut self) -> Result<RunStats>;
 }
 
 /// Aggregated statistics of one finished run.
@@ -85,6 +93,19 @@ pub struct RunStats {
     pub late_violations: u64,
     /// Schedule publications performed (Scale-OIJ only).
     pub schedule_changes: u64,
+    /// Lateness side-output marker rows emitted
+    /// ([`LatePolicy::SideOutput`](crate::config::LatePolicy)).
+    #[serde(default)]
+    pub late_side_outputs: u64,
+    /// `true` when the run ended through [`OijEngine::abort`] after a
+    /// failure — `results`/`joiner_loads` then cover only the surviving
+    /// workers' salvaged output.
+    #[serde(default)]
+    pub aborted: bool,
+    /// Workers whose reports could not be salvaged (panicked or wedged at
+    /// teardown). Zero on a clean run.
+    #[serde(default)]
+    pub workers_lost: usize,
 }
 
 impl RunStats {
@@ -105,6 +126,7 @@ impl RunStats {
         let mut timelines = Vec::new();
         let mut evicted = 0;
         let mut late_violations = 0;
+        let mut late_side_outputs = 0;
 
         for report in reports {
             results += report.results;
@@ -112,6 +134,7 @@ impl RunStats {
             joiner_loads.push(inst.processed);
             evicted += inst.evicted;
             late_violations += inst.late_violations;
+            late_side_outputs += inst.late_side_outputs;
             if let Some(h) = inst.latency {
                 match &mut latency {
                     None => latency = Some(h),
@@ -157,7 +180,17 @@ impl RunStats {
             evicted,
             late_violations,
             schedule_changes,
+            late_side_outputs,
+            aborted: false,
+            workers_lost: 0,
         }
+    }
+
+    /// Marks these stats as the partial output of an aborted run.
+    pub(crate) fn mark_aborted(mut self, workers_lost: usize) -> RunStats {
+        self.aborted = true;
+        self.workers_lost = workers_lost;
+        self
     }
 
     /// LLC miss ratio over the simulated accesses (0.0 if uninstrumented).

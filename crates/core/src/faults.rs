@@ -1,0 +1,672 @@
+//! Deterministic fault injection and worker supervision.
+//!
+//! The paper pitches Scale-OIJ for *online* feature extraction, where a
+//! hung joiner or a silently swallowed panic means wrong features under
+//! live traffic. This module is the liveness/failure verification layer
+//! that sits next to the memory-safety layer (DESIGN.md §8):
+//!
+//! - [`FaultPlan`] describes faults to inject, keyed by worker id and the
+//!   worker-local ordinal of the data message that triggers them: a panic,
+//!   a fixed per-message stall, a wedged (never-receiving) worker, and a
+//!   slow or erroring sink. The plan is compiled in always but **zero-cost
+//!   when empty**: workers carry `Option<WorkerFaults>` (one branch per
+//!   message when `None`) and the engine front-ends add exactly one branch
+//!   (the poison check) to `push`.
+//! - [`FailureCell`] is the shared crash report: every worker body runs
+//!   under [`run_supervised`] (`catch_unwind`), and the first panic's
+//!   payload + worker identity land here, turning the old
+//!   "worker panicked" guess into a structured
+//!   [`Error::WorkerFailed`] report.
+//! - [`send_guarded`] is the stall-tolerant routing primitive: a bounded
+//!   `send_timeout` whose timeout consults the `FailureCell` to classify
+//!   the outcome as a structured failure (worker died) or a stall (worker
+//!   wedged but alive, [`Error::WorkerStalled`]).
+//! - [`DrainBarrier`] replaces `std::sync::Barrier` for Scale-OIJ's final
+//!   team drain: a plain barrier deadlocks forever when a teammate dies
+//!   before arriving; this one falls through (and reports degradation)
+//!   when the failure cell is poisoned or the engine raised its kill flag.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration as StdDuration;
+
+use crossbeam_channel::{SendTimeoutError, Sender};
+use oij_common::{Error, Result};
+
+use crate::sink::Sink;
+
+/// Worker-id alias for the Scale-OIJ scheduler thread in a [`FaultPlan`]
+/// (the scheduler has no message ordinals; its ordinal counts ticks).
+pub const SCHEDULER: usize = usize::MAX;
+
+/// A deterministic fault-injection plan, plumbed through
+/// [`EngineConfig`](crate::config::EngineConfig). Empty by default; every
+/// fault is keyed by `(worker, ordinal)` where `ordinal` is the 0-based
+/// index of the data message as received by that worker (heartbeats and
+/// flush markers do not count), so injection is deterministic in the
+/// worker's local message sequence.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    entries: Vec<FaultEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct FaultEntry {
+    worker: usize,
+    ordinal: u64,
+    kind: FaultKind,
+}
+
+/// What to inject (see the builder methods on [`FaultPlan`]).
+#[derive(Debug, Clone)]
+enum FaultKind {
+    /// Panic with this payload when the worker reaches the ordinal.
+    Panic(String),
+    /// Sleep this long before every message from the ordinal onward.
+    Stall(StdDuration),
+    /// Stop receiving at the ordinal: the worker blocks (checking the
+    /// engine's kill flag) and never drains its channel again.
+    Wedge,
+    /// Sleep this long on every sink emission from the ordinal onward.
+    SinkStall(StdDuration),
+    /// Panic on the ordinal-th sink emission (an erroring sink escalates
+    /// to a supervised worker failure).
+    SinkFail,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults — the production configuration).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Panic inside `worker` when it receives its `ordinal`-th data
+    /// message, with `message` as the panic payload.
+    pub fn panic_at(mut self, worker: usize, ordinal: u64, message: &str) -> Self {
+        self.entries.push(FaultEntry {
+            worker,
+            ordinal,
+            kind: FaultKind::Panic(message.to_string()),
+        });
+        self
+    }
+
+    /// Stall `worker` by `delay` on every data message from `ordinal` on.
+    pub fn stall_from(mut self, worker: usize, ordinal: u64, delay: StdDuration) -> Self {
+        self.entries.push(FaultEntry {
+            worker,
+            ordinal,
+            kind: FaultKind::Stall(delay),
+        });
+        self
+    }
+
+    /// Wedge `worker` at `ordinal`: it stops receiving (without dying)
+    /// until the engine tears down.
+    pub fn wedge_at(mut self, worker: usize, ordinal: u64) -> Self {
+        self.entries.push(FaultEntry {
+            worker,
+            ordinal,
+            kind: FaultKind::Wedge,
+        });
+        self
+    }
+
+    /// Slow `worker`'s sink: every emission from `emit_ordinal` on sleeps
+    /// `delay` (for SplitJoin the sink lives on the collector, addressed
+    /// as worker `joiners`).
+    pub fn sink_stall_from(mut self, worker: usize, emit_ordinal: u64, delay: StdDuration) -> Self {
+        self.entries.push(FaultEntry {
+            worker,
+            ordinal: emit_ordinal,
+            kind: FaultKind::SinkStall(delay),
+        });
+        self
+    }
+
+    /// Make `worker`'s sink fail (panic) on its `emit_ordinal`-th
+    /// emission.
+    pub fn sink_fail_at(mut self, worker: usize, emit_ordinal: u64) -> Self {
+        self.entries.push(FaultEntry {
+            worker,
+            ordinal: emit_ordinal,
+            kind: FaultKind::SinkFail,
+        });
+        self
+    }
+
+    /// Compiles the message-path faults for one worker. `None` (the empty
+    /// plan, or no faults for this worker) keeps the worker loop at a
+    /// single never-taken branch per message.
+    pub(crate) fn for_worker(&self, worker: usize) -> Option<WorkerFaults> {
+        let mut faults = WorkerFaults {
+            panic_at: None,
+            stall_from: None,
+            wedge_at: None,
+        };
+        let mut any = false;
+        for e in self.entries.iter().filter(|e| e.worker == worker) {
+            match &e.kind {
+                FaultKind::Panic(msg) => {
+                    faults.panic_at = Some((e.ordinal, msg.clone()));
+                    any = true;
+                }
+                FaultKind::Stall(d) => {
+                    faults.stall_from = Some((e.ordinal, *d));
+                    any = true;
+                }
+                FaultKind::Wedge => {
+                    faults.wedge_at = Some(e.ordinal);
+                    any = true;
+                }
+                FaultKind::SinkStall(_) | FaultKind::SinkFail => {}
+            }
+        }
+        any.then_some(faults)
+    }
+
+    /// Wraps `sink` with this plan's sink faults for `worker` (identity
+    /// when there are none). `kill` lets injected sink stalls cut short at
+    /// engine teardown instead of serving out their backlog.
+    pub(crate) fn wrap_sink(&self, worker: usize, sink: Sink, kill: Arc<AtomicBool>) -> Sink {
+        let mut delay = None;
+        let mut stall_from = 0;
+        let mut fail_at = None;
+        for e in self.entries.iter().filter(|e| e.worker == worker) {
+            match &e.kind {
+                FaultKind::SinkStall(d) => {
+                    delay = Some(*d);
+                    stall_from = e.ordinal;
+                }
+                FaultKind::SinkFail => fail_at = Some(e.ordinal),
+                _ => {}
+            }
+        }
+        if delay.is_none() && fail_at.is_none() {
+            return sink;
+        }
+        Sink::faulty(sink, delay, stall_from, fail_at, kill)
+    }
+}
+
+/// Compiled message-path faults for one worker (see
+/// [`FaultPlan::for_worker`]).
+#[derive(Debug, Clone)]
+pub(crate) struct WorkerFaults {
+    panic_at: Option<(u64, String)>,
+    stall_from: Option<(u64, StdDuration)>,
+    wedge_at: Option<u64>,
+}
+
+/// What the worker loop should do after consulting the faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultAction {
+    /// Process the message normally.
+    Continue,
+    /// The worker was wedged and the engine has torn down: return the
+    /// report immediately (skip the final drain — degraded output).
+    Exit,
+}
+
+impl WorkerFaults {
+    /// Applies the faults due at `ordinal`. May panic (the supervisor
+    /// catches it), sleep, or block wedged until `kill` is raised.
+    pub(crate) fn before_message(&self, ordinal: u64, kill: &AtomicBool) -> FaultAction {
+        if let Some((at, msg)) = &self.panic_at {
+            if ordinal == *at {
+                panic!("{msg}");
+            }
+        }
+        if let Some(at) = self.wedge_at {
+            if ordinal >= at {
+                // Wedged: alive but never receiving. Only the engine's
+                // kill flag (raised at teardown) releases the worker.
+                while !kill.load(Ordering::Acquire) {
+                    std::thread::sleep(StdDuration::from_millis(1));
+                }
+                return FaultAction::Exit;
+            }
+        }
+        if let Some((from, delay)) = self.stall_from {
+            if ordinal >= from {
+                interruptible_sleep(delay, kill);
+            }
+        }
+        FaultAction::Continue
+    }
+}
+
+/// Sleeps `total` in small slices, returning early once `kill` is raised.
+pub(crate) fn interruptible_sleep(total: StdDuration, kill: &AtomicBool) {
+    let slice = StdDuration::from_millis(1);
+    let mut remaining = total;
+    while !remaining.is_zero() {
+        if kill.load(Ordering::Acquire) {
+            return;
+        }
+        let step = remaining.min(slice);
+        std::thread::sleep(step);
+        remaining -= step;
+    }
+}
+
+/// A structured crash report: who died and with what payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFailure {
+    /// Engine label (auxiliary threads use their own labels, e.g.
+    /// `"scale-oij-scheduler"`).
+    pub engine: &'static str,
+    /// Worker index within the engine.
+    pub worker: usize,
+    /// Captured panic payload (or disconnect description).
+    pub cause: String,
+}
+
+/// Shared first-failure slot for one engine instance. Workers record into
+/// it from their supervisor; the driver thread consults it to classify
+/// send timeouts and disconnects. First failure wins — later ones are
+/// usually cascading effects of the first.
+#[derive(Debug, Default)]
+pub struct FailureCell {
+    poisoned: AtomicBool,
+    slot: Mutex<Option<WorkerFailure>>,
+}
+
+impl FailureCell {
+    /// An empty cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a failure; keeps the first one.
+    pub fn record(&self, engine: &'static str, worker: usize, cause: String) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(WorkerFailure {
+                engine,
+                worker,
+                cause,
+            });
+        }
+        drop(slot);
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether any failure has been recorded (cheap, lock-free).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// The first recorded failure, if any.
+    pub fn failure(&self) -> Option<WorkerFailure> {
+        if !self.is_poisoned() {
+            return None;
+        }
+        self.slot.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The first recorded failure as a structured error.
+    pub fn to_error(&self) -> Option<Error> {
+        self.failure().map(|f| Error::WorkerFailed {
+            engine: f.engine,
+            worker: f.worker,
+            cause: f.cause,
+        })
+    }
+}
+
+/// Renders a panic payload into the `cause` string (the common `&str` /
+/// `String` payloads verbatim; anything else by type name only).
+fn panic_payload(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one worker body under supervision: a panic is caught, its payload
+/// and the worker's identity are recorded into `cell`, and `None` is
+/// returned instead of unwinding through the thread boundary.
+pub(crate) fn run_supervised<R>(
+    engine: &'static str,
+    worker: usize,
+    cell: &FailureCell,
+    body: impl FnOnce() -> R,
+) -> Option<R> {
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(r) => Some(r),
+        Err(payload) => {
+            cell.record(engine, worker, panic_payload(payload.as_ref()));
+            None
+        }
+    }
+}
+
+/// Stall-tolerant routed send: bounded by `deadline`, with the outcome
+/// classified against the failure cell.
+///
+/// - fits within the deadline → `Ok`;
+/// - the worker recorded a panic (timeout or disconnect) →
+///   [`Error::WorkerFailed`] with the original cause;
+/// - deadline exceeded with no recorded failure → the worker is wedged:
+///   [`Error::WorkerStalled`];
+/// - disconnected with no recorded failure → the receiving thread is gone
+///   without a panic report (should not happen) → [`Error::WorkerFailed`]
+///   with disconnect evidence.
+pub(crate) fn send_guarded<T>(
+    tx: &Sender<T>,
+    msg: T,
+    deadline: StdDuration,
+    engine: &'static str,
+    worker: usize,
+    cell: &FailureCell,
+) -> Result<()> {
+    match tx.send_timeout(msg, deadline) {
+        Ok(()) => Ok(()),
+        Err(SendTimeoutError::Timeout(_)) => Err(cell.to_error().unwrap_or(Error::WorkerStalled {
+            engine,
+            worker,
+            waited: deadline,
+        })),
+        Err(SendTimeoutError::Disconnected(_)) => {
+            // A panicking worker drops its receiver while unwinding —
+            // strictly before its supervisor records the payload. Grant the
+            // supervisor a short grace so the disconnect is attributed to
+            // the actual panic instead of a generic disconnect report.
+            Err(
+                await_failure(cell, StdDuration::from_millis(250)).unwrap_or(Error::WorkerFailed {
+                    engine,
+                    worker,
+                    cause: "input channel disconnected without a recorded panic".into(),
+                }),
+            )
+        }
+    }
+}
+
+/// Polls the failure cell for up to `grace` (the record usually lands
+/// microseconds after the observable side effect of the failure).
+fn await_failure(cell: &FailureCell, grace: StdDuration) -> Option<Error> {
+    let start = std::time::Instant::now();
+    loop {
+        if let Some(e) = cell.to_error() {
+            return Some(e);
+        }
+        if start.elapsed() >= grace {
+            return None;
+        }
+        std::thread::sleep(StdDuration::from_micros(200));
+    }
+}
+
+/// Resolves a supervised `JoinHandle` result into either the worker's
+/// report or the structured failure (falling back to a generic report when
+/// the cell is — unexpectedly — empty).
+pub(crate) fn join_outcome<R>(
+    outcome: std::thread::Result<Option<R>>,
+    engine: &'static str,
+    worker: usize,
+    cell: &FailureCell,
+) -> Result<R> {
+    match outcome {
+        Ok(Some(r)) => Ok(r),
+        // `Ok(None)`: the supervisor caught a panic and recorded it.
+        // `Err(_)`: the panic escaped `catch_unwind` (abort-on-unwind
+        // payloads) — still surface whatever the cell knows.
+        Ok(None) | Err(_) => Err(cell.to_error().unwrap_or(Error::WorkerFailed {
+            engine,
+            worker,
+            cause: "worker terminated abnormally (no payload captured)".into(),
+        })),
+    }
+}
+
+/// How long [`join_within`] keeps polling after raising the kill flag
+/// before it detaches a worker that ignored it.
+const JOIN_GRACE: StdDuration = StdDuration::from_millis(500);
+
+/// Joins a supervised worker with a bounded deadline — never a blocking
+/// `join` on a thread that may be wedged.
+///
+/// Returns `(salvaged report, error)`:
+/// - worker wound down in time → its report, or the structured failure if
+///   it panicked;
+/// - deadline exceeded → the kill flag is raised (releasing injected
+///   wedges and stalls) and a short grace granted; the worker's report is
+///   salvaged if it then exits, the handle is **detached** if it does not.
+///   Either way the outcome carries an error — the failure already in the
+///   cell if one was recorded, [`Error::WorkerStalled`] otherwise.
+pub(crate) fn join_within<R>(
+    handle: std::thread::JoinHandle<Option<R>>,
+    deadline: StdDuration,
+    engine: &'static str,
+    worker: usize,
+    cell: &FailureCell,
+    kill: &AtomicBool,
+) -> (Option<R>, Option<Error>) {
+    let poll = StdDuration::from_micros(200);
+    let start = std::time::Instant::now();
+    while !handle.is_finished() {
+        if start.elapsed() >= deadline {
+            kill.store(true, Ordering::Release);
+            let grace = std::time::Instant::now();
+            while !handle.is_finished() {
+                if grace.elapsed() >= JOIN_GRACE {
+                    let err = cell.to_error().unwrap_or(Error::WorkerStalled {
+                        engine,
+                        worker,
+                        waited: deadline,
+                    });
+                    drop(handle); // detach: never block on a wedged worker
+                    return (None, Some(err));
+                }
+                std::thread::sleep(poll);
+            }
+            let report = join_outcome(handle.join(), engine, worker, cell).ok();
+            let err = cell.to_error().unwrap_or(Error::WorkerStalled {
+                engine,
+                worker,
+                waited: deadline,
+            });
+            return (report, Some(err));
+        }
+        std::thread::sleep(poll);
+    }
+    match join_outcome(handle.join(), engine, worker, cell) {
+        Ok(r) => (Some(r), None),
+        Err(e) => (None, Some(e)),
+    }
+}
+
+/// A failure-aware drain barrier for Scale-OIJ's end-of-input team
+/// rendezvous. `wait` returns `true` when the whole team arrived (safe to
+/// run the final drain) and `false` when a failure or the engine's kill
+/// flag was observed first — the caller then skips the final drain and
+/// reports partial output instead of deadlocking on a dead teammate.
+#[derive(Debug)]
+pub(crate) struct DrainBarrier {
+    arrived: AtomicUsize,
+    total: usize,
+}
+
+impl DrainBarrier {
+    pub(crate) fn new(total: usize) -> Self {
+        DrainBarrier {
+            arrived: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    pub(crate) fn wait(&self, cell: &FailureCell, kill: &AtomicBool) -> bool {
+        self.arrived.fetch_add(1, Ordering::AcqRel);
+        loop {
+            if self.arrived.load(Ordering::Acquire) >= self.total {
+                return true;
+            }
+            if kill.load(Ordering::Acquire) || cell.is_poisoned() {
+                return false;
+            }
+            std::thread::sleep(StdDuration::from_micros(50));
+        }
+    }
+}
+
+/// Shared sink-fault state (interior mutability because `Sink::emit` takes
+/// `&self`; cloned sinks share the emission counter, matching how one
+/// worker's sink handle may be cloned internally).
+#[derive(Debug)]
+pub struct SinkFaults {
+    pub(crate) emitted: AtomicU64,
+    pub(crate) delay: Option<StdDuration>,
+    pub(crate) stall_from: u64,
+    pub(crate) fail_at: Option<u64>,
+    pub(crate) kill: Arc<AtomicBool>,
+}
+
+impl SinkFaults {
+    /// Applies the configured sink faults to the emission with this
+    /// ordinal; panics on an injected sink failure.
+    pub(crate) fn before_emit(&self) {
+        let n = self.emitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(at) = self.fail_at {
+            if n == at {
+                panic!("injected sink failure at emit {n}");
+            }
+        }
+        if let Some(d) = self.delay {
+            if n >= self.stall_from {
+                interruptible_sleep(d, &self.kill);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_compiles_to_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(plan.for_worker(0).is_none());
+        let kill = Arc::new(AtomicBool::new(false));
+        let sink = plan.wrap_sink(0, Sink::null(), kill);
+        assert!(matches!(sink, Sink::Null));
+    }
+
+    #[test]
+    fn faults_bind_to_their_worker() {
+        let plan =
+            FaultPlan::none()
+                .panic_at(2, 10, "boom")
+                .stall_from(1, 0, StdDuration::from_millis(1));
+        assert!(plan.for_worker(0).is_none());
+        assert!(plan.for_worker(1).is_some());
+        assert!(plan.for_worker(2).is_some());
+    }
+
+    #[test]
+    fn supervision_captures_payload_and_identity() {
+        let cell = FailureCell::new();
+        let out = run_supervised("test-engine", 7, &cell, || -> u32 {
+            panic!("injected panic payload");
+        });
+        assert!(out.is_none());
+        let f = cell.failure().expect("recorded");
+        assert_eq!(f.engine, "test-engine");
+        assert_eq!(f.worker, 7);
+        assert_eq!(f.cause, "injected panic payload");
+        // First failure wins.
+        cell.record("test-engine", 9, "later".into());
+        assert_eq!(cell.failure().unwrap().worker, 7);
+    }
+
+    #[test]
+    fn supervision_passes_results_through() {
+        let cell = FailureCell::new();
+        let out = run_supervised("test-engine", 0, &cell, || 41 + 1);
+        assert_eq!(out, Some(42));
+        assert!(!cell.is_poisoned());
+    }
+
+    #[test]
+    fn send_guarded_classifies_timeout_vs_failure() {
+        let cell = FailureCell::new();
+        let (tx, _rx) = crossbeam_channel::bounded::<u32>(1);
+        tx.send(0).unwrap();
+        // Full channel, empty cell → stalled.
+        let err = send_guarded(&tx, 1, StdDuration::from_millis(10), "e", 3, &cell).unwrap_err();
+        assert!(matches!(err, Error::WorkerStalled { worker: 3, .. }));
+        // Full channel, poisoned cell → the recorded failure.
+        cell.record("e", 5, "died first".into());
+        let err = send_guarded(&tx, 1, StdDuration::from_millis(10), "e", 3, &cell).unwrap_err();
+        assert!(matches!(err, Error::WorkerFailed { worker: 5, .. }));
+    }
+
+    #[test]
+    fn send_guarded_classifies_disconnect() {
+        let cell = FailureCell::new();
+        let (tx, rx) = crossbeam_channel::bounded::<u32>(1);
+        drop(rx);
+        let err = send_guarded(&tx, 1, StdDuration::from_secs(5), "e", 0, &cell).unwrap_err();
+        assert!(matches!(err, Error::WorkerFailed { .. }));
+    }
+
+    #[test]
+    fn join_within_salvages_and_classifies() {
+        let cell = FailureCell::new();
+        let kill = Arc::new(AtomicBool::new(false));
+        // Clean worker: report, no error.
+        let h = std::thread::spawn(|| Some(7u32));
+        let (r, e) = join_within(h, StdDuration::from_secs(1), "e", 0, &cell, &kill);
+        assert_eq!(r, Some(7));
+        assert!(e.is_none());
+        // Worker that only winds down once killed: the deadline raises the
+        // kill flag, the report is salvaged, the outcome is a stall.
+        let k2 = Arc::clone(&kill);
+        let h = std::thread::spawn(move || {
+            while !k2.load(Ordering::Acquire) {
+                std::thread::sleep(StdDuration::from_millis(1));
+            }
+            Some(9u32)
+        });
+        let (r, e) = join_within(h, StdDuration::from_millis(50), "e", 1, &cell, &kill);
+        assert_eq!(r, Some(9));
+        assert!(matches!(e, Some(Error::WorkerStalled { worker: 1, .. })));
+    }
+
+    #[test]
+    fn drain_barrier_falls_through_on_poison() {
+        let cell = Arc::new(FailureCell::new());
+        let kill = AtomicBool::new(false);
+        let barrier = DrainBarrier::new(2);
+        cell.record("e", 0, "dead teammate".into());
+        // Only one of two arrives; without the poison check this would
+        // block forever.
+        assert!(!barrier.wait(&cell, &kill));
+    }
+
+    #[test]
+    fn wedge_releases_on_kill() {
+        let plan = FaultPlan::none().wedge_at(0, 0);
+        let faults = plan.for_worker(0).unwrap();
+        let kill = Arc::new(AtomicBool::new(false));
+        let k2 = Arc::clone(&kill);
+        let h = std::thread::spawn(move || faults.before_message(0, &k2));
+        std::thread::sleep(StdDuration::from_millis(20));
+        assert!(!h.is_finished(), "wedge must hold until kill");
+        kill.store(true, Ordering::Release);
+        assert_eq!(h.join().unwrap(), FaultAction::Exit);
+    }
+}

@@ -28,6 +28,9 @@ pub struct JoinerInstruments {
     /// Tuples that violated the lateness bound (arrived below the
     /// watermark). Processed best-effort but counted.
     pub late_violations: u64,
+    /// Lateness marker rows routed to the sink under
+    /// [`LatePolicy::SideOutput`](crate::config::LatePolicy).
+    pub late_side_outputs: u64,
     /// Tuples evicted by expiration.
     pub evicted: u64,
 }
@@ -46,6 +49,7 @@ impl JoinerInstruments {
                 .map(|b| BusyTimeline::new(origin, b.as_nanos() as u64)),
             processed: 0,
             late_violations: 0,
+            late_side_outputs: 0,
             evicted: 0,
         }
     }

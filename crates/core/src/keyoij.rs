@@ -14,6 +14,8 @@
 //! 3. overlapping windows are recomputed from scratch (Figure 9).
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -25,17 +27,29 @@ use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestam
 use crate::config::EngineConfig;
 use crate::driver::{Driver, Prepared};
 use crate::engine::{OijEngine, RunStats};
+use crate::faults::{
+    join_within, run_supervised, send_guarded, FailureCell, FaultAction, WorkerFaults,
+};
 use crate::hash_key;
 use crate::instrument::{JoinerInstruments, JoinerReport};
 use crate::message::{DataMsg, Msg};
 use crate::sink::Sink;
+
+const ENGINE: &str = "key-oij";
 
 /// The Key-OIJ engine. See the [module docs](self).
 pub struct KeyOij {
     cfg: EngineConfig,
     driver: Driver,
     senders: Vec<Sender<Msg>>,
-    handles: Vec<JoinHandle<JoinerReport>>,
+    handles: Vec<JoinHandle<Option<JoinerReport>>>,
+    /// Reports salvaged from workers joined so far (kept across a failed
+    /// `finish` so `abort` can account partial output).
+    reports: Vec<JoinerReport>,
+    failures: Arc<FailureCell>,
+    kill: Arc<AtomicBool>,
+    /// First observed failure: once set, `push`/`finish` fail fast with it.
+    poison: Option<Error>,
     since_heartbeat: usize,
     done: bool,
 }
@@ -45,15 +59,23 @@ impl KeyOij {
     pub fn spawn(cfg: EngineConfig, sink: Sink) -> Result<Self> {
         cfg.validate()?;
         let origin = Instant::now();
+        let failures = Arc::new(FailureCell::new());
+        let kill = Arc::new(AtomicBool::new(false));
         let mut senders = Vec::with_capacity(cfg.joiners);
         let mut handles = Vec::with_capacity(cfg.joiners);
-        for _ in 0..cfg.joiners {
+        for id in 0..cfg.joiners {
             let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
-            let worker = KeyJoiner::new(&cfg, sink.clone(), origin);
+            let worker_sink = cfg.faults.wrap_sink(id, sink.clone(), Arc::clone(&kill));
+            let worker = KeyJoiner::new(&cfg, worker_sink, origin);
+            let faults = cfg.faults.for_worker(id);
+            let cell = Arc::clone(&failures);
+            let wkill = Arc::clone(&kill);
             handles.push(
                 std::thread::Builder::new()
-                    .name("key-oij-joiner".into())
-                    .spawn(move || worker.run(rx))
+                    .name(format!("key-oij-joiner-{id}"))
+                    .spawn(move || {
+                        run_supervised(ENGINE, id, &cell, move || worker.run(rx, faults, wkill))
+                    })
                     .map_err(|e| Error::InvalidState(format!("spawn failed: {e}")))?,
             );
             senders.push(tx);
@@ -64,29 +86,84 @@ impl KeyOij {
             driver: Driver::new(lateness),
             senders,
             handles,
+            reports: Vec::new(),
+            failures,
+            kill,
+            poison: None,
             since_heartbeat: 0,
             done: false,
         })
+    }
+
+    /// Routed send with the configured deadline; a failure poisons the
+    /// engine.
+    #[inline]
+    fn route(&mut self, worker: usize, msg: Msg) -> Result<()> {
+        match send_guarded(
+            &self.senders[worker],
+            msg,
+            self.cfg.send_timeout,
+            ENGINE,
+            worker,
+            &self.failures,
+        ) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poison = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Joins every worker with a bounded deadline, salvaging reports into
+    /// `self.reports`; returns (and records) the first failure.
+    fn join_workers(&mut self) -> Result<()> {
+        let mut first_err: Option<Error> = None;
+        while !self.handles.is_empty() {
+            let worker = self.cfg.joiners - self.handles.len();
+            let handle = self.handles.remove(0);
+            let (report, err) = join_within(
+                handle,
+                self.cfg.send_timeout,
+                ENGINE,
+                worker,
+                &self.failures,
+                &self.kill,
+            );
+            if let Some(r) = report {
+                self.reports.push(r);
+            }
+            if let Some(e) = err {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => {
+                self.poison = Some(e.clone());
+                Err(e)
+            }
+        }
     }
 }
 
 impl OijEngine for KeyOij {
     fn push(&mut self, event: Event) -> Result<()> {
+        if let Some(cause) = &self.poison {
+            return Err(cause.clone());
+        }
         match self.driver.prepare(event)? {
             Prepared::Flush => Ok(()),
             Prepared::Data(msg) => {
                 // Static binding: the key's hash picks the joiner, forever.
                 let joiner = (hash_key(msg.tuple.key) % self.cfg.joiners as u64) as usize;
                 let watermark = msg.watermark;
-                self.senders[joiner]
-                    .send(Msg::Data(Box::new(msg)))
-                    .map_err(|_| Error::WorkerPanic("key-oij joiner hung up".into()))?;
+                self.route(joiner, Msg::Data(Box::new(msg)))?;
                 self.since_heartbeat += 1;
                 if self.since_heartbeat >= self.cfg.heartbeat_every {
                     self.since_heartbeat = 0;
-                    for tx in &self.senders {
-                        tx.send(Msg::Heartbeat(watermark))
-                            .map_err(|_| Error::WorkerPanic("key-oij joiner hung up".into()))?;
+                    for j in 0..self.senders.len() {
+                        self.route(j, Msg::Heartbeat(watermark))?;
                     }
                 }
                 Ok(())
@@ -98,31 +175,51 @@ impl OijEngine for KeyOij {
         if self.done {
             return Err(Error::InvalidState("finish called twice".into()));
         }
-        self.done = true;
-        for tx in &self.senders {
-            tx.send(Msg::Flush)
-                .map_err(|_| Error::WorkerPanic("key-oij joiner hung up".into()))?;
+        if let Some(cause) = &self.poison {
+            return Err(cause.clone());
+        }
+        for j in 0..self.senders.len() {
+            self.route(j, Msg::Flush)?;
         }
         self.senders.clear();
-        let mut reports = Vec::with_capacity(self.handles.len());
-        for handle in self.handles.drain(..) {
-            reports.push(
-                handle
-                    .join()
-                    .map_err(|_| Error::WorkerPanic("key-oij joiner panicked".into()))?,
-            );
-        }
+        self.join_workers()?;
+        self.done = true;
+        let reports = std::mem::take(&mut self.reports);
         let (input, elapsed) = self.driver.finish()?;
         Ok(RunStats::from_reports(input, elapsed, reports, 0))
+    }
+
+    fn abort(&mut self) -> Result<RunStats> {
+        if self.done {
+            return Err(Error::InvalidState("abort after a completed finish".into()));
+        }
+        self.done = true;
+        self.kill.store(true, Ordering::Release);
+        self.senders.clear();
+        let _ = self.join_workers(); // failure already recorded; salvage
+        let lost = self.cfg.joiners - self.reports.len();
+        let reports = std::mem::take(&mut self.reports);
+        let (input, elapsed) = self.driver.finish()?;
+        Ok(RunStats::from_reports(input, elapsed, reports, 0).mark_aborted(lost))
     }
 }
 
 impl Drop for KeyOij {
     fn drop(&mut self) {
-        // Unblock workers if the engine is dropped without finish().
+        // Unblock workers if the engine is dropped without finish(): raise
+        // the kill flag FIRST (releases wedged/stalled workers), then
+        // disconnect the channels, then join with a bounded deadline.
+        self.kill.store(true, Ordering::Release);
         self.senders.clear();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        while let Some(handle) = self.handles.pop() {
+            let _ = join_within(
+                handle,
+                self.cfg.send_timeout,
+                ENGINE,
+                self.handles.len(),
+                &self.failures,
+                &self.kill,
+            );
         }
     }
 }
@@ -171,8 +268,14 @@ impl KeyJoiner {
         }
     }
 
-    fn run(mut self, rx: Receiver<Msg>) -> JoinerReport {
+    fn run(
+        mut self,
+        rx: Receiver<Msg>,
+        faults: Option<WorkerFaults>,
+        kill: Arc<AtomicBool>,
+    ) -> JoinerReport {
         let timeline_on = self.inst.timeline.is_some();
+        let mut ordinal = 0u64;
         for msg in rx {
             match msg {
                 Msg::Flush => break,
@@ -185,6 +288,18 @@ impl KeyJoiner {
                     }
                 }
                 Msg::Data(data) => {
+                    // The one never-taken branch per message the empty
+                    // fault plan costs.
+                    if let Some(f) = &faults {
+                        let action = f.before_message(ordinal, &kill);
+                        ordinal += 1;
+                        if action == FaultAction::Exit {
+                            return JoinerReport {
+                                instruments: self.inst,
+                                results: self.results,
+                            };
+                        }
+                    }
                     let busy_start = timeline_on.then(Instant::now);
                     self.handle(*data);
                     if let Some(s) = busy_start {

@@ -39,6 +39,7 @@
 pub mod config;
 pub(crate) mod driver;
 pub mod engine;
+pub mod faults;
 pub mod instrument;
 pub mod keyoij;
 pub(crate) mod message;
@@ -48,8 +49,9 @@ pub mod scaleoij;
 pub mod sink;
 pub mod splitjoin;
 
-pub use config::{EngineConfig, Instrumentation};
+pub use config::{EngineConfig, Instrumentation, LatePolicy};
 pub use engine::{EngineKind, OijEngine, RunStats};
+pub use faults::{FailureCell, FaultPlan, WorkerFailure, SCHEDULER};
 pub use keyoij::KeyOij;
 pub use openmldb::OpenMldbBaseline;
 pub use oracle::Oracle;

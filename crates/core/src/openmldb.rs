@@ -20,7 +20,7 @@
 //! low arrival rates (Workload D) and collapses at high ones.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -34,9 +34,14 @@ use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestam
 use crate::config::EngineConfig;
 use crate::driver::{Driver, Prepared};
 use crate::engine::{OijEngine, RunStats};
+use crate::faults::{
+    join_within, run_supervised, send_guarded, FailureCell, FaultAction, WorkerFaults,
+};
 use crate::instrument::{JoinerInstruments, JoinerReport};
 use crate::message::{DataMsg, Msg};
 use crate::sink::Sink;
+
+const ENGINE: &str = "openmldb";
 
 /// The shared store: key → ordered time series of `(ts, seq) → value`.
 type Store = RwLock<HashMap<Key, BTreeMap<(i64, u64), f64>>>;
@@ -46,9 +51,14 @@ type Store = RwLock<HashMap<Key, BTreeMap<(i64, u64), f64>>>;
 /// Only `EmitMode::Eager` is supported — the store has no watermark
 /// machinery, which is precisely the paper's point.
 pub struct OpenMldbBaseline {
+    cfg: EngineConfig,
     driver: Driver,
     senders: Vec<Sender<Msg>>,
-    handles: Vec<JoinHandle<JoinerReport>>,
+    handles: Vec<JoinHandle<Option<JoinerReport>>>,
+    reports: Vec<JoinerReport>,
+    failures: Arc<FailureCell>,
+    kill: Arc<AtomicBool>,
+    poison: Option<Error>,
     rr: usize,
     done: bool,
 }
@@ -68,6 +78,8 @@ impl OpenMldbBaseline {
         let store: Arc<Store> = Arc::new(RwLock::new(HashMap::new()));
         // Deduplicates concurrent expiration sweeps.
         let expired_to = Arc::new(AtomicI64::new(i64::MIN));
+        let failures = Arc::new(FailureCell::new());
+        let kill = Arc::new(AtomicBool::new(false));
 
         let mut senders = Vec::with_capacity(cfg.joiners);
         let mut handles = Vec::with_capacity(cfg.joiners);
@@ -76,43 +88,102 @@ impl OpenMldbBaseline {
             let worker = MldbWorker {
                 inst: JoinerInstruments::new(&cfg.instrument, origin),
                 cfg: cfg.clone(),
-                sink: sink.clone(),
+                sink: cfg.faults.wrap_sink(id, sink.clone(), Arc::clone(&kill)),
                 store: Arc::clone(&store),
                 expired_to: Arc::clone(&expired_to),
                 results: 0,
                 since_expire: 0,
                 last_wm: Timestamp::MIN,
             };
+            let faults = cfg.faults.for_worker(id);
+            let cell = Arc::clone(&failures);
+            let wkill = Arc::clone(&kill);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("openmldb-worker-{id}"))
-                    .spawn(move || worker.run(rx))
+                    .spawn(move || {
+                        run_supervised(ENGINE, id, &cell, move || worker.run(rx, faults, wkill))
+                    })
                     .map_err(|e| Error::InvalidState(format!("spawn failed: {e}")))?,
             );
             senders.push(tx);
         }
         let lateness = cfg.query.window.lateness;
         Ok(OpenMldbBaseline {
+            cfg,
             driver: Driver::new(lateness),
             senders,
             handles,
+            reports: Vec::new(),
+            failures,
+            kill,
+            poison: None,
             rr: 0,
             done: false,
         })
+    }
+
+    #[inline]
+    fn route(&mut self, worker: usize, msg: Msg) -> Result<()> {
+        match send_guarded(
+            &self.senders[worker],
+            msg,
+            self.cfg.send_timeout,
+            ENGINE,
+            worker,
+            &self.failures,
+        ) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poison = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn join_workers(&mut self) -> Result<()> {
+        let mut first_err: Option<Error> = None;
+        while !self.handles.is_empty() {
+            let worker = self.cfg.joiners - self.handles.len();
+            let handle = self.handles.remove(0);
+            let (report, err) = join_within(
+                handle,
+                self.cfg.send_timeout,
+                ENGINE,
+                worker,
+                &self.failures,
+                &self.kill,
+            );
+            if let Some(r) = report {
+                self.reports.push(r);
+            }
+            if let Some(e) = err {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => {
+                self.poison = Some(e.clone());
+                Err(e)
+            }
+        }
     }
 }
 
 impl OijEngine for OpenMldbBaseline {
     fn push(&mut self, event: Event) -> Result<()> {
+        if let Some(cause) = &self.poison {
+            return Err(cause.clone());
+        }
         match self.driver.prepare(event)? {
             Prepared::Flush => Ok(()),
             Prepared::Data(msg) => {
                 // No key affinity — any thread can serve any request
                 // against the shared store (round-robin dispatch).
                 self.rr = (self.rr + 1) % self.senders.len();
-                self.senders[self.rr]
-                    .send(Msg::Data(Box::new(msg)))
-                    .map_err(|_| Error::WorkerPanic("openmldb worker hung up".into()))
+                let worker = self.rr;
+                self.route(worker, Msg::Data(Box::new(msg)))
             }
         }
     }
@@ -121,30 +192,48 @@ impl OijEngine for OpenMldbBaseline {
         if self.done {
             return Err(Error::InvalidState("finish called twice".into()));
         }
-        self.done = true;
-        for tx in &self.senders {
-            tx.send(Msg::Flush)
-                .map_err(|_| Error::WorkerPanic("openmldb worker hung up".into()))?;
+        if let Some(cause) = &self.poison {
+            return Err(cause.clone());
+        }
+        for j in 0..self.senders.len() {
+            self.route(j, Msg::Flush)?;
         }
         self.senders.clear();
-        let mut reports = Vec::with_capacity(self.handles.len());
-        for handle in self.handles.drain(..) {
-            reports.push(
-                handle
-                    .join()
-                    .map_err(|_| Error::WorkerPanic("openmldb worker panicked".into()))?,
-            );
-        }
+        self.join_workers()?;
+        self.done = true;
+        let reports = std::mem::take(&mut self.reports);
         let (input, elapsed) = self.driver.finish()?;
         Ok(RunStats::from_reports(input, elapsed, reports, 0))
+    }
+
+    fn abort(&mut self) -> Result<RunStats> {
+        if self.done {
+            return Err(Error::InvalidState("abort after a completed finish".into()));
+        }
+        self.done = true;
+        self.kill.store(true, Ordering::Release);
+        self.senders.clear();
+        let _ = self.join_workers();
+        let lost = self.cfg.joiners - self.reports.len();
+        let reports = std::mem::take(&mut self.reports);
+        let (input, elapsed) = self.driver.finish()?;
+        Ok(RunStats::from_reports(input, elapsed, reports, 0).mark_aborted(lost))
     }
 }
 
 impl Drop for OpenMldbBaseline {
     fn drop(&mut self) {
+        self.kill.store(true, Ordering::Release);
         self.senders.clear();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        while let Some(handle) = self.handles.pop() {
+            let _ = join_within(
+                handle,
+                self.cfg.send_timeout,
+                ENGINE,
+                self.handles.len(),
+                &self.failures,
+                &self.kill,
+            );
         }
     }
 }
@@ -161,8 +250,14 @@ struct MldbWorker {
 }
 
 impl MldbWorker {
-    fn run(mut self, rx: Receiver<Msg>) -> JoinerReport {
+    fn run(
+        mut self,
+        rx: Receiver<Msg>,
+        faults: Option<WorkerFaults>,
+        kill: Arc<AtomicBool>,
+    ) -> JoinerReport {
         let timeline_on = self.inst.timeline.is_some();
+        let mut ordinal = 0u64;
         for msg in rx {
             match msg {
                 Msg::Flush => break,
@@ -170,6 +265,16 @@ impl MldbWorker {
                     self.last_wm = self.last_wm.max(wm);
                 }
                 Msg::Data(data) => {
+                    if let Some(f) = &faults {
+                        let action = f.before_message(ordinal, &kill);
+                        ordinal += 1;
+                        if action == FaultAction::Exit {
+                            return JoinerReport {
+                                instruments: self.inst,
+                                results: self.results,
+                            };
+                        }
+                    }
                     let busy_start = timeline_on.then(Instant::now);
                     self.handle(*data);
                     if let Some(s) = busy_start {

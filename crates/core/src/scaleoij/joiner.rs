@@ -19,8 +19,8 @@
 //! guarantee, exactly like every other engine treats them best-effort.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam_channel::Receiver;
@@ -29,7 +29,8 @@ use oij_agg::{FullWindowAgg, PartialAgg, RunningAgg, TwoStackAgg};
 use oij_common::{AggSpec, EmitMode, FeatureRow, Key, Side, Timestamp};
 use oij_skiplist::{IndexReader, IndexWriter, RcuCell};
 
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, LatePolicy};
+use crate::faults::{DrainBarrier, FailureCell, FaultAction, WorkerFaults};
 use crate::hash_key;
 use crate::instrument::{JoinerInstruments, JoinerReport};
 use crate::message::{DataMsg, Msg};
@@ -140,7 +141,12 @@ pub(crate) struct ScaleJoiner {
     /// expiration; a janitor drops states older than one extra
     /// window+lateness so the floor cannot pin memory indefinitely.
     inc_floor: Arc<Vec<AtomicI64>>,
-    barrier: Arc<Barrier>,
+    barrier: Arc<DrainBarrier>,
+    /// Shared failure report + engine kill flag: the end-of-input barrier
+    /// falls through on either (degraded drain instead of deadlock).
+    cell: Arc<FailureCell>,
+    kill: Arc<AtomicBool>,
+    faults: Option<WorkerFaults>,
     scratch: Vec<f64>,
     scratch_pairs: Vec<(i64, f64)>,
     results: u64,
@@ -161,7 +167,10 @@ impl ScaleJoiner {
         progress: Arc<Vec<AtomicI64>>,
         hold: Arc<Vec<AtomicI64>>,
         inc_floor: Arc<Vec<AtomicI64>>,
-        barrier: Arc<Barrier>,
+        barrier: Arc<DrainBarrier>,
+        cell: Arc<FailureCell>,
+        kill: Arc<AtomicBool>,
+        faults: Option<WorkerFaults>,
     ) -> Self {
         ScaleJoiner {
             id,
@@ -178,6 +187,9 @@ impl ScaleJoiner {
             hold,
             inc_floor,
             barrier,
+            cell,
+            kill,
+            faults,
             scratch: Vec::new(),
             scratch_pairs: Vec::new(),
             results: 0,
@@ -188,6 +200,7 @@ impl ScaleJoiner {
 
     pub(crate) fn run(mut self, rx: Receiver<Msg>) -> JoinerReport {
         let timeline_on = self.inst.timeline.is_some();
+        let mut ordinal: u64 = 0;
         for msg in rx {
             match msg {
                 Msg::Flush => break,
@@ -199,6 +212,13 @@ impl ScaleJoiner {
                     self.maybe_expire();
                 }
                 Msg::Data(data) => {
+                    if let Some(f) = &self.faults {
+                        let action = f.before_message(ordinal, &self.kill);
+                        ordinal += 1;
+                        if action == FaultAction::Exit {
+                            return self.report();
+                        }
+                    }
                     let busy_start = timeline_on.then(Instant::now);
                     self.handle(*data);
                     if let Some(s) = busy_start {
@@ -212,8 +232,17 @@ impl ScaleJoiner {
         // whole team so every index is complete before the final drain.
         self.progress[self.id].store(i64::MAX, Ordering::Release);
         self.publish_hold();
-        self.barrier.wait();
+        if !self.barrier.wait(&self.cell, &self.kill) {
+            // A teammate died or the engine is tearing down: skip the final
+            // drain (its indexes are incomplete anyway) and surface what we
+            // have as a degraded partial report.
+            return self.report();
+        }
         self.drain_pending(Timestamp::MAX);
+        self.report()
+    }
+
+    fn report(self) -> JoinerReport {
         JoinerReport {
             instruments: self.inst,
             results: self.results,
@@ -271,6 +300,24 @@ impl ScaleJoiner {
         self.inst.processed += 1;
         if msg.tuple.ts < msg.watermark {
             self.inst.late_violations += 1;
+            if self.cfg.late_policy == LatePolicy::SideOutput {
+                // Route the violating tuple to the sink as a marked late
+                // row instead of processing it best-effort; bookkeeping
+                // (progress, drains, expiration) still runs below so the
+                // frontiers keep advancing.
+                self.inst.late_side_outputs += 1;
+                self.sink.emit(FeatureRow::late_marker(
+                    msg.tuple.ts,
+                    msg.tuple.key,
+                    msg.seq,
+                ));
+                self.store_progress(msg.watermark);
+                if self.cfg.query.emit == EmitMode::Watermark {
+                    self.drain_pending(self.safe_frontier());
+                }
+                self.maybe_expire();
+                return;
+            }
         }
         match msg.side {
             Side::Probe => {

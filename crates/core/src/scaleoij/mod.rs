@@ -30,7 +30,7 @@ pub mod schedule;
 mod joiner;
 
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -42,6 +42,10 @@ use oij_skiplist::{RcuCell, TimeTravelIndex};
 use crate::config::EngineConfig;
 use crate::driver::{Driver, Prepared};
 use crate::engine::{OijEngine, RunStats};
+use crate::faults::{
+    interruptible_sleep, join_within, run_supervised, send_guarded, DrainBarrier, FailureCell,
+    FaultAction, SCHEDULER,
+};
 use crate::hash_key;
 use crate::instrument::JoinerReport;
 use crate::message::Msg;
@@ -49,13 +53,24 @@ use crate::sink::Sink;
 
 use schedule::{rebalance, PartitionStats, Schedule};
 
+const ENGINE: &str = "scale-oij";
+const SCHED: &str = "scale-oij-scheduler";
+
 /// The Scale-OIJ engine. See the [module docs](self).
+///
+/// In a [`FaultPlan`](crate::faults::FaultPlan) the scheduler thread is
+/// addressed as [`SCHEDULER`]; its fault ordinal counts scheduler ticks
+/// rather than messages.
 pub struct ScaleOij {
     cfg: EngineConfig,
     driver: Driver,
     senders: Vec<Sender<Msg>>,
-    handles: Vec<JoinHandle<JoinerReport>>,
-    scheduler: Option<JoinHandle<u64>>,
+    handles: Vec<JoinHandle<Option<JoinerReport>>>,
+    scheduler: Option<JoinHandle<Option<u64>>>,
+    reports: Vec<JoinerReport>,
+    failures: Arc<FailureCell>,
+    kill: Arc<AtomicBool>,
+    poison: Option<Error>,
     stop: Arc<AtomicBool>,
     schedule: Arc<RcuCell<Schedule>>,
     stats: Arc<PartitionStats>,
@@ -96,17 +111,21 @@ impl ScaleOij {
             Arc::new((0..joiners).map(|_| AtomicI64::new(i64::MIN)).collect());
         let inc_floor: Arc<Vec<AtomicI64>> =
             Arc::new((0..joiners).map(|_| AtomicI64::new(i64::MAX)).collect());
-        let barrier = Arc::new(Barrier::new(joiners));
+        let barrier = Arc::new(DrainBarrier::new(joiners));
         let stop = Arc::new(AtomicBool::new(false));
+        let failures = Arc::new(FailureCell::new());
+        let kill = Arc::new(AtomicBool::new(false));
 
         let mut senders = Vec::with_capacity(joiners);
         let mut handles = Vec::with_capacity(joiners);
         for (id, writer) in writers.into_iter().enumerate() {
             let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
+            let jsink = cfg.faults.wrap_sink(id, sink.clone(), Arc::clone(&kill));
+            let faults = cfg.faults.for_worker(id);
             let worker = joiner::ScaleJoiner::new(
                 id,
                 &cfg,
-                sink.clone(),
+                jsink,
                 origin,
                 writer,
                 readers.clone(),
@@ -115,11 +134,15 @@ impl ScaleOij {
                 Arc::clone(&hold),
                 Arc::clone(&inc_floor),
                 Arc::clone(&barrier),
+                Arc::clone(&failures),
+                Arc::clone(&kill),
+                faults,
             );
+            let cell = Arc::clone(&failures);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("scale-oij-joiner-{id}"))
-                    .spawn(move || worker.run(rx))
+                    .spawn(move || run_supervised(ENGINE, id, &cell, move || worker.run(rx)))
                     .map_err(|e| Error::InvalidState(format!("spawn failed: {e}")))?,
             );
             senders.push(tx);
@@ -133,26 +156,43 @@ impl ScaleOij {
             let delta = cfg.schedule_delta;
             let floor = cfg.schedule_floor;
             let decay = cfg.schedule_decay;
+            // The scheduler is supervised like any joiner; its fault
+            // ordinal is the tick counter. Attributed as worker 0 of the
+            // "scale-oij-scheduler" engine label.
+            let faults = cfg.faults.for_worker(SCHEDULER);
+            let cell = Arc::clone(&failures);
+            let skill = Arc::clone(&kill);
             Some(
                 std::thread::Builder::new()
                     .name("scale-oij-scheduler".into())
                     .spawn(move || {
-                        let mut changes = 0u64;
-                        while !stop.load(Ordering::Relaxed) {
-                            std::thread::sleep(interval);
-                            let counts = stats.snapshot();
-                            let current = schedule.load();
-                            // Only intervene above the floor: replication is
-                            // monotone, so acting on noise ratchets fan-out.
-                            if current.unbalancedness(&counts, joiners) > floor {
-                                if let Some(next) = rebalance(&current, &counts, joiners, delta) {
-                                    schedule.replace(next);
-                                    changes += 1;
+                        run_supervised(SCHED, 0, &cell, move || {
+                            let mut changes = 0u64;
+                            let mut tick = 0u64;
+                            while !stop.load(Ordering::Relaxed) && !skill.load(Ordering::Acquire) {
+                                interruptible_sleep(interval, &skill);
+                                if let Some(f) = &faults {
+                                    let action = f.before_message(tick, &skill);
+                                    tick += 1;
+                                    if action == FaultAction::Exit {
+                                        break;
+                                    }
                                 }
+                                let counts = stats.snapshot();
+                                let current = schedule.load();
+                                // Only intervene above the floor: replication is
+                                // monotone, so acting on noise ratchets fan-out.
+                                if current.unbalancedness(&counts, joiners) > floor {
+                                    if let Some(next) = rebalance(&current, &counts, joiners, delta)
+                                    {
+                                        schedule.replace(next);
+                                        changes += 1;
+                                    }
+                                }
+                                stats.decay(decay);
                             }
-                            stats.decay(decay);
-                        }
-                        changes
+                            changes
+                        })
                     })
                     .map_err(|e| Error::InvalidState(format!("spawn failed: {e}")))?,
             )
@@ -169,6 +209,10 @@ impl ScaleOij {
             senders,
             handles,
             scheduler,
+            reports: Vec::new(),
+            failures,
+            kill,
+            poison: None,
             stop,
             schedule,
             stats,
@@ -185,10 +229,82 @@ impl ScaleOij {
     pub fn current_schedule(&self) -> Arc<Schedule> {
         self.schedule.load()
     }
+
+    #[inline]
+    fn route(&mut self, worker: usize, msg: Msg) -> Result<()> {
+        match send_guarded(
+            &self.senders[worker],
+            msg,
+            self.cfg.send_timeout,
+            ENGINE,
+            worker,
+            &self.failures,
+        ) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poison = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Stops and joins the scheduler thread (bounded), returning its
+    /// schedule-change count (0 when it was disabled or lost).
+    fn join_scheduler(&mut self) -> (u64, Option<Error>) {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.scheduler.take() {
+            None => (0, None),
+            Some(h) => {
+                let (changes, err) = join_within(
+                    h,
+                    self.cfg.send_timeout + self.cfg.schedule_interval,
+                    SCHED,
+                    0,
+                    &self.failures,
+                    &self.kill,
+                );
+                (changes.unwrap_or(0), err)
+            }
+        }
+    }
+
+    /// Joins every joiner bounded, salvaging reports; records and returns
+    /// the first failure.
+    fn join_workers(&mut self) -> Result<()> {
+        let mut first_err: Option<Error> = None;
+        while !self.handles.is_empty() {
+            let worker = self.cfg.joiners - self.handles.len();
+            let handle = self.handles.remove(0);
+            let (report, err) = join_within(
+                handle,
+                self.cfg.send_timeout,
+                ENGINE,
+                worker,
+                &self.failures,
+                &self.kill,
+            );
+            if let Some(r) = report {
+                self.reports.push(r);
+            }
+            if let Some(e) = err {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => {
+                self.poison = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
 }
 
 impl OijEngine for ScaleOij {
     fn push(&mut self, event: Event) -> Result<()> {
+        if let Some(cause) = &self.poison {
+            return Err(cause.clone());
+        }
         match self.driver.prepare(event)? {
             Prepared::Flush => Ok(()),
             Prepared::Data(msg) => {
@@ -205,15 +321,12 @@ impl OijEngine for ScaleOij {
                 let member = team[(self.rr[p] as usize) % team.len()];
                 self.rr[p] = self.rr[p].wrapping_add(1);
                 let watermark = msg.watermark;
-                self.senders[member]
-                    .send(Msg::Data(Box::new(msg)))
-                    .map_err(|_| Error::WorkerPanic("scale-oij joiner hung up".into()))?;
+                self.route(member, Msg::Data(Box::new(msg)))?;
                 self.since_heartbeat += 1;
                 if self.since_heartbeat >= self.cfg.heartbeat_every {
                     self.since_heartbeat = 0;
-                    for tx in &self.senders {
-                        tx.send(Msg::Heartbeat(watermark))
-                            .map_err(|_| Error::WorkerPanic("scale-oij joiner hung up".into()))?;
+                    for j in 0..self.senders.len() {
+                        self.route(j, Msg::Heartbeat(watermark))?;
                     }
                 }
                 Ok(())
@@ -225,28 +338,22 @@ impl OijEngine for ScaleOij {
         if self.done {
             return Err(Error::InvalidState("finish called twice".into()));
         }
-        self.done = true;
+        if let Some(cause) = &self.poison {
+            return Err(cause.clone());
+        }
         // Stop the scheduler first so the schedule is stable during drain.
-        self.stop.store(true, Ordering::Relaxed);
-        let schedule_changes = match self.scheduler.take() {
-            Some(h) => h
-                .join()
-                .map_err(|_| Error::WorkerPanic("scheduler panicked".into()))?,
-            None => 0,
-        };
-        for tx in &self.senders {
-            tx.send(Msg::Flush)
-                .map_err(|_| Error::WorkerPanic("scale-oij joiner hung up".into()))?;
+        let (schedule_changes, sched_err) = self.join_scheduler();
+        if let Some(e) = sched_err {
+            self.poison = Some(e.clone());
+            return Err(e);
+        }
+        for j in 0..self.senders.len() {
+            self.route(j, Msg::Flush)?;
         }
         self.senders.clear();
-        let mut reports = Vec::with_capacity(self.handles.len());
-        for handle in self.handles.drain(..) {
-            reports.push(
-                handle
-                    .join()
-                    .map_err(|_| Error::WorkerPanic("scale-oij joiner panicked".into()))?,
-            );
-        }
+        self.join_workers()?;
+        self.done = true;
+        let reports = std::mem::take(&mut self.reports);
         let (input, elapsed) = self.driver.finish()?;
         Ok(RunStats::from_reports(
             input,
@@ -255,17 +362,47 @@ impl OijEngine for ScaleOij {
             schedule_changes,
         ))
     }
+
+    fn abort(&mut self) -> Result<RunStats> {
+        if self.done {
+            return Err(Error::InvalidState("abort after a completed finish".into()));
+        }
+        self.done = true;
+        self.kill.store(true, Ordering::Release);
+        let (schedule_changes, _) = self.join_scheduler();
+        self.senders.clear();
+        let _ = self.join_workers();
+        let lost = self.cfg.joiners - self.reports.len();
+        let reports = std::mem::take(&mut self.reports);
+        let (input, elapsed) = self.driver.finish()?;
+        Ok(RunStats::from_reports(input, elapsed, reports, schedule_changes).mark_aborted(lost))
+    }
 }
 
 impl Drop for ScaleOij {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        self.kill.store(true, Ordering::Release);
         if let Some(h) = self.scheduler.take() {
-            let _ = h.join();
+            let _ = join_within(
+                h,
+                self.cfg.send_timeout + self.cfg.schedule_interval,
+                SCHED,
+                0,
+                &self.failures,
+                &self.kill,
+            );
         }
         self.senders.clear();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        while let Some(handle) = self.handles.pop() {
+            let _ = join_within(
+                handle,
+                self.cfg.send_timeout,
+                ENGINE,
+                self.handles.len(),
+                &self.failures,
+                &self.kill,
+            );
         }
     }
 }

@@ -1,8 +1,12 @@
 //! Result sinks: where feature rows go.
 
+use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::{Arc, Mutex};
+use std::time::Duration as StdDuration;
 
 use oij_common::FeatureRow;
+
+use crate::faults::SinkFaults;
 
 /// Destination for emitted feature rows. Cloned into every joiner (or the
 /// collector, for SplitJoin).
@@ -12,6 +16,10 @@ pub enum Sink {
     Null,
     /// Collect rows into a shared vector (tests, examples).
     Collect(Arc<Mutex<Vec<FeatureRow>>>),
+    /// A sink wrapped with injected faults (slow and/or erroring
+    /// emissions) — built by [`FaultPlan::wrap_sink`](crate::faults::FaultPlan),
+    /// never in production configs.
+    Faulty(Arc<SinkFaults>, Box<Sink>),
 }
 
 impl Sink {
@@ -27,12 +35,37 @@ impl Sink {
         (Sink::Collect(Arc::clone(&store)), store)
     }
 
+    /// Wraps `inner` with injected sink faults (see
+    /// [`FaultPlan`](crate::faults::FaultPlan) for the knobs).
+    pub(crate) fn faulty(
+        inner: Sink,
+        delay: Option<StdDuration>,
+        stall_from: u64,
+        fail_at: Option<u64>,
+        kill: Arc<AtomicBool>,
+    ) -> Sink {
+        Sink::Faulty(
+            Arc::new(SinkFaults {
+                emitted: AtomicU64::new(0),
+                delay,
+                stall_from,
+                fail_at,
+                kill,
+            }),
+            Box::new(inner),
+        )
+    }
+
     /// Emits one row.
     #[inline]
     pub fn emit(&self, row: FeatureRow) {
         match self {
             Sink::Null => {}
             Sink::Collect(store) => store.lock().expect("sink poisoned").push(row),
+            Sink::Faulty(faults, inner) => {
+                faults.before_emit();
+                inner.emit(row);
+            }
         }
     }
 }
@@ -41,6 +74,7 @@ impl Sink {
 mod tests {
     use super::*;
     use oij_common::Timestamp;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     #[test]
     fn collect_sink_stores_rows() {
@@ -70,5 +104,27 @@ mod tests {
             1,
         ));
         // nothing to observe — must simply not panic
+    }
+
+    #[test]
+    fn faulty_sink_fails_at_the_configured_emission() {
+        let (inner, rows) = Sink::collect();
+        let kill = Arc::new(AtomicBool::new(false));
+        let sink = Sink::faulty(inner, None, 0, Some(1), kill);
+        let row = |seq: u64| FeatureRow::new(Timestamp::from_micros(seq as i64), 1, seq, None, 0);
+        sink.emit(row(0)); // emission 0 passes through
+        let err = catch_unwind(AssertUnwindSafe(|| sink.emit(row(1))));
+        assert!(err.is_err(), "emission 1 must panic");
+        assert_eq!(rows.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn faulty_sink_stall_is_interruptible() {
+        let (inner, _rows) = Sink::collect();
+        let kill = Arc::new(AtomicBool::new(true)); // already killed
+        let sink = Sink::faulty(inner, Some(StdDuration::from_secs(60)), 0, None, kill);
+        let start = std::time::Instant::now();
+        sink.emit(FeatureRow::new(Timestamp::from_micros(1), 1, 0, None, 0));
+        assert!(start.elapsed() < StdDuration::from_secs(5));
     }
 }

@@ -16,6 +16,8 @@
 //! and degrades with thread count when windows are small (Figure 21).
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -27,16 +29,32 @@ use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestam
 use crate::config::EngineConfig;
 use crate::driver::{Driver, Prepared};
 use crate::engine::{OijEngine, RunStats};
+use crate::faults::{
+    join_within, run_supervised, send_guarded, FailureCell, FaultAction, WorkerFaults,
+};
 use crate::instrument::{JoinerInstruments, JoinerReport};
 use crate::message::{DataMsg, Msg};
 use crate::sink::Sink;
 
+const ENGINE: &str = "splitjoin";
+const COLLECTOR: &str = "splitjoin-collector";
+
 /// The SplitJoin-OIJ engine. See the [module docs](self).
+///
+/// In a [`FaultPlan`](crate::faults::FaultPlan), the collector is
+/// addressed as worker `joiners` (one past the last joiner id) — its sink
+/// faults and message faults bind there.
 pub struct SplitJoin {
+    cfg: EngineConfig,
     driver: Driver,
     senders: Vec<Sender<Msg>>,
-    handles: Vec<JoinHandle<JoinerReport>>,
-    collector: Option<JoinHandle<CollectorReport>>,
+    handles: Vec<JoinHandle<Option<JoinerReport>>>,
+    collector: Option<JoinHandle<Option<CollectorReport>>>,
+    reports: Vec<JoinerReport>,
+    col_report: Option<CollectorReport>,
+    failures: Arc<FailureCell>,
+    kill: Arc<AtomicBool>,
+    poison: Option<Error>,
     done: bool,
 }
 
@@ -66,16 +84,23 @@ impl SplitJoin {
         let origin = Instant::now();
         let joiners = cfg.joiners;
         let (col_tx, col_rx) = bounded::<ToCollector>(cfg.channel_capacity);
+        let failures = Arc::new(FailureCell::new());
+        let kill = Arc::new(AtomicBool::new(false));
 
         let mut senders = Vec::with_capacity(joiners);
         let mut handles = Vec::with_capacity(joiners);
         for id in 0..joiners {
             let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
             let worker = SplitJoiner::new(id, &cfg, origin, col_tx.clone());
+            let faults = cfg.faults.for_worker(id);
+            let cell = Arc::clone(&failures);
+            let wkill = Arc::clone(&kill);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("splitjoin-joiner-{id}"))
-                    .spawn(move || worker.run(rx))
+                    .spawn(move || {
+                        run_supervised(ENGINE, id, &cell, move || worker.run(rx, faults, wkill))
+                    })
                     .map_err(|e| Error::InvalidState(format!("spawn failed: {e}")))?,
             );
             senders.push(tx);
@@ -84,19 +109,127 @@ impl SplitJoin {
 
         let latency_on = cfg.instrument.latency;
         let spec = cfg.query.agg;
+        // The sink lives on the collector; its faults (and any message
+        // faults for the collector itself) are addressed as worker
+        // `joiners` in the plan.
+        let col_sink = cfg.faults.wrap_sink(joiners, sink, Arc::clone(&kill));
+        let col_faults = cfg.faults.for_worker(joiners);
+        let cell = Arc::clone(&failures);
+        let ckill = Arc::clone(&kill);
         let collector = std::thread::Builder::new()
             .name("splitjoin-collector".into())
-            .spawn(move || collector_loop(col_rx, joiners, spec, sink, latency_on))
+            .spawn(move || {
+                run_supervised(COLLECTOR, joiners, &cell, move || {
+                    collector_loop(
+                        col_rx, joiners, spec, col_sink, latency_on, col_faults, ckill,
+                    )
+                })
+            })
             .map_err(|e| Error::InvalidState(format!("spawn failed: {e}")))?;
 
         let lateness = cfg.query.window.lateness;
         Ok(SplitJoin {
+            cfg,
             driver: Driver::new(lateness),
             senders,
             handles,
             collector: Some(collector),
+            reports: Vec::new(),
+            col_report: None,
+            failures,
+            kill,
+            poison: None,
             done: false,
         })
+    }
+
+    #[inline]
+    fn route(&mut self, worker: usize, msg: Msg) -> Result<()> {
+        match send_guarded(
+            &self.senders[worker],
+            msg,
+            self.cfg.send_timeout,
+            ENGINE,
+            worker,
+            &self.failures,
+        ) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poison = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Joins every joiner and then the collector, bounded, salvaging
+    /// whatever reports arrive; returns (and records) the first failure.
+    fn join_workers(&mut self) -> Result<()> {
+        let mut first_err: Option<Error> = None;
+        while !self.handles.is_empty() {
+            let worker = self.cfg.joiners - self.handles.len();
+            let handle = self.handles.remove(0);
+            let (report, err) = join_within(
+                handle,
+                self.cfg.send_timeout,
+                ENGINE,
+                worker,
+                &self.failures,
+                &self.kill,
+            );
+            if let Some(r) = report {
+                self.reports.push(r);
+            }
+            if let Some(e) = err {
+                first_err.get_or_insert(e);
+            }
+        }
+        if let Some(handle) = self.collector.take() {
+            let (report, err) = join_within(
+                handle,
+                self.cfg.send_timeout,
+                COLLECTOR,
+                self.cfg.joiners,
+                &self.failures,
+                &self.kill,
+            );
+            self.col_report = report;
+            if let Some(e) = err {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => {
+                self.poison = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Merges joiner reports + the collector report into run stats. The
+    /// collector is the only thread that emits to the sink, so without its
+    /// report no emitted-row count can be claimed.
+    fn build_stats(&mut self, aborted: bool) -> Result<RunStats> {
+        let expected = self.cfg.joiners + 1;
+        let salvaged = self.reports.len() + usize::from(self.col_report.is_some());
+        let reports = std::mem::take(&mut self.reports);
+        let (input, elapsed) = self.driver.finish()?;
+        let mut stats = RunStats::from_reports(input, elapsed, reports, 0);
+        match self.col_report.take() {
+            Some(col) => {
+                stats.results = col.results;
+                match (&mut stats.latency, col.latency) {
+                    (Some(acc), Some(h)) => acc.merge(&h),
+                    (slot @ None, Some(h)) => *slot = Some(h),
+                    _ => {}
+                }
+            }
+            None => stats.results = 0,
+        }
+        if aborted {
+            stats = stats.mark_aborted(expected - salvaged);
+        }
+        Ok(stats)
     }
 }
 
@@ -106,10 +239,13 @@ fn collector_loop(
     spec: oij_common::AggSpec,
     sink: Sink,
     latency_on: bool,
+    faults: Option<WorkerFaults>,
+    kill: Arc<AtomicBool>,
 ) -> CollectorReport {
     let mut open: HashMap<u64, (Partial, usize)> = HashMap::new();
     let mut done = 0usize;
     let mut results = 0u64;
+    let mut ordinal = 0u64;
     let mut latency = latency_on.then(oij_metrics::LatencyHistogram::new);
     for msg in rx {
         match msg {
@@ -120,6 +256,13 @@ fn collector_loop(
                 }
             }
             ToCollector::Partial(p) => {
+                if let Some(f) = &faults {
+                    let action = f.before_message(ordinal, &kill);
+                    ordinal += 1;
+                    if action == FaultAction::Exit {
+                        return CollectorReport { results, latency };
+                    }
+                }
                 let p = *p;
                 let seq = p.seq;
                 let entry = open.entry(seq).or_insert_with(|| {
@@ -153,20 +296,27 @@ fn collector_loop(
             }
         }
     }
-    debug_assert!(open.is_empty(), "unmerged partial results at shutdown");
+    // On a clean shutdown every partial merged; after a joiner failure the
+    // channel disconnects early and unmerged partials are expected.
+    debug_assert!(
+        done < joiners || open.is_empty(),
+        "unmerged partial results at clean shutdown"
+    );
     CollectorReport { results, latency }
 }
 
 impl OijEngine for SplitJoin {
     fn push(&mut self, event: Event) -> Result<()> {
+        if let Some(cause) = &self.poison {
+            return Err(cause.clone());
+        }
         match self.driver.prepare(event)? {
             Prepared::Flush => Ok(()),
             Prepared::Data(msg) => {
                 // The SplitJoin distribution tree: broadcast to everyone.
                 let boxed = Box::new(msg);
-                for tx in &self.senders {
-                    tx.send(Msg::Data(boxed.clone()))
-                        .map_err(|_| Error::WorkerPanic("splitjoin joiner hung up".into()))?;
+                for j in 0..self.senders.len() {
+                    self.route(j, Msg::Data(boxed.clone()))?;
                 }
                 Ok(())
             }
@@ -177,46 +327,53 @@ impl OijEngine for SplitJoin {
         if self.done {
             return Err(Error::InvalidState("finish called twice".into()));
         }
-        self.done = true;
-        for tx in &self.senders {
-            tx.send(Msg::Flush)
-                .map_err(|_| Error::WorkerPanic("splitjoin joiner hung up".into()))?;
+        if let Some(cause) = &self.poison {
+            return Err(cause.clone());
+        }
+        for j in 0..self.senders.len() {
+            self.route(j, Msg::Flush)?;
         }
         self.senders.clear();
-        let mut reports = Vec::with_capacity(self.handles.len());
-        for handle in self.handles.drain(..) {
-            reports.push(
-                handle
-                    .join()
-                    .map_err(|_| Error::WorkerPanic("splitjoin joiner panicked".into()))?,
-            );
+        self.join_workers()?;
+        self.done = true;
+        self.build_stats(false)
+    }
+
+    fn abort(&mut self) -> Result<RunStats> {
+        if self.done {
+            return Err(Error::InvalidState("abort after a completed finish".into()));
         }
-        let col = self
-            .collector
-            .take()
-            .expect("collector present until finish")
-            .join()
-            .map_err(|_| Error::WorkerPanic("splitjoin collector panicked".into()))?;
-        let (input, elapsed) = self.driver.finish()?;
-        let mut stats = RunStats::from_reports(input, elapsed, reports, 0);
-        stats.results = col.results;
-        match (&mut stats.latency, col.latency) {
-            (Some(acc), Some(h)) => acc.merge(&h),
-            (slot @ None, Some(h)) => *slot = Some(h),
-            _ => {}
-        }
-        Ok(stats)
+        self.done = true;
+        self.kill.store(true, Ordering::Release);
+        self.senders.clear();
+        let _ = self.join_workers();
+        self.build_stats(true)
     }
 }
 
 impl Drop for SplitJoin {
     fn drop(&mut self) {
+        self.kill.store(true, Ordering::Release);
         self.senders.clear();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        while let Some(handle) = self.handles.pop() {
+            let _ = join_within(
+                handle,
+                self.cfg.send_timeout,
+                ENGINE,
+                self.handles.len(),
+                &self.failures,
+                &self.kill,
+            );
         }
         if let Some(c) = self.collector.take() {
-            let _ = c.join();
+            let _ = join_within(
+                c,
+                self.cfg.send_timeout,
+                COLLECTOR,
+                self.cfg.joiners,
+                &self.failures,
+                &self.kill,
+            );
         }
     }
 }
@@ -256,8 +413,14 @@ impl SplitJoiner {
         }
     }
 
-    fn run(mut self, rx: Receiver<Msg>) -> JoinerReport {
+    fn run(
+        mut self,
+        rx: Receiver<Msg>,
+        faults: Option<WorkerFaults>,
+        kill: Arc<AtomicBool>,
+    ) -> JoinerReport {
         let timeline_on = self.inst.timeline.is_some();
+        let mut ordinal: u64 = 0;
         for msg in rx {
             match msg {
                 Msg::Flush => break,
@@ -268,6 +431,16 @@ impl SplitJoiner {
                     }
                 }
                 Msg::Data(data) => {
+                    if let Some(f) = &faults {
+                        let action = f.before_message(ordinal, &kill);
+                        ordinal += 1;
+                        if action == FaultAction::Exit {
+                            return JoinerReport {
+                                instruments: self.inst,
+                                results: self.results,
+                            };
+                        }
+                    }
                     let busy_start = timeline_on.then(Instant::now);
                     self.handle(*data);
                     if let Some(s) = busy_start {

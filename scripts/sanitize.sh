@@ -64,6 +64,22 @@ run_tsan() {
   TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
     cargo +nightly test -p oij-skiplist -p crossbeam-epoch \
     --target "$TARGET_TRIPLE" -Zbuild-std --release -q || FAILED=1
+  # The supervision layer (FailureCell, DrainBarrier, kill-flag teardown,
+  # bounded joins) is its own ordering-sensitive surface: run the fault
+  # unit suite and the cross-engine fault matrix under TSan too.
+  echo "== ThreadSanitizer: oij-core faults + robustness fault matrix =="
+  RUSTFLAGS="-Zsanitizer=thread" \
+  RUSTDOCFLAGS="-Zsanitizer=thread" \
+  TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
+    cargo +nightly test -p oij-core faults \
+    --target "$TARGET_TRIPLE" -Zbuild-std --release -q \
+    -- --test-threads 2 || FAILED=1
+  RUSTFLAGS="-Zsanitizer=thread" \
+  RUSTDOCFLAGS="-Zsanitizer=thread" \
+  TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
+    cargo +nightly test --test robustness \
+    --target "$TARGET_TRIPLE" -Zbuild-std --release -q \
+    -- --test-threads 2 || FAILED=1
 }
 
 if ! have_nightly; then

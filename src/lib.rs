@@ -47,8 +47,9 @@ pub use oij_common::{
 
 /// The OIJ engines and their shared interface (re-export of `oij-core`).
 pub mod engine {
-    pub use oij_core::config::{EngineConfig, Instrumentation};
+    pub use oij_core::config::{EngineConfig, Instrumentation, LatePolicy};
     pub use oij_core::engine::{EngineKind, OijEngine, RunStats};
+    pub use oij_core::faults::{FailureCell, FaultPlan, WorkerFailure, SCHEDULER};
     pub use oij_core::scaleoij::schedule::{rebalance, PartitionStats, Schedule};
     pub use oij_core::sink::Sink;
     pub use oij_core::{KeyOij, OpenMldbBaseline, Oracle, ScaleOij, SplitJoin};
@@ -95,8 +96,8 @@ pub mod sql {
 /// Everything a typical application needs, in one import.
 pub mod prelude {
     pub use crate::engine::{
-        EngineConfig, EngineKind, Instrumentation, KeyOij, OijEngine, OpenMldbBaseline, Oracle,
-        RunStats, ScaleOij, Sink, SplitJoin,
+        EngineConfig, EngineKind, FaultPlan, Instrumentation, KeyOij, LatePolicy, OijEngine,
+        OpenMldbBaseline, Oracle, RunStats, ScaleOij, Sink, SplitJoin,
     };
     pub use crate::sql::parse as parse_sql;
     pub use crate::workload::{KeyDist, NamedWorkload, SyntheticConfig};

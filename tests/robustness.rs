@@ -218,3 +218,429 @@ fn empty_and_degenerate_streams() {
     assert_eq!(e.finish().unwrap().results, 100);
     assert!(rows.lock().unwrap().iter().all(|r| r.agg == Some(0.0)));
 }
+
+// ---------------------------------------------------------------------------
+// Fault matrix: injected worker failures across all four engines
+// ---------------------------------------------------------------------------
+
+use oij::engine::SCHEDULER;
+use oij::Error;
+use std::time::Duration as StdDuration;
+
+const ENGINES: [&str; 4] = ["key-oij", "scale-oij", "splitjoin", "openmldb"];
+
+/// Runs the test body under a watchdog thread: a hang (the exact failure
+/// mode this PR's supervision exists to prevent) turns into a loud panic
+/// instead of a stuck CI job.
+fn with_watchdog(secs: u64, f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let t = std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(StdDuration::from_secs(secs)) {
+        Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            t.join().expect("test body panicked")
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("watchdog: test exceeded {secs}s — supervision failed to prevent a hang")
+        }
+    }
+}
+
+fn spawn_engine(kind: &str, cfg: EngineConfig, sink: Sink) -> Box<dyn OijEngine> {
+    match kind {
+        "key-oij" => Box::new(KeyOij::spawn(cfg, sink).unwrap()),
+        "scale-oij" => Box::new(ScaleOij::spawn(cfg, sink).unwrap()),
+        "splitjoin" => Box::new(SplitJoin::spawn(cfg, sink).unwrap()),
+        "openmldb" => Box::new(OpenMldbBaseline::spawn(cfg, sink).unwrap()),
+        other => unreachable!("unknown engine {other}"),
+    }
+}
+
+/// Pushes events until the first error, falling back to `finish` — an
+/// injected failure must surface through one of the two within the send
+/// deadline. Returns the error and the still-poisoned engine.
+fn drive_to_error(engine: &mut Box<dyn OijEngine>, events: &[Event]) -> Error {
+    for ev in events {
+        if let Err(e) = engine.push(ev.clone()) {
+            return e;
+        }
+    }
+    engine
+        .finish()
+        .expect_err("injected fault must surface from push or finish")
+}
+
+#[test]
+fn injected_panic_surfaces_structured_error_in_every_engine() {
+    with_watchdog(90, || {
+        for kind in ENGINES {
+            let query = OijQuery::builder()
+                .preceding(Duration::from_micros(50))
+                .build()
+                .unwrap();
+            let mut cfg = EngineConfig::new(query, 2).unwrap();
+            cfg.faults = FaultPlan::none().panic_at(0, 0, "injected worker panic");
+            cfg.send_timeout = StdDuration::from_millis(500);
+            cfg.channel_capacity = 8;
+            let events = workload(4_000, 16, 0, 3);
+            let mut engine = spawn_engine(kind, cfg, Sink::null());
+            let err = drive_to_error(&mut engine, &events);
+            match &err {
+                Error::WorkerFailed {
+                    engine: label,
+                    worker,
+                    cause,
+                } => {
+                    assert_eq!(*label, kind, "engine label");
+                    assert_eq!(*worker, 0, "{kind}: worker identity");
+                    assert_eq!(cause, "injected worker panic", "{kind}: payload");
+                }
+                other => panic!("{kind}: expected WorkerFailed, got {other:?}"),
+            }
+            // The engine is poisoned: subsequent pushes fail fast with the
+            // original cause instead of blocking on dead channels.
+            let again = engine
+                .push(events[0].clone())
+                .expect_err("poisoned engine must reject pushes");
+            assert!(
+                matches!(again, Error::WorkerFailed { worker: 0, .. }),
+                "{kind}: poisoned push must carry the original failure, got {again:?}"
+            );
+            // Drop after a mid-run panic must terminate without hanging
+            // (implicitly verified by the watchdog).
+            drop(engine);
+        }
+    });
+}
+
+#[test]
+fn wedged_joiner_classifies_as_stall_and_drop_releases_it() {
+    with_watchdog(60, || {
+        let query = OijQuery::builder()
+            .preceding(Duration::from_micros(50))
+            .build()
+            .unwrap();
+        let mut cfg = EngineConfig::new(query, 2).unwrap();
+        // Worker 0 wedges on its first message: alive, never receiving.
+        cfg.faults = FaultPlan::none().wedge_at(0, 0);
+        cfg.send_timeout = StdDuration::from_millis(200);
+        cfg.channel_capacity = 2;
+        let events = workload(2_000, 16, 0, 7);
+        let mut engine = KeyOij::spawn(cfg, Sink::null()).unwrap();
+        let mut first = None;
+        for ev in &events {
+            let t0 = std::time::Instant::now();
+            match engine.push(ev.clone()) {
+                Ok(()) => {}
+                Err(e) => {
+                    first = Some((e, t0.elapsed()));
+                    break;
+                }
+            }
+        }
+        let (err, waited) = first.expect("a wedged worker must stall the push path");
+        // No panic was recorded, so the timeout classifies as a stall —
+        // with the worker identity — not as a failure.
+        assert!(
+            matches!(err, Error::WorkerStalled { worker: 0, .. }),
+            "got {err:?}"
+        );
+        assert!(
+            waited < StdDuration::from_secs(2),
+            "push must return within the send deadline, took {waited:?}"
+        );
+        // Drop must raise the kill flag, releasing the wedge (watchdog
+        // catches the hang otherwise).
+        drop(engine);
+    });
+}
+
+#[test]
+fn slow_sink_backpressure_bounds_push() {
+    with_watchdog(60, || {
+        // Every emission stalls 1s: in eager mode the joiner falls behind
+        // immediately, the bounded channel fills, and push must surface a
+        // stall within the send deadline instead of blocking indefinitely.
+        let query = OijQuery::builder()
+            .preceding(Duration::from_micros(50))
+            .build()
+            .unwrap();
+        let mut cfg = EngineConfig::new(query, 1).unwrap();
+        cfg.faults = FaultPlan::none().sink_stall_from(0, 0, StdDuration::from_secs(1));
+        cfg.send_timeout = StdDuration::from_millis(200);
+        cfg.channel_capacity = 2;
+        let mut engine = KeyOij::spawn(cfg, Sink::null()).unwrap();
+        let mut stalled = None;
+        for i in 0..64u64 {
+            let t0 = std::time::Instant::now();
+            match engine.push(Event::data(
+                i,
+                Side::Base,
+                Tuple::new(Timestamp::from_micros(i as i64), 1, 1.0),
+            )) {
+                Ok(()) => {}
+                Err(e) => {
+                    stalled = Some((e, t0.elapsed()));
+                    break;
+                }
+            }
+        }
+        let (err, waited) = stalled.expect("a saturated sink must backpressure into a stall");
+        assert!(
+            matches!(err, Error::WorkerStalled { worker: 0, .. }),
+            "got {err:?}"
+        );
+        assert!(
+            waited < StdDuration::from_secs(2),
+            "push must be bounded by the send deadline, took {waited:?}"
+        );
+        // Drop interrupts the injected sink sleep via the kill flag.
+        drop(engine);
+    });
+}
+
+#[test]
+fn erroring_sink_escalates_to_worker_failure() {
+    with_watchdog(60, || {
+        let query = OijQuery::builder()
+            .preceding(Duration::from_micros(50))
+            .build()
+            .unwrap();
+        let mut cfg = EngineConfig::new(query, 1).unwrap();
+        cfg.faults = FaultPlan::none().sink_fail_at(0, 0);
+        cfg.send_timeout = StdDuration::from_millis(500);
+        let mut engine: Box<dyn OijEngine> = Box::new(KeyOij::spawn(cfg, Sink::null()).unwrap());
+        let events: Vec<Event> = (0..64u64)
+            .map(|i| {
+                Event::data(
+                    i,
+                    Side::Base,
+                    Tuple::new(Timestamp::from_micros(i as i64), 1, 1.0),
+                )
+            })
+            .collect();
+        let err = drive_to_error(&mut engine, &events);
+        match err {
+            Error::WorkerFailed {
+                worker: 0, cause, ..
+            } => {
+                assert!(
+                    cause.contains("injected sink failure"),
+                    "payload must identify the sink fault: {cause}"
+                );
+            }
+            other => panic!("expected WorkerFailed, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn benign_stall_slows_but_completes_the_run() {
+    with_watchdog(60, || {
+        let query = OijQuery::builder()
+            .preceding(Duration::from_micros(50))
+            .build()
+            .unwrap();
+        let mut cfg = EngineConfig::new(query, 2).unwrap();
+        // 1ms per message on worker 0: within the send deadline, so the
+        // run degrades gracefully to slower instead of failing.
+        cfg.faults = FaultPlan::none().stall_from(0, 0, StdDuration::from_millis(1));
+        let events = workload(400, 8, 0, 11);
+        let (sink, _) = Sink::collect();
+        let mut engine = KeyOij::spawn(cfg, sink).unwrap();
+        for ev in &events {
+            engine.push(ev.clone()).unwrap();
+        }
+        let stats = engine.finish().unwrap();
+        assert_eq!(stats.input_tuples, events.len() as u64);
+        assert!(!stats.aborted);
+    });
+}
+
+#[test]
+fn scheduler_panic_surfaces_with_scheduler_identity() {
+    with_watchdog(60, || {
+        let query = OijQuery::builder()
+            .preceding(Duration::from_micros(50))
+            .build()
+            .unwrap();
+        let mut cfg = EngineConfig::new(query, 2).unwrap();
+        cfg.schedule_interval = StdDuration::from_millis(1);
+        cfg.faults = FaultPlan::none().panic_at(SCHEDULER, 0, "scheduler boom");
+        let events = workload(2_000, 8, 0, 13);
+        let mut engine = ScaleOij::spawn(cfg, Sink::null()).unwrap();
+        for ev in &events {
+            // Joiners are healthy; pushes keep succeeding even though the
+            // scheduler died in the background.
+            engine.push(ev.clone()).unwrap();
+        }
+        // Let the scheduler reach its first tick (the injected fault fires
+        // there) before finishing — finish stops the scheduler loop.
+        std::thread::sleep(StdDuration::from_millis(50));
+        let err = engine
+            .finish()
+            .expect_err("a dead scheduler must fail the run at finish");
+        match err {
+            Error::WorkerFailed { engine, cause, .. } => {
+                assert_eq!(engine, "scale-oij-scheduler");
+                assert_eq!(cause, "scheduler boom");
+            }
+            other => panic!("expected WorkerFailed, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn abort_mid_run_yields_partial_stats_in_every_engine() {
+    with_watchdog(90, || {
+        for kind in ENGINES {
+            let query = OijQuery::builder()
+                .preceding(Duration::from_micros(50))
+                .build()
+                .unwrap();
+            let cfg = EngineConfig::new(query, 2).unwrap();
+            let events = workload(2_000, 8, 0, 17);
+            let mut engine = spawn_engine(kind, cfg, Sink::null());
+            for ev in &events[..1_000] {
+                engine.push(ev.clone()).unwrap();
+            }
+            let stats = engine.abort().expect("abort on a healthy engine");
+            assert!(stats.aborted, "{kind}");
+            assert_eq!(stats.workers_lost, 0, "{kind}: all workers salvageable");
+            assert_eq!(stats.input_tuples, 1_000, "{kind}");
+        }
+    });
+}
+
+#[test]
+fn abort_after_panic_reports_lost_workers() {
+    with_watchdog(60, || {
+        let query = OijQuery::builder()
+            .preceding(Duration::from_micros(50))
+            .build()
+            .unwrap();
+        let mut cfg = EngineConfig::new(query, 2).unwrap();
+        cfg.faults = FaultPlan::none().panic_at(0, 0, "boom");
+        cfg.send_timeout = StdDuration::from_millis(500);
+        let events = workload(4_000, 16, 0, 19);
+        let mut engine: Box<dyn OijEngine> = Box::new(KeyOij::spawn(cfg, Sink::null()).unwrap());
+        let err = drive_to_error(&mut engine, &events);
+        assert!(matches!(err, Error::WorkerFailed { .. }), "got {err:?}");
+        // The degraded exit: salvage the survivor's partial stats.
+        let stats = engine
+            .abort()
+            .expect("abort must succeed on a poisoned engine");
+        assert!(stats.aborted);
+        assert_eq!(stats.workers_lost, 1, "one of two workers panicked");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// LatePolicy: configurable handling of lateness-contract violations
+// ---------------------------------------------------------------------------
+
+fn late_stream() -> Vec<Event> {
+    let mut events: Vec<Event> = (0..100u64)
+        .map(|i| {
+            Event::data(
+                i,
+                Side::Probe,
+                Tuple::new(Timestamp::from_micros(i as i64), 1, 1.0),
+            )
+        })
+        .collect();
+    // Far below the watermark (99 − lateness 10 = 89 ≫ 5): a violation.
+    events.push(Event::data(
+        100,
+        Side::Base,
+        Tuple::new(Timestamp::from_micros(5), 1, 0.0),
+    ));
+    events
+}
+
+fn late_query() -> OijQuery {
+    OijQuery::builder()
+        .preceding(Duration::from_micros(50))
+        .lateness(Duration::from_micros(10))
+        .agg(AggSpec::Sum)
+        .emit(EmitMode::Eager)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn late_policy_drop_keeps_best_effort_behavior() {
+    with_watchdog(60, || {
+        let cfg = EngineConfig::new(late_query(), 2).unwrap();
+        assert_eq!(cfg.late_policy, LatePolicy::Drop);
+        let (sink, rows) = Sink::collect();
+        let mut engine = ScaleOij::spawn(cfg, sink).unwrap();
+        for ev in late_stream() {
+            engine.push(ev).unwrap();
+        }
+        let stats = engine.finish().unwrap();
+        assert_eq!(stats.late_violations, 1);
+        assert_eq!(stats.late_side_outputs, 0);
+        let rows = rows.lock().unwrap();
+        // Best-effort: the violating base still produced a regular row.
+        assert!(rows.iter().all(|r| !r.late));
+        assert!(rows.iter().any(|r| r.seq == 100));
+    });
+}
+
+#[test]
+fn late_policy_side_output_routes_markers_to_the_sink() {
+    with_watchdog(60, || {
+        let mut cfg = EngineConfig::new(late_query(), 2).unwrap();
+        cfg.late_policy = LatePolicy::SideOutput;
+        let (sink, rows) = Sink::collect();
+        let mut engine = ScaleOij::spawn(cfg, sink).unwrap();
+        for ev in late_stream() {
+            engine.push(ev).unwrap();
+        }
+        let stats = engine.finish().unwrap();
+        assert_eq!(stats.late_violations, 1);
+        assert_eq!(stats.late_side_outputs, 1);
+        let rows = rows.lock().unwrap();
+        let markers: Vec<_> = rows.iter().filter(|r| r.late).collect();
+        assert_eq!(markers.len(), 1);
+        assert_eq!(markers[0].seq, 100);
+        assert_eq!(markers[0].key, 1);
+        // The violating tuple was routed, not processed: no regular row.
+        assert!(rows.iter().filter(|r| !r.late).all(|r| r.seq != 100));
+    });
+}
+
+#[test]
+fn empty_fault_plan_keeps_every_engine_exact() {
+    with_watchdog(90, || {
+        // The zero-cost claim, behaviorally: a default (empty) plan must
+        // leave results identical to the oracle.
+        let query = OijQuery::builder()
+            .preceding(Duration::from_micros(100))
+            .lateness(Duration::from_micros(50))
+            .agg(AggSpec::Sum)
+            .emit(EmitMode::Watermark)
+            .build()
+            .unwrap();
+        let events = workload(5_000, 6, 50, 23);
+        let mut want = Oracle::new(query.clone()).run(&events);
+        want.sort_by_key(|r| r.seq);
+        let cfg = EngineConfig::new(query, 3).unwrap();
+        assert!(cfg.faults.is_empty());
+        let (sink, rows) = Sink::collect();
+        let mut engine = ScaleOij::spawn(cfg, sink).unwrap();
+        for ev in &events {
+            engine.push(ev.clone()).unwrap();
+        }
+        engine.finish().unwrap();
+        let mut got = rows.lock().unwrap().clone();
+        got.sort_by_key(|r| r.seq);
+        assert_eq!(got.len(), want.len());
+        for (g, o) in got.iter().zip(&want) {
+            assert!(g.agg_approx_eq(o, 1e-9), "seq {}", g.seq);
+        }
+    });
+}

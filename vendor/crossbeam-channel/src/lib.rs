@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Error returned by [`Sender::send`] when all receivers are gone.
 /// Holds the unsent message, like the real crate.
@@ -24,6 +25,27 @@ impl<T> std::fmt::Display for SendError<T> {
 }
 
 impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Sender::send_timeout`]. Holds the unsent message,
+/// like the real crate.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The channel stayed full for the whole timeout.
+    Timeout(T),
+    /// All receivers were dropped.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => write!(f, "timed out waiting on send operation"),
+            SendTimeoutError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendTimeoutError<T> {}
 
 /// Error returned by [`Receiver::recv`] when the channel is empty and all
 /// senders are gone.
@@ -109,6 +131,35 @@ impl<T> Sender<T> {
                 .not_full
                 .wait(state)
                 .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`send`](Self::send), but gives up once `timeout` has elapsed
+    /// without queue space appearing. The fast path (space available) is
+    /// identical to `send`: no clock is read until the channel is full.
+    pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut deadline: Option<Instant> = None;
+        loop {
+            if state.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(msg));
+            }
+            if state.buf.len() < self.shared.capacity {
+                state.buf.push_back(msg);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            let dl = *deadline.get_or_insert_with(|| Instant::now() + timeout);
+            let now = Instant::now();
+            if now >= dl {
+                return Err(SendTimeoutError::Timeout(msg));
+            }
+            let (s, _) = self
+                .shared
+                .not_full
+                .wait_timeout(state, dl - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = s;
         }
     }
 }
@@ -290,6 +341,35 @@ mod tests {
         assert_eq!(rx.recv(), Ok(0));
         h.join().unwrap().unwrap();
         assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn send_timeout_fast_path_and_timeout() {
+        let (tx, rx) = bounded(1);
+        // Fast path: space available, behaves like send.
+        tx.send_timeout(1, Duration::from_millis(1)).unwrap();
+        // Full channel: times out and returns the message.
+        let t0 = Instant::now();
+        assert_eq!(
+            tx.send_timeout(2, Duration::from_millis(20)),
+            Err(SendTimeoutError::Timeout(2))
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        // Space frees up: a concurrent send_timeout succeeds.
+        let h = std::thread::spawn(move || tx.send_timeout(3, Duration::from_secs(5)));
+        assert_eq!(rx.recv(), Ok(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn send_timeout_observes_disconnect() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(
+            tx.send_timeout(7, Duration::from_secs(5)),
+            Err(SendTimeoutError::Disconnected(7))
+        );
     }
 
     #[test]

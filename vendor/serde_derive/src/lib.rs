@@ -4,8 +4,8 @@
 //! traits (value-tree model, see the vendored `serde` crate) for the shapes
 //! this workspace actually derives on:
 //!
-//! - structs with named fields (maps), honouring `#[serde(skip)]` and
-//!   `#[serde(transparent)]`;
+//! - structs with named fields (maps), honouring `#[serde(skip)]`,
+//!   `#[serde(default)]` (per field) and `#[serde(transparent)]`;
 //! - tuple structs (newtypes serialize transparently, larger ones as
 //!   sequences);
 //! - enums with unit, newtype, tuple, and struct variants (externally
@@ -44,8 +44,8 @@ struct Item {
 }
 
 enum Kind {
-    /// Named-field struct: (field name, skip?).
-    Struct(Vec<(String, bool)>),
+    /// Named-field struct: (field name, skip?, default?).
+    Struct(Vec<(String, bool, bool)>),
     /// Tuple struct: number of fields.
     Tuple(usize),
     /// Unit struct.
@@ -147,8 +147,9 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-/// Parses `name: Type, …` bodies, tracking `#[serde(skip)]` per field.
-fn parse_named_fields(body: TokenStream) -> Vec<(String, bool)> {
+/// Parses `name: Type, …` bodies, tracking `#[serde(skip)]` and
+/// `#[serde(default)]` per field.
+fn parse_named_fields(body: TokenStream) -> Vec<(String, bool, bool)> {
     let mut fields = Vec::new();
     let mut tokens = body.into_iter().peekable();
     loop {
@@ -165,7 +166,11 @@ fn parse_named_fields(body: TokenStream) -> Vec<(String, bool)> {
             other => panic!("serde_derive: expected `:` after field, got {other:?}"),
         }
         skip_type_until_comma(&mut tokens);
-        fields.push((field.to_string(), attr_has(&attrs, "skip")));
+        fields.push((
+            field.to_string(),
+            attr_has(&attrs, "skip"),
+            attr_has(&attrs, "default"),
+        ));
     }
     fields
 }
@@ -212,7 +217,7 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 let named = parse_named_fields(g.stream())
                     .into_iter()
-                    .map(|(f, _)| f)
+                    .map(|(f, _, _)| f)
                     .collect();
                 tokens.next();
                 VariantFields::Named(named)
@@ -244,7 +249,7 @@ fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.kind {
         Kind::Struct(fields) => {
-            let live: Vec<_> = fields.iter().filter(|(_, skip)| !skip).collect();
+            let live: Vec<_> = fields.iter().filter(|(_, skip, _)| !skip).collect();
             if item.transparent {
                 assert!(
                     live.len() == 1,
@@ -254,7 +259,7 @@ fn gen_serialize(item: &Item) -> String {
             } else {
                 let pushes: String = live
                     .iter()
-                    .map(|(f, _)| {
+                    .map(|(f, _, _)| {
                         format!(
                             "m.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));"
                         )
@@ -329,16 +334,25 @@ fn gen_deserialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.kind {
         Kind::Struct(fields) => {
-            let live: Vec<_> = fields.iter().filter(|(_, skip)| !skip).collect();
+            let live: Vec<_> = fields.iter().filter(|(_, skip, _)| !skip).collect();
             if item.transparent {
                 let f = &live[0].0;
                 format!("Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)? }})")
             } else {
                 let inits: String = fields
                     .iter()
-                    .map(|(f, skip)| {
+                    .map(|(f, skip, default)| {
                         if *skip {
                             format!("{f}: ::core::default::Default::default(),")
+                        } else if *default {
+                            // `#[serde(default)]`: tolerate the field being
+                            // absent (schema-evolution compatibility).
+                            format!(
+                                "{f}: match v.get(\"{f}\") {{ \
+                                     Some(x) => ::serde::Deserialize::from_value(x)?, \
+                                     None => ::core::default::Default::default(), \
+                                 }},"
+                            )
                         } else {
                             format!(
                                 "{f}: match v.get(\"{f}\") {{ \
