@@ -26,10 +26,11 @@
 //!   before arriving; this one falls through (and reports degradation)
 //!   when the failure cell is poisoned or the engine raised its kill flag.
 
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::Mutex;
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration as StdDuration;
 
 use crossbeam_channel::{SendTimeoutError, Sender};
@@ -228,6 +229,7 @@ impl WorkerFaults {
             if ordinal >= at {
                 // Wedged: alive but never receiving. Only the engine's
                 // kill flag (raised at teardown) releases the worker.
+                // ORDERING: Acquire — pairs with the Release `kill` store in the supervisor's deadline path, so teardown state set before the flag is visible here.
                 while !kill.load(Ordering::Acquire) {
                     std::thread::sleep(StdDuration::from_millis(1));
                 }
@@ -248,6 +250,7 @@ pub(crate) fn interruptible_sleep(total: StdDuration, kill: &AtomicBool) {
     let slice = StdDuration::from_millis(1);
     let mut remaining = total;
     while !remaining.is_zero() {
+        // ORDERING: Acquire — pairs with the Release `kill` store in the supervisor's deadline path, so teardown state set before the flag is visible here.
         if kill.load(Ordering::Acquire) {
             return;
         }
@@ -296,11 +299,13 @@ impl FailureCell {
             });
         }
         drop(slot);
+        // ORDERING: Release — publishes the recorded failure before the flag; pairs with the Acquire load in `is_poisoned`.
         self.poisoned.store(true, Ordering::Release);
     }
 
     /// Whether any failure has been recorded (cheap, lock-free).
     pub fn is_poisoned(&self) -> bool {
+        // ORDERING: Acquire — pairs with the Release store in `record`, so a true flag guarantees the failure entry is readable.
         self.poisoned.load(Ordering::Acquire)
     }
 
@@ -458,6 +463,7 @@ pub(crate) fn join_within<R>(
     let start = std::time::Instant::now();
     while !handle.is_finished() {
         if start.elapsed() >= deadline {
+            // ORDERING: Release — publishes supervisor teardown state before workers observe the kill flag via their Acquire loads.
             kill.store(true, Ordering::Release);
             let grace = std::time::Instant::now();
             while !handle.is_finished() {
@@ -508,11 +514,14 @@ impl DrainBarrier {
     }
 
     pub(crate) fn wait(&self, cell: &FailureCell, kill: &AtomicBool) -> bool {
+        // ORDERING: AcqRel — each arrival is published to (and ordered with) every other worker's Acquire load below.
         self.arrived.fetch_add(1, Ordering::AcqRel);
         loop {
+            // ORDERING: Acquire — pairs with the AcqRel `fetch_add` above: seeing `total` arrivals implies all pre-barrier writes are visible.
             if self.arrived.load(Ordering::Acquire) >= self.total {
                 return true;
             }
+            // ORDERING: Acquire — pairs with the Release `kill` store in the supervisor's deadline path, so teardown state set before the flag is visible here.
             if kill.load(Ordering::Acquire) || cell.is_poisoned() {
                 return false;
             }
@@ -537,6 +546,7 @@ impl SinkFaults {
     /// Applies the configured sink faults to the emission with this
     /// ordinal; panics on an injected sink failure.
     pub(crate) fn before_emit(&self) {
+        // ORDERING: Relaxed — ordinal allocator only; the panic decision needs no cross-thread ordering.
         let n = self.emitted.fetch_add(1, Ordering::Relaxed);
         if let Some(at) = self.fail_at {
             if n == at {

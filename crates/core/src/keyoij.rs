@@ -13,8 +13,8 @@
 //! 2. a small key count starves most joiners (Figure 8a),
 //! 3. overlapping windows are recomputed from scratch (Figure 9).
 
+use crate::sync::atomic::{AtomicBool, Ordering};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -194,6 +194,7 @@ impl OijEngine for KeyOij {
             return Err(Error::InvalidState("abort after a completed finish".into()));
         }
         self.done = true;
+        // ORDERING: Release — pairs with the workers' Acquire `kill` loads (fault supervision paths), so teardown state precedes the flag.
         self.kill.store(true, Ordering::Release);
         self.senders.clear();
         let _ = self.join_workers(); // failure already recorded; salvage
@@ -209,6 +210,7 @@ impl Drop for KeyOij {
         // Unblock workers if the engine is dropped without finish(): raise
         // the kill flag FIRST (releases wedged/stalled workers), then
         // disconnect the channels, then join with a bounded deadline.
+        // ORDERING: Release — pairs with the workers' Acquire `kill` loads (fault supervision paths), so teardown state precedes the flag.
         self.kill.store(true, Ordering::Release);
         self.senders.clear();
         while let Some(handle) = self.handles.pop() {

@@ -48,6 +48,7 @@ pub mod oracle;
 pub mod scaleoij;
 pub mod sink;
 pub mod splitjoin;
+pub(crate) mod sync;
 
 pub use config::{EngineConfig, Instrumentation, LatePolicy};
 pub use engine::{EngineKind, OijEngine, RunStats};

@@ -19,8 +19,8 @@
 //! (OpenMLDB's skip-list storage) — which is why the baseline holds up at
 //! low arrival rates (Workload D) and collapses at high ones.
 
+use crate::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -210,6 +210,7 @@ impl OijEngine for OpenMldbBaseline {
         if self.done {
             return Err(Error::InvalidState("abort after a completed finish".into()));
         }
+        // ORDERING: Release — pairs with the workers' Acquire `kill` loads (fault supervision paths), so teardown state precedes the flag.
         self.done = true;
         self.kill.store(true, Ordering::Release);
         self.senders.clear();
@@ -222,6 +223,7 @@ impl OijEngine for OpenMldbBaseline {
 }
 
 impl Drop for OpenMldbBaseline {
+    // ORDERING: Release — pairs with the workers' Acquire `kill` loads (fault supervision paths), so teardown state precedes the flag.
     fn drop(&mut self) {
         self.kill.store(true, Ordering::Release);
         self.senders.clear();
@@ -352,6 +354,7 @@ impl MldbWorker {
         let bound = (self.last_wm + self.cfg.query.window.lateness)
             .saturating_sub(self.cfg.query.window.length())
             .as_micros();
+        // ORDERING: AcqRel — the winning worker both observes the previous bound (Acquire) and publishes the new one to later callers (Release), so expiry never runs twice for one bound.
         // Skip if another worker already expired past this bound.
         if self.expired_to.fetch_max(bound, Ordering::AcqRel) >= bound {
             return;

@@ -1,4 +1,6 @@
 //! The Scale-OIJ joiner thread: owns one time-travel index, reads its
+//!
+//! lint: hot_path
 //! virtual team's indexes, maintains incremental window aggregates.
 //!
 //! ## Watermark-settled incremental aggregation
@@ -18,8 +20,8 @@
 //! counted (`late_violations`) and excluded from the incremental
 //! guarantee, exactly like every other engine treats them best-effort.
 
+use crate::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -64,6 +66,7 @@ enum IncAggState {
 impl IncAggState {
     fn fresh(spec: AggSpec) -> IncAggState {
         if spec.is_invertible() {
+            // PANIC-OK: guarded by the `spec.is_invertible()` branch above.
             IncAggState::Run(RunningAgg::new(spec).expect("invertible"))
         } else {
             IncAggState::Stack(TwoStackAgg::new(spec))
@@ -230,8 +233,11 @@ impl ScaleJoiner {
         // End of input: publish infinite progress (but NOT an infinite
         // hold — pending bases still guard their windows) and wait for the
         // whole team so every index is complete before the final drain.
+        // ORDERING: Release — publishes this joiner's completed index before the infinite progress mark; pairs with teammates' Acquire loads in `safe_frontier`.
+        // PANIC-OK: `self.id` < joiners == slot-array length by construction.
         self.progress[self.id].store(i64::MAX, Ordering::Release);
         self.publish_hold();
+        // BLOCKING-OK: end-of-input rendezvous — the streaming hot loop is over, and the barrier is kill/poison-aware so fault supervision can release it.
         if !self.barrier.wait(&self.cell, &self.kill) {
             // A teammate died or the engine is tearing down: skip the final
             // drain (its indexes are incomplete anyway) and surface what we
@@ -254,6 +260,8 @@ impl ScaleJoiner {
         // Monotone max: heartbeats and data interleave in send order, so a
         // plain store would already be monotone, but fetch_max is cheap and
         // robust.
+        // ORDERING: Release — publishes every index write up to `wm` before the frontier advances; pairs with the Acquire loads in `safe_frontier`.
+        // PANIC-OK: `self.id` < joiners == slot-array length by construction.
         self.progress[self.id].fetch_max(wm.as_micros(), Ordering::Release);
         self.publish_hold();
     }
@@ -263,18 +271,24 @@ impl ScaleJoiner {
     /// newly pended base has `emit_ts ≥ wm ≥` the previous hold.
     #[inline]
     fn publish_hold(&self) {
+        // ORDERING: Relaxed — this joiner is the only writer of its own progress slot; remote slots are read with Acquire in the frontier scans.
+        // PANIC-OK: `self.id` < joiners == slot-array length by construction.
         let wm = self.progress[self.id].load(Ordering::Relaxed);
         let oldest_pending = self
             .pending
             .first_key_value()
             .map(|(k, _)| k.0)
             .unwrap_or(i64::MAX);
+        // ORDERING: Release — pairs with the Acquire loads in `hold_frontier`, so a raised hold implies the pending set that justified it is visible.
+        // PANIC-OK: `self.id` < joiners == slot-array length by construction.
         self.hold[self.id].store(wm.min(oldest_pending), Ordering::Release);
     }
 
     /// `min_j hold_j`: nothing at or above this event time may be needed by
     /// an un-emitted base tuple anywhere in the team.
     fn hold_frontier(&self) -> Timestamp {
+        // ORDERING: Acquire — pairs with each joiner's Release store in `publish_hold`.
+        // PANIC-OK: at least one joiner is guaranteed by EngineConfig validation.
         let min = self
             .hold
             .iter()
@@ -287,6 +301,8 @@ impl ScaleJoiner {
     /// `min_j progress_j`: every joiner has fully processed all input up to
     /// this event time (see module docs of [`super`]).
     fn safe_frontier(&self) -> Timestamp {
+        // ORDERING: Acquire — pairs with each joiner's Release store in `store_progress`: a frontier at `t` implies every index covers `t`.
+        // PANIC-OK: at least one joiner is guaranteed by EngineConfig validation.
         let min = self
             .progress
             .iter()
@@ -386,10 +402,14 @@ impl ScaleJoiner {
             .map(|st| st.start)
             .min()
             .unwrap_or(i64::MAX);
+        // ORDERING: Release — publishes the incremental states behind the floor before teammates' Acquire floor loads allow eviction.
+        // PANIC-OK: `self.id` < joiners == slot-array length by construction.
         self.inc_floor[self.id].store(floor, Ordering::Release);
 
         // Evict below min(retention, every joiner's incremental floor):
         // subtract-deltas then never read evicted data.
+        // ORDERING: Acquire — pairs with each joiner's Release `inc_floor` store above, so eviction never outruns a teammate's incremental state.
+        // PANIC-OK: at least one joiner is guaranteed by EngineConfig validation.
         let floor_min = self
             .inc_floor
             .iter()
@@ -433,6 +453,7 @@ impl ScaleJoiner {
         // the schedule any relevant probe was routed under.
         let sched = self.schedule.load();
         let p = (hash_key(key) & self.part_mask) as usize;
+        // PANIC-OK: `p` is masked to < partitions == schedule team count.
         let team = &sched.teams[p];
 
         if !self.cfg.incremental {
@@ -460,6 +481,8 @@ impl ScaleJoiner {
                 .hold_frontier()
                 .saturating_sub(self.cfg.query.window.length())
                 .as_micros();
+            // ORDERING: Acquire — pairs with the Release `inc_floor` stores; see the eviction bound in `on_watermark`.
+            // PANIC-OK: at least one joiner is guaranteed by EngineConfig validation.
             let floor_min = self
                 .inc_floor
                 .iter()
@@ -488,22 +511,26 @@ impl ScaleJoiner {
         let (value, matched) = match plan {
             Plan::Advance => {
                 let fresh = self.advance_settled(key, a, settled_hi, b, team);
+                // PANIC-OK: `advance_settled` created or updated this key's entry.
                 let st = self.inc.get(&key).expect("advanced above");
                 st.agg.emit_with(self.cfg.query.agg, &fresh)
             }
             Plan::ReadOnly => {
                 let (st_start, st_end) = {
+                    // PANIC-OK: the Plan::ReadOnly arm is only taken when the entry matched above.
                     let st = self.inc.get(&key).expect("matched above");
                     (st.start, st.settled_end)
                 };
                 let mut fresh = self.scan_suffix(key, a, st_start - 1, team);
                 let suffix = self.scan_suffix(key, st_end + 1, b, team);
                 fresh.merge(&suffix);
+                // PANIC-OK: entry existence re-checked by the match that chose this plan.
                 let st = self.inc.get(&key).expect("matched above");
                 st.agg.emit_with(self.cfg.query.agg, &fresh)
             }
             Plan::Rebuild => {
                 let fresh = self.rebuild_settled(key, a, settled_hi, b, team);
+                // PANIC-OK: `rebuild_settled` created this key's entry.
                 let st = self.inc.get(&key).expect("rebuilt above");
                 st.agg.emit_with(self.cfg.query.agg, &fresh)
             }
@@ -527,6 +554,7 @@ impl ScaleJoiner {
         team: &[usize],
     ) -> PartialAgg {
         let (old_start, old_end) = {
+            // PANIC-OK: the caller verified this key has incremental state.
             let st = self.inc.get(&key).expect("caller checked");
             (st.start, st.settled_end)
         };
@@ -540,6 +568,7 @@ impl ScaleJoiner {
         pairs.clear();
         for &m in team {
             let cache = &mut cache;
+            // PANIC-OK: `m` is a team member index, validated < joiners == readers length when the schedule is built.
             readers[m].scan_ts_range_addr(
                 key,
                 Timestamp::from_micros(old_start),
@@ -556,6 +585,7 @@ impl ScaleJoiner {
         for &m in team {
             let cache = &mut cache;
             let fresh = &mut fresh;
+            // PANIC-OK: `m` is a team member index, validated < joiners == readers length when the schedule is built.
             readers[m].scan_ts_range_addr(
                 key,
                 Timestamp::from_micros(old_end + 1),
@@ -581,6 +611,7 @@ impl ScaleJoiner {
             // settled region; rebuild rather than underflow.
             return self.rebuild_settled(key, a, settled_hi, b, team);
         }
+        // PANIC-OK: the caller verified this key has incremental state.
         let st = self.inc.get_mut(&key).expect("caller checked");
         match &mut st.agg {
             IncAggState::Run(run) => {
@@ -595,6 +626,7 @@ impl ScaleJoiner {
                 // FIFO fronts are the oldest timestamps — exactly the
                 // subtract range, because pushes are ts-sorted.
                 for _ in 0..self.scratch.len() {
+                    // PANIC-OK: the loop bound is `scratch.len()`, which counted exactly the evictable fronts.
                     stack.evict().expect("guarded by count check");
                 }
                 self.scratch_pairs.sort_unstable_by_key(|(t, _)| *t);
@@ -636,6 +668,7 @@ impl ScaleJoiner {
         for &m in team {
             let cache = &mut cache;
             let fresh = &mut fresh;
+            // PANIC-OK: `m` is a team member index, validated < joiners == readers length when the schedule is built.
             readers[m].scan_ts_range_addr(
                 key,
                 Timestamp::from_micros(a),
@@ -699,6 +732,7 @@ impl ScaleJoiner {
         let mut cache = self.inst.cache.as_mut();
         for &m in team {
             let cache = &mut cache;
+            // PANIC-OK: `m` is a team member index, validated < joiners == readers length when the schedule is built.
             readers[m].scan_ts_range_addr(
                 key,
                 Timestamp::from_micros(lo),
@@ -739,6 +773,7 @@ impl ScaleJoiner {
         let mut visited = 0u64;
         for &m in team {
             let cache = &mut cache;
+            // PANIC-OK: `m` is a team member index, validated < joiners == readers length when the schedule is built.
             visited += readers[m].scan_ts_range_addr(
                 key,
                 Timestamp::from_micros(a),

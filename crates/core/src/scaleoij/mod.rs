@@ -29,7 +29,7 @@ pub mod schedule;
 
 mod joiner;
 
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -169,6 +169,7 @@ impl ScaleOij {
                         run_supervised(SCHED, 0, &cell, move || {
                             let mut changes = 0u64;
                             let mut tick = 0u64;
+                            // ORDERING: Relaxed `stop` — standalone latch, no data published through it; Acquire `kill` pairs with the supervisor's Release store in the deadline path.
                             while !stop.load(Ordering::Relaxed) && !skill.load(Ordering::Acquire) {
                                 interruptible_sleep(interval, &skill);
                                 if let Some(f) = &faults {
@@ -251,6 +252,7 @@ impl ScaleOij {
     /// Stops and joins the scheduler thread (bounded), returning its
     /// schedule-change count (0 when it was disabled or lost).
     fn join_scheduler(&mut self) -> (u64, Option<Error>) {
+        // ORDERING: Relaxed — `stop` is a standalone latch polled in a loop; no data is published through it.
         self.stop.store(true, Ordering::Relaxed);
         match self.scheduler.take() {
             None => (0, None),
@@ -368,6 +370,7 @@ impl OijEngine for ScaleOij {
             return Err(Error::InvalidState("abort after a completed finish".into()));
         }
         self.done = true;
+        // ORDERING: Release — pairs with the workers' Acquire `kill` loads (fault supervision paths), so teardown state precedes the flag.
         self.kill.store(true, Ordering::Release);
         let (schedule_changes, _) = self.join_scheduler();
         self.senders.clear();
@@ -381,7 +384,9 @@ impl OijEngine for ScaleOij {
 
 impl Drop for ScaleOij {
     fn drop(&mut self) {
+        // ORDERING: Relaxed — `stop` is a standalone latch polled in a loop; no data is published through it.
         self.stop.store(true, Ordering::Relaxed);
+        // ORDERING: Release — pairs with the workers' Acquire `kill` loads (fault supervision paths), so teardown state precedes the flag.
         self.kill.store(true, Ordering::Release);
         if let Some(h) = self.scheduler.take() {
             let _ = join_within(

@@ -11,7 +11,7 @@
 //! remains in its team and the tuples stay readable — no data migration,
 //! and in-flight tuples stay correct across schedule changes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use oij_metrics::unbalancedness;
 
@@ -72,11 +72,13 @@ impl PartitionStats {
     /// Bumps a partition's counter (hot path: one relaxed RMW).
     #[inline]
     pub fn bump(&self, partition: usize) {
+        // ORDERING: Relaxed — load-statistics counter; the scheduler tolerates torn snapshots (see `decay`), so no ordering is required.
         self.counts[partition].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshots all counters as floats.
     pub fn snapshot(&self) -> Vec<f64> {
+        // ORDERING: Relaxed — load-statistics counter; the scheduler tolerates torn snapshots (see `decay`), so no ordering is required.
         self.counts
             .iter()
             .map(|c| c.load(Ordering::Relaxed) as f64)
@@ -88,7 +90,10 @@ impl PartitionStats {
     /// a statistics heuristic).
     pub fn decay(&self, lambda: f64) {
         for c in &self.counts {
+            // ORDERING: Relaxed — load-statistics counter; no ordering contract.
             let cur = c.load(Ordering::Relaxed) as f64;
+            // ORDERING: Relaxed — the racy read-modify-write loses a handful
+            // of counts to concurrent bumps, tolerated by design (doc above).
             c.store((cur * lambda) as u64, Ordering::Relaxed);
         }
     }

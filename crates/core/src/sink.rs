@@ -1,7 +1,8 @@
 //! Result sinks: where feature rows go.
 
-use std::sync::atomic::{AtomicBool, AtomicU64};
-use std::sync::{Arc, Mutex};
+use crate::sync::atomic::{AtomicBool, AtomicU64};
+use crate::sync::Mutex;
+use std::sync::Arc;
 use std::time::Duration as StdDuration;
 
 use oij_common::FeatureRow;

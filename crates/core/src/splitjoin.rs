@@ -15,8 +15,8 @@
 //! broadcast traffic and full-scan lookups, so throughput trails Scale-OIJ
 //! and degrades with thread count when windows are small (Figure 21).
 
+use crate::sync::atomic::{AtomicBool, Ordering};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -344,6 +344,7 @@ impl OijEngine for SplitJoin {
             return Err(Error::InvalidState("abort after a completed finish".into()));
         }
         self.done = true;
+        // ORDERING: Release — pairs with the workers' Acquire `kill` loads (fault supervision paths), so teardown state precedes the flag.
         self.kill.store(true, Ordering::Release);
         self.senders.clear();
         let _ = self.join_workers();
@@ -353,6 +354,7 @@ impl OijEngine for SplitJoin {
 
 impl Drop for SplitJoin {
     fn drop(&mut self) {
+        // ORDERING: Release — pairs with the workers' Acquire `kill` loads (fault supervision paths), so teardown state precedes the flag.
         self.kill.store(true, Ordering::Release);
         self.senders.clear();
         while let Some(handle) = self.handles.pop() {

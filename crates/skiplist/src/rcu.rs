@@ -1,5 +1,7 @@
 //! Epoch-based read-copy-update cell.
 //!
+//! lint: hot_path
+//!
 //! The dynamic scheduler (paper §V-B) periodically computes a new key
 //! partition schedule and must publish it so that the partitioner observes
 //! either the old or the new schedule — never a mixture — without taking a
@@ -31,6 +33,7 @@ impl<T: Send + Sync + 'static> RcuCell<T> {
     /// snapshot alive independently of later [`replace`](Self::replace)s.
     pub fn load(&self) -> Arc<T> {
         let guard = epoch::pin();
+        // ORDERING: Acquire — pairs with the AcqRel `swap` in `replace`, so the loaded schedule is fully constructed before any field is read.
         let shared = self.slot.load(Ordering::Acquire, &guard);
         // SAFETY: `shared` is non-null by construction (always initialised,
         // never stored null) and epoch-protected against reclamation while
@@ -44,6 +47,7 @@ impl<T: Send + Sync + 'static> RcuCell<T> {
     /// thread replaces); concurrent `load`s are always safe.
     pub fn replace(&self, value: T) -> Arc<T> {
         let guard = epoch::pin();
+        // ORDERING: AcqRel — Release publishes the new value to readers' Acquire loads; Acquire orders the unlink before this thread reads the old value.
         let old = self
             .slot
             .swap(Owned::new(Arc::new(value)), Ordering::AcqRel, &guard);
@@ -61,6 +65,7 @@ impl<T> Drop for RcuCell<T> {
         // SAFETY: exclusive access during drop; free the final value.
         unsafe {
             let guard = epoch::unprotected();
+            // ORDERING: Relaxed — Drop has exclusive access; no concurrent loads remain.
             let shared = self.slot.load(Ordering::Relaxed, guard);
             if !shared.is_null() {
                 drop(shared.into_owned());

@@ -1,5 +1,7 @@
 //! Single-writer multiple-reader lock-free skip list.
 //!
+//! lint: hot_path
+//!
 //! Faithful implementation of the paper's Algorithms 1 (Search) and 2 (Put),
 //! extended with the prefix eviction required by tuple expiration:
 //!
@@ -60,6 +62,7 @@ impl<K, V> Node<K, V> {
     /// Allocation layout of a node with `height` tower slots, and the byte
     /// offset of the tower.
     fn layout(height: usize) -> (Layout, usize) {
+        // PANIC-OK: layout of at most MAX_HEIGHT pointer slots; cannot overflow isize.
         let (layout, offset) = Layout::new::<Node<K, V>>()
             .extend(Layout::array::<Atomic<Node<K, V>>>(height).expect("tiny array"))
             .expect("tiny layout");
@@ -137,11 +140,12 @@ struct Inner<K, V> {
     /// Debug-build tripwire for the single-writer contract: held (true)
     /// while a mutating operation is in flight. The type system already
     /// enforces the discipline (`Writer` is unique and `!Sync`), so this
-    /// only fires if unsafe code or a future refactor breaks it. Plain std
-    /// atomic on purpose — it is instrumentation, not part of the protocol,
-    /// and must not add schedule points under loom.
+    /// only fires if unsafe code or a future refactor breaks it. Routed
+    /// through `sync::uninstrumented` on purpose — it is instrumentation,
+    /// not part of the protocol, and must not add schedule points under
+    /// loom.
     #[cfg(debug_assertions)]
-    write_active: std::sync::atomic::AtomicBool,
+    write_active: crate::sync::uninstrumented::AtomicBool,
 }
 
 // SAFETY: the structure is a map of K→V reachable from multiple threads;
@@ -159,7 +163,7 @@ impl<K, V> Inner<K, V> {
             height: AtomicUsize::new(1),
             len: AtomicUsize::new(0),
             #[cfg(debug_assertions)]
-            write_active: std::sync::atomic::AtomicBool::new(false),
+            write_active: crate::sync::uninstrumented::AtomicBool::new(false),
         }
     }
 }
@@ -170,9 +174,11 @@ impl<K, V> Drop for Inner<K, V> {
         // last Arc drops, so walking and freeing without pinning is sound.
         unsafe {
             let guard = epoch::unprotected();
+            // ORDERING: Relaxed — Drop has exclusive access (last Arc); plain teardown walk.
             let mut cur = self.head[0].load(Ordering::Relaxed, guard);
             while !cur.is_null() {
                 let raw = cur.as_raw() as *mut Node<K, V>;
+                // ORDERING: Relaxed — as above: no concurrent readers or writer exist in Drop.
                 let next = Node::tower(raw, 0).load(Ordering::Relaxed, guard);
                 Node::destroy(raw);
                 cur = next;
@@ -205,6 +211,7 @@ impl SwmrSkipList {
         V: Send + Sync + 'static,
     {
         let inner = Arc::new(Inner::new());
+        // PANIC-OK: from_fn index i < MAX_HEIGHT == head array length.
         let tail = std::array::from_fn(|i| &inner.head[i] as *const _);
         (
             Writer {
@@ -266,9 +273,12 @@ struct WriteToken<K, V> {
 #[cfg(debug_assertions)]
 impl<K, V> Drop for WriteToken<K, V> {
     fn drop(&mut self) {
+        // ORDERING: Release publishes the token holder's writes before the
+        // guard reads false; pairs with the AcqRel compare_exchange in
+        // `write_token()`.
         self.inner
             .write_active
-            .store(false, std::sync::atomic::Ordering::Release);
+            .store(false, crate::sync::uninstrumented::Ordering::Release);
     }
 }
 
@@ -283,7 +293,10 @@ where
     /// the check exists to catch unsafe misuse and refactoring mistakes.
     #[cfg(debug_assertions)]
     fn write_token(&self) -> WriteToken<K, V> {
-        use std::sync::atomic::Ordering as O;
+        use crate::sync::uninstrumented::Ordering as O;
+        // ORDERING: AcqRel claim — Acquire sees the previous holder's
+        // Release store in `WriteToken::drop`, Release publishes the claim
+        // to the next claimant; failure Acquire for the assert's read.
         let claimed = self
             .inner
             .write_active
@@ -337,6 +350,7 @@ where
         let guard = epoch::pin();
         // Predecessor tower slots per level (paper Algorithm 2's `pre`
         // array). Levels above the traversal keep the head slots.
+        // PANIC-OK: from_fn index i < MAX_HEIGHT == head array length.
         let mut pre: [*const Atomic<Node<K, V>>; MAX_HEIGHT] =
             std::array::from_fn(|i| &self.inner.head[i] as *const _);
 
@@ -345,6 +359,7 @@ where
             // exactly the rightmost slots at every level.
             pre[..].copy_from_slice(&self.tail);
         } else {
+            // ORDERING: Relaxed — `height` is written only by this writer thread.
             let start = self
                 .inner
                 .height
@@ -361,6 +376,7 @@ where
                 // SAFETY: `tower` has more than `level` slots: it is either
                 // the head array (MAX_HEIGHT slots) or the tower of a node
                 // we entered at a level ≥ `level` (so its height > level).
+                // ORDERING: Relaxed — single-writer reads its own prior stores; readers never write, so there is no remote store to pair with.
                 let slot = unsafe { &*tower.add(level) };
                 let next = slot.load(Ordering::Relaxed, &guard);
                 // SAFETY: nodes are reclaimed only after a grace period and
@@ -375,6 +391,7 @@ where
                             if node.key == key {
                                 return None;
                             }
+                            // PANIC-OK: level starts below list_height ≤ MAX_HEIGHT and only decreases.
                         }
                         pre[level] = slot;
                         if level == 0 {
@@ -398,6 +415,7 @@ where
             // SAFETY: `node` is fresh with `height` slots; `*slot` is a live
             // Atomic (head or a predecessor node's slot).
             unsafe {
+                // ORDERING: Relaxed — the node is unpublished (Algorithm 2 lines 13-14); no reader can reach these slots until the Release store below.
                 Node::tower(node, i)
                     .store((**slot).load(Ordering::Relaxed, &guard), Ordering::Relaxed);
             }
@@ -405,9 +423,12 @@ where
         // Publish bottom-up with Release — Algorithm 2 lines 15–16. After
         // the level-0 store the node is atomically visible.
         for slot in pre.iter().take(height) {
+            // ORDERING: Release — publishes the fully-initialised node (Algorithm 2 lines 15-16); pairs with the Acquire loads in `Reader::pred_tower` and the range scans.
             // SAFETY: predecessor slots stay valid — we are the only writer.
             unsafe { (**slot).store(node_shared, Ordering::Release) };
+            // ORDERING: Relaxed load — `height` is written only by this writer thread.
         }
+        // ORDERING: Release — pairs with the Acquire `height` load in `Reader::pred_tower`, so a reader entering at the new level sees the published tower.
         if height > self.inner.height.load(Ordering::Relaxed) {
             self.inner.height.store(height, Ordering::Release);
         }
@@ -420,14 +441,20 @@ where
         for i in 0..height {
             // SAFETY: `node` is live; tower slots live as long as the node.
             unsafe {
+                // ORDERING: Relaxed — writer-private read of the just-published node's slot;
+                // publication ordering was established by the Release store above.
+                // PANIC-OK: i < height ≤ MAX_HEIGHT == tail array length.
                 if Node::tower(node, i)
                     .load(Ordering::Relaxed, &guard)
                     .is_null()
                 {
+                    // PANIC-OK: i < height ≤ MAX_HEIGHT == tail array length.
                     self.tail[i] = Node::tower(node, i) as *const _;
                 }
             }
         }
+        // ORDERING: Relaxed — `len` is a monotonic counter read only by the
+        // approximate `len()`; no synchronisation piggybacks on it.
         self.inner.len.fetch_add(1, Ordering::Relaxed);
         Some(node as usize)
     }
@@ -436,16 +463,21 @@ where
     /// destroy nodes the tail pointed into). O(expected height · branching).
     fn rebuild_tail(&mut self) {
         let guard = epoch::pin();
+        // ORDERING: Relaxed — single-writer reads its own prior stores;
+        // readers never write, so there is no remote store to pair with.
+        // PANIC-OK: from_fn index i < MAX_HEIGHT == head/tail array length.
         if self.inner.head[0].load(Ordering::Relaxed, &guard).is_null() {
             self.tail = std::array::from_fn(|i| &self.inner.head[i] as *const _);
             self.max_key = None;
             return;
         }
+        // ORDERING: Relaxed — `height` is written only by this writer thread.
         let list_height = self
             .inner
             .height
             .load(Ordering::Relaxed)
             .clamp(1, MAX_HEIGHT);
+        // PANIC-OK: i < MAX_HEIGHT loop bound == head/tail array length.
         for i in list_height..MAX_HEIGHT {
             self.tail[i] = &self.inner.head[i] as *const _;
         }
@@ -453,6 +485,7 @@ where
         let mut level = list_height - 1;
         loop {
             // SAFETY: `tower` has more than `level` slots, as in `insert`.
+            // ORDERING: Relaxed — single-writer reads its own prior stores; readers never write, so there is no remote store to pair with.
             let slot = unsafe { &*tower.add(level) };
             let next = slot.load(Ordering::Relaxed, &guard);
             // SAFETY: writer-side pointers are valid (no concurrent frees).
@@ -461,6 +494,7 @@ where
                     // SAFETY: `next` is non-null (Some arm) and live.
                     tower = unsafe { Node::tower_base(next.as_raw()) };
                 }
+                // PANIC-OK: level < list_height ≤ MAX_HEIGHT == tail array length.
                 None => {
                     self.tail[level] = slot;
                     if level == 0 {
@@ -483,6 +517,7 @@ where
     pub fn evict_below(&mut self, bound: &K) -> usize {
         #[cfg(debug_assertions)]
         let _token = self.write_token();
+        // ORDERING: Relaxed — single-writer reads its own prior stores; readers never write, so there is no remote store to pair with.
         let guard = epoch::pin();
         let old_first = self.inner.head[0].load(Ordering::Relaxed, &guard);
         if old_first.is_null() {
@@ -493,11 +528,14 @@ where
             return 0; // nothing expired
         }
 
+        // ORDERING: Relaxed — `height` is written only by this writer thread.
         let list_height = self
             .inner
             .height
             .load(Ordering::Relaxed)
             .clamp(1, MAX_HEIGHT);
+        // ORDERING: Relaxed — writer reads its own head slots; the unlink is published by the Release store below.
+        // PANIC-OK: level < list_height ≤ MAX_HEIGHT == head array length.
         for level in (0..list_height).rev() {
             let mut n = self.inner.head[level].load(Ordering::Relaxed, &guard);
             loop {
@@ -506,11 +544,14 @@ where
                     Some(node) if node.key < *bound => {
                         // SAFETY: node is live and linked at `level`, so its
                         // height exceeds `level`.
+                        // ORDERING: Relaxed — single-writer reads its own prior stores; readers never write, so there is no remote store to pair with.
                         n = unsafe { Node::tower(n.as_raw(), level) }
                             .load(Ordering::Relaxed, &guard);
                     }
                     _ => break,
                 }
+                // ORDERING: Release — unlinks the expired prefix; pairs with the reader-side Acquire head/tower loads so a reader entering afterwards cannot walk into the freed prefix.
+                // PANIC-OK: level < list_height ≤ MAX_HEIGHT == head array length.
             }
             self.inner.head[level].store(n, Ordering::Release);
         }
@@ -524,6 +565,7 @@ where
                 break;
             }
             let raw = n.as_raw() as *mut Node<K, V>;
+            // ORDERING: Relaxed — the prefix is already unreachable from the head; writer-private walk for deferred destruction.
             // SAFETY: node is live and has a level-0 slot.
             let next = unsafe { Node::tower(raw, 0) }.load(Ordering::Relaxed, &guard);
             // SAFETY: the node is unlinked from the head, so no new reader
@@ -532,6 +574,7 @@ where
             unsafe { guard.defer_unchecked(move || Node::destroy(raw)) };
             evicted += 1;
             n = next;
+            // ORDERING: Relaxed — `len` is an approximate counter; see `insert_traced`.
         }
         self.inner.len.fetch_sub(evicted, Ordering::Relaxed);
         if evicted > 0 {
@@ -549,6 +592,7 @@ where
     }
 
     /// Number of live entries.
+    // ORDERING: Relaxed — approximate counter; no ordering contract.
     pub fn len(&self) -> usize {
         self.inner.len.load(Ordering::Relaxed)
     }
@@ -561,6 +605,7 @@ where
     /// Highest occupied tower level. Diagnostic; used by the structural
     /// tests (including the loom model checks) to pick seeds that produce
     /// tall towers.
+    // ORDERING: Relaxed — diagnostic read; no ordering contract.
     pub fn current_height(&self) -> usize {
         self.inner.height.load(Ordering::Relaxed)
     }
@@ -572,6 +617,7 @@ where
     V: Send + Sync + 'static,
 {
     /// Number of live entries (approximate under concurrent writes).
+    // ORDERING: Relaxed — approximate under concurrent writes by contract.
     pub fn len(&self) -> usize {
         self.inner.len.load(Ordering::Relaxed)
     }
@@ -590,6 +636,7 @@ where
     /// level 0.
     fn pred_tower(&self, target: &K, guard: &Guard) -> *const Atomic<Node<K, V>> {
         let mut tower: *const Atomic<Node<K, V>> = self.inner.head.as_ptr();
+        // ORDERING: Acquire — pairs with the writer's Release `height` store in `insert_traced`, so towers at the entry level are already published.
         let list_height = self
             .inner
             .height
@@ -599,6 +646,7 @@ where
         loop {
             // SAFETY: `tower` has more than `level` slots (head array or a
             // node entered at a level ≥ `level`).
+            // ORDERING: Acquire — pairs with the writer's Release publication in `insert_traced` and prefix unlink in `evict_below`, so the node read here is fully initialised.
             let slot = unsafe { &*tower.add(level) };
             let next = slot.load(Ordering::Acquire, guard);
             // SAFETY: epoch-protected pointer, valid while `guard` is pinned.
@@ -622,6 +670,7 @@ where
     pub fn get_with<T>(&self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
         let guard = epoch::pin();
         let tower = self.pred_tower(key, &guard);
+        // ORDERING: Acquire — pairs with the writer's Release publication in `insert_traced` and prefix unlink in `evict_below`, so the node read here is fully initialised.
         // SAFETY: every tower has ≥ 1 slot.
         let next = unsafe { &*tower }.load(Ordering::Acquire, &guard);
         // SAFETY: epoch-protected.
@@ -656,6 +705,7 @@ where
         }
         let guard = epoch::pin();
         let tower = self.pred_tower(lo, &guard);
+        // ORDERING: Acquire — pairs with the writer's Release publication in `insert_traced` and prefix unlink in `evict_below`, so the node read here is fully initialised.
         // SAFETY: ≥ 1 slot; epoch-protected loads below.
         let mut cur = unsafe { &*tower }.load(Ordering::Acquire, &guard);
         let mut visited = 0usize;
@@ -667,6 +717,7 @@ where
             f(&node.key, &node.value, cur.as_raw() as usize);
             visited += 1;
             // SAFETY: `cur` is live (just visited) and every node has a
+            // ORDERING: Acquire — pairs with the writer's Release publication in `insert_traced` and prefix unlink in `evict_below`, so the node read here is fully initialised.
             // level-0 slot.
             cur = unsafe { Node::tower(cur.as_raw(), 0) }.load(Ordering::Acquire, &guard);
         }
@@ -681,6 +732,7 @@ where
 
     /// Visits every entry in ascending key order.
     pub fn for_each(&self, mut f: impl FnMut(&K, &V)) -> usize {
+        // ORDERING: Acquire — pairs with the writer's Release publication in `insert_traced` and prefix unlink in `evict_below`, so the node read here is fully initialised.
         let guard = epoch::pin();
         let mut cur = self.inner.head[0].load(Ordering::Acquire, &guard);
         let mut visited = 0usize;
@@ -689,6 +741,7 @@ where
             f(&node.key, &node.value);
             visited += 1;
             // SAFETY: `cur` is live (just visited) and every node has a
+            // ORDERING: Acquire — pairs with the writer's Release publication in `insert_traced` and prefix unlink in `evict_below`, so the node read here is fully initialised.
             // level-0 slot.
             cur = unsafe { Node::tower(cur.as_raw(), 0) }.load(Ordering::Acquire, &guard);
         }
@@ -700,6 +753,7 @@ where
     where
         K: Clone,
     {
+        // ORDERING: Acquire — pairs with the writer's Release publication in `insert_traced` and prefix unlink in `evict_below`, so the node read here is fully initialised.
         let guard = epoch::pin();
         let first = self.inner.head[0].load(Ordering::Acquire, &guard);
         // SAFETY: epoch-protected pointer.

@@ -25,3 +25,17 @@ pub(crate) mod atomic {
     pub(crate) use loom::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize};
     pub(crate) use std::sync::atomic::Ordering;
 }
+
+/// Always-std atomics for debug tripwires that must not become loom
+/// schedule points. The single user is `swmr`'s single-writer guard: its
+/// compare-exchange merely *detects* a second `write_token()` caller (an
+/// API-contract violation), so modelling it would multiply loom's state
+/// space without exploring any legal interleaving — and the vendored
+/// loom's `AtomicBool` deliberately omits `compare_exchange` for the same
+/// reason. Protocol state never goes through this module (R2 still bans
+/// `std::sync::atomic` elsewhere in the crate). Compiled only when the
+/// tripwire is, so release builds carry no unused re-exports.
+#[cfg(debug_assertions)]
+pub(crate) mod uninstrumented {
+    pub(crate) use std::sync::atomic::{AtomicBool, Ordering};
+}

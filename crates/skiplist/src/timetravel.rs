@@ -1,5 +1,7 @@
 //! The double-layer *time-travel* index (paper §V-A, Figure 10).
 //!
+//! lint: hot_path
+//!
 //! Layer 1 is an SWMR skip list mapping `key → second-layer handle`; each
 //! second layer is an SWMR skip list mapping `(timestamp, seq) → tuple`
 //! (the sequence number disambiguates equal timestamps, preserving every
@@ -150,6 +152,7 @@ impl IndexWriter {
                 max_ts: Timestamp::MIN,
             }
         });
+        // PANIC-OK: duplicate (ts, seq) is impossible — `seq` increments per insert, so `insert_traced` cannot observe an equal key.
         let addr = state
             .writer
             .insert_traced((ts, seq), tuple)
@@ -162,9 +165,11 @@ impl IndexWriter {
             state.max_ts = ts;
             // Publish after the node itself (Release pairs with readers'
             // Acquire): observing the new stamp implies the node is visible.
+            // ORDERING: Release — pairs with the Acquire loads in `series_stamp` / `max_ts`: observing the new stamp implies the node is published.
             state.shared.max_ts.store(ts.as_micros(), Ordering::Release);
         }
         if late_hint || locally_late {
+            // ORDERING: Release — pairs with the Acquire counter load in `series_stamp` / `late_inserts`; ordered after the node publication above.
             state.shared.late_inserts.fetch_add(1, Ordering::Release);
         }
         self.len += 1;
@@ -287,6 +292,7 @@ impl IndexReader {
     /// inserted below the key's then-maximum timestamp. Incremental join
     /// states snapshot this and fully rescan when it changes.
     pub fn late_inserts(&self, key: Key) -> u64 {
+        // ORDERING: Acquire — pairs with the Release `fetch_add` in `insert`, so the count covers every published late node.
         self.keys
             .get_with(&key, |shared| shared.late_inserts.load(Ordering::Acquire))
             .unwrap_or(0)
@@ -302,7 +308,9 @@ impl IndexReader {
                 // Load the counter first: a concurrent in-order insert then
                 // at worst shows a newer max with an old counter, which the
                 // validity rule treats conservatively.
+                // ORDERING: Acquire — counter first; pairs with the Release `fetch_add` in `insert` (see comment above on the conservative stamp).
                 let late = shared.late_inserts.load(Ordering::Acquire);
+                // ORDERING: Acquire — pairs with the Release `max_ts` store in `insert`: the new stamp implies the node is visible.
                 let max = shared.max_ts.load(Ordering::Acquire);
                 (late, max)
             })

@@ -22,6 +22,18 @@ MODE="${1:-all}"
 TARGET_TRIPLE="$(rustc -vV | sed -n 's/^host: //p')"
 FAILED=0
 
+# Sanitizer runs are expensive; refuse to spend the cycles while the
+# cheap static protocol checks are red. TSan findings are only actionable
+# against code whose orderings are already justified (R1) and visible to
+# loom through the facade (R2) — lint failures would muddy that baseline.
+echo "== Protocol lint gate: cargo xtask lint =="
+if ! cargo xtask lint; then
+  echo "sanitize.sh: refusing to run sanitizers with protocol lint" \
+       "violations outstanding (fix them or add reasoned lint.toml" \
+       "allows, then re-run)" >&2
+  exit 1
+fi
+
 have_nightly() {
   rustup toolchain list 2>/dev/null | grep -q nightly
 }

@@ -1,0 +1,202 @@
+//! The `unsafe` justification audit (`cargo xtask unsafe-audit`).
+//!
+//! Walks every `.rs` file in the workspace and fails if any `unsafe`
+//! block, `unsafe impl`, or `unsafe fn` lacks an adjacent justification:
+//! blocks and impls need a `// SAFETY:` comment on the same line or in the
+//! contiguous comment run directly above; `unsafe fn` declarations need a
+//! `# Safety` doc section (or a `SAFETY:` comment).
+//!
+//! The pass shares the comment/string-aware scanner in [`crate::lexer`]
+//! with the concurrency-protocol lint, so `unsafe` occurrences inside
+//! comments, literals, and identifiers such as `unsafe_op_in_unsafe_fn`
+//! are never miscounted.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use crate::lexer::{keyword_positions, SourceFile};
+use crate::{collect_rs_files, workspace_root};
+
+/// Runs the audit over the whole workspace (including `vendor/`; unsafe
+/// code is unsafe code wherever it lives).
+pub fn unsafe_audit() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for top in ["src", "crates", "vendor", "tools", "benches", "tests"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut audited_sites = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("unsafe-audit: cannot read {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let parsed = SourceFile::parse(&rel, &text);
+        audited_sites += audit_file(&parsed, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!(
+            "unsafe-audit: OK — {audited_sites} unsafe site(s) across {} file(s), all justified",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        let mut report = String::new();
+        for v in &violations {
+            let _ = writeln!(report, "{v}");
+        }
+        eprint!("{report}");
+        eprintln!(
+            "unsafe-audit: FAILED — {} unjustified unsafe site(s) (of {audited_sites} audited)",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// What follows the `unsafe` keyword at a site.
+#[derive(Clone, Copy, PartialEq)]
+enum SiteKind {
+    /// `unsafe {` — an unsafe block (or unsafe expression body).
+    Block,
+    /// `unsafe fn` / `unsafe extern "C" fn` — a declaration whose contract
+    /// belongs in a `# Safety` doc section.
+    Fn,
+    /// `unsafe impl` / `unsafe trait`.
+    ImplOrTrait,
+}
+
+/// Audits one file; pushes violation strings and returns how many unsafe
+/// sites were inspected.
+pub fn audit_file(file: &SourceFile, violations: &mut Vec<String>) -> usize {
+    let mut sites = 0usize;
+    for (idx, mline) in file.masked_lines.iter().enumerate() {
+        for col in keyword_positions(mline, "unsafe") {
+            sites += 1;
+            let kind = classify(&file.masked_lines, idx, col + "unsafe".len());
+            let lineno = idx + 1;
+            match kind {
+                SiteKind::Block | SiteKind::ImplOrTrait => {
+                    if !file.marker_near(idx, "SAFETY:") {
+                        let what = if kind == SiteKind::Block {
+                            "unsafe block"
+                        } else {
+                            "unsafe impl/trait"
+                        };
+                        violations.push(format!(
+                            "{}:{lineno}: {what} without an adjacent `// SAFETY:` comment",
+                            file.rel
+                        ));
+                    }
+                }
+                SiteKind::Fn => {
+                    if !has_safety_doc(&file.lines, idx) {
+                        violations.push(format!(
+                            "{}:{lineno}: unsafe fn without a `# Safety` doc section",
+                            file.rel
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// Looks at the first token after the `unsafe` keyword (possibly on a
+/// later line) to decide what kind of site this is.
+fn classify(masked_lines: &[String], line: usize, col: usize) -> SiteKind {
+    let mut rest = masked_lines[line][col..].to_string();
+    // Pull in following lines until we see a meaningful token.
+    let mut next = line + 1;
+    while rest.trim().is_empty() && next < masked_lines.len() {
+        rest = masked_lines[next].to_string();
+        next += 1;
+    }
+    let trimmed = rest.trim_start();
+    if trimmed.starts_with("fn") || trimmed.starts_with("extern") || trimmed.starts_with("async") {
+        SiteKind::Fn
+    } else if trimmed.starts_with("impl") || trimmed.starts_with("trait") {
+        SiteKind::ImplOrTrait
+    } else {
+        SiteKind::Block
+    }
+}
+
+/// True if the contiguous doc-comment/attribute run above an `unsafe fn`
+/// contains a `# Safety` section (a plain `SAFETY:` comment also counts).
+fn has_safety_doc(lines: &[String], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") || t.starts_with('*') {
+            if t.contains("# Safety") || t.contains("SAFETY:") {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit_src(src: &str) -> (usize, Vec<String>) {
+        let file = SourceFile::parse("t.rs", src);
+        let mut v = Vec::new();
+        let n = audit_file(&file, &mut v);
+        (n, v)
+    }
+
+    #[test]
+    fn audit_flags_missing_and_accepts_present() {
+        let bad = "fn f() {\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
+        let (n, v) = audit_src(bad);
+        assert_eq!(n, 1);
+        assert_eq!(v.len(), 1);
+
+        let good = "fn f() {\n    // SAFETY: provably unreachable.\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
+        let (_, v) = audit_src(good);
+        assert!(v.is_empty());
+
+        let good_fn = "/// Does things.\n///\n/// # Safety\n/// Caller must uphold X.\npub unsafe fn g() {}\n";
+        let (_, v) = audit_src(good_fn);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn impls_need_safety_comments_too() {
+        let bad = "unsafe impl Send for Foo {}\n";
+        let (_, v) = audit_src(bad);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("impl"));
+
+        let good = "// SAFETY: Foo owns no thread-affine state.\nunsafe impl Send for Foo {}\n";
+        let (_, v) = audit_src(good);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_comments_and_literals_is_not_a_site() {
+        let src = "// an unsafe remark\nlet s = \"unsafe\";\nlet n = unsafe_op_in_unsafe_fn;\n";
+        let (n, v) = audit_src(src);
+        assert_eq!(n, 0);
+        assert!(v.is_empty());
+    }
+}

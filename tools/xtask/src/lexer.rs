@@ -1,0 +1,468 @@
+//! Shared comment/string-aware Rust lexing for the xtask analysis passes.
+//!
+//! Both the unsafe audit and the concurrency-protocol lint need the same
+//! view of a source file: the *code* with comments and string/char literal
+//! contents blanked out (so keyword scans never match prose or literals),
+//! next to the *original* lines (so justification markers like `SAFETY:`
+//! or `ORDERING:` can be found in the comments). [`SourceFile`] computes
+//! that view once per file; the passes share it instead of each carrying
+//! its own string/comment state machine.
+
+/// One parsed source file: original text, masked text, and the derived
+/// line-level structure the rules consume.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes (used in diagnostics and
+    /// matched against `lint.toml` scopes/allowlist entries).
+    pub rel: String,
+    /// Original lines, for comment-marker lookups.
+    pub lines: Vec<String>,
+    /// Masked lines: same shape as `lines`, but comment bodies and
+    /// string/char literal contents are spaces. Keyword scans use these.
+    pub masked_lines: Vec<String>,
+    /// Per line: true if the line sits inside a `#[cfg(test)] mod { .. }`
+    /// region. Protocol rules skip test code — tests deliberately use raw
+    /// std primitives, panics, and blocking calls.
+    pub in_test: Vec<bool>,
+    /// Module-level lint tags declared as `//! lint: tag_a, tag_b`.
+    pub tags: Vec<String>,
+}
+
+impl SourceFile {
+    /// Lexes `text` into a [`SourceFile`]. `rel` should be the
+    /// workspace-relative path with forward slashes.
+    pub fn parse(rel: &str, text: &str) -> SourceFile {
+        let masked = mask_non_code(text);
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let masked_lines: Vec<String> = masked.lines().map(str::to_string).collect();
+        let in_test = test_regions(&masked_lines);
+        let tags = lint_tags(&lines);
+        SourceFile {
+            rel: rel.to_string(),
+            lines,
+            masked_lines,
+            in_test,
+            tags,
+        }
+    }
+
+    /// Whether the module declared `//! lint: <tag>`.
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+
+    /// True if line `idx` (0-based) carries `marker` on the statement it
+    /// belongs to — the line itself, an earlier line of the same
+    /// multi-line statement, or the contiguous run of comment/attribute
+    /// lines directly above the statement's first line.
+    pub fn marker_near(&self, idx: usize, marker: &str) -> bool {
+        let start = self.stmt_start(idx);
+        if self.lines[start..=idx].iter().any(|l| l.contains(marker)) {
+            return true;
+        }
+        comment_run_contains(&self.lines, start, marker)
+    }
+
+    /// First line of the statement containing line `idx`: walks upward
+    /// until the previous masked line ends a statement (`;`, `{`, `}`),
+    /// is blank, or is pure comment. A heuristic, but a conservative one:
+    /// over-extending the window only lets a justification sit a line or
+    /// two higher than strictly adjacent.
+    fn stmt_start(&self, idx: usize) -> usize {
+        let mut i = idx;
+        while i > 0 {
+            let prev = self.masked_lines[i - 1].trim_end();
+            let prev = prev.trim_start();
+            if prev.is_empty() || prev.ends_with(';') || prev.ends_with('{') || prev.ends_with('}')
+            {
+                break;
+            }
+            i -= 1;
+        }
+        i
+    }
+
+    /// True if `self.rel` lives under any of `dirs` (path-prefix match on
+    /// whole components).
+    pub fn under_any(&self, dirs: &[String]) -> bool {
+        dirs.iter().any(|d| {
+            let d = d.trim_end_matches('/');
+            self.rel == d || self.rel.starts_with(&format!("{d}/"))
+        })
+    }
+}
+
+/// True if `lines[idx]` contains `marker`, or if the contiguous run of
+/// comment / attribute / doc lines directly above `idx` does.
+pub fn comment_run_contains(lines: &[String], idx: usize, marker: &str) -> bool {
+    if lines.get(idx).is_some_and(|l| l.contains(marker)) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") || t.starts_with('*') {
+            if t.contains(marker) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Byte offsets of `word` in `line` at identifier boundaries.
+pub fn keyword_positions(line: &str, word: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let ok_before = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let ok_after = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if ok_before && ok_after {
+            out.push(start);
+        }
+        from = end;
+    }
+    out
+}
+
+/// Whether `b` can be part of a Rust identifier (ASCII view).
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Module-level lint tags: every `//! lint: a, b` line contributes its
+/// comma-separated tags.
+fn lint_tags(lines: &[String]) -> Vec<String> {
+    let mut tags = Vec::new();
+    for line in lines {
+        let t = line.trim_start();
+        if let Some(rest) = t.strip_prefix("//! lint:") {
+            for tag in rest.split(',') {
+                let tag = tag.trim();
+                if !tag.is_empty() {
+                    tags.push(tag.to_string());
+                }
+            }
+        }
+    }
+    tags
+}
+
+/// Marks the lines covered by `#[cfg(test)] mod <name> { ... }` regions.
+///
+/// Works on masked lines: the attribute and the braces are code, so they
+/// survive masking, while a `#[cfg(test)]` quoted in a comment does not.
+fn test_regions(masked_lines: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; masked_lines.len()];
+    let mut i = 0;
+    while i < masked_lines.len() {
+        let t = masked_lines[i].trim();
+        if t == "#[cfg(test)]" {
+            // Scan past further attributes / blank lines to the `mod` item.
+            let mut j = i + 1;
+            while j < masked_lines.len() {
+                let tj = masked_lines[j].trim();
+                if tj.is_empty() || tj.starts_with("#[") {
+                    j += 1;
+                    continue;
+                }
+                break;
+            }
+            let is_mod = masked_lines
+                .get(j)
+                .map(|l| {
+                    let l = l.trim();
+                    l.starts_with("mod ") || l.starts_with("pub mod ") || l.starts_with("pub(")
+                })
+                .unwrap_or(false);
+            if is_mod {
+                if let Some((open_line, open_col)) = find_char_from(masked_lines, j, 0, '{') {
+                    let end = match match_brace(masked_lines, open_line, open_col) {
+                        Some(end_line) => end_line,
+                        None => masked_lines.len() - 1, // unbalanced: to EOF
+                    };
+                    for flag in in_test.iter_mut().take(end + 1).skip(i) {
+                        *flag = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Finds the first occurrence of `c` at or after (`line`, `col`).
+fn find_char_from(
+    masked_lines: &[String],
+    line: usize,
+    col: usize,
+    c: char,
+) -> Option<(usize, usize)> {
+    for (li, l) in masked_lines.iter().enumerate().skip(line) {
+        let start = if li == line { col } else { 0 };
+        if let Some(pos) = l.get(start..).and_then(|s| s.find(c)) {
+            return Some((li, start + pos));
+        }
+    }
+    None
+}
+
+/// Given the position of an opening `{`, returns the line of the matching
+/// closing `}` (masked text, so braces in strings/comments don't count).
+pub fn match_brace(masked_lines: &[String], line: usize, col: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (li, l) in masked_lines.iter().enumerate().skip(line) {
+        let start = if li == line { col } else { 0 };
+        for b in l.as_bytes().iter().skip(start) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(li);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Replaces the contents of comments and string/char literals with spaces
+/// so keyword scanning only sees real code. Newlines are preserved so line
+/// numbers stay aligned with the original.
+pub fn mask_non_code(text: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push(' ');
+                    i += 1;
+                }
+                'r' if matches!(next, Some('"') | Some('#')) => {
+                    // Raw string r"..." / r#"..."# (also after a b prefix,
+                    // which the Code arm passes through harmlessly).
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char/byte literal vs lifetime: a literal closes with a
+                    // quote one or two (escaped) chars ahead.
+                    let is_char_lit =
+                        next == Some('\\') || (next.is_some() && chars.get(i + 2) == Some(&'\''));
+                    if is_char_lit {
+                        st = St::Char;
+                        out.push(' ');
+                        i += 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                '\n' => {
+                    out.push('\n');
+                    i += 1;
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        st = St::Code;
+                        for _ in i..j {
+                            out.push(' ');
+                        }
+                        i = j;
+                        continue;
+                    }
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+                i += 1;
+            }
+            St::Char => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    st = St::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_hides_comments_and_literals() {
+        let src = "let x = \"unsafe\"; // unsafe here\nlet y = 'u';\n/* unsafe */ let z = 1;\n";
+        let masked = mask_non_code(src);
+        assert!(!masked.contains("unsafe"));
+        assert_eq!(masked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn keyword_positions_respect_identifier_boundaries() {
+        assert_eq!(keyword_positions("unsafe {", "unsafe"), vec![0]);
+        assert!(keyword_positions("unsafe_op_in_unsafe_fn", "unsafe").is_empty());
+        assert_eq!(keyword_positions("x unsafe fn", "unsafe"), vec![2]);
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods() {
+        let src = "fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { x.unwrap(); }\n\
+                   }\n\
+                   fn also_live() {}\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert_eq!(f.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_in_comment_or_string_is_ignored() {
+        let src = "// #[cfg(test)]\nlet s = \"#[cfg(test)]\";\nfn f() {}\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert!(f.in_test.iter().all(|b| !b));
+    }
+
+    #[test]
+    fn tags_parse_from_inner_doc_lines() {
+        let src = "//! Module docs.\n//! lint: hot_path, other_tag\nfn f() {}\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert!(f.has_tag("hot_path"));
+        assert!(f.has_tag("other_tag"));
+        assert!(!f.has_tag("cold_path"));
+    }
+
+    #[test]
+    fn marker_near_sees_line_and_comment_run() {
+        let src =
+            "// ORDERING: pairs with X\n#[inline]\nfoo.store(1, Ordering::Release);\nbar();\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert!(f.marker_near(2, "ORDERING:"));
+        assert!(!f.marker_near(3, "ORDERING:"));
+    }
+
+    #[test]
+    fn marker_above_a_multiline_statement_covers_its_last_line() {
+        let src = "a();\n// ORDERING: pairs with Y\nself.inner\n    .flag\n    .store(true, Ordering::Release);\nb();\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert!(f.marker_near(4, "ORDERING:"));
+        assert!(!f.marker_near(5, "ORDERING:"));
+    }
+
+    #[test]
+    fn under_any_matches_whole_components() {
+        let f = SourceFile::parse("crates/skiplist/src/swmr.rs", "");
+        assert!(f.under_any(&["crates/skiplist/src".into()]));
+        assert!(!f.under_any(&["crates/skip".into()]));
+    }
+}

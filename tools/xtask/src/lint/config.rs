@@ -1,0 +1,234 @@
+//! `lint.toml` — scope and allowlist configuration for `cargo xtask lint`.
+//!
+//! The file lives at the workspace root and uses a small, strict TOML
+//! subset (the workspace is dependency-free by policy, so the parser is
+//! local): `[table]` headers, `[[allow]]` array-of-tables headers,
+//! `key = "string"`, and `key = ["a", "b"]` single-line string arrays.
+//! Anything else is a hard error — a lint whose config half-parses is
+//! worse than no lint.
+//!
+//! ```toml
+//! [scope]
+//! src = ["crates/skiplist/src", "crates/core/src"]
+//!
+//! [facade]
+//! files = ["crates/skiplist/src/sync.rs"]
+//!
+//! [loom]
+//! crates = ["crates/skiplist/src"]
+//! models = ["crates/skiplist/tests/loom.rs"]
+//!
+//! [[allow]]
+//! rule = "R5"
+//! file = "crates/core/src/faults.rs"
+//! subject = "FailureCell"
+//! reason = "covered by the TSan'd fault matrix, not loom"
+//! ```
+//!
+//! Every `[[allow]]` entry must name a `rule`, a `file`, and a non-empty
+//! `reason`; `subject` narrows the suppression to diagnostics whose
+//! subject contains it. Entries that suppress nothing fail the run
+//! (stale suppressions rot into silent coverage holes).
+
+/// One allowlist entry from `[[allow]]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub file: String,
+    /// Substring matched against the diagnostic's subject; empty matches
+    /// every diagnostic of (rule, file).
+    pub subject: String,
+    pub reason: String,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directories whose `.rs` files are subject to the protocol rules
+    /// (R1 ordering justification, R3/R4 hot-path rules).
+    pub scope_src: Vec<String>,
+    /// Facade files (R2): the only files in scope allowed to name
+    /// `std::sync::atomic` / `std::sync::{Mutex,RwLock,Condvar}` /
+    /// `loom::sync`.
+    pub facade_files: Vec<String>,
+    /// Directories scanned for atomic-owning public types (R5).
+    pub loom_crates: Vec<String>,
+    /// Files containing loom models; a public atomic-owning type must be
+    /// named in at least one of them.
+    pub loom_models: Vec<String>,
+    pub allow: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Parses the strict TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        // (table, key) -> values routing happens as lines stream by.
+        let mut table = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                if name.trim() != "allow" {
+                    return Err(format!(
+                        "lint.toml:{lineno}: unknown array-of-tables `[[{}]]` (only `[[allow]]`)",
+                        name.trim()
+                    ));
+                }
+                cfg.allow.push(AllowEntry {
+                    rule: String::new(),
+                    file: String::new(),
+                    subject: String::new(),
+                    reason: String::new(),
+                });
+                table = "allow".to_string();
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim();
+                match name {
+                    "scope" | "facade" | "loom" => table = name.to_string(),
+                    other => {
+                        return Err(format!("lint.toml:{lineno}: unknown table `[{other}]`"));
+                    }
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint.toml:{lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let value = value.trim();
+            match (table.as_str(), key) {
+                ("scope", "src") => cfg.scope_src = parse_string_array(value, lineno)?,
+                ("facade", "files") => cfg.facade_files = parse_string_array(value, lineno)?,
+                ("loom", "crates") => cfg.loom_crates = parse_string_array(value, lineno)?,
+                ("loom", "models") => cfg.loom_models = parse_string_array(value, lineno)?,
+                ("allow", k) => {
+                    let entry = cfg
+                        .allow
+                        .last_mut()
+                        .ok_or_else(|| format!("lint.toml:{lineno}: key before `[[allow]]`"))?;
+                    let v = parse_string(value, lineno)?;
+                    match k {
+                        "rule" => entry.rule = v,
+                        "file" => entry.file = v,
+                        "subject" => entry.subject = v,
+                        "reason" => entry.reason = v,
+                        other => {
+                            return Err(format!(
+                                "lint.toml:{lineno}: unknown allow key `{other}` \
+                                 (rule/file/subject/reason)"
+                            ));
+                        }
+                    }
+                }
+                (t, k) => {
+                    return Err(format!("lint.toml:{lineno}: unknown key `{k}` in `[{t}]`"));
+                }
+            }
+        }
+        for (i, e) in cfg.allow.iter().enumerate() {
+            if e.rule.is_empty() || e.file.is_empty() || e.reason.is_empty() {
+                return Err(format!(
+                    "lint.toml: [[allow]] entry #{} must set `rule`, `file`, and a \
+                     non-empty `reason`",
+                    i + 1
+                ));
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Drops a trailing `# comment` that is not inside a quoted string.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    let v = value.trim();
+    v.strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("lint.toml:{lineno}: expected a quoted string, got `{v}`"))
+}
+
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .trim()
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("lint.toml:{lineno}: expected a single-line `[\"...\"]` array"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(item, lineno)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[scope]
+src = ["a/src", "b/src"] # trailing comment
+
+[facade]
+files = ["a/src/sync.rs"]
+
+[loom]
+crates = ["a/src"]
+models = ["a/tests/loom.rs"]
+
+[[allow]]
+rule = "R5"
+file = "b/src/x.rs"
+subject = "Foo"
+reason = "covered elsewhere"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.scope_src, vec!["a/src", "b/src"]);
+        assert_eq!(cfg.facade_files, vec!["a/src/sync.rs"]);
+        assert_eq!(cfg.loom_models, vec!["a/tests/loom.rs"]);
+        assert_eq!(cfg.allow.len(), 1);
+        assert_eq!(cfg.allow[0].subject, "Foo");
+    }
+
+    #[test]
+    fn rejects_unknown_tables_and_reasonless_allows() {
+        assert!(Config::parse("[nope]\n").is_err());
+        assert!(Config::parse("[scope]\nwrong = \"x\"\n").is_err());
+        let e = Config::parse("[[allow]]\nrule = \"R1\"\nfile = \"f.rs\"\n").unwrap_err();
+        assert!(e.contains("reason"), "{e}");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg =
+            Config::parse("[[allow]]\nrule = \"R1\"\nfile = \"f.rs\"\nreason = \"issue #7\"\n")
+                .unwrap();
+        assert_eq!(cfg.allow[0].reason, "issue #7");
+    }
+}

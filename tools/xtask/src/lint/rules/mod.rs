@@ -1,0 +1,80 @@
+//! The rule registry and the token-pattern helpers the rules share.
+//!
+//! Each rule is a unit struct implementing [`Rule`]; [`registry`] returns
+//! them in id order. Rules scan the masked line view (comments and
+//! literal contents blanked), so a pattern match is always a code match.
+
+mod r1_ordering;
+mod r2_facade;
+mod r3_panic;
+mod r4_blocking;
+mod r5_loom;
+
+use super::Rule;
+use crate::lexer::{is_ident_byte, keyword_positions};
+
+/// All rules, in id order. `check_files` runs them in this order; ids are
+/// stable and referenced from `lint.toml`.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(r1_ordering::OrderingJustification),
+        Box::new(r2_facade::FacadeOnlySync),
+        Box::new(r3_panic::HotPathPanic),
+        Box::new(r4_blocking::HotPathBlocking),
+        Box::new(r5_loom::LoomCoverage),
+    ]
+}
+
+/// Byte offsets where `word` starts at an identifier boundary, with no
+/// boundary requirement after it (`prefix_positions("AtomicU64", "Atomic")`
+/// matches; `keyword_positions` would not).
+pub(crate) fn prefix_positions(line: &str, word: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let start = from + pos;
+        if start == 0 || !is_ident_byte(bytes[start - 1]) {
+            out.push(start);
+        }
+        from = start + word.len();
+    }
+    out
+}
+
+/// True if the masked line contains a method call `.name(`.
+pub(crate) fn has_method_call(mline: &str, name: &str) -> bool {
+    let bytes = mline.as_bytes();
+    keyword_positions(mline, name).into_iter().any(|pos| {
+        pos > 0 && bytes[pos - 1] == b'.' && bytes.get(pos + name.len()).copied() == Some(b'(')
+    })
+}
+
+/// True if the masked line invokes the macro `name!`.
+pub(crate) fn has_macro_call(mline: &str, name: &str) -> bool {
+    let bytes = mline.as_bytes();
+    keyword_positions(mline, name)
+        .into_iter()
+        .any(|pos| bytes.get(pos + name.len()).copied() == Some(b'!'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_positions_only_check_the_left_boundary() {
+        assert_eq!(prefix_positions("AtomicU64", "Atomic"), vec![0]);
+        assert_eq!(prefix_positions("Arc<AtomicBool>", "Atomic"), vec![4]);
+        assert!(prefix_positions("NonAtomicU64", "Atomic").is_empty());
+    }
+
+    #[test]
+    fn method_and_macro_matchers() {
+        assert!(has_method_call("x.unwrap()", "unwrap"));
+        assert!(!has_method_call("x.unwrap_or(0)", "unwrap"));
+        assert!(!has_method_call("unwrap()", "unwrap"));
+        assert!(has_macro_call("panic!(\"boom\")", "panic"));
+        assert!(!has_macro_call("panic()", "panic"));
+    }
+}

@@ -1,0 +1,93 @@
+//! R1 `ordering-justification`: every atomic memory-ordering call site
+//! must carry an `// ORDERING:` comment naming the site it pairs with.
+//!
+//! The SWMR protocol (DESIGN.md §3) is a web of Release stores publishing
+//! to Acquire loads; an ordering constant with no stated pairing is either
+//! dead weight (too strong) or a latent race (too weak). The rule matches
+//! the variant tokens (`::Relaxed`, `::Acquire`, `::Release`, `::AcqRel`,
+//! `::SeqCst`) rather than the `Ordering::` prefix so call sites that
+//! alias the enum (`use Ordering as O; ... O::AcqRel`) are still seen.
+//! `use` declarations and `#[cfg(test)]` code are exempt; one diagnostic
+//! is emitted per offending line regardless of how many orderings it
+//! names (a `compare_exchange` carries two, but wants one comment).
+
+use crate::lexer::SourceFile;
+use crate::lint::config::Config;
+use crate::lint::{Diagnostic, Rule};
+
+const VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+pub struct OrderingJustification;
+
+impl Rule for OrderingJustification {
+    fn id(&self) -> &'static str {
+        "R1"
+    }
+    fn name(&self) -> &'static str {
+        "ordering-justification"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic>) {
+        for file in files.iter().filter(|f| f.under_any(&cfg.scope_src)) {
+            for (idx, mline) in file.masked_lines.iter().enumerate() {
+                if file.in_test[idx] || mline.trim_start().starts_with("use ") {
+                    continue;
+                }
+                let found: Vec<&str> = VARIANTS
+                    .iter()
+                    .copied()
+                    .filter(|v| ordering_variant_on(mline, v))
+                    .collect();
+                if found.is_empty() || file.marker_near(idx, "ORDERING:") {
+                    continue;
+                }
+                let subject = found
+                    .iter()
+                    .map(|v| format!("Ordering::{v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    name: self.name(),
+                    file: file.rel.clone(),
+                    line: idx + 1,
+                    subject: subject.clone(),
+                    message: format!("{subject} used without an `// ORDERING:` justification"),
+                    help: "add `// ORDERING: <why this strength; pairs with <site>>` on this \
+                           line or directly above"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// True if the masked line contains `::<variant>` with nothing
+/// identifier-like after the variant (so `::Acquired` would not match).
+fn ordering_variant_on(mline: &str, variant: &str) -> bool {
+    let needle = format!("::{variant}");
+    let bytes = mline.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = mline[from..].find(&needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        if end >= bytes.len() || !crate::lexer::is_ident_byte(bytes[end]) {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_aliased_paths_but_not_longer_idents() {
+        assert!(ordering_variant_on("x.load(Ordering::Acquire)", "Acquire"));
+        assert!(ordering_variant_on("x.swap(true, O::AcqRel)", "AcqRel"));
+        assert!(!ordering_variant_on("foo::AcquireToken", "Acquire"));
+        assert!(!ordering_variant_on("x.load(ord)", "Acquire"));
+    }
+}

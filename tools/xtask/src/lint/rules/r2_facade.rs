@@ -1,0 +1,110 @@
+//! R2 `facade-only-sync`: loom-verified crates must reach atomics and
+//! locks through their `sync.rs` facade, never `std::sync` directly.
+//!
+//! Loom only explores interleavings of operations it instruments; an
+//! atomic constructed from `std::sync::atomic` inside a loom-verified
+//! crate is invisible to the model checker, so the facade (`#[cfg(loom)]`
+//! ⇒ vendored loom, otherwise std) is the single door. The rule flags, in
+//! any in-scope non-facade file: `std::sync::atomic`, direct
+//! `std::sync::{Mutex,RwLock,Condvar}` paths, grouped imports
+//! (`use std::sync::{Arc, Mutex}`) naming one of those items, and
+//! `loom::sync` (the facade alone decides when loom is in play).
+//! `Arc` and `mpsc` stay importable — loom models them via the facade's
+//! re-exports only where interleavings matter. `#[cfg(test)]` code is
+//! exempt: tests run without loom instrumentation by construction.
+
+use crate::lexer::SourceFile;
+use crate::lint::config::Config;
+use crate::lint::{Diagnostic, Rule};
+
+const BANNED_ITEMS: [&str; 4] = ["atomic", "Mutex", "RwLock", "Condvar"];
+
+pub struct FacadeOnlySync;
+
+impl Rule for FacadeOnlySync {
+    fn id(&self) -> &'static str {
+        "R2"
+    }
+    fn name(&self) -> &'static str {
+        "facade-only-sync"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic>) {
+        for file in files
+            .iter()
+            .filter(|f| f.under_any(&cfg.scope_src) && !cfg.facade_files.contains(&f.rel))
+        {
+            for (idx, mline) in file.masked_lines.iter().enumerate() {
+                if file.in_test[idx] {
+                    continue;
+                }
+                if let Some(path) = banned_sync_path(mline) {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        name: self.name(),
+                        file: file.rel.clone(),
+                        line: idx + 1,
+                        subject: path.clone(),
+                        message: format!(
+                            "`{path}` referenced outside the sync facade in a loom-verified crate"
+                        ),
+                        help: "import the primitive from the crate's `sync` module so loom \
+                               instruments it under `cfg(loom)`"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Returns the first facade-bypassing path named on the masked line.
+fn banned_sync_path(mline: &str) -> Option<String> {
+    if mline.contains("loom::sync") {
+        return Some("loom::sync".to_string());
+    }
+    for item in BANNED_ITEMS {
+        let direct = format!("std::sync::{item}");
+        if mline.contains(&direct) {
+            return Some(direct);
+        }
+    }
+    // Grouped import: `use std::sync::{Arc, Mutex};` — the brace group is
+    // on one line in rustfmt'd code; an unclosed group is scanned as far
+    // as the line goes, which still catches the leading banned items.
+    if let Some(pos) = mline.find("std::sync::{") {
+        let inner = &mline[pos + "std::sync::{".len()..];
+        let inner = inner.split('}').next().unwrap_or(inner);
+        for part in inner.split(',') {
+            let leaf = part.trim();
+            let leaf = leaf.split("::").next().unwrap_or(leaf).trim();
+            if BANNED_ITEMS.contains(&leaf) {
+                return Some(format!("std::sync::{leaf}"));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_direct_and_grouped_paths_but_not_arc() {
+        assert_eq!(
+            banned_sync_path("use std::sync::atomic::{AtomicU64, Ordering};"),
+            Some("std::sync::atomic".into())
+        );
+        assert_eq!(
+            banned_sync_path("use std::sync::{Arc, Mutex};"),
+            Some("std::sync::Mutex".into())
+        );
+        assert_eq!(banned_sync_path("use std::sync::{Arc, mpsc};"), None);
+        assert_eq!(
+            banned_sync_path("use loom::sync::atomic::AtomicU64;"),
+            Some("loom::sync".into())
+        );
+        assert_eq!(banned_sync_path("use std::sync::Arc;"), None);
+    }
+}

@@ -1,0 +1,158 @@
+//! R3 `hot-path-panic`: no panicking operations in modules tagged
+//! `//! lint: hot_path` unless annotated `// PANIC-OK: <why>`.
+//!
+//! A panic on the reader path or in the joiner inner loop unwinds through
+//! lock-free state mid-publication and poisons the whole worker team, so
+//! hot-path modules must make every potential panic explicit. Flagged:
+//! `.unwrap()`, `.expect(..)`, `panic!`, `todo!`, `unimplemented!`, and
+//! slice indexing `expr[i]` with a non-constant index. Deliberately NOT
+//! flagged: `unreachable!` and the `assert*` family (those are statements
+//! of invariants, not error handling), `unwrap_or*` (non-panicking), and
+//! indexing by an integer literal (`pair[0]` can be checked by eye).
+//! `#[cfg(test)]` code is exempt.
+
+use crate::lexer::SourceFile;
+use crate::lint::config::Config;
+use crate::lint::rules::{has_macro_call, has_method_call};
+use crate::lint::{Diagnostic, Rule};
+
+pub struct HotPathPanic;
+
+impl Rule for HotPathPanic {
+    fn id(&self) -> &'static str {
+        "R3"
+    }
+    fn name(&self) -> &'static str {
+        "hot-path-panic"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic>) {
+        for file in files
+            .iter()
+            .filter(|f| f.under_any(&cfg.scope_src) && f.has_tag("hot_path"))
+        {
+            for (idx, mline) in file.masked_lines.iter().enumerate() {
+                if file.in_test[idx] {
+                    continue;
+                }
+                let Some(what) = panicking_op_on(mline) else {
+                    continue;
+                };
+                if file.marker_near(idx, "PANIC-OK:") {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    name: self.name(),
+                    file: file.rel.clone(),
+                    line: idx + 1,
+                    subject: what.to_string(),
+                    message: format!("`{what}` can panic in a `hot_path` module"),
+                    help: "return an error / restructure to avoid the panic, or annotate \
+                           `// PANIC-OK: <why this cannot fire>`"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// The first panicking operation on the masked line, if any.
+fn panicking_op_on(mline: &str) -> Option<&'static str> {
+    for m in ["unwrap", "expect"] {
+        if has_method_call(mline, m) {
+            return Some(if m == "unwrap" {
+                ".unwrap()"
+            } else {
+                ".expect()"
+            });
+        }
+    }
+    for m in ["panic", "todo", "unimplemented"] {
+        if has_macro_call(mline, m) {
+            return Some(match m {
+                "panic" => "panic!",
+                "todo" => "todo!",
+                _ => "unimplemented!",
+            });
+        }
+    }
+    if has_runtime_index(mline) {
+        return Some("slice index");
+    }
+    None
+}
+
+/// Heuristic for panicking `expr[index]`: a `[` whose previous
+/// non-space character ends an expression (identifier, `)`, `]`, or `?`),
+/// whose bracket content is not a bare integer literal or a full-range
+/// `[..]`. Attribute lines (`#[...]`), array types (`[u8; N]` after `:`
+/// or `<`), and array literals (after `=`/`(`/`,`) all fail the
+/// previous-character test and are never flagged.
+fn has_runtime_index(mline: &str) -> bool {
+    let bytes = mline.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let prev = mline[..i].trim_end().bytes().last();
+        let indexes_expr = matches!(prev, Some(p) if crate::lexer::is_ident_byte(p) || p == b')' || p == b']' || p == b'?');
+        if !indexes_expr {
+            continue;
+        }
+        // Find the matching `]` on this line; nesting (`a[b[i]]`) counts.
+        let mut depth = 0usize;
+        let mut close = None;
+        for (j, &c) in bytes.iter().enumerate().skip(i) {
+            match c {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else {
+            return true; // spills to the next line: flag conservatively
+        };
+        let content = mline[i + 1..close].trim();
+        let literal =
+            !content.is_empty() && content.bytes().all(|c| c.is_ascii_digit() || c == b'_');
+        if literal || content == ".." {
+            continue;
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_dynamic_indexing_only() {
+        assert!(has_runtime_index("let x = self.head[level];"));
+        assert!(has_runtime_index("pre[level].store(p);"));
+        assert!(has_runtime_index("&buf[lo..hi]"));
+        assert!(!has_runtime_index("let x = pair[0];"));
+        assert!(!has_runtime_index("let s = &xs[..];"));
+        assert!(!has_runtime_index("#[derive(Debug)]"));
+        assert!(!has_runtime_index("fn f(x: [u8; 4]) {}"));
+        assert!(!has_runtime_index("let a = [0u8; 16];"));
+    }
+
+    #[test]
+    fn flags_panicking_calls_not_fallible_cousins() {
+        assert_eq!(panicking_op_on("x.unwrap()"), Some(".unwrap()"));
+        assert_eq!(panicking_op_on("x.unwrap_or_default()"), None);
+        assert_eq!(panicking_op_on("x.expect(\"msg\")"), Some(".expect()"));
+        assert_eq!(panicking_op_on("todo!()"), Some("todo!"));
+        assert_eq!(panicking_op_on("unreachable!()"), None);
+        assert_eq!(panicking_op_on("assert_eq!(a, b);"), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! R4 `hot-path-blocking`: no blocking operations in `hot_path` modules
+//! unless annotated `// BLOCKING-OK: <why>`.
+//!
+//! The paper's scaling argument (§V-B) depends on readers and the joiner
+//! inner loop never descheduling: one blocked worker stalls the watermark
+//! for every downstream consumer. Flagged: lock acquisition (`.lock()`),
+//! blocking channel ops (`.recv()`, `.send()` and their `_timeout`
+//! variants), condvar/barrier waits (`.wait()`, `.wait_timeout()`), and
+//! `thread::sleep`. Non-blocking siblings (`try_lock`, `try_recv`,
+//! `try_send`) pass untouched — the boundary-aware matcher does not
+//! confuse them. `#[cfg(test)]` code is exempt. Where blocking is the
+//! designed behaviour (a coordinator parking on a round barrier), the
+//! `BLOCKING-OK:` annotation makes the choice auditable in place.
+
+use crate::lexer::SourceFile;
+use crate::lint::config::Config;
+use crate::lint::rules::has_method_call;
+use crate::lint::{Diagnostic, Rule};
+
+const BLOCKING_METHODS: [&str; 6] = [
+    "lock",
+    "recv",
+    "recv_timeout",
+    "send",
+    "send_timeout",
+    "wait",
+];
+
+pub struct HotPathBlocking;
+
+impl Rule for HotPathBlocking {
+    fn id(&self) -> &'static str {
+        "R4"
+    }
+    fn name(&self) -> &'static str {
+        "hot-path-blocking"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic>) {
+        for file in files
+            .iter()
+            .filter(|f| f.under_any(&cfg.scope_src) && f.has_tag("hot_path"))
+        {
+            for (idx, mline) in file.masked_lines.iter().enumerate() {
+                if file.in_test[idx] {
+                    continue;
+                }
+                let Some(what) = blocking_op_on(mline) else {
+                    continue;
+                };
+                if file.marker_near(idx, "BLOCKING-OK:") {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    name: self.name(),
+                    file: file.rel.clone(),
+                    line: idx + 1,
+                    subject: what.clone(),
+                    message: format!("blocking operation `{what}` in a `hot_path` module"),
+                    help: "keep the hot path wait-free (try_* variants, atomics), or annotate \
+                           `// BLOCKING-OK: <why blocking is the designed behaviour here>`"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// The first blocking operation on the masked line, if any.
+fn blocking_op_on(mline: &str) -> Option<String> {
+    if mline.contains("thread::sleep") {
+        return Some("thread::sleep".to_string());
+    }
+    for m in BLOCKING_METHODS.iter().chain(["wait_timeout"].iter()) {
+        if has_method_call(mline, m) {
+            return Some(format!(".{m}()"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_blocking_not_try_variants() {
+        assert_eq!(
+            blocking_op_on("let g = self.mu.lock();"),
+            Some(".lock()".into())
+        );
+        assert_eq!(blocking_op_on("let g = self.mu.try_lock();"), None);
+        assert_eq!(blocking_op_on("rx.recv().ok()"), Some(".recv()".into()));
+        assert_eq!(blocking_op_on("rx.try_recv().ok()"), None);
+        assert_eq!(
+            blocking_op_on("std::thread::sleep(d);"),
+            Some("thread::sleep".into())
+        );
+        assert_eq!(
+            blocking_op_on("self.barrier.wait(&cell, &kill);"),
+            Some(".wait()".into())
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! R5 `loom-coverage`: every public atomic-owning type in the
+//! loom-verified crates must be exercised by name in a loom model.
+//!
+//! The facade (R2) guarantees loom *can* see every atomic; this rule
+//! guarantees some model actually *does*. It scans the `[loom] crates`
+//! directories for `pub struct` declarations whose fields own an atomic
+//! (`AtomicU64`, `Arc<AtomicBool>`, `Vec<AtomicU64>`, the epoch
+//! `Atomic<T>` pointer, ...), then requires the type's name to appear in
+//! the code (not comments) of at least one `[loom] models` file. Types
+//! holding atomics only behind raw pointers (`*const Atomic<..>`) are
+//! skipped — they are views into another type's allocation, and that
+//! owner is the thing a model must drive. Uncovered types are reported
+//! individually; a deliberate gap (e.g. a diagnostics-only counter block
+//! verified by TSan instead) is recorded as a reasoned `[[allow]]` entry
+//! in `lint.toml`, which doubles as the "listed as uncovered" registry.
+
+use crate::lexer::{is_ident_byte, keyword_positions, match_brace, SourceFile};
+use crate::lint::config::Config;
+use crate::lint::rules::prefix_positions;
+use crate::lint::{Diagnostic, Rule};
+
+pub struct LoomCoverage;
+
+impl Rule for LoomCoverage {
+    fn id(&self) -> &'static str {
+        "R5"
+    }
+    fn name(&self) -> &'static str {
+        "loom-coverage"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic>) {
+        let models: Vec<&SourceFile> = files
+            .iter()
+            .filter(|f| cfg.loom_models.contains(&f.rel))
+            .collect();
+        for file in files.iter().filter(|f| f.under_any(&cfg.loom_crates)) {
+            for owner in atomic_owning_pub_structs(file) {
+                let covered = models.iter().any(|m| {
+                    m.masked_lines
+                        .iter()
+                        .any(|l| !keyword_positions(l, &owner.name).is_empty())
+                });
+                if covered {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    name: self.name(),
+                    file: file.rel.clone(),
+                    line: owner.line,
+                    subject: owner.name.clone(),
+                    message: format!(
+                        "public type `{}` owns atomic state but appears in no loom model",
+                        owner.name
+                    ),
+                    help: format!(
+                        "drive `{}` from a model in {} or record the gap as a reasoned \
+                         [[allow]] entry in lint.toml",
+                        owner.name,
+                        cfg.loom_models.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+struct Owner {
+    name: String,
+    /// 1-based line of the `pub struct` declaration.
+    line: usize,
+}
+
+/// Public structs in `file` (non-test code) with at least one field whose
+/// type names an atomic and is not behind a raw pointer.
+fn atomic_owning_pub_structs(file: &SourceFile) -> Vec<Owner> {
+    let mut out = Vec::new();
+    for (idx, mline) in file.masked_lines.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        let t = mline.trim_start();
+        let Some(rest) = t.strip_prefix("pub struct ") else {
+            continue;
+        };
+        let name: String = rest
+            .chars()
+            .take_while(|c| is_ident_byte(*c as u8))
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        if struct_owns_atomic(file, idx, mline) {
+            out.push(Owner {
+                name,
+                line: idx + 1,
+            });
+        }
+    }
+    out
+}
+
+/// Whether the struct declared on `idx` has an atomic-typed field. Tuple
+/// structs are checked on the declaration line; record structs from the
+/// `{` through its match.
+fn struct_owns_atomic(file: &SourceFile, idx: usize, mline: &str) -> bool {
+    if mline.contains('(') {
+        return line_has_owned_atomic(mline);
+    }
+    // Find the body `{`, which may sit on a following line after where-clauses.
+    let mut open = None;
+    'search: for (li, l) in file.masked_lines.iter().enumerate().skip(idx) {
+        if let Some(col) = l.find('{') {
+            open = Some((li, col));
+            break 'search;
+        }
+        if l.contains(';') {
+            return false; // unit struct
+        }
+    }
+    let Some((open_line, open_col)) = open else {
+        return false;
+    };
+    let end =
+        match_brace(&file.masked_lines, open_line, open_col).unwrap_or(file.masked_lines.len() - 1);
+    file.masked_lines[open_line..=end]
+        .iter()
+        .any(|l| line_has_owned_atomic(l))
+}
+
+/// A field line owns an atomic if an `Atomic*` type appears outside a raw
+/// pointer. (`tail: [*const Atomic<Node>; H]` is a view, not ownership.)
+fn line_has_owned_atomic(mline: &str) -> bool {
+    !prefix_positions(mline, "Atomic").is_empty()
+        && !mline.contains("*const")
+        && !mline.contains("*mut")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owners(src: &str) -> Vec<String> {
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        atomic_owning_pub_structs(&f)
+            .into_iter()
+            .map(|o| o.name)
+            .collect()
+    }
+
+    #[test]
+    fn finds_record_tuple_and_wrapped_atomics() {
+        let src = "\
+pub struct A {\n    count: AtomicU64,\n}\n\
+pub struct B(pub Arc<AtomicBool>);\n\
+pub struct C {\n    xs: Vec<AtomicU64>,\n}\n\
+pub struct Plain {\n    n: u64,\n}\n\
+pub struct View {\n    tail: [*const Atomic<Node>; 4],\n}\n\
+struct Private {\n    count: AtomicU64,\n}\n";
+        assert_eq!(owners(src), vec!["A", "B", "C"]);
+    }
+}

@@ -1,447 +1,37 @@
-//! Workspace automation tasks, invoked as `cargo xtask <command>`.
+//! `cargo xtask` — workspace task runner.
 //!
-//! Commands:
+//! Subcommands:
+//! - `unsafe-audit` — every `unsafe` site must carry a justification
+//!   ([`xtask::audit`]).
+//! - `lint` — the concurrency-protocol rules R1–R5 over the SWMR crates
+//!   ([`xtask::lint`]).
 //!
-//! * `unsafe-audit` — walks every `.rs` file in the workspace and fails if
-//!   any `unsafe` block, `unsafe impl`, or `unsafe fn` lacks an adjacent
-//!   justification: blocks and impls need a `// SAFETY:` comment on the
-//!   same line or in the contiguous comment run directly above; `unsafe fn`
-//!   declarations need a `# Safety` doc section (or a `SAFETY:` comment).
-//!
-//! The audit lexes each file just enough to ignore `unsafe` occurrences
-//! inside comments, string/char literals, and identifiers such as
-//! `unsafe_op_in_unsafe_fn`.
+//! Both passes share the comment/string-aware scanner in
+//! [`xtask::lexer`] and exit non-zero on any finding, so CI can gate on
+//! them directly.
 
-use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("unsafe-audit") => unsafe_audit(),
+        Some("unsafe-audit") => xtask::audit::unsafe_audit(),
+        Some("lint") => xtask::lint::run(),
         Some(other) => {
-            eprintln!("unknown xtask command: {other}");
-            eprintln!("available commands: unsafe-audit");
+            eprintln!("xtask: unknown task `{other}`");
+            usage();
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask <command>");
-            eprintln!("available commands: unsafe-audit");
+            usage();
             ExitCode::FAILURE
         }
     }
 }
 
-fn workspace_root() -> PathBuf {
-    // tools/xtask/Cargo.toml -> workspace root is two levels up.
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .and_then(Path::parent)
-        .expect("xtask lives two levels below the workspace root")
-        .to_path_buf()
-}
-
-fn unsafe_audit() -> ExitCode {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    for top in ["src", "crates", "vendor", "tools", "benches", "tests"] {
-        collect_rs_files(&root.join(top), &mut files);
-    }
-    files.sort();
-
-    let mut violations = Vec::new();
-    let mut audited_sites = 0usize;
-    for file in &files {
-        let text = match std::fs::read_to_string(file) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("unsafe-audit: cannot read {}: {e}", file.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        let rel = file.strip_prefix(&root).unwrap_or(file);
-        audited_sites += audit_file(rel, &text, &mut violations);
-    }
-
-    if violations.is_empty() {
-        println!(
-            "unsafe-audit: OK — {audited_sites} unsafe site(s) across {} file(s), all justified",
-            files.len()
-        );
-        ExitCode::SUCCESS
-    } else {
-        let mut report = String::new();
-        for v in &violations {
-            let _ = writeln!(report, "{v}");
-        }
-        eprint!("{report}");
-        eprintln!(
-            "unsafe-audit: FAILED — {} unjustified unsafe site(s) (of {audited_sites} audited)",
-            violations.len()
-        );
-        ExitCode::FAILURE
-    }
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let entries = match std::fs::read_dir(dir) {
-        Ok(e) => e,
-        Err(_) => return, // optional top-level dirs may not exist
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            let name = entry.file_name();
-            if name == "target" || name == ".git" {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// What follows the `unsafe` keyword at a site.
-#[derive(Clone, Copy, PartialEq)]
-enum SiteKind {
-    /// `unsafe {` — an unsafe block (or unsafe expression body).
-    Block,
-    /// `unsafe fn` / `unsafe extern "C" fn` — a declaration whose contract
-    /// belongs in a `# Safety` doc section.
-    Fn,
-    /// `unsafe impl` / `unsafe trait`.
-    ImplOrTrait,
-}
-
-/// Audits one file; pushes violation strings and returns how many unsafe
-/// sites were inspected.
-fn audit_file(rel: &Path, text: &str, violations: &mut Vec<String>) -> usize {
-    let masked = mask_non_code(text);
-    let original_lines: Vec<&str> = text.lines().collect();
-    let masked_lines: Vec<&str> = masked.lines().collect();
-    let mut sites = 0usize;
-
-    for (idx, mline) in masked_lines.iter().enumerate() {
-        for col in keyword_positions(mline, "unsafe") {
-            sites += 1;
-            let kind = classify(&masked_lines, idx, col + "unsafe".len());
-            let lineno = idx + 1;
-            match kind {
-                SiteKind::Block | SiteKind::ImplOrTrait => {
-                    if !has_safety_comment(&original_lines, idx) {
-                        let what = if kind == SiteKind::Block {
-                            "unsafe block"
-                        } else {
-                            "unsafe impl/trait"
-                        };
-                        violations.push(format!(
-                            "{}:{lineno}: {what} without an adjacent `// SAFETY:` comment",
-                            rel.display()
-                        ));
-                    }
-                }
-                SiteKind::Fn => {
-                    if !has_safety_doc(&original_lines, idx) {
-                        violations.push(format!(
-                            "{}:{lineno}: unsafe fn without a `# Safety` doc section",
-                            rel.display()
-                        ));
-                    }
-                }
-            }
-        }
-    }
-    sites
-}
-
-/// Byte offsets of `word` in `line` at identifier boundaries.
-fn keyword_positions(line: &str, word: &str) -> Vec<usize> {
-    let bytes = line.as_bytes();
-    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(word) {
-        let start = from + pos;
-        let end = start + word.len();
-        let ok_before = start == 0 || !is_ident(bytes[start - 1]);
-        let ok_after = end >= bytes.len() || !is_ident(bytes[end]);
-        if ok_before && ok_after {
-            out.push(start);
-        }
-        from = end;
-    }
-    out
-}
-
-/// Looks at the first token after the `unsafe` keyword (possibly on a
-/// later line) to decide what kind of site this is.
-fn classify(masked_lines: &[&str], line: usize, col: usize) -> SiteKind {
-    let mut rest = masked_lines[line][col..].to_string();
-    // Pull in following lines until we see a meaningful token.
-    let mut next = line + 1;
-    while rest.trim().is_empty() && next < masked_lines.len() {
-        rest = masked_lines[next].to_string();
-        next += 1;
-    }
-    let trimmed = rest.trim_start();
-    if trimmed.starts_with("fn") || trimmed.starts_with("extern") || trimmed.starts_with("async") {
-        SiteKind::Fn
-    } else if trimmed.starts_with("impl") || trimmed.starts_with("trait") {
-        SiteKind::ImplOrTrait
-    } else {
-        SiteKind::Block
-    }
-}
-
-/// True if the site's own line or the contiguous run of comment/attribute
-/// lines directly above it contains `SAFETY:`.
-fn has_safety_comment(lines: &[&str], idx: usize) -> bool {
-    if lines[idx].contains("SAFETY:") {
-        return true;
-    }
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let t = lines[i].trim_start();
-        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") || t.starts_with("*") {
-            if t.contains("SAFETY:") {
-                return true;
-            }
-        } else {
-            break;
-        }
-    }
-    false
-}
-
-/// True if the contiguous doc-comment/attribute run above an `unsafe fn`
-/// contains a `# Safety` section (a plain `SAFETY:` comment also counts).
-fn has_safety_doc(lines: &[&str], idx: usize) -> bool {
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let t = lines[i].trim_start();
-        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") || t.starts_with("*") {
-            if t.contains("# Safety") || t.contains("SAFETY:") {
-                return true;
-            }
-        } else {
-            break;
-        }
-    }
-    false
-}
-
-/// Replaces the contents of comments and string/char literals with spaces
-/// so keyword scanning only sees real code. Newlines are preserved so line
-/// numbers stay aligned with the original.
-fn mask_non_code(text: &str) -> String {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(u32),
-        Char,
-    }
-    let chars: Vec<char> = text.chars().collect();
-    let mut out = String::with_capacity(text.len());
-    let mut st = St::Code;
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        match st {
-            St::Code => match c {
-                '/' if next == Some('/') => {
-                    st = St::LineComment;
-                    out.push_str("  ");
-                    i += 2;
-                }
-                '/' if next == Some('*') => {
-                    st = St::BlockComment(1);
-                    out.push_str("  ");
-                    i += 2;
-                }
-                '"' => {
-                    st = St::Str;
-                    out.push(' ');
-                    i += 1;
-                }
-                'r' if matches!(next, Some('"') | Some('#')) => {
-                    // Raw string r"..." / r#"..."# (also after a b prefix,
-                    // which the Code arm passes through harmlessly).
-                    let mut hashes = 0u32;
-                    let mut j = i + 1;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        st = St::RawStr(hashes);
-                        for _ in i..=j {
-                            out.push(' ');
-                        }
-                        i = j + 1;
-                    } else {
-                        out.push(c);
-                        i += 1;
-                    }
-                }
-                '\'' => {
-                    // Char/byte literal vs lifetime: a literal closes with a
-                    // quote one or two (escaped) chars ahead.
-                    let is_char_lit =
-                        next == Some('\\') || (next.is_some() && chars.get(i + 2) == Some(&'\''));
-                    if is_char_lit {
-                        st = St::Char;
-                        out.push(' ');
-                        i += 1;
-                    } else {
-                        out.push(c);
-                        i += 1;
-                    }
-                }
-                '\n' => {
-                    out.push('\n');
-                    i += 1;
-                }
-                _ => {
-                    out.push(c);
-                    i += 1;
-                }
-            },
-            St::LineComment => {
-                if c == '\n' {
-                    st = St::Code;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-                i += 1;
-            }
-            St::BlockComment(depth) => {
-                if c == '*' && next == Some('/') {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::BlockComment(depth - 1)
-                    };
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    st = St::BlockComment(depth + 1);
-                    out.push_str("  ");
-                    i += 2;
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            St::Str => {
-                if c == '\\' {
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
-                    st = St::Code;
-                    out.push(' ');
-                    i += 1;
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == '"' {
-                    let mut j = i + 1;
-                    let mut seen = 0u32;
-                    while seen < hashes && chars.get(j) == Some(&'#') {
-                        seen += 1;
-                        j += 1;
-                    }
-                    if seen == hashes {
-                        st = St::Code;
-                        for _ in i..j {
-                            out.push(' ');
-                        }
-                        i = j;
-                        continue;
-                    }
-                }
-                out.push(if c == '\n' { '\n' } else { ' ' });
-                i += 1;
-            }
-            St::Char => {
-                if c == '\\' {
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '\'' {
-                    st = St::Code;
-                    out.push(' ');
-                    i += 1;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-        }
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn masking_hides_comments_and_literals() {
-        let src = "let x = \"unsafe\"; // unsafe here\nlet y = 'u';\n/* unsafe */ let z = 1;\n";
-        let masked = mask_non_code(src);
-        assert!(!masked.contains("unsafe"));
-        assert_eq!(masked.lines().count(), src.lines().count());
-    }
-
-    #[test]
-    fn keyword_positions_respect_identifier_boundaries() {
-        assert_eq!(keyword_positions("unsafe {", "unsafe"), vec![0]);
-        assert!(keyword_positions("unsafe_op_in_unsafe_fn", "unsafe").is_empty());
-        assert_eq!(keyword_positions("x unsafe fn", "unsafe"), vec![2]);
-    }
-
-    #[test]
-    fn audit_flags_missing_and_accepts_present() {
-        let bad = "fn f() {\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
-        let mut v = Vec::new();
-        let n = audit_file(Path::new("t.rs"), bad, &mut v);
-        assert_eq!(n, 1);
-        assert_eq!(v.len(), 1);
-
-        let good = "fn f() {\n    // SAFETY: provably unreachable.\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
-        v.clear();
-        audit_file(Path::new("t.rs"), good, &mut v);
-        assert!(v.is_empty());
-
-        let good_fn = "/// Does things.\n///\n/// # Safety\n/// Caller must uphold X.\npub unsafe fn g() {}\n";
-        v.clear();
-        audit_file(Path::new("t.rs"), good_fn, &mut v);
-        assert!(v.is_empty());
-    }
-
-    #[test]
-    fn impls_need_safety_comments_too() {
-        let bad = "unsafe impl Send for Foo {}\n";
-        let mut v = Vec::new();
-        audit_file(Path::new("t.rs"), bad, &mut v);
-        assert_eq!(v.len(), 1);
-        assert!(v[0].contains("impl"));
-
-        let good = "// SAFETY: Foo owns no thread-affine state.\nunsafe impl Send for Foo {}\n";
-        v.clear();
-        audit_file(Path::new("t.rs"), good, &mut v);
-        assert!(v.is_empty());
-    }
+fn usage() {
+    eprintln!("usage: cargo xtask <task>");
+    eprintln!("tasks:");
+    eprintln!("  unsafe-audit   check that every `unsafe` site carries a justification");
+    eprintln!("  lint           run the concurrency-protocol rules (R1-R5, see lint.toml)");
 }

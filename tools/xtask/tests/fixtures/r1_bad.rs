@@ -1,0 +1,28 @@
+// R1 fixture (positive): ordering call sites without ORDERING: comments.
+// Expected findings: lines 8, 10, 12, 17 — and nowhere else.
+
+use core::sync::atomic::Ordering;
+
+pub fn violations(flag: &core::sync::atomic::AtomicBool) {
+    // A nearby comment without the marker does not count.
+    flag.store(true, Ordering::Release);
+
+    let x = flag.load(Ordering::Acquire);
+    let _ = x;
+    flag.swap(false, Ordering::AcqRel);
+
+    // Two orderings on one line (the compare_exchange below) produce
+    // exactly one diagnostic, anchored at the line naming them.
+    while flag
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::Relaxed)
+        .is_err()
+    {}
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: no diagnostic for the store below.
+    pub fn not_flagged(flag: &core::sync::atomic::AtomicBool) {
+        flag.store(true, core::sync::atomic::Ordering::Release);
+    }
+}

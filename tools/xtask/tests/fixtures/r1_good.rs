@@ -1,0 +1,19 @@
+// R1 fixture (negative): every ordering site justified. Expected: clean.
+
+use core::sync::atomic::Ordering;
+
+pub fn justified(flag: &core::sync::atomic::AtomicBool) {
+    // ORDERING: Release — pairs with the Acquire load below.
+    flag.store(true, Ordering::Release);
+
+    let x = flag.load(Ordering::Acquire); // ORDERING: pairs with the store above.
+    let _ = x;
+
+    // ORDERING: AcqRel — claim/handoff; pairs with itself across callers.
+    // A marker above a multi-line statement covers the line naming the
+    // orderings further down.
+    while flag
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::Relaxed)
+        .is_err()
+    {}
+}

@@ -1,0 +1,18 @@
+// R2 fixture (positive): std::sync reached directly in a loom-verified
+// crate. Expected findings: lines 4, 5, 6, 9 — and nowhere else.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::sync::RwLock;
+
+pub fn escape_hatch() {
+    let _ = loom::sync::atomic::AtomicUsize::new(0);
+    // Arc alone is fine (no loom instrumentation needed for refcounts).
+    let _ = Arc::new(AtomicU64::new(0));
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may use std primitives directly: no diagnostic here.
+    use std::sync::atomic::AtomicBool;
+}

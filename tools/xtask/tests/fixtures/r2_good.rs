@@ -1,0 +1,14 @@
+// R2 fixture (negative): primitives reached through the crate facade.
+// Expected: clean. `Arc` and `mpsc` are deliberately importable without
+// the facade — loom only needs to instrument interleaving-relevant ops.
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+pub fn fine() {
+    let n = Arc::new(AtomicU64::new(0));
+    // ORDERING: Relaxed — statistics counter, never synchronises.
+    n.fetch_add(1, Ordering::Relaxed);
+    let (_tx, _rx) = mpsc::channel::<u64>();
+}

@@ -1,0 +1,18 @@
+//! R3 fixture (positive): panicking operations in a `hot_path` module.
+//! lint: hot_path
+//!
+//! Expected findings: lines 7, 9, 11, 13, 15 — and nowhere else.
+
+pub fn violations(xs: &[u64], i: usize, o: Option<u64>) -> u64 {
+    let a = o.unwrap();
+    let r: Result<u64, ()> = Ok(a);
+    let b = r.expect("always ok");
+    if b > 10 {
+        panic!("too big");
+    }
+    let c = xs[i];
+    if c == 0 {
+        todo!();
+    }
+    a + b + c
+}

@@ -1,0 +1,19 @@
+//! R3 fixture (negative): panics justified or avoided. Expected: clean.
+//! lint: hot_path
+
+pub fn justified(xs: &[u64], i: usize, o: Option<u64>) -> u64 {
+    // PANIC-OK: i is the worker id, bounded by the team size at spawn.
+    let c = xs[i];
+    let a = o.unwrap_or(0);
+    let first = xs[0];
+    let d = o.unwrap(); // PANIC-OK: caller's contract guarantees Some.
+    debug_assert!(d > 0);
+    a + c + d + first
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only(o: Option<u64>) -> u64 {
+        o.unwrap()
+    }
+}

@@ -1,0 +1,13 @@
+//! R4 fixture (positive): blocking operations in a `hot_path` module.
+//! lint: hot_path
+//!
+//! Expected findings: lines 7, 8, 9, 10, 11 — and nowhere else.
+
+pub fn violations(mu: &Mutex<u64>, rx: &Receiver<u64>, tx: &Sender<u64>, cv: &Waiter) {
+    let g = mu.lock();
+    let v = rx.recv();
+    tx.send(1).ok();
+    cv.wait();
+    std::thread::sleep(TICK);
+    drop((g, v));
+}

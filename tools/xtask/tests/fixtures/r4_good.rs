@@ -1,0 +1,20 @@
+//! R4 fixture (negative): try_* siblings and justified blocking.
+//! lint: hot_path
+//!
+//! Expected: clean.
+
+pub fn justified(mu: &Mutex<u64>, rx: &Receiver<u64>, barrier: &Barrier) {
+    let g = mu.try_lock();
+    let v = rx.try_recv();
+    // BLOCKING-OK: end-of-input rendezvous; every worker arrives or the
+    // kill latch poisons the barrier.
+    barrier.wait();
+    drop((g, v));
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only(mu: &Mutex<u64>) {
+        let _ = mu.lock();
+    }
+}

@@ -1,0 +1,7 @@
+// R5 models fixture: drives `Covered`. Uncovered appears only in this
+// comment, so the masked coverage scan must not credit it.
+
+fn model_covered() {
+    let c = Covered::new();
+    let _ = c;
+}

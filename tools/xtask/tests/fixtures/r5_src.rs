@@ -1,0 +1,20 @@
+// R5 fixture: public atomic-owning types. `Covered` is named in the
+// models fixture; `Uncovered` is only mentioned there in a comment,
+// which must not count. Expected finding: line 10 only.
+
+pub struct Covered {
+    seq: AtomicU64,
+}
+
+/// Owns an atomic but no model drives it.
+pub struct Uncovered {
+    flag: AtomicBool,
+}
+
+pub struct Plain {
+    n: u64,
+}
+
+pub struct View {
+    tail: [*const Atomic<Node>; 4],
+}
