@@ -1,0 +1,252 @@
+//! Bench-regression smoke gate for the batched routing path (DESIGN.md
+//! §10, EXPERIMENTS.md §bench-smoke).
+//!
+//! Measures every engine on one fixed small workload at `batch_size = 1`
+//! (the pass-through oracle) and `batch_size = 64`, three trials each,
+//! reporting **median throughput** and **p99 latency**:
+//!
+//! ```text
+//! cargo run --release -p oij-bench --bin bench_smoke              # write BENCH_pr4.json
+//! cargo run --release -p oij-bench --bin bench_smoke -- --check BENCH_pr4.json
+//! ```
+//!
+//! Without arguments the measurement is written to `BENCH_pr4.json` (or
+//! the path given as the sole positional argument) — the committed
+//! baseline. With `--check <path>` the workload is re-measured and the
+//! process exits nonzero if any engine/batch configuration lost more
+//! than [`REGRESSION_TOLERANCE`] of its baseline median throughput —
+//! the CI job `bench-smoke` runs exactly this.
+//!
+//! Env knobs: `OIJ_BENCH_TUPLES` (default 120 000) and
+//! `OIJ_BENCH_TRIALS` (default 3; the median wants an odd count).
+
+use std::process::ExitCode;
+
+use serde::{Deserialize, Serialize};
+
+use oij_bench::run_engine_cfg;
+use oij_core::config::{EngineConfig, Instrumentation};
+use oij_core::engine::EngineKind;
+use oij_workload::{KeyDist, SyntheticConfig};
+
+use oij_common::{Duration, OijQuery};
+
+/// Median throughput may drop by at most this fraction before the check
+/// fails. Loose enough for shared-runner noise, tight enough to catch a
+/// real hot-path regression.
+const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// The batch sizes measured: the pass-through oracle and the default
+/// coalescing depth.
+const BATCHES: [usize; 2] = [1, 64];
+
+const ENGINES: [EngineKind; 4] = [
+    EngineKind::KeyOij,
+    EngineKind::ScaleOij,
+    EngineKind::SplitJoin,
+    EngineKind::OpenMldb,
+];
+
+/// One engine × batch-size measurement (medians over the trials).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Measurement {
+    /// Engine label (paper legend name).
+    engine: String,
+    /// Coalescing depth this row was measured at.
+    batch_size: usize,
+    /// Median throughput over the trials, tuples/second.
+    throughput: f64,
+    /// Every trial's throughput, for eyeballing variance.
+    trials: Vec<f64>,
+    /// Median p99 arrival→emission latency, milliseconds.
+    p99_ms: f64,
+}
+
+/// The committed baseline file format.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Report {
+    /// Workload identity, so a baseline is never compared across shapes.
+    workload: String,
+    /// Events per trial.
+    tuples: usize,
+    /// Trials per configuration.
+    trials: usize,
+    /// Joiners per engine.
+    joiners: usize,
+    /// All measurements.
+    measurements: Vec<Measurement>,
+    /// batch=64 over batch=1 median-throughput ratio per engine.
+    speedups: Vec<(String, f64)>,
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN throughput"));
+    xs[xs.len() / 2]
+}
+
+fn measure(tuples: usize, trials: usize, joiners: usize) -> Report {
+    // Fixed probe-heavy workload: lots of cheap per-tuple work, so the
+    // per-message routing overhead the batched path amortizes dominates.
+    let events = SyntheticConfig {
+        tuples,
+        unique_keys: 64,
+        key_dist: KeyDist::Uniform,
+        probe_fraction: 0.8,
+        spacing: Duration::from_micros(1),
+        disorder: Duration::ZERO,
+        payload_bytes: 0,
+        seed: 0x5EED_0004,
+    }
+    .generate();
+    let query = OijQuery::sum_over_preceding(Duration::from_micros(100), Duration::ZERO)
+        .expect("static query");
+
+    let mut measurements = Vec::new();
+    for kind in ENGINES {
+        for batch in BATCHES {
+            let mut tput = Vec::with_capacity(trials);
+            let mut p99 = Vec::with_capacity(trials);
+            for _ in 0..trials {
+                let cfg = EngineConfig::new(query.clone(), joiners)
+                    .expect("valid config")
+                    .with_instrument(Instrumentation::latency())
+                    .with_batch_size(batch);
+                let stats = run_engine_cfg(kind, cfg, &events).expect("bench run");
+                tput.push(stats.throughput);
+                p99.push(
+                    stats
+                        .latency
+                        .as_ref()
+                        .map(|h| h.quantile_ns(0.99) as f64 / 1e6)
+                        .unwrap_or(0.0),
+                );
+            }
+            let m = Measurement {
+                engine: kind.label().to_string(),
+                batch_size: batch,
+                throughput: median(&mut tput.clone()),
+                trials: tput,
+                p99_ms: median(&mut p99),
+            };
+            println!(
+                "{:>12} batch={:<3} {:>12.0} tuples/s   p99 {:>8.3} ms",
+                m.engine, m.batch_size, m.throughput, m.p99_ms
+            );
+            measurements.push(m);
+        }
+    }
+
+    let speedups = ENGINES
+        .iter()
+        .map(|k| {
+            let at = |b: usize| {
+                measurements
+                    .iter()
+                    .find(|m| m.engine == k.label() && m.batch_size == b)
+                    .map(|m| m.throughput)
+                    .unwrap_or(f64::NAN)
+            };
+            (k.label().to_string(), at(64) / at(1))
+        })
+        .collect::<Vec<_>>();
+    for (engine, s) in &speedups {
+        println!("{engine:>12} batch=64 speedup over batch=1: {s:.2}x");
+    }
+
+    Report {
+        workload: "uniform-64keys-0.8probe-100us-window".into(),
+        tuples,
+        trials,
+        joiners,
+        measurements,
+        speedups,
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tuples = env_usize("OIJ_BENCH_TUPLES", 120_000);
+    let trials = env_usize("OIJ_BENCH_TRIALS", 3).max(1);
+    let joiners = 4;
+
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_pr4.json");
+        let baseline: Report = match std::fs::read_to_string(path) {
+            Ok(s) => match serde_json::from_str(&s) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: cannot parse baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Re-measure at the baseline's own sizing so medians compare
+        // like-for-like regardless of the caller's env.
+        let current = measure(baseline.tuples, baseline.trials, baseline.joiners);
+        if current.workload != baseline.workload {
+            eprintln!(
+                "error: workload mismatch ({} vs {}); refresh the baseline",
+                current.workload, baseline.workload
+            );
+            return ExitCode::FAILURE;
+        }
+        let mut failed = false;
+        for b in &baseline.measurements {
+            let Some(c) = current
+                .measurements
+                .iter()
+                .find(|m| m.engine == b.engine && m.batch_size == b.batch_size)
+            else {
+                eprintln!(
+                    "error: {} batch={} missing from rerun",
+                    b.engine, b.batch_size
+                );
+                failed = true;
+                continue;
+            };
+            let floor = b.throughput * (1.0 - REGRESSION_TOLERANCE);
+            if c.throughput < floor {
+                eprintln!(
+                    "REGRESSION: {} batch={} {:.0} tuples/s < {:.0} \
+                     (baseline {:.0} − {:.0}% tolerance)",
+                    b.engine,
+                    b.batch_size,
+                    c.throughput,
+                    floor,
+                    b.throughput,
+                    REGRESSION_TOLERANCE * 100.0
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "bench-smoke: OK — every configuration within {:.0}% of the baseline",
+            REGRESSION_TOLERANCE * 100.0
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let out = args.first().map(String::as_str).unwrap_or("BENCH_pr4.json");
+    let report = measure(tuples, trials, joiners);
+    let json = serde_json::to_string_pretty(&report).expect("serialisable report");
+    if let Err(e) = std::fs::write(out, json) {
+        eprintln!("error: write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("[saved {out}]");
+    ExitCode::SUCCESS
+}

@@ -92,6 +92,16 @@ pub struct EngineConfig {
     pub faults: FaultPlan,
     /// What to do with tuples that arrive below the watermark.
     pub late_policy: LatePolicy,
+    /// Maximum data messages coalesced into one `Msg::Batch` per
+    /// destination before the driver routes it (DESIGN.md §10). The
+    /// default `1` bypasses coalescing entirely and reproduces the
+    /// one-message-per-tuple path exactly.
+    pub batch_size: usize,
+    /// Age bound for a partially filled batch buffer: once the oldest
+    /// coalesced tuple has waited this long, the buffer is flushed on the
+    /// next push regardless of fill, so trickle inputs never stall behind
+    /// a partial batch. Ignored when `batch_size == 1`.
+    pub flush_deadline: StdDuration,
 
     /// Scale-OIJ: number of key-hash partitions `P` (power of two).
     pub partitions: usize,
@@ -128,6 +138,8 @@ impl EngineConfig {
             send_timeout: StdDuration::from_secs(1),
             faults: FaultPlan::none(),
             late_policy: LatePolicy::default(),
+            batch_size: 1,
+            flush_deadline: StdDuration::from_micros(200),
             partitions: 64,
             schedule_interval: StdDuration::from_millis(5),
             schedule_delta: 0.01,
@@ -159,6 +171,12 @@ impl EngineConfig {
         self
     }
 
+    /// Replaces the routing batch size (`1` = unbatched).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
     /// Validates invariants; called by constructors and engine spawn.
     pub fn validate(&self) -> Result<()> {
         if self.joiners == 0 {
@@ -181,6 +199,20 @@ impl EngineConfig {
         }
         if self.send_timeout.is_zero() {
             return Err(Error::InvalidConfig("send_timeout must be > 0".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(Error::InvalidConfig("batch_size must be > 0".into()));
+        }
+        if self.batch_size > 65_536 {
+            return Err(Error::InvalidConfig(format!(
+                "batch_size = {} is unreasonably large",
+                self.batch_size
+            )));
+        }
+        if self.batch_size > 1 && self.flush_deadline.is_zero() {
+            return Err(Error::InvalidConfig(
+                "flush_deadline must be > 0 when batching".into(),
+            ));
         }
         if !self.partitions.is_power_of_two() {
             return Err(Error::InvalidConfig(format!(
@@ -257,6 +289,21 @@ mod tests {
     fn rejects_bad_decay() {
         let mut cfg = EngineConfig::new(query(), 2).unwrap();
         cfg.schedule_decay = 1.5;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn batching_defaults_off_and_validates() {
+        let cfg = EngineConfig::new(query(), 2).unwrap();
+        assert_eq!(cfg.batch_size, 1, "batch_size = 1 must be the default");
+        let mut cfg = cfg.with_batch_size(64);
+        assert!(cfg.validate().is_ok());
+        cfg.batch_size = 0;
+        assert!(cfg.validate().is_err());
+        cfg.batch_size = 1 << 20;
+        assert!(cfg.validate().is_err());
+        cfg.batch_size = 8;
+        cfg.flush_deadline = StdDuration::ZERO;
         assert!(cfg.validate().is_err());
     }
 

@@ -3,7 +3,7 @@
 use std::time::Duration as StdDuration;
 
 use oij_common::{Event, Result};
-use oij_metrics::{unbalancedness, LatencyHistogram, TimeBreakdown};
+use oij_metrics::{unbalancedness, BatchOccupancy, LatencyHistogram, TimeBreakdown};
 use serde::{Deserialize, Serialize};
 
 use crate::instrument::JoinerReport;
@@ -106,6 +106,10 @@ pub struct RunStats {
     /// teardown). Zero on a clean run.
     #[serde(default)]
     pub workers_lost: usize,
+    /// Fill levels of the coalesced batches the joiners received
+    /// (DESIGN.md §10). Empty when `batch_size == 1`.
+    #[serde(default)]
+    pub batch_occupancy: BatchOccupancy,
 }
 
 impl RunStats {
@@ -127,6 +131,7 @@ impl RunStats {
         let mut evicted = 0;
         let mut late_violations = 0;
         let mut late_side_outputs = 0;
+        let mut batch_occupancy = BatchOccupancy::new();
 
         for report in reports {
             results += report.results;
@@ -135,6 +140,7 @@ impl RunStats {
             evicted += inst.evicted;
             late_violations += inst.late_violations;
             late_side_outputs += inst.late_side_outputs;
+            batch_occupancy.merge(&inst.batch_occupancy);
             if let Some(h) = inst.latency {
                 match &mut latency {
                     None => latency = Some(h),
@@ -183,6 +189,7 @@ impl RunStats {
             late_side_outputs,
             aborted: false,
             workers_lost: 0,
+            batch_occupancy,
         }
     }
 

@@ -219,6 +219,13 @@ pub(crate) enum FaultAction {
 impl WorkerFaults {
     /// Applies the faults due at `ordinal`. May panic (the supervisor
     /// catches it), sleep, or block wedged until `kill` is raised.
+    ///
+    /// Ordinals count individual **data messages**, not channel messages:
+    /// a joiner draining a [`crate::message::BatchMsg`] calls this once
+    /// per contained [`crate::message::DataMsg`], so an injection point
+    /// that falls mid-batch fires exactly where it would on the
+    /// unbatched path (remaining tuples in the batch are dropped on
+    /// `Exit`, matching a worker death between channel receives).
     pub(crate) fn before_message(&self, ordinal: u64, kill: &AtomicBool) -> FaultAction {
         if let Some((at, msg)) = &self.panic_at {
             if ordinal == *at {

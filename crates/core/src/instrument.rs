@@ -7,7 +7,9 @@
 use std::time::Instant;
 
 use oij_cachesim::CacheSim;
-use oij_metrics::{BusyTimeline, EffectivenessMeter, LatencyHistogram, TimeBreakdown};
+use oij_metrics::{
+    BatchOccupancy, BusyTimeline, EffectivenessMeter, LatencyHistogram, TimeBreakdown,
+};
 
 use crate::config::Instrumentation;
 
@@ -33,6 +35,9 @@ pub struct JoinerInstruments {
     pub late_side_outputs: u64,
     /// Tuples evicted by expiration.
     pub evicted: u64,
+    /// Fill levels of the `Msg::Batch`es this joiner received (always on:
+    /// two adds per *batch*, nothing per tuple; empty when unbatched).
+    pub batch_occupancy: BatchOccupancy,
 }
 
 impl JoinerInstruments {
@@ -51,7 +56,14 @@ impl JoinerInstruments {
             late_violations: 0,
             late_side_outputs: 0,
             evicted: 0,
+            batch_occupancy: BatchOccupancy::new(),
         }
+    }
+
+    /// Records the fill level of one received batch.
+    #[inline]
+    pub fn record_batch(&mut self, len: usize) {
+        self.batch_occupancy.record(len);
     }
 
     /// Records one emitted result's latency given its arrival instant.

@@ -24,6 +24,7 @@ use crossbeam_channel::{bounded, Receiver, Sender};
 use oij_agg::FullWindowAgg;
 use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestamp};
 
+use crate::batch::{Batcher, SlotPool};
 use crate::config::EngineConfig;
 use crate::driver::{Driver, Prepared};
 use crate::engine::{OijEngine, RunStats};
@@ -52,6 +53,8 @@ pub struct KeyOij {
     poison: Option<Error>,
     since_heartbeat: usize,
     done: bool,
+    /// Per-joiner coalescing buffers (pass-through when `batch_size == 1`).
+    batcher: Batcher,
 }
 
 impl KeyOij {
@@ -61,12 +64,15 @@ impl KeyOij {
         let origin = Instant::now();
         let failures = Arc::new(FailureCell::new());
         let kill = Arc::new(AtomicBool::new(false));
+        // Sized so every destination can have a buffer in flight plus a
+        // few spares; overflow just means one fresh allocation per batch.
+        let pool = Arc::new(SlotPool::new(cfg.joiners * 8 + 16));
         let mut senders = Vec::with_capacity(cfg.joiners);
         let mut handles = Vec::with_capacity(cfg.joiners);
         for id in 0..cfg.joiners {
             let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
             let worker_sink = cfg.faults.wrap_sink(id, sink.clone(), Arc::clone(&kill));
-            let worker = KeyJoiner::new(&cfg, worker_sink, origin);
+            let worker = KeyJoiner::new(&cfg, worker_sink, origin, Arc::clone(&pool));
             let faults = cfg.faults.for_worker(id);
             let cell = Arc::clone(&failures);
             let wkill = Arc::clone(&kill);
@@ -81,6 +87,7 @@ impl KeyOij {
             senders.push(tx);
         }
         let lateness = cfg.query.window.lateness;
+        let batcher = Batcher::new(cfg.joiners, cfg.batch_size, cfg.flush_deadline, pool);
         Ok(KeyOij {
             cfg,
             driver: Driver::new(lateness),
@@ -92,6 +99,7 @@ impl KeyOij {
             poison: None,
             since_heartbeat: 0,
             done: false,
+            batcher,
         })
     }
 
@@ -158,10 +166,24 @@ impl OijEngine for KeyOij {
                 // Static binding: the key's hash picks the joiner, forever.
                 let joiner = (hash_key(msg.tuple.key) % self.cfg.joiners as u64) as usize;
                 let watermark = msg.watermark;
-                self.route(joiner, Msg::Data(Box::new(msg)))?;
+                // The arrival stamp doubles as "now" for the flush
+                // deadline, so batching adds no clock reads per tuple.
+                let now = msg.arrival;
+                if let Some(out) = self.batcher.push(joiner, msg) {
+                    self.route(joiner, out)?;
+                }
+                while let Some((dest, out)) = self.batcher.pop_expired(now) {
+                    self.route(dest, out)?;
+                }
                 self.since_heartbeat += 1;
                 if self.since_heartbeat >= self.cfg.heartbeat_every {
                     self.since_heartbeat = 0;
+                    // Flush-before-heartbeat: a heartbeat must never
+                    // advance a joiner's watermark past tuples still
+                    // parked in a coalescing buffer (DESIGN.md §10).
+                    while let Some((dest, out)) = self.batcher.pop_any() {
+                        self.route(dest, out)?;
+                    }
                     for j in 0..self.senders.len() {
                         self.route(j, Msg::Heartbeat(watermark))?;
                     }
@@ -177,6 +199,10 @@ impl OijEngine for KeyOij {
         }
         if let Some(cause) = &self.poison {
             return Err(cause.clone());
+        }
+        // End of input: hand over any partially filled batches first.
+        while let Some((dest, out)) = self.batcher.pop_any() {
+            self.route(dest, out)?;
         }
         for j in 0..self.senders.len() {
             self.route(j, Msg::Flush)?;
@@ -244,6 +270,8 @@ struct KeyJoiner {
     pending: BTreeMap<(i64, u64), PendingBase>,
     /// Scratch for the breakdown-instrumented two-phase scan.
     scratch: Vec<f64>,
+    /// Returns drained batch buffers to the driver (DESIGN.md §10).
+    pool: Arc<SlotPool<Vec<DataMsg>>>,
     results: u64,
     since_expire: usize,
     last_wm: Timestamp,
@@ -256,7 +284,12 @@ struct PendingBase {
 }
 
 impl KeyJoiner {
-    fn new(cfg: &EngineConfig, sink: Sink, origin: Instant) -> Self {
+    fn new(
+        cfg: &EngineConfig,
+        sink: Sink,
+        origin: Instant,
+        pool: Arc<SlotPool<Vec<DataMsg>>>,
+    ) -> Self {
         KeyJoiner {
             inst: JoinerInstruments::new(&cfg.instrument, origin),
             cfg: cfg.clone(),
@@ -264,6 +297,7 @@ impl KeyJoiner {
             probes: HashMap::new(),
             pending: BTreeMap::new(),
             scratch: Vec::new(),
+            pool,
             results: 0,
             since_expire: 0,
             last_wm: Timestamp::MIN,
@@ -307,6 +341,36 @@ impl KeyJoiner {
                     if let Some(s) = busy_start {
                         self.inst.record_busy(s);
                     }
+                }
+                Msg::Batch(mut batch) => {
+                    self.inst.record_batch(batch.msgs.len());
+                    let busy_start = timeline_on.then(Instant::now);
+                    if let Some(f) = &faults {
+                        // Fault ordinals address individual data messages
+                        // inside the batch, so an injection point that is
+                        // not on a batch boundary still fires exactly
+                        // there, mid-batch.
+                        for msg in batch.msgs.drain(..) {
+                            let action = f.before_message(ordinal, &kill);
+                            ordinal += 1;
+                            if action == FaultAction::Exit {
+                                return JoinerReport {
+                                    instruments: self.inst,
+                                    results: self.results,
+                                };
+                            }
+                            self.handle(msg);
+                        }
+                    } else {
+                        self.handle_batch(&batch.msgs);
+                    }
+                    if let Some(s) = busy_start {
+                        self.inst.record_busy(s);
+                    }
+                    // Recycle the (emptied) buffer; a full pool just
+                    // drops it.
+                    batch.msgs.clear();
+                    let _ = self.pool.put(batch.msgs);
                 }
             }
         }
@@ -362,6 +426,63 @@ impl KeyJoiner {
         if self.since_expire >= self.cfg.expire_every {
             self.since_expire = 0;
             self.expire();
+        }
+    }
+
+    /// Processes one coalesced batch. Semantically identical to calling
+    /// [`handle`](Self::handle) once per message — the only shortcut is
+    /// pinning the per-key buffer lookup across a run of consecutive
+    /// same-key probes in eager mode, where inserts have no emission side
+    /// effects. The run is capped at the remaining expiration budget so
+    /// the periodic sweep still fires after exactly the same message as
+    /// on the unbatched path.
+    fn handle_batch(&mut self, msgs: &[DataMsg]) {
+        let eager = self.cfg.query.emit == EmitMode::Eager;
+        let mut i = 0;
+        while i < msgs.len() {
+            if !(eager && msgs[i].side == Side::Probe) {
+                // Base tuples and watermark mode keep the scalar path:
+                // both can emit, which couples every message to the ones
+                // before it.
+                self.handle(msgs[i].clone());
+                i += 1;
+                continue;
+            }
+            let key = msgs[i].tuple.key;
+            let budget = (self.cfg.expire_every - self.since_expire).max(1);
+            let mut end = i + 1;
+            while end < msgs.len()
+                && end - i < budget
+                && msgs[end].side == Side::Probe
+                && msgs[end].tuple.key == key
+            {
+                end += 1;
+            }
+            let cache_on = self.inst.cache.is_some();
+            // The pinned lookup: one hash probe for the whole run.
+            let buf = self.probes.entry(key).or_default();
+            for m in &msgs[i..end] {
+                self.inst.processed += 1;
+                self.last_wm = m.watermark;
+                if m.tuple.ts < m.watermark {
+                    self.inst.late_violations += 1;
+                }
+                buf.push(Stored {
+                    ts: m.tuple.ts.as_micros(),
+                    value: m.tuple.value,
+                });
+                if cache_on {
+                    let addr =
+                        buf.as_ptr() as usize + (buf.len() - 1) * std::mem::size_of::<Stored>();
+                    self.inst.record_access(addr, std::mem::size_of::<Stored>());
+                }
+            }
+            self.since_expire += end - i;
+            if self.since_expire >= self.cfg.expire_every {
+                self.since_expire = 0;
+                self.expire();
+            }
+            i = end;
         }
     }
 

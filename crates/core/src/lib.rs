@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub(crate) mod driver;
 pub mod engine;
@@ -50,6 +51,7 @@ pub mod sink;
 pub mod splitjoin;
 pub(crate) mod sync;
 
+pub use batch::SlotPool;
 pub use config::{EngineConfig, Instrumentation, LatePolicy};
 pub use engine::{EngineKind, OijEngine, RunStats};
 pub use faults::{FailureCell, FaultPlan, WorkerFailure, SCHEDULER};

@@ -9,13 +9,38 @@ use oij_common::{Side, Timestamp, Tuple};
 pub(crate) enum Msg {
     /// A data tuple.
     Data(Box<DataMsg>),
+    /// A coalesced run of data tuples for this destination (see
+    /// [`BatchMsg`]). Only produced when `EngineConfig::batch_size > 1`.
+    Batch(Box<BatchMsg>),
     /// Periodic watermark broadcast so that joiners receiving little or no
     /// data still advance their published progress (enabling expiration
     /// and watermark-mode emission on their teammates).
+    ///
+    /// Ordering contract: the driver flushes every coalescing buffer
+    /// *before* broadcasting a heartbeat, so a heartbeat can never advance
+    /// a joiner's watermark past tuples still parked in a driver-side
+    /// batch buffer (see DESIGN.md §10).
     Heartbeat(Timestamp),
     /// End of input. After receiving this a joiner drains its pending
     /// state and reports its statistics.
     Flush,
+}
+
+/// Up to `EngineConfig::batch_size` data messages for one destination, in
+/// arrival order. Semantically equivalent to sending each [`DataMsg`]
+/// individually: joiners process the run element by element (late
+/// accounting, watermark bookkeeping and expiration cadence are applied
+/// per tuple), and fault ordinals keep addressing individual data
+/// messages inside the batch. Batching only amortizes channel
+/// synchronization and lets joiners pin a key/index lookup across a
+/// same-key run.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchMsg {
+    /// The coalesced messages, oldest first. The backing `Vec` is drawn
+    /// from (and returned to) the engine's [`SlotPool`]
+    /// (crate::batch::SlotPool) so steady state allocates nothing per
+    /// tuple on the routing path.
+    pub msgs: Vec<DataMsg>,
 }
 
 /// The payload of a data message. Boxed to keep the channel slot small.

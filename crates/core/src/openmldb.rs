@@ -31,6 +31,7 @@ use parking_lot::RwLock;
 use oij_agg::FullWindowAgg;
 use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestamp};
 
+use crate::batch::{Batcher, SlotPool};
 use crate::config::EngineConfig;
 use crate::driver::{Driver, Prepared};
 use crate::engine::{OijEngine, RunStats};
@@ -61,6 +62,8 @@ pub struct OpenMldbBaseline {
     poison: Option<Error>,
     rr: usize,
     done: bool,
+    /// Per-worker coalescing buffers (pass-through when `batch_size == 1`).
+    batcher: Batcher,
 }
 
 impl OpenMldbBaseline {
@@ -80,6 +83,7 @@ impl OpenMldbBaseline {
         let expired_to = Arc::new(AtomicI64::new(i64::MIN));
         let failures = Arc::new(FailureCell::new());
         let kill = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(SlotPool::new(cfg.joiners * 8 + 16));
 
         let mut senders = Vec::with_capacity(cfg.joiners);
         let mut handles = Vec::with_capacity(cfg.joiners);
@@ -91,6 +95,7 @@ impl OpenMldbBaseline {
                 sink: cfg.faults.wrap_sink(id, sink.clone(), Arc::clone(&kill)),
                 store: Arc::clone(&store),
                 expired_to: Arc::clone(&expired_to),
+                pool: Arc::clone(&pool),
                 results: 0,
                 since_expire: 0,
                 last_wm: Timestamp::MIN,
@@ -109,6 +114,7 @@ impl OpenMldbBaseline {
             senders.push(tx);
         }
         let lateness = cfg.query.window.lateness;
+        let batcher = Batcher::new(cfg.joiners, cfg.batch_size, cfg.flush_deadline, pool);
         Ok(OpenMldbBaseline {
             cfg,
             driver: Driver::new(lateness),
@@ -120,6 +126,7 @@ impl OpenMldbBaseline {
             poison: None,
             rr: 0,
             done: false,
+            batcher,
         })
     }
 
@@ -183,7 +190,14 @@ impl OijEngine for OpenMldbBaseline {
                 // against the shared store (round-robin dispatch).
                 self.rr = (self.rr + 1) % self.senders.len();
                 let worker = self.rr;
-                self.route(worker, Msg::Data(Box::new(msg)))
+                let now = msg.arrival;
+                if let Some(out) = self.batcher.push(worker, msg) {
+                    self.route(worker, out)?;
+                }
+                while let Some((dest, out)) = self.batcher.pop_expired(now) {
+                    self.route(dest, out)?;
+                }
+                Ok(())
             }
         }
     }
@@ -194,6 +208,10 @@ impl OijEngine for OpenMldbBaseline {
         }
         if let Some(cause) = &self.poison {
             return Err(cause.clone());
+        }
+        // End of input: hand over any partially filled batches first.
+        while let Some((dest, out)) = self.batcher.pop_any() {
+            self.route(dest, out)?;
         }
         for j in 0..self.senders.len() {
             self.route(j, Msg::Flush)?;
@@ -246,6 +264,8 @@ struct MldbWorker {
     inst: JoinerInstruments,
     store: Arc<Store>,
     expired_to: Arc<AtomicI64>,
+    /// Returns drained batch buffers to the driver (DESIGN.md §10).
+    pool: Arc<SlotPool<Vec<DataMsg>>>,
     results: u64,
     since_expire: usize,
     last_wm: Timestamp,
@@ -283,6 +303,33 @@ impl MldbWorker {
                         self.inst.record_busy(s);
                     }
                 }
+                Msg::Batch(mut batch) => {
+                    self.inst.record_batch(batch.msgs.len());
+                    let busy_start = timeline_on.then(Instant::now);
+                    if let Some(f) = &faults {
+                        // Fault ordinals address individual data messages
+                        // inside the batch (mid-batch injection points
+                        // fire exactly where they would unbatched).
+                        for msg in batch.msgs.drain(..) {
+                            let action = f.before_message(ordinal, &kill);
+                            ordinal += 1;
+                            if action == FaultAction::Exit {
+                                return JoinerReport {
+                                    instruments: self.inst,
+                                    results: self.results,
+                                };
+                            }
+                            self.handle(msg);
+                        }
+                    } else {
+                        self.handle_batch(&batch.msgs);
+                    }
+                    if let Some(s) = busy_start {
+                        self.inst.record_busy(s);
+                    }
+                    batch.msgs.clear();
+                    let _ = self.pool.put(batch.msgs);
+                }
             }
         }
         JoinerReport {
@@ -315,6 +362,56 @@ impl MldbWorker {
         if self.since_expire >= self.cfg.expire_every {
             self.since_expire = 0;
             self.expire();
+        }
+    }
+
+    /// Processes one coalesced batch; semantically identical to calling
+    /// [`handle`](Self::handle) once per message. The pinned resource here
+    /// is the store's writer lock: one acquisition covers a whole run of
+    /// consecutive probes (with the per-key series entry additionally
+    /// pinned across same-key sub-runs) — the inserts themselves are
+    /// unchanged, the run merely cannot interleave with other workers'
+    /// inserts, which round-robin dispatch never promised anyway. Runs are
+    /// capped at the remaining expiration budget so the sweep cadence
+    /// matches the unbatched path exactly.
+    fn handle_batch(&mut self, msgs: &[DataMsg]) {
+        let mut i = 0;
+        while i < msgs.len() {
+            if msgs[i].side != Side::Probe {
+                self.handle(msgs[i].clone());
+                i += 1;
+                continue;
+            }
+            let budget = (self.cfg.expire_every - self.since_expire).max(1);
+            let mut end = i + 1;
+            while end < msgs.len() && end - i < budget && msgs[end].side == Side::Probe {
+                end += 1;
+            }
+            {
+                // One writer-exclusive acquisition for the whole probe run.
+                let mut store = self.store.write();
+                let mut j = i;
+                while j < end {
+                    let key = msgs[j].tuple.key;
+                    let series = store.entry(key).or_default();
+                    while j < end && msgs[j].tuple.key == key {
+                        let m = &msgs[j];
+                        self.inst.processed += 1;
+                        self.last_wm = m.watermark;
+                        if m.tuple.ts < m.watermark {
+                            self.inst.late_violations += 1;
+                        }
+                        series.insert((m.tuple.ts.as_micros(), m.seq), m.tuple.value);
+                        j += 1;
+                    }
+                }
+            }
+            self.since_expire += end - i;
+            if self.since_expire >= self.cfg.expire_every {
+                self.since_expire = 0;
+                self.expire();
+            }
+            i = end;
         }
     }
 

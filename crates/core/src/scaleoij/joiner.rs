@@ -31,6 +31,7 @@ use oij_agg::{FullWindowAgg, PartialAgg, RunningAgg, TwoStackAgg};
 use oij_common::{AggSpec, EmitMode, FeatureRow, Key, Side, Timestamp};
 use oij_skiplist::{IndexReader, IndexWriter, RcuCell};
 
+use crate::batch::SlotPool;
 use crate::config::{EngineConfig, LatePolicy};
 use crate::faults::{DrainBarrier, FailureCell, FaultAction, WorkerFaults};
 use crate::hash_key;
@@ -150,6 +151,8 @@ pub(crate) struct ScaleJoiner {
     cell: Arc<FailureCell>,
     kill: Arc<AtomicBool>,
     faults: Option<WorkerFaults>,
+    /// Returns drained batch buffers to the driver (DESIGN.md §10).
+    pool: Arc<SlotPool<Vec<DataMsg>>>,
     scratch: Vec<f64>,
     scratch_pairs: Vec<(i64, f64)>,
     results: u64,
@@ -174,6 +177,7 @@ impl ScaleJoiner {
         cell: Arc<FailureCell>,
         kill: Arc<AtomicBool>,
         faults: Option<WorkerFaults>,
+        pool: Arc<SlotPool<Vec<DataMsg>>>,
     ) -> Self {
         ScaleJoiner {
             id,
@@ -193,6 +197,7 @@ impl ScaleJoiner {
             cell,
             kill,
             faults,
+            pool,
             scratch: Vec::new(),
             scratch_pairs: Vec::new(),
             results: 0,
@@ -227,6 +232,35 @@ impl ScaleJoiner {
                     if let Some(s) = busy_start {
                         self.inst.record_busy(s);
                     }
+                }
+                Msg::Batch(mut batch) => {
+                    self.inst.record_batch(batch.msgs.len());
+                    let busy_start = timeline_on.then(Instant::now);
+                    // Scale-OIJ deliberately processes batches message by
+                    // message: per-tuple progress publication and pending
+                    // drains are load-bearing for the cross-joiner
+                    // frontiers, and the SWMR writer already amortizes
+                    // same-key inserts through its internal position
+                    // hint. Batching still amortizes the channel
+                    // synchronization and per-message allocation. Fault
+                    // ordinals address individual data messages, so
+                    // mid-batch injection points fire exactly where they
+                    // would on the unbatched path.
+                    for msg in batch.msgs.drain(..) {
+                        if let Some(f) = &self.faults {
+                            let action = f.before_message(ordinal, &self.kill);
+                            ordinal += 1;
+                            if action == FaultAction::Exit {
+                                return self.report();
+                            }
+                        }
+                        self.handle(msg);
+                    }
+                    if let Some(s) = busy_start {
+                        self.inst.record_busy(s);
+                    }
+                    batch.msgs.clear();
+                    let _ = self.pool.put(batch.msgs);
                 }
             }
         }

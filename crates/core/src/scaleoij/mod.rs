@@ -39,6 +39,7 @@ use crossbeam_channel::{bounded, Sender};
 use oij_common::{Error, Event, Result};
 use oij_skiplist::{RcuCell, TimeTravelIndex};
 
+use crate::batch::{Batcher, SlotPool};
 use crate::config::EngineConfig;
 use crate::driver::{Driver, Prepared};
 use crate::engine::{OijEngine, RunStats};
@@ -83,6 +84,8 @@ pub struct ScaleOij {
     part_mask: u64,
     since_heartbeat: usize,
     done: bool,
+    /// Per-joiner coalescing buffers (pass-through when `batch_size == 1`).
+    batcher: Batcher,
 }
 
 impl ScaleOij {
@@ -115,6 +118,7 @@ impl ScaleOij {
         let stop = Arc::new(AtomicBool::new(false));
         let failures = Arc::new(FailureCell::new());
         let kill = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(SlotPool::new(joiners * 8 + 16));
 
         let mut senders = Vec::with_capacity(joiners);
         let mut handles = Vec::with_capacity(joiners);
@@ -137,6 +141,7 @@ impl ScaleOij {
                 Arc::clone(&failures),
                 Arc::clone(&kill),
                 faults,
+                Arc::clone(&pool),
             );
             let cell = Arc::clone(&failures);
             handles.push(
@@ -204,6 +209,7 @@ impl ScaleOij {
         let lateness = cfg.query.window.lateness;
         let sched_cache = schedule.load();
         let partitions = cfg.partitions;
+        let batcher = Batcher::new(joiners, cfg.batch_size, cfg.flush_deadline, pool);
         Ok(ScaleOij {
             cfg,
             driver: Driver::new(lateness),
@@ -223,6 +229,7 @@ impl ScaleOij {
             part_mask: (partitions - 1) as u64,
             since_heartbeat: 0,
             done: false,
+            batcher,
         })
     }
 
@@ -323,10 +330,27 @@ impl OijEngine for ScaleOij {
                 let member = team[(self.rr[p] as usize) % team.len()];
                 self.rr[p] = self.rr[p].wrapping_add(1);
                 let watermark = msg.watermark;
-                self.route(member, Msg::Data(Box::new(msg)))?;
+                // The arrival stamp doubles as "now" for the flush
+                // deadline (no extra clock reads per tuple). A schedule
+                // change while a buffer is parked is benign: the buffer
+                // still drains to the member chosen at coalescing time,
+                // which stays a valid team member (teams only grow).
+                let now = msg.arrival;
+                if let Some(out) = self.batcher.push(member, msg) {
+                    self.route(member, out)?;
+                }
+                while let Some((dest, out)) = self.batcher.pop_expired(now) {
+                    self.route(dest, out)?;
+                }
                 self.since_heartbeat += 1;
                 if self.since_heartbeat >= self.cfg.heartbeat_every {
                     self.since_heartbeat = 0;
+                    // Flush-before-heartbeat: a heartbeat must never
+                    // advance a joiner's published progress past tuples
+                    // still parked in a coalescing buffer (DESIGN.md §10).
+                    while let Some((dest, out)) = self.batcher.pop_any() {
+                        self.route(dest, out)?;
+                    }
                     for j in 0..self.senders.len() {
                         self.route(j, Msg::Heartbeat(watermark))?;
                     }
@@ -348,6 +372,10 @@ impl OijEngine for ScaleOij {
         if let Some(e) = sched_err {
             self.poison = Some(e.clone());
             return Err(e);
+        }
+        // End of input: hand over any partially filled batches first.
+        while let Some((dest, out)) = self.batcher.pop_any() {
+            self.route(dest, out)?;
         }
         for j in 0..self.senders.len() {
             self.route(j, Msg::Flush)?;

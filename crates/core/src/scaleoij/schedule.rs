@@ -10,6 +10,12 @@
 //! than transferring"), so a joiner that ever wrote tuples of a partition
 //! remains in its team and the tuples stay readable — no data migration,
 //! and in-flight tuples stay correct across schedule changes.
+//!
+//! Batched routing (DESIGN.md §10) interacts with this the same way
+//! in-flight messages do: the driver picks a batch's destination member
+//! when the **first** tuple is coalesced, and because teams only ever
+//! grow, that member is still a valid writer for every tuple in the
+//! batch when it flushes — even if a rebalance landed in between.
 
 use crate::sync::atomic::{AtomicU64, Ordering};
 

@@ -26,6 +26,7 @@ use crossbeam_channel::{bounded, Receiver, Sender};
 use oij_agg::PartialAgg;
 use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestamp};
 
+use crate::batch::{Batcher, SlotPool};
 use crate::config::EngineConfig;
 use crate::driver::{Driver, Prepared};
 use crate::engine::{OijEngine, RunStats};
@@ -56,6 +57,9 @@ pub struct SplitJoin {
     kill: Arc<AtomicBool>,
     poison: Option<Error>,
     done: bool,
+    /// One coalescing buffer for the whole broadcast group: every joiner
+    /// receives the same batch (pass-through when `batch_size == 1`).
+    batcher: Batcher,
 }
 
 /// What one joiner tells the collector about one base tuple.
@@ -86,12 +90,15 @@ impl SplitJoin {
         let (col_tx, col_rx) = bounded::<ToCollector>(cfg.channel_capacity);
         let failures = Arc::new(FailureCell::new());
         let kill = Arc::new(AtomicBool::new(false));
+        // Every joiner returns its own clone of a broadcast batch, so size
+        // the pool generously; overflow is one dropped buffer, not an error.
+        let pool = Arc::new(SlotPool::new(joiners * 8 + 16));
 
         let mut senders = Vec::with_capacity(joiners);
         let mut handles = Vec::with_capacity(joiners);
         for id in 0..joiners {
             let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
-            let worker = SplitJoiner::new(id, &cfg, origin, col_tx.clone());
+            let worker = SplitJoiner::new(id, &cfg, origin, col_tx.clone(), Arc::clone(&pool));
             let faults = cfg.faults.for_worker(id);
             let cell = Arc::clone(&failures);
             let wkill = Arc::clone(&kill);
@@ -128,6 +135,7 @@ impl SplitJoin {
             .map_err(|e| Error::InvalidState(format!("spawn failed: {e}")))?;
 
         let lateness = cfg.query.window.lateness;
+        let batcher = Batcher::new(1, cfg.batch_size, cfg.flush_deadline, pool);
         Ok(SplitJoin {
             cfg,
             driver: Driver::new(lateness),
@@ -140,7 +148,18 @@ impl SplitJoin {
             kill,
             poison: None,
             done: false,
+            batcher,
         })
+    }
+
+    /// The SplitJoin distribution tree: everyone gets the message (the
+    /// last sender receives the original, the rest clones).
+    fn broadcast(&mut self, msg: Msg) -> Result<()> {
+        let last = self.senders.len() - 1;
+        for j in 0..last {
+            self.route(j, msg.clone())?;
+        }
+        self.route(last, msg)
     }
 
     #[inline]
@@ -313,10 +332,14 @@ impl OijEngine for SplitJoin {
         match self.driver.prepare(event)? {
             Prepared::Flush => Ok(()),
             Prepared::Data(msg) => {
-                // The SplitJoin distribution tree: broadcast to everyone.
-                let boxed = Box::new(msg);
-                for j in 0..self.senders.len() {
-                    self.route(j, Msg::Data(boxed.clone()))?;
+                // The arrival stamp doubles as "now" for the flush
+                // deadline (no extra clock reads per tuple).
+                let now = msg.arrival;
+                if let Some(out) = self.batcher.push(0, msg) {
+                    self.broadcast(out)?;
+                }
+                while let Some((_, out)) = self.batcher.pop_expired(now) {
+                    self.broadcast(out)?;
                 }
                 Ok(())
             }
@@ -329,6 +352,10 @@ impl OijEngine for SplitJoin {
         }
         if let Some(cause) = &self.poison {
             return Err(cause.clone());
+        }
+        // End of input: hand over any partially filled batch first.
+        while let Some((_, out)) = self.batcher.pop_any() {
+            self.broadcast(out)?;
         }
         for j in 0..self.senders.len() {
             self.route(j, Msg::Flush)?;
@@ -395,13 +422,21 @@ struct SplitJoiner {
     slice: HashMap<Key, Vec<Stored>>,
     /// Watermark mode: pending base tuples.
     pending: BTreeMap<(i64, u64), (Key, Timestamp, Instant)>,
+    /// Returns drained batch buffers to the driver (DESIGN.md §10).
+    pool: Arc<SlotPool<Vec<DataMsg>>>,
     since_expire: usize,
     last_wm: Timestamp,
     results: u64,
 }
 
 impl SplitJoiner {
-    fn new(id: usize, cfg: &EngineConfig, origin: Instant, collector: Sender<ToCollector>) -> Self {
+    fn new(
+        id: usize,
+        cfg: &EngineConfig,
+        origin: Instant,
+        collector: Sender<ToCollector>,
+        pool: Arc<SlotPool<Vec<DataMsg>>>,
+    ) -> Self {
         SplitJoiner {
             id,
             inst: JoinerInstruments::new(&cfg.instrument, origin),
@@ -409,6 +444,7 @@ impl SplitJoiner {
             collector,
             slice: HashMap::new(),
             pending: BTreeMap::new(),
+            pool,
             since_expire: 0,
             last_wm: Timestamp::MIN,
             results: 0,
@@ -448,6 +484,33 @@ impl SplitJoiner {
                     if let Some(s) = busy_start {
                         self.inst.record_busy(s);
                     }
+                }
+                Msg::Batch(mut batch) => {
+                    self.inst.record_batch(batch.msgs.len());
+                    let busy_start = timeline_on.then(Instant::now);
+                    if let Some(f) = &faults {
+                        // Fault ordinals address individual data messages
+                        // inside the batch (mid-batch injection points
+                        // fire exactly where they would unbatched).
+                        for msg in batch.msgs.drain(..) {
+                            let action = f.before_message(ordinal, &kill);
+                            ordinal += 1;
+                            if action == FaultAction::Exit {
+                                return JoinerReport {
+                                    instruments: self.inst,
+                                    results: self.results,
+                                };
+                            }
+                            self.handle(msg);
+                        }
+                    } else {
+                        self.handle_batch(&batch.msgs);
+                    }
+                    if let Some(s) = busy_start {
+                        self.inst.record_busy(s);
+                    }
+                    batch.msgs.clear();
+                    let _ = self.pool.put(batch.msgs);
                 }
             }
         }
@@ -504,6 +567,77 @@ impl SplitJoiner {
         if self.since_expire >= self.cfg.expire_every {
             self.since_expire = 0;
             self.expire();
+        }
+    }
+
+    /// Processes one coalesced batch; semantically identical to calling
+    /// [`handle`](Self::handle) once per message. Pinning applies to runs
+    /// of consecutive same-key probes in eager mode: the slice lookup
+    /// happens once per run, and non-owned probes in the run only pay
+    /// their bookkeeping. Runs are capped at the remaining expiration
+    /// budget so the sweep cadence matches the unbatched path exactly.
+    fn handle_batch(&mut self, msgs: &[DataMsg]) {
+        let eager = self.cfg.query.emit == EmitMode::Eager;
+        let mut i = 0;
+        while i < msgs.len() {
+            if !(eager && msgs[i].side == Side::Probe) {
+                // Bases and watermark mode can emit — keep the scalar path.
+                self.handle(msgs[i].clone());
+                i += 1;
+                continue;
+            }
+            let key = msgs[i].tuple.key;
+            let budget = (self.cfg.expire_every - self.since_expire).max(1);
+            let mut end = i + 1;
+            while end < msgs.len()
+                && end - i < budget
+                && msgs[end].side == Side::Probe
+                && msgs[end].tuple.key == key
+            {
+                end += 1;
+            }
+            let owns_any = msgs[i..end]
+                .iter()
+                .any(|m| m.seq as usize % self.cfg.joiners == self.id);
+            if owns_any {
+                let cache_on = self.inst.cache.is_some();
+                // The pinned lookup: one hash probe for the whole run.
+                let buf = self.slice.entry(key).or_default();
+                for m in &msgs[i..end] {
+                    self.inst.processed += 1;
+                    self.last_wm = m.watermark;
+                    if m.tuple.ts < m.watermark {
+                        self.inst.late_violations += 1;
+                    }
+                    if m.seq as usize % self.cfg.joiners == self.id {
+                        buf.push(Stored {
+                            ts: m.tuple.ts.as_micros(),
+                            value: m.tuple.value,
+                        });
+                        if cache_on {
+                            let addr = buf.as_ptr() as usize
+                                + (buf.len() - 1) * std::mem::size_of::<Stored>();
+                            self.inst.record_access(addr, std::mem::size_of::<Stored>());
+                        }
+                    }
+                }
+            } else {
+                // No probe in the run is stored here: bookkeeping only, and
+                // no slice entry is created (matching the scalar path).
+                for m in &msgs[i..end] {
+                    self.inst.processed += 1;
+                    self.last_wm = m.watermark;
+                    if m.tuple.ts < m.watermark {
+                        self.inst.late_violations += 1;
+                    }
+                }
+            }
+            self.since_expire += end - i;
+            if self.since_expire >= self.cfg.expire_every {
+                self.since_expire = 0;
+                self.expire();
+            }
+            i = end;
         }
     }
 

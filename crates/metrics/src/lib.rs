@@ -11,6 +11,9 @@
 //!   split (Figure 6).
 //! - [`stats`] — *effectiveness* (Equation 1), *unbalancedness*
 //!   (Equation 2) and helper statistics.
+//! - [`occupancy::BatchOccupancy`] — fill-level histogram for the batched
+//!   routing path (oij-core DESIGN.md §10): how full each coalesced batch
+//!   was when its joiner received it.
 //! - [`timeline::BusyTimeline`] — per-joiner busy-time over wall-clock
 //!   buckets, the in-process stand-in for the CPU-utilisation sampling of
 //!   Figure 14.
@@ -23,6 +26,7 @@
 pub mod breakdown;
 pub mod disorder;
 pub mod latency;
+pub mod occupancy;
 pub mod stats;
 pub mod throughput;
 pub mod timeline;
@@ -30,6 +34,7 @@ pub mod timeline;
 pub use breakdown::TimeBreakdown;
 pub use disorder::DisorderEstimator;
 pub use latency::LatencyHistogram;
+pub use occupancy::BatchOccupancy;
 pub use stats::{effectiveness, unbalancedness, EffectivenessMeter};
 pub use throughput::ThroughputMeter;
 pub use timeline::BusyTimeline;

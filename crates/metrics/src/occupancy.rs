@@ -1,0 +1,160 @@
+//! Batch-occupancy histogram for the batched routing path (DESIGN.md §10).
+//!
+//! Records how full each `Msg::Batch` was when a joiner received it. A
+//! mean near the configured `batch_size` means coalescing is working
+//! (flushes are size-driven); a mean near 1 means the input is too slow
+//! or the flush deadline too tight for batching to pay for itself — the
+//! knob-tuning signal EXPERIMENTS.md points at.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two occupancy buckets: bucket `i` counts batches
+/// with `2^i ≤ len < 2^(i+1)` tuples; the last bucket absorbs the rest.
+/// 17 buckets reach the maximum validated `batch_size` (65 536).
+const BUCKETS: usize = 17;
+
+/// Histogram of batch fill levels observed by a joiner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchOccupancy {
+    /// Power-of-two occupancy buckets (see [`BUCKETS`]). A `Vec` rather
+    /// than an array purely for serde compatibility; always `BUCKETS`
+    /// long once anything is recorded.
+    buckets: Vec<u64>,
+    /// Batches observed.
+    batches: u64,
+    /// Total tuples across all observed batches.
+    tuples: u64,
+    /// Largest single batch seen.
+    max: u64,
+}
+
+impl Default for BatchOccupancy {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            batches: 0,
+            tuples: 0,
+            max: 0,
+        }
+    }
+}
+
+impl BatchOccupancy {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one batch carrying `len` tuples (`len == 0` is ignored:
+    /// empty batches are never sent).
+    #[inline]
+    pub fn record(&mut self, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let n = len as u64;
+        let bucket = (63 - n.leading_zeros() as usize).min(BUCKETS - 1);
+        if self.buckets.len() < BUCKETS {
+            // Deserialized histograms may carry short bucket vectors.
+            self.buckets.resize(BUCKETS, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.batches += 1;
+        self.tuples += n;
+        self.max = self.max.max(n);
+    }
+
+    /// Merges another joiner's histogram into this one.
+    pub fn merge(&mut self, other: &BatchOccupancy) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.batches += other.batches;
+        self.tuples += other.tuples;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Batches observed.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Total tuples across all observed batches.
+    pub fn tuples(&self) -> u64 {
+        self.tuples
+    }
+
+    /// Largest single batch seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean tuples per batch (0 when nothing was recorded).
+    pub fn mean(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.tuples as f64 / self.batches as f64
+        }
+    }
+
+    /// The bucket counts, bucket `i` covering `2^i ≤ len < 2^(i+1)`.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_buckets() {
+        let mut h = BatchOccupancy::new();
+        h.record(0); // ignored
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(64); // bucket 6
+        assert_eq!(h.batches(), 4);
+        assert_eq!(h.tuples(), 70);
+        assert_eq!(h.max(), 64);
+        assert!((h.mean() - 17.5).abs() < 1e-12);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 2);
+        assert_eq!(h.buckets()[6], 1);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = BatchOccupancy::new();
+        a.record(4);
+        let mut b = BatchOccupancy::new();
+        b.record(8);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.batches(), 3);
+        assert_eq!(a.tuples(), 13);
+        assert_eq!(a.max(), 8);
+    }
+
+    #[test]
+    fn huge_batches_clamp_to_last_bucket() {
+        let mut h = BatchOccupancy::new();
+        h.record(1 << 20);
+        assert_eq!(h.buckets()[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = BatchOccupancy::new();
+        h.record(7);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: BatchOccupancy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.batches(), 1);
+        assert_eq!(back.tuples(), 7);
+    }
+}

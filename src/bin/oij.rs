@@ -63,6 +63,7 @@ FEED (generated unless --input):
 ENGINE:
   --engine scale|scale-noinc|key|splitjoin|openmldb   (default scale)
   --joiners <n>     (default 4)
+  --batch <n>       coalesce up to n tuples per routed message (default 1 = off)
   --rate <tuples/s> pace arrivals (default: full speed)
   --latency         record latency percentiles
 
@@ -244,6 +245,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .map_err(|_| "--rate: bad value".to_string())?;
 
     let mut cfg = EngineConfig::new(query, joiners).map_err(|e| e.to_string())?;
+    cfg = cfg.with_batch_size(flags.parse_num("batch", 1usize)?);
     if flags.has("latency") {
         cfg = cfg.with_instrument(Instrumentation::latency());
     }
@@ -285,6 +287,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     println!("late violations : {}", stats.late_violations);
     if stats.schedule_changes > 0 {
         println!("schedule changes: {}", stats.schedule_changes);
+    }
+    if stats.batch_occupancy.batches() > 0 {
+        println!(
+            "batch occupancy : mean {:.1} / max {} over {} batches",
+            stats.batch_occupancy.mean(),
+            stats.batch_occupancy.max(),
+            stats.batch_occupancy.batches()
+        );
     }
     if let Some(lat) = &stats.latency {
         println!(

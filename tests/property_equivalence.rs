@@ -1,6 +1,13 @@
 //! Property-based integration tests: for arbitrary workload shapes, the
 //! parallel engines in exact (watermark) mode must equal the brute-force
 //! oracle, and stream generation must respect its disorder contract.
+//!
+//! The second half is the **differential batching suite** (DESIGN.md
+//! §10): for every engine, running with `batch_size ∈ {2, 7, 64}` must be
+//! observably identical to the `batch_size = 1` pass-through path — same
+//! rows, same `late_violations`/`late_side_outputs` accounting, and (for
+//! deterministic single-joiner configurations) the same emission order,
+//! watermark mode included.
 
 use oij::engine::Oracle;
 use oij::prelude::*;
@@ -130,5 +137,217 @@ proptest! {
         }
         let stats = engine.finish().unwrap();
         prop_assert_eq!(stats.late_violations, 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential batching suite: batch_size must be invisible in the results
+// ---------------------------------------------------------------------------
+
+/// The batch sizes the acceptance gate requires: 1 is the pass-through
+/// oracle, 2 exercises constant flushing, 7 leaves ragged partial batches
+/// at heartbeats and end-of-input, 64 is the bench default.
+const BATCH_SIZES: [usize; 3] = [2, 7, 64];
+
+const ALL_ENGINES: [&str; 4] = ["key-oij", "scale-oij", "splitjoin", "openmldb"];
+
+fn spawn_kind(kind: &str, cfg: EngineConfig, sink: Sink) -> Box<dyn OijEngine> {
+    match kind {
+        "key-oij" => Box::new(KeyOij::spawn(cfg, sink).unwrap()),
+        "scale-oij" => Box::new(ScaleOij::spawn(cfg, sink).unwrap()),
+        "splitjoin" => Box::new(SplitJoin::spawn(cfg, sink).unwrap()),
+        "openmldb" => Box::new(OpenMldbBaseline::spawn(cfg, sink).unwrap()),
+        other => unreachable!("unknown engine {other}"),
+    }
+}
+
+/// Runs `kind` over `events` with the given batch size and returns the
+/// rows **in emission order** plus the run stats.
+fn run_with_batch(
+    kind: &str,
+    query: &OijQuery,
+    joiners: usize,
+    batch: usize,
+    late_policy: LatePolicy,
+    events: &[Event],
+) -> (Vec<FeatureRow>, RunStats) {
+    let mut cfg = EngineConfig::new(query.clone(), joiners)
+        .unwrap()
+        .with_batch_size(batch);
+    cfg.late_policy = late_policy;
+    let (sink, rows) = Sink::collect();
+    let mut engine = spawn_kind(kind, cfg, sink);
+    for e in events {
+        engine.push(e.clone()).expect("push");
+    }
+    let stats = engine.finish().expect("finish");
+    let got = rows.lock().unwrap().clone();
+    (got, stats)
+}
+
+proptest! {
+    // Each case runs 4 engines × 4 batch sizes; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Single joiner, eager mode: every engine is fully deterministic, so
+    /// every batch size must reproduce the `batch_size = 1` run
+    /// **bit-identically** — same rows in the same emission order (late
+    /// markers included) and the same lateness accounting. Lateness is
+    /// drawn independently of disorder so some runs genuinely violate the
+    /// contract and exercise the mid-batch late checks.
+    #[test]
+    fn batching_is_invisible_on_deterministic_configs(
+        pre in 1i64..400,
+        disorder in 0i64..200,
+        lateness in 0i64..200,
+        keys in 1u64..10,
+        probe_fraction in 0.1f64..0.9,
+        side_output in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let query = OijQuery::builder()
+            .preceding(Duration::from_micros(pre))
+            .lateness(Duration::from_micros(lateness))
+            .agg(AggSpec::Sum)
+            .emit(EmitMode::Eager)
+            .build()
+            .unwrap();
+        let policy = if side_output { LatePolicy::SideOutput } else { LatePolicy::Drop };
+        let events = workload(2_000, keys, disorder, probe_fraction, seed);
+        for kind in ALL_ENGINES {
+            let (want_rows, want_stats) = run_with_batch(kind, &query, 1, 1, policy, &events);
+            prop_assert_eq!(
+                want_stats.batch_occupancy.batches(), 0,
+                "{}: pass-through mode must not record batches", kind
+            );
+            for batch in BATCH_SIZES {
+                let (got_rows, got_stats) = run_with_batch(kind, &query, 1, batch, policy, &events);
+                // Bit-identical, order included: FeatureRow's PartialEq
+                // compares the aggregate as raw f64 equality.
+                prop_assert_eq!(
+                    &got_rows, &want_rows,
+                    "{} batch={}: rows diverge from the unbatched oracle", kind, batch
+                );
+                prop_assert_eq!(
+                    got_stats.late_violations, want_stats.late_violations,
+                    "{} batch={}", kind, batch
+                );
+                prop_assert_eq!(
+                    got_stats.late_side_outputs, want_stats.late_side_outputs,
+                    "{} batch={}", kind, batch
+                );
+                prop_assert_eq!(got_stats.results, want_stats.results, "{} batch={}", kind, batch);
+                prop_assert_eq!(
+                    got_stats.input_tuples, want_stats.input_tuples,
+                    "{} batch={}", kind, batch
+                );
+                // The occupancy histogram proves batches actually flowed
+                // (conservation: every tuple arrived inside some batch).
+                prop_assert_eq!(
+                    got_stats.batch_occupancy.tuples(), events.len() as u64,
+                    "{} batch={}", kind, batch
+                );
+                prop_assert!(
+                    got_stats.batch_occupancy.max() <= batch as u64,
+                    "{} batch={}: a batch exceeded the configured size", kind, batch
+                );
+            }
+        }
+    }
+
+    /// Single joiner, watermark mode: drains happen at heartbeats, so the
+    /// emission order itself is deterministic and must survive batching
+    /// unchanged (flush-before-heartbeat keeps coalesced tuples ahead of
+    /// the watermark that would drain them). OpenMLDB is excluded: it
+    /// rejects watermark mode by contract.
+    #[test]
+    fn watermark_emission_order_survives_batching(
+        pre in 1i64..400,
+        disorder in 0i64..150,
+        keys in 1u64..10,
+        seed in any::<u64>(),
+    ) {
+        let query = OijQuery::builder()
+            .preceding(Duration::from_micros(pre))
+            .lateness(Duration::from_micros(disorder.max(1)))
+            .agg(AggSpec::Avg)
+            .emit(EmitMode::Watermark)
+            .build()
+            .unwrap();
+        let events = workload(2_000, keys, disorder, 0.5, seed);
+        for kind in ["key-oij", "scale-oij", "splitjoin"] {
+            let (want_rows, _) = run_with_batch(kind, &query, 1, 1, LatePolicy::Drop, &events);
+            for batch in BATCH_SIZES {
+                let (got_rows, _) =
+                    run_with_batch(kind, &query, 1, batch, LatePolicy::Drop, &events);
+                prop_assert_eq!(
+                    &got_rows, &want_rows,
+                    "{} batch={}: watermark emission order diverged", kind, batch
+                );
+            }
+        }
+    }
+
+    /// Multiple joiners: sink interleaving across worker threads is
+    /// scheduling-dependent, so rows are compared sorted by base sequence.
+    /// Key-OIJ stays bit-identical (disjoint per-key state, deterministic
+    /// routing); SplitJoin and Scale-OIJ may re-associate floating-point
+    /// partial merges, so aggregates compare within 1e-9. OpenMLDB's
+    /// shared-store baseline is racy between workers even unbatched and
+    /// is covered by the single-joiner case above.
+    #[test]
+    fn multi_joiner_batching_matches_unbatched(
+        pre in 1i64..400,
+        disorder in 0i64..150,
+        keys in 1u64..10,
+        joiners in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let query = OijQuery::builder()
+            .preceding(Duration::from_micros(pre))
+            .lateness(Duration::from_micros(disorder.max(1)))
+            .agg(AggSpec::Sum)
+            .emit(EmitMode::Watermark)
+            .build()
+            .unwrap();
+        let events = workload(2_000, keys, disorder, 0.5, seed);
+        for kind in ["key-oij", "scale-oij", "splitjoin"] {
+            let (mut want_rows, want_stats) =
+                run_with_batch(kind, &query, joiners, 1, LatePolicy::Drop, &events);
+            want_rows.sort_by_key(|r| r.seq);
+            for batch in BATCH_SIZES {
+                let (mut got_rows, got_stats) =
+                    run_with_batch(kind, &query, joiners, batch, LatePolicy::Drop, &events);
+                got_rows.sort_by_key(|r| r.seq);
+                prop_assert_eq!(got_rows.len(), want_rows.len(), "{} batch={}", kind, batch);
+                for (g, o) in got_rows.iter().zip(&want_rows) {
+                    prop_assert_eq!(g.seq, o.seq, "{} batch={}", kind, batch);
+                    prop_assert_eq!(
+                        g.matched, o.matched,
+                        "{} batch={} seq {}", kind, batch, g.seq
+                    );
+                    if kind == "key-oij" {
+                        prop_assert_eq!(
+                            g.agg, o.agg,
+                            "{} batch={} seq {}: per-key state is disjoint, \
+                             aggregates must be bit-identical", kind, batch, g.seq
+                        );
+                    } else {
+                        prop_assert!(
+                            g.agg_approx_eq(o, 1e-9),
+                            "{} batch={} seq {}: {:?} vs {:?}", kind, batch, g.seq, g.agg, o.agg
+                        );
+                    }
+                }
+                prop_assert_eq!(
+                    got_stats.late_violations, want_stats.late_violations,
+                    "{} batch={}", kind, batch
+                );
+                prop_assert_eq!(
+                    got_stats.input_tuples, want_stats.input_tuples,
+                    "{} batch={}", kind, batch
+                );
+            }
+        }
     }
 }

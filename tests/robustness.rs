@@ -538,6 +538,144 @@ fn abort_after_panic_reports_lost_workers() {
 }
 
 // ---------------------------------------------------------------------------
+// Batched routing under faults (DESIGN.md §10): fault ordinals address
+// individual data messages, so injection points landing mid-batch must
+// behave exactly like the unbatched path.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mid_batch_panic_surfaces_structured_error_in_every_engine() {
+    with_watchdog(120, || {
+        for kind in ENGINES {
+            let query = OijQuery::builder()
+                .preceding(Duration::from_micros(50))
+                .build()
+                .unwrap();
+            // batch_size 8 with the panic at data-message ordinal 13: the
+            // fault fires on the 6th message of the victim's second batch,
+            // never on a batch boundary.
+            let mut cfg = EngineConfig::new(query, 2).unwrap().with_batch_size(8);
+            cfg.faults = FaultPlan::none().panic_at(0, 13, "mid-batch panic");
+            cfg.send_timeout = StdDuration::from_millis(500);
+            cfg.channel_capacity = 8;
+            let events = workload(6_000, 16, 0, 29);
+            let mut engine = spawn_engine(kind, cfg, Sink::null());
+            let err = drive_to_error(&mut engine, &events);
+            match &err {
+                Error::WorkerFailed { worker, cause, .. } => {
+                    assert_eq!(*worker, 0, "{kind}: worker identity");
+                    assert_eq!(cause, "mid-batch panic", "{kind}: payload");
+                }
+                other => panic!("{kind}: expected WorkerFailed, got {other:?}"),
+            }
+            // Bounded teardown with correct loss accounting: the abort path
+            // salvages the survivor and reports exactly one lost worker.
+            let stats = engine
+                .abort()
+                .expect("abort must succeed after a mid-batch panic");
+            assert!(stats.aborted, "{kind}");
+            assert_eq!(stats.workers_lost, 1, "{kind}: one of two workers died");
+        }
+    });
+}
+
+#[test]
+fn mid_batch_wedge_classifies_as_stall() {
+    with_watchdog(60, || {
+        let query = OijQuery::builder()
+            .preceding(Duration::from_micros(50))
+            .build()
+            .unwrap();
+        // Worker 0 wedges on data-message ordinal 13 — mid-batch, since
+        // batches carry 8. The driver keeps coalescing toward the wedged
+        // worker until its channel fills, then push must classify the
+        // timeout as a stall with the worker identity, exactly as on the
+        // unbatched path.
+        let mut cfg = EngineConfig::new(query, 2).unwrap().with_batch_size(8);
+        cfg.faults = FaultPlan::none().wedge_at(0, 13);
+        cfg.send_timeout = StdDuration::from_millis(200);
+        cfg.channel_capacity = 2;
+        let events = workload(6_000, 16, 0, 31);
+        let mut engine = KeyOij::spawn(cfg, Sink::null()).unwrap();
+        let mut first = None;
+        for ev in &events {
+            let t0 = std::time::Instant::now();
+            match engine.push(ev.clone()) {
+                Ok(()) => {}
+                Err(e) => {
+                    first = Some((e, t0.elapsed()));
+                    break;
+                }
+            }
+        }
+        let (err, waited) = first.expect("a wedged worker must stall the push path");
+        assert!(
+            matches!(err, Error::WorkerStalled { worker: 0, .. }),
+            "got {err:?}"
+        );
+        assert!(
+            waited < StdDuration::from_secs(2),
+            "push must return within the send deadline, took {waited:?}"
+        );
+        drop(engine); // kill flag releases the wedge; watchdog checks it
+    });
+}
+
+#[test]
+fn flush_deadline_drains_trickle_input_before_finish() {
+    with_watchdog(60, || {
+        // A slow producer must never see its tuples parked indefinitely in
+        // a partial batch: the flush deadline (armed on the first tuple,
+        // checked against each later arrival) hands the buffer over even
+        // though it never reaches batch_size. Assert rows emit *before*
+        // finish() — end-of-input flushing alone would also produce them,
+        // but only afterwards.
+        for kind in ENGINES {
+            let query = OijQuery::builder()
+                .preceding(Duration::from_micros(50))
+                .build()
+                .unwrap();
+            let mut cfg = EngineConfig::new(query, 1).unwrap().with_batch_size(64);
+            cfg.flush_deadline = StdDuration::from_millis(1);
+            // Keep driver heartbeats out of the way so the deadline is the
+            // only thing that can flush a partial batch.
+            cfg.heartbeat_every = 100_000;
+            let (sink, rows) = Sink::collect();
+            let mut engine = spawn_engine(kind, cfg, sink);
+            for i in 0..10u64 {
+                engine
+                    .push(Event::data(
+                        i,
+                        Side::Base,
+                        Tuple::new(Timestamp::from_micros(i as i64), 1, 1.0),
+                    ))
+                    .unwrap();
+                std::thread::sleep(StdDuration::from_millis(3));
+            }
+            // Every push after the first arrived past the deadline, so at
+            // least the first nine tuples must have been flushed, joined,
+            // and emitted by now — without any finish() involvement.
+            let deadline = std::time::Instant::now() + StdDuration::from_secs(5);
+            loop {
+                let emitted = rows.lock().unwrap().len();
+                if emitted >= 9 {
+                    break;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "{kind}: only {emitted}/9 rows before finish — trickle \
+                     input stalled behind a partial batch"
+                );
+                std::thread::sleep(StdDuration::from_millis(5));
+            }
+            let stats = engine.finish().unwrap();
+            assert_eq!(stats.input_tuples, 10, "{kind}");
+            assert_eq!(rows.lock().unwrap().len(), 10, "{kind}");
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
 // LatePolicy: configurable handling of lateness-contract violations
 // ---------------------------------------------------------------------------
 
