@@ -20,6 +20,7 @@
 
 pub mod error;
 pub mod event;
+pub mod lockdep;
 pub mod query;
 pub mod result;
 pub mod time;

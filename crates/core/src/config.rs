@@ -7,6 +7,19 @@ use oij_common::{Error, OijQuery, Result};
 
 use crate::faults::FaultPlan;
 
+/// How long teardown keeps polling a worker after raising the kill flag
+/// before detaching the handle as wedged (`join_within`). Long enough to
+/// cover an injected stall's final sleep; short enough that a chaos-suite
+/// run with several wedged workers still finishes promptly.
+pub const JOIN_KILL_GRACE: StdDuration = StdDuration::from_millis(500);
+
+/// How long a send-side disconnect waits for the dead worker's supervisor
+/// to record the panic payload before reporting a generic disconnect
+/// (`send_guarded`). The supervisor only needs to finish `catch_unwind`
+/// and a brief `// LOCK: failure_slot` critical section, so this is half
+/// of [`JOIN_KILL_GRACE`].
+pub const DISCONNECT_ATTRIBUTION_GRACE: StdDuration = StdDuration::from_millis(250);
+
 /// What to do with tuples that arrive below the watermark (lateness
 /// contract violations, paper §3.1).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

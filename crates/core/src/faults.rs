@@ -36,6 +36,7 @@ use std::time::Duration as StdDuration;
 use crossbeam_channel::{SendTimeoutError, Sender};
 use oij_common::{Error, Result};
 
+use crate::config::{DISCONNECT_ATTRIBUTION_GRACE, JOIN_KILL_GRACE};
 use crate::sink::Sink;
 
 /// Worker-id alias for the Scale-OIJ scheduler thread in a [`FaultPlan`]
@@ -283,10 +284,19 @@ pub struct WorkerFailure {
 /// it from their supervisor; the driver thread consults it to classify
 /// send timeouts and disconnects. First failure wins — later ones are
 /// usually cascading effects of the first.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FailureCell {
     poisoned: AtomicBool,
     slot: Mutex<Option<WorkerFailure>>,
+}
+
+impl Default for FailureCell {
+    fn default() -> Self {
+        FailureCell {
+            poisoned: AtomicBool::new(false),
+            slot: Mutex::new("failure_slot", None),
+        }
+    }
 }
 
 impl FailureCell {
@@ -297,7 +307,8 @@ impl FailureCell {
 
     /// Records a failure; keeps the first one.
     pub fn record(&self, engine: &'static str, worker: usize, cause: String) {
-        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        // LOCK: failure_slot
+        let mut slot = self.slot.lock();
         if slot.is_none() {
             *slot = Some(WorkerFailure {
                 engine,
@@ -321,7 +332,8 @@ impl FailureCell {
         if !self.is_poisoned() {
             return None;
         }
-        self.slot.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        // LOCK: failure_slot
+        self.slot.lock().clone()
     }
 
     /// The first recorded failure as a structured error.
@@ -383,6 +395,8 @@ pub(crate) fn send_guarded<T>(
     worker: usize,
     cell: &FailureCell,
 ) -> Result<()> {
+    // SEND-OK: this IS send_guarded's body — the wait is deadline-bounded
+    // and a timeout is translated into a WorkerStalled/WorkerFailed error.
     match tx.send_timeout(msg, deadline) {
         Ok(()) => Ok(()),
         Err(SendTimeoutError::Timeout(_)) => Err(cell.to_error().unwrap_or(Error::WorkerStalled {
@@ -396,7 +410,7 @@ pub(crate) fn send_guarded<T>(
             // supervisor a short grace so the disconnect is attributed to
             // the actual panic instead of a generic disconnect report.
             Err(
-                await_failure(cell, StdDuration::from_millis(250)).unwrap_or(Error::WorkerFailed {
+                await_failure(cell, DISCONNECT_ATTRIBUTION_GRACE).unwrap_or(Error::WorkerFailed {
                     engine,
                     worker,
                     cause: "input channel disconnected without a recorded panic".into(),
@@ -443,10 +457,6 @@ pub(crate) fn join_outcome<R>(
     }
 }
 
-/// How long [`join_within`] keeps polling after raising the kill flag
-/// before it detaches a worker that ignored it.
-const JOIN_GRACE: StdDuration = StdDuration::from_millis(500);
-
 /// Joins a supervised worker with a bounded deadline — never a blocking
 /// `join` on a thread that may be wedged.
 ///
@@ -474,7 +484,7 @@ pub(crate) fn join_within<R>(
             kill.store(true, Ordering::Release);
             let grace = std::time::Instant::now();
             while !handle.is_finished() {
-                if grace.elapsed() >= JOIN_GRACE {
+                if grace.elapsed() >= JOIN_KILL_GRACE {
                     let err = cell.to_error().unwrap_or(Error::WorkerStalled {
                         engine,
                         worker,

@@ -70,6 +70,7 @@ impl KeyOij {
         let mut senders = Vec::with_capacity(cfg.joiners);
         let mut handles = Vec::with_capacity(cfg.joiners);
         for id in 0..cfg.joiners {
+            // CHANNEL: driver -> joiner (one queue per key-partitioned worker)
             let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
             let worker_sink = cfg.faults.wrap_sink(id, sink.clone(), Arc::clone(&kill));
             let worker = KeyJoiner::new(&cfg, worker_sink, origin, Arc::clone(&pool));
@@ -627,7 +628,7 @@ mod tests {
             engine.push(e.clone()).unwrap();
         }
         let stats = engine.finish().unwrap();
-        let mut got = rows.lock().unwrap().clone();
+        let mut got = rows.lock().clone();
         got.sort_by_key(|r| r.seq);
         assert_eq!(stats.results as usize, oracle_rows.len());
         assert_eq!(got.len(), oracle_rows.len());
@@ -668,7 +669,7 @@ mod tests {
             engine.push(e.clone()).unwrap();
         }
         engine.finish().unwrap();
-        let mut got = rows.lock().unwrap().clone();
+        let mut got = rows.lock().clone();
         got.sort_by_key(|r| r.seq);
         assert_eq!(got.len(), oracle_rows.len());
         for (g, o) in got.iter().zip(&oracle_rows) {
@@ -710,7 +711,7 @@ mod tests {
             engine.push(e.clone()).unwrap();
         }
         engine.finish().unwrap();
-        let mut got = rows.lock().unwrap().clone();
+        let mut got = rows.lock().clone();
         got.sort_by_key(|r| r.seq);
         let mut want = oracle_rows.clone();
         want.sort_by_key(|r| r.seq);
@@ -741,7 +742,7 @@ mod tests {
         }
         let stats = engine.finish().unwrap();
         assert!(stats.evicted > 0, "expiration must actually run");
-        let mut got = rows.lock().unwrap().clone();
+        let mut got = rows.lock().clone();
         got.sort_by_key(|r| r.seq);
         for (g, o) in got.iter().zip(&oracle_rows) {
             assert!(g.agg_approx_eq(o, 1e-9), "seq {}", g.seq);

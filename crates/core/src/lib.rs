@@ -31,7 +31,7 @@
 //! let stats = engine.finish().unwrap();
 //!
 //! assert_eq!(stats.results, 1);
-//! assert_eq!(rows.lock().unwrap()[0].agg, Some(2.5));
+//! assert_eq!(rows.lock()[0].agg, Some(2.5));
 //! ```
 
 #![warn(missing_docs)]

@@ -20,13 +20,13 @@
 //! low arrival rates (Workload D) and collapses at high ones.
 
 use crate::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use crate::sync::RwLock;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam_channel::{bounded, Receiver, Sender};
-use parking_lot::RwLock;
 
 use oij_agg::FullWindowAgg;
 use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestamp};
@@ -78,7 +78,7 @@ impl OpenMldbBaseline {
             ));
         }
         let origin = Instant::now();
-        let store: Arc<Store> = Arc::new(RwLock::new(HashMap::new()));
+        let store: Arc<Store> = Arc::new(RwLock::new("openmldb_store", HashMap::new()));
         // Deduplicates concurrent expiration sweeps.
         let expired_to = Arc::new(AtomicI64::new(i64::MIN));
         let failures = Arc::new(FailureCell::new());
@@ -88,6 +88,7 @@ impl OpenMldbBaseline {
         let mut senders = Vec::with_capacity(cfg.joiners);
         let mut handles = Vec::with_capacity(cfg.joiners);
         for id in 0..cfg.joiners {
+            // CHANNEL: driver -> joiner (round-robin over the shared store)
             let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
             let worker = MldbWorker {
                 inst: JoinerInstruments::new(&cfg.instrument, origin),
@@ -228,8 +229,8 @@ impl OijEngine for OpenMldbBaseline {
         if self.done {
             return Err(Error::InvalidState("abort after a completed finish".into()));
         }
-        // ORDERING: Release — pairs with the workers' Acquire `kill` loads (fault supervision paths), so teardown state precedes the flag.
         self.done = true;
+        // ORDERING: Release — pairs with the workers' Acquire `kill` loads (fault supervision paths), so teardown state precedes the flag.
         self.kill.store(true, Ordering::Release);
         self.senders.clear();
         let _ = self.join_workers();
@@ -241,8 +242,8 @@ impl OijEngine for OpenMldbBaseline {
 }
 
 impl Drop for OpenMldbBaseline {
-    // ORDERING: Release — pairs with the workers' Acquire `kill` loads (fault supervision paths), so teardown state precedes the flag.
     fn drop(&mut self) {
+        // ORDERING: Release — pairs with the workers' Acquire `kill` loads (fault supervision paths), so teardown state precedes the flag.
         self.kill.store(true, Ordering::Release);
         self.senders.clear();
         while let Some(handle) = self.handles.pop() {
@@ -348,6 +349,7 @@ impl MldbWorker {
             Side::Probe => {
                 // The bottleneck the paper measures: a writer-exclusive
                 // lock over the whole store per insertion.
+                // LOCK: openmldb_store
                 let mut store = self.store.write();
                 store
                     .entry(msg.tuple.key)
@@ -389,6 +391,7 @@ impl MldbWorker {
             }
             {
                 // One writer-exclusive acquisition for the whole probe run.
+                // LOCK: openmldb_store
                 let mut store = self.store.write();
                 let mut j = i;
                 while j < end {
@@ -421,6 +424,7 @@ impl MldbWorker {
         let mut agg = FullWindowAgg::new(self.cfg.query.agg);
         {
             // Read path: ordered range scan — OpenMLDB is good at this.
+            // LOCK: openmldb_store
             let store = self.store.read();
             if let Some(series) = store.get(&key) {
                 let lookup_t0 = self.inst.wants_breakdown().then(Instant::now);
@@ -457,6 +461,7 @@ impl MldbWorker {
             return;
         }
         let mut evicted = 0u64;
+        // LOCK: openmldb_store
         let mut store = self.store.write();
         for series in store.values_mut() {
             let keep = series.split_off(&(bound, 0));
@@ -523,7 +528,7 @@ mod tests {
         }
         let stats = engine.finish().unwrap();
         assert_eq!(stats.results as usize, want.len());
-        let mut got = rows.lock().unwrap().clone();
+        let mut got = rows.lock().clone();
         got.sort_by_key(|r| r.seq);
         for (g, o) in got.iter().zip(&want) {
             assert_eq!(g.matched, o.matched, "seq {}", g.seq);
@@ -545,7 +550,7 @@ mod tests {
             engine.push(e.clone()).unwrap();
         }
         engine.finish().unwrap();
-        let mut got = rows.lock().unwrap().clone();
+        let mut got = rows.lock().clone();
         got.sort_by_key(|r| r.seq);
         assert_eq!(got.len(), want.len());
         let close = got

@@ -123,6 +123,7 @@ impl ScaleOij {
         let mut senders = Vec::with_capacity(joiners);
         let mut handles = Vec::with_capacity(joiners);
         for (id, writer) in writers.into_iter().enumerate() {
+            // CHANNEL: driver -> joiner (one queue per partition writer)
             let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
             let jsink = cfg.faults.wrap_sink(id, sink.clone(), Arc::clone(&kill));
             let faults = cfg.faults.for_worker(id);
@@ -509,7 +510,7 @@ mod tests {
             engine.push(e.clone()).unwrap();
         }
         let stats = engine.finish().unwrap();
-        let mut got = rows.lock().unwrap().clone();
+        let mut got = rows.lock().clone();
         got.sort_by_key(|r| r.seq);
         (stats, got)
     }

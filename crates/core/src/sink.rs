@@ -32,7 +32,7 @@ impl Sink {
     /// A collecting sink plus the handle to read the rows back after
     /// [`finish`](crate::engine::OijEngine::finish).
     pub fn collect() -> (Sink, Arc<Mutex<Vec<FeatureRow>>>) {
-        let store = Arc::new(Mutex::new(Vec::new()));
+        let store = Arc::new(Mutex::new("sink_collect", Vec::new()));
         (Sink::Collect(Arc::clone(&store)), store)
     }
 
@@ -62,7 +62,10 @@ impl Sink {
     pub fn emit(&self, row: FeatureRow) {
         match self {
             Sink::Null => {}
-            Sink::Collect(store) => store.lock().expect("sink poisoned").push(row),
+            Sink::Collect(store) => {
+                // LOCK: sink_collect
+                store.lock().push(row);
+            }
             Sink::Faulty(faults, inner) => {
                 faults.before_emit();
                 inner.emit(row);
@@ -89,7 +92,7 @@ mod tests {
         ));
         let clone = sink.clone();
         clone.emit(FeatureRow::new(Timestamp::from_micros(2), 2, 1, None, 0));
-        let rows = rows.lock().unwrap();
+        let rows = rows.lock();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].agg, Some(3.0));
     }
@@ -116,7 +119,7 @@ mod tests {
         sink.emit(row(0)); // emission 0 passes through
         let err = catch_unwind(AssertUnwindSafe(|| sink.emit(row(1))));
         assert!(err.is_err(), "emission 1 must panic");
-        assert_eq!(rows.lock().unwrap().len(), 1);
+        assert_eq!(rows.lock().len(), 1);
     }
 
     #[test]

@@ -87,6 +87,7 @@ impl SplitJoin {
         cfg.validate()?;
         let origin = Instant::now();
         let joiners = cfg.joiners;
+        // CHANNEL: joiner -> collector (partial results fan in)
         let (col_tx, col_rx) = bounded::<ToCollector>(cfg.channel_capacity);
         let failures = Arc::new(FailureCell::new());
         let kill = Arc::new(AtomicBool::new(false));
@@ -97,6 +98,7 @@ impl SplitJoin {
         let mut senders = Vec::with_capacity(joiners);
         let mut handles = Vec::with_capacity(joiners);
         for id in 0..joiners {
+            // CHANNEL: driver -> joiner (broadcast: every joiner sees every batch)
             let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
             let worker = SplitJoiner::new(id, &cfg, origin, col_tx.clone(), Arc::clone(&pool));
             let faults = cfg.faults.for_worker(id);
@@ -517,6 +519,8 @@ impl SplitJoiner {
         // Every broadcast message reached every joiner, so the local slice
         // is complete: drain pending bases unconditionally.
         self.drain_pending(Timestamp::MAX);
+        // SEND-OK: teardown marker; the collector drains until every joiner's
+        // Done arrives, so this send can only block while it is still reading.
         let _ = self.collector.send(ToCollector::JoinerDone);
         JoinerReport {
             instruments: self.inst,
@@ -696,6 +700,9 @@ impl SplitJoiner {
         }
         self.inst.record_effectiveness(agg.count, visited);
         self.results += 1; // partial results produced by this joiner
+                           // SEND-OK: the collector loops on recv until all JoinerDone markers
+                           // arrive and never sends back to joiners, so this edge cannot cycle;
+                           // a dead collector surfaces as a send error, not a wedge.
         let _ = self.collector.send(ToCollector::Partial(Box::new(Partial {
             seq,
             key,
@@ -746,7 +753,7 @@ mod tests {
             engine.push(e.clone()).unwrap();
         }
         let stats = engine.finish().unwrap();
-        let mut got = rows.lock().unwrap().clone();
+        let mut got = rows.lock().clone();
         got.sort_by_key(|r| r.seq);
         (stats, got)
     }

@@ -9,11 +9,15 @@
 //! `std::sync` directly — otherwise an atomic added in a refactor would
 //! silently fall outside loom's view and the coverage map would rot.
 //!
-//! `Mutex` is re-exported from std in both configurations: the vendored
-//! loom stand-in has no lock support, and the engines' locks sit on
-//! cold control paths (sink flushing, fault bookkeeping) whose
-//! interleavings are exercised by the TSan job instead (`scripts/
-//! sanitize.sh`). Routing them through the facade anyway keeps the
+//! `Mutex` and `RwLock` come from `oij_common::lockdep` in both
+//! configurations: the wrappers are non-poisoning, carry their declared
+//! lock class (see `lint.toml [lockorder]` and rule R6), and under
+//! `RUSTFLAGS="--cfg lockdep"` record every acquisition in a runtime
+//! lock-order witness that panics on observed cycles and re-entrancy.
+//! The vendored loom stand-in has no lock support, and the engines'
+//! locks sit on cold control paths (sink flushing, fault bookkeeping)
+//! whose interleavings are exercised by the TSan job instead
+//! (`scripts/sanitize.sh`). Routing them through the facade keeps the
 //! import-surface audit complete and gives loom a single splice point if
 //! lock modelling lands later.
 
@@ -28,4 +32,4 @@ pub(crate) mod atomic {
     pub(crate) use std::sync::atomic::Ordering;
 }
 
-pub(crate) use std::sync::Mutex;
+pub(crate) use oij_common::lockdep::{Mutex, RwLock};

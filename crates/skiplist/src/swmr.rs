@@ -376,8 +376,8 @@ where
                 // SAFETY: `tower` has more than `level` slots: it is either
                 // the head array (MAX_HEIGHT slots) or the tower of a node
                 // we entered at a level ≥ `level` (so its height > level).
-                // ORDERING: Relaxed — single-writer reads its own prior stores; readers never write, so there is no remote store to pair with.
                 let slot = unsafe { &*tower.add(level) };
+                // ORDERING: Relaxed — single-writer reads its own prior stores; readers never write, so there is no remote store to pair with.
                 let next = slot.load(Ordering::Relaxed, &guard);
                 // SAFETY: nodes are reclaimed only after a grace period and
                 // the writer itself defers destruction, so it is valid.
@@ -391,8 +391,8 @@ where
                             if node.key == key {
                                 return None;
                             }
-                            // PANIC-OK: level starts below list_height ≤ MAX_HEIGHT and only decreases.
                         }
+                        // PANIC-OK: level starts below list_height ≤ MAX_HEIGHT and only decreases.
                         pre[level] = slot;
                         if level == 0 {
                             break;
@@ -426,10 +426,10 @@ where
             // ORDERING: Release — publishes the fully-initialised node (Algorithm 2 lines 15-16); pairs with the Acquire loads in `Reader::pred_tower` and the range scans.
             // SAFETY: predecessor slots stay valid — we are the only writer.
             unsafe { (**slot).store(node_shared, Ordering::Release) };
-            // ORDERING: Relaxed load — `height` is written only by this writer thread.
         }
-        // ORDERING: Release — pairs with the Acquire `height` load in `Reader::pred_tower`, so a reader entering at the new level sees the published tower.
+        // ORDERING: Relaxed load — `height` is written only by this writer thread.
         if height > self.inner.height.load(Ordering::Relaxed) {
+            // ORDERING: Release — pairs with the Acquire `height` load in `Reader::pred_tower`, so a reader entering at the new level sees the published tower.
             self.inner.height.store(height, Ordering::Release);
         }
         // Maintain the rightmost-slot cache: the new node becomes the
@@ -465,8 +465,8 @@ where
         let guard = epoch::pin();
         // ORDERING: Relaxed — single-writer reads its own prior stores;
         // readers never write, so there is no remote store to pair with.
-        // PANIC-OK: from_fn index i < MAX_HEIGHT == head/tail array length.
         if self.inner.head[0].load(Ordering::Relaxed, &guard).is_null() {
+            // PANIC-OK: from_fn index i < MAX_HEIGHT == head/tail array length.
             self.tail = std::array::from_fn(|i| &self.inner.head[i] as *const _);
             self.max_key = None;
             return;
@@ -477,16 +477,16 @@ where
             .height
             .load(Ordering::Relaxed)
             .clamp(1, MAX_HEIGHT);
-        // PANIC-OK: i < MAX_HEIGHT loop bound == head/tail array length.
         for i in list_height..MAX_HEIGHT {
+            // PANIC-OK: i < MAX_HEIGHT loop bound == head/tail array length.
             self.tail[i] = &self.inner.head[i] as *const _;
         }
         let mut tower: *const Atomic<Node<K, V>> = self.inner.head.as_ptr();
         let mut level = list_height - 1;
         loop {
             // SAFETY: `tower` has more than `level` slots, as in `insert`.
-            // ORDERING: Relaxed — single-writer reads its own prior stores; readers never write, so there is no remote store to pair with.
             let slot = unsafe { &*tower.add(level) };
+            // ORDERING: Relaxed — single-writer reads its own prior stores; readers never write, so there is no remote store to pair with.
             let next = slot.load(Ordering::Relaxed, &guard);
             // SAFETY: writer-side pointers are valid (no concurrent frees).
             match unsafe { next.as_ref() } {
@@ -494,8 +494,8 @@ where
                     // SAFETY: `next` is non-null (Some arm) and live.
                     tower = unsafe { Node::tower_base(next.as_raw()) };
                 }
-                // PANIC-OK: level < list_height ≤ MAX_HEIGHT == tail array length.
                 None => {
+                    // PANIC-OK: level < list_height ≤ MAX_HEIGHT == tail array length.
                     self.tail[level] = slot;
                     if level == 0 {
                         break;
@@ -517,8 +517,8 @@ where
     pub fn evict_below(&mut self, bound: &K) -> usize {
         #[cfg(debug_assertions)]
         let _token = self.write_token();
-        // ORDERING: Relaxed — single-writer reads its own prior stores; readers never write, so there is no remote store to pair with.
         let guard = epoch::pin();
+        // ORDERING: Relaxed — single-writer reads its own prior stores; readers never write, so there is no remote store to pair with.
         let old_first = self.inner.head[0].load(Ordering::Relaxed, &guard);
         if old_first.is_null() {
             return 0;
@@ -534,9 +534,9 @@ where
             .height
             .load(Ordering::Relaxed)
             .clamp(1, MAX_HEIGHT);
-        // ORDERING: Relaxed — writer reads its own head slots; the unlink is published by the Release store below.
-        // PANIC-OK: level < list_height ≤ MAX_HEIGHT == head array length.
         for level in (0..list_height).rev() {
+            // ORDERING: Relaxed — writer reads its own head slots; the unlink is published by the Release store below.
+            // PANIC-OK: level < list_height ≤ MAX_HEIGHT == head array length.
             let mut n = self.inner.head[level].load(Ordering::Relaxed, &guard);
             loop {
                 // SAFETY: valid under the pin.
@@ -544,15 +544,15 @@ where
                     Some(node) if node.key < *bound => {
                         // SAFETY: node is live and linked at `level`, so its
                         // height exceeds `level`.
+                        let slot = unsafe { Node::tower(n.as_raw(), level) };
                         // ORDERING: Relaxed — single-writer reads its own prior stores; readers never write, so there is no remote store to pair with.
-                        n = unsafe { Node::tower(n.as_raw(), level) }
-                            .load(Ordering::Relaxed, &guard);
+                        n = slot.load(Ordering::Relaxed, &guard);
                     }
                     _ => break,
                 }
-                // ORDERING: Release — unlinks the expired prefix; pairs with the reader-side Acquire head/tower loads so a reader entering afterwards cannot walk into the freed prefix.
-                // PANIC-OK: level < list_height ≤ MAX_HEIGHT == head array length.
             }
+            // ORDERING: Release — unlinks the expired prefix; pairs with the reader-side Acquire head/tower loads so a reader entering afterwards cannot walk into the freed prefix.
+            // PANIC-OK: level < list_height ≤ MAX_HEIGHT == head array length.
             self.inner.head[level].store(n, Ordering::Release);
         }
 
@@ -574,8 +574,8 @@ where
             unsafe { guard.defer_unchecked(move || Node::destroy(raw)) };
             evicted += 1;
             n = next;
-            // ORDERING: Relaxed — `len` is an approximate counter; see `insert_traced`.
         }
+        // ORDERING: Relaxed — `len` is an approximate counter; see `insert_traced`.
         self.inner.len.fetch_sub(evicted, Ordering::Relaxed);
         if evicted > 0 {
             // Eviction may have destroyed nodes the tail path ran through.
@@ -592,8 +592,8 @@ where
     }
 
     /// Number of live entries.
-    // ORDERING: Relaxed — approximate counter; no ordering contract.
     pub fn len(&self) -> usize {
+        // ORDERING: Relaxed — approximate counter; no ordering contract.
         self.inner.len.load(Ordering::Relaxed)
     }
 
@@ -605,8 +605,8 @@ where
     /// Highest occupied tower level. Diagnostic; used by the structural
     /// tests (including the loom model checks) to pick seeds that produce
     /// tall towers.
-    // ORDERING: Relaxed — diagnostic read; no ordering contract.
     pub fn current_height(&self) -> usize {
+        // ORDERING: Relaxed — diagnostic read; no ordering contract.
         self.inner.height.load(Ordering::Relaxed)
     }
 }
@@ -617,8 +617,8 @@ where
     V: Send + Sync + 'static,
 {
     /// Number of live entries (approximate under concurrent writes).
-    // ORDERING: Relaxed — approximate under concurrent writes by contract.
     pub fn len(&self) -> usize {
+        // ORDERING: Relaxed — approximate under concurrent writes by contract.
         self.inner.len.load(Ordering::Relaxed)
     }
 
@@ -646,8 +646,8 @@ where
         loop {
             // SAFETY: `tower` has more than `level` slots (head array or a
             // node entered at a level ≥ `level`).
-            // ORDERING: Acquire — pairs with the writer's Release publication in `insert_traced` and prefix unlink in `evict_below`, so the node read here is fully initialised.
             let slot = unsafe { &*tower.add(level) };
+            // ORDERING: Acquire — pairs with the writer's Release publication in `insert_traced` and prefix unlink in `evict_below`, so the node read here is fully initialised.
             let next = slot.load(Ordering::Acquire, guard);
             // SAFETY: epoch-protected pointer, valid while `guard` is pinned.
             match unsafe { next.as_ref() } {
@@ -732,8 +732,8 @@ where
 
     /// Visits every entry in ascending key order.
     pub fn for_each(&self, mut f: impl FnMut(&K, &V)) -> usize {
-        // ORDERING: Acquire — pairs with the writer's Release publication in `insert_traced` and prefix unlink in `evict_below`, so the node read here is fully initialised.
         let guard = epoch::pin();
+        // ORDERING: Acquire — pairs with the writer's Release publication in `insert_traced` and prefix unlink in `evict_below`, so the node read here is fully initialised.
         let mut cur = self.inner.head[0].load(Ordering::Acquire, &guard);
         let mut visited = 0usize;
         // SAFETY: `cur` is epoch-protected while `guard` lives.
@@ -753,8 +753,8 @@ where
     where
         K: Clone,
     {
-        // ORDERING: Acquire — pairs with the writer's Release publication in `insert_traced` and prefix unlink in `evict_below`, so the node read here is fully initialised.
         let guard = epoch::pin();
+        // ORDERING: Acquire — pairs with the writer's Release publication in `insert_traced` and prefix unlink in `evict_below`, so the node read here is fully initialised.
         let first = self.inner.head[0].load(Ordering::Acquire, &guard);
         // SAFETY: epoch-protected pointer.
         unsafe { first.as_ref() }.map(|n| n.key.clone())

@@ -39,3 +39,12 @@ pub(crate) mod atomic {
 pub(crate) mod uninstrumented {
     pub(crate) use std::sync::atomic::{AtomicBool, Ordering};
 }
+
+/// Class-carrying locks routed through the workspace lockdep witness
+/// (`oij_common::lockdep`): acquisitions are tagged for lint rule R6 and,
+/// under `RUSTFLAGS="--cfg lockdep"`, recorded in the runtime lock-order
+/// graph. The index structures are lock-free today, so nothing imports
+/// these yet — but R2 bans `std::sync` locks crate-wide, so any future
+/// lock lands here and inherits the instrumentation automatically.
+#[allow(unused_imports)]
+pub(crate) use oij_common::lockdep::{Mutex, RwLock};

@@ -44,7 +44,7 @@ fn main() -> oij::Result<()> {
 
     // Ground truth from the single-threaded oracle.
     let oracle = Oracle::new(query).run(&events);
-    let mut got = rows.lock().unwrap().clone();
+    let mut got = rows.lock().clone();
     got.sort_by_key(|r| r.seq);
     assert_eq!(got.len(), oracle.len(), "row cardinality");
     let mut mismatches = 0;

@@ -41,7 +41,7 @@ fn main() -> oij::Result<()> {
         stats.input_tuples, stats.results
     );
 
-    let mut rows = rows.lock().unwrap().clone();
+    let mut rows = rows.lock().clone();
     rows.sort_by_key(|r| r.seq);
     for row in &rows {
         println!(

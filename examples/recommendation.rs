@@ -60,7 +60,7 @@ fn main() -> oij::Result<()> {
 
     // Show the hottest user's latest features, as a recommender would read
     // them.
-    let rows = rows.lock().unwrap();
+    let rows = rows.lock();
     let mut hot: Vec<&FeatureRow> = rows.iter().filter(|r| r.key == 0).collect();
     hot.sort_by_key(|r| r.seq);
     println!("\nlatest features for the hottest user (key 0):");

@@ -66,7 +66,7 @@ fn main() -> oij::Result<()> {
         );
     }
 
-    let rows = rows.lock().unwrap();
+    let rows = rows.lock();
     println!("\nfirst feature rows:");
     for row in rows.iter().take(5) {
         println!(

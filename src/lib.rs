@@ -34,7 +34,7 @@
 //! engine.push(Event::data(1, Side::Base, Tuple::new(Timestamp::from_micros(120), 1, 0.0))).unwrap();
 //! let stats = engine.finish().unwrap();
 //! assert_eq!(stats.results, 1);
-//! assert_eq!(rows.lock().unwrap()[0].agg, Some(3.0));
+//! assert_eq!(rows.lock()[0].agg, Some(3.0));
 //! ```
 
 #![warn(missing_docs)]
@@ -91,6 +91,14 @@ pub mod cache {
 /// The OpenMLDB SQL dialect front-end (re-export of `oij-sql`).
 pub mod sql {
     pub use oij_sql::{parse, WindowUnionQuery};
+}
+
+/// Class-carrying locks behind the workspace lockdep witness (re-export
+/// of `oij_common::lockdep`). [`Sink::collect`](engine::Sink::collect)
+/// hands back rows behind one of these; `lock()` returns the guard
+/// directly (non-poisoning, no `Result`).
+pub mod sync {
+    pub use oij_common::lockdep::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 }
 
 /// Everything a typical application needs, in one import.

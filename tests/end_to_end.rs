@@ -24,8 +24,8 @@ fn workload(tuples: usize, disorder_us: i64, keys: u64, seed: u64) -> Vec<Event>
     .generate()
 }
 
-fn collect_sorted(rows: &std::sync::Mutex<Vec<FeatureRow>>) -> Vec<FeatureRow> {
-    let mut v = rows.lock().unwrap().clone();
+fn collect_sorted(rows: &oij::sync::Mutex<Vec<FeatureRow>>) -> Vec<FeatureRow> {
+    let mut v = rows.lock().clone();
     v.sort_by_key(|r| r.seq);
     v
 }
@@ -182,7 +182,7 @@ fn run_stats_are_consistent_with_sink_contents() {
     let stats = engine.finish().unwrap();
 
     assert_eq!(stats.results as usize, bases);
-    assert_eq!(rows.lock().unwrap().len(), bases);
+    assert_eq!(rows.lock().len(), bases);
     assert_eq!(stats.input_tuples, events.len() as u64);
     assert_eq!(
         stats.joiner_loads.iter().sum::<u64>(),

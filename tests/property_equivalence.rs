@@ -68,7 +68,7 @@ proptest! {
             engine.push(e.clone()).expect("push");
         }
         engine.finish().expect("finish");
-        let mut got = rows.lock().unwrap().clone();
+        let mut got = rows.lock().clone();
         got.sort_by_key(|r| r.seq);
 
         prop_assert_eq!(got.len(), want.len());
@@ -105,7 +105,7 @@ proptest! {
             engine.push(e.clone()).expect("push");
         }
         engine.finish().expect("finish");
-        let mut got = rows.lock().unwrap().clone();
+        let mut got = rows.lock().clone();
         got.sort_by_key(|r| r.seq);
 
         prop_assert_eq!(got.len(), want.len());
@@ -181,7 +181,7 @@ fn run_with_batch(
         engine.push(e.clone()).expect("push");
     }
     let stats = engine.finish().expect("finish");
-    let got = rows.lock().unwrap().clone();
+    let got = rows.lock().clone();
     (got, stats)
 }
 

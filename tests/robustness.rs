@@ -60,7 +60,7 @@ fn scale_oij_survives_aggressive_everything() {
     let stats = engine.finish().unwrap();
     assert!(stats.evicted > 0, "expiration must have run");
 
-    let mut got = rows.lock().unwrap().clone();
+    let mut got = rows.lock().clone();
     got.sort_by_key(|r| r.seq);
     assert_eq!(got.len(), want.len());
     for (g, o) in got.iter().zip(&want) {
@@ -166,7 +166,7 @@ fn single_key_single_partition_extreme() {
         engine.push(e.clone()).unwrap();
     }
     let stats = engine.finish().unwrap();
-    let mut got = rows.lock().unwrap().clone();
+    let mut got = rows.lock().clone();
     got.sort_by_key(|r| r.seq);
     assert_eq!(got.len(), want.len());
     for (g, o) in got.iter().zip(&want) {
@@ -189,7 +189,7 @@ fn empty_and_degenerate_streams() {
     let stats = e.finish().unwrap();
     assert_eq!(stats.input_tuples, 0);
     assert_eq!(stats.results, 0);
-    assert!(rows.lock().unwrap().is_empty());
+    assert!(rows.lock().is_empty());
 
     // Probe-only stream: zero results.
     let (sink, _) = Sink::collect();
@@ -216,7 +216,7 @@ fn empty_and_degenerate_streams() {
         .unwrap();
     }
     assert_eq!(e.finish().unwrap().results, 100);
-    assert!(rows.lock().unwrap().iter().all(|r| r.agg == Some(0.0)));
+    assert!(rows.lock().iter().all(|r| r.agg == Some(0.0)));
 }
 
 // ---------------------------------------------------------------------------
@@ -657,7 +657,7 @@ fn flush_deadline_drains_trickle_input_before_finish() {
             // and emitted by now — without any finish() involvement.
             let deadline = std::time::Instant::now() + StdDuration::from_secs(5);
             loop {
-                let emitted = rows.lock().unwrap().len();
+                let emitted = rows.lock().len();
                 if emitted >= 9 {
                     break;
                 }
@@ -670,7 +670,7 @@ fn flush_deadline_drains_trickle_input_before_finish() {
             }
             let stats = engine.finish().unwrap();
             assert_eq!(stats.input_tuples, 10, "{kind}");
-            assert_eq!(rows.lock().unwrap().len(), 10, "{kind}");
+            assert_eq!(rows.lock().len(), 10, "{kind}");
         }
     });
 }
@@ -721,7 +721,7 @@ fn late_policy_drop_keeps_best_effort_behavior() {
         let stats = engine.finish().unwrap();
         assert_eq!(stats.late_violations, 1);
         assert_eq!(stats.late_side_outputs, 0);
-        let rows = rows.lock().unwrap();
+        let rows = rows.lock();
         // Best-effort: the violating base still produced a regular row.
         assert!(rows.iter().all(|r| !r.late));
         assert!(rows.iter().any(|r| r.seq == 100));
@@ -741,7 +741,7 @@ fn late_policy_side_output_routes_markers_to_the_sink() {
         let stats = engine.finish().unwrap();
         assert_eq!(stats.late_violations, 1);
         assert_eq!(stats.late_side_outputs, 1);
-        let rows = rows.lock().unwrap();
+        let rows = rows.lock();
         let markers: Vec<_> = rows.iter().filter(|r| r.late).collect();
         assert_eq!(markers.len(), 1);
         assert_eq!(markers[0].seq, 100);
@@ -774,7 +774,7 @@ fn empty_fault_plan_keeps_every_engine_exact() {
             engine.push(ev.clone()).unwrap();
         }
         engine.finish().unwrap();
-        let mut got = rows.lock().unwrap().clone();
+        let mut got = rows.lock().clone();
         got.sort_by_key(|r| r.seq);
         assert_eq!(got.len(), want.len());
         for (g, o) in got.iter().zip(&want) {

@@ -14,11 +14,16 @@ pub struct SourceFile {
     /// Workspace-relative path, forward slashes (used in diagnostics and
     /// matched against `lint.toml` scopes/allowlist entries).
     pub rel: String,
-    /// Original lines, for comment-marker lookups.
+    /// Original lines, for diagnostics display.
     pub lines: Vec<String>,
     /// Masked lines: same shape as `lines`, but comment bodies and
     /// string/char literal contents are spaces. Keyword scans use these.
     pub masked_lines: Vec<String>,
+    /// Comment-visible lines: string/char literal contents are spaces but
+    /// comment text survives. Marker (`SAFETY:`, `ORDERING:`, `LOCK:`, …)
+    /// and `//! lint:` tag lookups use these, so marker text quoted inside
+    /// a string or a multi-line raw string can never satisfy a rule.
+    pub comment_lines: Vec<String>,
     /// Per line: true if the line sits inside a `#[cfg(test)] mod { .. }`
     /// region. Protocol rules skip test code — tests deliberately use raw
     /// std primitives, panics, and blocking calls.
@@ -31,15 +36,17 @@ impl SourceFile {
     /// Lexes `text` into a [`SourceFile`]. `rel` should be the
     /// workspace-relative path with forward slashes.
     pub fn parse(rel: &str, text: &str) -> SourceFile {
-        let masked = mask_non_code(text);
+        let views = mask_views(text);
         let lines: Vec<String> = text.lines().map(str::to_string).collect();
-        let masked_lines: Vec<String> = masked.lines().map(str::to_string).collect();
+        let masked_lines: Vec<String> = views.masked.lines().map(str::to_string).collect();
+        let comment_lines: Vec<String> = views.comments.lines().map(str::to_string).collect();
         let in_test = test_regions(&masked_lines);
-        let tags = lint_tags(&lines);
+        let tags = lint_tags(&comment_lines);
         SourceFile {
             rel: rel.to_string(),
             lines,
             masked_lines,
+            comment_lines,
             in_test,
             tags,
         }
@@ -53,13 +60,25 @@ impl SourceFile {
     /// True if line `idx` (0-based) carries `marker` on the statement it
     /// belongs to — the line itself, an earlier line of the same
     /// multi-line statement, or the contiguous run of comment/attribute
-    /// lines directly above the statement's first line.
+    /// lines directly above the statement's first line. Scans the
+    /// comment-visible view, so a marker quoted inside a string literal
+    /// never counts.
     pub fn marker_near(&self, idx: usize, marker: &str) -> bool {
+        self.marker_text(idx, marker).is_some()
+    }
+
+    /// Like [`marker_near`](Self::marker_near), but returns the text
+    /// following the first occurrence of `marker` in the window (trimmed),
+    /// for markers that carry an argument (`// LOCK: <class>`,
+    /// `// CHANNEL: <src> -> <dst>`).
+    pub fn marker_text(&self, idx: usize, marker: &str) -> Option<String> {
         let start = self.stmt_start(idx);
-        if self.lines[start..=idx].iter().any(|l| l.contains(marker)) {
-            return true;
+        for l in &self.comment_lines[start..=idx] {
+            if let Some(pos) = l.find(marker) {
+                return Some(l[pos + marker.len()..].trim().to_string());
+            }
         }
-        comment_run_contains(&self.lines, start, marker)
+        comment_run_text(&self.comment_lines, start, marker)
     }
 
     /// First line of the statement containing line `idx`: walks upward
@@ -91,25 +110,32 @@ impl SourceFile {
     }
 }
 
-/// True if `lines[idx]` contains `marker`, or if the contiguous run of
-/// comment / attribute / doc lines directly above `idx` does.
-pub fn comment_run_contains(lines: &[String], idx: usize, marker: &str) -> bool {
-    if lines.get(idx).is_some_and(|l| l.contains(marker)) {
-        return true;
+/// Text after `marker` on `lines[idx]`, or on the contiguous run of
+/// comment / attribute / doc lines directly above `idx`. `lines` must be
+/// the comment-visible view so string contents cannot masquerade as
+/// comment lines (a raw string whose interior lines start with `//` is
+/// blank in that view and therefore terminates the run).
+pub fn comment_run_text(lines: &[String], idx: usize, marker: &str) -> Option<String> {
+    let after = |l: &str| {
+        l.find(marker)
+            .map(|pos| l[pos + marker.len()..].trim().to_string())
+    };
+    if let Some(text) = lines.get(idx).and_then(|l| after(l)) {
+        return Some(text);
     }
     let mut i = idx;
     while i > 0 {
         i -= 1;
         let t = lines[i].trim_start();
         if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") || t.starts_with('*') {
-            if t.contains(marker) {
-                return true;
+            if let Some(text) = after(t) {
+                return Some(text);
             }
         } else {
             break;
         }
     }
-    false
+    None
 }
 
 /// Byte offsets of `word` in `line` at identifier boundaries.
@@ -136,7 +162,8 @@ pub fn is_ident_byte(b: u8) -> bool {
 }
 
 /// Module-level lint tags: every `//! lint: a, b` line contributes its
-/// comma-separated tags.
+/// comma-separated tags. Scans the comment-visible view, so the tag
+/// syntax quoted inside a (raw) string literal declares nothing.
 fn lint_tags(lines: &[String]) -> Vec<String> {
     let mut tags = Vec::new();
     for line in lines {
@@ -237,10 +264,30 @@ pub fn match_brace(masked_lines: &[String], line: usize, col: usize) -> Option<u
     None
 }
 
+/// The two line-aligned views of one source text computed by
+/// [`mask_views`].
+pub struct MaskedViews {
+    /// Comments and string/char literal contents replaced with spaces —
+    /// keyword scanning only sees real code.
+    pub masked: String,
+    /// Only string/char literal contents replaced with spaces — comment
+    /// text (and code) survives, for marker/tag lookups that must not be
+    /// satisfiable from inside a literal.
+    pub comments: String,
+}
+
 /// Replaces the contents of comments and string/char literals with spaces
 /// so keyword scanning only sees real code. Newlines are preserved so line
 /// numbers stay aligned with the original.
 pub fn mask_non_code(text: &str) -> String {
+    mask_views(text).masked
+}
+
+/// Computes both masked views ([`MaskedViews`]) in one pass over `text`.
+/// Newlines are always preserved — including a `\` escape directly before
+/// a newline inside a string literal, which must not collapse two source
+/// lines into one or every later line number would shift.
+pub fn mask_views(text: &str) -> MaskedViews {
     #[derive(PartialEq)]
     enum St {
         Code,
@@ -251,7 +298,20 @@ pub fn mask_non_code(text: &str) -> String {
         Char,
     }
     let chars: Vec<char> = text.chars().collect();
-    let mut out = String::with_capacity(text.len());
+    let mut masked = String::with_capacity(text.len());
+    let mut comments = String::with_capacity(text.len());
+    // Emits one source char into both views: `keep_code` controls the
+    // masked view, `keep_comment` the comment-visible view; newlines are
+    // always kept verbatim in both.
+    let mut emit = |c: char, keep_code: bool, keep_comment: bool| {
+        if c == '\n' {
+            masked.push('\n');
+            comments.push('\n');
+        } else {
+            masked.push(if keep_code { c } else { ' ' });
+            comments.push(if keep_comment { c } else { ' ' });
+        }
+    };
     let mut st = St::Code;
     let mut i = 0;
     while i < chars.len() {
@@ -261,17 +321,19 @@ pub fn mask_non_code(text: &str) -> String {
             St::Code => match c {
                 '/' if next == Some('/') => {
                     st = St::LineComment;
-                    out.push_str("  ");
+                    emit(c, false, true);
+                    emit('/', false, true);
                     i += 2;
                 }
                 '/' if next == Some('*') => {
                     st = St::BlockComment(1);
-                    out.push_str("  ");
+                    emit(c, false, true);
+                    emit('*', false, true);
                     i += 2;
                 }
                 '"' => {
                     st = St::Str;
-                    out.push(' ');
+                    emit(c, false, false);
                     i += 1;
                 }
                 'r' if matches!(next, Some('"') | Some('#')) => {
@@ -286,11 +348,11 @@ pub fn mask_non_code(text: &str) -> String {
                     if chars.get(j) == Some(&'"') {
                         st = St::RawStr(hashes);
                         for _ in i..=j {
-                            out.push(' ');
+                            emit(' ', false, false);
                         }
                         i = j + 1;
                     } else {
-                        out.push(c);
+                        emit(c, true, true);
                         i += 1;
                     }
                 }
@@ -301,29 +363,23 @@ pub fn mask_non_code(text: &str) -> String {
                         next == Some('\\') || (next.is_some() && chars.get(i + 2) == Some(&'\''));
                     if is_char_lit {
                         st = St::Char;
-                        out.push(' ');
+                        emit(c, false, false);
                         i += 1;
                     } else {
-                        out.push(c);
+                        emit(c, true, true);
                         i += 1;
                     }
                 }
-                '\n' => {
-                    out.push('\n');
-                    i += 1;
-                }
                 _ => {
-                    out.push(c);
+                    emit(c, true, true);
                     i += 1;
                 }
             },
             St::LineComment => {
                 if c == '\n' {
                     st = St::Code;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
                 }
+                emit(c, false, true);
                 i += 1;
             }
             St::BlockComment(depth) => {
@@ -333,27 +389,39 @@ pub fn mask_non_code(text: &str) -> String {
                     } else {
                         St::BlockComment(depth - 1)
                     };
-                    out.push_str("  ");
+                    emit(c, false, true);
+                    emit('/', false, true);
                     i += 2;
                 } else if c == '/' && next == Some('*') {
                     st = St::BlockComment(depth + 1);
-                    out.push_str("  ");
+                    emit(c, false, true);
+                    emit('*', false, true);
                     i += 2;
                 } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    emit(c, false, true);
                     i += 1;
                 }
             }
-            St::Str => {
+            St::Str | St::Char => {
+                let close = if st == St::Str { '"' } else { '\'' };
                 if c == '\\' {
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
+                    // The escaped char is consumed too — but an escaped
+                    // newline (string line-continuation) must still emit
+                    // its newline or the views desynchronize from the
+                    // original line numbering.
+                    emit(c, false, false);
+                    if let Some(n) = next {
+                        emit(n, false, false);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == close {
                     st = St::Code;
-                    out.push(' ');
+                    emit(c, false, false);
                     i += 1;
                 } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    emit(c, false, false);
                     i += 1;
                 }
             }
@@ -368,31 +436,18 @@ pub fn mask_non_code(text: &str) -> String {
                     if seen == hashes {
                         st = St::Code;
                         for _ in i..j {
-                            out.push(' ');
+                            emit(' ', false, false);
                         }
                         i = j;
                         continue;
                     }
                 }
-                out.push(if c == '\n' { '\n' } else { ' ' });
+                emit(c, false, false);
                 i += 1;
-            }
-            St::Char => {
-                if c == '\\' {
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '\'' {
-                    st = St::Code;
-                    out.push(' ');
-                    i += 1;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
             }
         }
     }
-    out
+    MaskedViews { masked, comments }
 }
 
 #[cfg(test)]
@@ -464,5 +519,54 @@ mod tests {
         let f = SourceFile::parse("crates/skiplist/src/swmr.rs", "");
         assert!(f.under_any(&["crates/skiplist/src".into()]));
         assert!(!f.under_any(&["crates/skip".into()]));
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers_aligned() {
+        // A `\` directly before the newline is a string line-continuation;
+        // the old escape handler consumed the newline and every later line
+        // number shifted by one.
+        let src = "let s = \"a \\\nb\";\nfoo.store(1, Ordering::Release); // ORDERING: pairs\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert_eq!(f.masked_lines.len(), f.lines.len());
+        assert_eq!(f.comment_lines.len(), f.lines.len());
+        assert!(f.masked_lines[2].contains("store"));
+        assert!(f.marker_near(2, "ORDERING:"));
+    }
+
+    #[test]
+    fn marker_inside_a_string_literal_does_not_justify() {
+        // "PANIC-OK:" as an expect() message is prose, not an annotation.
+        let src = "let v = x.expect(\"PANIC-OK: not a marker\");\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert!(!f.marker_near(0, "PANIC-OK:"));
+        // The same text in a real trailing comment does justify.
+        let src = "let v = x.expect(\"boom\"); // PANIC-OK: startup only\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert!(f.marker_near(0, "PANIC-OK:"));
+    }
+
+    #[test]
+    fn raw_string_interior_lines_are_not_comments_or_tags() {
+        // A multi-line raw string whose interior lines look like comments
+        // must neither declare module tags nor extend a comment run.
+        let src = "let t = r#\"\n//! lint: hot_path\n// SAFETY: fake\n\"#;\nunsafe { op() };\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert!(!f.has_tag("hot_path"));
+        assert!(!f.marker_near(4, "SAFETY:"));
+        // Line-number alignment holds across the raw string.
+        assert_eq!(f.masked_lines.len(), f.lines.len());
+        assert!(f.masked_lines[4].contains("unsafe"));
+    }
+
+    #[test]
+    fn marker_text_returns_the_annotation_payload() {
+        let src = "// LOCK: sink_collect — leaf lock\nlet g = self.mu.lock();\n";
+        let f = SourceFile::parse("a.rs", src);
+        assert_eq!(
+            f.marker_text(1, "LOCK:"),
+            Some("sink_collect — leaf lock".to_string())
+        );
+        assert_eq!(f.marker_text(1, "CHANNEL:"), None);
     }
 }

@@ -7,6 +7,7 @@
 pub mod audit;
 pub mod lexer;
 pub mod lint;
+pub mod lockdep;
 
 use std::path::{Path, PathBuf};
 

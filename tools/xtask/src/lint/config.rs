@@ -29,6 +29,24 @@
 //! `reason`; `subject` narrows the suppression to diagnostics whose
 //! subject contains it. Entries that suppress nothing fail the run
 //! (stale suppressions rot into silent coverage holes).
+//!
+//! The deadlock-freedom rules (R6/R7) read two more tables:
+//!
+//! ```toml
+//! [lockorder]
+//! classes = ["failure_slot", "sink_collect"]
+//! order = ["failure_slot -> sink_collect"]   # may hold lhs while taking rhs
+//!
+//! [topology]
+//! workers = ["driver", "joiner", "collector"]
+//! edges = ["driver -> joiner : bounded", "joiner -> collector : bounded"]
+//! ```
+//!
+//! `order` must reference declared classes and form a strict partial
+//! order — a cycle in the *declared* order is rejected at parse time,
+//! before any source file is scanned. `edges` must reference declared
+//! workers; cycle-freedom of the bounded subgraph is R7's job (so the
+//! fixture suite can pin its rule id), not the parser's.
 
 /// One allowlist entry from `[[allow]]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +57,16 @@ pub struct AllowEntry {
     /// every diagnostic of (rule, file).
     pub subject: String,
     pub reason: String,
+}
+
+/// One declared channel edge from `[topology] edges`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelEdge {
+    pub src: String,
+    pub dst: String,
+    /// `true` for `: bounded` (the deadlock-relevant kind), `false` for
+    /// `: unbounded`.
+    pub bounded: bool,
 }
 
 /// Parsed `lint.toml`.
@@ -56,6 +84,21 @@ pub struct Config {
     /// Files containing loom models; a public atomic-owning type must be
     /// named in at least one of them.
     pub loom_models: Vec<String>,
+    /// Named lock classes (`[lockorder] classes`); every `// LOCK:` tag
+    /// must name one (R6).
+    pub lock_classes: Vec<String>,
+    /// Declared acquisition-order pairs `(a, b)`: a thread holding class
+    /// `a` may acquire class `b`. R6 checks nested acquisitions against
+    /// the transitive closure of this relation.
+    pub lock_order: Vec<(String, String)>,
+    /// Worker names (`[topology] workers`).
+    pub topo_workers: Vec<String>,
+    /// Declared channel edges (`[topology] edges`); every `// CHANNEL:`
+    /// tag must name one (R7).
+    pub topo_edges: Vec<ChannelEdge>,
+    /// 1-based lint.toml line of the `edges = [...]` key — the anchor for
+    /// R7's whole-graph diagnostics (bounded cycle, stale edge).
+    pub topo_edges_line: usize,
     pub allow: Vec<AllowEntry>,
 }
 
@@ -90,7 +133,9 @@ impl Config {
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 let name = name.trim();
                 match name {
-                    "scope" | "facade" | "loom" => table = name.to_string(),
+                    "scope" | "facade" | "loom" | "lockorder" | "topology" => {
+                        table = name.to_string()
+                    }
                     other => {
                         return Err(format!("lint.toml:{lineno}: unknown table `[{other}]`"));
                     }
@@ -107,6 +152,19 @@ impl Config {
                 ("facade", "files") => cfg.facade_files = parse_string_array(value, lineno)?,
                 ("loom", "crates") => cfg.loom_crates = parse_string_array(value, lineno)?,
                 ("loom", "models") => cfg.loom_models = parse_string_array(value, lineno)?,
+                ("lockorder", "classes") => cfg.lock_classes = parse_string_array(value, lineno)?,
+                ("lockorder", "order") => {
+                    for s in parse_string_array(value, lineno)? {
+                        cfg.lock_order.push(parse_order_pair(&s, lineno)?);
+                    }
+                }
+                ("topology", "workers") => cfg.topo_workers = parse_string_array(value, lineno)?,
+                ("topology", "edges") => {
+                    cfg.topo_edges_line = lineno;
+                    for s in parse_string_array(value, lineno)? {
+                        cfg.topo_edges.push(parse_channel_edge(&s, lineno)?);
+                    }
+                }
                 ("allow", k) => {
                     let entry = cfg
                         .allow
@@ -140,8 +198,175 @@ impl Config {
                 ));
             }
         }
+        cfg.validate_lockorder()?;
+        cfg.validate_topology()?;
         Ok(cfg)
     }
+
+    /// True if a thread holding `held` may acquire `want` under the
+    /// declared order — i.e. `held -> want` is in the transitive closure
+    /// of `[lockorder] order`. Same-class re-entrancy is never allowed.
+    pub fn lock_order_allows(&self, held: &str, want: &str) -> bool {
+        if held == want {
+            return false;
+        }
+        // DFS over the declared pairs; the graph is tiny (a handful of
+        // classes) and already known to be acyclic.
+        let mut stack = vec![held];
+        let mut seen = vec![held];
+        while let Some(cur) = stack.pop() {
+            for (a, b) in &self.lock_order {
+                if a == cur && !seen.contains(&b.as_str()) {
+                    if b == want {
+                        return true;
+                    }
+                    seen.push(b);
+                    stack.push(b);
+                }
+            }
+        }
+        false
+    }
+
+    fn validate_lockorder(&self) -> Result<(), String> {
+        check_unique("lockorder.classes", &self.lock_classes)?;
+        for (a, b) in &self.lock_order {
+            for c in [a, b] {
+                if !self.lock_classes.contains(c) {
+                    return Err(format!(
+                        "lint.toml: [lockorder] order names undeclared class `{c}` \
+                         (declare it in `classes`)"
+                    ));
+                }
+            }
+            if a == b {
+                return Err(format!(
+                    "lint.toml: [lockorder] order pair `{a} -> {b}` is reflexive — \
+                     same-class re-entrancy is never allowed"
+                ));
+            }
+        }
+        // The declared order must itself be a strict partial order: a
+        // cycle would make every nesting "declared" and the rule vacuous.
+        if let Some(cycle) = find_cycle(&self.lock_classes, &|a, b| {
+            self.lock_order.iter().any(|(x, y)| x == a && y == b)
+        }) {
+            return Err(format!(
+                "lint.toml: [lockorder] order contains a cycle: {}",
+                cycle.join(" -> ")
+            ));
+        }
+        Ok(())
+    }
+
+    fn validate_topology(&self) -> Result<(), String> {
+        check_unique("topology.workers", &self.topo_workers)?;
+        for e in &self.topo_edges {
+            for w in [&e.src, &e.dst] {
+                if !self.topo_workers.contains(w) {
+                    return Err(format!(
+                        "lint.toml: [topology] edges names undeclared worker `{w}` \
+                         (declare it in `workers`)"
+                    ));
+                }
+            }
+        }
+        for (i, e) in self.topo_edges.iter().enumerate() {
+            if self.topo_edges[..i]
+                .iter()
+                .any(|p| p.src == e.src && p.dst == e.dst)
+            {
+                return Err(format!(
+                    "lint.toml: [topology] edge `{} -> {}` is declared twice",
+                    e.src, e.dst
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A cycle (as `a -> b -> ... -> a`) in the directed graph over `nodes`
+/// with edge predicate `edge`, if one exists.
+pub fn find_cycle(nodes: &[String], edge: &dyn Fn(&str, &str) -> bool) -> Option<Vec<String>> {
+    // Colored DFS: 0 = unvisited, 1 = on the current path, 2 = done.
+    fn dfs(
+        n: usize,
+        nodes: &[String],
+        edge: &dyn Fn(&str, &str) -> bool,
+        color: &mut [u8],
+        path: &mut Vec<usize>,
+    ) -> Option<Vec<String>> {
+        color[n] = 1;
+        path.push(n);
+        for (m, to) in nodes.iter().enumerate() {
+            if !edge(&nodes[n], to) {
+                continue;
+            }
+            if color[m] == 1 {
+                let start = path.iter().position(|&p| p == m).unwrap_or(0);
+                let mut cycle: Vec<String> =
+                    path[start..].iter().map(|&p| nodes[p].clone()).collect();
+                cycle.push(nodes[m].clone());
+                return Some(cycle);
+            }
+            if color[m] == 0 {
+                if let Some(c) = dfs(m, nodes, edge, color, path) {
+                    return Some(c);
+                }
+            }
+        }
+        path.pop();
+        color[n] = 2;
+        None
+    }
+    let mut color = vec![0u8; nodes.len()];
+    let mut path = Vec::new();
+    for n in 0..nodes.len() {
+        if color[n] == 0 {
+            if let Some(c) = dfs(n, nodes, edge, &mut color, &mut path) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+fn check_unique(what: &str, names: &[String]) -> Result<(), String> {
+    for (i, n) in names.iter().enumerate() {
+        if names[..i].contains(n) {
+            return Err(format!("lint.toml: [{what}] declares `{n}` twice"));
+        }
+    }
+    Ok(())
+}
+
+/// Parses `"a -> b"` into `(a, b)`.
+fn parse_order_pair(s: &str, lineno: usize) -> Result<(String, String), String> {
+    let (a, b) = s.split_once("->").ok_or_else(|| {
+        format!("lint.toml:{lineno}: expected `\"class_a -> class_b\"`, got `{s}`")
+    })?;
+    let (a, b) = (a.trim(), b.trim());
+    if a.is_empty() || b.is_empty() || b.contains("->") {
+        return Err(format!(
+            "lint.toml:{lineno}: expected `\"class_a -> class_b\"`, got `{s}`"
+        ));
+    }
+    Ok((a.to_string(), b.to_string()))
+}
+
+/// Parses `"src -> dst : bounded"` (or `: unbounded`) into a [`ChannelEdge`].
+fn parse_channel_edge(s: &str, lineno: usize) -> Result<ChannelEdge, String> {
+    let err =
+        || format!("lint.toml:{lineno}: expected `\"src -> dst : bounded|unbounded\"`, got `{s}`");
+    let (pair, kind) = s.rsplit_once(':').ok_or_else(err)?;
+    let bounded = match kind.trim() {
+        "bounded" => true,
+        "unbounded" => false,
+        _ => return Err(err()),
+    };
+    let (src, dst) = parse_order_pair(pair.trim(), lineno).map_err(|_| err())?;
+    Ok(ChannelEdge { src, dst, bounded })
 }
 
 /// Drops a trailing `# comment` that is not inside a quoted string.
@@ -222,6 +447,83 @@ reason = "covered elsewhere"
         assert!(Config::parse("[scope]\nwrong = \"x\"\n").is_err());
         let e = Config::parse("[[allow]]\nrule = \"R1\"\nfile = \"f.rs\"\n").unwrap_err();
         assert!(e.contains("reason"), "{e}");
+    }
+
+    #[test]
+    fn parses_lockorder_and_topology() {
+        let cfg = Config::parse(
+            r#"
+[lockorder]
+classes = ["a", "b", "c"]
+order = ["a -> b", "b -> c"]
+
+[topology]
+workers = ["driver", "joiner", "collector"]
+edges = ["driver -> joiner : bounded", "joiner -> collector : unbounded"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.lock_classes, vec!["a", "b", "c"]);
+        assert_eq!(
+            cfg.lock_order,
+            vec![("a".into(), "b".into()), ("b".into(), "c".into())]
+        );
+        assert_eq!(cfg.topo_workers.len(), 3);
+        assert_eq!(
+            cfg.topo_edges[0],
+            ChannelEdge {
+                src: "driver".into(),
+                dst: "joiner".into(),
+                bounded: true
+            }
+        );
+        assert!(!cfg.topo_edges[1].bounded);
+        assert_eq!(cfg.topo_edges_line, 8);
+        // Transitive closure: a -> c holds, c -> a does not, a -> a never.
+        assert!(cfg.lock_order_allows("a", "c"));
+        assert!(!cfg.lock_order_allows("c", "a"));
+        assert!(!cfg.lock_order_allows("a", "a"));
+    }
+
+    #[test]
+    fn rejects_bad_lockorder_declarations() {
+        let e =
+            Config::parse("[lockorder]\nclasses = [\"a\"]\norder = [\"a -> b\"]\n").unwrap_err();
+        assert!(e.contains("undeclared class `b`"), "{e}");
+        let e = Config::parse(
+            "[lockorder]\nclasses = [\"a\", \"b\"]\norder = [\"a -> b\", \"b -> a\"]\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("cycle"), "{e}");
+        let e =
+            Config::parse("[lockorder]\nclasses = [\"a\"]\norder = [\"a -> a\"]\n").unwrap_err();
+        assert!(e.contains("reflexive"), "{e}");
+        let e = Config::parse("[lockorder]\nclasses = [\"a\", \"a\"]\n").unwrap_err();
+        assert!(e.contains("twice"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_topology_declarations() {
+        let e = Config::parse("[topology]\nworkers = [\"d\"]\nedges = [\"d -> j : bounded\"]\n")
+            .unwrap_err();
+        assert!(e.contains("undeclared worker `j`"), "{e}");
+        let e = Config::parse("[topology]\nworkers = [\"d\", \"j\"]\nedges = [\"d -> j\"]\n")
+            .unwrap_err();
+        assert!(e.contains("bounded|unbounded"), "{e}");
+        let e = Config::parse(
+            "[topology]\nworkers = [\"d\", \"j\"]\nedges = [\"d -> j : bounded\", \"d -> j : bounded\"]\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("declared twice"), "{e}");
+    }
+
+    #[test]
+    fn find_cycle_reports_the_path() {
+        let nodes: Vec<String> = ["x", "y", "z"].iter().map(|s| s.to_string()).collect();
+        let edges = [("x", "y"), ("y", "z"), ("z", "x")];
+        let cycle = find_cycle(&nodes, &|a, b| edges.contains(&(a, b))).unwrap();
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(find_cycle(&nodes, &|a, b| (a, b) == ("x", "y")).is_none());
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! | R3 | `hot-path-panic` | no `unwrap`/`expect`/`panic!`/`todo!`/slice-index in `//! lint: hot_path` modules without `// PANIC-OK:` |
 //! | R4 | `hot-path-blocking` | no lock acquisition, sleeps, or blocking channel ops in `hot_path` modules without `// BLOCKING-OK:` |
 //! | R5 | `loom-coverage` | every public atomic-owning type is named in a loom model (or allowlisted as uncovered) |
+//! | R6 | `lock-order` | every lock acquisition carries `// LOCK: <class>` and lexical nesting respects the `[lockorder]` partial order |
+//! | R7 | `channel-topology` | every channel construction carries `// CHANNEL: <src> -> <dst>` naming a declared `[topology]` edge; raw sends need `// SEND-OK:`; the declared bounded subgraph is acyclic |
 //!
 //! Scope and per-rule suppressions live in `lint.toml` at the workspace
 //! root ([`config`]); diagnostics are rustc-style (`error[R1]: ...` with a
@@ -35,7 +37,7 @@ use rules::registry;
 /// allowlist entries by (rule, file, subject).
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
-    /// Stable rule id (`R1`..`R5`).
+    /// Stable rule id (`R1`..`R7`).
     pub rule: &'static str,
     /// Human-readable rule name (`ordering-justification`, ...).
     pub name: &'static str,
@@ -126,10 +128,67 @@ pub fn check_files(files: &[SourceFile], cfg: &Config) -> LintOutcome {
     }
 }
 
+/// Escapes `s` for embedding in a JSON string literal. Hand-rolled —
+/// xtask is dependency-free by policy, and lint diagnostics only need
+/// the mandatory escapes.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics (and stale-allow findings, as pseudo-rule
+/// `stale-allow`) as a JSON array for CI annotation tooling.
+fn render_json(outcome: &LintOutcome, cfg: &Config) -> String {
+    let mut items = Vec::new();
+    for d in &outcome.diagnostics {
+        items.push(format!(
+            "  {{\"rule\": \"{}\", \"name\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"subject\": \"{}\", \"message\": \"{}\", \"help\": \"{}\"}}",
+            json_escape(d.rule),
+            json_escape(d.name),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.subject),
+            json_escape(&d.message),
+            json_escape(&d.help),
+        ));
+    }
+    for i in outcome.stale_allows() {
+        let e = &cfg.allow[i];
+        items.push(format!(
+            "  {{\"rule\": \"stale-allow\", \"name\": \"stale-allow\", \"file\": \"lint.toml\", \
+             \"line\": 0, \"subject\": \"{}\", \"message\": \"[[allow]] entry #{} ({} in {}) \
+             suppressed nothing — remove it\", \"help\": \"remove the stale entry\"}}",
+            json_escape(&e.subject),
+            i + 1,
+            json_escape(&e.rule),
+            json_escape(&e.file),
+        ));
+    }
+    format!("[\n{}\n]", items.join(",\n"))
+}
+
 /// CLI entry point: loads `lint.toml`, parses every file the config puts
 /// in scope, runs the registry, prints diagnostics, and sets the exit
-/// code. Stale allowlist entries are hard errors.
-pub fn run() -> ExitCode {
+/// code. Stale allowlist entries are hard errors. With `--json` the
+/// findings go to stdout as a JSON array instead of rustc-style text.
+pub fn run(args: &[String]) -> ExitCode {
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(bad) = args.iter().find(|a| *a != "--json") {
+        eprintln!("lint: unknown option `{bad}` (supported: --json)");
+        return ExitCode::FAILURE;
+    }
     let root = workspace_root();
     let cfg_path = root.join("lint.toml");
     let cfg_text = match std::fs::read_to_string(&cfg_path) {
@@ -189,6 +248,15 @@ pub fn run() -> ExitCode {
 
     let outcome = check_files(&files, &cfg);
     let mut failed = false;
+    if json {
+        println!("{}", render_json(&outcome, &cfg));
+        failed = !outcome.diagnostics.is_empty() || !outcome.stale_allows().is_empty();
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     for d in &outcome.diagnostics {
         eprintln!("{d}\n");
         failed = true;

@@ -9,6 +9,8 @@ mod r2_facade;
 mod r3_panic;
 mod r4_blocking;
 mod r5_loom;
+mod r6_lockorder;
+mod r7_topology;
 
 use super::Rule;
 use crate::lexer::{is_ident_byte, keyword_positions};
@@ -22,6 +24,8 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(r3_panic::HotPathPanic),
         Box::new(r4_blocking::HotPathBlocking),
         Box::new(r5_loom::LoomCoverage),
+        Box::new(r6_lockorder::LockOrder),
+        Box::new(r7_topology::ChannelTopology),
     ]
 }
 

@@ -1,0 +1,289 @@
+//! R6 `lock-order`: every lock acquisition names its declared class and
+//! lexically nested acquisitions respect the declared partial order.
+//!
+//! A deadlock needs a cycle in the waits-for graph, and the cheapest
+//! place to break the cycle is before it compiles: `lint.toml
+//! [lockorder]` declares the workspace's lock classes and the pairs a
+//! thread may nest (`"a -> b"` = may take `b` while holding `a`). This
+//! rule then demands that (1) every acquisition site — `.lock()`,
+//! `.read()`, `.write()` and their `try_` siblings with empty argument
+//! lists — carries a `// LOCK: <class>` tag naming a declared class, and
+//! (2) within a function, an acquisition made while another guard is
+//! lexically live is reachable from every held class in the transitive
+//! closure of the declared order. Same-class nesting is always an error
+//! (std locks are not re-entrant).
+//!
+//! Guard lifetime is tracked lexically, which is the right fidelity for
+//! a token-level linter: a `let`-bound guard lives until its block's
+//! closing brace or an explicit `drop(name)`; a temporary guard
+//! (`x.lock().push(..)`) dies at its statement's `;`. The runtime
+//! lockdep witness (`oij_common::lockdep`) covers the dynamic side; this
+//! rule keeps the declared artifact honest at review time.
+//! `#[cfg(test)]` code is exempt.
+
+use crate::lexer::SourceFile;
+use crate::lint::config::Config;
+use crate::lint::{Diagnostic, Rule};
+
+/// Zero-argument acquisition methods on the facade lock types.
+const ACQUIRE_METHODS: [&str; 6] = ["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+pub struct LockOrder;
+
+/// One lexically live guard.
+struct Held {
+    class: String,
+    /// Brace depth at the acquisition; the guard dies when depth drops
+    /// below this.
+    depth: i64,
+    /// 1-based acquisition line, for the diagnostic message.
+    line: usize,
+    /// `let` binding name, if any — `drop(<name>)` releases it.
+    binding: Option<String>,
+    /// Temporary guard: released at the end of its statement.
+    temp: bool,
+}
+
+impl Rule for LockOrder {
+    fn id(&self) -> &'static str {
+        "R6"
+    }
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic>) {
+        // No declared classes = the workspace has not adopted lock-order
+        // checking; stay inert rather than demand tags against an empty
+        // vocabulary.
+        if cfg.lock_classes.is_empty() {
+            return;
+        }
+        for file in files.iter().filter(|f| f.under_any(&cfg.scope_src)) {
+            check_file(self, file, cfg, out);
+        }
+    }
+}
+
+fn check_file(rule: &LockOrder, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let mut depth = 0i64;
+    let mut held: Vec<Held> = Vec::new();
+    for (idx, mline) in file.masked_lines.iter().enumerate() {
+        // Test regions are brace-balanced mods, so skipping their lines
+        // keeps the depth counter aligned with production code.
+        if file.in_test[idx] {
+            continue;
+        }
+        let acquisitions = acquire_positions(mline);
+        let mut acq = acquisitions.iter().peekable();
+        for (col, b) in mline.bytes().enumerate() {
+            while acq.peek().is_some_and(|&&(c, _)| c <= col) {
+                let &&(_, method) = acq.peek().unwrap();
+                acq.next();
+                on_acquire(rule, file, cfg, idx, method, depth, &mut held, out);
+            }
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    held.retain(|h| h.depth <= depth);
+                }
+                _ => {}
+            }
+        }
+        // `drop(name)` releases the named guard.
+        for name in dropped_names(mline) {
+            held.retain(|h| h.binding.as_deref() != Some(name));
+        }
+        // Temporaries die at the `;` ending their statement.
+        if mline.trim_end().ends_with(';') {
+            held.retain(|h| !h.temp);
+        }
+    }
+}
+
+/// Handles one acquisition site: tag lookup, class validation, and the
+/// nested-order check against every lexically held guard.
+#[allow(clippy::too_many_arguments)]
+fn on_acquire(
+    rule: &LockOrder,
+    file: &SourceFile,
+    cfg: &Config,
+    idx: usize,
+    method: &str,
+    depth: i64,
+    held: &mut Vec<Held>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let subject = format!(".{method}()");
+    let Some(text) = file.marker_text(idx, "LOCK:") else {
+        out.push(Diagnostic {
+            rule: rule.id(),
+            name: rule.name(),
+            file: file.rel.clone(),
+            line: idx + 1,
+            subject,
+            message: format!("lock acquisition `.{method}()` without a `// LOCK: <class>` tag"),
+            help: format!(
+                "tag the acquisition with its declared class: `// LOCK: <one of {}>`",
+                cfg.lock_classes.join("/")
+            ),
+        });
+        return;
+    };
+    let class = text.split_whitespace().next().unwrap_or("").to_string();
+    if !cfg.lock_classes.contains(&class) {
+        out.push(Diagnostic {
+            rule: rule.id(),
+            name: rule.name(),
+            file: file.rel.clone(),
+            line: idx + 1,
+            subject: class.clone(),
+            message: format!("`// LOCK: {class}` names no declared lock class"),
+            help: format!(
+                "declare `{class}` in lint.toml `[lockorder] classes` (currently: {})",
+                cfg.lock_classes.join(", ")
+            ),
+        });
+        return;
+    }
+    for h in held.iter() {
+        if h.class == class {
+            out.push(Diagnostic {
+                rule: rule.id(),
+                name: rule.name(),
+                file: file.rel.clone(),
+                line: idx + 1,
+                subject: class.clone(),
+                message: format!(
+                    "re-entrant acquisition of lock class `{class}` (already held since \
+                     line {})",
+                    h.line
+                ),
+                help: "std locks are not re-entrant — release the first guard before \
+                       re-acquiring, or split the critical section"
+                    .to_string(),
+            });
+        } else if !cfg.lock_order_allows(&h.class, &class) {
+            out.push(Diagnostic {
+                rule: rule.id(),
+                name: rule.name(),
+                file: file.rel.clone(),
+                line: idx + 1,
+                subject: format!("{} -> {class}", h.class),
+                message: format!(
+                    "acquiring `{class}` while holding `{}` (line {}) is not in the \
+                     declared lock order",
+                    h.class, h.line
+                ),
+                help: format!(
+                    "declare `\"{} -> {class}\"` in lint.toml `[lockorder] order`, or \
+                     restructure so the guards do not nest",
+                    h.class
+                ),
+            });
+        }
+    }
+    let binding = let_binding(file, idx);
+    held.push(Held {
+        class,
+        depth,
+        line: idx + 1,
+        temp: binding.is_none(),
+        binding,
+    });
+}
+
+/// Byte columns (and methods) of zero-argument acquisition calls
+/// `.method()` on the masked line, in order.
+fn acquire_positions(mline: &str) -> Vec<(usize, &'static str)> {
+    let bytes = mline.as_bytes();
+    let mut out = Vec::new();
+    for m in ACQUIRE_METHODS {
+        let mut from = 0;
+        while let Some(pos) = mline[from..].find(m) {
+            let start = from + pos;
+            let end = start + m.len();
+            from = end;
+            if start == 0 || bytes[start - 1] != b'.' {
+                continue;
+            }
+            if mline[end..].starts_with("()") {
+                out.push((start, m));
+            }
+        }
+    }
+    // A `.try_lock()` site never double-counts: the inner `lock` match is
+    // preceded by `_`, not `.`, so only the `try_` entry survives.
+    out.sort_by_key(|&(c, _)| c);
+    out
+}
+
+/// The `let` binding name of the statement containing line `idx`, if the
+/// statement's first line starts one (`let [mut] name = ...`).
+fn let_binding(file: &SourceFile, idx: usize) -> Option<String> {
+    let mut start = idx;
+    while start > 0 {
+        let prev = file.masked_lines[start - 1].trim();
+        if prev.is_empty() || prev.ends_with(';') || prev.ends_with('{') || prev.ends_with('}') {
+            break;
+        }
+        start -= 1;
+    }
+    let t = file.masked_lines[start].trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Names passed to `drop(...)` on the masked line.
+fn dropped_names(mline: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    for pos in crate::lexer::keyword_positions(mline, "drop") {
+        let after = &mline[pos + 4..];
+        let Some(arg) = after.strip_prefix('(') else {
+            continue;
+        };
+        let name_len = arg
+            .bytes()
+            .take_while(|&b| crate::lexer::is_ident_byte(b))
+            .count();
+        if name_len > 0 && arg[name_len..].starts_with(')') {
+            out.push(&arg[..name_len]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquisition_matcher_requires_dot_and_empty_parens() {
+        assert_eq!(
+            acquire_positions("let g = self.mu.lock();"),
+            vec![(16, "lock")]
+        );
+        assert_eq!(
+            acquire_positions("let g = self.rw.try_write();"),
+            vec![(16, "try_write")]
+        );
+        // io-style calls with arguments are not lock acquisitions.
+        assert!(acquire_positions("file.read(&mut buf)").is_empty());
+        assert!(acquire_positions("sock.write(bytes)").is_empty());
+        // Free functions are not method calls.
+        assert!(acquire_positions("lock()").is_empty());
+    }
+
+    #[test]
+    fn drop_matcher_extracts_simple_names() {
+        assert_eq!(dropped_names("drop(guard);"), vec!["guard"]);
+        assert!(dropped_names("self.drop_all(guard)").is_empty());
+        assert!(dropped_names("drop(a.b)").is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! R7 `channel-topology`: every channel construction names a declared
+//! worker→worker edge, raw sends are justified, and the declared bounded
+//! subgraph is cycle-free.
+//!
+//! Bounded channels deadlock exactly like locks: a cycle of workers each
+//! blocked sending into the next's full queue. `lint.toml [topology]`
+//! declares the worker graph; this rule keeps code and declaration in
+//! sync from both sides. Per site: (1) every `bounded(..)` /
+//! `unbounded(..)` construction carries `// CHANNEL: <src> -> <dst>`
+//! naming a declared edge whose boundedness matches the constructor;
+//! (2) every raw `.send(..)` / `.send_timeout(..)` carries
+//! `// SEND-OK: <why>` — the blessed path is `send_guarded`, which
+//! bounds the wait and watches the kill flag. Per graph: a cycle among
+//! the *declared bounded* edges is an error anchored at the `edges` line
+//! of lint.toml, and a declared edge no construction site names is a
+//! stale declaration (mirroring the stale-allow discipline).
+//! `#[cfg(test)]` code is exempt.
+
+use crate::lexer::{keyword_positions, SourceFile};
+use crate::lint::config::{find_cycle, Config};
+use crate::lint::rules::has_method_call;
+use crate::lint::{Diagnostic, Rule};
+
+pub struct ChannelTopology;
+
+impl Rule for ChannelTopology {
+    fn id(&self) -> &'static str {
+        "R7"
+    }
+    fn name(&self) -> &'static str {
+        "channel-topology"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic>) {
+        // No declared workers = topology checking not adopted; stay inert.
+        if cfg.topo_workers.is_empty() {
+            return;
+        }
+        // Which declared edges some `// CHANNEL:` tag actually names.
+        let mut edge_used = vec![false; cfg.topo_edges.len()];
+        for file in files.iter().filter(|f| f.under_any(&cfg.scope_src)) {
+            for (idx, mline) in file.masked_lines.iter().enumerate() {
+                if file.in_test[idx] {
+                    continue;
+                }
+                if let Some(bounded) = channel_ctor(mline) {
+                    self.check_ctor(file, cfg, idx, bounded, &mut edge_used, out);
+                }
+                if let Some(what) = raw_send(mline) {
+                    if !file.marker_near(idx, "SEND-OK:") {
+                        out.push(Diagnostic {
+                            rule: self.id(),
+                            name: self.name(),
+                            file: file.rel.clone(),
+                            line: idx + 1,
+                            subject: what.to_string(),
+                            message: format!(
+                                "raw `{what}` on a channel — not `send_guarded` and no \
+                                 `// SEND-OK:` justification"
+                            ),
+                            help: "route the send through `send_guarded` (bounded wait + kill \
+                                   watch), or annotate `// SEND-OK: <why this send cannot \
+                                   wedge teardown>`"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        // Whole-graph checks, anchored at the lint.toml `edges` line.
+        if let Some(cycle) = find_cycle(&cfg.topo_workers, &|a, b| {
+            cfg.topo_edges
+                .iter()
+                .any(|e| e.bounded && e.src == a && e.dst == b)
+        }) {
+            out.push(Diagnostic {
+                rule: self.id(),
+                name: self.name(),
+                file: "lint.toml".to_string(),
+                line: cfg.topo_edges_line,
+                subject: cycle.join(" -> "),
+                message: format!(
+                    "declared bounded channel edges form a cycle: {}",
+                    cycle.join(" -> ")
+                ),
+                help: "a bounded cycle can deadlock with every queue full — break it, or \
+                       declare one edge `: unbounded` and justify the memory bound"
+                    .to_string(),
+            });
+        }
+        for (i, used) in edge_used.iter().enumerate() {
+            if !used {
+                let e = &cfg.topo_edges[i];
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    name: self.name(),
+                    file: "lint.toml".to_string(),
+                    line: cfg.topo_edges_line,
+                    subject: format!("{} -> {}", e.src, e.dst),
+                    message: format!(
+                        "declared channel edge `{} -> {}` is named by no `// CHANNEL:` tag",
+                        e.src, e.dst
+                    ),
+                    help: "remove the stale edge from lint.toml `[topology] edges`, or tag \
+                           the construction site that realises it"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+impl ChannelTopology {
+    /// Checks one construction site's `// CHANNEL: src -> dst` tag
+    /// against the declared edges and records which edge it realises.
+    fn check_ctor(
+        &self,
+        file: &SourceFile,
+        cfg: &Config,
+        idx: usize,
+        bounded: bool,
+        edge_used: &mut [bool],
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let ctor = if bounded { "bounded" } else { "unbounded" };
+        let Some(text) = file.marker_text(idx, "CHANNEL:") else {
+            out.push(Diagnostic {
+                rule: self.id(),
+                name: self.name(),
+                file: file.rel.clone(),
+                line: idx + 1,
+                subject: ctor.to_string(),
+                message: format!(
+                    "channel construction `{ctor}(..)` without a `// CHANNEL: <src> -> <dst>` tag"
+                ),
+                help: "name the declared topology edge this channel realises, e.g. \
+                       `// CHANNEL: driver -> joiner`"
+                    .to_string(),
+            });
+            return;
+        };
+        let Some((src, dst)) = parse_tag_edge(&text) else {
+            out.push(Diagnostic {
+                rule: self.id(),
+                name: self.name(),
+                file: file.rel.clone(),
+                line: idx + 1,
+                subject: text.clone(),
+                message: format!("malformed `// CHANNEL: {text}` (expected `<src> -> <dst>`)"),
+                help: "write the tag as `// CHANNEL: driver -> joiner`".to_string(),
+            });
+            return;
+        };
+        let Some(pos) = cfg
+            .topo_edges
+            .iter()
+            .position(|e| e.src == src && e.dst == dst)
+        else {
+            out.push(Diagnostic {
+                rule: self.id(),
+                name: self.name(),
+                file: file.rel.clone(),
+                line: idx + 1,
+                subject: format!("{src} -> {dst}"),
+                message: format!("`// CHANNEL: {src} -> {dst}` names no declared topology edge"),
+                help: "declare the edge in lint.toml `[topology] edges` (and its workers in \
+                       `workers`)"
+                    .to_string(),
+            });
+            return;
+        };
+        edge_used[pos] = true;
+        if cfg.topo_edges[pos].bounded != bounded {
+            let declared = if cfg.topo_edges[pos].bounded {
+                "bounded"
+            } else {
+                "unbounded"
+            };
+            out.push(Diagnostic {
+                rule: self.id(),
+                name: self.name(),
+                file: file.rel.clone(),
+                line: idx + 1,
+                subject: format!("{src} -> {dst}"),
+                message: format!(
+                    "edge `{src} -> {dst}` is declared `{declared}` but constructed with \
+                     `{ctor}(..)`"
+                ),
+                help: "make the declaration and the constructor agree — boundedness is what \
+                       the deadlock analysis reasons about"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `Some(bounded?)` if the masked line constructs a channel via the
+/// `bounded(..)` / `unbounded(..)` free functions (optionally
+/// turbofished or path-qualified).
+fn channel_ctor(mline: &str) -> Option<bool> {
+    for (word, bounded) in [("unbounded", false), ("bounded", true)] {
+        for pos in keyword_positions(mline, word) {
+            let after = &mline[pos + word.len()..];
+            if after.starts_with('(') || after.starts_with("::<") {
+                return Some(bounded);
+            }
+        }
+    }
+    None
+}
+
+/// The first raw send call on the masked line, if any.
+fn raw_send(mline: &str) -> Option<&'static str> {
+    if has_method_call(mline, "send_timeout") {
+        return Some(".send_timeout()");
+    }
+    if has_method_call(mline, "send") {
+        return Some(".send()");
+    }
+    None
+}
+
+/// Parses a `// CHANNEL:` payload `src -> dst` (prose after the edge is
+/// tolerated on the dst side only up to whitespace).
+fn parse_tag_edge(text: &str) -> Option<(String, String)> {
+    let (src, rest) = text.split_once("->")?;
+    let src = src.trim();
+    let dst = rest.split_whitespace().next()?;
+    (!src.is_empty() && !src.contains(char::is_whitespace))
+        .then(|| (src.to_string(), dst.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctor_matcher_sees_plain_path_and_turbofish_forms() {
+        assert_eq!(channel_ctor("let (tx, rx) = bounded(cap);"), Some(true));
+        assert_eq!(
+            channel_ctor("crossbeam_channel::bounded::<Row>(8)"),
+            Some(true)
+        );
+        assert_eq!(channel_ctor("let (tx, rx) = unbounded();"), Some(false));
+        assert_eq!(channel_ctor("let x = bounded_queue.pop();"), None);
+        assert_eq!(channel_ctor("self.rebounded(3)"), None);
+    }
+
+    #[test]
+    fn send_matcher_skips_guarded_and_try_variants() {
+        assert_eq!(raw_send("tx.send(row)?;"), Some(".send()"));
+        assert_eq!(
+            raw_send("tx.send_timeout(row, d)?;"),
+            Some(".send_timeout()")
+        );
+        assert_eq!(raw_send("send_guarded(&tx, row, d, &kill)?;"), None);
+        assert_eq!(raw_send("tx.try_send(row)?;"), None);
+    }
+
+    #[test]
+    fn tag_edges_parse_with_trailing_prose() {
+        assert_eq!(
+            parse_tag_edge("driver -> joiner (per-worker fan-out)"),
+            Some(("driver".into(), "joiner".into()))
+        );
+        assert_eq!(parse_tag_edge("no arrow here"), None);
+        assert_eq!(parse_tag_edge("a b -> c"), None);
+    }
+}

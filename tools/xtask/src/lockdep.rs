@@ -1,0 +1,253 @@
+//! `cargo xtask lockdep-check` — observed-vs-declared lock-graph audit.
+//!
+//! The runtime lockdep witness (`oij_common::lockdep`, enabled with
+//! `RUSTFLAGS="--cfg lockdep"`) appends every first-observed lock class
+//! and nesting edge to the file named by `OIJ_LOCKDEP_LOG`:
+//!
+//! ```text
+//! class sink_collect crates/core/src/sink.rs:67:17
+//! edge failure_slot sink_collect <site-a> <site-b>
+//! ```
+//!
+//! This pass closes the loop with the static side: every observed class
+//! must be declared in `lint.toml [lockorder] classes`, and every
+//! observed edge must be permitted by the declared partial order (hard
+//! errors — the declaration is stale or the code acquired a lock the
+//! protocol review never saw). Declared classes that were never observed
+//! are reported as warnings only: a unit-test run does not exercise every
+//! engine, so absence is not evidence of staleness.
+//!
+//! An **empty or missing log is a hard error**: it means the suite ran
+//! without the witness compiled in, and a vacuous pass must not turn the
+//! CI gate green.
+
+use std::process::ExitCode;
+
+use crate::lint::config::Config;
+use crate::workspace_root;
+
+/// One `edge` line from the witness log.
+struct ObservedEdge {
+    from: String,
+    to: String,
+    from_site: String,
+    to_site: String,
+}
+
+/// Parsed witness log: the classes and nesting edges one run observed.
+struct ObservedGraph {
+    classes: Vec<(String, String)>,
+    edges: Vec<ObservedEdge>,
+}
+
+/// Parses the `class`/`edge` line format; unknown line shapes are errors
+/// (a corrupt log must not silently verify).
+fn parse_log(text: &str) -> Result<ObservedGraph, String> {
+    let mut graph = ObservedGraph {
+        classes: Vec::new(),
+        edges: Vec::new(),
+    };
+    for (i, line) in text.lines().enumerate() {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.is_empty() {
+            continue;
+        }
+        // Each test binary in a workspace run appends its own first
+        // observations, so the same class/edge may repeat; keep the first.
+        match fields.as_slice() {
+            ["class", name, site] => {
+                if !graph.classes.iter().any(|(c, _)| c == name) {
+                    graph.classes.push((name.to_string(), site.to_string()));
+                }
+            }
+            ["edge", from, to, from_site, to_site] => {
+                if !graph.edges.iter().any(|e| e.from == *from && e.to == *to) {
+                    graph.edges.push(ObservedEdge {
+                        from: from.to_string(),
+                        to: to.to_string(),
+                        from_site: from_site.to_string(),
+                        to_site: to_site.to_string(),
+                    });
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "line {}: unrecognised witness record `{line}`",
+                    i + 1
+                ))
+            }
+        }
+    }
+    Ok(graph)
+}
+
+/// Pure core of the check, returning the error/warning report so the
+/// test suite can drive it without touching the filesystem.
+fn audit(graph: &ObservedGraph, cfg: &Config) -> (Vec<String>, Vec<String>) {
+    let mut errors = Vec::new();
+    let mut warnings = Vec::new();
+
+    for (class, site) in &graph.classes {
+        if !cfg.lock_classes.contains(class) {
+            errors.push(format!(
+                "observed lock class `{class}` (first acquired at {site}) is not declared \
+                 in lint.toml [lockorder] classes"
+            ));
+        }
+    }
+    for e in &graph.edges {
+        if !cfg.lock_order_allows(&e.from, &e.to) {
+            errors.push(format!(
+                "observed nesting `{} -> {}` (held at {}, acquired at {}) is not permitted \
+                 by the declared lint.toml [lockorder] order",
+                e.from, e.to, e.from_site, e.to_site
+            ));
+        }
+    }
+    for class in &cfg.lock_classes {
+        if !graph.classes.iter().any(|(c, _)| c == class) {
+            warnings.push(format!(
+                "declared lock class `{class}` was never observed this run (stale \
+                 declaration, or a code path the suite did not exercise)"
+            ));
+        }
+    }
+    (errors, warnings)
+}
+
+/// CLI entry point: `cargo xtask lockdep-check <witness-log>`.
+pub fn check(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("usage: cargo xtask lockdep-check <witness-log>");
+        return ExitCode::FAILURE;
+    };
+
+    let root = workspace_root();
+    let cfg_text = match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lockdep-check: cannot read lint.toml: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match Config::parse(&cfg_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("lockdep-check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let log = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "lockdep-check: cannot read witness log {path}: {e}\n  \
+                 (run the suite with RUSTFLAGS=\"--cfg lockdep\" and OIJ_LOCKDEP_LOG={path})"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let graph = match parse_log(&log) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("lockdep-check: malformed witness log {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if graph.classes.is_empty() {
+        eprintln!(
+            "lockdep-check: witness log {path} records no acquisitions — the suite ran \
+             without the witness compiled in (RUSTFLAGS=\"--cfg lockdep\"); refusing a \
+             vacuous pass"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let (errors, warnings) = audit(&graph, &cfg);
+    for w in &warnings {
+        eprintln!("warning[lockdep-stale]: {w}\n");
+    }
+    for e in &errors {
+        eprintln!("error[lockdep-undeclared]: {e}\n");
+    }
+    if errors.is_empty() {
+        println!(
+            "lockdep-check: OK — {} observed class(es), {} observed edge(s), all within \
+             the declared [lockorder] graph ({} stale-declaration warning(s))",
+            graph.classes.len(),
+            graph.edges.len(),
+            warnings.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "lockdep-check: FAILED — {} observed fact(s) outside the declared [lockorder] \
+             graph",
+            errors.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(extra: &str) -> Config {
+        let text = format!(
+            "[scope]\nsrc = []\n[lockorder]\nclasses = [\"a\", \"b\", \"c\"]\n\
+             order = [\"a -> b\"]\n{extra}"
+        );
+        Config::parse(&text).expect("test config parses")
+    }
+
+    #[test]
+    fn observed_subset_of_declared_passes() {
+        let graph = parse_log(
+            "class a src/x.rs:1:1\nclass b src/y.rs:2:2\nedge a b src/x.rs:1:1 src/y.rs:2:2\n",
+        )
+        .unwrap();
+        let (errors, warnings) = audit(&graph, &cfg(""));
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(
+            warnings.len(),
+            1,
+            "declared-but-unobserved `c`: {warnings:?}"
+        );
+        assert!(warnings[0].contains('c'));
+    }
+
+    #[test]
+    fn undeclared_class_and_edge_are_errors() {
+        let graph = parse_log(
+            "class z src/z.rs:9:9\nclass b src/y.rs:2:2\nedge b a src/y.rs:2:2 src/x.rs:1:1\n",
+        )
+        .unwrap();
+        let (errors, _) = audit(&graph, &cfg(""));
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors[0].contains("`z`"));
+        assert!(errors[1].contains("b -> a"));
+    }
+
+    #[test]
+    fn transitive_declared_order_admits_observed_shortcut_edges() {
+        let text = "[scope]\nsrc = []\n[lockorder]\nclasses = [\"a\", \"b\", \"c\"]\n\
+                    order = [\"a -> b\", \"b -> c\"]\n";
+        let cfg = Config::parse(text).unwrap();
+        let graph = parse_log("class a s:1:1\nclass c s:3:3\nedge a c s:1:1 s:3:3\n").unwrap();
+        let (errors, _) = audit(&graph, &cfg);
+        assert!(
+            errors.is_empty(),
+            "a -> c is within the closure: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_log_lines_are_rejected() {
+        assert!(parse_log("class only_two\n").is_err());
+        assert!(parse_log("edge a b onesite\n").is_err());
+        assert!(parse_log("acquired a b\n").is_err());
+        assert!(parse_log("\n  \n").unwrap().classes.is_empty());
+    }
+}

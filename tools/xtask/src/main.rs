@@ -3,8 +3,10 @@
 //! Subcommands:
 //! - `unsafe-audit` — every `unsafe` site must carry a justification
 //!   ([`xtask::audit`]).
-//! - `lint` — the concurrency-protocol rules R1–R5 over the SWMR crates
-//!   ([`xtask::lint`]).
+//! - `lint` — the concurrency-protocol rules R1–R7 over the SWMR crates
+//!   ([`xtask::lint`]); `--json` emits machine-readable diagnostics.
+//! - `lockdep-check` — verify a runtime lockdep witness log against the
+//!   declared `lint.toml [lockorder]` graph ([`xtask::lockdep`]).
 //!
 //! Both passes share the comment/string-aware scanner in
 //! [`xtask::lexer`] and exit non-zero on any finding, so CI can gate on
@@ -16,7 +18,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("unsafe-audit") => xtask::audit::unsafe_audit(),
-        Some("lint") => xtask::lint::run(),
+        Some("lint") => xtask::lint::run(&args[1..]),
+        Some("lockdep-check") => xtask::lockdep::check(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown task `{other}`");
             usage();
@@ -33,5 +36,8 @@ fn usage() {
     eprintln!("usage: cargo xtask <task>");
     eprintln!("tasks:");
     eprintln!("  unsafe-audit   check that every `unsafe` site carries a justification");
-    eprintln!("  lint           run the concurrency-protocol rules (R1-R5, see lint.toml)");
+    eprintln!("  lint           run the concurrency-protocol rules (R1-R7, see lint.toml); --json for machine output");
+    eprintln!(
+        "  lockdep-check  verify an observed lockdep witness log against lint.toml [lockorder]"
+    );
 }

@@ -1,0 +1,31 @@
+//! R6 fixture (positive): untagged, undeclared, mis-ordered, and
+//! re-entrant acquisitions against classes a/b with order `a -> b`.
+//!
+//! Expected findings: lines 7, 13, 21, 29 — and nowhere else.
+
+pub fn untagged(mu: &Mutex<u64>) {
+    let g = mu.lock();
+    drop(g);
+}
+
+pub fn undeclared(mu: &Mutex<u64>) {
+    // LOCK: mystery
+    let g = mu.lock();
+    drop(g);
+}
+
+pub fn wrong_order(a: &Mutex<u64>, b: &Mutex<u64>) {
+    // LOCK: b
+    let gb = b.lock();
+    // LOCK: a
+    let ga = a.lock();
+    drop((ga, gb));
+}
+
+pub fn reentrant(a: &Mutex<u64>) {
+    // LOCK: a
+    let g1 = a.lock();
+    // LOCK: a
+    let g2 = a.lock();
+    drop((g1, g2));
+}

@@ -1,0 +1,45 @@
+//! R6 fixture (negative): tagged acquisitions that respect the declared
+//! order `a -> b`, plus every way a guard legitimately dies.
+//!
+//! Expected: clean.
+
+pub fn ordered(a: &Mutex<u64>, b: &RwLock<u64>) {
+    // LOCK: a
+    let ga = a.lock();
+    // LOCK: b — nested under `a` per the declared order
+    let gb = b.read();
+    drop((gb, ga));
+}
+
+pub fn sequential_not_nested(a: &Mutex<u64>, b: &Mutex<u64>) {
+    // LOCK: b
+    let gb = b.lock();
+    drop(gb);
+    // LOCK: a — fine: `gb` was dropped above, nothing is held
+    let ga = a.lock();
+    drop(ga);
+}
+
+pub fn block_scoped(a: &Mutex<u64>, b: &Mutex<u64>) {
+    {
+        // LOCK: b
+        let _gb = b.lock();
+    }
+    // LOCK: a — the `b` guard died with its block
+    let ga = a.lock();
+    drop(ga);
+}
+
+pub fn temporary(a: &Mutex<Vec<u64>>, b: &Mutex<Vec<u64>>) {
+    // LOCK: b
+    b.lock().push(1);
+    // LOCK: a — the `b` temporary died at its statement's `;`
+    a.lock().push(2);
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only(mu: &Mutex<u64>) {
+        let _ = mu.lock(); // untagged, but test code is exempt
+    }
+}

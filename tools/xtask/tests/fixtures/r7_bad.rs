@@ -1,0 +1,29 @@
+//! R7 fixture (positive): untagged construction, unknown and malformed
+//! edge tags, a boundedness mismatch, and a raw send. The declared graph
+//! is driver -> joiner (bounded), joiner -> collector (unbounded).
+//!
+//! Expected findings: lines 9, 14, 19, 24, 28 — and nowhere else (plus
+//! the stale driver -> joiner edge, anchored at lint.toml).
+
+pub fn untagged() -> Channel {
+    bounded(8)
+}
+
+pub fn unknown_edge() -> Channel {
+    // CHANNEL: driver -> collector
+    bounded(8)
+}
+
+pub fn mismatch() -> Channel {
+    // CHANNEL: joiner -> collector
+    bounded(8)
+}
+
+pub fn malformed() -> Channel {
+    // CHANNEL: all the workers
+    bounded(8)
+}
+
+pub fn raw_send(tx: &Sender<u64>) {
+    tx.send(1).ok();
+}

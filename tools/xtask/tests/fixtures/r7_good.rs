@@ -1,0 +1,30 @@
+//! R7 fixture (negative): tagged constructions matching the declared
+//! topology, a guarded send, and a justified raw send.
+//!
+//! Expected: clean.
+
+pub fn fan_out() -> Channel {
+    // CHANNEL: driver -> joiner (one queue per worker)
+    bounded(cap)
+}
+
+pub fn collect() -> Channel {
+    // CHANNEL: joiner -> collector
+    unbounded()
+}
+
+pub fn guarded(tx: &Sender<u64>, kill: &AtomicBool) {
+    send_guarded(tx, 1, TIMEOUT, kill).ok();
+}
+
+pub fn justified(tx: &Sender<u64>) {
+    // SEND-OK: teardown report; the receiver outlives every sender by construction
+    tx.send(1).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only(tx: &Sender<u64>) {
+        tx.send(1).ok(); // test code is exempt
+    }
+}

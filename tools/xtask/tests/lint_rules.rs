@@ -166,6 +166,110 @@ fn r5_flags_the_model_uncovered_type_only() {
     assert_eq!(got, vec![("R5", 10, "Uncovered")]);
 }
 
+/// The `[lockorder]` declarations the R6 fixtures are written against.
+/// Kept separate from [`TOPOLOGY_TABLE`]: declaring topology edges in a
+/// run whose files never tag them would add stale-edge findings.
+const LOCKORDER_TABLE: &str = r#"
+[lockorder]
+classes = ["a", "b"]
+order = ["a -> b"]
+"#;
+
+/// The `[topology]` declarations the R7 fixtures are written against.
+const TOPOLOGY_TABLE: &str = r#"
+[topology]
+workers = ["driver", "joiner", "collector"]
+edges = ["driver -> joiner : bounded", "joiner -> collector : unbounded"]
+"#;
+
+#[test]
+fn r6_flags_untagged_undeclared_misordered_and_reentrant_sites() {
+    let cfg = demo_config(LOCKORDER_TABLE);
+    let f = fixture("crates/demo/src/r6_bad.rs", "r6_bad.rs");
+    assert_eq!(
+        findings(&[f], &cfg),
+        vec![("R6", 7), ("R6", 13), ("R6", 21), ("R6", 29)]
+    );
+}
+
+#[test]
+fn r6_subjects_name_what_went_wrong() {
+    let cfg = demo_config(LOCKORDER_TABLE);
+    let f = fixture("crates/demo/src/r6_bad.rs", "r6_bad.rs");
+    let subjects: Vec<String> = check_files(&[f], &cfg)
+        .diagnostics
+        .into_iter()
+        .map(|d| d.subject)
+        .collect();
+    // Untagged site, undeclared class, violating nesting pair, re-entrant
+    // class — in line order.
+    assert_eq!(subjects, vec![".lock()", "mystery", "b -> a", "a"]);
+}
+
+#[test]
+fn r6_accepts_ordered_nesting_and_every_guard_release_shape() {
+    let cfg = demo_config(LOCKORDER_TABLE);
+    let f = fixture("crates/demo/src/r6_good.rs", "r6_good.rs");
+    assert_eq!(findings(&[f], &cfg), vec![]);
+}
+
+#[test]
+fn r7_flags_untagged_unknown_mismatched_and_raw_send_sites() {
+    let cfg = demo_config(TOPOLOGY_TABLE);
+    let f = fixture("crates/demo/src/r7_bad.rs", "r7_bad.rs");
+    let out = check_files(&[f], &cfg);
+    let got: Vec<(&str, usize)> = out.diagnostics.iter().map(|d| (d.rule, d.line)).collect();
+    // The five in-file sites, then the stale declared edge (nothing in
+    // this run realises driver -> joiner) anchored at lint.toml's
+    // `edges = [...]` line.
+    assert_eq!(
+        got,
+        vec![
+            ("R7", 9),
+            ("R7", 14),
+            ("R7", 19),
+            ("R7", 24),
+            ("R7", 28),
+            ("R7", cfg.topo_edges_line)
+        ]
+    );
+    let stale = out.diagnostics.last().unwrap();
+    assert_eq!(stale.file, "lint.toml");
+    assert_eq!(stale.subject, "driver -> joiner");
+}
+
+#[test]
+fn r7_accepts_tagged_constructions_and_guarded_sends() {
+    let cfg = demo_config(TOPOLOGY_TABLE);
+    let f = fixture("crates/demo/src/r7_good.rs", "r7_good.rs");
+    assert_eq!(findings(&[f], &cfg), vec![]);
+}
+
+#[test]
+fn r7_rejects_a_declared_bounded_cycle_at_the_lint_toml_line() {
+    let cfg = demo_config(
+        r#"
+[topology]
+workers = ["d", "j"]
+edges = ["d -> j : bounded", "j -> d : bounded"]
+"#,
+    );
+    // No source files at all: the graph checks are declaration-level.
+    let out = check_files(&[], &cfg);
+    let cycle: Vec<&xtask::lint::Diagnostic> = out
+        .diagnostics
+        .iter()
+        .filter(|d| d.message.contains("cycle"))
+        .collect();
+    assert_eq!(cycle.len(), 1);
+    assert_eq!(cycle[0].rule, "R7");
+    assert_eq!(cycle[0].file, "lint.toml");
+    assert_eq!(cycle[0].line, cfg.topo_edges_line);
+    assert_eq!(cycle[0].subject, "d -> j -> d");
+    // Both declared edges are also stale (no construction sites exist).
+    assert_eq!(out.diagnostics.len(), 3);
+}
+
 #[test]
 fn allowlist_suppresses_matching_diagnostics_and_counts_uses() {
     let cfg = demo_config(
@@ -227,6 +331,8 @@ fn rules_do_not_bleed_across_fixtures_in_a_joint_run() {
         fixture("crates/demo/src/r3_good.rs", "r3_good.rs"),
         fixture("crates/demo/src/r4_bad.rs", "r4_bad.rs"),
         fixture("crates/demo/src/r4_good.rs", "r4_good.rs"),
+        fixture("crates/demo/src/r6_bad.rs", "r6_bad.rs"),
+        fixture("crates/demo/src/r7_bad.rs", "r7_bad.rs"),
         fixture("crates/demo/loomed/r5_src.rs", "r5_src.rs"),
         fixture("crates/demo/tests/loom.rs", "r5_models.rs"),
     ];
@@ -237,5 +343,9 @@ fn rules_do_not_bleed_across_fixtures_in_a_joint_run() {
     assert_eq!(per_rule("R3"), 5);
     assert_eq!(per_rule("R4"), 5);
     assert_eq!(per_rule("R5"), 1);
+    // With no [lockorder]/[topology] declared, R6 and R7 stay inert even
+    // over their own bait fixtures.
+    assert_eq!(per_rule("R6"), 0);
+    assert_eq!(per_rule("R7"), 0);
     assert_eq!(out.diagnostics.len(), 19);
 }
