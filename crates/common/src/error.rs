@@ -35,6 +35,10 @@ pub enum Error {
         /// The captured panic payload or disconnect description.
         cause: String,
     },
+    /// The durability subsystem failed: the WAL or a checkpoint could
+    /// not be written, read or repaired. Carries the underlying I/O
+    /// context.
+    Durability(String),
     /// A worker stopped draining its input channel: a routed send exceeded
     /// the configured deadline without the worker having recorded a panic.
     /// Distinguishes a wedged-but-alive worker from a dead one.
@@ -56,6 +60,7 @@ impl fmt::Display for Error {
                 write!(f, "SQL parse error at byte {offset}: {message}")
             }
             Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+            Error::Durability(msg) => write!(f, "durability: {msg}"),
             Error::WorkerFailed {
                 engine,
                 worker,

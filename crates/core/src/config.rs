@@ -4,6 +4,7 @@ use std::time::Duration as StdDuration;
 
 use oij_cachesim::CacheConfig;
 use oij_common::{Error, OijQuery, Result};
+use oij_durability::DurabilityConfig;
 
 use crate::faults::FaultPlan;
 
@@ -78,6 +79,37 @@ impl Instrumentation {
     }
 }
 
+/// Bounded retry with exponential backoff for transient sink failures
+/// (`EngineConfig::sink_retry`; `None` — the default — keeps the
+/// fail-fast behaviour where any sink panic kills the worker).
+///
+/// An emission is attempted up to `max_attempts` times; between
+/// attempts the worker sleeps `base_delay * 2^(attempt-1)` capped at
+/// `max_delay`, plus a small deterministic jitter. Retries are counted
+/// in [`RunStats::sink_retries`](crate::engine::RunStats::sink_retries);
+/// an emission that exhausts the budget still escalates to a supervised
+/// [`Error::WorkerFailed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkRetryPolicy {
+    /// Total attempts per emission (≥ 1; `1` means no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: StdDuration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: StdDuration,
+}
+
+impl SinkRetryPolicy {
+    /// A policy with study defaults: 1 ms base backoff capped at 50 ms.
+    pub fn new(max_attempts: u32) -> Self {
+        SinkRetryPolicy {
+            max_attempts,
+            base_delay: StdDuration::from_millis(1),
+            max_delay: StdDuration::from_millis(50),
+        }
+    }
+}
+
 /// Configuration shared by every engine (Scale-OIJ additionally reads the
 /// `partitions`/`schedule_*`/`incremental` knobs).
 #[derive(Debug, Clone)]
@@ -115,6 +147,13 @@ pub struct EngineConfig {
     /// next push regardless of fill, so trickle inputs never stall behind
     /// a partial batch. Ignored when `batch_size == 1`.
     pub flush_deadline: StdDuration,
+    /// Durability subsystem (WAL + checkpoints + crash recovery,
+    /// DESIGN.md §11). `None` — the default — disables durability
+    /// entirely and keeps the hot path free of any logging cost.
+    pub durability: Option<DurabilityConfig>,
+    /// Bounded retry for transient sink failures. `None` — the default —
+    /// keeps sink panics fail-fast.
+    pub sink_retry: Option<SinkRetryPolicy>,
 
     /// Scale-OIJ: number of key-hash partitions `P` (power of two).
     pub partitions: usize,
@@ -153,6 +192,8 @@ impl EngineConfig {
             late_policy: LatePolicy::default(),
             batch_size: 1,
             flush_deadline: StdDuration::from_micros(200),
+            durability: None,
+            sink_retry: None,
             partitions: 64,
             schedule_interval: StdDuration::from_millis(5),
             schedule_delta: 0.01,
@@ -187,6 +228,18 @@ impl EngineConfig {
     /// Replaces the routing batch size (`1` = unbatched).
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size;
+        self
+    }
+
+    /// Enables the durability subsystem (WAL + checkpoints + recovery).
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
+    /// Enables bounded sink retry for transient sink failures.
+    pub fn with_sink_retry(mut self, policy: SinkRetryPolicy) -> Self {
+        self.sink_retry = Some(policy);
         self
     }
 
@@ -250,6 +303,26 @@ impl EngineConfig {
                 "schedule_floor must be ≥ 0, got {}",
                 self.schedule_floor
             )));
+        }
+        if let Some(d) = &self.durability {
+            if d.checkpoint_every == 0 {
+                return Err(Error::InvalidConfig(
+                    "durability checkpoint_every must be > 0".into(),
+                ));
+            }
+            if d.segment_bytes < 64 {
+                return Err(Error::InvalidConfig(format!(
+                    "durability segment_bytes = {} cannot hold a WAL frame",
+                    d.segment_bytes
+                )));
+            }
+        }
+        if let Some(p) = &self.sink_retry {
+            if p.max_attempts == 0 {
+                return Err(Error::InvalidConfig(
+                    "sink_retry max_attempts must be ≥ 1".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -318,6 +391,30 @@ mod tests {
         cfg.batch_size = 8;
         cfg.flush_deadline = StdDuration::ZERO;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn durability_and_retry_default_off_and_validate() {
+        let cfg = EngineConfig::new(query(), 2).unwrap();
+        assert!(cfg.durability.is_none(), "durability must default to None");
+        assert!(cfg.sink_retry.is_none(), "sink_retry must default to None");
+
+        let cfg = cfg
+            .with_durability(DurabilityConfig::new("/tmp/oij-test-dura"))
+            .with_sink_retry(SinkRetryPolicy::new(3));
+        assert!(cfg.validate().is_ok());
+
+        let mut bad = cfg.clone();
+        bad.sink_retry = Some(SinkRetryPolicy {
+            max_attempts: 0,
+            base_delay: StdDuration::from_millis(1),
+            max_delay: StdDuration::from_millis(1),
+        });
+        assert!(bad.validate().is_err());
+
+        let mut bad = cfg;
+        bad.durability.as_mut().unwrap().checkpoint_every = 0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -2,17 +2,48 @@
 //!
 //! Each engine's `push` runs on the caller's thread ("the driver"). This
 //! helper owns the watermark tracker and run timing and converts public
-//! [`Event`]s into internal [`DataMsg`]s.
+//! [`Event`]s into internal [`DataMsg`]s. With durability configured it
+//! also write-ahead-logs every ingested tuple (with its pre-observation
+//! watermark stamp) before the engine may dispatch it, and replays
+//! recovered tuples with their **original** stamps so late/on-time
+//! classification is identical across the crash (DESIGN.md §11).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use oij_common::{Duration, Error, Event, EventKind, Result, Timestamp, WatermarkTracker};
+use oij_durability::{DurabilityRuntime, LoggedEvent, RetentionSpec};
 
+use crate::config::EngineConfig;
+use crate::engine::RunStats;
 use crate::message::DataMsg;
+
+/// Opens the durability runtime for `cfg` (or `None` when durability is
+/// off). `side_output` tells the checkpoint compactor whether late
+/// tuples are diverted to markers (Scale-OIJ under
+/// `LatePolicy::SideOutput`) or processed best-effort like everywhere
+/// else.
+pub(crate) fn open_durability(
+    cfg: &EngineConfig,
+    side_output: bool,
+) -> Result<Option<Arc<DurabilityRuntime>>> {
+    match &cfg.durability {
+        Some(d) => {
+            let spec = RetentionSpec {
+                extent: cfg.query.window.length(),
+                lateness: cfg.query.window.lateness,
+                side_output,
+            };
+            Ok(Some(Arc::new(DurabilityRuntime::open(d, spec)?)))
+        }
+        None => Ok(None),
+    }
+}
 
 /// Watermark + timing state for one run.
 pub(crate) struct Driver {
     tracker: WatermarkTracker,
+    durable: Option<Arc<DurabilityRuntime>>,
     started: Option<Instant>,
     pushed: u64,
     finished: bool,
@@ -27,9 +58,23 @@ pub(crate) enum Prepared {
 }
 
 impl Driver {
-    pub(crate) fn new(lateness: Duration) -> Self {
+    /// A driver with optional durability. On recovery the watermark
+    /// tracker is re-seeded with the maximum event time restored from
+    /// the log, so the first live event after replay sees the same
+    /// watermark it would have in the uninterrupted run.
+    pub(crate) fn with_durability(
+        lateness: Duration,
+        durable: Option<Arc<DurabilityRuntime>>,
+    ) -> Self {
+        let tracker = WatermarkTracker::new(lateness);
+        if let Some(rt) = &durable {
+            if let Some(max_ts) = rt.recovered_max_ts() {
+                tracker.observe(Timestamp::from_micros(max_ts));
+            }
+        }
         Driver {
-            tracker: WatermarkTracker::new(lateness),
+            tracker,
+            durable,
             started: None,
             pushed: 0,
             finished: false,
@@ -37,7 +82,10 @@ impl Driver {
     }
 
     /// Converts an incoming event, stamping arrival time and the
-    /// **pre-observation** watermark (see [`DataMsg::watermark`]).
+    /// **pre-observation** watermark (see [`DataMsg::watermark`]). With
+    /// durability enabled the event is appended to the WAL *before* it
+    /// is returned for dispatch: once the caller sees `Ok`, the tuple
+    /// survives a crash.
     pub(crate) fn prepare(&mut self, event: Event) -> Result<Prepared> {
         if self.finished {
             return Err(Error::InvalidState("push after finish".into()));
@@ -50,6 +98,16 @@ impl Driver {
             EventKind::Flush => Ok(Prepared::Flush),
             EventKind::Data { side, tuple } => {
                 let watermark = self.tracker.current().time();
+                if let Some(rt) = &self.durable {
+                    rt.record_event(LoggedEvent {
+                        seq: event.seq,
+                        side,
+                        ts: tuple.ts.as_micros(),
+                        key: tuple.key,
+                        value: tuple.value,
+                        stamp: watermark.as_micros(),
+                    })?;
+                }
                 self.tracker.observe(tuple.ts);
                 self.pushed += 1;
                 Ok(Prepared::Data(DataMsg {
@@ -58,6 +116,37 @@ impl Driver {
                     seq: event.seq,
                     arrival: now,
                     watermark,
+                }))
+            }
+        }
+    }
+
+    /// Converts a **replayed** event: the message carries the logged
+    /// pre-observation watermark `stamp` instead of a freshly computed
+    /// one (identical late classification), nothing is appended to the
+    /// WAL (the event is already in it), and the replay counter ticks.
+    pub(crate) fn prepare_stamped(&mut self, event: Event, stamp: Timestamp) -> Result<Prepared> {
+        if self.finished {
+            return Err(Error::InvalidState("push after finish".into()));
+        }
+        let now = Instant::now();
+        if self.started.is_none() {
+            self.started = Some(now);
+        }
+        match event.kind {
+            EventKind::Flush => Ok(Prepared::Flush),
+            EventKind::Data { side, tuple } => {
+                self.tracker.observe(tuple.ts);
+                self.pushed += 1;
+                if let Some(rt) = &self.durable {
+                    rt.note_replayed();
+                }
+                Ok(Prepared::Data(DataMsg {
+                    side,
+                    tuple,
+                    seq: event.seq,
+                    arrival: now,
+                    watermark: stamp,
                 }))
             }
         }
@@ -74,6 +163,29 @@ impl Driver {
             .map(|s| s.elapsed())
             .unwrap_or_else(|| std::time::Duration::from_nanos(1));
         Ok((self.pushed, elapsed))
+    }
+
+    /// Folds durability metrics into the run stats. With durability
+    /// enabled the ingest/emission counters are replaced by the
+    /// *lifetime* counters restored from the log, so a crashed-and-
+    /// recovered run reports the same totals as an uninterrupted one
+    /// (replayed events are not re-counted). No-op otherwise.
+    pub(crate) fn finalize_stats(&self, stats: &mut RunStats) {
+        let Some(rt) = &self.durable else {
+            return;
+        };
+        let m = rt.metrics();
+        stats.input_tuples = m.total_ingested;
+        stats.results = m.emitted_rows;
+        stats.late_violations = m.total_late;
+        stats.late_side_outputs = m.emitted_late;
+        stats.wal_bytes_written = m.wal_bytes_written;
+        stats.wal_records_replayed = m.wal_records_replayed;
+        stats.checkpoint_count = m.checkpoint_count;
+        stats.recovery_duration = m.recovery_duration;
+        stats.rows_deduped_on_recovery = m.rows_deduped_on_recovery;
+        let secs = stats.elapsed.as_secs_f64().max(1e-9);
+        stats.throughput = stats.input_tuples as f64 / secs;
     }
 
     /// The current watermark (diagnostics).
@@ -98,7 +210,7 @@ mod tests {
 
     #[test]
     fn watermark_is_pre_observation() {
-        let mut d = Driver::new(Duration::from_micros(10));
+        let mut d = Driver::with_durability(Duration::from_micros(10), None);
         let Prepared::Data(m1) = d.prepare(ev(0, 100)).unwrap() else {
             panic!()
         };
@@ -111,11 +223,27 @@ mod tests {
 
     #[test]
     fn push_after_finish_errors() {
-        let mut d = Driver::new(Duration::ZERO);
+        let mut d = Driver::with_durability(Duration::ZERO, None);
         d.prepare(ev(0, 1)).unwrap();
         let (n, _) = d.finish().unwrap();
         assert_eq!(n, 1);
         assert!(d.prepare(ev(1, 2)).is_err());
         assert!(d.finish().is_err());
+    }
+
+    #[test]
+    fn stamped_replay_keeps_the_logged_watermark() {
+        let mut d = Driver::with_durability(Duration::from_micros(10), None);
+        // A replayed event carries its original stamp even though the
+        // tracker would compute something else.
+        let Prepared::Data(m) = d
+            .prepare_stamped(ev(0, 100), Timestamp::from_micros(42))
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(m.watermark, Timestamp::from_micros(42));
+        // The tracker still observed the event time.
+        assert_eq!(d.watermark(), Timestamp::from_micros(90));
     }
 }

@@ -2,7 +2,7 @@
 
 use std::time::Duration as StdDuration;
 
-use oij_common::{Event, Result};
+use oij_common::{Event, Result, Timestamp};
 use oij_metrics::{unbalancedness, BatchOccupancy, LatencyHistogram, TimeBreakdown};
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +46,13 @@ pub trait OijEngine {
     /// Feeds one event. Blocks when worker channels are full
     /// (backpressure). Flush events terminate input early.
     fn push(&mut self, event: Event) -> Result<()>;
+
+    /// Feeds one **replayed** event during crash recovery: `stamp` is
+    /// the pre-observation watermark logged when the event was first
+    /// ingested, so its late/on-time classification is identical to the
+    /// original run. Nothing is write-ahead-logged (the event is
+    /// already in the log); see `oij_core::recovery`.
+    fn push_stamped(&mut self, event: Event, stamp: Timestamp) -> Result<()>;
 
     /// Ends the run: flushes workers, joins threads, merges statistics.
     /// Calling `push` or `finish` again afterwards is an error.
@@ -110,6 +117,27 @@ pub struct RunStats {
     /// (DESIGN.md §10). Empty when `batch_size == 1`.
     #[serde(default)]
     pub batch_occupancy: BatchOccupancy,
+    /// Bytes appended to the write-ahead log (durability enabled only).
+    #[serde(default)]
+    pub wal_bytes_written: u64,
+    /// Logged events replayed through the engine after a crash.
+    #[serde(default)]
+    pub wal_records_replayed: u64,
+    /// Checkpoints taken during the run (durability enabled only).
+    #[serde(default)]
+    pub checkpoint_count: u64,
+    /// Wall-clock spent recovering (directory open through last replayed
+    /// record); zero for fresh runs.
+    #[serde(default)]
+    pub recovery_duration: StdDuration,
+    /// Replay re-emissions suppressed by the emitted-output frontier
+    /// (each one is a row that would have been a duplicate at the sink).
+    #[serde(default)]
+    pub rows_deduped_on_recovery: u64,
+    /// Sink emissions re-attempted under
+    /// [`SinkRetryPolicy`](crate::config::SinkRetryPolicy).
+    #[serde(default)]
+    pub sink_retries: u64,
 }
 
 impl RunStats {
@@ -190,6 +218,12 @@ impl RunStats {
             aborted: false,
             workers_lost: 0,
             batch_occupancy,
+            wal_bytes_written: 0,
+            wal_records_replayed: 0,
+            checkpoint_count: 0,
+            recovery_duration: StdDuration::ZERO,
+            rows_deduped_on_recovery: 0,
+            sink_retries: 0,
         }
     }
 

@@ -71,11 +71,19 @@ enum FaultKind {
     /// Stop receiving at the ordinal: the worker blocks (checking the
     /// engine's kill flag) and never drains its channel again.
     Wedge,
+    /// Simulate a process crash at the ordinal: the worker marks the
+    /// whole engine crashed (gating durable sinks) and exits without
+    /// unwinding, as if the process had been killed.
+    Crash,
     /// Sleep this long on every sink emission from the ordinal onward.
     SinkStall(StdDuration),
-    /// Panic on the ordinal-th sink emission (an erroring sink escalates
-    /// to a supervised worker failure).
-    SinkFail,
+    /// Panic on `count` consecutive sink emissions starting at the
+    /// ordinal (an erroring sink escalates to a supervised worker
+    /// failure unless a retry policy absorbs it).
+    SinkFail {
+        /// How many consecutive emissions fail.
+        count: u64,
+    },
 }
 
 impl FaultPlan {
@@ -135,23 +143,61 @@ impl FaultPlan {
 
     /// Make `worker`'s sink fail (panic) on its `emit_ordinal`-th
     /// emission.
-    pub fn sink_fail_at(mut self, worker: usize, emit_ordinal: u64) -> Self {
+    pub fn sink_fail_at(self, worker: usize, emit_ordinal: u64) -> Self {
+        self.sink_fail_burst(worker, emit_ordinal, 1)
+    }
+
+    /// Make `worker`'s sink fail on `count` consecutive emissions
+    /// starting at `emit_ordinal`. Because each retry attempt advances
+    /// the emission ordinal, a single-ordinal failure is transient by
+    /// construction under [`SinkRetryPolicy`](crate::SinkRetryPolicy);
+    /// a burst longer than the retry budget models a permanent outage.
+    pub fn sink_fail_burst(mut self, worker: usize, emit_ordinal: u64, count: u64) -> Self {
         self.entries.push(FaultEntry {
             worker,
             ordinal: emit_ordinal,
-            kind: FaultKind::SinkFail,
+            kind: FaultKind::SinkFail {
+                count: count.max(1),
+            },
+        });
+        self
+    }
+
+    /// Simulate a process crash inside `worker` when it receives its
+    /// `ordinal`-th data message: the engine-wide crash flag is raised
+    /// (durable sinks stop admitting rows, as nothing leaves a dead
+    /// process), and the worker exits without unwinding. With
+    /// durability configured, `oij_core::recovery` brings the run back.
+    pub fn crash_at(mut self, worker: usize, ordinal: u64) -> Self {
+        self.entries.push(FaultEntry {
+            worker,
+            ordinal,
+            kind: FaultKind::Crash,
         });
         self
     }
 
     /// Compiles the message-path faults for one worker. `None` (the empty
     /// plan, or no faults for this worker) keeps the worker loop at a
-    /// single never-taken branch per message.
-    pub(crate) fn for_worker(&self, worker: usize) -> Option<WorkerFaults> {
+    /// single never-taken branch per message. `engine`/`report_as`
+    /// identify the worker in crash reports (auxiliary threads report
+    /// under their own label), and `cell` is where a simulated crash is
+    /// recorded.
+    pub(crate) fn for_worker(
+        &self,
+        worker: usize,
+        engine: &'static str,
+        report_as: usize,
+        cell: &Arc<FailureCell>,
+    ) -> Option<WorkerFaults> {
         let mut faults = WorkerFaults {
             panic_at: None,
             stall_from: None,
             wedge_at: None,
+            crash_at: None,
+            engine,
+            worker: report_as,
+            cell: Arc::clone(cell),
         };
         let mut any = false;
         for e in self.entries.iter().filter(|e| e.worker == worker) {
@@ -168,7 +214,11 @@ impl FaultPlan {
                     faults.wedge_at = Some(e.ordinal);
                     any = true;
                 }
-                FaultKind::SinkStall(_) | FaultKind::SinkFail => {}
+                FaultKind::Crash => {
+                    faults.crash_at = Some(e.ordinal);
+                    any = true;
+                }
+                FaultKind::SinkStall(_) | FaultKind::SinkFail { .. } => {}
             }
         }
         any.then_some(faults)
@@ -180,21 +230,21 @@ impl FaultPlan {
     pub(crate) fn wrap_sink(&self, worker: usize, sink: Sink, kill: Arc<AtomicBool>) -> Sink {
         let mut delay = None;
         let mut stall_from = 0;
-        let mut fail_at = None;
+        let mut fail = None;
         for e in self.entries.iter().filter(|e| e.worker == worker) {
             match &e.kind {
                 FaultKind::SinkStall(d) => {
                     delay = Some(*d);
                     stall_from = e.ordinal;
                 }
-                FaultKind::SinkFail => fail_at = Some(e.ordinal),
+                FaultKind::SinkFail { count } => fail = Some((e.ordinal, *count)),
                 _ => {}
             }
         }
-        if delay.is_none() && fail_at.is_none() {
+        if delay.is_none() && fail.is_none() {
             return sink;
         }
-        Sink::faulty(sink, delay, stall_from, fail_at, kill)
+        Sink::faulty(sink, delay, stall_from, fail, kill)
     }
 }
 
@@ -205,6 +255,11 @@ pub(crate) struct WorkerFaults {
     panic_at: Option<(u64, String)>,
     stall_from: Option<(u64, StdDuration)>,
     wedge_at: Option<u64>,
+    crash_at: Option<u64>,
+    /// Identity under which a simulated crash is recorded.
+    engine: &'static str,
+    worker: usize,
+    cell: Arc<FailureCell>,
 }
 
 /// What the worker loop should do after consulting the faults.
@@ -228,6 +283,15 @@ impl WorkerFaults {
     /// unbatched path (remaining tuples in the batch are dropped on
     /// `Exit`, matching a worker death between channel receives).
     pub(crate) fn before_message(&self, ordinal: u64, kill: &AtomicBool) -> FaultAction {
+        if let Some(at) = self.crash_at {
+            if ordinal == at {
+                // Simulated process death: gate durable sinks first (a
+                // dead process emits nothing more), then exit without
+                // unwinding — no drain, no partial-batch processing.
+                self.cell.record_crash(self.engine, self.worker);
+                return FaultAction::Exit;
+            }
+        }
         if let Some((at, msg)) = &self.panic_at {
             if ordinal == *at {
                 panic!("{msg}");
@@ -287,6 +351,7 @@ pub struct WorkerFailure {
 #[derive(Debug)]
 pub struct FailureCell {
     poisoned: AtomicBool,
+    crashed: AtomicBool,
     slot: Mutex<Option<WorkerFailure>>,
 }
 
@@ -294,6 +359,7 @@ impl Default for FailureCell {
     fn default() -> Self {
         FailureCell {
             poisoned: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
             slot: Mutex::new("failure_slot", None),
         }
     }
@@ -319,6 +385,22 @@ impl FailureCell {
         drop(slot);
         // ORDERING: Release — publishes the recorded failure before the flag; pairs with the Acquire load in `is_poisoned`.
         self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Records a simulated process crash: raises the crash flag (gating
+    /// durable sinks) before recording the failure, so by the time the
+    /// driver observes poison, the sinks have stopped admitting rows.
+    pub fn record_crash(&self, engine: &'static str, worker: usize) {
+        // ORDERING: Release — the crash gate must be visible to sinks no later than the failure record; pairs with the Acquire load in `is_crashed`.
+        self.crashed.store(true, Ordering::Release);
+        self.record(engine, worker, "simulated process crash".into());
+    }
+
+    /// Whether a simulated process crash has been recorded (consulted by
+    /// durable sinks on every emission; cheap, lock-free).
+    pub fn is_crashed(&self) -> bool {
+        // ORDERING: Acquire — pairs with the Release store in `record_crash`.
+        self.crashed.load(Ordering::Acquire)
     }
 
     /// Whether any failure has been recorded (cheap, lock-free).
@@ -555,7 +637,8 @@ pub struct SinkFaults {
     pub(crate) emitted: AtomicU64,
     pub(crate) delay: Option<StdDuration>,
     pub(crate) stall_from: u64,
-    pub(crate) fail_at: Option<u64>,
+    /// `(first_ordinal, count)`: fail this many consecutive emissions.
+    pub(crate) fail: Option<(u64, u64)>,
     pub(crate) kill: Arc<AtomicBool>,
 }
 
@@ -565,8 +648,8 @@ impl SinkFaults {
     pub(crate) fn before_emit(&self) {
         // ORDERING: Relaxed — ordinal allocator only; the panic decision needs no cross-thread ordering.
         let n = self.emitted.fetch_add(1, Ordering::Relaxed);
-        if let Some(at) = self.fail_at {
-            if n == at {
+        if let Some((from, count)) = self.fail {
+            if n >= from && n - from < count {
                 panic!("injected sink failure at emit {n}");
             }
         }
@@ -582,11 +665,15 @@ impl SinkFaults {
 mod tests {
     use super::*;
 
+    fn compile(plan: &FaultPlan, worker: usize) -> Option<WorkerFaults> {
+        plan.for_worker(worker, "test-engine", worker, &Arc::new(FailureCell::new()))
+    }
+
     #[test]
     fn empty_plan_compiles_to_nothing() {
         let plan = FaultPlan::none();
         assert!(plan.is_empty());
-        assert!(plan.for_worker(0).is_none());
+        assert!(compile(&plan, 0).is_none());
         let kill = Arc::new(AtomicBool::new(false));
         let sink = plan.wrap_sink(0, Sink::null(), kill);
         assert!(matches!(sink, Sink::Null));
@@ -598,9 +685,41 @@ mod tests {
             FaultPlan::none()
                 .panic_at(2, 10, "boom")
                 .stall_from(1, 0, StdDuration::from_millis(1));
-        assert!(plan.for_worker(0).is_none());
-        assert!(plan.for_worker(1).is_some());
-        assert!(plan.for_worker(2).is_some());
+        assert!(compile(&plan, 0).is_none());
+        assert!(compile(&plan, 1).is_some());
+        assert!(compile(&plan, 2).is_some());
+    }
+
+    #[test]
+    fn crash_records_and_exits_without_unwinding() {
+        let cell = Arc::new(FailureCell::new());
+        let plan = FaultPlan::none().crash_at(3, 2);
+        let faults = plan.for_worker(3, "test-engine", 3, &cell).unwrap();
+        let kill = AtomicBool::new(false);
+        assert_eq!(faults.before_message(0, &kill), FaultAction::Continue);
+        assert!(!cell.is_crashed());
+        assert_eq!(faults.before_message(2, &kill), FaultAction::Exit);
+        assert!(cell.is_crashed());
+        assert!(cell.is_poisoned());
+        let f = cell.failure().expect("crash recorded");
+        assert_eq!((f.engine, f.worker), ("test-engine", 3));
+        assert!(f.cause.contains("simulated process crash"));
+    }
+
+    #[test]
+    fn sink_fail_burst_spans_consecutive_emissions() {
+        let faults = SinkFaults {
+            emitted: AtomicU64::new(0),
+            delay: None,
+            stall_from: 0,
+            fail: Some((1, 2)),
+            kill: Arc::new(AtomicBool::new(false)),
+        };
+        faults.before_emit(); // ordinal 0: fine
+        for expect_panic in [true, true, false] {
+            let r = catch_unwind(AssertUnwindSafe(|| faults.before_emit()));
+            assert_eq!(r.is_err(), expect_panic);
+        }
     }
 
     #[test]
@@ -687,7 +806,7 @@ mod tests {
     #[test]
     fn wedge_releases_on_kill() {
         let plan = FaultPlan::none().wedge_at(0, 0);
-        let faults = plan.for_worker(0).unwrap();
+        let faults = compile(&plan, 0).unwrap();
         let kill = Arc::new(AtomicBool::new(false));
         let k2 = Arc::clone(&kill);
         let h = std::thread::spawn(move || faults.before_message(0, &k2));

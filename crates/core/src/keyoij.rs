@@ -13,7 +13,7 @@
 //! 2. a small key count starves most joiners (Figure 8a),
 //! 3. overlapping windows are recomputed from scratch (Figure 9).
 
-use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -26,7 +26,7 @@ use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestam
 
 use crate::batch::{Batcher, SlotPool};
 use crate::config::EngineConfig;
-use crate::driver::{Driver, Prepared};
+use crate::driver::{open_durability, Driver, Prepared};
 use crate::engine::{OijEngine, RunStats};
 use crate::faults::{
     join_within, run_supervised, send_guarded, FailureCell, FaultAction, WorkerFaults,
@@ -34,7 +34,7 @@ use crate::faults::{
 use crate::hash_key;
 use crate::instrument::{JoinerInstruments, JoinerReport};
 use crate::message::{DataMsg, Msg};
-use crate::sink::Sink;
+use crate::sink::{worker_sink_stack, Sink};
 
 const ENGINE: &str = "key-oij";
 
@@ -55,6 +55,8 @@ pub struct KeyOij {
     done: bool,
     /// Per-joiner coalescing buffers (pass-through when `batch_size == 1`).
     batcher: Batcher,
+    /// Sink emissions re-attempted under the retry policy.
+    retries: Arc<AtomicU64>,
 }
 
 impl KeyOij {
@@ -67,14 +69,19 @@ impl KeyOij {
         // Sized so every destination can have a buffer in flight plus a
         // few spares; overflow just means one fresh allocation per batch.
         let pool = Arc::new(SlotPool::new(cfg.joiners * 8 + 16));
+        // Key-OIJ never emits side-output markers (SideOutput degrades to
+        // Drop here), so late tuples join best-effort and must be retained.
+        let durable = open_durability(&cfg, false)?;
+        let retries = Arc::new(AtomicU64::new(0));
         let mut senders = Vec::with_capacity(cfg.joiners);
         let mut handles = Vec::with_capacity(cfg.joiners);
         for id in 0..cfg.joiners {
             // CHANNEL: driver -> joiner (one queue per key-partitioned worker)
             let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
-            let worker_sink = cfg.faults.wrap_sink(id, sink.clone(), Arc::clone(&kill));
+            let worker_sink =
+                worker_sink_stack(&cfg, id, sink.clone(), &durable, &failures, &retries, &kill);
             let worker = KeyJoiner::new(&cfg, worker_sink, origin, Arc::clone(&pool));
-            let faults = cfg.faults.for_worker(id);
+            let faults = cfg.faults.for_worker(id, ENGINE, id, &failures);
             let cell = Arc::clone(&failures);
             let wkill = Arc::clone(&kill);
             handles.push(
@@ -91,7 +98,7 @@ impl KeyOij {
         let batcher = Batcher::new(cfg.joiners, cfg.batch_size, cfg.flush_deadline, pool);
         Ok(KeyOij {
             cfg,
-            driver: Driver::new(lateness),
+            driver: Driver::with_durability(lateness, durable),
             senders,
             handles,
             reports: Vec::new(),
@@ -101,6 +108,7 @@ impl KeyOij {
             since_heartbeat: 0,
             done: false,
             batcher,
+            retries,
         })
     }
 
@@ -122,6 +130,38 @@ impl KeyOij {
                 Err(e)
             }
         }
+    }
+
+    /// Routes one prepared data message: hash-partitioned destination,
+    /// coalescing, deadline flushes and periodic heartbeats. Shared by
+    /// the live (`push`) and replay (`push_stamped`) ingest paths.
+    fn dispatch(&mut self, msg: DataMsg) -> Result<()> {
+        // Static binding: the key's hash picks the joiner, forever.
+        let joiner = (hash_key(msg.tuple.key) % self.cfg.joiners as u64) as usize;
+        let watermark = msg.watermark;
+        // The arrival stamp doubles as "now" for the flush
+        // deadline, so batching adds no clock reads per tuple.
+        let now = msg.arrival;
+        if let Some(out) = self.batcher.push(joiner, msg) {
+            self.route(joiner, out)?;
+        }
+        while let Some((dest, out)) = self.batcher.pop_expired(now) {
+            self.route(dest, out)?;
+        }
+        self.since_heartbeat += 1;
+        if self.since_heartbeat >= self.cfg.heartbeat_every {
+            self.since_heartbeat = 0;
+            // Flush-before-heartbeat: a heartbeat must never
+            // advance a joiner's watermark past tuples still
+            // parked in a coalescing buffer (DESIGN.md §10).
+            while let Some((dest, out)) = self.batcher.pop_any() {
+                self.route(dest, out)?;
+            }
+            for j in 0..self.senders.len() {
+                self.route(j, Msg::Heartbeat(watermark))?;
+            }
+        }
+        Ok(())
     }
 
     /// Joins every worker with a bounded deadline, salvaging reports into
@@ -163,34 +203,17 @@ impl OijEngine for KeyOij {
         }
         match self.driver.prepare(event)? {
             Prepared::Flush => Ok(()),
-            Prepared::Data(msg) => {
-                // Static binding: the key's hash picks the joiner, forever.
-                let joiner = (hash_key(msg.tuple.key) % self.cfg.joiners as u64) as usize;
-                let watermark = msg.watermark;
-                // The arrival stamp doubles as "now" for the flush
-                // deadline, so batching adds no clock reads per tuple.
-                let now = msg.arrival;
-                if let Some(out) = self.batcher.push(joiner, msg) {
-                    self.route(joiner, out)?;
-                }
-                while let Some((dest, out)) = self.batcher.pop_expired(now) {
-                    self.route(dest, out)?;
-                }
-                self.since_heartbeat += 1;
-                if self.since_heartbeat >= self.cfg.heartbeat_every {
-                    self.since_heartbeat = 0;
-                    // Flush-before-heartbeat: a heartbeat must never
-                    // advance a joiner's watermark past tuples still
-                    // parked in a coalescing buffer (DESIGN.md §10).
-                    while let Some((dest, out)) = self.batcher.pop_any() {
-                        self.route(dest, out)?;
-                    }
-                    for j in 0..self.senders.len() {
-                        self.route(j, Msg::Heartbeat(watermark))?;
-                    }
-                }
-                Ok(())
-            }
+            Prepared::Data(msg) => self.dispatch(msg),
+        }
+    }
+
+    fn push_stamped(&mut self, event: Event, stamp: Timestamp) -> Result<()> {
+        if let Some(cause) = &self.poison {
+            return Err(cause.clone());
+        }
+        match self.driver.prepare_stamped(event, stamp)? {
+            Prepared::Flush => Ok(()),
+            Prepared::Data(msg) => self.dispatch(msg),
         }
     }
 
@@ -213,7 +236,11 @@ impl OijEngine for KeyOij {
         self.done = true;
         let reports = std::mem::take(&mut self.reports);
         let (input, elapsed) = self.driver.finish()?;
-        Ok(RunStats::from_reports(input, elapsed, reports, 0))
+        let mut stats = RunStats::from_reports(input, elapsed, reports, 0);
+        // ORDERING: Relaxed — statistics counter; workers are already joined.
+        stats.sink_retries = self.retries.load(Ordering::Relaxed);
+        self.driver.finalize_stats(&mut stats);
+        Ok(stats)
     }
 
     fn abort(&mut self) -> Result<RunStats> {
@@ -228,7 +255,11 @@ impl OijEngine for KeyOij {
         let lost = self.cfg.joiners - self.reports.len();
         let reports = std::mem::take(&mut self.reports);
         let (input, elapsed) = self.driver.finish()?;
-        Ok(RunStats::from_reports(input, elapsed, reports, 0).mark_aborted(lost))
+        let mut stats = RunStats::from_reports(input, elapsed, reports, 0).mark_aborted(lost);
+        // ORDERING: Relaxed — statistics counter; workers are already joined.
+        stats.sink_retries = self.retries.load(Ordering::Relaxed);
+        self.driver.finalize_stats(&mut stats);
+        Ok(stats)
     }
 }
 

@@ -46,18 +46,22 @@ pub mod keyoij;
 pub(crate) mod message;
 pub mod openmldb;
 pub mod oracle;
+pub mod recovery;
 pub mod scaleoij;
 pub mod sink;
 pub mod splitjoin;
 pub(crate) mod sync;
 
 pub use batch::SlotPool;
+pub use config::SinkRetryPolicy;
 pub use config::{EngineConfig, Instrumentation, LatePolicy};
 pub use engine::{EngineKind, OijEngine, RunStats};
 pub use faults::{FailureCell, FaultPlan, WorkerFailure, SCHEDULER};
 pub use keyoij::KeyOij;
+pub use oij_durability::{DurabilityConfig, FsyncPolicy};
 pub use openmldb::OpenMldbBaseline;
 pub use oracle::Oracle;
+pub use recovery::{recover, spawn_engine, RecoveryReport};
 pub use scaleoij::ScaleOij;
 pub use sink::Sink;
 pub use splitjoin::SplitJoin;

@@ -19,7 +19,7 @@
 //! (OpenMLDB's skip-list storage) — which is why the baseline holds up at
 //! low arrival rates (Workload D) and collapses at high ones.
 
-use crate::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use crate::sync::RwLock;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -33,14 +33,14 @@ use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestam
 
 use crate::batch::{Batcher, SlotPool};
 use crate::config::EngineConfig;
-use crate::driver::{Driver, Prepared};
+use crate::driver::{open_durability, Driver, Prepared};
 use crate::engine::{OijEngine, RunStats};
 use crate::faults::{
     join_within, run_supervised, send_guarded, FailureCell, FaultAction, WorkerFaults,
 };
 use crate::instrument::{JoinerInstruments, JoinerReport};
 use crate::message::{DataMsg, Msg};
-use crate::sink::Sink;
+use crate::sink::{worker_sink_stack, Sink};
 
 const ENGINE: &str = "openmldb";
 
@@ -64,6 +64,8 @@ pub struct OpenMldbBaseline {
     done: bool,
     /// Per-worker coalescing buffers (pass-through when `batch_size == 1`).
     batcher: Batcher,
+    /// Sink-retry count across all workers (folded into `RunStats`).
+    retries: Arc<AtomicU64>,
 }
 
 impl OpenMldbBaseline {
@@ -84,6 +86,9 @@ impl OpenMldbBaseline {
         let failures = Arc::new(FailureCell::new());
         let kill = Arc::new(AtomicBool::new(false));
         let pool = Arc::new(SlotPool::new(cfg.joiners * 8 + 16));
+        // The baseline never emits side-output markers.
+        let durable = open_durability(&cfg, false)?;
+        let retries = Arc::new(AtomicU64::new(0));
 
         let mut senders = Vec::with_capacity(cfg.joiners);
         let mut handles = Vec::with_capacity(cfg.joiners);
@@ -93,7 +98,15 @@ impl OpenMldbBaseline {
             let worker = MldbWorker {
                 inst: JoinerInstruments::new(&cfg.instrument, origin),
                 cfg: cfg.clone(),
-                sink: cfg.faults.wrap_sink(id, sink.clone(), Arc::clone(&kill)),
+                sink: worker_sink_stack(
+                    &cfg,
+                    id,
+                    sink.clone(),
+                    &durable,
+                    &failures,
+                    &retries,
+                    &kill,
+                ),
                 store: Arc::clone(&store),
                 expired_to: Arc::clone(&expired_to),
                 pool: Arc::clone(&pool),
@@ -101,7 +114,7 @@ impl OpenMldbBaseline {
                 since_expire: 0,
                 last_wm: Timestamp::MIN,
             };
-            let faults = cfg.faults.for_worker(id);
+            let faults = cfg.faults.for_worker(id, ENGINE, id, &failures);
             let cell = Arc::clone(&failures);
             let wkill = Arc::clone(&kill);
             handles.push(
@@ -118,7 +131,7 @@ impl OpenMldbBaseline {
         let batcher = Batcher::new(cfg.joiners, cfg.batch_size, cfg.flush_deadline, pool);
         Ok(OpenMldbBaseline {
             cfg,
-            driver: Driver::new(lateness),
+            driver: Driver::with_durability(lateness, durable),
             senders,
             handles,
             reports: Vec::new(),
@@ -128,7 +141,25 @@ impl OpenMldbBaseline {
             rr: 0,
             done: false,
             batcher,
+            retries,
         })
+    }
+
+    /// Routes one prepared data message: round-robin over the shared
+    /// store, through the coalescing batcher.
+    fn dispatch(&mut self, msg: DataMsg) -> Result<()> {
+        // No key affinity — any thread can serve any request
+        // against the shared store (round-robin dispatch).
+        self.rr = (self.rr + 1) % self.senders.len();
+        let worker = self.rr;
+        let now = msg.arrival;
+        if let Some(out) = self.batcher.push(worker, msg) {
+            self.route(worker, out)?;
+        }
+        while let Some((dest, out)) = self.batcher.pop_expired(now) {
+            self.route(dest, out)?;
+        }
+        Ok(())
     }
 
     #[inline]
@@ -186,20 +217,17 @@ impl OijEngine for OpenMldbBaseline {
         }
         match self.driver.prepare(event)? {
             Prepared::Flush => Ok(()),
-            Prepared::Data(msg) => {
-                // No key affinity — any thread can serve any request
-                // against the shared store (round-robin dispatch).
-                self.rr = (self.rr + 1) % self.senders.len();
-                let worker = self.rr;
-                let now = msg.arrival;
-                if let Some(out) = self.batcher.push(worker, msg) {
-                    self.route(worker, out)?;
-                }
-                while let Some((dest, out)) = self.batcher.pop_expired(now) {
-                    self.route(dest, out)?;
-                }
-                Ok(())
-            }
+            Prepared::Data(msg) => self.dispatch(msg),
+        }
+    }
+
+    fn push_stamped(&mut self, event: Event, stamp: Timestamp) -> Result<()> {
+        if let Some(cause) = &self.poison {
+            return Err(cause.clone());
+        }
+        match self.driver.prepare_stamped(event, stamp)? {
+            Prepared::Flush => Ok(()),
+            Prepared::Data(msg) => self.dispatch(msg),
         }
     }
 
@@ -222,7 +250,11 @@ impl OijEngine for OpenMldbBaseline {
         self.done = true;
         let reports = std::mem::take(&mut self.reports);
         let (input, elapsed) = self.driver.finish()?;
-        Ok(RunStats::from_reports(input, elapsed, reports, 0))
+        let mut stats = RunStats::from_reports(input, elapsed, reports, 0);
+        // ORDERING: Relaxed — statistics counter; workers are already joined.
+        stats.sink_retries = self.retries.load(Ordering::Relaxed);
+        self.driver.finalize_stats(&mut stats);
+        Ok(stats)
     }
 
     fn abort(&mut self) -> Result<RunStats> {
@@ -237,7 +269,11 @@ impl OijEngine for OpenMldbBaseline {
         let lost = self.cfg.joiners - self.reports.len();
         let reports = std::mem::take(&mut self.reports);
         let (input, elapsed) = self.driver.finish()?;
-        Ok(RunStats::from_reports(input, elapsed, reports, 0).mark_aborted(lost))
+        let mut stats = RunStats::from_reports(input, elapsed, reports, 0).mark_aborted(lost);
+        // ORDERING: Relaxed — statistics counter; workers are already joined.
+        stats.sink_retries = self.retries.load(Ordering::Relaxed);
+        self.driver.finalize_stats(&mut stats);
+        Ok(stats)
     }
 }
 

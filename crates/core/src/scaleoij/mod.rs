@@ -29,19 +29,19 @@ pub mod schedule;
 
 mod joiner;
 
-use crate::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam_channel::{bounded, Sender};
 
-use oij_common::{Error, Event, Result};
+use oij_common::{Error, Event, Result, Timestamp};
 use oij_skiplist::{RcuCell, TimeTravelIndex};
 
 use crate::batch::{Batcher, SlotPool};
-use crate::config::EngineConfig;
-use crate::driver::{Driver, Prepared};
+use crate::config::{EngineConfig, LatePolicy};
+use crate::driver::{open_durability, Driver, Prepared};
 use crate::engine::{OijEngine, RunStats};
 use crate::faults::{
     interruptible_sleep, join_within, run_supervised, send_guarded, DrainBarrier, FailureCell,
@@ -49,8 +49,8 @@ use crate::faults::{
 };
 use crate::hash_key;
 use crate::instrument::JoinerReport;
-use crate::message::Msg;
-use crate::sink::Sink;
+use crate::message::{DataMsg, Msg};
+use crate::sink::{worker_sink_stack, Sink};
 
 use schedule::{rebalance, PartitionStats, Schedule};
 
@@ -86,6 +86,8 @@ pub struct ScaleOij {
     done: bool,
     /// Per-joiner coalescing buffers (pass-through when `batch_size == 1`).
     batcher: Batcher,
+    /// Sink-retry count across all joiners (folded into `RunStats`).
+    retries: Arc<AtomicU64>,
 }
 
 impl ScaleOij {
@@ -119,14 +121,19 @@ impl ScaleOij {
         let failures = Arc::new(FailureCell::new());
         let kill = Arc::new(AtomicBool::new(false));
         let pool = Arc::new(SlotPool::new(joiners * 8 + 16));
+        // Late tuples become side-output markers only under that policy;
+        // otherwise they are processed best-effort like everywhere else.
+        let durable = open_durability(&cfg, cfg.late_policy == LatePolicy::SideOutput)?;
+        let retries = Arc::new(AtomicU64::new(0));
 
         let mut senders = Vec::with_capacity(joiners);
         let mut handles = Vec::with_capacity(joiners);
         for (id, writer) in writers.into_iter().enumerate() {
             // CHANNEL: driver -> joiner (one queue per partition writer)
             let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
-            let jsink = cfg.faults.wrap_sink(id, sink.clone(), Arc::clone(&kill));
-            let faults = cfg.faults.for_worker(id);
+            let jsink =
+                worker_sink_stack(&cfg, id, sink.clone(), &durable, &failures, &retries, &kill);
+            let faults = cfg.faults.for_worker(id, ENGINE, id, &failures);
             let worker = joiner::ScaleJoiner::new(
                 id,
                 &cfg,
@@ -165,7 +172,7 @@ impl ScaleOij {
             // The scheduler is supervised like any joiner; its fault
             // ordinal is the tick counter. Attributed as worker 0 of the
             // "scale-oij-scheduler" engine label.
-            let faults = cfg.faults.for_worker(SCHEDULER);
+            let faults = cfg.faults.for_worker(SCHEDULER, SCHED, 0, &failures);
             let cell = Arc::clone(&failures);
             let skill = Arc::clone(&kill);
             Some(
@@ -213,7 +220,7 @@ impl ScaleOij {
         let batcher = Batcher::new(joiners, cfg.batch_size, cfg.flush_deadline, pool);
         Ok(ScaleOij {
             cfg,
-            driver: Driver::new(lateness),
+            driver: Driver::with_durability(lateness, durable),
             senders,
             handles,
             scheduler,
@@ -231,7 +238,52 @@ impl ScaleOij {
             since_heartbeat: 0,
             done: false,
             batcher,
+            retries,
         })
+    }
+
+    /// Routes one prepared data message: partition hash, team member
+    /// round-robin, coalescing batcher, periodic heartbeats.
+    fn dispatch(&mut self, msg: DataMsg) -> Result<()> {
+        let p = (hash_key(msg.tuple.key) & self.part_mask) as usize;
+        self.stats.bump(p);
+        // Refresh the cached schedule every 128 pushes; a stale
+        // snapshot routes to a subset of the current team, which is
+        // still a valid member (replication-only growth).
+        self.sched_refresh = self.sched_refresh.wrapping_add(1);
+        if self.sched_refresh.is_multiple_of(128) {
+            self.sched_cache = self.schedule.load();
+        }
+        let team = &self.sched_cache.teams[p];
+        let member = team[(self.rr[p] as usize) % team.len()];
+        self.rr[p] = self.rr[p].wrapping_add(1);
+        let watermark = msg.watermark;
+        // The arrival stamp doubles as "now" for the flush
+        // deadline (no extra clock reads per tuple). A schedule
+        // change while a buffer is parked is benign: the buffer
+        // still drains to the member chosen at coalescing time,
+        // which stays a valid team member (teams only grow).
+        let now = msg.arrival;
+        if let Some(out) = self.batcher.push(member, msg) {
+            self.route(member, out)?;
+        }
+        while let Some((dest, out)) = self.batcher.pop_expired(now) {
+            self.route(dest, out)?;
+        }
+        self.since_heartbeat += 1;
+        if self.since_heartbeat >= self.cfg.heartbeat_every {
+            self.since_heartbeat = 0;
+            // Flush-before-heartbeat: a heartbeat must never
+            // advance a joiner's published progress past tuples
+            // still parked in a coalescing buffer (DESIGN.md §10).
+            while let Some((dest, out)) = self.batcher.pop_any() {
+                self.route(dest, out)?;
+            }
+            for j in 0..self.senders.len() {
+                self.route(j, Msg::Heartbeat(watermark))?;
+            }
+        }
+        Ok(())
     }
 
     /// The current published schedule (diagnostics / tests).
@@ -317,47 +369,17 @@ impl OijEngine for ScaleOij {
         }
         match self.driver.prepare(event)? {
             Prepared::Flush => Ok(()),
-            Prepared::Data(msg) => {
-                let p = (hash_key(msg.tuple.key) & self.part_mask) as usize;
-                self.stats.bump(p);
-                // Refresh the cached schedule every 128 pushes; a stale
-                // snapshot routes to a subset of the current team, which is
-                // still a valid member (replication-only growth).
-                self.sched_refresh = self.sched_refresh.wrapping_add(1);
-                if self.sched_refresh.is_multiple_of(128) {
-                    self.sched_cache = self.schedule.load();
-                }
-                let team = &self.sched_cache.teams[p];
-                let member = team[(self.rr[p] as usize) % team.len()];
-                self.rr[p] = self.rr[p].wrapping_add(1);
-                let watermark = msg.watermark;
-                // The arrival stamp doubles as "now" for the flush
-                // deadline (no extra clock reads per tuple). A schedule
-                // change while a buffer is parked is benign: the buffer
-                // still drains to the member chosen at coalescing time,
-                // which stays a valid team member (teams only grow).
-                let now = msg.arrival;
-                if let Some(out) = self.batcher.push(member, msg) {
-                    self.route(member, out)?;
-                }
-                while let Some((dest, out)) = self.batcher.pop_expired(now) {
-                    self.route(dest, out)?;
-                }
-                self.since_heartbeat += 1;
-                if self.since_heartbeat >= self.cfg.heartbeat_every {
-                    self.since_heartbeat = 0;
-                    // Flush-before-heartbeat: a heartbeat must never
-                    // advance a joiner's published progress past tuples
-                    // still parked in a coalescing buffer (DESIGN.md §10).
-                    while let Some((dest, out)) = self.batcher.pop_any() {
-                        self.route(dest, out)?;
-                    }
-                    for j in 0..self.senders.len() {
-                        self.route(j, Msg::Heartbeat(watermark))?;
-                    }
-                }
-                Ok(())
-            }
+            Prepared::Data(msg) => self.dispatch(msg),
+        }
+    }
+
+    fn push_stamped(&mut self, event: Event, stamp: Timestamp) -> Result<()> {
+        if let Some(cause) = &self.poison {
+            return Err(cause.clone());
+        }
+        match self.driver.prepare_stamped(event, stamp)? {
+            Prepared::Flush => Ok(()),
+            Prepared::Data(msg) => self.dispatch(msg),
         }
     }
 
@@ -386,12 +408,11 @@ impl OijEngine for ScaleOij {
         self.done = true;
         let reports = std::mem::take(&mut self.reports);
         let (input, elapsed) = self.driver.finish()?;
-        Ok(RunStats::from_reports(
-            input,
-            elapsed,
-            reports,
-            schedule_changes,
-        ))
+        let mut stats = RunStats::from_reports(input, elapsed, reports, schedule_changes);
+        // ORDERING: Relaxed — statistics counter; workers are already joined.
+        stats.sink_retries = self.retries.load(Ordering::Relaxed);
+        self.driver.finalize_stats(&mut stats);
+        Ok(stats)
     }
 
     fn abort(&mut self) -> Result<RunStats> {
@@ -407,7 +428,12 @@ impl OijEngine for ScaleOij {
         let lost = self.cfg.joiners - self.reports.len();
         let reports = std::mem::take(&mut self.reports);
         let (input, elapsed) = self.driver.finish()?;
-        Ok(RunStats::from_reports(input, elapsed, reports, schedule_changes).mark_aborted(lost))
+        let mut stats =
+            RunStats::from_reports(input, elapsed, reports, schedule_changes).mark_aborted(lost);
+        // ORDERING: Relaxed — statistics counter; workers are already joined.
+        stats.sink_retries = self.retries.load(Ordering::Relaxed);
+        self.driver.finalize_stats(&mut stats);
+        Ok(stats)
     }
 }
 

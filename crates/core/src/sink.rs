@@ -1,13 +1,16 @@
 //! Result sinks: where feature rows go.
 
-use crate::sync::atomic::{AtomicBool, AtomicU64};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration as StdDuration;
 
 use oij_common::FeatureRow;
+use oij_durability::{frontier_key, DurabilityRuntime};
 
-use crate::faults::SinkFaults;
+use crate::config::SinkRetryPolicy;
+use crate::faults::{FailureCell, SinkFaults};
 
 /// Destination for emitted feature rows. Cloned into every joiner (or the
 /// collector, for SplitJoin).
@@ -21,6 +24,31 @@ pub enum Sink {
     /// emissions) — built by [`FaultPlan::wrap_sink`](crate::faults::FaultPlan),
     /// never in production configs.
     Faulty(Arc<SinkFaults>, Box<Sink>),
+    /// The exactly-once gate in front of the user sink (DESIGN.md §11):
+    /// consults the durability runtime's emitted-output frontier before
+    /// delivering, marks the row emitted after, and delivers nothing
+    /// once the engine's simulated-crash flag is raised (a dead process
+    /// emits nothing). Built when `EngineConfig::durability` is set.
+    Durable {
+        /// Shared durability state (frontier + WAL).
+        runtime: Arc<DurabilityRuntime>,
+        /// The engine's failure cell, for the crash gate.
+        failures: Arc<FailureCell>,
+        /// Where admitted rows go.
+        inner: Box<Sink>,
+    },
+    /// Bounded retry with exponential backoff around a fallible sink
+    /// (`EngineConfig::sink_retry`). A panic from `inner` is caught and
+    /// the emission re-attempted; exhausting the budget re-raises the
+    /// last panic so it escalates to a supervised worker failure.
+    Retry {
+        /// The retry budget and backoff shape.
+        policy: SinkRetryPolicy,
+        /// Shared count of retries performed (folded into `RunStats`).
+        retries: Arc<AtomicU64>,
+        /// The sink being retried.
+        inner: Box<Sink>,
+    },
 }
 
 impl Sink {
@@ -42,7 +70,7 @@ impl Sink {
         inner: Sink,
         delay: Option<StdDuration>,
         stall_from: u64,
-        fail_at: Option<u64>,
+        fail: Option<(u64, u64)>,
         kill: Arc<AtomicBool>,
     ) -> Sink {
         Sink::Faulty(
@@ -50,11 +78,33 @@ impl Sink {
                 emitted: AtomicU64::new(0),
                 delay,
                 stall_from,
-                fail_at,
+                fail,
                 kill,
             }),
             Box::new(inner),
         )
+    }
+
+    /// Wraps `inner` with the exactly-once durability gate.
+    pub(crate) fn durable(
+        runtime: Arc<DurabilityRuntime>,
+        failures: Arc<FailureCell>,
+        inner: Sink,
+    ) -> Sink {
+        Sink::Durable {
+            runtime,
+            failures,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Wraps `inner` with bounded retry.
+    pub(crate) fn retrying(policy: SinkRetryPolicy, retries: Arc<AtomicU64>, inner: Sink) -> Sink {
+        Sink::Retry {
+            policy,
+            retries,
+            inner: Box::new(inner),
+        }
     }
 
     /// Emits one row.
@@ -70,8 +120,98 @@ impl Sink {
                 faults.before_emit();
                 inner.emit(row);
             }
+            Sink::Durable {
+                runtime,
+                failures,
+                inner,
+            } => {
+                if failures.is_crashed() {
+                    // Simulated process death: the row is not delivered
+                    // and — critically — not marked emitted, so recovery
+                    // replays it.
+                    return;
+                }
+                let fkey = frontier_key(row.seq, row.late);
+                if runtime.admit(fkey) {
+                    inner.emit(row);
+                    // Delivered ⇒ logged. If the mark itself cannot be
+                    // persisted the run must not continue claiming
+                    // exactly-once, so escalate to the supervisor.
+                    if let Err(e) = runtime.mark_emitted(fkey) {
+                        panic!("durable sink failed to log emission: {e}");
+                    }
+                }
+            }
+            Sink::Retry {
+                policy,
+                retries,
+                inner,
+            } => {
+                let mut attempt = 1u32;
+                loop {
+                    match catch_unwind(AssertUnwindSafe(|| inner.emit(row.clone()))) {
+                        Ok(()) => return,
+                        Err(payload) => {
+                            if attempt >= policy.max_attempts {
+                                resume_unwind(payload);
+                            }
+                            // ORDERING: Relaxed — statistics counter; no cross-thread ordering required.
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(backoff(policy, attempt, row.seq));
+                            attempt += 1;
+                        }
+                    }
+                }
+            }
         }
     }
+}
+
+/// Builds one worker's full sink stack around the user sink:
+/// `Retry(Faulty(Durable(user)))`. Retry sits outermost so it also
+/// absorbs injected sink faults (each attempt advances the faulty
+/// ordinal); the durability gate sits innermost so exactly-once applies
+/// at the user sink — an attempt that panics before delivery is never
+/// marked emitted, and recovery replays it.
+pub(crate) fn worker_sink_stack(
+    cfg: &crate::config::EngineConfig,
+    worker: usize,
+    user: Sink,
+    durable: &Option<Arc<DurabilityRuntime>>,
+    failures: &Arc<FailureCell>,
+    retries: &Arc<AtomicU64>,
+    kill: &Arc<AtomicBool>,
+) -> Sink {
+    let user = match durable {
+        Some(rt) => Sink::durable(Arc::clone(rt), Arc::clone(failures), user),
+        None => user,
+    };
+    let faulted = cfg.faults.wrap_sink(worker, user, Arc::clone(kill));
+    match cfg.sink_retry {
+        Some(policy) => Sink::retrying(policy, Arc::clone(retries), faulted),
+        None => faulted,
+    }
+}
+
+/// Exponential backoff capped at `max_delay`, plus a deterministic
+/// jitter (up to +25%) derived from the row identity and attempt so
+/// that concurrent workers retrying the same outage desynchronize
+/// without a random-number dependency.
+fn backoff(policy: &SinkRetryPolicy, attempt: u32, seq: u64) -> StdDuration {
+    let exp = policy
+        .base_delay
+        .saturating_mul(1u32 << (attempt - 1).min(16));
+    let base = exp.min(policy.max_delay);
+    let mix = seq
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(attempt));
+    let jitter_span = base.as_nanos() as u64 / 4;
+    let jitter = if jitter_span == 0 {
+        0
+    } else {
+        mix % jitter_span
+    };
+    base + StdDuration::from_nanos(jitter)
 }
 
 #[cfg(test)]
@@ -114,7 +254,7 @@ mod tests {
     fn faulty_sink_fails_at_the_configured_emission() {
         let (inner, rows) = Sink::collect();
         let kill = Arc::new(AtomicBool::new(false));
-        let sink = Sink::faulty(inner, None, 0, Some(1), kill);
+        let sink = Sink::faulty(inner, None, 0, Some((1, 1)), kill);
         let row = |seq: u64| FeatureRow::new(Timestamp::from_micros(seq as i64), 1, seq, None, 0);
         sink.emit(row(0)); // emission 0 passes through
         let err = catch_unwind(AssertUnwindSafe(|| sink.emit(row(1))));
@@ -130,5 +270,52 @@ mod tests {
         let start = std::time::Instant::now();
         sink.emit(FeatureRow::new(Timestamp::from_micros(1), 1, 0, None, 0));
         assert!(start.elapsed() < StdDuration::from_secs(5));
+    }
+
+    #[test]
+    fn retry_sink_absorbs_transient_failures() {
+        let (collect, rows) = Sink::collect();
+        let kill = Arc::new(AtomicBool::new(false));
+        // Faulty inner sink: emissions 0 and 1 fail, 2 succeeds. Each
+        // retry advances the faulty ordinal, so attempt 3 goes through.
+        let faulty = Sink::faulty(collect, None, 0, Some((0, 2)), kill);
+        let retries = Arc::new(AtomicU64::new(0));
+        let sink = Sink::retrying(SinkRetryPolicy::new(3), Arc::clone(&retries), faulty);
+        sink.emit(FeatureRow::new(Timestamp::from_micros(1), 1, 0, None, 0));
+        assert_eq!(rows.lock().len(), 1);
+        assert_eq!(retries.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn retry_sink_reraises_after_exhaustion() {
+        let (collect, rows) = Sink::collect();
+        let kill = Arc::new(AtomicBool::new(false));
+        let faulty = Sink::faulty(collect, None, 0, Some((0, 10)), kill);
+        let retries = Arc::new(AtomicU64::new(0));
+        let sink = Sink::retrying(SinkRetryPolicy::new(3), Arc::clone(&retries), faulty);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            sink.emit(FeatureRow::new(Timestamp::from_micros(1), 1, 0, None, 0));
+        }));
+        assert!(err.is_err(), "exhausted retries must re-raise");
+        assert_eq!(
+            retries.load(Ordering::Relaxed),
+            2,
+            "two retries before giving up"
+        );
+        assert!(rows.lock().is_empty());
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jittered() {
+        let p = SinkRetryPolicy {
+            max_attempts: 10,
+            base_delay: StdDuration::from_millis(1),
+            max_delay: StdDuration::from_millis(8),
+        };
+        assert!(backoff(&p, 1, 0) >= StdDuration::from_millis(1));
+        // Cap plus at most 25% jitter.
+        for attempt in 1..10 {
+            assert!(backoff(&p, attempt, 7) <= StdDuration::from_millis(10));
+        }
     }
 }

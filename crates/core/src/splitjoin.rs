@@ -15,7 +15,7 @@
 //! broadcast traffic and full-scan lookups, so throughput trails Scale-OIJ
 //! and degrades with thread count when windows are small (Figure 21).
 
-use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -28,14 +28,14 @@ use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestam
 
 use crate::batch::{Batcher, SlotPool};
 use crate::config::EngineConfig;
-use crate::driver::{Driver, Prepared};
+use crate::driver::{open_durability, Driver, Prepared};
 use crate::engine::{OijEngine, RunStats};
 use crate::faults::{
     join_within, run_supervised, send_guarded, FailureCell, FaultAction, WorkerFaults,
 };
 use crate::instrument::{JoinerInstruments, JoinerReport};
 use crate::message::{DataMsg, Msg};
-use crate::sink::Sink;
+use crate::sink::{worker_sink_stack, Sink};
 
 const ENGINE: &str = "splitjoin";
 const COLLECTOR: &str = "splitjoin-collector";
@@ -60,6 +60,8 @@ pub struct SplitJoin {
     /// One coalescing buffer for the whole broadcast group: every joiner
     /// receives the same batch (pass-through when `batch_size == 1`).
     batcher: Batcher,
+    /// Sink-retry count (the collector is the only emitter).
+    retries: Arc<AtomicU64>,
 }
 
 /// What one joiner tells the collector about one base tuple.
@@ -94,6 +96,9 @@ impl SplitJoin {
         // Every joiner returns its own clone of a broadcast batch, so size
         // the pool generously; overflow is one dropped buffer, not an error.
         let pool = Arc::new(SlotPool::new(joiners * 8 + 16));
+        // SplitJoin never emits side-output markers.
+        let durable = open_durability(&cfg, false)?;
+        let retries = Arc::new(AtomicU64::new(0));
 
         let mut senders = Vec::with_capacity(joiners);
         let mut handles = Vec::with_capacity(joiners);
@@ -101,7 +106,7 @@ impl SplitJoin {
             // CHANNEL: driver -> joiner (broadcast: every joiner sees every batch)
             let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
             let worker = SplitJoiner::new(id, &cfg, origin, col_tx.clone(), Arc::clone(&pool));
-            let faults = cfg.faults.for_worker(id);
+            let faults = cfg.faults.for_worker(id, ENGINE, id, &failures);
             let cell = Arc::clone(&failures);
             let wkill = Arc::clone(&kill);
             handles.push(
@@ -121,8 +126,10 @@ impl SplitJoin {
         // The sink lives on the collector; its faults (and any message
         // faults for the collector itself) are addressed as worker
         // `joiners` in the plan.
-        let col_sink = cfg.faults.wrap_sink(joiners, sink, Arc::clone(&kill));
-        let col_faults = cfg.faults.for_worker(joiners);
+        let col_sink = worker_sink_stack(&cfg, joiners, sink, &durable, &failures, &retries, &kill);
+        let col_faults = cfg
+            .faults
+            .for_worker(joiners, COLLECTOR, joiners, &failures);
         let cell = Arc::clone(&failures);
         let ckill = Arc::clone(&kill);
         let collector = std::thread::Builder::new()
@@ -140,7 +147,7 @@ impl SplitJoin {
         let batcher = Batcher::new(1, cfg.batch_size, cfg.flush_deadline, pool);
         Ok(SplitJoin {
             cfg,
-            driver: Driver::new(lateness),
+            driver: Driver::with_durability(lateness, durable),
             senders,
             handles,
             collector: Some(collector),
@@ -151,7 +158,22 @@ impl SplitJoin {
             poison: None,
             done: false,
             batcher,
+            retries,
         })
+    }
+
+    /// Routes one prepared data message: everyone receives every batch.
+    fn dispatch(&mut self, msg: DataMsg) -> Result<()> {
+        // The arrival stamp doubles as "now" for the flush
+        // deadline (no extra clock reads per tuple).
+        let now = msg.arrival;
+        if let Some(out) = self.batcher.push(0, msg) {
+            self.broadcast(out)?;
+        }
+        while let Some((_, out)) = self.batcher.pop_expired(now) {
+            self.broadcast(out)?;
+        }
+        Ok(())
     }
 
     /// The SplitJoin distribution tree: everyone gets the message (the
@@ -250,6 +272,9 @@ impl SplitJoin {
         if aborted {
             stats = stats.mark_aborted(expected - salvaged);
         }
+        // ORDERING: Relaxed — statistics counter; workers are already joined.
+        stats.sink_retries = self.retries.load(Ordering::Relaxed);
+        self.driver.finalize_stats(&mut stats);
         Ok(stats)
     }
 }
@@ -333,18 +358,17 @@ impl OijEngine for SplitJoin {
         }
         match self.driver.prepare(event)? {
             Prepared::Flush => Ok(()),
-            Prepared::Data(msg) => {
-                // The arrival stamp doubles as "now" for the flush
-                // deadline (no extra clock reads per tuple).
-                let now = msg.arrival;
-                if let Some(out) = self.batcher.push(0, msg) {
-                    self.broadcast(out)?;
-                }
-                while let Some((_, out)) = self.batcher.pop_expired(now) {
-                    self.broadcast(out)?;
-                }
-                Ok(())
-            }
+            Prepared::Data(msg) => self.dispatch(msg),
+        }
+    }
+
+    fn push_stamped(&mut self, event: Event, stamp: Timestamp) -> Result<()> {
+        if let Some(cause) = &self.poison {
+            return Err(cause.clone());
+        }
+        match self.driver.prepare_stamped(event, stamp)? {
+            Prepared::Flush => Ok(()),
+            Prepared::Data(msg) => self.dispatch(msg),
         }
     }
 

@@ -1,0 +1,269 @@
+//! Checkpoints: periodic snapshots of everything replay needs so
+//! recovery starts from the last cut instead of log origin.
+//!
+//! A checkpoint is one CRC-framed record in its own file
+//! (`ckpt-NNNNNNNN.ckpt`), written to a temp name and renamed into
+//! place, so a crash mid-write leaves the previous checkpoint intact.
+//! The two newest files are kept; loading tries newest-first and falls
+//! back, so a corrupt newest checkpoint degrades to the previous cut
+//! (the WAL tail then covers the difference).
+//!
+//! Contents: the logical cut (`last_seq`, max event time, lifetime
+//! ingest/late counters), the emitted-output frontier (merged ranges),
+//! and the **retained prefix** — the already-logged events that are
+//! still live (unemitted bases, in-window probes) and must be replayed
+//! ahead of the WAL tail.
+
+use std::path::{Path, PathBuf};
+
+use crate::codec::{crc32, Dec, Enc};
+use crate::frontier::Frontier;
+use crate::wal::LoggedEvent;
+use oij_common::Side;
+
+const MAGIC: u32 = 0x4F49_4A43; // "OIJC"
+const VERSION: u32 = 1;
+
+/// A decoded checkpoint.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Maximum event sequence number logged before the cut: recovery
+    /// skips WAL `Event` records at or below this (they are either in
+    /// the retained prefix or provably dead).
+    pub last_seq: u64,
+    /// Maximum event time observed before the cut (watermark restore).
+    pub max_ts: i64,
+    /// Lifetime ingested-tuple count at the cut.
+    pub total_ingested: u64,
+    /// Lifetime lateness-violation count at the cut.
+    pub total_late: u64,
+    /// The emitted-output frontier at the cut.
+    pub frontier: Frontier,
+    /// Regular rows delivered to the sink so far.
+    pub emitted_rows: u64,
+    /// Late side-output markers delivered so far.
+    pub emitted_late: u64,
+    /// Still-live events to replay ahead of the WAL tail, in ingest
+    /// (sequence) order.
+    pub retained: Vec<LoggedEvent>,
+}
+
+fn encode(c: &Checkpoint) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(MAGIC);
+    e.u32(VERSION);
+    e.u64(c.last_seq);
+    e.i64(c.max_ts);
+    e.u64(c.total_ingested);
+    e.u64(c.total_late);
+    e.u64(c.emitted_rows);
+    e.u64(c.emitted_late);
+    let ranges: Vec<(u64, u64)> = c.frontier.ranges().collect();
+    e.u32(ranges.len() as u32);
+    for (s, end) in ranges {
+        e.u64(s);
+        e.u64(end);
+    }
+    e.u32(c.retained.len() as u32);
+    for ev in &c.retained {
+        e.u64(ev.seq);
+        e.u8(match ev.side {
+            Side::Base => 0,
+            Side::Probe => 1,
+        });
+        e.i64(ev.ts);
+        e.u64(ev.key);
+        e.f64(ev.value);
+        e.i64(ev.stamp);
+    }
+    e.finish()
+}
+
+fn decode(payload: &[u8]) -> Option<Checkpoint> {
+    let mut d = Dec::new(payload);
+    if d.u32()? != MAGIC || d.u32()? != VERSION {
+        return None;
+    }
+    let last_seq = d.u64()?;
+    let max_ts = d.i64()?;
+    let total_ingested = d.u64()?;
+    let total_late = d.u64()?;
+    let emitted_rows = d.u64()?;
+    let emitted_late = d.u64()?;
+    let nranges = d.u32()?;
+    let mut ranges = Vec::with_capacity(nranges as usize);
+    for _ in 0..nranges {
+        let s = d.u64()?;
+        let end = d.u64()?;
+        ranges.push((s, end));
+    }
+    let nretained = d.u32()?;
+    let mut retained = Vec::with_capacity(nretained as usize);
+    for _ in 0..nretained {
+        retained.push(LoggedEvent {
+            seq: d.u64()?,
+            side: match d.u8()? {
+                0 => Side::Base,
+                1 => Side::Probe,
+                _ => return None,
+            },
+            ts: d.i64()?,
+            key: d.u64()?,
+            value: d.f64()?,
+            stamp: d.i64()?,
+        });
+    }
+    d.exhausted().then_some(Checkpoint {
+        last_seq,
+        max_ts,
+        total_ingested,
+        total_late,
+        frontier: Frontier::from_ranges(ranges),
+        emitted_rows,
+        emitted_late,
+        retained,
+    })
+}
+
+fn ckpt_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("ckpt-{id:08}.ckpt"))
+}
+
+/// Sorted ids of the checkpoints present under `dir`.
+pub fn checkpoint_ids(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(id) = name
+            .strip_prefix("ckpt-")
+            .and_then(|rest| rest.strip_suffix(".ckpt"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            out.push(id);
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Writes checkpoint `id` atomically (temp file + rename) and prunes all
+/// but the two newest checkpoint files.
+pub fn write(dir: &Path, id: u64, c: &Checkpoint) -> std::io::Result<()> {
+    let payload = encode(c);
+    let mut framed = Vec::with_capacity(8 + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+    framed.extend_from_slice(&payload);
+    let tmp = dir.join(format!("ckpt-{id:08}.tmp"));
+    std::fs::write(&tmp, &framed)?;
+    std::fs::rename(&tmp, ckpt_path(dir, id))?;
+    let ids = checkpoint_ids(dir)?;
+    if ids.len() > 2 {
+        for &old in &ids[..ids.len() - 2] {
+            std::fs::remove_file(ckpt_path(dir, old))?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads the newest parseable checkpoint, trying newest-first. Returns
+/// its id and contents, or `None` when no valid checkpoint exists.
+pub fn load_newest(dir: &Path) -> std::io::Result<Option<(u64, Checkpoint)>> {
+    for &id in checkpoint_ids(dir)?.iter().rev() {
+        let bytes = std::fs::read(ckpt_path(dir, id))?;
+        if bytes.len() < 8 {
+            continue;
+        }
+        let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let Some(payload) = bytes.get(8..8 + len) else {
+            continue;
+        };
+        if crc32(payload) != crc {
+            continue;
+        }
+        if let Some(c) = decode(payload) {
+            return Ok(Some((id, c)));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::frontier_key;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("oij-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample(last_seq: u64) -> Checkpoint {
+        let mut frontier = Frontier::new();
+        for seq in 0..last_seq / 2 {
+            frontier.insert(frontier_key(seq, false));
+        }
+        Checkpoint {
+            last_seq,
+            max_ts: 123_456,
+            total_ingested: last_seq + 1,
+            total_late: 3,
+            emitted_rows: last_seq / 2,
+            emitted_late: 0,
+            frontier,
+            retained: vec![LoggedEvent {
+                seq: last_seq,
+                side: Side::Base,
+                ts: 99,
+                key: 5,
+                value: 2.25,
+                stamp: 11,
+            }],
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let dir = tmpdir("roundtrip");
+        write(&dir, 1, &sample(100)).unwrap();
+        let (id, c) = load_newest(&dir).unwrap().expect("one checkpoint");
+        assert_eq!(id, 1);
+        assert_eq!(c.last_seq, 100);
+        assert_eq!(c.max_ts, 123_456);
+        assert_eq!(c.total_late, 3);
+        assert_eq!(c.frontier.len(), 50);
+        assert_eq!(c.retained.len(), 1);
+        assert_eq!(c.retained[0].value, 2.25);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn keeps_two_newest_and_falls_back_past_corruption() {
+        let dir = tmpdir("fallback");
+        for id in 1..=4 {
+            write(&dir, id, &sample(id * 10)).unwrap();
+        }
+        assert_eq!(checkpoint_ids(&dir).unwrap(), vec![3, 4], "pruned to 2");
+        // Corrupt the newest: loading falls back to id 3.
+        let newest = ckpt_path(&dir, 4);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x01;
+        std::fs::write(&newest, &bytes).unwrap();
+        let (id, c) = load_newest(&dir).unwrap().expect("fallback");
+        assert_eq!(id, 3);
+        assert_eq!(c.last_seq, 30);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_has_no_checkpoint() {
+        let dir = tmpdir("empty");
+        assert!(load_newest(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

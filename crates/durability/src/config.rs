@@ -1,0 +1,109 @@
+//! Durability configuration: where the log lives and how hard it tries
+//! to reach stable storage.
+
+use std::path::PathBuf;
+use std::time::Duration as StdDuration;
+
+use oij_common::Duration;
+
+/// How often the WAL file is flushed to stable storage (`fsync`).
+///
+/// The policy trades durability against ingest latency (DESIGN.md §11):
+/// the log is always *written* per record, so every policy recovers
+/// everything up to the OS page cache; the policy only decides how much
+/// a whole-machine power loss can lose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync explicitly; rely on the OS writing back dirty pages.
+    /// Survives process crashes (the simulated `Crash` fault), not power
+    /// loss. The default, and the only policy benchmarks should use.
+    Never,
+    /// Fsync at most once per interval, piggybacked on appends.
+    Interval(StdDuration),
+    /// Fsync after every appended record batch. Maximal durability,
+    /// pays one `fdatasync` per ingested tuple.
+    EveryBatch,
+}
+
+/// Configuration for the durability subsystem
+/// (`EngineConfig::durability`; `None` disables durability entirely).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityConfig {
+    /// Directory holding WAL segments (`wal-NNNNNNNN.seg`) and
+    /// checkpoints (`ckpt-NNNNNNNN.ckpt`). Created if missing; a
+    /// non-empty directory means "resume from this state".
+    pub dir: PathBuf,
+    /// Fsync policy for WAL appends.
+    pub fsync: FsyncPolicy,
+    /// Take a checkpoint after this many ingested tuples.
+    pub checkpoint_every: u64,
+    /// Rotate to a new WAL segment once the active one exceeds this
+    /// many bytes.
+    pub segment_bytes: u64,
+}
+
+impl DurabilityConfig {
+    /// A configuration with production-shaped defaults: no explicit
+    /// fsync, checkpoint every 4096 tuples, 4 MiB segments.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Never,
+            checkpoint_every: 4096,
+            segment_bytes: 4 << 20,
+        }
+    }
+
+    /// Sets the fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Sets the checkpoint cadence (in ingested tuples).
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// Sets the WAL segment rotation threshold in bytes.
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes.max(1024);
+        self
+    }
+}
+
+/// What the checkpoint compactor needs to know about the query to prune
+/// the retained-event prefix safely (see `runtime::checkpoint_locked`).
+#[derive(Debug, Clone, Copy)]
+pub struct RetentionSpec {
+    /// How far probe retention reaches back from the anchor. Engines
+    /// pass the full window length `PRE + FOL`, matching their own
+    /// expiration bound, so compaction never drops a probe a joiner
+    /// would still have in its buffers.
+    pub extent: Duration,
+    /// The query lateness bound `l`.
+    pub lateness: Duration,
+    /// Whether the engine diverts late tuples to side-output markers
+    /// (`LatePolicy::SideOutput` on Scale-OIJ). Diverted tuples never
+    /// join, so they are retained only until their marker is emitted.
+    /// When `false` the engines process late tuples best-effort — they
+    /// join like any other tuple — and compaction must treat them
+    /// exactly like on-time events.
+    pub side_output: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_clamp_degenerate_values() {
+        let c = DurabilityConfig::new("/tmp/x")
+            .with_checkpoint_every(0)
+            .with_segment_bytes(0);
+        assert_eq!(c.checkpoint_every, 1);
+        assert_eq!(c.segment_bytes, 1024);
+        assert_eq!(c.fsync, FsyncPolicy::Never);
+    }
+}

@@ -1,0 +1,165 @@
+//! The emitted-output frontier: the set of rows that have already
+//! reached the sink, stored as merged ranges over frontier keys.
+//!
+//! A frontier key encodes one output row as `(seq << 1) | late`: a base
+//! tuple's regular feature row uses the even key, a lateness side-output
+//! marker (either side) uses the odd key. Because each base sequence
+//! emits at most one regular row and each tuple at most one late marker,
+//! membership in this set is exactly "this row already reached the
+//! sink", which is what recovery's exactly-once dedup needs.
+//!
+//! Keys arrive roughly densely (sequence numbers), so the set is kept as
+//! coalesced inclusive ranges in a `BTreeMap<start, end>` — a frontier
+//! over millions of rows is a handful of ranges.
+
+use std::collections::BTreeMap;
+
+/// Encodes a row identity as a frontier key.
+#[inline]
+pub fn frontier_key(seq: u64, late: bool) -> u64 {
+    (seq << 1) | late as u64
+}
+
+/// A set of emitted frontier keys, stored as merged inclusive ranges.
+#[derive(Debug, Default, Clone)]
+pub struct Frontier {
+    /// `start -> end` (inclusive), non-overlapping, non-adjacent.
+    ranges: BTreeMap<u64, u64>,
+    len: u64,
+}
+
+impl Frontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        Frontier::default()
+    }
+
+    /// Number of keys in the set.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `key` has been recorded.
+    pub fn contains(&self, key: u64) -> bool {
+        self.ranges
+            .range(..=key)
+            .next_back()
+            .is_some_and(|(_, &end)| key <= end)
+    }
+
+    /// Inserts `key`; returns `true` if it was newly added.
+    pub fn insert(&mut self, key: u64) -> bool {
+        if self.contains(key) {
+            return false;
+        }
+        self.len += 1;
+        // Merge with a predecessor range ending at key-1 and/or a
+        // successor range starting at key+1.
+        let grow_left = key.checked_sub(1).and_then(|p| {
+            self.ranges
+                .range(..=p)
+                .next_back()
+                .filter(|(_, &end)| end == p)
+                .map(|(&s, _)| s)
+        });
+        let grow_right = key
+            .checked_add(1)
+            .filter(|n| self.ranges.contains_key(n))
+            .map(|n| self.ranges.remove(&n).expect("checked key"));
+        match (grow_left, grow_right) {
+            (Some(start), Some(end)) => {
+                self.ranges.insert(start, end);
+            }
+            (Some(start), None) => {
+                self.ranges.insert(start, key);
+            }
+            (None, Some(end)) => {
+                self.ranges.insert(key, end);
+            }
+            (None, None) => {
+                self.ranges.insert(key, key);
+            }
+        }
+        true
+    }
+
+    /// Iterates the merged ranges `(start, end)` inclusive, ascending.
+    pub fn ranges(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.ranges.iter().map(|(&s, &e)| (s, e))
+    }
+
+    /// Number of stored ranges (compactness metric, used by tests).
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Rebuilds a frontier from serialized ranges.
+    pub fn from_ranges(ranges: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut f = Frontier::new();
+        for (s, e) in ranges {
+            f.ranges.insert(s, e);
+            f.len += e.saturating_sub(s) + 1;
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_distinguish_regular_and_late_rows() {
+        assert_ne!(frontier_key(5, false), frontier_key(5, true));
+        assert_eq!(frontier_key(5, false) >> 1, 5);
+        assert_eq!(frontier_key(5, true) & 1, 1);
+    }
+
+    #[test]
+    fn dense_inserts_coalesce_to_one_range() {
+        let mut f = Frontier::new();
+        for seq in 0..100 {
+            assert!(f.insert(frontier_key(seq, false) | 1));
+        }
+        // Odd keys 1,3,5.. do not coalesce; even+odd both do:
+        let mut g = Frontier::new();
+        for k in 0..200u64 {
+            assert!(g.insert(k));
+            assert!(!g.insert(k), "reinsert reports already-present");
+        }
+        assert_eq!(g.range_count(), 1);
+        assert_eq!(g.len(), 200);
+        assert!(g.contains(0) && g.contains(199) && !g.contains(200));
+        assert!(f.range_count() > 1);
+    }
+
+    #[test]
+    fn out_of_order_inserts_merge_adjacent_ranges() {
+        let mut f = Frontier::new();
+        for k in [10u64, 12, 11, 0, 1, 13, 9] {
+            assert!(f.insert(k));
+        }
+        assert_eq!(f.range_count(), 2, "{:?}", f.ranges);
+        let ranges: Vec<_> = f.ranges().collect();
+        assert_eq!(ranges, vec![(0, 1), (9, 13)]);
+        assert_eq!(f.len(), 7);
+    }
+
+    #[test]
+    fn round_trips_through_serialized_ranges() {
+        let mut f = Frontier::new();
+        for k in [3u64, 4, 5, 9, 200, 201] {
+            f.insert(k);
+        }
+        let g = Frontier::from_ranges(f.ranges().collect::<Vec<_>>());
+        assert_eq!(g.len(), f.len());
+        for k in 0..300 {
+            assert_eq!(g.contains(k), f.contains(k), "key {k}");
+        }
+    }
+}

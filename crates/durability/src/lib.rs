@@ -1,0 +1,42 @@
+//! # oij-durability — WAL, checkpoints and crash recovery for the OIJ engines
+//!
+//! This crate turns the engines' "fail cleanly" story (structured
+//! `WorkerFailed`, bounded teardown) into "fail and come back": an
+//! engine killed mid-run can restart from its durability directory and
+//! produce output **bit-identical** to an uninterrupted run
+//! (DESIGN.md §11).
+//!
+//! Three pieces:
+//!
+//! * a segmented, CRC-framed **write-ahead log** ([`wal`]) recording
+//!   every ingested tuple (with the pre-observation watermark stamp
+//!   that makes replay deterministic), every emitted row's frontier
+//!   key, and periodic watermark progress — with configurable fsync
+//!   ([`FsyncPolicy`]) and torn-tail truncation on replay;
+//! * periodic **checkpoints** ([`checkpoint`]) snapshotting the
+//!   compacted retained-event prefix plus the emitted-output
+//!   [`Frontier`], so replay starts from the last cut instead of log
+//!   origin;
+//! * the shared [`DurabilityRuntime`] and the read-only recovery
+//!   [`scan`] that `oij_core::recovery` drives: replayed events go back
+//!   through the engines with their original stamps, and the frontier
+//!   deduplicates rows that already reached the sink (exactly-once to
+//!   the sink under the simulated `Crash` fault).
+//!
+//! The crate deliberately knows nothing about engines, sinks or
+//! faults — it stores and restores facts. `oij-core` wires it in
+//! behind `EngineConfig::durability` (default `None` = zero cost).
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod config;
+pub mod frontier;
+pub mod runtime;
+pub mod wal;
+
+pub use config::{DurabilityConfig, FsyncPolicy, RetentionSpec};
+pub use frontier::{frontier_key, Frontier};
+pub use runtime::{scan, DurabilityMetrics, DurabilityRuntime, RecoveredLog};
+pub use wal::LoggedEvent;

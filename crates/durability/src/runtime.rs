@@ -1,0 +1,430 @@
+//! The engine-side durability runtime: one shared object serializing
+//! WAL appends, frontier updates and checkpoints behind a single mutex.
+//!
+//! One runtime is shared between the driver (which records every
+//! ingested tuple before dispatching it) and the per-joiner durable
+//! sinks (which consult and extend the emitted-output frontier). The
+//! mutex lives entirely inside this crate — `oij-core` only calls
+//! methods — and nothing here nests under any engine lock, so the
+//! workspace's declared empty lock order is preserved.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration as StdDuration, Instant};
+
+use oij_common::{Error, Result};
+
+use crate::checkpoint::{self, Checkpoint};
+use crate::config::{DurabilityConfig, FsyncPolicy, RetentionSpec};
+use crate::frontier::{frontier_key, Frontier};
+use crate::wal::{scan_dir, Appender, LoggedEvent, Record};
+
+/// Cadence of `Progress` records: one per this many ingested tuples.
+const PROGRESS_EVERY: u64 = 64;
+
+fn io_err(what: &str, e: std::io::Error) -> Error {
+    Error::Durability(format!("{what}: {e}"))
+}
+
+/// Counters the engine folds into `RunStats` at finish.
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityMetrics {
+    /// Bytes appended to the WAL by this process.
+    pub wal_bytes_written: u64,
+    /// Events replayed through `push_stamped` after recovery.
+    pub wal_records_replayed: u64,
+    /// Checkpoints taken by this process.
+    pub checkpoint_count: u64,
+    /// Span from opening a non-empty durability directory to the last
+    /// replayed record (zero for fresh runs).
+    pub recovery_duration: StdDuration,
+    /// Re-emissions suppressed by the frontier during replay.
+    pub rows_deduped_on_recovery: u64,
+    /// Lifetime regular rows delivered to the sink (frontier even keys).
+    pub emitted_rows: u64,
+    /// Lifetime late side-output markers delivered (frontier odd keys).
+    pub emitted_late: u64,
+    /// Lifetime ingested tuples recorded in the WAL.
+    pub total_ingested: u64,
+    /// Lifetime lateness violations recorded in the WAL.
+    pub total_late: u64,
+}
+
+struct Inner {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    checkpoint_every: u64,
+    retention: RetentionSpec,
+    appender: Appender,
+    frontier: Frontier,
+    /// Logged events still live (unemitted bases, in-window probes, and
+    /// everything after the last checkpoint cut), in sequence order.
+    retained: Vec<LoggedEvent>,
+    /// Maximum event sequence number ever logged.
+    last_seq: Option<u64>,
+    /// Maximum event time ever observed.
+    max_ts: i64,
+    total_ingested: u64,
+    total_late: u64,
+    emitted_rows: u64,
+    emitted_late: u64,
+    wal_bytes: u64,
+    checkpoint_count: u64,
+    next_ckpt_id: u64,
+    since_ckpt: u64,
+    since_progress: u64,
+    last_sync: Instant,
+    deduped: u64,
+    replayed: u64,
+    recovery_started: Option<Instant>,
+    recovery_duration: StdDuration,
+}
+
+/// Shared durability state for one engine (see module docs).
+pub struct DurabilityRuntime {
+    inner: Mutex<Inner>,
+}
+
+// Sinks embed the runtime and derive Debug; the runtime's state is one
+// mutex-guarded blob, and Debug must not take the lock (it may run while
+// a holder is mid-append), so print nothing but the type.
+impl std::fmt::Debug for DurabilityRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurabilityRuntime").finish_non_exhaustive()
+    }
+}
+
+impl DurabilityRuntime {
+    /// Opens (or creates) the durability directory. A non-empty
+    /// directory means "resume": the newest parseable checkpoint is
+    /// loaded, the WAL tail is scanned with torn-tail repair, and the
+    /// frontier, lifetime counters and retained-event prefix are
+    /// restored. The caller replays [`Self::was_recovered`] state via
+    /// the recovery driver (`oij_core::recovery`).
+    pub fn open(cfg: &DurabilityConfig, retention: RetentionSpec) -> Result<Self> {
+        std::fs::create_dir_all(&cfg.dir)
+            .map_err(|e| io_err("creating durability directory", e))?;
+        let loaded =
+            checkpoint::load_newest(&cfg.dir).map_err(|e| io_err("loading checkpoint", e))?;
+        let (next_ckpt_id, ckpt) = match loaded {
+            Some((id, c)) => (id + 1, Some(c)),
+            None => (1, None),
+        };
+        let mut frontier = Frontier::new();
+        let mut retained = Vec::new();
+        let mut last_seq = None;
+        let mut max_ts = i64::MIN;
+        let (mut total_ingested, mut total_late) = (0, 0);
+        let (mut emitted_rows, mut emitted_late) = (0, 0);
+        let mut recovered = false;
+        if let Some(c) = ckpt {
+            frontier = c.frontier;
+            retained = c.retained;
+            last_seq = Some(c.last_seq);
+            max_ts = c.max_ts;
+            total_ingested = c.total_ingested;
+            total_late = c.total_late;
+            emitted_rows = c.emitted_rows;
+            emitted_late = c.emitted_late;
+            recovered = true;
+        }
+        let scan = scan_dir(&cfg.dir, true).map_err(|e| io_err("scanning WAL", e))?;
+        for record in scan.records {
+            recovered = true;
+            match record {
+                Record::Event(ev) => {
+                    // Events at or below the checkpoint cut are covered
+                    // by the retained prefix (or provably dead).
+                    if last_seq.is_some_and(|ls| ev.seq <= ls) {
+                        continue;
+                    }
+                    last_seq = Some(last_seq.map_or(ev.seq, |ls: u64| ls.max(ev.seq)));
+                    max_ts = max_ts.max(ev.ts);
+                    total_ingested += 1;
+                    if ev.is_late() {
+                        total_late += 1;
+                    }
+                    retained.push(ev);
+                }
+                Record::Emitted(key) => {
+                    if frontier.insert(key) {
+                        if key & 1 == 1 {
+                            emitted_late += 1;
+                        } else {
+                            emitted_rows += 1;
+                        }
+                    }
+                }
+                Record::Progress(ts) => max_ts = max_ts.max(ts),
+            }
+        }
+        let appender = Appender::resume(
+            &cfg.dir,
+            cfg.segment_bytes,
+            scan.tail_segment,
+            scan.tail_bytes,
+        );
+        Ok(DurabilityRuntime {
+            inner: Mutex::new(Inner {
+                dir: cfg.dir.clone(),
+                fsync: cfg.fsync,
+                checkpoint_every: cfg.checkpoint_every.max(1),
+                retention,
+                appender,
+                frontier,
+                retained,
+                last_seq,
+                max_ts,
+                total_ingested,
+                total_late,
+                emitted_rows,
+                emitted_late,
+                wal_bytes: 0,
+                checkpoint_count: 0,
+                next_ckpt_id,
+                since_ckpt: 0,
+                since_progress: 0,
+                last_sync: Instant::now(),
+                deduped: 0,
+                replayed: 0,
+                recovery_started: recovered.then(Instant::now),
+                recovery_duration: StdDuration::ZERO,
+            }),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // The runtime must stay usable while a crashed run is torn down,
+        // so a panicking joiner mid-append must not poison everyone
+        // else; appends are all-or-nothing at frame granularity anyway.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Whether `open` found existing state to resume from.
+    pub fn was_recovered(&self) -> bool {
+        self.lock().recovery_started.is_some()
+    }
+
+    /// The restored maximum event time, for re-seeding the driver's
+    /// watermark tracker (`None` when nothing was recovered or no event
+    /// was ever observed).
+    pub fn recovered_max_ts(&self) -> Option<i64> {
+        let inner = self.lock();
+        (inner.recovery_started.is_some() && inner.max_ts != i64::MIN).then_some(inner.max_ts)
+    }
+
+    /// Records one ingested tuple ahead of dispatch. Called by the
+    /// driver thread for every live (non-replay) data event; triggers
+    /// progress records, fsync per policy, and checkpoints.
+    pub fn record_event(&self, ev: LoggedEvent) -> Result<()> {
+        let mut inner = self.lock();
+        let bytes = inner
+            .appender
+            .append(&Record::Event(ev))
+            .map_err(|e| io_err("appending event", e))?;
+        inner.wal_bytes += bytes;
+        inner.last_seq = Some(inner.last_seq.map_or(ev.seq, |ls| ls.max(ev.seq)));
+        inner.max_ts = inner.max_ts.max(ev.ts);
+        inner.total_ingested += 1;
+        if ev.is_late() {
+            inner.total_late += 1;
+        }
+        inner.retained.push(ev);
+        inner.since_progress += 1;
+        if inner.since_progress >= PROGRESS_EVERY {
+            inner.since_progress = 0;
+            let progress = Record::Progress(inner.max_ts);
+            let bytes = inner
+                .appender
+                .append(&progress)
+                .map_err(|e| io_err("appending progress", e))?;
+            inner.wal_bytes += bytes;
+        }
+        maybe_sync(&mut inner)?;
+        inner.since_ckpt += 1;
+        if inner.since_ckpt >= inner.checkpoint_every {
+            checkpoint_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Sink-side admission: `true` when the row identified by `fkey`
+    /// has not been delivered yet. A `false` counts as a recovery dedup
+    /// (the only way a frontier hit can happen is replay re-emission).
+    pub fn admit(&self, fkey: u64) -> bool {
+        let mut inner = self.lock();
+        if inner.frontier.contains(fkey) {
+            inner.deduped += 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Sink-side confirmation: the row for `fkey` reached the inner
+    /// sink; log it and extend the frontier.
+    pub fn mark_emitted(&self, fkey: u64) -> Result<()> {
+        let mut inner = self.lock();
+        let bytes = inner
+            .appender
+            .append(&Record::Emitted(fkey))
+            .map_err(|e| io_err("appending emitted", e))?;
+        inner.wal_bytes += bytes;
+        if inner.frontier.insert(fkey) {
+            if fkey & 1 == 1 {
+                inner.emitted_late += 1;
+            } else {
+                inner.emitted_rows += 1;
+            }
+        }
+        maybe_sync(&mut inner)
+    }
+
+    /// Notes one replayed record (driver-side, per `push_stamped`).
+    pub fn note_replayed(&self) {
+        let mut inner = self.lock();
+        inner.replayed += 1;
+        if let Some(started) = inner.recovery_started {
+            inner.recovery_duration = started.elapsed();
+        }
+    }
+
+    /// Snapshot of the counters for `RunStats`.
+    pub fn metrics(&self) -> DurabilityMetrics {
+        let inner = self.lock();
+        DurabilityMetrics {
+            wal_bytes_written: inner.wal_bytes,
+            wal_records_replayed: inner.replayed,
+            checkpoint_count: inner.checkpoint_count,
+            recovery_duration: inner.recovery_duration,
+            rows_deduped_on_recovery: inner.deduped,
+            emitted_rows: inner.emitted_rows,
+            emitted_late: inner.emitted_late,
+            total_ingested: inner.total_ingested,
+            total_late: inner.total_late,
+        }
+    }
+}
+
+fn maybe_sync(inner: &mut Inner) -> Result<()> {
+    match inner.fsync {
+        FsyncPolicy::Never => Ok(()),
+        FsyncPolicy::EveryBatch => inner.appender.sync().map_err(|e| io_err("fsync", e)),
+        FsyncPolicy::Interval(every) => {
+            if inner.last_sync.elapsed() >= every {
+                inner.appender.sync().map_err(|e| io_err("fsync", e))?;
+                inner.last_sync = Instant::now();
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Takes a checkpoint: compacts the retained prefix against the
+/// frontier and the window retention bound, writes the snapshot
+/// atomically, and prunes WAL segments older than the active one.
+fn checkpoint_locked(inner: &mut Inner) -> Result<()> {
+    inner.since_ckpt = 0;
+    let Some(last_seq) = inner.last_seq else {
+        return Ok(());
+    };
+    let extent = inner.retention.extent.as_micros();
+    let lateness = inner.retention.lateness.as_micros();
+    // The watermark proxy: max observed event time minus lateness.
+    let wm = inner.max_ts.saturating_sub(lateness);
+    // A probe is still needed by some unemitted base `b` when its event
+    // time reaches back into b's window (`p.ts >= b.ts - PRE`), or by a
+    // future base, whose event time is at least the current watermark
+    // for non-late arrivals. Anchor on the smaller, pad by lateness;
+    // retaining extra probes is safe (replay re-inserts, they re-expire).
+    let side_output = inner.retention.side_output;
+    let mut min_live_base = i64::MAX;
+    for ev in &inner.retained {
+        // Under SideOutput a late base never emits a regular row, so its
+        // even key stays out of the frontier forever — excluding it here
+        // keeps one straggler from pinning retention indefinitely. Under
+        // drop policies late bases join best-effort and anchor like any
+        // other unemitted base.
+        if ev.side == oij_common::Side::Base
+            && !(side_output && ev.is_late())
+            && !inner.frontier.contains(frontier_key(ev.seq, false))
+        {
+            min_live_base = min_live_base.min(ev.ts);
+        }
+    }
+    let anchor = wm.min(min_live_base);
+    let bound = anchor.saturating_sub(extent).saturating_sub(lateness);
+    let frontier = &inner.frontier;
+    inner.retained.retain(|ev| {
+        if side_output && ev.is_late() {
+            // Diverted to a marker row, never joins: live only while the
+            // marker is still owed.
+            !frontier.contains(frontier_key(ev.seq, true))
+        } else {
+            // On-time events — and late events under drop policies, which
+            // the engines process best-effort: a base is live until its
+            // row is emitted, a probe while its event time can still fall
+            // inside a live or future base's window.
+            match ev.side {
+                oij_common::Side::Base => !frontier.contains(frontier_key(ev.seq, false)),
+                oij_common::Side::Probe => ev.ts >= bound,
+            }
+        }
+    });
+    let snapshot = Checkpoint {
+        last_seq,
+        max_ts: inner.max_ts,
+        total_ingested: inner.total_ingested,
+        total_late: inner.total_late,
+        emitted_rows: inner.emitted_rows,
+        emitted_late: inner.emitted_late,
+        frontier: inner.frontier.clone(),
+        retained: inner.retained.clone(),
+    };
+    checkpoint::write(&inner.dir, inner.next_ckpt_id, &snapshot)
+        .map_err(|e| io_err("writing checkpoint", e))?;
+    inner.next_ckpt_id += 1;
+    inner.checkpoint_count += 1;
+    inner
+        .appender
+        .prune_before_active()
+        .map_err(|e| io_err("pruning WAL segments", e))?;
+    Ok(())
+}
+
+/// What a read-only pre-spawn scan recovers for the recovery driver.
+#[derive(Debug, Default)]
+pub struct RecoveredLog {
+    /// Events to replay through `push_stamped`, in sequence order: the
+    /// checkpoint's retained prefix followed by the WAL tail.
+    pub events: Vec<LoggedEvent>,
+    /// Maximum sequence number ever logged; the ingest harness resumes
+    /// feeding from the next sequence. `None` when nothing was logged.
+    pub last_seq: Option<u64>,
+}
+
+/// Read-only recovery scan: what is on disk, without repairing or
+/// opening anything for append. The subsequent engine spawn re-opens
+/// the directory (with repair) and restores the same state.
+pub fn scan(cfg: &DurabilityConfig) -> Result<RecoveredLog> {
+    if !cfg.dir.exists() {
+        return Ok(RecoveredLog::default());
+    }
+    let loaded = checkpoint::load_newest(&cfg.dir).map_err(|e| io_err("loading checkpoint", e))?;
+    let (mut events, mut last_seq) = match loaded {
+        Some((_, c)) => (c.retained, Some(c.last_seq)),
+        None => (Vec::new(), None),
+    };
+    let cut = last_seq;
+    let wal = scan_dir(&cfg.dir, false).map_err(|e| io_err("scanning WAL", e))?;
+    for record in wal.records {
+        if let Record::Event(ev) = record {
+            if cut.is_some_and(|ls| ev.seq <= ls) {
+                continue;
+            }
+            last_seq = Some(last_seq.map_or(ev.seq, |ls: u64| ls.max(ev.seq)));
+            events.push(ev);
+        }
+    }
+    Ok(RecoveredLog { events, last_seq })
+}

@@ -47,12 +47,20 @@ pub use oij_common::{
 
 /// The OIJ engines and their shared interface (re-export of `oij-core`).
 pub mod engine {
-    pub use oij_core::config::{EngineConfig, Instrumentation, LatePolicy};
+    pub use oij_core::config::{EngineConfig, Instrumentation, LatePolicy, SinkRetryPolicy};
     pub use oij_core::engine::{EngineKind, OijEngine, RunStats};
     pub use oij_core::faults::{FailureCell, FaultPlan, WorkerFailure, SCHEDULER};
     pub use oij_core::scaleoij::schedule::{rebalance, PartitionStats, Schedule};
     pub use oij_core::sink::Sink;
     pub use oij_core::{KeyOij, OpenMldbBaseline, Oracle, ScaleOij, SplitJoin};
+}
+
+/// Durability & crash recovery: the write-ahead log + checkpoint
+/// configuration (re-export of `oij-durability`) and the recovery driver
+/// (re-export of `oij_core::recovery`). See DESIGN.md §11.
+pub mod durability {
+    pub use oij_core::recovery::{recover, spawn_engine, RecoveryReport};
+    pub use oij_core::{DurabilityConfig, FsyncPolicy};
 }
 
 /// Window aggregation building blocks (re-export of `oij-agg`).
@@ -103,9 +111,10 @@ pub mod sync {
 
 /// Everything a typical application needs, in one import.
 pub mod prelude {
+    pub use crate::durability::{recover, DurabilityConfig, FsyncPolicy, RecoveryReport};
     pub use crate::engine::{
         EngineConfig, EngineKind, FaultPlan, Instrumentation, KeyOij, LatePolicy, OijEngine,
-        OpenMldbBaseline, Oracle, RunStats, ScaleOij, Sink, SplitJoin,
+        OpenMldbBaseline, Oracle, RunStats, ScaleOij, Sink, SinkRetryPolicy, SplitJoin,
     };
     pub use crate::sql::parse as parse_sql;
     pub use crate::workload::{KeyDist, NamedWorkload, SyntheticConfig};
