@@ -184,6 +184,7 @@ impl Batcher {
     #[inline]
     pub(crate) fn push(&mut self, dest: usize, msg: DataMsg) -> Option<Msg> {
         if self.passthrough() {
+            // PROTO: driver-joiner.stream
             return Some(Msg::Data(Box::new(msg)));
         }
         let buf = &mut self.bufs[dest];
@@ -205,6 +206,7 @@ impl Batcher {
             self.armed -= 1;
             self.first_at[dest] = None;
             let msgs = std::mem::take(buf);
+            // PROTO: driver-joiner.stream
             return Some(Msg::Batch(Box::new(BatchMsg { msgs })));
         }
         None
@@ -245,6 +247,7 @@ impl Batcher {
         self.armed -= 1;
         self.first_at[dest] = None;
         let msgs = std::mem::take(&mut self.bufs[dest]);
+        // PROTO: driver-joiner.stream
         Msg::Batch(Box::new(BatchMsg { msgs }))
     }
 }

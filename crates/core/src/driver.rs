@@ -97,8 +97,13 @@ impl Driver {
         match event.kind {
             EventKind::Flush => Ok(Prepared::Flush),
             EventKind::Data { side, tuple } => {
+                // The stamp must be read BEFORE the tracker observes the
+                // tuple (the "pre-observation watermark" contract) and the
+                // WAL append must precede dispatch (crash durability).
+                // STAMP: stamp-observe.pre
                 let watermark = self.tracker.current().time();
                 if let Some(rt) = &self.durable {
+                    // STAMP: wal-dispatch.pre
                     rt.record_event(LoggedEvent {
                         seq: event.seq,
                         side,
@@ -108,8 +113,10 @@ impl Driver {
                         stamp: watermark.as_micros(),
                     })?;
                 }
+                // STAMP: stamp-observe.post
                 self.tracker.observe(tuple.ts);
                 self.pushed += 1;
+                // STAMP: wal-dispatch.post
                 Ok(Prepared::Data(DataMsg {
                     side,
                     tuple,

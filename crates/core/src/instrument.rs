@@ -7,11 +7,110 @@
 use std::time::Instant;
 
 use oij_cachesim::CacheSim;
+use oij_common::protowit::ProtoChannel;
+use oij_common::Timestamp;
 use oij_metrics::{
     BatchOccupancy, BusyTimeline, EffectivenessMeter, LatencyHistogram, TimeBreakdown,
 };
 
 use crate::config::Instrumentation;
+
+/// Receive-side shadow of one message-protocol edge (DESIGN.md §8,
+/// R8/R9). Always on: the checks are a few integer compares per
+/// *message* (not per tuple), and a protocol regression — a heartbeat
+/// running backwards, a heartbeat below data already delivered, traffic
+/// after `Flush` — must fail plain `cargo test`, not only `--cfg
+/// protowit` runs. The wrapped [`ProtoChannel`] is the cfg-gated witness
+/// half: under `--cfg protowit` it additionally traces first-observed
+/// sends to `OIJ_PROTO_LOG` for `cargo xtask proto-check`; otherwise it
+/// is a zero-sized no-op.
+///
+/// A panic from here surfaces through the engine supervisors as a
+/// `WorkerFailure`, so a violating run fails loudly instead of emitting
+/// wrong windows.
+#[derive(Debug)]
+pub struct ProtoProbe {
+    edge: &'static str,
+    witness: ProtoChannel,
+    last_heartbeat: Option<Timestamp>,
+    max_data: Option<Timestamp>,
+    finished: bool,
+}
+
+impl ProtoProbe {
+    /// Opens the shadow of protocol edge `edge` (a `lint.toml
+    /// [protocol]` alias).
+    pub fn new(edge: &'static str) -> ProtoProbe {
+        ProtoProbe {
+            edge,
+            witness: ProtoChannel::new(edge),
+            last_heartbeat: None,
+            max_data: None,
+            finished: false,
+        }
+    }
+
+    fn check_open(&self, sym: &str) {
+        if self.finished {
+            panic!(
+                "protocol violation on edge `{}`: `{sym}` observed after the edge's \
+                 terminal Flush",
+                self.edge
+            );
+        }
+    }
+
+    /// Observes one `Data` message carrying `watermark`.
+    #[inline]
+    pub fn data(&mut self, watermark: Timestamp) {
+        self.check_open("data");
+        self.max_data = Some(self.max_data.map_or(watermark, |m| m.max(watermark)));
+        self.witness.data(watermark);
+    }
+
+    /// Observes one `Batch` of `len` messages (per-message watermarks go
+    /// through [`data`](Self::data)).
+    #[inline]
+    pub fn batch(&mut self, len: usize) {
+        self.check_open("batch");
+        self.witness.batch(len);
+    }
+
+    /// Observes one `Heartbeat` carrying `ts`; panics on a regression
+    /// against earlier heartbeats or already-observed data watermarks.
+    #[inline]
+    pub fn heartbeat(&mut self, ts: Timestamp) {
+        self.check_open("heartbeat");
+        if let Some(prev) = self.last_heartbeat {
+            assert!(
+                ts >= prev,
+                "protocol violation on edge `{}`: heartbeat regression ({} after {})",
+                self.edge,
+                ts.as_micros(),
+                prev.as_micros()
+            );
+        }
+        if let Some(max) = self.max_data {
+            assert!(
+                ts >= max,
+                "protocol violation on edge `{}`: heartbeat {} below the watermark {} of \
+                 data already observed",
+                self.edge,
+                ts.as_micros(),
+                max.as_micros()
+            );
+        }
+        self.last_heartbeat = Some(ts);
+        self.witness.heartbeat(ts);
+    }
+
+    /// Observes the edge's terminal `Flush`; anything after panics.
+    pub fn finish(&mut self) {
+        self.check_open("finish");
+        self.finished = true;
+        self.witness.finish();
+    }
+}
 
 /// The measurement state carried by one joiner thread.
 pub struct JoinerInstruments {
@@ -38,6 +137,9 @@ pub struct JoinerInstruments {
     /// Fill levels of the `Msg::Batch`es this joiner received (always on:
     /// two adds per *batch*, nothing per tuple; empty when unbatched).
     pub batch_occupancy: BatchOccupancy,
+    /// Receive-side protocol shadow of the driver→joiner edge (always
+    /// on; every joiner, in every engine, receives on that edge).
+    pub proto: ProtoProbe,
 }
 
 impl JoinerInstruments {
@@ -57,6 +159,7 @@ impl JoinerInstruments {
             late_side_outputs: 0,
             evicted: 0,
             batch_occupancy: BatchOccupancy::new(),
+            proto: ProtoProbe::new("driver-joiner"),
         }
     }
 

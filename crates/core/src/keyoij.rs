@@ -154,10 +154,13 @@ impl KeyOij {
             // Flush-before-heartbeat: a heartbeat must never
             // advance a joiner's watermark past tuples still
             // parked in a coalescing buffer (DESIGN.md §10).
+            // STAMP: flush-heartbeat.pre
             while let Some((dest, out)) = self.batcher.pop_any() {
                 self.route(dest, out)?;
             }
             for j in 0..self.senders.len() {
+                // STAMP: flush-heartbeat.post
+                // PROTO: driver-joiner.stream
                 self.route(j, Msg::Heartbeat(watermark))?;
             }
         }
@@ -229,6 +232,7 @@ impl OijEngine for KeyOij {
             self.route(dest, out)?;
         }
         for j in 0..self.senders.len() {
+            // PROTO: driver-joiner.closed
             self.route(j, Msg::Flush)?;
         }
         self.senders.clear();
@@ -346,8 +350,12 @@ impl KeyJoiner {
         let mut ordinal = 0u64;
         for msg in rx {
             match msg {
-                Msg::Flush => break,
+                Msg::Flush => {
+                    self.inst.proto.finish();
+                    break;
+                }
                 Msg::Heartbeat(wm) => {
+                    self.inst.proto.heartbeat(wm);
                     // Key-OIJ is single-owner per key: a heartbeat only
                     // refreshes the expiration watermark.
                     self.last_wm = self.last_wm.max(wm);
@@ -356,6 +364,7 @@ impl KeyJoiner {
                     }
                 }
                 Msg::Data(data) => {
+                    self.inst.proto.data(data.watermark);
                     // The one never-taken branch per message the empty
                     // fault plan costs.
                     if let Some(f) = &faults {
@@ -376,6 +385,10 @@ impl KeyJoiner {
                 }
                 Msg::Batch(mut batch) => {
                     self.inst.record_batch(batch.msgs.len());
+                    self.inst.proto.batch(batch.msgs.len());
+                    for m in &batch.msgs {
+                        self.inst.proto.data(m.watermark);
+                    }
                     let busy_start = timeline_on.then(Instant::now);
                     if let Some(f) = &faults {
                         // Fault ordinals address individual data messages

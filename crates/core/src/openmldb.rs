@@ -243,6 +243,7 @@ impl OijEngine for OpenMldbBaseline {
             self.route(dest, out)?;
         }
         for j in 0..self.senders.len() {
+            // PROTO: driver-joiner.closed
             self.route(j, Msg::Flush)?;
         }
         self.senders.clear();
@@ -319,11 +320,16 @@ impl MldbWorker {
         let mut ordinal = 0u64;
         for msg in rx {
             match msg {
-                Msg::Flush => break,
+                Msg::Flush => {
+                    self.inst.proto.finish();
+                    break;
+                }
                 Msg::Heartbeat(wm) => {
+                    self.inst.proto.heartbeat(wm);
                     self.last_wm = self.last_wm.max(wm);
                 }
                 Msg::Data(data) => {
+                    self.inst.proto.data(data.watermark);
                     if let Some(f) = &faults {
                         let action = f.before_message(ordinal, &kill);
                         ordinal += 1;
@@ -342,6 +348,10 @@ impl MldbWorker {
                 }
                 Msg::Batch(mut batch) => {
                     self.inst.record_batch(batch.msgs.len());
+                    self.inst.proto.batch(batch.msgs.len());
+                    for m in &batch.msgs {
+                        self.inst.proto.data(m.watermark);
+                    }
                     let busy_start = timeline_on.then(Instant::now);
                     if let Some(f) = &faults {
                         // Fault ordinals address individual data messages

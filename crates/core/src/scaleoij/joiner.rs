@@ -211,8 +211,12 @@ impl ScaleJoiner {
         let mut ordinal: u64 = 0;
         for msg in rx {
             match msg {
-                Msg::Flush => break,
+                Msg::Flush => {
+                    self.inst.proto.finish();
+                    break;
+                }
                 Msg::Heartbeat(wm) => {
+                    self.inst.proto.heartbeat(wm);
                     self.store_progress(wm);
                     if self.cfg.query.emit == EmitMode::Watermark {
                         self.drain_pending(self.safe_frontier());
@@ -220,6 +224,7 @@ impl ScaleJoiner {
                     self.maybe_expire();
                 }
                 Msg::Data(data) => {
+                    self.inst.proto.data(data.watermark);
                     if let Some(f) = &self.faults {
                         let action = f.before_message(ordinal, &self.kill);
                         ordinal += 1;
@@ -235,6 +240,10 @@ impl ScaleJoiner {
                 }
                 Msg::Batch(mut batch) => {
                     self.inst.record_batch(batch.msgs.len());
+                    self.inst.proto.batch(batch.msgs.len());
+                    for m in &batch.msgs {
+                        self.inst.proto.data(m.watermark);
+                    }
                     let busy_start = timeline_on.then(Instant::now);
                     // Scale-OIJ deliberately processes batches message by
                     // message: per-tuple progress publication and pending

@@ -276,10 +276,13 @@ impl ScaleOij {
             // Flush-before-heartbeat: a heartbeat must never
             // advance a joiner's published progress past tuples
             // still parked in a coalescing buffer (DESIGN.md §10).
+            // STAMP: flush-heartbeat.pre
             while let Some((dest, out)) = self.batcher.pop_any() {
                 self.route(dest, out)?;
             }
             for j in 0..self.senders.len() {
+                // STAMP: flush-heartbeat.post
+                // PROTO: driver-joiner.stream
                 self.route(j, Msg::Heartbeat(watermark))?;
             }
         }
@@ -401,6 +404,7 @@ impl OijEngine for ScaleOij {
             self.route(dest, out)?;
         }
         for j in 0..self.senders.len() {
+            // PROTO: driver-joiner.closed
             self.route(j, Msg::Flush)?;
         }
         self.senders.clear();

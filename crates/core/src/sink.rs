@@ -133,13 +133,21 @@ impl Sink {
                 }
                 let fkey = frontier_key(row.seq, row.late);
                 if runtime.admit(fkey) {
+                    // Delivered ⇒ logged: the RAII guard panics if this
+                    // scope unwinds or returns between delivery and the
+                    // emitted-frontier mark (protowit witness, DESIGN.md
+                    // §8).
+                    // STAMP: deliver-mark.pre
+                    let delivery = oij_common::protowit::begin_delivery(row.seq);
                     inner.emit(row);
                     // Delivered ⇒ logged. If the mark itself cannot be
                     // persisted the run must not continue claiming
                     // exactly-once, so escalate to the supervisor.
+                    // STAMP: deliver-mark.post
                     if let Err(e) = runtime.mark_emitted(fkey) {
                         panic!("durable sink failed to log emission: {e}");
                     }
+                    delivery.marked();
                 }
             }
             Sink::Retry {

@@ -293,15 +293,22 @@ fn collector_loop(
     let mut results = 0u64;
     let mut ordinal = 0u64;
     let mut latency = latency_on.then(oij_metrics::LatencyHistogram::new);
+    // Receive-side shadow of the joiner→collector edge. The edge is a
+    // fan-in of `joiners` senders, so the protocol's single terminal
+    // `Finish` is realized by the LAST `JoinerDone` marker; individual
+    // markers before that are not terminal for the merged edge.
+    let mut proto = crate::instrument::ProtoProbe::new("joiner-collector");
     for msg in rx {
         match msg {
             ToCollector::JoinerDone => {
                 done += 1;
                 if done == joiners {
+                    proto.finish();
                     break;
                 }
             }
             ToCollector::Partial(p) => {
+                proto.data(p.ts);
                 if let Some(f) = &faults {
                     let action = f.before_message(ordinal, &kill);
                     ordinal += 1;
@@ -384,6 +391,7 @@ impl OijEngine for SplitJoin {
             self.broadcast(out)?;
         }
         for j in 0..self.senders.len() {
+            // PROTO: driver-joiner.closed
             self.route(j, Msg::Flush)?;
         }
         self.senders.clear();
@@ -487,14 +495,19 @@ impl SplitJoiner {
         let mut ordinal: u64 = 0;
         for msg in rx {
             match msg {
-                Msg::Flush => break,
+                Msg::Flush => {
+                    self.inst.proto.finish();
+                    break;
+                }
                 Msg::Heartbeat(wm) => {
+                    self.inst.proto.heartbeat(wm);
                     self.last_wm = self.last_wm.max(wm);
                     if self.cfg.query.emit == EmitMode::Watermark {
                         self.drain_pending(self.last_wm);
                     }
                 }
                 Msg::Data(data) => {
+                    self.inst.proto.data(data.watermark);
                     if let Some(f) = &faults {
                         let action = f.before_message(ordinal, &kill);
                         ordinal += 1;
@@ -513,6 +526,10 @@ impl SplitJoiner {
                 }
                 Msg::Batch(mut batch) => {
                     self.inst.record_batch(batch.msgs.len());
+                    self.inst.proto.batch(batch.msgs.len());
+                    for m in &batch.msgs {
+                        self.inst.proto.data(m.watermark);
+                    }
                     let busy_start = timeline_on.then(Instant::now);
                     if let Some(f) = &faults {
                         // Fault ordinals address individual data messages
@@ -545,6 +562,7 @@ impl SplitJoiner {
         self.drain_pending(Timestamp::MAX);
         // SEND-OK: teardown marker; the collector drains until every joiner's
         // Done arrives, so this send can only block while it is still reading.
+        // PROTO: joiner-collector.closed
         let _ = self.collector.send(ToCollector::JoinerDone);
         JoinerReport {
             instruments: self.inst,
@@ -727,6 +745,7 @@ impl SplitJoiner {
                            // SEND-OK: the collector loops on recv until all JoinerDone markers
                            // arrive and never sends back to joiners, so this edge cannot cycle;
                            // a dead collector surfaces as a send error, not a wedge.
+                           // PROTO: joiner-collector.stream
         let _ = self.collector.send(ToCollector::Partial(Box::new(Partial {
             seq,
             key,

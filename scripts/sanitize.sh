@@ -34,6 +34,26 @@ if ! cargo xtask lint; then
   exit 1
 fi
 
+# Same bargain for the temporal contract: capture a protocol-witness
+# trace from the (cheap, debug-build) witness suite and require the
+# observed message traffic to be ⊆ the declared [protocol] automata
+# before spending sanitizer cycles. A red proto-check means an engine is
+# sending traffic the protocol review never saw — triage that first.
+echo "== Protocol witness gate: cargo xtask proto-check =="
+PROTO_LOG="$(mktemp -t oij-proto-XXXXXX.log)"
+trap 'rm -f "$PROTO_LOG"' EXIT
+if ! RUSTFLAGS="--cfg protowit" OIJ_PROTO_LOG="$PROTO_LOG" \
+     cargo test -q --test protocol_witness -- --test-threads 2; then
+  echo "sanitize.sh: refusing to run sanitizers — the protocol witness" \
+       "suite failed under --cfg protowit" >&2
+  exit 1
+fi
+if ! cargo xtask proto-check "$PROTO_LOG"; then
+  echo "sanitize.sh: refusing to run sanitizers with observed message" \
+       "traffic outside the declared lint.toml [protocol] automata" >&2
+  exit 1
+fi
+
 have_nightly() {
   rustup toolchain list 2>/dev/null | grep -q nightly
 }

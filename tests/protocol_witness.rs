@@ -1,0 +1,245 @@
+//! Temporal-protocol witness suite (DESIGN.md §8, R8/R9).
+//!
+//! Every joiner carries an always-on [`ProtoProbe`] shadowing its
+//! receive side of the driver→joiner edge: it panics — surfacing as a
+//! supervised `WorkerFailed` — on a heartbeat regression, on a heartbeat
+//! below the watermark of data already delivered, or on any traffic
+//! after the edge's terminal `Flush`. The property tests here drive
+//! disordered workloads through **all four engines × batch sizes
+//! {1, 2, 7, 64}** and require clean completion: a run that finishes
+//! `Ok` is a run in which no sink observed a `DataMsg::watermark` above
+//! a later `Heartbeat` timestamp on any channel.
+//!
+//! The direct probe tests prove the witness actually bites (so the
+//! clean-completion assertion is not vacuous), and the recovery test
+//! extends the property across a crash: replayed tuples go through
+//! `prepare_stamped` with their WAL-logged original stamps, and the
+//! probes stay armed through replay and resumed live ingest.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use oij::prelude::*;
+use oij_core::instrument::ProtoProbe;
+use proptest::prelude::*;
+
+/// The batch shapes the acceptance gate requires: pass-through, constant
+/// flushing, ragged partials, and the bench default.
+const BATCH_SIZES: [usize; 4] = [1, 2, 7, 64];
+
+fn disordered(tuples: usize, keys: u64, disorder_us: i64, seed: u64) -> Vec<Event> {
+    SyntheticConfig {
+        tuples,
+        unique_keys: keys,
+        key_dist: KeyDist::Uniform,
+        probe_fraction: 0.5,
+        spacing: Duration::from_micros(1),
+        disorder: Duration::from_micros(disorder_us),
+        payload_bytes: 0,
+        seed,
+    }
+    .generate()
+}
+
+fn spawn_kind(kind: &str, cfg: EngineConfig, sink: Sink) -> Box<dyn OijEngine> {
+    match kind {
+        "key-oij" => Box::new(KeyOij::spawn(cfg, sink).unwrap()),
+        "scale-oij" => Box::new(ScaleOij::spawn(cfg, sink).unwrap()),
+        "splitjoin" => Box::new(SplitJoin::spawn(cfg, sink).unwrap()),
+        "openmldb" => Box::new(OpenMldbBaseline::spawn(cfg, sink).unwrap()),
+        other => unreachable!("unknown engine {other}"),
+    }
+}
+
+proptest! {
+    // Each case runs 4 engines × 4 batch sizes with real threads.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Heartbeats never undercut delivered data, whatever the batching:
+    /// with the per-joiner probes armed, any channel on which a
+    /// heartbeat timestamp dropped below an already-observed data
+    /// watermark (or ran backwards, or followed the terminal Flush)
+    /// panics the joiner and fails the run. Completing `Ok` across the
+    /// full engine × batch matrix IS the property. OpenMLDB rejects
+    /// watermark mode by contract, so it runs eager — same probes, same
+    /// edge discipline.
+    #[test]
+    fn no_sink_observes_data_above_a_later_heartbeat(
+        pre in 1i64..400,
+        disorder in 0i64..200,
+        keys in 1u64..10,
+        joiners in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let events = disordered(1_500, keys, disorder, seed);
+        for kind in ["key-oij", "scale-oij", "splitjoin", "openmldb"] {
+            let emit = if kind == "openmldb" { EmitMode::Eager } else { EmitMode::Watermark };
+            let query = OijQuery::builder()
+                .preceding(Duration::from_micros(pre))
+                .lateness(Duration::from_micros(disorder.max(1)))
+                .agg(AggSpec::Sum)
+                .emit(emit)
+                .build()
+                .unwrap();
+            for batch in BATCH_SIZES {
+                let cfg = EngineConfig::new(query.clone(), joiners)
+                    .unwrap()
+                    .with_batch_size(batch);
+                let (sink, _rows) = Sink::collect();
+                let mut engine = spawn_kind(kind, cfg, sink);
+                for e in &events {
+                    engine.push(e.clone()).unwrap_or_else(|e| {
+                        panic!("{kind} batch={batch}: protocol violation surfaced: {e}")
+                    });
+                }
+                engine.finish().unwrap_or_else(|e| {
+                    panic!("{kind} batch={batch}: protocol violation at finish: {e}")
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The probe must actually bite, or the property above is vacuous.
+// ---------------------------------------------------------------------------
+
+fn probe_panic(f: impl FnOnce() + Send + 'static) -> String {
+    let err = std::thread::spawn(f).join().expect_err("must panic");
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+#[test]
+fn probe_rejects_a_heartbeat_regression() {
+    let msg = probe_panic(|| {
+        let mut p = ProtoProbe::new("driver-joiner");
+        p.heartbeat(Timestamp::from_micros(100));
+        p.heartbeat(Timestamp::from_micros(99));
+    });
+    assert!(msg.contains("heartbeat regression"), "{msg}");
+}
+
+#[test]
+fn probe_rejects_a_heartbeat_below_delivered_data() {
+    let msg = probe_panic(|| {
+        let mut p = ProtoProbe::new("driver-joiner");
+        p.data(Timestamp::from_micros(500));
+        p.heartbeat(Timestamp::from_micros(400));
+    });
+    assert!(msg.contains("below the watermark"), "{msg}");
+}
+
+#[test]
+fn probe_rejects_traffic_after_the_terminal_flush() {
+    let msg = probe_panic(|| {
+        let mut p = ProtoProbe::new("driver-joiner");
+        p.data(Timestamp::from_micros(1));
+        p.finish();
+        p.data(Timestamp::from_micros(2));
+    });
+    assert!(msg.contains("after the edge's terminal Flush"), "{msg}");
+}
+
+#[test]
+fn probe_accepts_a_monotone_stream() {
+    let mut p = ProtoProbe::new("driver-joiner");
+    p.data(Timestamp::from_micros(10));
+    p.batch(3);
+    p.data(Timestamp::from_micros(20));
+    p.heartbeat(Timestamp::from_micros(20));
+    p.heartbeat(Timestamp::from_micros(20)); // equal is fine: monotone, not strict
+    p.data(Timestamp::from_micros(30));
+    p.finish();
+}
+
+// ---------------------------------------------------------------------------
+// The property holds across a crash: stamped replay keeps it monotone.
+// ---------------------------------------------------------------------------
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("oij-protowit-{tag}-{}-{n}", std::process::id()))
+}
+
+/// Crash mid-run, recover (replaying retained tuples through
+/// `prepare_stamped` with their original WAL-logged watermark stamps),
+/// resume live ingest, and finish. The probes are armed in both the
+/// crashed and the recovered engine: a replay that re-stamped tuples out
+/// of order — or a heartbeat computed from a regressed tracker — would
+/// panic a joiner and fail this test. Exactly-once row identity rides
+/// along as a sanity check.
+#[test]
+fn stamped_recovery_replay_preserves_the_heartbeat_bound() {
+    let events = disordered(3_000, 6, 150, 0xBEEF);
+    let query = OijQuery::builder()
+        .preceding(Duration::from_micros(120))
+        .lateness(Duration::from_micros(200))
+        .agg(AggSpec::Sum)
+        .emit(EmitMode::Watermark)
+        .build()
+        .unwrap();
+    for kind in [
+        EngineKind::KeyOij,
+        EngineKind::ScaleOij,
+        EngineKind::SplitJoin,
+    ] {
+        let dir = scratch_dir("replay");
+        let durable = DurabilityConfig::new(dir.clone());
+        let crash_cfg = {
+            let mut c = EngineConfig::new(query.clone(), 2)
+                .unwrap()
+                .with_batch_size(7)
+                .with_durability(durable.clone());
+            c.faults = FaultPlan::none().crash_at(0, 113);
+            c
+        };
+        let (sink, pre_rows) = Sink::collect();
+        let mut engine = oij::durability::spawn_engine(kind, crash_cfg, sink).unwrap();
+        let mut crashed = false;
+        for ev in &events {
+            if engine.push(ev.clone()).is_err() {
+                crashed = true;
+                break;
+            }
+        }
+        if !crashed {
+            engine.finish().expect_err("crash fault must surface");
+        } else {
+            let _ = engine.abort();
+        }
+        drop(engine);
+
+        let mut resume_cfg = EngineConfig::new(query.clone(), 2)
+            .unwrap()
+            .with_batch_size(7);
+        resume_cfg.durability = Some(durable);
+        let (sink, post_rows) = Sink::collect();
+        let (mut engine, report) = oij::durability::recover(kind, resume_cfg, sink).unwrap();
+        assert!(report.replayed > 0, "{kind:?}: recovery must replay");
+        let resume_after = report.last_seq.expect("crashed run logged events");
+        for ev in events.iter().filter(|e| e.seq > resume_after) {
+            engine
+                .push(ev.clone())
+                .unwrap_or_else(|e| panic!("{kind:?}: protocol violation after recovery: {e}"));
+        }
+        engine
+            .finish()
+            .unwrap_or_else(|e| panic!("{kind:?}: protocol violation at finish: {e}"));
+
+        let mut seen = HashSet::new();
+        for r in pre_rows.lock().iter().chain(post_rows.lock().iter()) {
+            assert!(
+                seen.insert((r.seq, r.late)),
+                "{kind:?}: duplicate row seq {} late {}",
+                r.seq,
+                r.late
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

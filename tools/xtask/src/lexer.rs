@@ -28,6 +28,11 @@ pub struct SourceFile {
     /// region. Protocol rules skip test code — tests deliberately use raw
     /// std primitives, panics, and blocking calls.
     pub in_test: Vec<bool>,
+    /// Per line: `(byte_start, byte_end)` of the line in the original
+    /// text, end exclusive of the newline. Diagnostics carry line
+    /// numbers; the `--json` renderer turns them into byte spans for CI
+    /// annotation tooling.
+    pub line_spans: Vec<(usize, usize)>,
     /// Module-level lint tags declared as `//! lint: tag_a, tag_b`.
     pub tags: Vec<String>,
 }
@@ -42,6 +47,7 @@ impl SourceFile {
         let comment_lines: Vec<String> = views.comments.lines().map(str::to_string).collect();
         let in_test = test_regions(&masked_lines);
         let tags = lint_tags(&comment_lines);
+        let line_spans = line_spans(text);
         SourceFile {
             rel: rel.to_string(),
             lines,
@@ -49,7 +55,17 @@ impl SourceFile {
             comment_lines,
             in_test,
             tags,
+            line_spans,
         }
+    }
+
+    /// Byte span of 1-based line `lineno` in the original text, if the
+    /// file has that many lines.
+    pub fn line_span(&self, lineno: usize) -> Option<(usize, usize)> {
+        lineno
+            .checked_sub(1)
+            .and_then(|i| self.line_spans.get(i))
+            .copied()
     }
 
     /// Whether the module declared `//! lint: <tag>`.
@@ -136,6 +152,24 @@ pub fn comment_run_text(lines: &[String], idx: usize, marker: &str) -> Option<St
         }
     }
     None
+}
+
+/// `(byte_start, byte_end)` of every line of `text`, end exclusive of
+/// the line's `\n`. Mirrors `str::lines` (a trailing newline does not
+/// open an empty final line), so the result is parallel to the other
+/// per-line views.
+fn line_spans(text: &str) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for line in text.lines() {
+        // `lines()` yields subslices of `text`, so pointer arithmetic
+        // recovers each line's offset even after `\r\n` trimming.
+        let off = line.as_ptr() as usize - text.as_ptr() as usize;
+        debug_assert!(off >= start);
+        out.push((off, off + line.len()));
+        start = off + line.len();
+    }
+    out
 }
 
 /// Byte offsets of `word` in `line` at identifier boundaries.
@@ -227,7 +261,7 @@ fn test_regions(masked_lines: &[String]) -> Vec<bool> {
 }
 
 /// Finds the first occurrence of `c` at or after (`line`, `col`).
-fn find_char_from(
+pub fn find_char_from(
     masked_lines: &[String],
     line: usize,
     col: usize,
@@ -557,6 +591,17 @@ mod tests {
         // Line-number alignment holds across the raw string.
         assert_eq!(f.masked_lines.len(), f.lines.len());
         assert!(f.masked_lines[4].contains("unsafe"));
+    }
+
+    #[test]
+    fn line_spans_cover_the_original_bytes() {
+        let src = "ab\ncdef\n\nxy";
+        let f = SourceFile::parse("a.rs", src);
+        assert_eq!(f.line_spans, vec![(0, 2), (3, 7), (8, 8), (9, 11)]);
+        assert_eq!(f.line_span(2), Some((3, 7)));
+        assert_eq!(&src[3..7], "cdef");
+        assert_eq!(f.line_span(0), None);
+        assert_eq!(f.line_span(5), None);
     }
 
     #[test]

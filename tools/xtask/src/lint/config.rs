@@ -3,9 +3,10 @@
 //! The file lives at the workspace root and uses a small, strict TOML
 //! subset (the workspace is dependency-free by policy, so the parser is
 //! local): `[table]` headers, `[[allow]]` array-of-tables headers,
-//! `key = "string"`, and `key = ["a", "b"]` single-line string arrays.
-//! Anything else is a hard error — a lint whose config half-parses is
-//! worse than no lint.
+//! `key = "string"`, and `key = ["a", "b"]` string arrays. An array may
+//! span multiple lines — the value is accumulated until a line ends with
+//! `]` — but each element stays a plain quoted string. Anything else is
+//! a hard error — a lint whose config half-parses is worse than no lint.
 //!
 //! ```toml
 //! [scope]
@@ -47,6 +48,34 @@
 //! before any source file is scanned. `edges` must reference declared
 //! workers; cycle-freedom of the bounded subgraph is R7's job (so the
 //! fixture suite can pin its rule id), not the parser's.
+//!
+//! The temporal-protocol rules (R8/R9) read two more tables:
+//!
+//! ```toml
+//! [protocol]
+//! edges = ["driver-joiner = driver -> joiner"]
+//! transitions = [
+//!     "driver-joiner : stream --data--> stream",
+//!     "driver-joiner : stream --heartbeat--> stream",
+//!     "driver-joiner : stream --finish--> closed",
+//! ]
+//!
+//! [stamps]
+//! pairs = ["wal-dispatch : wal-append < dispatch"]
+//! ```
+//!
+//! Each `[protocol]` edge aliases a declared `[topology]` edge and
+//! carries a small automaton over the message alphabet `data`, `batch`,
+//! `heartbeat`, `finish`. The parser enforces the grammar's shape:
+//! every alias has at least one transition, exactly one `finish`
+//! transition whose target (the terminal state) has no outgoing
+//! transitions, and `heartbeat` transitions are self-loops (heartbeats
+//! interleave with the data grammar without changing phase; their
+//! monotonicity is the runtime witness's job). Reachability of *tagged*
+//! states is R8's job, so the fixture suite can pin its rule id.
+//! `[stamps]` names ordered site pairs (`<name> : <pre-label> <
+//! <post-label>`); the labels are documentation, the `name` is what
+//! `// STAMP: <name>.{pre,post}` tags reference (R9).
 
 /// One allowlist entry from `[[allow]]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +96,42 @@ pub struct ChannelEdge {
     /// `true` for `: bounded` (the deadlock-relevant kind), `false` for
     /// `: unbounded`.
     pub bounded: bool,
+}
+
+/// One protocol edge from `[protocol] edges`: an alias for a declared
+/// topology edge, carrying a message automaton.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtoEdge {
+    /// Alias referenced by `// PROTO:` tags, transitions, and the
+    /// runtime witness.
+    pub name: String,
+    pub src: String,
+    pub dst: String,
+}
+
+/// One transition from `[protocol] transitions`:
+/// `"<edge> : <from> --<sym>--> <to>"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtoTransition {
+    pub edge: String,
+    pub from: String,
+    /// Message symbol: `data`, `batch`, `heartbeat`, or `finish`.
+    pub sym: String,
+    pub to: String,
+}
+
+/// The message alphabet every protocol automaton ranges over.
+pub const PROTO_SYMBOLS: [&str; 4] = ["data", "batch", "heartbeat", "finish"];
+
+/// One ordered site pair from `[stamps] pairs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StampPair {
+    /// Name referenced by `// STAMP: <name>.{pre,post}` tags.
+    pub name: String,
+    /// Human label of the "before" site (documentation only).
+    pub pre: String,
+    /// Human label of the "after" site (documentation only).
+    pub post: String,
 }
 
 /// Parsed `lint.toml`.
@@ -99,6 +164,22 @@ pub struct Config {
     /// 1-based lint.toml line of the `edges = [...]` key — the anchor for
     /// R7's whole-graph diagnostics (bounded cycle, stale edge).
     pub topo_edges_line: usize,
+    /// Declared protocol edges (`[protocol] edges`); every `// PROTO:`
+    /// tag must name one (R8).
+    pub proto_edges: Vec<ProtoEdge>,
+    /// Declared automaton transitions (`[protocol] transitions`). The
+    /// start state of an edge's automaton is the `from` state of its
+    /// first transition.
+    pub proto_transitions: Vec<ProtoTransition>,
+    /// 1-based lint.toml line of the `[protocol] edges` key — the anchor
+    /// for R8's whole-declaration diagnostics (stale edge).
+    pub proto_edges_line: usize,
+    /// Declared ordered site pairs (`[stamps] pairs`); every `// STAMP:`
+    /// tag must name one (R9).
+    pub stamp_pairs: Vec<StampPair>,
+    /// 1-based lint.toml line of the `[stamps] pairs` key — the anchor
+    /// for R9's whole-declaration diagnostics (stale pair).
+    pub stamp_pairs_line: usize,
     pub allow: Vec<AllowEntry>,
 }
 
@@ -108,11 +189,32 @@ impl Config {
         let mut cfg = Config::default();
         // (table, key) -> values routing happens as lines stream by.
         let mut table = String::new();
-        for (idx, raw) in text.lines().enumerate() {
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let mut idx = 0;
+        while idx < raw_lines.len() {
             let lineno = idx + 1;
-            let line = strip_toml_comment(raw).trim().to_string();
+            let mut line = strip_toml_comment(raw_lines[idx]).trim().to_string();
+            idx += 1;
             if line.is_empty() {
                 continue;
+            }
+            // Multi-line array: accumulate until the closing `]`. Anchor
+            // diagnostics at the key's line.
+            if line.contains("= [") && !line.ends_with(']') {
+                while idx < raw_lines.len() {
+                    let cont = strip_toml_comment(raw_lines[idx]).trim().to_string();
+                    idx += 1;
+                    if !cont.is_empty() {
+                        line.push(' ');
+                        line.push_str(&cont);
+                    }
+                    if cont.ends_with(']') {
+                        break;
+                    }
+                }
+                if !line.ends_with(']') {
+                    return Err(format!("lint.toml:{lineno}: unterminated `[` array"));
+                }
             }
             if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
                 if name.trim() != "allow" {
@@ -133,9 +235,8 @@ impl Config {
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 let name = name.trim();
                 match name {
-                    "scope" | "facade" | "loom" | "lockorder" | "topology" => {
-                        table = name.to_string()
-                    }
+                    "scope" | "facade" | "loom" | "lockorder" | "topology" | "protocol"
+                    | "stamps" => table = name.to_string(),
                     other => {
                         return Err(format!("lint.toml:{lineno}: unknown table `[{other}]`"));
                     }
@@ -163,6 +264,24 @@ impl Config {
                     cfg.topo_edges_line = lineno;
                     for s in parse_string_array(value, lineno)? {
                         cfg.topo_edges.push(parse_channel_edge(&s, lineno)?);
+                    }
+                }
+                ("protocol", "edges") => {
+                    cfg.proto_edges_line = lineno;
+                    for s in parse_string_array(value, lineno)? {
+                        cfg.proto_edges.push(parse_proto_edge(&s, lineno)?);
+                    }
+                }
+                ("protocol", "transitions") => {
+                    for s in parse_string_array(value, lineno)? {
+                        cfg.proto_transitions
+                            .push(parse_proto_transition(&s, lineno)?);
+                    }
+                }
+                ("stamps", "pairs") => {
+                    cfg.stamp_pairs_line = lineno;
+                    for s in parse_string_array(value, lineno)? {
+                        cfg.stamp_pairs.push(parse_stamp_pair(&s, lineno)?);
                     }
                 }
                 ("allow", k) => {
@@ -200,6 +319,8 @@ impl Config {
         }
         cfg.validate_lockorder()?;
         cfg.validate_topology()?;
+        cfg.validate_protocol()?;
+        cfg.validate_stamps()?;
         Ok(cfg)
     }
 
@@ -284,6 +405,194 @@ impl Config {
         }
         Ok(())
     }
+
+    fn validate_protocol(&self) -> Result<(), String> {
+        for (i, e) in self.proto_edges.iter().enumerate() {
+            if e.name.is_empty()
+                || e.name
+                    .contains(|c: char| c.is_whitespace() || c == '.' || c == ':')
+            {
+                return Err(format!(
+                    "lint.toml: [protocol] edge alias `{}` must be non-empty and free of \
+                     whitespace, `.`, and `:` (it is referenced by `// PROTO: <edge>.<state>` \
+                     tags)",
+                    e.name
+                ));
+            }
+            if self.proto_edges[..i].iter().any(|p| p.name == e.name) {
+                return Err(format!(
+                    "lint.toml: [protocol] edge alias `{}` is declared twice",
+                    e.name
+                ));
+            }
+            if !self
+                .topo_edges
+                .iter()
+                .any(|t| t.src == e.src && t.dst == e.dst)
+            {
+                return Err(format!(
+                    "lint.toml: [protocol] edge `{}` aliases `{} -> {}`, which is not a \
+                     declared [topology] edge",
+                    e.name, e.src, e.dst
+                ));
+            }
+        }
+        for (i, t) in self.proto_transitions.iter().enumerate() {
+            if self.proto_edge(&t.edge).is_none() {
+                return Err(format!(
+                    "lint.toml: [protocol] transition references undeclared edge `{}`",
+                    t.edge
+                ));
+            }
+            if !PROTO_SYMBOLS.contains(&t.sym.as_str()) {
+                return Err(format!(
+                    "lint.toml: [protocol] transition symbol `{}` is not in the alphabet \
+                     ({})",
+                    t.sym,
+                    PROTO_SYMBOLS.join("/")
+                ));
+            }
+            if t.sym == "heartbeat" && t.from != t.to {
+                return Err(format!(
+                    "lint.toml: [protocol] heartbeat transition `{} : {} --heartbeat--> {}` \
+                     must be a self-loop (heartbeats interleave without changing phase)",
+                    t.edge, t.from, t.to
+                ));
+            }
+            if self.proto_transitions[..i].iter().any(|p| p == t) {
+                return Err(format!(
+                    "lint.toml: [protocol] transition `{} : {} --{}--> {}` is declared twice",
+                    t.edge, t.from, t.sym, t.to
+                ));
+            }
+        }
+        for e in &self.proto_edges {
+            let trans: Vec<&ProtoTransition> = self
+                .proto_transitions
+                .iter()
+                .filter(|t| t.edge == e.name)
+                .collect();
+            if trans.is_empty() {
+                return Err(format!(
+                    "lint.toml: [protocol] edge `{}` has no transitions",
+                    e.name
+                ));
+            }
+            let finishes: Vec<&&ProtoTransition> =
+                trans.iter().filter(|t| t.sym == "finish").collect();
+            if finishes.len() != 1 {
+                return Err(format!(
+                    "lint.toml: [protocol] edge `{}` must have exactly one `finish` \
+                     transition, found {}",
+                    e.name,
+                    finishes.len()
+                ));
+            }
+            let terminal = &finishes[0].to;
+            if trans.iter().any(|t| &t.from == terminal) {
+                return Err(format!(
+                    "lint.toml: [protocol] edge `{}`: terminal state `{terminal}` must have \
+                     no outgoing transitions",
+                    e.name
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_stamps(&self) -> Result<(), String> {
+        for (i, p) in self.stamp_pairs.iter().enumerate() {
+            if p.name.is_empty() || p.name.contains(|c: char| c.is_whitespace() || c == '.') {
+                return Err(format!(
+                    "lint.toml: [stamps] pair name `{}` must be non-empty and free of \
+                     whitespace and `.` (it is referenced by `// STAMP: <name>.pre/post` tags)",
+                    p.name
+                ));
+            }
+            if p.pre.is_empty() || p.post.is_empty() {
+                return Err(format!(
+                    "lint.toml: [stamps] pair `{}` must label both sites (`name : pre < post`)",
+                    p.name
+                ));
+            }
+            if self.stamp_pairs[..i].iter().any(|q| q.name == p.name) {
+                return Err(format!(
+                    "lint.toml: [stamps] pair `{}` is declared twice",
+                    p.name
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The declared protocol edge named `name`, if any.
+    pub fn proto_edge(&self, name: &str) -> Option<&ProtoEdge> {
+        self.proto_edges.iter().find(|e| e.name == name)
+    }
+
+    /// The start state of `edge`'s automaton: the `from` state of its
+    /// first declared transition.
+    pub fn proto_start(&self, edge: &str) -> Option<&str> {
+        self.proto_transitions
+            .iter()
+            .find(|t| t.edge == edge)
+            .map(|t| t.from.as_str())
+    }
+
+    /// The terminal state of `edge`'s automaton: the target of its
+    /// unique `finish` transition.
+    pub fn proto_terminal(&self, edge: &str) -> Option<&str> {
+        self.proto_transitions
+            .iter()
+            .find(|t| t.edge == edge && t.sym == "finish")
+            .map(|t| t.to.as_str())
+    }
+
+    /// All states of `edge`'s automaton, in declaration order.
+    pub fn proto_states(&self, edge: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for t in self.proto_transitions.iter().filter(|t| t.edge == edge) {
+            for s in [t.from.as_str(), t.to.as_str()] {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `state` is reachable from `edge`'s start state.
+    pub fn proto_reachable(&self, edge: &str, state: &str) -> bool {
+        let Some(start) = self.proto_start(edge) else {
+            return false;
+        };
+        let mut seen = vec![start];
+        let mut stack = vec![start];
+        while let Some(cur) = stack.pop() {
+            if cur == state {
+                return true;
+            }
+            for t in &self.proto_transitions {
+                if t.edge == edge && t.from == cur && !seen.contains(&t.to.as_str()) {
+                    seen.push(&t.to);
+                    stack.push(&t.to);
+                }
+            }
+        }
+        false
+    }
+
+    /// True if some transition on `edge` with symbol `sym` enters `state`.
+    pub fn proto_enters(&self, edge: &str, sym: &str, state: &str) -> bool {
+        self.proto_transitions
+            .iter()
+            .any(|t| t.edge == edge && t.sym == sym && t.to == state)
+    }
+
+    /// The declared stamp pair named `name`, if any.
+    pub fn stamp_pair(&self, name: &str) -> Option<&StampPair> {
+        self.stamp_pairs.iter().find(|p| p.name == name)
+    }
 }
 
 /// A cycle (as `a -> b -> ... -> a`) in the directed graph over `nodes`
@@ -367,6 +676,56 @@ fn parse_channel_edge(s: &str, lineno: usize) -> Result<ChannelEdge, String> {
     };
     let (src, dst) = parse_order_pair(pair.trim(), lineno).map_err(|_| err())?;
     Ok(ChannelEdge { src, dst, bounded })
+}
+
+/// Parses `"alias = src -> dst"` into a [`ProtoEdge`].
+fn parse_proto_edge(s: &str, lineno: usize) -> Result<ProtoEdge, String> {
+    let err = || format!("lint.toml:{lineno}: expected `\"alias = src -> dst\"`, got `{s}`");
+    let (name, pair) = s.split_once('=').ok_or_else(err)?;
+    let name = name.trim();
+    if name.is_empty() {
+        return Err(err());
+    }
+    let (src, dst) = parse_order_pair(pair.trim(), lineno).map_err(|_| err())?;
+    Ok(ProtoEdge {
+        name: name.to_string(),
+        src,
+        dst,
+    })
+}
+
+/// Parses `"edge : from --sym--> to"` into a [`ProtoTransition`].
+fn parse_proto_transition(s: &str, lineno: usize) -> Result<ProtoTransition, String> {
+    let err = || format!("lint.toml:{lineno}: expected `\"edge : from --sym--> to\"`, got `{s}`");
+    let (edge, rest) = s.split_once(':').ok_or_else(err)?;
+    let (from, rest) = rest.split_once("--").ok_or_else(err)?;
+    let (sym, to) = rest.split_once("-->").ok_or_else(err)?;
+    let (edge, from, sym, to) = (edge.trim(), from.trim(), sym.trim(), to.trim());
+    if edge.is_empty() || from.is_empty() || sym.is_empty() || to.is_empty() || to.contains(' ') {
+        return Err(err());
+    }
+    Ok(ProtoTransition {
+        edge: edge.to_string(),
+        from: from.to_string(),
+        sym: sym.to_string(),
+        to: to.to_string(),
+    })
+}
+
+/// Parses `"name : pre < post"` into a [`StampPair`].
+fn parse_stamp_pair(s: &str, lineno: usize) -> Result<StampPair, String> {
+    let err = || format!("lint.toml:{lineno}: expected `\"name : pre < post\"`, got `{s}`");
+    let (name, rest) = s.split_once(':').ok_or_else(err)?;
+    let (pre, post) = rest.split_once('<').ok_or_else(err)?;
+    let (name, pre, post) = (name.trim(), pre.trim(), post.trim());
+    if name.is_empty() || pre.is_empty() || post.is_empty() || post.contains('<') {
+        return Err(err());
+    }
+    Ok(StampPair {
+        name: name.to_string(),
+        pre: pre.to_string(),
+        post: post.to_string(),
+    })
 }
 
 /// Drops a trailing `# comment` that is not inside a quoted string.
@@ -515,6 +874,148 @@ edges = ["driver -> joiner : bounded", "joiner -> collector : unbounded"]
         )
         .unwrap_err();
         assert!(e.contains("declared twice"), "{e}");
+    }
+
+    /// A topology plus protocol declaration shared by the R8/R9 tests.
+    fn proto_preamble() -> &'static str {
+        r#"
+[topology]
+workers = ["driver", "joiner"]
+edges = ["driver -> joiner : bounded"]
+
+[protocol]
+edges = ["dj = driver -> joiner"]
+"#
+    }
+
+    #[test]
+    fn parses_protocol_and_stamps() {
+        let cfg = Config::parse(
+            r#"
+[topology]
+workers = ["driver", "joiner"]
+edges = ["driver -> joiner : bounded"]
+
+[protocol]
+edges = ["dj = driver -> joiner"]
+transitions = [
+    "dj : stream --data--> stream",
+    "dj : stream --batch--> stream",
+    "dj : stream --heartbeat--> stream",
+    "dj : stream --finish--> closed",
+]
+
+[stamps]
+pairs = ["wal-dispatch : wal-append < dispatch"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.proto_edges.len(), 1);
+        assert_eq!(cfg.proto_edges[0].name, "dj");
+        assert_eq!(cfg.proto_edges_line, 7);
+        assert_eq!(cfg.proto_transitions.len(), 4);
+        assert_eq!(cfg.proto_start("dj"), Some("stream"));
+        assert_eq!(cfg.proto_terminal("dj"), Some("closed"));
+        assert_eq!(cfg.proto_states("dj"), vec!["stream", "closed"]);
+        assert!(cfg.proto_reachable("dj", "closed"));
+        assert!(!cfg.proto_reachable("dj", "nowhere"));
+        assert!(cfg.proto_enters("dj", "data", "stream"));
+        assert!(cfg.proto_enters("dj", "finish", "closed"));
+        assert!(!cfg.proto_enters("dj", "data", "closed"));
+        assert_eq!(
+            cfg.stamp_pair("wal-dispatch"),
+            Some(&StampPair {
+                name: "wal-dispatch".into(),
+                pre: "wal-append".into(),
+                post: "dispatch".into(),
+            })
+        );
+        assert_eq!(cfg.stamp_pairs_line, 16);
+    }
+
+    #[test]
+    fn rejects_bad_protocol_declarations() {
+        // Alias must point at a declared topology edge.
+        let e = Config::parse(
+            "[topology]\nworkers = [\"d\", \"j\"]\nedges = [\"d -> j : bounded\"]\n\
+             [protocol]\nedges = [\"x = j -> d\"]\ntransitions = [\"x : s --finish--> c\"]\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("not a declared [topology] edge"), "{e}");
+        // Edge with no transitions.
+        let e = Config::parse(proto_preamble()).unwrap_err();
+        assert!(e.contains("no transitions"), "{e}");
+        // Exactly one finish.
+        let e = Config::parse(&format!(
+            "{}transitions = [\"dj : s --data--> s\"]\n",
+            proto_preamble()
+        ))
+        .unwrap_err();
+        assert!(e.contains("exactly one `finish`"), "{e}");
+        let e = Config::parse(&format!(
+            "{}transitions = [\"dj : s --finish--> c\", \"dj : s --finish--> d\"]\n",
+            proto_preamble()
+        ))
+        .unwrap_err();
+        assert!(e.contains("exactly one `finish`"), "{e}");
+        // Terminal state must be a sink.
+        let e = Config::parse(&format!(
+            "{}transitions = [\"dj : s --finish--> c\", \"dj : c --data--> s\"]\n",
+            proto_preamble()
+        ))
+        .unwrap_err();
+        assert!(e.contains("no outgoing transitions"), "{e}");
+        // Heartbeats are self-loops.
+        let e = Config::parse(&format!(
+            "{}transitions = [\"dj : s --heartbeat--> t\", \"dj : s --finish--> c\"]\n",
+            proto_preamble()
+        ))
+        .unwrap_err();
+        assert!(e.contains("self-loop"), "{e}");
+        // Unknown symbol.
+        let e = Config::parse(&format!(
+            "{}transitions = [\"dj : s --nack--> s\", \"dj : s --finish--> c\"]\n",
+            proto_preamble()
+        ))
+        .unwrap_err();
+        assert!(e.contains("not in the alphabet"), "{e}");
+        // Transition on an undeclared alias.
+        let e = Config::parse(&format!(
+            "{}transitions = [\"dj : s --finish--> c\", \"zz : s --finish--> c\"]\n",
+            proto_preamble()
+        ))
+        .unwrap_err();
+        assert!(e.contains("undeclared edge `zz`"), "{e}");
+        // Alias names must be tag-safe.
+        let e = Config::parse(
+            "[topology]\nworkers = [\"d\", \"j\"]\nedges = [\"d -> j : bounded\"]\n\
+             [protocol]\nedges = [\"a.b = d -> j\"]\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("free of"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_stamp_declarations() {
+        let e = Config::parse("[stamps]\npairs = [\"a.b : x < y\"]\n").unwrap_err();
+        assert!(e.contains("free of"), "{e}");
+        let e = Config::parse("[stamps]\npairs = [\"p : x\"]\n").unwrap_err();
+        assert!(e.contains("pre < post"), "{e}");
+        let e = Config::parse("[stamps]\npairs = [\"p : x < y\", \"p : z < w\"]\n").unwrap_err();
+        assert!(e.contains("declared twice"), "{e}");
+    }
+
+    #[test]
+    fn multi_line_arrays_accumulate_and_anchor_at_the_key() {
+        let cfg = Config::parse(
+            "[scope]\nsrc = [\n    \"a/src\",\n    \"b/src\",\n]\n\n[facade]\nfiles = [\"f.rs\"]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.scope_src, vec!["a/src", "b/src"]);
+        assert_eq!(cfg.facade_files, vec!["f.rs"]);
+        let e = Config::parse("[scope]\nsrc = [\n    \"a/src\",\n").unwrap_err();
+        assert!(e.contains("unterminated"), "{e}");
+        assert!(e.contains(":2:"), "anchored at the key line: {e}");
     }
 
     #[test]

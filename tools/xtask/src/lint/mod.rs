@@ -14,6 +14,8 @@
 //! | R5 | `loom-coverage` | every public atomic-owning type is named in a loom model (or allowlisted as uncovered) |
 //! | R6 | `lock-order` | every lock acquisition carries `// LOCK: <class>` and lexical nesting respects the `[lockorder]` partial order |
 //! | R7 | `channel-topology` | every channel construction carries `// CHANNEL: <src> -> <dst>` naming a declared `[topology]` edge; raw sends need `// SEND-OK:`; the declared bounded subgraph is acyclic |
+//! | R8 | `message-protocol` | every `Msg`-constructing send site carries `// PROTO: <edge>.<state>` naming a reachable state of the declared `[protocol]` automaton; no same-edge sends after a `Finish` tag in a function |
+//! | R9 | `stamp-discipline` | ordering-sentinel calls (`mark_emitted`, `record_event`, tracker `observe`) carry `// STAMP: <pair>.{pre,post}` naming a declared `[stamps]` pair, with pre lexically dominating post in its function |
 //!
 //! Scope and per-rule suppressions live in `lint.toml` at the workspace
 //! root ([`config`]); diagnostics are rustc-style (`error[R1]: ...` with a
@@ -37,7 +39,7 @@ use rules::registry;
 /// allowlist entries by (rule, file, subject).
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
-    /// Stable rule id (`R1`..`R7`).
+    /// Stable rule id (`R1`..`R9`).
     pub rule: &'static str,
     /// Human-readable rule name (`ordering-justification`, ...).
     pub name: &'static str,
@@ -148,17 +150,32 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Renders diagnostics (and stale-allow findings, as pseudo-rule
-/// `stale-allow`) as a JSON array for CI annotation tooling.
-fn render_json(outcome: &LintOutcome, cfg: &Config) -> String {
+/// `stale-allow`) as a JSON array for CI annotation tooling. Each item
+/// carries a `span` — the `{"byte_start": s, "byte_end": e}` extent of
+/// the diagnosed line in the file's original bytes — or `null` when the
+/// diagnostic anchors to a file the engine did not parse (lint.toml's
+/// declaration lines, stale allows). The schema is pinned by a fixture
+/// test; changing a key or the span shape is a breaking change for the
+/// CI artifact consumers.
+pub fn render_json(outcome: &LintOutcome, cfg: &Config, files: &[SourceFile]) -> String {
+    let span_of = |file: &str, line: usize| -> String {
+        files
+            .iter()
+            .find(|f| f.rel == file)
+            .and_then(|f| f.line_span(line))
+            .map(|(s, e)| format!("{{\"byte_start\": {s}, \"byte_end\": {e}}}"))
+            .unwrap_or_else(|| "null".to_string())
+    };
     let mut items = Vec::new();
     for d in &outcome.diagnostics {
         items.push(format!(
             "  {{\"rule\": \"{}\", \"name\": \"{}\", \"file\": \"{}\", \"line\": {}, \
-             \"subject\": \"{}\", \"message\": \"{}\", \"help\": \"{}\"}}",
+             \"span\": {}, \"subject\": \"{}\", \"message\": \"{}\", \"help\": \"{}\"}}",
             json_escape(d.rule),
             json_escape(d.name),
             json_escape(&d.file),
             d.line,
+            span_of(&d.file, d.line),
             json_escape(&d.subject),
             json_escape(&d.message),
             json_escape(&d.help),
@@ -168,8 +185,9 @@ fn render_json(outcome: &LintOutcome, cfg: &Config) -> String {
         let e = &cfg.allow[i];
         items.push(format!(
             "  {{\"rule\": \"stale-allow\", \"name\": \"stale-allow\", \"file\": \"lint.toml\", \
-             \"line\": 0, \"subject\": \"{}\", \"message\": \"[[allow]] entry #{} ({} in {}) \
-             suppressed nothing — remove it\", \"help\": \"remove the stale entry\"}}",
+             \"line\": 0, \"span\": null, \"subject\": \"{}\", \"message\": \"[[allow]] entry \
+             #{} ({} in {}) suppressed nothing — remove it\", \"help\": \"remove the stale \
+             entry\"}}",
             json_escape(&e.subject),
             i + 1,
             json_escape(&e.rule),
@@ -249,7 +267,7 @@ pub fn run(args: &[String]) -> ExitCode {
     let outcome = check_files(&files, &cfg);
     let mut failed = false;
     if json {
-        println!("{}", render_json(&outcome, &cfg));
+        println!("{}", render_json(&outcome, &cfg, &files));
         failed = !outcome.diagnostics.is_empty() || !outcome.stale_allows().is_empty();
         return if failed {
             ExitCode::FAILURE

@@ -11,9 +11,11 @@ mod r4_blocking;
 mod r5_loom;
 mod r6_lockorder;
 mod r7_topology;
+mod r8_protocol;
+mod r9_stamps;
 
 use super::Rule;
-use crate::lexer::{is_ident_byte, keyword_positions};
+use crate::lexer::{find_char_from, is_ident_byte, keyword_positions, match_brace};
 
 /// All rules, in id order. `check_files` runs them in this order; ids are
 /// stable and referenced from `lint.toml`.
@@ -26,7 +28,49 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(r5_loom::LoomCoverage),
         Box::new(r6_lockorder::LockOrder),
         Box::new(r7_topology::ChannelTopology),
+        Box::new(r8_protocol::MessageProtocol),
+        Box::new(r9_stamps::StampDiscipline),
     ]
+}
+
+/// Line spans `(first, last)` of every `fn` item body, in source order.
+/// Bodiless declarations (trait methods, extern fns) contribute nothing:
+/// the scan for the opening `{` stops at a `;`. R8's post-Finish check
+/// and R9's dominance check both reason per function.
+pub(crate) fn fn_regions(masked_lines: &[String]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (idx, mline) in masked_lines.iter().enumerate() {
+        for pos in keyword_positions(mline, "fn") {
+            let Some((ol, oc)) = body_open(masked_lines, idx, pos) else {
+                continue;
+            };
+            if let Some(end) = match_brace(masked_lines, ol, oc) {
+                out.push((idx, end));
+            }
+        }
+    }
+    out
+}
+
+/// The innermost `fn` region containing `line`, if any.
+pub(crate) fn innermost_region(regions: &[(usize, usize)], line: usize) -> Option<(usize, usize)> {
+    regions
+        .iter()
+        .filter(|(s, e)| *s <= line && line <= *e)
+        .max_by_key(|(s, _)| *s)
+        .copied()
+}
+
+/// Position of the `{` opening a `fn` body whose `fn` keyword sits at
+/// (`line`, `col`), or `None` for a bodiless declaration (a `;` is seen
+/// first).
+fn body_open(masked_lines: &[String], line: usize, col: usize) -> Option<(usize, usize)> {
+    let semi = find_char_from(masked_lines, line, col, ';');
+    let open = find_char_from(masked_lines, line, col, '{')?;
+    match semi {
+        Some(s) if s < open => None,
+        _ => Some(open),
+    }
 }
 
 /// Byte offsets where `word` starts at an identifier boundary, with no
@@ -71,6 +115,27 @@ mod tests {
         assert_eq!(prefix_positions("AtomicU64", "Atomic"), vec![0]);
         assert_eq!(prefix_positions("Arc<AtomicBool>", "Atomic"), vec![4]);
         assert!(prefix_positions("NonAtomicU64", "Atomic").is_empty());
+    }
+
+    #[test]
+    fn fn_regions_span_bodies_and_skip_declarations() {
+        let src: Vec<String> = [
+            "trait T {",           // 0
+            "    fn decl(&self);", // 1
+            "}",                   // 2
+            "fn outer() {",        // 3
+            "    fn inner() {",    // 4
+            "    }",               // 5
+            "}",                   // 6
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let regions = fn_regions(&src);
+        assert_eq!(regions, vec![(3, 6), (4, 5)]);
+        assert_eq!(innermost_region(&regions, 5), Some((4, 5)));
+        assert_eq!(innermost_region(&regions, 6), Some((3, 6)));
+        assert_eq!(innermost_region(&regions, 1), None);
     }
 
     #[test]

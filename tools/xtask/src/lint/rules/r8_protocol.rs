@@ -1,0 +1,344 @@
+//! R8 `message-protocol`: every `Msg`-constructing send site names a
+//! declared protocol state, and no function sends past its `Finish`.
+//!
+//! `lint.toml [protocol]` declares, per channel edge, a small automaton
+//! over the message alphabet `data`/`batch`/`heartbeat`/`finish`
+//! (`Msg::Data`/`Msg::Batch`/`Msg::Heartbeat`/`Msg::Flush`). This rule
+//! keeps code and declaration in sync from both sides, mirroring R7:
+//!
+//! - every `Msg::<Variant>` *construction* in scope (match arms and
+//!   `if let`/`matches!` patterns are consumers, not senders) carries
+//!   `// PROTO: <edge>.<state>` naming the state the send *enters*;
+//! - every tag — on a `Msg` site or hand-placed on a non-`Msg` send
+//!   path (SplitJoin's collector edge carries `ToCollector`, not `Msg`)
+//!   — must name a declared edge and a state reachable in its automaton,
+//!   entered by a transition whose symbol matches the constructed
+//!   variant where one is present;
+//! - within one function, a tag on the same edge lexically after a
+//!   terminal-state tag is a post-Finish send — the automaton has no
+//!   outgoing transitions there;
+//! - a declared edge no tag names is a stale declaration, anchored at
+//!   the `[protocol] edges` line of lint.toml.
+//!
+//! Lexical per-function ordering is deliberately the static half only:
+//! cross-function and cross-thread interleavings are the runtime
+//! protocol witness's job (`oij_common::protowit`, `--cfg protowit`).
+//! `#[cfg(test)]` code is exempt.
+
+use crate::lexer::{keyword_positions, SourceFile};
+use crate::lint::config::Config;
+use crate::lint::rules::{fn_regions, innermost_region};
+use crate::lint::{Diagnostic, Rule};
+
+pub struct MessageProtocol;
+
+/// `Msg` variants and the automaton symbol each one realises.
+const VARIANTS: [(&str, &str); 4] = [
+    ("Data", "data"),
+    ("Batch", "batch"),
+    ("Heartbeat", "heartbeat"),
+    ("Flush", "finish"),
+];
+
+impl Rule for MessageProtocol {
+    fn id(&self) -> &'static str {
+        "R8"
+    }
+    fn name(&self) -> &'static str {
+        "message-protocol"
+    }
+
+    fn check(&self, files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic>) {
+        // No declared protocol = message-grammar checking not adopted;
+        // stay inert.
+        if cfg.proto_edges.is_empty() {
+            return;
+        }
+        // Which declared edges some `// PROTO:` tag actually names.
+        let mut edge_used = vec![false; cfg.proto_edges.len()];
+        for file in files.iter().filter(|f| f.under_any(&cfg.scope_src)) {
+            // Well-formed tags in this file: (edge, state, 0-based line).
+            let mut tags: Vec<(String, String, usize)> = Vec::new();
+            for idx in 0..file.lines.len() {
+                if file.in_test[idx] {
+                    continue;
+                }
+                if let Some(token) = tag_token(&file.comment_lines[idx]) {
+                    if let Some((edge, state)) =
+                        self.check_tag(file, cfg, idx, &token, &mut edge_used, out)
+                    {
+                        tags.push((edge, state, idx));
+                    }
+                }
+                if let Some((variant, sym)) = msg_ctor(&file.masked_lines[idx]) {
+                    self.check_site(file, cfg, idx, variant, sym, out);
+                }
+            }
+            self.check_post_finish(file, cfg, &tags, out);
+        }
+        for (i, used) in edge_used.iter().enumerate() {
+            if !used {
+                let e = &cfg.proto_edges[i];
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    name: self.name(),
+                    file: "lint.toml".to_string(),
+                    line: cfg.proto_edges_line,
+                    subject: e.name.clone(),
+                    message: format!(
+                        "declared protocol edge `{}` is named by no `// PROTO:` tag",
+                        e.name
+                    ),
+                    help: "remove the stale edge from lint.toml `[protocol] edges`, or tag \
+                           the send sites that realise it"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+impl MessageProtocol {
+    /// Validates one `// PROTO: <edge>.<state>` tag found on line `idx`
+    /// and returns the parsed pair if it names a declared, reachable
+    /// state (so the caller can feed the post-Finish check).
+    fn check_tag(
+        &self,
+        file: &SourceFile,
+        cfg: &Config,
+        idx: usize,
+        token: &str,
+        edge_used: &mut [bool],
+        out: &mut Vec<Diagnostic>,
+    ) -> Option<(String, String)> {
+        let mut diag = |subject: String, message: String, help: &str| {
+            out.push(Diagnostic {
+                rule: self.id(),
+                name: self.name(),
+                file: file.rel.clone(),
+                line: idx + 1,
+                subject,
+                message,
+                help: help.to_string(),
+            });
+        };
+        let Some((edge, state)) = token
+            .split_once('.')
+            .filter(|(e, s)| !e.is_empty() && !s.is_empty())
+        else {
+            diag(
+                token.to_string(),
+                format!("malformed `// PROTO: {token}` (expected `<edge>.<state>`)"),
+                "write the tag as `// PROTO: driver-joiner.stream`",
+            );
+            return None;
+        };
+        let Some(pos) = cfg.proto_edges.iter().position(|e| e.name == edge) else {
+            diag(
+                token.to_string(),
+                format!("`// PROTO: {token}` names no declared protocol edge `{edge}`"),
+                "declare the edge in lint.toml `[protocol] edges` (as an alias of a \
+                 [topology] edge)",
+            );
+            return None;
+        };
+        edge_used[pos] = true;
+        if !cfg.proto_states(edge).contains(&state) {
+            diag(
+                token.to_string(),
+                format!(
+                    "`// PROTO: {token}` names state `{state}`, which is not a state of \
+                     edge `{edge}`'s automaton"
+                ),
+                "tag the state the send enters; the automaton's states are the ones named \
+                 in lint.toml `[protocol] transitions`",
+            );
+            return None;
+        }
+        if !cfg.proto_reachable(edge, state) {
+            diag(
+                token.to_string(),
+                format!(
+                    "`// PROTO: {token}` names state `{state}`, which is unreachable from \
+                     edge `{edge}`'s start state"
+                ),
+                "a send can only enter a state the automaton can reach — fix the tag or \
+                 the declared transitions",
+            );
+            return None;
+        }
+        Some((edge.to_string(), state.to_string()))
+    }
+
+    /// Checks one `Msg::<Variant>` construction site: it must carry a
+    /// `// PROTO:` tag, and the tagged state must be entered by a
+    /// transition whose symbol matches the variant. Malformed or
+    /// undeclared tags are reported by [`check_tag`](Self::check_tag),
+    /// not duplicated here.
+    fn check_site(
+        &self,
+        file: &SourceFile,
+        cfg: &Config,
+        idx: usize,
+        variant: &str,
+        sym: &str,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let Some(text) = file.marker_text(idx, "PROTO:") else {
+            out.push(Diagnostic {
+                rule: self.id(),
+                name: self.name(),
+                file: file.rel.clone(),
+                line: idx + 1,
+                subject: format!("Msg::{variant}"),
+                message: format!(
+                    "`Msg::{variant}` send site without a `// PROTO: <edge>.<state>` tag"
+                ),
+                help: "name the protocol state this send enters, e.g. \
+                       `// PROTO: driver-joiner.stream`"
+                    .to_string(),
+            });
+            return;
+        };
+        let Some((edge, state)) = first_token(&text).split_once('.') else {
+            return; // malformed — reported by the tag scan
+        };
+        if cfg.proto_edge(edge).is_none()
+            || !cfg.proto_states(edge).contains(&state)
+            || !cfg.proto_reachable(edge, state)
+        {
+            return; // undeclared/unreachable — reported by the tag scan
+        }
+        if !cfg.proto_enters(edge, sym, state) {
+            out.push(Diagnostic {
+                rule: self.id(),
+                name: self.name(),
+                file: file.rel.clone(),
+                line: idx + 1,
+                subject: format!("{edge}.{state}"),
+                message: format!(
+                    "`Msg::{variant}` (symbol `{sym}`) cannot enter state `{state}` — no \
+                     `--{sym}-->` transition into it on edge `{edge}`"
+                ),
+                help: "tag the state this variant's transition actually enters, or declare \
+                       the missing transition in lint.toml `[protocol] transitions`"
+                    .to_string(),
+            });
+        }
+    }
+
+    /// Within one function, a tag on the same edge lexically after a
+    /// terminal-state tag is a post-Finish send.
+    fn check_post_finish(
+        &self,
+        file: &SourceFile,
+        cfg: &Config,
+        tags: &[(String, String, usize)],
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let regions = fn_regions(&file.masked_lines);
+        for (edge, state, idx) in tags {
+            if Some(state.as_str()) != cfg.proto_terminal(edge) {
+                continue;
+            }
+            let region = innermost_region(&regions, *idx);
+            for (e2, s2, idx2) in tags {
+                if e2 == edge && idx2 > idx && innermost_region(&regions, *idx2) == region {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        name: self.name(),
+                        file: file.rel.clone(),
+                        line: idx2 + 1,
+                        subject: format!("{e2}.{s2}"),
+                        message: format!(
+                            "send on edge `{e2}` after the `Finish` tag `{edge}.{state}` \
+                             (line {}) in the same function",
+                            idx + 1
+                        ),
+                        help: "the terminal state has no outgoing transitions — nothing may \
+                               be sent on this edge once it is closed"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The first `// PROTO:` payload token on the comment-visible line.
+fn tag_token(cline: &str) -> Option<String> {
+    let pos = cline.find("PROTO:")?;
+    first_token(&cline[pos + "PROTO:".len()..])
+        .to_string()
+        .into()
+}
+
+/// The payload up to the first whitespace (trailing prose tolerated).
+fn first_token(text: &str) -> &str {
+    text.split_whitespace().next().unwrap_or("")
+}
+
+/// `Some((variant, symbol))` if the masked line *constructs* a `Msg`
+/// variant. Pattern positions — match arms (`=>` after the path),
+/// `if let` / `while let` scrutinees, `matches!` — are consumers.
+fn msg_ctor(mline: &str) -> Option<(&'static str, &'static str)> {
+    if mline.contains("if let") || mline.contains("while let") || mline.contains("matches!") {
+        return None;
+    }
+    for pos in keyword_positions(mline, "Msg") {
+        let after = &mline[pos + "Msg".len()..];
+        let Some(rest) = after.strip_prefix("::") else {
+            continue;
+        };
+        for (variant, sym) in VARIANTS {
+            if rest.starts_with(variant)
+                && !rest[variant.len()..]
+                    .bytes()
+                    .next()
+                    .is_some_and(crate::lexer::is_ident_byte)
+            {
+                // A `=>` after the path marks a match arm.
+                if mline[pos..].contains("=>") {
+                    break;
+                }
+                return Some((variant, sym));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctor_matcher_sees_constructions_not_patterns() {
+        assert_eq!(msg_ctor("tx.send(Msg::Data(d))"), Some(("Data", "data")));
+        assert_eq!(
+            msg_ctor("route(h, Msg::Heartbeat(wm));"),
+            Some(("Heartbeat", "heartbeat"))
+        );
+        assert_eq!(msg_ctor("let m = Msg::Flush;"), Some(("Flush", "finish")));
+        assert_eq!(msg_ctor("Msg::Batch(v)"), Some(("Batch", "batch")));
+        // Patterns are consumers.
+        assert_eq!(msg_ctor("Msg::Data(d) => self.on_data(d),"), None);
+        assert_eq!(msg_ctor("if let Msg::Flush = m {"), None);
+        assert_eq!(msg_ctor("while let Msg::Data(d) = next() {"), None);
+        assert_eq!(msg_ctor("assert!(matches!(m, Msg::Flush));"), None);
+        // Other types and variants don't match.
+        assert_eq!(msg_ctor("DataMsg { ts, row }"), None);
+        assert_eq!(msg_ctor("Msg::DataLike(x)"), None);
+        assert_eq!(msg_ctor("Prepared::Data(DataMsg {"), None);
+    }
+
+    #[test]
+    fn tag_tokens_parse_with_trailing_prose() {
+        assert_eq!(
+            tag_token("// PROTO: dj.stream (batched fast path)"),
+            Some("dj.stream".to_string())
+        );
+        assert_eq!(tag_token("// no tag here"), None);
+        assert_eq!(first_token("  dj.closed  prose"), "dj.closed");
+    }
+}

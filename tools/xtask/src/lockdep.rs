@@ -24,7 +24,12 @@
 use std::process::ExitCode;
 
 use crate::lint::config::Config;
+use crate::obslog;
 use crate::workspace_root;
+
+/// The lockdep witness's record schema: `class <name> <site>` and
+/// `edge <from> <to> <from-site> <to-site>`.
+const SCHEMA: [(&str, usize); 2] = [("class", 2), ("edge", 4)];
 
 /// One `edge` line from the witness log.
 struct ObservedEdge {
@@ -40,42 +45,36 @@ struct ObservedGraph {
     edges: Vec<ObservedEdge>,
 }
 
-/// Parses the `class`/`edge` line format; unknown line shapes are errors
-/// (a corrupt log must not silently verify).
+/// Parses the `class`/`edge` line format via the shared [`obslog`]
+/// framing; unknown line shapes are errors (a corrupt log must not
+/// silently verify). Each test binary in a workspace run appends its own
+/// first observations, so the same class/edge may repeat; the first
+/// observation site wins.
 fn parse_log(text: &str) -> Result<ObservedGraph, String> {
+    let records = obslog::parse_records(text, &SCHEMA)?;
+    let records = obslog::dedup_keep_first(records, |r| match r.kind.as_str() {
+        "class" => vec!["class".to_string(), r.field(0).to_string()],
+        _ => vec![
+            "edge".to_string(),
+            r.field(0).to_string(),
+            r.field(1).to_string(),
+        ],
+    });
     let mut graph = ObservedGraph {
         classes: Vec::new(),
         edges: Vec::new(),
     };
-    for (i, line) in text.lines().enumerate() {
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        if fields.is_empty() {
-            continue;
-        }
-        // Each test binary in a workspace run appends its own first
-        // observations, so the same class/edge may repeat; keep the first.
-        match fields.as_slice() {
-            ["class", name, site] => {
-                if !graph.classes.iter().any(|(c, _)| c == name) {
-                    graph.classes.push((name.to_string(), site.to_string()));
-                }
-            }
-            ["edge", from, to, from_site, to_site] => {
-                if !graph.edges.iter().any(|e| e.from == *from && e.to == *to) {
-                    graph.edges.push(ObservedEdge {
-                        from: from.to_string(),
-                        to: to.to_string(),
-                        from_site: from_site.to_string(),
-                        to_site: to_site.to_string(),
-                    });
-                }
-            }
-            _ => {
-                return Err(format!(
-                    "line {}: unrecognised witness record `{line}`",
-                    i + 1
-                ))
-            }
+    for r in records {
+        match r.kind.as_str() {
+            "class" => graph
+                .classes
+                .push((r.field(0).to_string(), r.field(1).to_string())),
+            _ => graph.edges.push(ObservedEdge {
+                from: r.field(0).to_string(),
+                to: r.field(1).to_string(),
+                from_site: r.field(2).to_string(),
+                to_site: r.field(3).to_string(),
+            }),
         }
     }
     Ok(graph)
@@ -104,13 +103,13 @@ fn audit(graph: &ObservedGraph, cfg: &Config) -> (Vec<String>, Vec<String>) {
             ));
         }
     }
-    for class in &cfg.lock_classes {
-        if !graph.classes.iter().any(|(c, _)| c == class) {
-            warnings.push(format!(
-                "declared lock class `{class}` was never observed this run (stale \
-                 declaration, or a code path the suite did not exercise)"
-            ));
-        }
+    for class in obslog::unobserved_declared(&cfg.lock_classes, |c| {
+        graph.classes.iter().any(|(n, _)| n == c)
+    }) {
+        warnings.push(format!(
+            "declared lock class `{class}` was never observed this run (stale \
+             declaration, or a code path the suite did not exercise)"
+        ));
     }
     (errors, warnings)
 }

@@ -3,10 +3,12 @@
 //! Subcommands:
 //! - `unsafe-audit` — every `unsafe` site must carry a justification
 //!   ([`xtask::audit`]).
-//! - `lint` — the concurrency-protocol rules R1–R7 over the SWMR crates
+//! - `lint` — the concurrency-protocol rules R1–R9 over the SWMR crates
 //!   ([`xtask::lint`]); `--json` emits machine-readable diagnostics.
 //! - `lockdep-check` — verify a runtime lockdep witness log against the
 //!   declared `lint.toml [lockorder]` graph ([`xtask::lockdep`]).
+//! - `proto-check` — verify a runtime protocol witness log against the
+//!   declared `lint.toml [protocol]` grammar ([`xtask::proto`]).
 //!
 //! Both passes share the comment/string-aware scanner in
 //! [`xtask::lexer`] and exit non-zero on any finding, so CI can gate on
@@ -20,6 +22,7 @@ fn main() -> ExitCode {
         Some("unsafe-audit") => xtask::audit::unsafe_audit(),
         Some("lint") => xtask::lint::run(&args[1..]),
         Some("lockdep-check") => xtask::lockdep::check(&args[1..]),
+        Some("proto-check") => xtask::proto::check(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown task `{other}`");
             usage();
@@ -36,8 +39,11 @@ fn usage() {
     eprintln!("usage: cargo xtask <task>");
     eprintln!("tasks:");
     eprintln!("  unsafe-audit   check that every `unsafe` site carries a justification");
-    eprintln!("  lint           run the concurrency-protocol rules (R1-R7, see lint.toml); --json for machine output");
+    eprintln!("  lint           run the concurrency-protocol rules (R1-R9, see lint.toml); --json for machine output");
     eprintln!(
         "  lockdep-check  verify an observed lockdep witness log against lint.toml [lockorder]"
+    );
+    eprintln!(
+        "  proto-check    verify an observed protocol witness log against lint.toml [protocol]"
     );
 }

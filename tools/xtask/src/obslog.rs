@@ -1,0 +1,132 @@
+//! Shared framing for runtime-witness observation logs.
+//!
+//! Both runtime witnesses (`oij_common::lockdep`, `oij_common::protowit`)
+//! append whitespace-separated records — one observation per line, first
+//! field the record kind — to an environment-named file, and both
+//! `cargo xtask lockdep-check` and `cargo xtask proto-check` replay those
+//! logs against the declarations in `lint.toml`. This module owns the
+//! shared half so a third witness does not copy it again: record framing
+//! against a `(kind, arity)` schema, keep-first dedup (every test binary
+//! in a workspace run appends its own first observations), and the
+//! observed-vs-declared staleness diff. The per-witness semantics —
+//! which observations are errors — stay in `lockdep.rs` / `proto.rs`.
+
+/// One parsed log record: the kind tag plus its fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    pub kind: String,
+    pub fields: Vec<String>,
+}
+
+impl Record {
+    /// Field `i`, which the schema guarantees exists for a parsed record.
+    pub fn field(&self, i: usize) -> &str {
+        &self.fields[i]
+    }
+}
+
+/// Parses a witness log against `schema` — `(kind, field-count)` pairs.
+/// Blank lines are skipped; an unknown kind or a wrong field count is an
+/// error naming the line (a corrupt log must not silently verify).
+pub fn parse_records(text: &str, schema: &[(&str, usize)]) -> Result<Vec<Record>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let mut fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.is_empty() {
+            continue;
+        }
+        let kind = fields.remove(0);
+        let Some((_, arity)) = schema.iter().find(|(k, _)| *k == kind) else {
+            return Err(format!(
+                "line {}: unrecognised witness record `{line}` (expected one of: {})",
+                i + 1,
+                schema
+                    .iter()
+                    .map(|(k, _)| *k)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        };
+        if fields.len() != *arity {
+            return Err(format!(
+                "line {}: `{kind}` record with {} field(s), expected {arity}: `{line}`",
+                i + 1,
+                fields.len()
+            ));
+        }
+        out.push(Record {
+            kind: kind.to_string(),
+            fields: fields.into_iter().map(str::to_string).collect(),
+        });
+    }
+    Ok(out)
+}
+
+/// Keeps the first record per identity, where `key` projects the fields
+/// that identify a record (typically the kind plus the named entities,
+/// excluding the source sites — the first-observed site is the one
+/// reported).
+pub fn dedup_keep_first(records: Vec<Record>, key: impl Fn(&Record) -> Vec<String>) -> Vec<Record> {
+    let mut seen: Vec<Vec<String>> = Vec::new();
+    let mut out = Vec::new();
+    for r in records {
+        let k = key(&r);
+        if seen.contains(&k) {
+            continue;
+        }
+        seen.push(k);
+        out.push(r);
+    }
+    out
+}
+
+/// Declared names that no observation covers — staleness *warnings*, not
+/// errors: a unit-test run does not exercise every engine, so absence is
+/// not evidence the declaration is wrong.
+pub fn unobserved_declared(declared: &[String], observed: impl Fn(&str) -> bool) -> Vec<String> {
+    declared.iter().filter(|d| !observed(d)).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: [(&str, usize); 2] = [("class", 2), ("edge", 4)];
+
+    #[test]
+    fn records_parse_against_the_schema() {
+        let recs = parse_records("class a s:1:1\n\nedge a b s:1:1 s:2:2\n", &SCHEMA).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kind, "class");
+        assert_eq!(recs[0].field(0), "a");
+        assert_eq!(recs[1].field(3), "s:2:2");
+    }
+
+    #[test]
+    fn unknown_kinds_and_wrong_arity_are_errors() {
+        let e = parse_records("acquired a b\n", &SCHEMA).unwrap_err();
+        assert!(e.contains("line 1") && e.contains("unrecognised"), "{e}");
+        let e = parse_records("class a\nclass b s:1:1 extra\n", &SCHEMA).unwrap_err();
+        assert!(e.contains("line 1") && e.contains("expected 2"), "{e}");
+    }
+
+    #[test]
+    fn dedup_keeps_the_first_observation_site() {
+        let recs = parse_records(
+            "class a first:1:1\nclass a second:2:2\nclass b s:3:3\n",
+            &SCHEMA,
+        )
+        .unwrap();
+        let deduped = dedup_keep_first(recs, |r| vec![r.kind.clone(), r.field(0).to_string()]);
+        assert_eq!(deduped.len(), 2);
+        assert_eq!(deduped[0].field(1), "first:1:1");
+    }
+
+    #[test]
+    fn unobserved_declared_lists_the_gap() {
+        let declared: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let seen = ["a", "c"];
+        let gap = unobserved_declared(&declared, |d| seen.contains(&d));
+        assert_eq!(gap, vec!["b".to_string()]);
+    }
+}

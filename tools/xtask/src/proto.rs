@@ -1,0 +1,297 @@
+//! `cargo xtask proto-check` — observed-vs-declared message-protocol audit.
+//!
+//! The runtime protocol witness (`oij_common::protowit`, enabled with
+//! `RUSTFLAGS="--cfg protowit"`) appends every first-observed channel,
+//! per-symbol send, and finish to the file named by `OIJ_PROTO_LOG`:
+//!
+//! ```text
+//! channel driver-joiner crates/core/src/instrument.rs:40:9
+//! send driver-joiner data crates/core/src/keyoij.rs:310:21
+//! finish driver-joiner crates/core/src/keyoij.rs:349:29
+//! ```
+//!
+//! This pass closes the loop with the static side (R8): every observed
+//! channel must name a declared `lint.toml [protocol]` edge, and every
+//! observed symbol must be in that edge's declared automaton alphabet
+//! (hard errors — the declaration is stale or the code sent a message
+//! the protocol review never saw). Declared edges or symbols that were
+//! never observed are warnings only: a unit-test run does not exercise
+//! every engine, so absence is not evidence of staleness. Ordering
+//! violations (heartbeat regression, send-after-finish, unmarked
+//! delivery) never reach the log — the witness panics at the first one,
+//! so the suite itself goes red.
+//!
+//! An **empty or missing log is a hard error**: it means the suite ran
+//! without the witness compiled in, and a vacuous pass must not turn the
+//! CI gate green.
+
+use std::process::ExitCode;
+
+use crate::lint::config::Config;
+use crate::obslog;
+use crate::workspace_root;
+
+/// The protocol witness's record schema: `channel <edge> <site>`,
+/// `send <edge> <symbol> <site>`, `finish <edge> <site>`.
+const SCHEMA: [(&str, usize); 3] = [("channel", 2), ("send", 3), ("finish", 2)];
+
+/// Parsed witness log, deduplicated keep-first (every test binary
+/// appends its own first observations).
+struct ObservedProtocol {
+    /// `(edge, first construction site)`.
+    channels: Vec<(String, String)>,
+    /// `(edge, symbol, first send site)` — `finish` records fold in as
+    /// symbol `finish`, matching the declared alphabet.
+    sends: Vec<(String, String, String)>,
+}
+
+fn parse_log(text: &str) -> Result<ObservedProtocol, String> {
+    let records = obslog::parse_records(text, &SCHEMA)?;
+    let records = obslog::dedup_keep_first(records, |r| match r.kind.as_str() {
+        "send" => vec![
+            "send".to_string(),
+            r.field(0).to_string(),
+            r.field(1).to_string(),
+        ],
+        kind => vec![kind.to_string(), r.field(0).to_string()],
+    });
+    let mut obs = ObservedProtocol {
+        channels: Vec::new(),
+        sends: Vec::new(),
+    };
+    for r in records {
+        match r.kind.as_str() {
+            "channel" => obs
+                .channels
+                .push((r.field(0).to_string(), r.field(1).to_string())),
+            "send" => obs.sends.push((
+                r.field(0).to_string(),
+                r.field(1).to_string(),
+                r.field(2).to_string(),
+            )),
+            _ => obs.sends.push((
+                r.field(0).to_string(),
+                "finish".to_string(),
+                r.field(1).to_string(),
+            )),
+        }
+    }
+    Ok(obs)
+}
+
+/// Pure core of the check, returning the error/warning report so the
+/// test suite can drive it without touching the filesystem.
+fn audit(obs: &ObservedProtocol, cfg: &Config) -> (Vec<String>, Vec<String>) {
+    let mut errors = Vec::new();
+    let mut warnings = Vec::new();
+
+    for (edge, site) in &obs.channels {
+        if cfg.proto_edge(edge).is_none() {
+            errors.push(format!(
+                "observed channel `{edge}` (first constructed at {site}) is not declared \
+                 in lint.toml [protocol] edges"
+            ));
+        }
+    }
+    for (edge, sym, site) in &obs.sends {
+        if cfg.proto_edge(edge).is_none() {
+            errors.push(format!(
+                "observed `{sym}` send on undeclared edge `{edge}` (first sent at {site}) — \
+                 not in lint.toml [protocol] edges"
+            ));
+            continue;
+        }
+        if !cfg
+            .proto_transitions
+            .iter()
+            .any(|t| t.edge == *edge && t.sym == *sym)
+        {
+            errors.push(format!(
+                "observed `{sym}` send on edge `{edge}` (first sent at {site}) has no \
+                 `--{sym}-->` transition in the declared lint.toml [protocol] automaton"
+            ));
+        }
+    }
+
+    let declared_edges: Vec<String> = cfg.proto_edges.iter().map(|e| e.name.clone()).collect();
+    for edge in obslog::unobserved_declared(&declared_edges, |e| {
+        obs.channels.iter().any(|(c, _)| c == e)
+    }) {
+        warnings.push(format!(
+            "declared protocol edge `{edge}` was never observed this run (stale \
+             declaration, or a code path the suite did not exercise)"
+        ));
+    }
+    // Distinct declared (edge, symbol) pairs — two transitions may share
+    // a symbol (different states), which is still one coverage question.
+    let mut declared_syms: Vec<(String, String)> = Vec::new();
+    for t in &cfg.proto_transitions {
+        let pair = (t.edge.clone(), t.sym.clone());
+        if !declared_syms.contains(&pair) {
+            declared_syms.push(pair);
+        }
+    }
+    for (edge, sym) in declared_syms {
+        if !obs.sends.iter().any(|(e, s, _)| *e == edge && *s == sym) {
+            warnings.push(format!(
+                "declared `{sym}` send on edge `{edge}` was never observed this run (stale \
+                 transition, or a code path the suite did not exercise)"
+            ));
+        }
+    }
+    (errors, warnings)
+}
+
+/// CLI entry point: `cargo xtask proto-check <witness-log>`.
+pub fn check(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("usage: cargo xtask proto-check <witness-log>");
+        return ExitCode::FAILURE;
+    };
+
+    let root = workspace_root();
+    let cfg_text = match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("proto-check: cannot read lint.toml: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match Config::parse(&cfg_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("proto-check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let log = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "proto-check: cannot read witness log {path}: {e}\n  \
+                 (run the suite with RUSTFLAGS=\"--cfg protowit\" and OIJ_PROTO_LOG={path})"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = match parse_log(&log) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("proto-check: malformed witness log {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if obs.channels.is_empty() {
+        eprintln!(
+            "proto-check: witness log {path} records no channels — the suite ran without \
+             the witness compiled in (RUSTFLAGS=\"--cfg protowit\"); refusing a vacuous pass"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let (errors, warnings) = audit(&obs, &cfg);
+    for w in &warnings {
+        eprintln!("warning[proto-stale]: {w}\n");
+    }
+    for e in &errors {
+        eprintln!("error[proto-undeclared]: {e}\n");
+    }
+    if errors.is_empty() {
+        println!(
+            "proto-check: OK — {} observed channel(s), {} observed send symbol(s), all \
+             within the declared [protocol] grammar ({} stale-declaration warning(s))",
+            obs.channels.len(),
+            obs.sends.len(),
+            warnings.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "proto-check: FAILED — {} observed fact(s) outside the declared [protocol] \
+             grammar",
+            errors.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::parse(
+            r#"
+[scope]
+src = []
+
+[topology]
+workers = ["driver", "joiner"]
+edges = ["driver -> joiner : bounded"]
+
+[protocol]
+edges = ["dj = driver -> joiner"]
+transitions = [
+    "dj : stream --data--> stream",
+    "dj : stream --heartbeat--> stream",
+    "dj : stream --finish--> closed",
+]
+"#,
+        )
+        .expect("test config parses")
+    }
+
+    #[test]
+    fn observed_subset_of_declared_passes() {
+        let obs = parse_log(
+            "channel dj s:1:1\nsend dj data s:2:2\nsend dj heartbeat s:3:3\nfinish dj s:4:4\n",
+        )
+        .unwrap();
+        let (errors, warnings) = audit(&obs, &cfg());
+        assert!(errors.is_empty(), "{errors:?}");
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn undeclared_edge_and_symbol_are_errors() {
+        let obs = parse_log(
+            "channel zz s:1:1\nsend zz data s:2:2\nchannel dj s:3:3\nsend dj batch s:4:4\n",
+        )
+        .unwrap();
+        let (errors, _) = audit(&obs, &cfg());
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        assert!(errors[0].contains("`zz`"), "{errors:?}");
+        assert!(errors[1].contains("undeclared edge `zz`"), "{errors:?}");
+        assert!(
+            errors[2].contains("`batch` send on edge `dj`"),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn unexercised_declarations_warn_without_failing() {
+        let obs = parse_log("channel dj s:1:1\nsend dj data s:2:2\n").unwrap();
+        let (errors, warnings) = audit(&obs, &cfg());
+        assert!(errors.is_empty(), "{errors:?}");
+        // heartbeat and finish transitions were declared but not seen.
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings.iter().any(|w| w.contains("`heartbeat`")));
+        assert!(warnings.iter().any(|w| w.contains("`finish`")));
+    }
+
+    #[test]
+    fn duplicate_observations_keep_the_first_site() {
+        let obs = parse_log("channel dj first:1:1\nchannel dj second:2:2\n").unwrap();
+        assert_eq!(obs.channels.len(), 1);
+        assert_eq!(obs.channels[0].1, "first:1:1");
+    }
+
+    #[test]
+    fn malformed_log_lines_are_rejected() {
+        assert!(parse_log("channel only_one\n").is_err());
+        assert!(parse_log("send dj data\n").is_err());
+        assert!(parse_log("deliver dj s:1:1\n").is_err());
+        assert!(parse_log("\n \n").unwrap().channels.is_empty());
+    }
+}

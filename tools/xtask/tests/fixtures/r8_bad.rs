@@ -1,0 +1,37 @@
+//! R8 bait: every way a send site can violate the message protocol.
+
+pub fn untagged_send(tx: &Sender) {
+    tx.send(Msg::Data(d));
+}
+
+pub fn unknown_edge(tx: &Sender) {
+    // PROTO: ghost.stream
+    tx.send(Msg::Data(d));
+}
+
+pub fn unknown_state(tx: &Sender) {
+    // PROTO: dj.warp
+    tx.send(Msg::Data(d));
+}
+
+pub fn unreachable_state(tx: &Sender) {
+    // PROTO: dj.island
+    tx.send(Msg::Data(d));
+}
+
+pub fn wrong_symbol(tx: &Sender) {
+    // PROTO: dj.closed
+    tx.send(Msg::Heartbeat(wm));
+}
+
+pub fn send_after_finish(tx: &Sender) {
+    // PROTO: dj.closed
+    tx.send(Msg::Flush);
+    // PROTO: dj.stream
+    tx.send(Msg::Data(d));
+}
+
+pub fn malformed_tag(tx: &Sender) {
+    // PROTO: stream
+    tx.send(Msg::Data(d));
+}

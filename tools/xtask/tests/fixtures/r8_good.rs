@@ -1,0 +1,38 @@
+//! R8 clean: tagged sends entering declared, reachable states; match
+//! arms and let-patterns are consumers and need no tag; a non-`Msg`
+//! edge (the collector's) is realised by hand-placed tags.
+
+pub fn stream_sends(tx: &Sender) {
+    // PROTO: dj.stream
+    tx.send(Msg::Data(d));
+    // PROTO: dj.stream (batched fast path)
+    tx.send(Msg::Batch(buf));
+    // PROTO: dj.stream
+    tx.send(Msg::Heartbeat(wm));
+}
+
+pub fn close(tx: &Sender) {
+    // PROTO: dj.closed
+    tx.send(Msg::Flush);
+}
+
+pub fn consume(rx: &Receiver) {
+    match rx.recv() {
+        Msg::Data(d) => on_data(d),
+        Msg::Flush => {}
+        _ => {}
+    }
+    if let Msg::Heartbeat(wm) = peek() {
+        advance(wm);
+    }
+    while let Msg::Data(d) = next() {
+        on_data(d);
+    }
+}
+
+pub fn hand_tagged_non_msg_edge(tx: &Sender) {
+    // PROTO: jc.stream
+    tx.send(ToCollector::Partial(p));
+    // PROTO: jc.closed
+    tx.send(ToCollector::JoinerDone);
+}

@@ -1,0 +1,30 @@
+//! R9 bait: untagged sentinels, unknown pairs, bad roles, missing and
+//! inverted orderings.
+
+pub fn untagged(rt: &Runtime) {
+    rt.record_event(ev);
+    rt.mark_emitted(fkey);
+    self.tracker.observe(ts);
+}
+
+pub fn unknown_pair(rt: &Runtime) {
+    // STAMP: ghost.pre
+    rt.record_event(ev);
+}
+
+pub fn bad_role(rt: &Runtime) {
+    // STAMP: wal-dispatch.during
+    rt.record_event(ev);
+}
+
+pub fn missing_pre(rt: &Runtime) {
+    // STAMP: wal-dispatch.post
+    dispatch(msg);
+}
+
+pub fn inverted(rt: &Runtime) {
+    // STAMP: deliver-mark.post
+    rt.mark_emitted(fkey);
+    // STAMP: deliver-mark.pre
+    sink.emit(row);
+}

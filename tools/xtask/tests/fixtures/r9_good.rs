@@ -1,0 +1,23 @@
+//! R9 clean: every sentinel tagged, every `pre` lexically dominating
+//! its `post` within the function.
+
+pub fn ordered(rt: &Runtime) {
+    // STAMP: wal-dispatch.pre
+    rt.record_event(ev);
+    // STAMP: wal-dispatch.post
+    dispatch(msg);
+}
+
+pub fn exactly_once(rt: &Runtime, sink: &Sink) {
+    // STAMP: deliver-mark.pre
+    sink.emit(row);
+    // STAMP: deliver-mark.post
+    rt.mark_emitted(fkey);
+}
+
+pub fn observes(&mut self) {
+    // STAMP: stamp-observe.pre (the watermark is read pre-observation)
+    let stamp = self.tracker.current().time();
+    // STAMP: stamp-observe.post
+    self.tracker.observe(ts);
+}

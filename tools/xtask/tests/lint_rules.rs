@@ -270,6 +270,214 @@ edges = ["d -> j : bounded", "j -> d : bounded"]
     assert_eq!(out.diagnostics.len(), 3);
 }
 
+/// The `[protocol]` declarations the R8 fixtures are written against.
+/// The topology edges it aliases are required by validation but carry no
+/// `// CHANNEL:` tags in these fixtures, so R7 raises stale-edge
+/// findings — the R8/R9 tests filter to their own rule.
+const PROTOCOL_TABLE: &str = r#"
+[topology]
+workers = ["driver", "joiner", "collector"]
+edges = ["driver -> joiner : bounded", "joiner -> collector : unbounded"]
+
+[protocol]
+edges = ["dj = driver -> joiner", "jc = joiner -> collector"]
+transitions = [
+    "dj : stream --data--> stream",
+    "dj : stream --batch--> stream",
+    "dj : stream --heartbeat--> stream",
+    "dj : stream --finish--> closed",
+    "dj : island --data--> island",
+    "jc : stream --data--> stream",
+    "jc : stream --finish--> closed",
+]
+"#;
+
+/// The `[stamps]` declarations the R9 fixtures are written against.
+const STAMPS_TABLE: &str = r#"
+[stamps]
+pairs = [
+    "wal-dispatch : wal-append < dispatch",
+    "deliver-mark : deliver < mark-emitted",
+    "stamp-observe : stamp-read < tracker-observe",
+]
+"#;
+
+/// `(line, subject)` of every surviving diagnostic of one rule.
+fn rule_findings(files: &[SourceFile], cfg: &Config, id: &str) -> Vec<(usize, String)> {
+    check_files(files, cfg)
+        .diagnostics
+        .into_iter()
+        .filter(|d| d.rule == id)
+        .map(|d| (d.line, d.subject))
+        .collect()
+}
+
+#[test]
+fn r8_flags_untagged_undeclared_unreachable_mismatched_and_post_finish_sites() {
+    let cfg = demo_config(PROTOCOL_TABLE);
+    let f = fixture("crates/demo/src/r8_bad.rs", "r8_bad.rs");
+    let s = |t: &str| t.to_string();
+    assert_eq!(
+        rule_findings(&[f], &cfg, "R8"),
+        vec![
+            (4, s("Msg::Data")),             // untagged send site
+            (8, s("ghost.stream")),          // tag names no declared edge
+            (13, s("dj.warp")),              // tag names no state of the automaton
+            (18, s("dj.island")),            // state unreachable from the start state
+            (24, s("dj.closed")),            // Heartbeat cannot enter the terminal state
+            (30, s("dj.stream")),            // send after the same function's Finish tag
+            (35, s("stream")),               // malformed tag (no `<edge>.<state>`)
+            (cfg.proto_edges_line, s("jc")), // declared edge named by no tag here
+        ]
+    );
+}
+
+#[test]
+fn r8_post_finish_diagnostic_names_the_closing_line() {
+    let cfg = demo_config(PROTOCOL_TABLE);
+    let f = fixture("crates/demo/src/r8_bad.rs", "r8_bad.rs");
+    let out = check_files(&[f], &cfg);
+    let post = out
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "R8" && d.line == 30)
+        .expect("post-finish finding");
+    assert!(
+        post.message
+            .contains("after the `Finish` tag `dj.closed` (line 28)"),
+        "message must cite the closing tag's line: {}",
+        post.message
+    );
+}
+
+#[test]
+fn r8_accepts_tagged_sends_patterns_and_hand_tagged_edges() {
+    let cfg = demo_config(PROTOCOL_TABLE);
+    let f = fixture("crates/demo/src/r8_good.rs", "r8_good.rs");
+    assert_eq!(rule_findings(&[f], &cfg, "R8"), vec![]);
+}
+
+#[test]
+fn r8_stale_edge_is_anchored_in_lint_toml() {
+    let cfg = demo_config(PROTOCOL_TABLE);
+    let f = fixture("crates/demo/src/r8_bad.rs", "r8_bad.rs");
+    let out = check_files(&[f], &cfg);
+    let stale = out
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "R8" && d.file == "lint.toml")
+        .expect("stale edge finding");
+    assert_eq!(stale.line, cfg.proto_edges_line);
+    assert_eq!(stale.subject, "jc");
+}
+
+#[test]
+fn r9_flags_untagged_unknown_misroled_missing_and_inverted_sites() {
+    let cfg = demo_config(STAMPS_TABLE);
+    let f = fixture("crates/demo/src/r9_bad.rs", "r9_bad.rs");
+    let s = |t: &str| t.to_string();
+    assert_eq!(
+        rule_findings(&[f], &cfg, "R9"),
+        vec![
+            (5, s("record_event")),                     // untagged WAL append
+            (6, s("mark_emitted")),                     // untagged exactly-once mark
+            (7, s("tracker.observe")),                  // untagged tracker observation
+            (11, s("ghost.pre")),                       // tag names no declared pair
+            (16, s("wal-dispatch.during")),             // role is neither pre nor post
+            (21, s("wal-dispatch.post")),               // post with no pre in the function
+            (26, s("deliver-mark.post")),               // pre exists but only after post
+            (cfg.stamp_pairs_line, s("stamp-observe")), // pair named by no tag here
+        ]
+    );
+}
+
+#[test]
+fn r9_distinguishes_missing_from_inverted_orderings() {
+    let cfg = demo_config(STAMPS_TABLE);
+    let f = fixture("crates/demo/src/r9_bad.rs", "r9_bad.rs");
+    let out = check_files(&[f], &cfg);
+    let missing = out
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "R9" && d.line == 21)
+        .unwrap();
+    assert!(missing.message.contains("first half is missing"));
+    let inverted = out
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "R9" && d.line == 26)
+        .unwrap();
+    assert!(inverted.message.contains("inverted"));
+    assert!(
+        inverted.message.contains("(line 28)"),
+        "inversion must cite the late pre line: {}",
+        inverted.message
+    );
+}
+
+#[test]
+fn r9_accepts_tagged_and_ordered_pairs() {
+    let cfg = demo_config(STAMPS_TABLE);
+    let f = fixture("crates/demo/src/r9_good.rs", "r9_good.rs");
+    assert_eq!(rule_findings(&[f], &cfg, "R9"), vec![]);
+}
+
+#[test]
+fn r9_allow_suppresses_an_untagged_sentinel_and_counts_the_use() {
+    let cfg = demo_config(&format!(
+        "{}{}",
+        STAMPS_TABLE,
+        r#"
+[[allow]]
+rule = "R9"
+file = "crates/demo/src/r9_bad.rs"
+subject = "tracker.observe"
+reason = "replay-side observation of a stamp fixed in a prior run"
+"#
+    ));
+    let f = fixture("crates/demo/src/r9_bad.rs", "r9_bad.rs");
+    let out = check_files(&[f], &cfg);
+    assert_eq!(out.allow_uses, vec![1]);
+    assert!(out.stale_allows().is_empty());
+    assert!(
+        !out.diagnostics
+            .iter()
+            .any(|d| d.rule == "R9" && d.line == 7),
+        "the allowed tracker.observe finding must be suppressed"
+    );
+}
+
+#[test]
+fn json_output_pins_the_schema_and_byte_spans() {
+    // Schema pin: every diagnostic renders the eight keys in this order,
+    // `span` carries the flagged line's byte range, and declaration-level
+    // findings (anchored in lint.toml, which is not a parsed source file)
+    // render `"span": null`. Treat a change here as a breaking change to
+    // `cargo xtask lint --json` consumers.
+    let cfg = demo_config(PROTOCOL_TABLE);
+    let files = [fixture("crates/demo/src/r8_bad.rs", "r8_bad.rs")];
+    let out = check_files(&files, &cfg);
+    let json = xtask::lint::render_json(&out, &cfg, &files);
+    assert!(
+        json.contains(
+            "{\"rule\": \"R8\", \"name\": \"message-protocol\", \
+             \"file\": \"crates/demo/src/r8_bad.rs\", \"line\": 4, \
+             \"span\": {\"byte_start\": 106, \"byte_end\": 132}, \
+             \"subject\": \"Msg::Data\""
+        ),
+        "span of r8_bad.rs:4 drifted:\n{json}"
+    );
+    // The stale-edge finding is anchored at lint.toml, which has no span.
+    let stale = format!(
+        "\"file\": \"lint.toml\", \"line\": {}, \"span\": null, \"subject\": \"jc\"",
+        cfg.proto_edges_line
+    );
+    assert!(
+        json.contains(&stale),
+        "lint.toml-anchored findings must render a null span:\n{json}"
+    );
+}
+
 #[test]
 fn allowlist_suppresses_matching_diagnostics_and_counts_uses() {
     let cfg = demo_config(
@@ -333,6 +541,8 @@ fn rules_do_not_bleed_across_fixtures_in_a_joint_run() {
         fixture("crates/demo/src/r4_good.rs", "r4_good.rs"),
         fixture("crates/demo/src/r6_bad.rs", "r6_bad.rs"),
         fixture("crates/demo/src/r7_bad.rs", "r7_bad.rs"),
+        fixture("crates/demo/src/r8_bad.rs", "r8_bad.rs"),
+        fixture("crates/demo/src/r9_bad.rs", "r9_bad.rs"),
         fixture("crates/demo/loomed/r5_src.rs", "r5_src.rs"),
         fixture("crates/demo/tests/loom.rs", "r5_models.rs"),
     ];
@@ -343,9 +553,11 @@ fn rules_do_not_bleed_across_fixtures_in_a_joint_run() {
     assert_eq!(per_rule("R3"), 5);
     assert_eq!(per_rule("R4"), 5);
     assert_eq!(per_rule("R5"), 1);
-    // With no [lockorder]/[topology] declared, R6 and R7 stay inert even
-    // over their own bait fixtures.
+    // With no [lockorder]/[topology]/[protocol]/[stamps] declared, R6-R9
+    // stay inert even over their own bait fixtures.
     assert_eq!(per_rule("R6"), 0);
     assert_eq!(per_rule("R7"), 0);
+    assert_eq!(per_rule("R8"), 0);
+    assert_eq!(per_rule("R9"), 0);
     assert_eq!(out.diagnostics.len(), 19);
 }
