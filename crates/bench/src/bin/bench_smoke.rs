@@ -3,19 +3,24 @@
 //!
 //! Measures every engine on one fixed small workload at `batch_size = 1`
 //! (the pass-through oracle) and `batch_size = 64`, three trials each,
-//! reporting **median throughput** and **p99 latency**:
+//! reporting **median throughput** and **p99 latency**. The index
+//! backend is a matrix axis: every engine runs on the skip-list
+//! reference, and the flagship Scale-OIJ additionally on Jiffy-lite and
+//! HINT-lite, so a backend-local regression can't hide behind the
+//! default rows:
 //!
 //! ```text
-//! cargo run --release -p oij-bench --bin bench_smoke              # write BENCH_pr4.json
-//! cargo run --release -p oij-bench --bin bench_smoke -- --check BENCH_pr4.json
+//! cargo run --release -p oij-bench --bin bench_smoke              # write BENCH_pr9.json
+//! cargo run --release -p oij-bench --bin bench_smoke -- --check BENCH_pr9.json
 //! ```
 //!
-//! Without arguments the measurement is written to `BENCH_pr4.json` (or
+//! Without arguments the measurement is written to `BENCH_pr9.json` (or
 //! the path given as the sole positional argument) — the committed
 //! baseline. With `--check <path>` the workload is re-measured and the
-//! process exits nonzero if any engine/batch configuration lost more
-//! than [`REGRESSION_TOLERANCE`] of its baseline median throughput —
-//! the CI job `bench-smoke` runs exactly this.
+//! process exits nonzero if any engine/backend/batch configuration lost
+//! more than [`REGRESSION_TOLERANCE`] of its baseline median throughput
+//! — the CI job `bench-smoke` runs exactly this. Pre-PR9 baselines
+//! (rows without a `backend` field) parse as skip-list rows.
 //!
 //! Env knobs: `OIJ_BENCH_TUPLES` (default 120 000) and
 //! `OIJ_BENCH_TRIALS` (default 3; the median wants an odd count).
@@ -25,7 +30,7 @@ use std::process::ExitCode;
 use serde::{Deserialize, Serialize};
 
 use oij_bench::run_engine_cfg;
-use oij_core::config::{EngineConfig, Instrumentation};
+use oij_core::config::{EngineConfig, IndexBackend, Instrumentation};
 use oij_core::engine::EngineKind;
 use oij_workload::{KeyDist, SyntheticConfig};
 
@@ -47,11 +52,29 @@ const ENGINES: [EngineKind; 4] = [
     EngineKind::OpenMldb,
 ];
 
-/// One engine × batch-size measurement (medians over the trials).
+/// The engine × backend rows measured: every engine on the skip-list
+/// reference, plus Scale-OIJ on each alternative backend.
+fn bench_matrix() -> Vec<(EngineKind, IndexBackend)> {
+    let mut rows: Vec<(EngineKind, IndexBackend)> = ENGINES
+        .iter()
+        .map(|&k| (k, IndexBackend::SkipList))
+        .collect();
+    rows.push((EngineKind::ScaleOij, IndexBackend::JiffyLite));
+    rows.push((EngineKind::ScaleOij, IndexBackend::HintLite));
+    rows
+}
+
+/// One engine × backend × batch-size measurement (medians over trials).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Measurement {
     /// Engine label (paper legend name).
     engine: String,
+    /// Index backend label. `default` (not `default = "fn"`: the
+    /// vendored derive only supports the bare form) keeps pre-PR9
+    /// baselines parseable; the loader maps the resulting empty string
+    /// to the skip-list reference.
+    #[serde(default)]
+    backend: String,
     /// Coalescing depth this row was measured at.
     batch_size: usize,
     /// Median throughput over the trials, tuples/second.
@@ -102,7 +125,7 @@ fn measure(tuples: usize, trials: usize, joiners: usize) -> Report {
         .expect("static query");
 
     let mut measurements = Vec::new();
-    for kind in ENGINES {
+    for (kind, backend) in bench_matrix() {
         for batch in BATCHES {
             let mut tput = Vec::with_capacity(trials);
             let mut p99 = Vec::with_capacity(trials);
@@ -110,7 +133,8 @@ fn measure(tuples: usize, trials: usize, joiners: usize) -> Report {
                 let cfg = EngineConfig::new(query.clone(), joiners)
                     .expect("valid config")
                     .with_instrument(Instrumentation::latency())
-                    .with_batch_size(batch);
+                    .with_batch_size(batch)
+                    .with_index_backend(backend);
                 let stats = run_engine_cfg(kind, cfg, &events).expect("bench run");
                 tput.push(stats.throughput);
                 p99.push(
@@ -123,26 +147,29 @@ fn measure(tuples: usize, trials: usize, joiners: usize) -> Report {
             }
             let m = Measurement {
                 engine: kind.label().to_string(),
+                backend: backend.label().to_string(),
                 batch_size: batch,
                 throughput: median(&mut tput.clone()),
                 trials: tput,
                 p99_ms: median(&mut p99),
             };
             println!(
-                "{:>12} batch={:<3} {:>12.0} tuples/s   p99 {:>8.3} ms",
-                m.engine, m.batch_size, m.throughput, m.p99_ms
+                "{:>12} {:>10} batch={:<3} {:>12.0} tuples/s   p99 {:>8.3} ms",
+                m.engine, m.backend, m.batch_size, m.throughput, m.p99_ms
             );
             measurements.push(m);
         }
     }
 
+    // Speedups stay a per-engine summary on the reference backend.
+    let skiplist = IndexBackend::SkipList.label();
     let speedups = ENGINES
         .iter()
         .map(|k| {
             let at = |b: usize| {
                 measurements
                     .iter()
-                    .find(|m| m.engine == k.label() && m.batch_size == b)
+                    .find(|m| m.engine == k.label() && m.backend == skiplist && m.batch_size == b)
                     .map(|m| m.throughput)
                     .unwrap_or(f64::NAN)
             };
@@ -177,8 +204,8 @@ fn main() -> ExitCode {
     let joiners = 4;
 
     if args.first().map(String::as_str) == Some("--check") {
-        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_pr4.json");
-        let baseline: Report = match std::fs::read_to_string(path) {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_pr9.json");
+        let mut baseline: Report = match std::fs::read_to_string(path) {
             Ok(s) => match serde_json::from_str(&s) {
                 Ok(r) => r,
                 Err(e) => {
@@ -191,6 +218,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // Rows from a pre-backend-axis baseline measured the default
+        // (skip-list) backend.
+        for m in &mut baseline.measurements {
+            if m.backend.is_empty() {
+                m.backend = IndexBackend::SkipList.label().to_string();
+            }
+        }
         // Re-measure at the baseline's own sizing so medians compare
         // like-for-like regardless of the caller's env.
         let current = measure(baseline.tuples, baseline.trials, baseline.joiners);
@@ -203,14 +237,12 @@ fn main() -> ExitCode {
         }
         let mut failed = false;
         for b in &baseline.measurements {
-            let Some(c) = current
-                .measurements
-                .iter()
-                .find(|m| m.engine == b.engine && m.batch_size == b.batch_size)
-            else {
+            let Some(c) = current.measurements.iter().find(|m| {
+                m.engine == b.engine && m.backend == b.backend && m.batch_size == b.batch_size
+            }) else {
                 eprintln!(
-                    "error: {} batch={} missing from rerun",
-                    b.engine, b.batch_size
+                    "error: {} on {} batch={} missing from rerun",
+                    b.engine, b.backend, b.batch_size
                 );
                 failed = true;
                 continue;
@@ -218,9 +250,10 @@ fn main() -> ExitCode {
             let floor = b.throughput * (1.0 - REGRESSION_TOLERANCE);
             if c.throughput < floor {
                 eprintln!(
-                    "REGRESSION: {} batch={} {:.0} tuples/s < {:.0} \
+                    "REGRESSION: {} on {} batch={} {:.0} tuples/s < {:.0} \
                      (baseline {:.0} − {:.0}% tolerance)",
                     b.engine,
+                    b.backend,
                     b.batch_size,
                     c.throughput,
                     floor,
@@ -240,7 +273,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let out = args.first().map(String::as_str).unwrap_or("BENCH_pr4.json");
+    let out = args.first().map(String::as_str).unwrap_or("BENCH_pr9.json");
     let report = measure(tuples, trials, joiners);
     let json = serde_json::to_string_pretty(&report).expect("serialisable report");
     if let Err(e) = std::fs::write(out, json) {

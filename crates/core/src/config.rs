@@ -5,6 +5,7 @@ use std::time::Duration as StdDuration;
 use oij_cachesim::CacheConfig;
 use oij_common::{Error, OijQuery, Result};
 use oij_durability::DurabilityConfig;
+pub use oij_index::IndexBackend;
 
 use crate::faults::FaultPlan;
 
@@ -154,6 +155,12 @@ pub struct EngineConfig {
     /// Bounded retry for transient sink failures. `None` — the default —
     /// keeps sink panics fail-fast.
     pub sink_retry: Option<SinkRetryPolicy>,
+    /// Which SWMR index backend every joiner builds its tuple store
+    /// from (`oij-index`). The default [`IndexBackend::SkipList`] is the
+    /// paper's double-layer time-travel skip list; the alternatives are
+    /// raced against it by `tests/index_equivalence.rs` and the
+    /// per-backend bench rows.
+    pub index_backend: IndexBackend,
 
     /// Scale-OIJ: number of key-hash partitions `P` (power of two).
     pub partitions: usize,
@@ -194,6 +201,7 @@ impl EngineConfig {
             flush_deadline: StdDuration::from_micros(200),
             durability: None,
             sink_retry: None,
+            index_backend: IndexBackend::default(),
             partitions: 64,
             schedule_interval: StdDuration::from_millis(5),
             schedule_delta: 0.01,
@@ -240,6 +248,12 @@ impl EngineConfig {
     /// Enables bounded sink retry for transient sink failures.
     pub fn with_sink_retry(mut self, policy: SinkRetryPolicy) -> Self {
         self.sink_retry = Some(policy);
+        self
+    }
+
+    /// Replaces the SWMR index backend every joiner builds from.
+    pub fn with_index_backend(mut self, backend: IndexBackend) -> Self {
+        self.index_backend = backend;
         self
     }
 
@@ -415,6 +429,19 @@ mod tests {
         let mut bad = cfg;
         bad.durability.as_mut().unwrap().checkpoint_every = 0;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn index_backend_defaults_to_skiplist() {
+        let cfg = EngineConfig::new(query(), 2).unwrap();
+        assert_eq!(
+            cfg.index_backend,
+            IndexBackend::SkipList,
+            "the reference backend must stay the default"
+        );
+        let cfg = cfg.with_index_backend(IndexBackend::JiffyLite);
+        assert_eq!(cfg.index_backend, IndexBackend::JiffyLite);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

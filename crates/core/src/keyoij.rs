@@ -2,11 +2,14 @@
 //! (paper §II-C).
 //!
 //! Every tuple is routed by `hash(key) mod J` to a statically bound joiner.
-//! Each joiner buffers probe tuples per key in **unsorted append vectors**;
-//! every base tuple triggers a **full scan** of its key's buffer, filtering
-//! by the window predicate. Expired tuples are removed by periodic full
-//! sweeps. These three properties are exactly what the paper's study blames
-//! for Key-OIJ's pitfalls:
+//! Each joiner buffers probe tuples per key in the configured
+//! [`IndexBackend`](crate::config::EngineConfig::index_backend); every base
+//! tuple triggers a **full scan** of its key's buffer — the whole retained
+//! timestamp range, filtering by the window predicate engine-side — so the
+//! baseline keeps its defining inefficiency no matter how capable the
+//! backing store is. Expired tuples are removed by periodic sweeps. These
+//! three properties are exactly what the paper's study blames for
+//! Key-OIJ's pitfalls:
 //!
 //! 1. lateness forces the buffers to hold (and every scan to wade through)
 //!    out-of-window tuples (Figure 7),
@@ -14,7 +17,7 @@
 //! 3. overlapping windows are recomputed from scratch (Figure 9).
 
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -23,6 +26,7 @@ use crossbeam_channel::{bounded, Receiver, Sender};
 
 use oij_agg::FullWindowAgg;
 use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestamp};
+use oij_index::{BackendReader, BackendWriter, OijIndexReader, OijIndexWriter};
 
 use crate::batch::{Batcher, SlotPool};
 use crate::config::EngineConfig;
@@ -288,20 +292,17 @@ impl Drop for KeyOij {
     }
 }
 
-/// A probe tuple as stored in Key-OIJ's unsorted buffers.
-#[derive(Clone, Copy)]
-struct Stored {
-    ts: i64,
-    value: f64,
-}
-
 /// One Key-OIJ worker thread's state.
 struct KeyJoiner {
     cfg: EngineConfig,
     sink: Sink,
     inst: JoinerInstruments,
-    /// Per-key unsorted probe buffers (the paper's "buffer").
-    probes: HashMap<Key, Vec<Stored>>,
+    /// Per-key probe buffers (the paper's "buffer"), behind the pluggable
+    /// index backend. The join path deliberately ignores the backend's
+    /// timestamp order: it always scans the key's full retained range.
+    writer: BackendWriter,
+    reader: BackendReader,
+    node_bytes: usize,
     /// Watermark mode: pending base tuples keyed by (emit_ts, seq).
     pending: BTreeMap<(i64, u64), PendingBase>,
     /// Scratch for the breakdown-instrumented two-phase scan.
@@ -326,11 +327,15 @@ impl KeyJoiner {
         origin: Instant,
         pool: Arc<SlotPool<Vec<DataMsg>>>,
     ) -> Self {
+        let (writer, reader) = cfg.index_backend.build();
+        let node_bytes = writer.node_footprint();
         KeyJoiner {
             inst: JoinerInstruments::new(&cfg.instrument, origin),
             cfg: cfg.clone(),
             sink,
-            probes: HashMap::new(),
+            writer,
+            reader,
+            node_bytes,
             pending: BTreeMap::new(),
             scratch: Vec::new(),
             pool,
@@ -436,15 +441,11 @@ impl KeyJoiner {
         }
         match msg.side {
             Side::Probe => {
-                let buf = self.probes.entry(msg.tuple.key).or_default();
-                buf.push(Stored {
-                    ts: msg.tuple.ts.as_micros(),
-                    value: msg.tuple.value,
-                });
                 if self.inst.cache.is_some() {
-                    let addr =
-                        buf.as_ptr() as usize + (buf.len() - 1) * std::mem::size_of::<Stored>();
-                    self.inst.record_access(addr, std::mem::size_of::<Stored>());
+                    let addr = self.writer.insert_hinted_traced(msg.tuple, false);
+                    self.inst.record_access(addr, self.node_bytes);
+                } else {
+                    self.writer.insert(msg.tuple);
                 }
             }
             Side::Base => match self.cfg.query.emit {
@@ -476,11 +477,12 @@ impl KeyJoiner {
 
     /// Processes one coalesced batch. Semantically identical to calling
     /// [`handle`](Self::handle) once per message — the only shortcut is
-    /// pinning the per-key buffer lookup across a run of consecutive
-    /// same-key probes in eager mode, where inserts have no emission side
-    /// effects. The run is capped at the remaining expiration budget so
-    /// the periodic sweep still fires after exactly the same message as
-    /// on the unbatched path.
+    /// handing a run of consecutive same-key probes in eager mode to the
+    /// backend as one [`insert_batch`](OijIndexWriter::insert_batch) call
+    /// (inserts have no emission side effects, and nothing reads the index
+    /// mid-run, so deferred publication is safe). The run is capped at the
+    /// remaining expiration budget so the periodic sweep still fires after
+    /// exactly the same message as on the unbatched path.
     fn handle_batch(&mut self, msgs: &[DataMsg]) {
         let eager = self.cfg.query.emit == EmitMode::Eager;
         let mut i = 0;
@@ -503,24 +505,29 @@ impl KeyJoiner {
             {
                 end += 1;
             }
-            let cache_on = self.inst.cache.is_some();
-            // The pinned lookup: one hash probe for the whole run.
-            let buf = self.probes.entry(key).or_default();
-            for m in &msgs[i..end] {
-                self.inst.processed += 1;
-                self.last_wm = m.watermark;
-                if m.tuple.ts < m.watermark {
-                    self.inst.late_violations += 1;
+            if self.inst.cache.is_some() {
+                // The cache model needs a node address per insert, so the
+                // traced scalar path stays in charge here.
+                for m in &msgs[i..end] {
+                    self.inst.processed += 1;
+                    self.last_wm = m.watermark;
+                    if m.tuple.ts < m.watermark {
+                        self.inst.late_violations += 1;
+                    }
+                    let addr = self.writer.insert_hinted_traced(m.tuple.clone(), false);
+                    self.inst.record_access(addr, self.node_bytes);
                 }
-                buf.push(Stored {
-                    ts: m.tuple.ts.as_micros(),
-                    value: m.tuple.value,
-                });
-                if cache_on {
-                    let addr =
-                        buf.as_ptr() as usize + (buf.len() - 1) * std::mem::size_of::<Stored>();
-                    self.inst.record_access(addr, std::mem::size_of::<Stored>());
+            } else {
+                let mut run = Vec::with_capacity(end - i);
+                for m in &msgs[i..end] {
+                    self.inst.processed += 1;
+                    self.last_wm = m.watermark;
+                    if m.tuple.ts < m.watermark {
+                        self.inst.late_violations += 1;
+                    }
+                    run.push((m.tuple.clone(), false));
                 }
+                self.writer.insert_batch(run);
             }
             self.since_expire += end - i;
             if self.since_expire >= self.cfg.expire_every {
@@ -542,53 +549,58 @@ impl KeyJoiner {
         }
     }
 
-    /// The Key-OIJ join: full scan of the key's unsorted buffer.
+    /// The Key-OIJ join: full scan of the key's whole retained buffer (the
+    /// backend's timestamp order is deliberately *not* used to prune — the
+    /// window predicate filters engine-side, so lateness still inflates
+    /// every scan, Figure 7 style).
     fn join_and_emit(&mut self, key: Key, ts: Timestamp, seq: u64, arrival: Instant) {
         let window = self.cfg.query.window.window_of(ts);
         let (lo, hi) = (window.start.as_micros(), window.end.as_micros());
         let spec = self.cfg.query.agg;
         let mut agg = FullWindowAgg::new(spec);
-        let mut visited = 0u64;
+        let visited;
 
-        if let Some(buf) = self.probes.get(&key) {
-            visited = buf.len() as u64;
-            let base_addr = buf.as_ptr() as usize;
-            if let Some(cache) = self.inst.cache.as_mut() {
-                // Instrumented scan: feed every slot touch into the LLC
-                // model, then aggregate as usual.
-                for (i, s) in buf.iter().enumerate() {
-                    cache.access(base_addr + i * std::mem::size_of::<Stored>(), 16);
-                    if s.ts >= lo && s.ts <= hi {
-                        agg.add(s.value);
-                    }
+        let reader = &self.reader;
+        let node_bytes = self.node_bytes;
+        if let Some(cache) = self.inst.cache.as_mut() {
+            // Instrumented scan: feed every node touch into the LLC
+            // model, then aggregate as usual.
+            visited = reader.scan_ts_range_addr(key, Timestamp::MIN, Timestamp::MAX, |t, addr| {
+                cache.access(addr, node_bytes);
+                let s = t.ts.as_micros();
+                if s >= lo && s <= hi {
+                    agg.add(t.value);
                 }
-            } else if self.inst.wants_breakdown() {
-                // Two-phase scan so lookup and match are timed separately,
-                // mirroring the paper's Figure 6 categories.
-                let t0 = Instant::now();
-                self.scratch.clear();
-                for s in buf {
-                    if s.ts >= lo && s.ts <= hi {
-                        self.scratch.push(s.value);
-                    }
+            }) as u64;
+        } else if self.inst.wants_breakdown() {
+            // Two-phase scan so lookup and match are timed separately,
+            // mirroring the paper's Figure 6 categories.
+            let t0 = Instant::now();
+            let scratch = &mut self.scratch;
+            scratch.clear();
+            visited = reader.scan_ts_range(key, Timestamp::MIN, Timestamp::MAX, |t| {
+                let s = t.ts.as_micros();
+                if s >= lo && s <= hi {
+                    scratch.push(t.value);
                 }
-                let t1 = Instant::now();
-                for &v in &self.scratch {
-                    agg.add(v);
-                }
-                let t2 = Instant::now();
-                self.inst.add_breakdown(
-                    t1.duration_since(t0).as_nanos() as u64,
-                    t2.duration_since(t1).as_nanos() as u64,
-                    0,
-                );
-            } else {
-                for s in buf {
-                    if s.ts >= lo && s.ts <= hi {
-                        agg.add(s.value);
-                    }
-                }
+            }) as u64;
+            let t1 = Instant::now();
+            for &v in &self.scratch {
+                agg.add(v);
             }
+            let t2 = Instant::now();
+            self.inst.add_breakdown(
+                t1.duration_since(t0).as_nanos() as u64,
+                t2.duration_since(t1).as_nanos() as u64,
+                0,
+            );
+        } else {
+            visited = reader.scan_ts_range(key, Timestamp::MIN, Timestamp::MAX, |t| {
+                let s = t.ts.as_micros();
+                if s >= lo && s <= hi {
+                    agg.add(t.value);
+                }
+            }) as u64;
         }
 
         let matched = agg.count();
@@ -599,8 +611,9 @@ impl KeyJoiner {
         self.inst.record_latency(arrival);
     }
 
-    /// Periodic expiration sweep: full scans over every buffer (Key-OIJ has
-    /// no order to exploit).
+    /// Periodic expiration sweep, delegated to the backend's
+    /// `evict_below` (the bound is identical to the original
+    /// retain-by-timestamp sweep: keep `t ≥ wm − PRE − FOL`).
     fn expire(&mut self) {
         if self.last_wm == Timestamp::MIN {
             return;
@@ -608,18 +621,9 @@ impl KeyJoiner {
         // A probe at `t` can still serve a lateness-compliant base `s ≥ wm`
         // whose window starts at `s − PRE`; pending bases reach back a
         // further FOL. Keep `t ≥ wm − PRE − FOL`.
-        let bound = self
-            .last_wm
-            .saturating_sub(self.cfg.query.window.length())
-            .as_micros();
+        let bound = self.last_wm.saturating_sub(self.cfg.query.window.length());
         let other_t0 = self.inst.wants_breakdown().then(Instant::now);
-        let mut evicted = 0u64;
-        for buf in self.probes.values_mut() {
-            let before = buf.len();
-            buf.retain(|s| s.ts >= bound);
-            evicted += (before - buf.len()) as u64;
-        }
-        self.inst.evicted += evicted;
+        self.inst.evicted += self.writer.evict_below(bound) as u64;
         if let Some(t0) = other_t0 {
             self.inst
                 .add_breakdown(0, 0, t0.elapsed().as_nanos() as u64);

@@ -15,13 +15,13 @@
 //!    comparison, so the baseline ignores lateness entirely: tuples join
 //!    against whatever is present (eager), and retention ignores `l`.
 //!
-//! The read path is genuinely good — an ordered scan over a `BTreeMap`
-//! (OpenMLDB's skip-list storage) — which is why the baseline holds up at
-//! low arrival rates (Workload D) and collapses at high ones.
+//! The read path is genuinely good — an ordered time-range scan over the
+//! configured index backend (OpenMLDB's skip-list storage) — which is why
+//! the baseline holds up at low arrival rates (Workload D) and collapses
+//! at high ones.
 
 use crate::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use crate::sync::RwLock;
-use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -30,6 +30,7 @@ use crossbeam_channel::{bounded, Receiver, Sender};
 
 use oij_agg::FullWindowAgg;
 use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestamp};
+use oij_index::{BackendReader, BackendWriter, Exclusive, OijIndexReader, OijIndexWriter};
 
 use crate::batch::{Batcher, SlotPool};
 use crate::config::EngineConfig;
@@ -44,8 +45,17 @@ use crate::sink::{worker_sink_stack, Sink};
 
 const ENGINE: &str = "openmldb";
 
-/// The shared store: key → ordered time series of `(ts, seq) → value`.
-type Store = RwLock<HashMap<Key, BTreeMap<(i64, u64), f64>>>;
+/// The shared store: one backend index writer behind a writer-exclusive
+/// lock (the insertion bottleneck the paper measures), plus its snapshot
+/// reader handle. Workers still scan under the *read* lock: this models
+/// OpenMLDB's reader/writer contention faithfully, and it is also
+/// load-bearing for correctness — `insert_batch` may defer publication to
+/// the end of a run, and the run executes under the write lock, so no
+/// reader can observe a half-published batch.
+struct Store {
+    writer: RwLock<Exclusive<BackendWriter>>,
+    reader: BackendReader,
+}
 
 /// The OpenMLDB-style baseline engine. See the [module docs](self).
 ///
@@ -80,7 +90,11 @@ impl OpenMldbBaseline {
             ));
         }
         let origin = Instant::now();
-        let store: Arc<Store> = Arc::new(RwLock::new("openmldb_store", HashMap::new()));
+        let (writer, reader) = cfg.index_backend.build();
+        let store: Arc<Store> = Arc::new(Store {
+            writer: RwLock::new("openmldb_store", Exclusive::new(writer)),
+            reader,
+        });
         // Deduplicates concurrent expiration sweeps.
         let expired_to = Arc::new(AtomicI64::new(i64::MIN));
         let failures = Arc::new(FailureCell::new());
@@ -396,11 +410,8 @@ impl MldbWorker {
                 // The bottleneck the paper measures: a writer-exclusive
                 // lock over the whole store per insertion.
                 // LOCK: openmldb_store
-                let mut store = self.store.write();
-                store
-                    .entry(msg.tuple.key)
-                    .or_default()
-                    .insert((msg.tuple.ts.as_micros(), msg.seq), msg.tuple.value);
+                let mut store = self.store.writer.write();
+                store.get_mut().insert(msg.tuple);
             }
             Side::Base => {
                 self.join_and_emit(msg.tuple.key, msg.tuple.ts, msg.seq, msg.arrival);
@@ -416,12 +427,12 @@ impl MldbWorker {
     /// Processes one coalesced batch; semantically identical to calling
     /// [`handle`](Self::handle) once per message. The pinned resource here
     /// is the store's writer lock: one acquisition covers a whole run of
-    /// consecutive probes (with the per-key series entry additionally
-    /// pinned across same-key sub-runs) — the inserts themselves are
-    /// unchanged, the run merely cannot interleave with other workers'
-    /// inserts, which round-robin dispatch never promised anyway. Runs are
-    /// capped at the remaining expiration budget so the sweep cadence
-    /// matches the unbatched path exactly.
+    /// consecutive probes, handed to the backend as one
+    /// [`insert_batch`](OijIndexWriter::insert_batch) call — deferred
+    /// publication is safe because readers scan under the read lock, so no
+    /// reader can overlap the run. Runs are capped at the remaining
+    /// expiration budget so the sweep cadence matches the unbatched path
+    /// exactly.
     fn handle_batch(&mut self, msgs: &[DataMsg]) {
         let mut i = 0;
         while i < msgs.len() {
@@ -436,24 +447,19 @@ impl MldbWorker {
                 end += 1;
             }
             {
+                let mut run = Vec::with_capacity(end - i);
+                for m in &msgs[i..end] {
+                    self.inst.processed += 1;
+                    self.last_wm = m.watermark;
+                    if m.tuple.ts < m.watermark {
+                        self.inst.late_violations += 1;
+                    }
+                    run.push((m.tuple.clone(), false));
+                }
                 // One writer-exclusive acquisition for the whole probe run.
                 // LOCK: openmldb_store
-                let mut store = self.store.write();
-                let mut j = i;
-                while j < end {
-                    let key = msgs[j].tuple.key;
-                    let series = store.entry(key).or_default();
-                    while j < end && msgs[j].tuple.key == key {
-                        let m = &msgs[j];
-                        self.inst.processed += 1;
-                        self.last_wm = m.watermark;
-                        if m.tuple.ts < m.watermark {
-                            self.inst.late_violations += 1;
-                        }
-                        series.insert((m.tuple.ts.as_micros(), m.seq), m.tuple.value);
-                        j += 1;
-                    }
-                }
+                let mut store = self.store.writer.write();
+                store.get_mut().insert_batch(run);
             }
             self.since_expire += end - i;
             if self.since_expire >= self.cfg.expire_every {
@@ -469,20 +475,24 @@ impl MldbWorker {
         let (lo, hi) = (window.start.as_micros(), window.end.as_micros());
         let mut agg = FullWindowAgg::new(self.cfg.query.agg);
         {
-            // Read path: ordered range scan — OpenMLDB is good at this.
+            // Read path: ordered range scan — OpenMLDB is good at this. The
+            // read lock models the shared-store contention (and guarantees
+            // no half-published batch is visible; see [`Store`]).
             // LOCK: openmldb_store
-            let store = self.store.read();
-            if let Some(series) = store.get(&key) {
-                let lookup_t0 = self.inst.wants_breakdown().then(Instant::now);
-                for (_, &v) in series.range((lo, 0)..=(hi, u64::MAX)) {
-                    agg.add(v);
-                }
-                if let Some(t0) = lookup_t0 {
-                    // Ordered scans fuse lookup+match; attribute to lookup.
-                    self.inst
-                        .add_breakdown(t0.elapsed().as_nanos() as u64, 0, 0);
-                }
+            let store = self.store.writer.read();
+            let lookup_t0 = self.inst.wants_breakdown().then(Instant::now);
+            self.store.reader.scan_ts_range(
+                key,
+                Timestamp::from_micros(lo),
+                Timestamp::from_micros(hi),
+                |t| agg.add(t.value),
+            );
+            if let Some(t0) = lookup_t0 {
+                // Ordered scans fuse lookup+match; attribute to lookup.
+                self.inst
+                    .add_breakdown(t0.elapsed().as_nanos() as u64, 0, 0);
             }
+            drop(store);
         }
         let matched = agg.count();
         self.inst.record_effectiveness(matched, matched);
@@ -506,14 +516,9 @@ impl MldbWorker {
         if self.expired_to.fetch_max(bound, Ordering::AcqRel) >= bound {
             return;
         }
-        let mut evicted = 0u64;
         // LOCK: openmldb_store
-        let mut store = self.store.write();
-        for series in store.values_mut() {
-            let keep = series.split_off(&(bound, 0));
-            evicted += series.len() as u64;
-            *series = keep;
-        }
+        let mut store = self.store.writer.write();
+        let evicted = store.get_mut().evict_below(Timestamp::from_micros(bound)) as u64;
         drop(store);
         self.inst.evicted += evicted;
     }

@@ -29,7 +29,8 @@ use crossbeam_channel::Receiver;
 
 use oij_agg::{FullWindowAgg, PartialAgg, RunningAgg, TwoStackAgg};
 use oij_common::{AggSpec, EmitMode, FeatureRow, Key, Side, Timestamp};
-use oij_skiplist::{IndexReader, IndexWriter, RcuCell};
+use oij_index::{BackendReader, BackendWriter, OijIndexReader, OijIndexWriter};
+use oij_skiplist::RcuCell;
 
 use crate::batch::SlotPool;
 use crate::config::{EngineConfig, LatePolicy};
@@ -127,8 +128,8 @@ pub(crate) struct ScaleJoiner {
     cfg: EngineConfig,
     sink: Sink,
     inst: JoinerInstruments,
-    writer: IndexWriter,
-    readers: Vec<IndexReader>,
+    writer: BackendWriter,
+    readers: Vec<BackendReader>,
     schedule: Arc<RcuCell<Schedule>>,
     part_mask: u64,
     inc: HashMap<Key, IncState>,
@@ -167,8 +168,8 @@ impl ScaleJoiner {
         cfg: &EngineConfig,
         sink: Sink,
         origin: Instant,
-        writer: IndexWriter,
-        readers: Vec<IndexReader>,
+        writer: BackendWriter,
+        readers: Vec<BackendReader>,
         schedule: Arc<RcuCell<Schedule>>,
         progress: Arc<Vec<AtomicI64>>,
         hold: Arc<Vec<AtomicI64>>,
@@ -179,6 +180,7 @@ impl ScaleJoiner {
         faults: Option<WorkerFaults>,
         pool: Arc<SlotPool<Vec<DataMsg>>>,
     ) -> Self {
+        let node_bytes = writer.node_footprint();
         ScaleJoiner {
             id,
             inst: JoinerInstruments::new(&cfg.instrument, origin),
@@ -202,7 +204,7 @@ impl ScaleJoiner {
             scratch_pairs: Vec::new(),
             results: 0,
             since_expire: 0,
-            node_bytes: IndexWriter::node_footprint(),
+            node_bytes,
         }
     }
 

@@ -37,7 +37,7 @@ use std::time::Instant;
 use crossbeam_channel::{bounded, Sender};
 
 use oij_common::{Error, Event, Result, Timestamp};
-use oij_skiplist::{RcuCell, TimeTravelIndex};
+use oij_skiplist::RcuCell;
 
 use crate::batch::{Batcher, SlotPool};
 use crate::config::{EngineConfig, LatePolicy};
@@ -99,11 +99,15 @@ impl ScaleOij {
         let origin = Instant::now();
         let joiners = cfg.joiners;
 
-        // One SWMR index per joiner; readers shared with everyone.
+        // One SWMR index per joiner (backend chosen by the config;
+        // `IndexBackend::SkipList` reproduces the original layout
+        // bit-for-bit); readers shared with everyone.
         let mut writers = Vec::with_capacity(joiners);
         let mut readers = Vec::with_capacity(joiners);
         for j in 0..joiners {
-            let (w, r) = TimeTravelIndex::with_seed((0x5CA1E0 ^ ((j as u64) << 7)) | 1);
+            let (w, r) = cfg
+                .index_backend
+                .build_with_seed((0x5CA1E0 ^ ((j as u64) << 7)) | 1);
             writers.push(w);
             readers.push(r);
         }

@@ -25,6 +25,7 @@ use crossbeam_channel::{bounded, Receiver, Sender};
 
 use oij_agg::PartialAgg;
 use oij_common::{EmitMode, Error, Event, FeatureRow, Key, Result, Side, Timestamp};
+use oij_index::{BackendReader, BackendWriter, OijIndexReader, OijIndexWriter};
 
 use crate::batch::{Batcher, SlotPool};
 use crate::config::EngineConfig;
@@ -441,19 +442,17 @@ impl Drop for SplitJoin {
     }
 }
 
-#[derive(Clone, Copy)]
-struct Stored {
-    ts: i64,
-    value: f64,
-}
-
 struct SplitJoiner {
     id: usize,
     cfg: EngineConfig,
     inst: JoinerInstruments,
     collector: Sender<ToCollector>,
-    /// This joiner's round-robin storage slice, per key, unsorted.
-    slice: HashMap<Key, Vec<Stored>>,
+    /// This joiner's round-robin storage slice, behind the configured
+    /// index backend. The process step still scans a key's whole slice —
+    /// the backend's timestamp order is not used to prune.
+    writer: BackendWriter,
+    reader: BackendReader,
+    node_bytes: usize,
     /// Watermark mode: pending base tuples.
     pending: BTreeMap<(i64, u64), (Key, Timestamp, Instant)>,
     /// Returns drained batch buffers to the driver (DESIGN.md §10).
@@ -471,12 +470,16 @@ impl SplitJoiner {
         collector: Sender<ToCollector>,
         pool: Arc<SlotPool<Vec<DataMsg>>>,
     ) -> Self {
+        let (writer, reader) = cfg.index_backend.build();
+        let node_bytes = writer.node_footprint();
         SplitJoiner {
             id,
             inst: JoinerInstruments::new(&cfg.instrument, origin),
             cfg: cfg.clone(),
             collector,
-            slice: HashMap::new(),
+            writer,
+            reader,
+            node_bytes,
             pending: BTreeMap::new(),
             pool,
             since_expire: 0,
@@ -580,15 +583,11 @@ impl SplitJoiner {
             Side::Probe => {
                 // Store step: only the round-robin owner keeps the tuple.
                 if msg.seq as usize % self.cfg.joiners == self.id {
-                    let buf = self.slice.entry(msg.tuple.key).or_default();
-                    buf.push(Stored {
-                        ts: msg.tuple.ts.as_micros(),
-                        value: msg.tuple.value,
-                    });
                     if self.inst.cache.is_some() {
-                        let addr =
-                            buf.as_ptr() as usize + (buf.len() - 1) * std::mem::size_of::<Stored>();
-                        self.inst.record_access(addr, std::mem::size_of::<Stored>());
+                        let addr = self.writer.insert_hinted_traced(msg.tuple, false);
+                        self.inst.record_access(addr, self.node_bytes);
+                    } else {
+                        self.writer.insert(msg.tuple);
                     }
                 }
             }
@@ -617,11 +616,13 @@ impl SplitJoiner {
     }
 
     /// Processes one coalesced batch; semantically identical to calling
-    /// [`handle`](Self::handle) once per message. Pinning applies to runs
-    /// of consecutive same-key probes in eager mode: the slice lookup
-    /// happens once per run, and non-owned probes in the run only pay
-    /// their bookkeeping. Runs are capped at the remaining expiration
-    /// budget so the sweep cadence matches the unbatched path exactly.
+    /// [`handle`](Self::handle) once per message. Runs of consecutive
+    /// same-key probes in eager mode hand their *owned* subset to the
+    /// backend as one [`insert_batch`](OijIndexWriter::insert_batch) call
+    /// (no read happens mid-run, so deferred publication is safe), and
+    /// non-owned probes in the run only pay their bookkeeping. Runs are
+    /// capped at the remaining expiration budget so the sweep cadence
+    /// matches the unbatched path exactly.
     fn handle_batch(&mut self, msgs: &[DataMsg]) {
         let eager = self.cfg.query.emit == EmitMode::Eager;
         let mut i = 0;
@@ -642,13 +643,9 @@ impl SplitJoiner {
             {
                 end += 1;
             }
-            let owns_any = msgs[i..end]
-                .iter()
-                .any(|m| m.seq as usize % self.cfg.joiners == self.id);
-            if owns_any {
-                let cache_on = self.inst.cache.is_some();
-                // The pinned lookup: one hash probe for the whole run.
-                let buf = self.slice.entry(key).or_default();
+            if self.inst.cache.is_some() {
+                // The cache model needs a node address per insert, so the
+                // traced scalar path stays in charge here.
                 for m in &msgs[i..end] {
                     self.inst.processed += 1;
                     self.last_wm = m.watermark;
@@ -656,26 +653,27 @@ impl SplitJoiner {
                         self.inst.late_violations += 1;
                     }
                     if m.seq as usize % self.cfg.joiners == self.id {
-                        buf.push(Stored {
-                            ts: m.tuple.ts.as_micros(),
-                            value: m.tuple.value,
-                        });
-                        if cache_on {
-                            let addr = buf.as_ptr() as usize
-                                + (buf.len() - 1) * std::mem::size_of::<Stored>();
-                            self.inst.record_access(addr, std::mem::size_of::<Stored>());
-                        }
+                        let addr = self.writer.insert_hinted_traced(m.tuple.clone(), false);
+                        self.inst.record_access(addr, self.node_bytes);
                     }
                 }
             } else {
-                // No probe in the run is stored here: bookkeeping only, and
-                // no slice entry is created (matching the scalar path).
+                // Owned probes become one deferred-publication run; a run
+                // with no owned probe inserts nothing, so no key state is
+                // created (matching the scalar path).
+                let mut run = Vec::new();
                 for m in &msgs[i..end] {
                     self.inst.processed += 1;
                     self.last_wm = m.watermark;
                     if m.tuple.ts < m.watermark {
                         self.inst.late_violations += 1;
                     }
+                    if m.seq as usize % self.cfg.joiners == self.id {
+                        run.push((m.tuple.clone(), false));
+                    }
+                }
+                if !run.is_empty() {
+                    self.writer.insert_batch(run);
                 }
             }
             self.since_expire += end - i;
@@ -697,48 +695,50 @@ impl SplitJoiner {
         }
     }
 
-    /// Full scan of the local slice with the relative-window predicate;
-    /// ships the partial aggregate to the collector.
+    /// Full scan of the local slice (the key's whole retained range, with
+    /// the relative-window predicate applied engine-side); ships the
+    /// partial aggregate to the collector.
     fn partial_join(&mut self, key: Key, ts: Timestamp, seq: u64, arrival: Instant) {
         let window = self.cfg.query.window.window_of(ts);
         let (lo, hi) = (window.start.as_micros(), window.end.as_micros());
         let mut agg = PartialAgg::empty();
-        let mut visited = 0u64;
-        if let Some(buf) = self.slice.get(&key) {
-            visited = buf.len() as u64;
-            let base_addr = buf.as_ptr() as usize;
-            if let Some(cache) = self.inst.cache.as_mut() {
-                for (i, s) in buf.iter().enumerate() {
-                    cache.access(base_addr + i * std::mem::size_of::<Stored>(), 16);
-                    if s.ts >= lo && s.ts <= hi {
-                        agg.add(s.value);
-                    }
+        let visited;
+        let reader = &self.reader;
+        let node_bytes = self.node_bytes;
+        if let Some(cache) = self.inst.cache.as_mut() {
+            visited = reader.scan_ts_range_addr(key, Timestamp::MIN, Timestamp::MAX, |t, addr| {
+                cache.access(addr, node_bytes);
+                let s = t.ts.as_micros();
+                if s >= lo && s <= hi {
+                    agg.add(t.value);
                 }
-            } else if self.inst.wants_breakdown() {
-                let t0 = Instant::now();
-                let mut hits: Vec<f64> = Vec::with_capacity(16);
-                for s in buf {
-                    if s.ts >= lo && s.ts <= hi {
-                        hits.push(s.value);
-                    }
+            }) as u64;
+        } else if self.inst.wants_breakdown() {
+            let t0 = Instant::now();
+            let mut hits: Vec<f64> = Vec::with_capacity(16);
+            visited = reader.scan_ts_range(key, Timestamp::MIN, Timestamp::MAX, |t| {
+                let s = t.ts.as_micros();
+                if s >= lo && s <= hi {
+                    hits.push(t.value);
                 }
-                let t1 = Instant::now();
-                for v in hits {
-                    agg.add(v);
-                }
-                let t2 = Instant::now();
-                self.inst.add_breakdown(
-                    t1.duration_since(t0).as_nanos() as u64,
-                    t2.duration_since(t1).as_nanos() as u64,
-                    0,
-                );
-            } else {
-                for s in buf {
-                    if s.ts >= lo && s.ts <= hi {
-                        agg.add(s.value);
-                    }
-                }
+            }) as u64;
+            let t1 = Instant::now();
+            for v in hits {
+                agg.add(v);
             }
+            let t2 = Instant::now();
+            self.inst.add_breakdown(
+                t1.duration_since(t0).as_nanos() as u64,
+                t2.duration_since(t1).as_nanos() as u64,
+                0,
+            );
+        } else {
+            visited = reader.scan_ts_range(key, Timestamp::MIN, Timestamp::MAX, |t| {
+                let s = t.ts.as_micros();
+                if s >= lo && s <= hi {
+                    agg.add(t.value);
+                }
+            }) as u64;
         }
         self.inst.record_effectiveness(agg.count, visited);
         self.results += 1; // partial results produced by this joiner
@@ -759,17 +759,8 @@ impl SplitJoiner {
         if self.last_wm == Timestamp::MIN {
             return;
         }
-        let bound = self
-            .last_wm
-            .saturating_sub(self.cfg.query.window.length())
-            .as_micros();
-        let mut evicted = 0u64;
-        for buf in self.slice.values_mut() {
-            let before = buf.len();
-            buf.retain(|s| s.ts >= bound);
-            evicted += (before - buf.len()) as u64;
-        }
-        self.inst.evicted += evicted;
+        let bound = self.last_wm.saturating_sub(self.cfg.query.window.length());
+        self.inst.evicted += self.writer.evict_below(bound) as u64;
     }
 }
 

@@ -1,0 +1,662 @@
+//! # oij-index — pluggable SWMR index backends for the join engines
+//!
+//! The paper's double-layer time-travel skip list
+//! ([`oij_skiplist::TimeTravelIndex`]) is the heart of every engine, but
+//! it is one point in a design space. This crate extracts its contract
+//! into the [`OijIndex`] trait family and races three implementations
+//! behind a runtime [`IndexBackend`] selection:
+//!
+//! * **[`IndexBackend::SkipList`]** — the reference: a 1:1 delegation to
+//!   `TimeTravelIndex`, bit-for-bit the behavior the engines shipped
+//!   with.
+//! * **[`IndexBackend::JiffyLite`]** ([`jiffy`]) — a Jiffy-style design
+//!   (PAPERS.md): the writer appends tuples to immutable sorted *runs*
+//!   and publishes whole `Msg::Batch` runs with a single lock-free
+//!   pointer swap; readers take an O(1) snapshot and merge the runs.
+//! * **[`IndexBackend::HintLite`]** ([`hint`]) — a HINT-style design
+//!   (PAPERS.md): per-key hierarchical time buckets with a coarse
+//!   summary level, so a window probe descends straight to the buckets
+//!   that overlap the window.
+//!
+//! ## The SWMR contract every backend must uphold
+//!
+//! Exactly **one** thread mutates an index through its writer handle;
+//! any number of threads read concurrently through cloneable reader
+//! handles. Beyond memory safety, the engines rely on four behavioral
+//! invariants (enforced by `tests/index_equivalence.rs` and the
+//! differential proptest suite in this crate):
+//!
+//! 1. **Scan order** — every scan visits tuples in `(ts, seq)` order,
+//!    where `seq` is the per-index dense insertion sequence number.
+//!    Because all backends assign `seq` identically (increment per
+//!    insert, in writer order), scans are bit-identical across
+//!    backends for the same insert history.
+//! 2. **Stamp-implies-visibility** — `series_stamp` returns
+//!    `(late_inserts, max_ts_µs)` with the counter and stamp published
+//!    *after* the tuple itself (`Release`/`Acquire`): a reader that
+//!    observes a new stamp must be able to find the tuple that caused
+//!    it.
+//! 3. **Late accounting** — a tuple is late iff the external hint says
+//!    so or its timestamp does not strictly advance the key's maximum;
+//!    the counter is monotone and never undercounts published tuples.
+//! 4. **Eviction bound** — `evict_below(bound)` evicts exactly the
+//!    tuples with `ts < bound` and nothing newer; the engines derive
+//!    `bound` from the watermark so it never exceeds the durability
+//!    retention bound (DESIGN.md §11), which recovery replay depends
+//!    on.
+//!
+//! ## Adding a backend
+//!
+//! Implement [`OijIndexWriter`] + [`OijIndexReader`] for a new pair of
+//! handle types, add an [`IndexBackend`] variant with arms in
+//! [`BackendWriter`]/[`BackendReader`], and the backend-differential
+//! suites (`tests/index_equivalence.rs`, `tests/differential.rs` here,
+//! the `tests/property_equivalence.rs` backend axis) plus the
+//! bench-smoke per-backend rows pick it up from `IndexBackend::ALL`.
+
+#![warn(missing_docs)]
+
+pub mod hint;
+pub mod jiffy;
+pub(crate) mod sync;
+
+use oij_common::{Key, Timestamp, Tuple, Window};
+use oij_skiplist::{IndexReader as SkipReader, IndexWriter as SkipWriter, TimeTravelIndex};
+
+pub use hint::{HintIndex, HintReader, HintWriter};
+pub use jiffy::{JiffyIndex, JiffyReader, JiffyWriter};
+
+/// The backend selection engines carry in their configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IndexBackend {
+    /// The double-layer time-travel skip list (`TimeTravelIndex`) — the
+    /// reference backend and the default.
+    #[default]
+    SkipList,
+    /// Jiffy-style immutable sorted runs with whole-batch publication.
+    JiffyLite,
+    /// HINT-style hierarchical time buckets for the window-probe path.
+    HintLite,
+}
+
+impl IndexBackend {
+    /// Every backend, reference first — the differential suites iterate
+    /// this so a new backend gets coverage for free.
+    pub const ALL: [IndexBackend; 3] = [
+        IndexBackend::SkipList,
+        IndexBackend::JiffyLite,
+        IndexBackend::HintLite,
+    ];
+
+    /// Stable label used in bench reports, CI matrix legs, and the
+    /// `OIJ_INDEX_BACKEND` test filter.
+    pub fn label(self) -> &'static str {
+        match self {
+            IndexBackend::SkipList => "skiplist",
+            IndexBackend::JiffyLite => "jiffy-lite",
+            IndexBackend::HintLite => "hint-lite",
+        }
+    }
+
+    /// Parses a [`label`](Self::label) (case-insensitive; `_` and `-`
+    /// interchangeable).
+    pub fn from_label(s: &str) -> Option<IndexBackend> {
+        let norm = s.trim().to_ascii_lowercase().replace('_', "-");
+        IndexBackend::ALL.into_iter().find(|b| b.label() == norm)
+    }
+
+    /// Builds an empty index of this backend with the backend's default
+    /// seed, returning the unique writer and an initial reader.
+    pub fn build(self) -> (BackendWriter, BackendReader) {
+        match self {
+            IndexBackend::SkipList => {
+                let (w, r) = TimeTravelIndex::new();
+                (BackendWriter::SkipList(w), BackendReader::SkipList(r))
+            }
+            IndexBackend::JiffyLite => {
+                let (w, r) = JiffyIndex::new();
+                (BackendWriter::Jiffy(w), BackendReader::Jiffy(r))
+            }
+            IndexBackend::HintLite => {
+                let (w, r) = HintIndex::new();
+                (BackendWriter::Hint(w), BackendReader::Hint(r))
+            }
+        }
+    }
+
+    /// Builds an empty index with a deterministic structural seed (tower
+    /// heights for the skip list; forwarded so identical seeds give
+    /// identical layouts run to run).
+    pub fn build_with_seed(self, seed: u64) -> (BackendWriter, BackendReader) {
+        match self {
+            IndexBackend::SkipList => {
+                let (w, r) = TimeTravelIndex::with_seed(seed);
+                (BackendWriter::SkipList(w), BackendReader::SkipList(r))
+            }
+            IndexBackend::JiffyLite => {
+                let (w, r) = JiffyIndex::with_seed(seed);
+                (BackendWriter::Jiffy(w), BackendReader::Jiffy(r))
+            }
+            IndexBackend::HintLite => {
+                let (w, r) = HintIndex::with_seed(seed);
+                (BackendWriter::Hint(w), BackendReader::Hint(r))
+            }
+        }
+    }
+}
+
+/// Factory half of the index contract: ties a writer/reader pair
+/// together and constructs empty indexes.
+pub trait OijIndex {
+    /// The unique mutating handle.
+    type Writer: OijIndexWriter<Reader = Self::Reader>;
+    /// The cloneable read handle.
+    type Reader: OijIndexReader;
+
+    /// Creates an empty index with a deterministic structural seed.
+    fn with_seed(seed: u64) -> (Self::Writer, Self::Reader);
+}
+
+/// Writer half of the SWMR index contract (see the crate docs for the
+/// invariants). Exactly one thread holds the writer; it is `Send` but
+/// deliberately not `Sync`/`Clone`.
+pub trait OijIndexWriter: Send {
+    /// The reader type [`reader`](Self::reader) hands out.
+    type Reader: OijIndexReader;
+
+    /// Approximate in-memory footprint of one stored node, in bytes —
+    /// what a window scan actually touches per tuple (drives the cache
+    /// simulator with realistic access sizes).
+    fn node_footprint(&self) -> usize;
+
+    /// Inserts a tuple with an external *global* lateness hint (the
+    /// engine knows the stream-wide maximum timestamp via the
+    /// watermark; see `TimeTravelIndex::insert_hinted`).
+    fn insert_hinted(&mut self, tuple: Tuple, globally_late: bool);
+
+    /// Like [`insert_hinted`](Self::insert_hinted), additionally
+    /// reporting the new node's address for cache-traffic simulation.
+    fn insert_hinted_traced(&mut self, tuple: Tuple, globally_late: bool) -> usize;
+
+    /// Inserts a tuple with no external lateness hint.
+    fn insert(&mut self, tuple: Tuple) {
+        self.insert_hinted(tuple, false);
+    }
+
+    /// Consumes a whole coalesced run of `(tuple, late_hint)` pairs in
+    /// arrival order. Backends may defer *publication* to one atomic
+    /// swap at the end of the run — so callers must not read the index
+    /// (nor advance any frontier announcing these tuples) between the
+    /// call and its return. Sequence numbers and late accounting are
+    /// identical to inserting the run one tuple at a time.
+    fn insert_batch(&mut self, run: Vec<(Tuple, bool)>) {
+        for (tuple, late) in run {
+            self.insert_hinted(tuple, late);
+        }
+    }
+
+    /// Expires every tuple with `ts < bound` across all keys, returning
+    /// the number evicted.
+    fn evict_below(&mut self, bound: Timestamp) -> usize;
+
+    /// A reader handle sharing this index.
+    fn reader(&self) -> Self::Reader;
+
+    /// Total live tuples.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no tuples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct keys ever inserted.
+    fn key_count(&self) -> usize;
+}
+
+/// Reader half of the SWMR index contract: cloneable, shareable across
+/// the virtual team, safe under concurrent writes.
+pub trait OijIndexReader: Clone + Send + Sync {
+    /// Visits every stored tuple of `key` inside `window` (inclusive
+    /// bounds) in `(ts, seq)` order, passing a stable node address for
+    /// cache simulation. Returns the number visited.
+    fn scan_window_addr(&self, key: Key, window: Window, f: impl FnMut(&Tuple, usize)) -> usize;
+
+    /// Visits every stored tuple of `key` inside `window` in `(ts, seq)`
+    /// order. Returns the number visited.
+    fn scan_window(&self, key: Key, window: Window, mut f: impl FnMut(&Tuple)) -> usize {
+        self.scan_window_addr(key, window, |t, _| f(t))
+    }
+
+    /// Visits every stored tuple of `key` with `lo ≤ ts ≤ hi`; returns 0
+    /// when `hi < lo`.
+    fn scan_ts_range(
+        &self,
+        key: Key,
+        lo: Timestamp,
+        hi: Timestamp,
+        mut f: impl FnMut(&Tuple),
+    ) -> usize {
+        self.scan_ts_range_addr(key, lo, hi, |t, _| f(t))
+    }
+
+    /// [`scan_ts_range`](Self::scan_ts_range) with node addresses for
+    /// cache simulation.
+    fn scan_ts_range_addr(
+        &self,
+        key: Key,
+        lo: Timestamp,
+        hi: Timestamp,
+        f: impl FnMut(&Tuple, usize),
+    ) -> usize;
+
+    /// Number of live tuples stored under `key` (approximate under
+    /// writes).
+    fn key_len(&self, key: Key) -> usize;
+
+    /// The key's late-insert counter.
+    fn late_inserts(&self, key: Key) -> u64;
+
+    /// The key's validation stamp `(late_inserts, max_ts_µs)`;
+    /// `(0, i64::MIN)` when the key is unknown.
+    fn series_stamp(&self, key: Key) -> (u64, i64);
+
+    /// Whether `key` has ever been seen by this index.
+    fn has_key(&self, key: Key) -> bool;
+
+    /// Number of distinct keys (approximate under writes).
+    fn key_count(&self) -> usize;
+}
+
+// ---------------------------------------------------------------------
+// Reference backend: 1:1 delegation to the time-travel skip list.
+// ---------------------------------------------------------------------
+
+/// Marker implementing [`OijIndex`] for the skip-list reference.
+pub struct SkipListIndex;
+
+impl OijIndex for SkipListIndex {
+    type Writer = SkipWriter;
+    type Reader = SkipReader;
+
+    fn with_seed(seed: u64) -> (SkipWriter, SkipReader) {
+        TimeTravelIndex::with_seed(seed)
+    }
+}
+
+impl OijIndexWriter for SkipWriter {
+    type Reader = SkipReader;
+
+    fn node_footprint(&self) -> usize {
+        SkipWriter::node_footprint()
+    }
+
+    fn insert_hinted(&mut self, tuple: Tuple, globally_late: bool) {
+        SkipWriter::insert_hinted(self, tuple, globally_late);
+    }
+
+    fn insert_hinted_traced(&mut self, tuple: Tuple, globally_late: bool) -> usize {
+        SkipWriter::insert_hinted_traced(self, tuple, globally_late)
+    }
+
+    fn evict_below(&mut self, bound: Timestamp) -> usize {
+        SkipWriter::evict_below(self, bound)
+    }
+
+    fn reader(&self) -> SkipReader {
+        SkipWriter::reader(self)
+    }
+
+    fn len(&self) -> usize {
+        SkipWriter::len(self)
+    }
+
+    fn key_count(&self) -> usize {
+        SkipWriter::key_count(self)
+    }
+}
+
+impl OijIndexReader for SkipReader {
+    fn scan_window_addr(&self, key: Key, window: Window, f: impl FnMut(&Tuple, usize)) -> usize {
+        SkipReader::scan_window_addr(self, key, window, f)
+    }
+
+    fn scan_ts_range_addr(
+        &self,
+        key: Key,
+        lo: Timestamp,
+        hi: Timestamp,
+        f: impl FnMut(&Tuple, usize),
+    ) -> usize {
+        SkipReader::scan_ts_range_addr(self, key, lo, hi, f)
+    }
+
+    fn key_len(&self, key: Key) -> usize {
+        SkipReader::key_len(self, key)
+    }
+
+    fn late_inserts(&self, key: Key) -> u64 {
+        SkipReader::late_inserts(self, key)
+    }
+
+    fn series_stamp(&self, key: Key) -> (u64, i64) {
+        SkipReader::series_stamp(self, key)
+    }
+
+    fn has_key(&self, key: Key) -> bool {
+        SkipReader::has_key(self, key)
+    }
+
+    fn key_count(&self) -> usize {
+        SkipReader::key_count(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runtime dispatch: the concrete pair engines hold.
+// ---------------------------------------------------------------------
+
+macro_rules! dispatch_writer {
+    ($self:ident, $w:ident => $body:expr) => {
+        match $self {
+            BackendWriter::SkipList($w) => $body,
+            BackendWriter::Jiffy($w) => $body,
+            BackendWriter::Hint($w) => $body,
+        }
+    };
+}
+
+macro_rules! dispatch_reader {
+    ($self:ident, $r:ident => $body:expr) => {
+        match $self {
+            BackendReader::SkipList($r) => $body,
+            BackendReader::Jiffy($r) => $body,
+            BackendReader::Hint($r) => $body,
+        }
+    };
+}
+
+/// Runtime-dispatched writer over the three backends. Built via
+/// [`IndexBackend::build_with_seed`]; implements [`OijIndexWriter`] by
+/// delegation, so engines stay backend-agnostic.
+pub enum BackendWriter {
+    /// Time-travel skip list (reference).
+    SkipList(SkipWriter),
+    /// Jiffy-lite sorted runs.
+    Jiffy(JiffyWriter),
+    /// HINT-lite bucket hierarchy.
+    Hint(HintWriter),
+}
+
+impl BackendWriter {
+    /// Which backend this writer is.
+    pub fn backend(&self) -> IndexBackend {
+        match self {
+            BackendWriter::SkipList(_) => IndexBackend::SkipList,
+            BackendWriter::Jiffy(_) => IndexBackend::JiffyLite,
+            BackendWriter::Hint(_) => IndexBackend::HintLite,
+        }
+    }
+}
+
+impl OijIndexWriter for BackendWriter {
+    type Reader = BackendReader;
+
+    fn node_footprint(&self) -> usize {
+        dispatch_writer!(self, w => w.node_footprint())
+    }
+
+    fn insert_hinted(&mut self, tuple: Tuple, globally_late: bool) {
+        dispatch_writer!(self, w => w.insert_hinted(tuple, globally_late))
+    }
+
+    fn insert_hinted_traced(&mut self, tuple: Tuple, globally_late: bool) -> usize {
+        dispatch_writer!(self, w => w.insert_hinted_traced(tuple, globally_late))
+    }
+
+    fn insert_batch(&mut self, run: Vec<(Tuple, bool)>) {
+        dispatch_writer!(self, w => w.insert_batch(run))
+    }
+
+    fn evict_below(&mut self, bound: Timestamp) -> usize {
+        dispatch_writer!(self, w => w.evict_below(bound))
+    }
+
+    fn reader(&self) -> BackendReader {
+        match self {
+            BackendWriter::SkipList(w) => BackendReader::SkipList(w.reader()),
+            BackendWriter::Jiffy(w) => BackendReader::Jiffy(OijIndexWriter::reader(w)),
+            BackendWriter::Hint(w) => BackendReader::Hint(OijIndexWriter::reader(w)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        dispatch_writer!(self, w => OijIndexWriter::len(w))
+    }
+
+    fn key_count(&self) -> usize {
+        dispatch_writer!(self, w => OijIndexWriter::key_count(w))
+    }
+}
+
+/// Runtime-dispatched reader over the three backends.
+pub enum BackendReader {
+    /// Time-travel skip list (reference).
+    SkipList(SkipReader),
+    /// Jiffy-lite sorted runs.
+    Jiffy(JiffyReader),
+    /// HINT-lite bucket hierarchy.
+    Hint(HintReader),
+}
+
+impl Clone for BackendReader {
+    fn clone(&self) -> Self {
+        match self {
+            BackendReader::SkipList(r) => BackendReader::SkipList(r.clone()),
+            BackendReader::Jiffy(r) => BackendReader::Jiffy(r.clone()),
+            BackendReader::Hint(r) => BackendReader::Hint(r.clone()),
+        }
+    }
+}
+
+impl OijIndexReader for BackendReader {
+    fn scan_window_addr(&self, key: Key, window: Window, f: impl FnMut(&Tuple, usize)) -> usize {
+        dispatch_reader!(self, r => r.scan_window_addr(key, window, f))
+    }
+
+    fn scan_ts_range_addr(
+        &self,
+        key: Key,
+        lo: Timestamp,
+        hi: Timestamp,
+        f: impl FnMut(&Tuple, usize),
+    ) -> usize {
+        dispatch_reader!(self, r => r.scan_ts_range_addr(key, lo, hi, f))
+    }
+
+    fn key_len(&self, key: Key) -> usize {
+        dispatch_reader!(self, r => r.key_len(key))
+    }
+
+    fn late_inserts(&self, key: Key) -> u64 {
+        dispatch_reader!(self, r => r.late_inserts(key))
+    }
+
+    fn series_stamp(&self, key: Key) -> (u64, i64) {
+        dispatch_reader!(self, r => r.series_stamp(key))
+    }
+
+    fn has_key(&self, key: Key) -> bool {
+        dispatch_reader!(self, r => r.has_key(key))
+    }
+
+    fn key_count(&self) -> usize {
+        dispatch_reader!(self, r => r.key_count())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exclusive: mutable-only sharing for !Sync writers behind a lock.
+// ---------------------------------------------------------------------
+
+/// A cell that is `Sync` for any `Send` payload by refusing all shared
+/// access to it (the `std::sync::Exclusive` pattern, reproduced here
+/// because the workspace MSRV predates its stabilization being usable).
+///
+/// The OpenMLDB baseline keeps its shared store behind an `RwLock`; a
+/// [`BackendWriter`] is deliberately `!Sync` (single writer), so the
+/// lock alone cannot make it shareable. Wrapping it in `Exclusive`
+/// restores `Sync` soundly: the only way to touch the payload is
+/// [`get_mut`](Self::get_mut), which requires `&mut self` and therefore
+/// the write lock — concurrent `&Exclusive` references can do nothing.
+pub struct Exclusive<T> {
+    inner: T,
+}
+
+// SAFETY: `Exclusive` exposes no `&self` access to `inner` — every path
+// to the payload goes through `&mut self` (`get_mut`) or ownership
+// (`into_inner`), so shared references across threads cannot touch `T`
+// and `T: Send` suffices.
+unsafe impl<T: Send> Sync for Exclusive<T> {}
+
+impl<T> Exclusive<T> {
+    /// Wraps a value.
+    pub fn new(inner: T) -> Self {
+        Exclusive { inner }
+    }
+
+    /// Mutable access — the only access. Requires exclusivity, which the
+    /// caller proves by holding `&mut` (e.g. a write-lock guard).
+    pub fn get_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oij_common::Duration;
+
+    fn t(key: Key, us: i64, v: f64) -> Tuple {
+        Tuple::new(Timestamp::from_micros(us), key, v)
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for b in IndexBackend::ALL {
+            assert_eq!(IndexBackend::from_label(b.label()), Some(b));
+        }
+        assert_eq!(
+            IndexBackend::from_label("JIFFY_LITE"),
+            Some(IndexBackend::JiffyLite)
+        );
+        assert_eq!(IndexBackend::from_label("nope"), None);
+    }
+
+    #[test]
+    fn every_backend_scans_in_ts_seq_order() {
+        for backend in IndexBackend::ALL {
+            let (mut w, r) = backend.build_with_seed(0x9E37_79B9 | 1);
+            w.insert(t(7, 30, 3.0));
+            w.insert(t(7, 10, 1.0));
+            w.insert(t(7, 30, 4.0)); // duplicate ts: seq breaks the tie
+            w.insert(t(7, 20, 2.0));
+            let mut seen = Vec::new();
+            let visited = r.scan_window(
+                7,
+                Window {
+                    start: Timestamp::from_micros(0),
+                    end: Timestamp::from_micros(100),
+                },
+                |tp| seen.push((tp.ts.as_micros(), tp.value)),
+            );
+            assert_eq!(visited, 4, "{}", backend.label());
+            assert_eq!(
+                seen,
+                vec![(10, 1.0), (20, 2.0), (30, 3.0), (30, 4.0)],
+                "{}",
+                backend.label()
+            );
+        }
+    }
+
+    #[test]
+    fn every_backend_accounts_late_inserts() {
+        for backend in IndexBackend::ALL {
+            let (mut w, r) = backend.build_with_seed(3);
+            w.insert(t(1, 100, 1.0));
+            w.insert(t(1, 50, 2.0)); // locally late
+            w.insert_hinted(t(1, 200, 3.0), true); // globally late hint
+            assert_eq!(r.late_inserts(1), 2, "{}", backend.label());
+            assert_eq!(r.series_stamp(1), (2, 200), "{}", backend.label());
+            assert_eq!(r.series_stamp(99), (0, i64::MIN), "{}", backend.label());
+        }
+    }
+
+    #[test]
+    fn every_backend_evicts_below_bound_exactly() {
+        for backend in IndexBackend::ALL {
+            let (mut w, r) = backend.build_with_seed(11);
+            for us in [10, 20, 30, 40] {
+                w.insert(t(5, us, us as f64));
+            }
+            let evicted = w.evict_below(Timestamp::from_micros(30));
+            assert_eq!(evicted, 2, "{}", backend.label());
+            assert_eq!(OijIndexWriter::len(&w), 2, "{}", backend.label());
+            let mut left = Vec::new();
+            r.scan_ts_range(5, Timestamp::MIN, Timestamp::MAX, |tp| {
+                left.push(tp.ts.as_micros());
+            });
+            assert_eq!(left, vec![30, 40], "{}", backend.label());
+        }
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_inserts() {
+        let run: Vec<(Tuple, bool)> = vec![
+            (t(1, 10, 1.0), false),
+            (t(2, 5, 2.0), true),
+            (t(1, 8, 3.0), false),
+            (t(1, 12, 4.0), false),
+        ];
+        for backend in IndexBackend::ALL {
+            let (mut wa, ra) = backend.build_with_seed(77);
+            let (mut wb, rb) = backend.build_with_seed(77);
+            wa.insert_batch(run.clone());
+            for (tuple, late) in run.clone() {
+                wb.insert_hinted(tuple, late);
+            }
+            for key in [1u64, 2] {
+                let collect = |r: &BackendReader| {
+                    let mut v = Vec::new();
+                    r.scan_ts_range(key, Timestamp::MIN, Timestamp::MAX, |tp| {
+                        v.push((tp.ts.as_micros(), tp.value));
+                    });
+                    v
+                };
+                assert_eq!(collect(&ra), collect(&rb), "{} key {key}", backend.label());
+                assert_eq!(
+                    ra.series_stamp(key),
+                    rb.series_stamp(key),
+                    "{} key {key}",
+                    backend.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_spec_duration_smoke() {
+        // Keep the oij-common dev-surface exercised from this crate too.
+        let w = Window {
+            start: Timestamp::from_micros(0),
+            end: Timestamp::from_micros(10),
+        };
+        assert_eq!(w.length(), Duration(10));
+    }
+}

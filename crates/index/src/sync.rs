@@ -1,0 +1,27 @@
+//! Facade over the synchronization primitives the index backends use.
+//!
+//! Mirrors `oij-skiplist`'s `sync` module (see DESIGN.md §8): in the
+//! normal configuration `atomic` re-exports `std::sync::atomic`, and
+//! under `RUSTFLAGS="--cfg loom"` it re-exports the vendored loom model
+//! checker's instrumented atomics, so the Jiffy-lite and HINT-lite
+//! backends compile unchanged against either backend. The `cargo xtask
+//! lint` rule R2 enforces that every module in this crate imports
+//! atomics from here, never `std::sync` directly — otherwise an atomic
+//! added in a refactor would silently fall outside loom's view.
+//!
+//! The backends are lock-free (publication goes through
+//! `oij_skiplist::RcuCell` and the SWMR skip list, both already behind
+//! their own facade), so no lock re-exports are needed here; R2 bans
+//! `std::sync` locks crate-wide, and any future lock must land in this
+//! file to inherit the lockdep instrumentation.
+
+#[cfg(not(loom))]
+pub(crate) mod atomic {
+    pub(crate) use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+}
+
+#[cfg(loom)]
+pub(crate) mod atomic {
+    pub(crate) use loom::sync::atomic::{AtomicI64, AtomicU64};
+    pub(crate) use std::sync::atomic::Ordering;
+}

@@ -1,0 +1,106 @@
+//! Loom model checks for the Jiffy-lite and HINT-lite backends'
+//! publish/snapshot paths.
+//!
+//! Compile and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p oij-index --test loom --release
+//! ```
+//!
+//! Both backends publish through `RcuCell` (one `Release` pointer swap per
+//! touched key) and stamp `max_ts`/`late_inserts` afterwards, mirroring
+//! the skip-list reference's publication discipline. The scenarios pin the
+//! three ways that discipline could break (the same caveats as the
+//! skip-list models apply: the vendored loom is sequentially consistent,
+//! so wrong orderings are ThreadSanitizer's job, not loom's):
+//!
+//! 1. **Stamp implies visibility**: once a reader observes `max_ts == T`
+//!    via `series_stamp`, a scan must find the tuple with timestamp `T` —
+//!    data is published strictly before the stamp.
+//! 2. **Batch runs publish atomically per key**: a reader racing an
+//!    `insert_batch` run over one key sees either none or all of the
+//!    run's entries, never a prefix (one RCU swap publishes the run).
+//! 3. **Eviction swaps snapshots atomically**: a scan racing
+//!    `evict_below` sees the pre-eviction or the post-eviction series,
+//!    never a torn mixture.
+
+#![cfg(loom)]
+
+use loom::thread;
+use oij_common::{Timestamp, Tuple};
+use oij_index::{IndexBackend, OijIndexReader, OijIndexWriter};
+
+const BACKENDS: [IndexBackend; 2] = [IndexBackend::JiffyLite, IndexBackend::HintLite];
+
+fn tuple(ts: i64, value: f64) -> Tuple {
+    Tuple::new(Timestamp::from_micros(ts), 1, value)
+}
+
+fn scan_all(reader: &impl OijIndexReader) -> Vec<i64> {
+    let mut rows = Vec::new();
+    reader.scan_ts_range(1, Timestamp::MIN, Timestamp::MAX, |t| {
+        rows.push(t.ts.as_micros());
+    });
+    rows
+}
+
+#[test]
+fn stamp_implies_visibility() {
+    for backend in BACKENDS {
+        loom::model(move || {
+            let (mut w, r) = backend.build_with_seed(3);
+            let reader = thread::spawn(move || {
+                let (_, max) = r.series_stamp(1);
+                (max, scan_all(&r))
+            });
+            w.insert(tuple(5, 1.0));
+            let (max, rows) = reader.join().unwrap();
+            if max == 5 {
+                assert!(
+                    rows.contains(&5),
+                    "{}: stamp published before its data",
+                    backend.label()
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn batch_runs_publish_atomically_per_key() {
+    for backend in BACKENDS {
+        loom::model(move || {
+            let (mut w, r) = backend.build_with_seed(3);
+            let reader = thread::spawn(move || scan_all(&r));
+            w.insert_batch(vec![(tuple(10, 1.0), false), (tuple(20, 2.0), false)]);
+            let rows = reader.join().unwrap();
+            assert!(
+                rows.is_empty() || rows == [10, 20],
+                "{}: torn batch publication: {:?}",
+                backend.label(),
+                rows
+            );
+        });
+    }
+}
+
+#[test]
+fn eviction_swaps_snapshots_atomically() {
+    for backend in BACKENDS {
+        loom::model(move || {
+            let (mut w, r) = backend.build_with_seed(3);
+            w.insert(tuple(10, 1.0));
+            w.insert(tuple(20, 2.0));
+            let reader = thread::spawn(move || scan_all(&r));
+            let evicted = w.evict_below(Timestamp::from_micros(15));
+            assert_eq!(evicted, 1);
+            let rows = reader.join().unwrap();
+            assert!(
+                rows == [10, 20] || rows == [20],
+                "{}: torn eviction snapshot: {:?}",
+                backend.label(),
+                rows
+            );
+        });
+    }
+}

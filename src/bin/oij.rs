@@ -62,6 +62,7 @@ FEED (generated unless --input):
 
 ENGINE:
   --engine scale|scale-noinc|key|splitjoin|openmldb   (default scale)
+  --index skiplist|jiffy-lite|hint-lite   window-index backend (default skiplist)
   --joiners <n>     (default 4)
   --batch <n>       coalesce up to n tuples per routed message (default 1 = off)
   --rate <tuples/s> pace arrivals (default: full speed)
@@ -248,6 +249,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     cfg = cfg.with_batch_size(flags.parse_num("batch", 1usize)?);
     if flags.has("latency") {
         cfg = cfg.with_instrument(Instrumentation::latency());
+    }
+    if let Some(label) = flags.get("index") {
+        let backend = IndexBackend::from_label(label)
+            .ok_or_else(|| format!("--index: unknown backend '{label}'"))?;
+        cfg = cfg.with_index_backend(backend);
     }
     let engine_name = flags.get("engine").unwrap_or("scale");
     let mut engine: Box<dyn OijEngine> = match engine_name {

@@ -68,8 +68,16 @@ pub mod agg {
     pub use oij_agg::{FullWindowAgg, PartialAgg, RunningAgg, TwoStackAgg};
 }
 
-/// The SWMR skip list and time-travel index (re-export of `oij-skiplist`).
+/// The SWMR skip list and time-travel index (re-export of `oij-skiplist`),
+/// plus the pluggable index-backend contract (re-export of `oij-index`):
+/// the [`OijIndex`](index::OijIndex) trait family, the
+/// [`IndexBackend`](index::IndexBackend) selector carried by
+/// `EngineConfig`, and the backend implementations.
 pub mod index {
+    pub use oij_index::{
+        BackendReader, BackendWriter, HintIndex, IndexBackend, JiffyIndex, OijIndex,
+        OijIndexReader, OijIndexWriter, SkipListIndex,
+    };
     pub use oij_skiplist::{
         IndexReader, IndexWriter, RcuCell, Reader, SwmrSkipList, TimeTravelIndex, Writer,
     };
@@ -116,6 +124,7 @@ pub mod prelude {
         EngineConfig, EngineKind, FaultPlan, Instrumentation, KeyOij, LatePolicy, OijEngine,
         OpenMldbBaseline, Oracle, RunStats, ScaleOij, Sink, SinkRetryPolicy, SplitJoin,
     };
+    pub use crate::index::IndexBackend;
     pub use crate::sql::parse as parse_sql;
     pub use crate::workload::{KeyDist, NamedWorkload, SyntheticConfig};
     pub use crate::{

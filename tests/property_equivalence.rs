@@ -8,6 +8,12 @@
 //! rows, same `late_violations`/`late_side_outputs` accounting, and (for
 //! deterministic single-joiner configurations) the same emission order,
 //! watermark mode included.
+//!
+//! The index backend is a matrix axis throughout: every property draws an
+//! `IndexBackend` and must hold on all of them — the oracle tests pin
+//! backend-vs-oracle exactness, the batching tests pin that coalescing is
+//! invisible *on each backend* (cross-backend bit-identity lives in
+//! `tests/index_equivalence.rs`).
 
 use oij::engine::Oracle;
 use oij::prelude::*;
@@ -48,7 +54,9 @@ proptest! {
         joiners in 1usize..5,
         seed in any::<u64>(),
         agg_idx in 0usize..3,
+        backend_idx in 0usize..3,
     ) {
+        let backend = IndexBackend::ALL[backend_idx];
         let agg = [AggSpec::Sum, AggSpec::Count, AggSpec::Avg][agg_idx];
         let query = OijQuery::builder()
             .preceding(Duration::from_micros(pre))
@@ -62,8 +70,8 @@ proptest! {
         want.sort_by_key(|r| r.seq);
 
         let (sink, rows) = Sink::collect();
-        let mut engine = ScaleOij::spawn(EngineConfig::new(query, joiners).unwrap(), sink)
-            .expect("spawn");
+        let cfg = EngineConfig::new(query, joiners).unwrap().with_index_backend(backend);
+        let mut engine = ScaleOij::spawn(cfg, sink).expect("spawn");
         for e in &events {
             engine.push(e.clone()).expect("push");
         }
@@ -86,7 +94,9 @@ proptest! {
         keys in 1u64..12,
         joiners in 1usize..5,
         seed in any::<u64>(),
+        backend_idx in 0usize..3,
     ) {
+        let backend = IndexBackend::ALL[backend_idx];
         let query = OijQuery::builder()
             .preceding(Duration::from_micros(pre))
             .lateness(Duration::from_micros(disorder.max(1)))
@@ -99,8 +109,8 @@ proptest! {
         want.sort_by_key(|r| r.seq);
 
         let (sink, rows) = Sink::collect();
-        let mut engine = KeyOij::spawn(EngineConfig::new(query, joiners).unwrap(), sink)
-            .expect("spawn");
+        let cfg = EngineConfig::new(query, joiners).unwrap().with_index_backend(backend);
+        let mut engine = KeyOij::spawn(cfg, sink).expect("spawn");
         for e in &events {
             engine.push(e.clone()).expect("push");
         }
@@ -161,19 +171,21 @@ fn spawn_kind(kind: &str, cfg: EngineConfig, sink: Sink) -> Box<dyn OijEngine> {
     }
 }
 
-/// Runs `kind` over `events` with the given batch size and returns the
-/// rows **in emission order** plus the run stats.
+/// Runs `kind` over `events` with the given batch size and index backend
+/// and returns the rows **in emission order** plus the run stats.
 fn run_with_batch(
     kind: &str,
     query: &OijQuery,
     joiners: usize,
     batch: usize,
+    backend: IndexBackend,
     late_policy: LatePolicy,
     events: &[Event],
 ) -> (Vec<FeatureRow>, RunStats) {
     let mut cfg = EngineConfig::new(query.clone(), joiners)
         .unwrap()
-        .with_batch_size(batch);
+        .with_batch_size(batch)
+        .with_index_backend(backend);
     cfg.late_policy = late_policy;
     let (sink, rows) = Sink::collect();
     let mut engine = spawn_kind(kind, cfg, sink);
@@ -204,7 +216,9 @@ proptest! {
         probe_fraction in 0.1f64..0.9,
         side_output in any::<bool>(),
         seed in any::<u64>(),
+        backend_idx in 0usize..3,
     ) {
+        let backend = IndexBackend::ALL[backend_idx];
         let query = OijQuery::builder()
             .preceding(Duration::from_micros(pre))
             .lateness(Duration::from_micros(lateness))
@@ -215,13 +229,15 @@ proptest! {
         let policy = if side_output { LatePolicy::SideOutput } else { LatePolicy::Drop };
         let events = workload(2_000, keys, disorder, probe_fraction, seed);
         for kind in ALL_ENGINES {
-            let (want_rows, want_stats) = run_with_batch(kind, &query, 1, 1, policy, &events);
+            let (want_rows, want_stats) =
+                run_with_batch(kind, &query, 1, 1, backend, policy, &events);
             prop_assert_eq!(
                 want_stats.batch_occupancy.batches(), 0,
                 "{}: pass-through mode must not record batches", kind
             );
             for batch in BATCH_SIZES {
-                let (got_rows, got_stats) = run_with_batch(kind, &query, 1, batch, policy, &events);
+                let (got_rows, got_stats) =
+                    run_with_batch(kind, &query, 1, batch, backend, policy, &events);
                 // Bit-identical, order included: FeatureRow's PartialEq
                 // compares the aggregate as raw f64 equality.
                 prop_assert_eq!(
@@ -266,7 +282,9 @@ proptest! {
         disorder in 0i64..150,
         keys in 1u64..10,
         seed in any::<u64>(),
+        backend_idx in 0usize..3,
     ) {
+        let backend = IndexBackend::ALL[backend_idx];
         let query = OijQuery::builder()
             .preceding(Duration::from_micros(pre))
             .lateness(Duration::from_micros(disorder.max(1)))
@@ -276,10 +294,11 @@ proptest! {
             .unwrap();
         let events = workload(2_000, keys, disorder, 0.5, seed);
         for kind in ["key-oij", "scale-oij", "splitjoin"] {
-            let (want_rows, _) = run_with_batch(kind, &query, 1, 1, LatePolicy::Drop, &events);
+            let (want_rows, _) =
+                run_with_batch(kind, &query, 1, 1, backend, LatePolicy::Drop, &events);
             for batch in BATCH_SIZES {
                 let (got_rows, _) =
-                    run_with_batch(kind, &query, 1, batch, LatePolicy::Drop, &events);
+                    run_with_batch(kind, &query, 1, batch, backend, LatePolicy::Drop, &events);
                 prop_assert_eq!(
                     &got_rows, &want_rows,
                     "{} batch={}: watermark emission order diverged", kind, batch
@@ -302,7 +321,9 @@ proptest! {
         keys in 1u64..10,
         joiners in 2usize..5,
         seed in any::<u64>(),
+        backend_idx in 0usize..3,
     ) {
+        let backend = IndexBackend::ALL[backend_idx];
         let query = OijQuery::builder()
             .preceding(Duration::from_micros(pre))
             .lateness(Duration::from_micros(disorder.max(1)))
@@ -313,11 +334,11 @@ proptest! {
         let events = workload(2_000, keys, disorder, 0.5, seed);
         for kind in ["key-oij", "scale-oij", "splitjoin"] {
             let (mut want_rows, want_stats) =
-                run_with_batch(kind, &query, joiners, 1, LatePolicy::Drop, &events);
+                run_with_batch(kind, &query, joiners, 1, backend, LatePolicy::Drop, &events);
             want_rows.sort_by_key(|r| r.seq);
             for batch in BATCH_SIZES {
                 let (mut got_rows, got_stats) =
-                    run_with_batch(kind, &query, joiners, batch, LatePolicy::Drop, &events);
+                    run_with_batch(kind, &query, joiners, batch, backend, LatePolicy::Drop, &events);
                 got_rows.sort_by_key(|r| r.seq);
                 prop_assert_eq!(got_rows.len(), want_rows.len(), "{} batch={}", kind, batch);
                 for (g, o) in got_rows.iter().zip(&want_rows) {

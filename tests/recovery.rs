@@ -305,6 +305,76 @@ fn crash_between_checkpoint_and_wal_tail_dedups_emitted_rows() {
 }
 
 // ---------------------------------------------------------------------------
+// Index-backend axis: recovery must be backend-invariant
+// ---------------------------------------------------------------------------
+
+#[test]
+fn watermark_recovery_is_backend_invariant() {
+    with_watchdog(300, || {
+        // The WAL logs events, not index state: replay rebuilds the index
+        // through whichever backend the config selects, so the full
+        // crash → recover → diff cycle must pass on all of them.
+        let events = disordered(4_000, 6, 150, 0x1DE9);
+        for backend in IndexBackend::ALL {
+            let cfg = EngineConfig::new(watermark_query(), 2)
+                .unwrap()
+                .with_index_backend(backend);
+            let dir = scratch_dir(backend.label());
+            crash_cycle(EngineKind::ScaleOij, cfg, &events, 0, 57, &dir);
+        }
+    });
+}
+
+#[test]
+fn compaction_bound_agrees_with_index_eviction_across_backends() {
+    with_watchdog(300, || {
+        // Regression pin for the eviction/retention contract: every
+        // backend's `evict_below` drops tuples with `ts < watermark −
+        // window length`, while the checkpoint compactor retains probes
+        // down to `anchor − extent − lateness` (RetentionSpec::extent is
+        // the window length, anchor ≤ watermark) — one extra lateness pad
+        // *below* any backend's eviction bound. If a backend ever evicted
+        // more aggressively than the compactor assumes (or the compactor
+        // pruned above a backend's bound), a crash landing after many
+        // compactions would replay an incomplete window and this diff
+        // would catch the missing rows.
+        let events = disordered(4_000, 6, 150, 0x0B0B);
+        for backend in IndexBackend::ALL {
+            let ctx = format!("retention on {}", backend.label());
+            let mut cfg = EngineConfig::new(watermark_query(), 2)
+                .unwrap()
+                .with_index_backend(backend);
+            let dir = scratch_dir("retention");
+            // Tight cadence: compaction fires repeatedly before the late
+            // crash, so the checkpoint's retained prefix is as small as
+            // the bound allows when replay reconstructs the index.
+            let durable = DurabilityConfig::new(dir.clone()).with_checkpoint_every(256);
+            let (want, _) = reference_run(EngineKind::ScaleOij, cfg.clone(), &events);
+            let want = sorted(want);
+
+            let crash_cfg = {
+                let mut c = cfg.clone().with_durability(durable.clone());
+                c.faults = FaultPlan::none().crash_at(0, 1_200);
+                c.send_timeout = StdDuration::from_millis(500);
+                c.channel_capacity = 16;
+                c
+            };
+            let pre = run_until_crash(EngineKind::ScaleOij, crash_cfg, &events);
+
+            cfg.durability = Some(durable);
+            let (post, stats) = recover_and_resume(EngineKind::ScaleOij, cfg, &events);
+            assert!(
+                stats.checkpoint_count >= 1,
+                "{ctx}: compaction must have fired"
+            );
+            let union = sorted(pre.into_iter().chain(post).collect());
+            assert_rows_equal(&union, &want, &ctx);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
 // Durable-but-uninterrupted runs and fsync policies
 // ---------------------------------------------------------------------------
 

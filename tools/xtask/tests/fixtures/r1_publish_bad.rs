@@ -1,0 +1,13 @@
+// R1 fixture (positive): the index-backend publish idiom — RCU snapshot
+// swap, max-ts stamp store, late-counter bump — with every ordering
+// unjustified. Expected findings: lines 8, 10, 12.
+
+use core::sync::atomic::Ordering;
+
+pub fn publish(cell: &RcuCell, max_ts: &AtomicI64, late: &AtomicU64) {
+    cell.swap(new_snapshot(), Ordering::AcqRel);
+
+    max_ts.store(5, Ordering::Release);
+
+    late.fetch_add(1, Ordering::Release);
+}

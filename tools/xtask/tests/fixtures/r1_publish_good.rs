@@ -1,0 +1,17 @@
+// R1 fixture (negative): the index-backend publish idiom with its
+// three-step discipline justified — data publishes before the stamp,
+// the stamp before the late count. Expected: clean.
+
+use core::sync::atomic::Ordering;
+
+pub fn publish(cell: &RcuCell, max_ts: &AtomicI64, late: &AtomicU64) {
+    // ORDERING: AcqRel — readers acquire the snapshot pointer they load.
+    cell.swap(new_snapshot(), Ordering::AcqRel);
+
+    // ORDERING: Release — the stamp must publish after its data, so a
+    // reader that observes max_ts == T also sees T's tuples (the
+    // stamp-implies-visibility contract the loom models pin).
+    max_ts.store(5, Ordering::Release);
+
+    late.fetch_add(1, Ordering::Release); // ORDERING: sequenced after the stamp.
+}

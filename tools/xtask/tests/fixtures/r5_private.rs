@@ -1,0 +1,18 @@
+// R5 fixture: *private* atomic-owning types — the shape of the shared
+// state structs behind the Jiffy-lite and HINT-lite backends. R5 audits
+// `pub struct` declarations only: a type that cannot escape the crate is
+// driven through its public owner, which is what the models name.
+// Expected: clean, with no model file naming any of these.
+
+struct SharedRuns {
+    max_ts: AtomicI64,
+    late: AtomicU64,
+}
+
+pub(crate) struct BucketDir {
+    stamp: AtomicU64,
+}
+
+pub struct Handle {
+    inner: Arc<SharedRuns>,
+}

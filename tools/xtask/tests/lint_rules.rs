@@ -166,6 +166,37 @@ fn r5_flags_the_model_uncovered_type_only() {
     assert_eq!(got, vec![("R5", 10, "Uncovered")]);
 }
 
+#[test]
+fn r1_flags_the_untagged_backend_publish_idiom() {
+    // The index-backend publish path (RCU swap, stamp store, late-count
+    // bump) is the idiom crates/index lives on; each ordering site needs
+    // its own justification.
+    let cfg = demo_config("");
+    let f = fixture("crates/demo/src/r1_publish_bad.rs", "r1_publish_bad.rs");
+    assert_eq!(
+        findings(&[f], &cfg),
+        vec![("R1", 8), ("R1", 10), ("R1", 12)]
+    );
+}
+
+#[test]
+fn r1_accepts_the_tagged_backend_publish_idiom() {
+    let cfg = demo_config("");
+    let f = fixture("crates/demo/src/r1_publish_good.rs", "r1_publish_good.rs");
+    assert_eq!(findings(&[f], &cfg), vec![]);
+}
+
+#[test]
+fn r5_exempts_private_atomic_owning_backend_state() {
+    // The backends keep their atomic-owning shared structs private and
+    // drive them through public handles; R5 must not demand models for
+    // types that cannot escape the crate — even with no model file at
+    // all in the run.
+    let cfg = demo_config("");
+    let f = fixture("crates/demo/loomed/r5_private.rs", "r5_private.rs");
+    assert_eq!(findings(&[f], &cfg), vec![]);
+}
+
 /// The `[lockorder]` declarations the R6 fixtures are written against.
 /// Kept separate from [`TOPOLOGY_TABLE`]: declaring topology edges in a
 /// run whose files never tag them would add stale-edge findings.
