@@ -39,6 +39,11 @@ pub enum Error {
     /// not be written, read or repaired. Carries the underlying I/O
     /// context.
     Durability(String),
+    /// The serving runtime refused to register a query: the admission
+    /// budget (concurrent queries, joiner threads, memory) is exhausted.
+    /// Carries the reason so the caller can tell which limit bit and
+    /// retry after capacity frees up.
+    Admission(String),
     /// A worker stopped draining its input channel: a routed send exceeded
     /// the configured deadline without the worker having recorded a panic.
     /// Distinguishes a wedged-but-alive worker from a dead one.
@@ -60,6 +65,7 @@ impl fmt::Display for Error {
                 write!(f, "SQL parse error at byte {offset}: {message}")
             }
             Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+            Error::Admission(reason) => write!(f, "admission rejected: {reason}"),
             Error::Durability(msg) => write!(f, "durability: {msg}"),
             Error::WorkerFailed {
                 engine,

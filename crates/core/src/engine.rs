@@ -138,11 +138,17 @@ pub struct RunStats {
     /// [`SinkRetryPolicy`](crate::config::SinkRetryPolicy).
     #[serde(default)]
     pub sink_retries: u64,
+    /// Base tuples the serving runtime's lossy admission path dropped for
+    /// this query instead of blocking the shared ingest (load shedding
+    /// under overload; see `oij-serve`). Always 0 for standalone engine
+    /// runs.
+    #[serde(default)]
+    pub shed_events: u64,
 }
 
 impl RunStats {
     /// Merges per-joiner reports into run-level statistics.
-    pub(crate) fn from_reports(
+    pub fn from_reports(
         input_tuples: u64,
         elapsed: StdDuration,
         reports: Vec<JoinerReport>,
@@ -224,11 +230,12 @@ impl RunStats {
             recovery_duration: StdDuration::ZERO,
             rows_deduped_on_recovery: 0,
             sink_retries: 0,
+            shed_events: 0,
         }
     }
 
     /// Marks these stats as the partial output of an aborted run.
-    pub(crate) fn mark_aborted(mut self, workers_lost: usize) -> RunStats {
+    pub fn mark_aborted(mut self, workers_lost: usize) -> RunStats {
         self.aborted = true;
         self.workers_lost = workers_lost;
         self

@@ -183,7 +183,7 @@ impl FaultPlan {
     /// identify the worker in crash reports (auxiliary threads report
     /// under their own label), and `cell` is where a simulated crash is
     /// recorded.
-    pub(crate) fn for_worker(
+    pub fn for_worker(
         &self,
         worker: usize,
         engine: &'static str,
@@ -227,7 +227,7 @@ impl FaultPlan {
     /// Wraps `sink` with this plan's sink faults for `worker` (identity
     /// when there are none). `kill` lets injected sink stalls cut short at
     /// engine teardown instead of serving out their backlog.
-    pub(crate) fn wrap_sink(&self, worker: usize, sink: Sink, kill: Arc<AtomicBool>) -> Sink {
+    pub fn wrap_sink(&self, worker: usize, sink: Sink, kill: Arc<AtomicBool>) -> Sink {
         let mut delay = None;
         let mut stall_from = 0;
         let mut fail = None;
@@ -251,7 +251,7 @@ impl FaultPlan {
 /// Compiled message-path faults for one worker (see
 /// [`FaultPlan::for_worker`]).
 #[derive(Debug, Clone)]
-pub(crate) struct WorkerFaults {
+pub struct WorkerFaults {
     panic_at: Option<(u64, String)>,
     stall_from: Option<(u64, StdDuration)>,
     wedge_at: Option<u64>,
@@ -264,7 +264,7 @@ pub(crate) struct WorkerFaults {
 
 /// What the worker loop should do after consulting the faults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum FaultAction {
+pub enum FaultAction {
     /// Process the message normally.
     Continue,
     /// The worker was wedged and the engine has torn down: return the
@@ -282,7 +282,7 @@ impl WorkerFaults {
     /// that falls mid-batch fires exactly where it would on the
     /// unbatched path (remaining tuples in the batch are dropped on
     /// `Exit`, matching a worker death between channel receives).
-    pub(crate) fn before_message(&self, ordinal: u64, kill: &AtomicBool) -> FaultAction {
+    pub fn before_message(&self, ordinal: u64, kill: &AtomicBool) -> FaultAction {
         if let Some(at) = self.crash_at {
             if ordinal == at {
                 // Simulated process death: gate durable sinks first (a
@@ -318,7 +318,7 @@ impl WorkerFaults {
 }
 
 /// Sleeps `total` in small slices, returning early once `kill` is raised.
-pub(crate) fn interruptible_sleep(total: StdDuration, kill: &AtomicBool) {
+pub fn interruptible_sleep(total: StdDuration, kill: &AtomicBool) {
     let slice = StdDuration::from_millis(1);
     let mut remaining = total;
     while !remaining.is_zero() {
@@ -443,7 +443,7 @@ fn panic_payload(payload: &(dyn Any + Send)) -> String {
 /// Runs one worker body under supervision: a panic is caught, its payload
 /// and the worker's identity are recorded into `cell`, and `None` is
 /// returned instead of unwinding through the thread boundary.
-pub(crate) fn run_supervised<R>(
+pub fn run_supervised<R>(
     engine: &'static str,
     worker: usize,
     cell: &FailureCell,
@@ -469,7 +469,7 @@ pub(crate) fn run_supervised<R>(
 /// - disconnected with no recorded failure → the receiving thread is gone
 ///   without a panic report (should not happen) → [`Error::WorkerFailed`]
 ///   with disconnect evidence.
-pub(crate) fn send_guarded<T>(
+pub fn send_guarded<T>(
     tx: &Sender<T>,
     msg: T,
     deadline: StdDuration,
@@ -550,7 +550,7 @@ pub(crate) fn join_outcome<R>(
 ///   salvaged if it then exits, the handle is **detached** if it does not.
 ///   Either way the outcome carries an error — the failure already in the
 ///   cell if one was recorded, [`Error::WorkerStalled`] otherwise.
-pub(crate) fn join_within<R>(
+pub fn join_within<R>(
     handle: std::thread::JoinHandle<Option<R>>,
     deadline: StdDuration,
     engine: &'static str,

@@ -146,6 +146,13 @@ impl JoinerInstruments {
     /// Builds the bundle for one joiner. `origin` anchors the busy timeline
     /// (pass the same instant to all joiners).
     pub fn new(spec: &Instrumentation, origin: Instant) -> Self {
+        Self::with_edge(spec, origin, "driver-joiner")
+    }
+
+    /// [`new`](Self::new) with an explicit protocol edge for the receive
+    /// probe — the serving runtime's workers sit on `ingest-query`, not
+    /// the engines' `driver-joiner`.
+    pub fn with_edge(spec: &Instrumentation, origin: Instant, edge: &'static str) -> Self {
         JoinerInstruments {
             latency: spec.latency.then(LatencyHistogram::new),
             breakdown: spec.breakdown.then(TimeBreakdown::new),
@@ -159,7 +166,7 @@ impl JoinerInstruments {
             late_side_outputs: 0,
             evicted: 0,
             batch_occupancy: BatchOccupancy::new(),
-            proto: ProtoProbe::new("driver-joiner"),
+            proto: ProtoProbe::new(edge),
         }
     }
 

@@ -69,7 +69,7 @@ pub use splitjoin::SplitJoin;
 /// 64-bit finalising mix (from MurmurHash3): maps keys to well-spread hash
 /// values for partitioning.
 #[inline]
-pub(crate) fn hash_key(key: u64) -> u64 {
+pub fn hash_key(key: u64) -> u64 {
     let mut h = key;
     h ^= h >> 33;
     h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);

@@ -181,7 +181,7 @@ impl Sink {
 /// ordinal); the durability gate sits innermost so exactly-once applies
 /// at the user sink — an attempt that panics before delivery is never
 /// marked emitted, and recovery replays it.
-pub(crate) fn worker_sink_stack(
+pub fn worker_sink_stack(
     cfg: &crate::config::EngineConfig,
     worker: usize,
     user: Sink,

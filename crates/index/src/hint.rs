@@ -339,17 +339,17 @@ impl Clone for HintReader {
     }
 }
 
-impl OijIndexReader for HintReader {
-    fn scan_window_addr(&self, key: Key, window: Window, f: impl FnMut(&Tuple, usize)) -> usize {
-        self.scan_ts_range_addr(key, window.start, window.end, f)
-    }
-
-    fn scan_ts_range_addr(
+impl HintReader {
+    /// The shared scan body: visits every entry of `key` with
+    /// `lo ≤ ts ≤ hi` in `(ts, seq)` order. Both public scan shapes
+    /// (address-reporting and seq-reporting) project from the `Entry`
+    /// this hands out.
+    fn for_each_entry_in(
         &self,
         key: Key,
         lo: Timestamp,
         hi: Timestamp,
-        mut f: impl FnMut(&Tuple, usize),
+        mut f: impl FnMut(&Entry),
     ) -> usize {
         if hi < lo {
             return 0;
@@ -389,7 +389,7 @@ impl OijIndexReader for HintReader {
                             if e.0 > hi_key {
                                 break;
                             }
-                            f(&e.1, e as *const Entry as usize);
+                            f(e);
                             visited += 1;
                         }
                     }
@@ -397,6 +397,26 @@ impl OijIndexReader for HintReader {
                 visited
             })
             .unwrap_or(0)
+    }
+}
+
+impl OijIndexReader for HintReader {
+    fn scan_window_addr(&self, key: Key, window: Window, f: impl FnMut(&Tuple, usize)) -> usize {
+        self.scan_ts_range_addr(key, window.start, window.end, f)
+    }
+
+    fn scan_ts_range_addr(
+        &self,
+        key: Key,
+        lo: Timestamp,
+        hi: Timestamp,
+        mut f: impl FnMut(&Tuple, usize),
+    ) -> usize {
+        self.for_each_entry_in(key, lo, hi, |e| f(&e.1, e as *const Entry as usize))
+    }
+
+    fn scan_window_seq(&self, key: Key, window: Window, mut f: impl FnMut(&Tuple, u64)) -> usize {
+        self.for_each_entry_in(key, window.start, window.end, |e| f(&e.1, e.0 .1))
     }
 
     fn key_len(&self, key: Key) -> usize {

@@ -350,6 +350,23 @@ impl OijIndexReader for JiffyReader {
             .unwrap_or(0)
     }
 
+    fn scan_window_seq(&self, key: Key, window: Window, mut f: impl FnMut(&Tuple, u64)) -> usize {
+        if window.end < window.start {
+            return 0;
+        }
+        self.keys
+            .get_with(&key, |shared| {
+                let snap = shared.runs.load();
+                merge_in_range(
+                    &snap.runs,
+                    (window.start, 0u64),
+                    (window.end, u64::MAX),
+                    |e: &Entry| f(&e.1, e.0 .1),
+                )
+            })
+            .unwrap_or(0)
+    }
+
     fn key_len(&self, key: Key) -> usize {
         self.keys
             .get_with(&key, |shared| shared.runs.load().live)

@@ -228,6 +228,16 @@ pub trait OijIndexReader: Clone + Send + Sync {
         self.scan_window_addr(key, window, |t, _| f(t))
     }
 
+    /// Visits every stored tuple of `key` inside `window` in `(ts, seq)`
+    /// order, passing each tuple's dense per-index insertion sequence
+    /// number (invariant 1 in the crate docs: all backends assign `seq`
+    /// identically, in writer order). A caller that remembers the
+    /// writer's insert count at some instant can filter on `seq < count`
+    /// to recover exactly the insert prefix that preceded that instant —
+    /// the serving runtime's shared-index visibility bound (DESIGN.md
+    /// §13). Returns the number visited (before any caller-side filter).
+    fn scan_window_seq(&self, key: Key, window: Window, f: impl FnMut(&Tuple, u64)) -> usize;
+
     /// Visits every stored tuple of `key` with `lo ≤ ts ≤ hi`; returns 0
     /// when `hi < lo`.
     fn scan_ts_range(
@@ -319,6 +329,10 @@ impl OijIndexWriter for SkipWriter {
 impl OijIndexReader for SkipReader {
     fn scan_window_addr(&self, key: Key, window: Window, f: impl FnMut(&Tuple, usize)) -> usize {
         SkipReader::scan_window_addr(self, key, window, f)
+    }
+
+    fn scan_window_seq(&self, key: Key, window: Window, f: impl FnMut(&Tuple, u64)) -> usize {
+        SkipReader::scan_window_seq(self, key, window, f)
     }
 
     fn scan_ts_range_addr(
@@ -464,6 +478,10 @@ impl OijIndexReader for BackendReader {
         dispatch_reader!(self, r => r.scan_window_addr(key, window, f))
     }
 
+    fn scan_window_seq(&self, key: Key, window: Window, f: impl FnMut(&Tuple, u64)) -> usize {
+        dispatch_reader!(self, r => r.scan_window_seq(key, window, f))
+    }
+
     fn scan_ts_range_addr(
         &self,
         key: Key,
@@ -582,6 +600,52 @@ mod tests {
                 "{}",
                 backend.label()
             );
+        }
+    }
+
+    #[test]
+    fn every_backend_exposes_dense_insert_seq() {
+        for backend in IndexBackend::ALL {
+            let (mut w, r) = backend.build_with_seed(0xC0FFEE);
+            // Interleave keys: seq is dense over the *index*, not per key.
+            w.insert(t(1, 30, 3.0)); // seq 0
+            w.insert(t(2, 5, 9.0)); // seq 1
+            w.insert(t(1, 10, 1.0)); // seq 2
+            w.insert(t(1, 30, 4.0)); // seq 3 (duplicate ts: seq breaks tie)
+            let win = Window {
+                start: Timestamp::from_micros(0),
+                end: Timestamp::from_micros(100),
+            };
+            let mut seen = Vec::new();
+            let visited = r.scan_window_seq(1, win, |tp, seq| {
+                seen.push((tp.ts.as_micros(), seq, tp.value));
+            });
+            assert_eq!(visited, 3, "{}", backend.label());
+            assert_eq!(
+                seen,
+                vec![(10, 2, 1.0), (30, 0, 3.0), (30, 3, 4.0)],
+                "{}",
+                backend.label()
+            );
+            // A prefix filter on seq reproduces the state after the
+            // first two inserts exactly.
+            let mut prefix = Vec::new();
+            r.scan_window_seq(1, win, |tp, seq| {
+                if seq < 2 {
+                    prefix.push((tp.ts.as_micros(), tp.value));
+                }
+            });
+            assert_eq!(prefix, vec![(30, 3.0)], "{}", backend.label());
+            // Inverted windows visit nothing.
+            let none = r.scan_window_seq(
+                1,
+                Window {
+                    start: Timestamp::from_micros(10),
+                    end: Timestamp::from_micros(5),
+                },
+                |_, _| panic!("inverted window must not visit"),
+            );
+            assert_eq!(none, 0, "{}", backend.label());
         }
     }
 

@@ -1,0 +1,1053 @@
+//! # oij-serve — the multi-query feature-serving runtime
+//!
+//! OpenMLDB's online feature platform does not run one join at a time:
+//! many feature queries are served **concurrently over the same ingested
+//! stream**, registered and cancelled while ingest keeps flowing. This
+//! crate is that long-running layer on top of the engines (DESIGN.md
+//! §13):
+//!
+//! * **Shared single-writer ingest.** The runtime owns one SWMR index
+//!   writer for the probe side of the stream; every registered query's
+//!   workers scan it through cloned readers. A probe tuple is inserted
+//!   exactly *once* no matter how many queries are active — the paper's
+//!   shared-store insight, applied across plans instead of across
+//!   joiners.
+//! * **Bit-identical serving.** Each base message carries the writer's
+//!   probe-insert count at dispatch as a visibility bound; workers
+//!   filter their `(ts, seq)`-ordered window scans to `seq < bound`
+//!   (dense sequence numbers are an index-contract invariant), so every
+//!   query's output — multiset, order, and `f64` accumulation — is
+//!   exactly what a solo run over the same events would produce.
+//! * **Admission control.** [`ServeRuntime::register`] enforces budgets
+//!   (concurrent queries, total joiner threads, per-query channel
+//!   memory) and rejects with a reasoned [`Error::Admission`] instead of
+//!   degrading everyone.
+//! * **Backpressure and shedding.** Fan-out uses the engines' bounded
+//!   channels. In the default lossless mode a stalled query blocks
+//!   ingest at most `send_timeout` before it alone is poisoned; with
+//!   [`ServeConfig::shed_when_full`] the runtime drops that query's base
+//!   messages instead, counting them in
+//!   [`RunStats::shed_events`](oij_core::RunStats::shed_events).
+//! * **Fault isolation.** Every query gets its own supervised workers,
+//!   failure cell, and kill flag. A panic, wedge, or slow sink in query
+//!   A surfaces as A's [`Error::WorkerFailed`]; query B's output is
+//!   untouched.
+
+#![warn(missing_docs)]
+
+mod sync;
+mod worker;
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam_channel::{bounded, Sender, TrySendError};
+
+use oij_common::{
+    EmitMode, Error, Event, EventKind, Result, Side, Timestamp, Tuple, WatermarkTracker,
+};
+use oij_core::faults::{join_within, run_supervised, send_guarded, FailureCell};
+use oij_core::instrument::JoinerReport;
+use oij_core::sink::worker_sink_stack;
+use oij_core::{hash_key, EngineConfig, RunStats, Sink};
+use oij_index::{BackendWriter, IndexBackend, OijIndexWriter};
+
+use crate::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use crate::sync::Mutex;
+use crate::worker::{BaseMsg, Msg, QueryWorker};
+
+/// Worker-failure attribution label for this runtime.
+const ENGINE: &str = "serve";
+
+/// Handle of one registered query, returned by
+/// [`ServeRuntime::register`] and accepted by
+/// [`cancel`](ServeRuntime::cancel)/[`stats`](ServeRuntime::stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl QueryId {
+    /// The raw numeric id (stable for the runtime's lifetime).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Budgets and stream-wide knobs of one [`ServeRuntime`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission: maximum concurrently registered queries.
+    pub max_queries: usize,
+    /// Admission: maximum joiner threads summed over all active queries.
+    pub max_total_joiners: usize,
+    /// Admission: upper bound on a query's `channel_capacity` (the
+    /// per-query memory budget — bounded channels are the only
+    /// per-query buffering the runtime allocates).
+    pub max_channel_capacity: usize,
+    /// Joiner threads given to queries registered from SQL text
+    /// ([`ServeRuntime::register_sql`], which has no [`EngineConfig`]).
+    pub default_joiners: usize,
+    /// Backend of the shared probe index. Per-query
+    /// `EngineConfig::index_backend` is ignored: all queries scan the
+    /// same store, so the runtime's choice wins.
+    pub index_backend: IndexBackend,
+    /// Ingest events between central eviction sweeps of the shared
+    /// index.
+    pub expire_every: usize,
+    /// Overload policy: `false` (default) applies backpressure — a full
+    /// query channel blocks ingest up to the query's `send_timeout`,
+    /// then poisons *that query only*. `true` sheds instead: the base
+    /// message is dropped for the full query and counted in its
+    /// [`RunStats::shed_events`](oij_core::RunStats::shed_events),
+    /// and ingest never blocks.
+    pub shed_when_full: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_queries: 64,
+            max_total_joiners: 256,
+            max_channel_capacity: 1 << 16,
+            default_joiners: 1,
+            index_backend: IndexBackend::default(),
+            expire_every: 1024,
+            shed_when_full: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default budgets (64 queries / 256 joiners / 64 Ki messages).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the shared-index backend.
+    pub fn with_index_backend(mut self, backend: IndexBackend) -> Self {
+        self.index_backend = backend;
+        self
+    }
+
+    /// Replaces the admission budgets.
+    pub fn with_budgets(mut self, queries: usize, joiners: usize, capacity: usize) -> Self {
+        self.max_queries = queries;
+        self.max_total_joiners = joiners;
+        self.max_channel_capacity = capacity;
+        self
+    }
+
+    /// Enables load shedding instead of blocking backpressure.
+    pub fn with_shedding(mut self) -> Self {
+        self.shed_when_full = true;
+        self
+    }
+
+    /// Validates invariants; called by [`ServeRuntime::new`].
+    pub fn validate(&self) -> Result<()> {
+        if self.max_queries == 0 {
+            return Err(Error::InvalidConfig("max_queries must be > 0".into()));
+        }
+        if self.max_total_joiners == 0 {
+            return Err(Error::InvalidConfig("max_total_joiners must be > 0".into()));
+        }
+        if self.max_channel_capacity == 0 {
+            return Err(Error::InvalidConfig(
+                "max_channel_capacity must be > 0".into(),
+            ));
+        }
+        if self.default_joiners == 0 || self.default_joiners > self.max_total_joiners {
+            return Err(Error::InvalidConfig(format!(
+                "default_joiners = {} must be in 1..={}",
+                self.default_joiners, self.max_total_joiners
+            )));
+        }
+        if self.expire_every == 0 {
+            return Err(Error::InvalidConfig("expire_every must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Live counters of one registered query
+/// ([`ServeRuntime::stats`]; final numbers come from
+/// [`cancel`](ServeRuntime::cancel)'s [`RunStats`]).
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// The query's handle.
+    pub id: QueryId,
+    /// Optional `-- name:` label carried from SQL.
+    pub name: Option<String>,
+    /// Joiner threads the query holds from the admission budget.
+    pub joiners: usize,
+    /// Events this query has ingested (probes and bases).
+    pub pushed: u64,
+    /// Base messages shed under overload (lossy mode only).
+    pub shed: u64,
+    /// Whether the query is poisoned (a worker failed or stalled); the
+    /// cause is returned by [`cancel`](ServeRuntime::cancel).
+    pub failed: bool,
+}
+
+/// Runtime-wide counters ([`ServeRuntime::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct ServeSnapshot {
+    /// Currently registered queries.
+    pub active_queries: usize,
+    /// Events ingested since start.
+    pub events: u64,
+    /// Probe tuples inserted into the shared index (each exactly once).
+    pub probe_inserts: u64,
+    /// Probe tuples currently retained by the shared index.
+    pub retained: usize,
+    /// Probe tuples evicted by the central sweeps.
+    pub evicted: u64,
+}
+
+/// Admission bookkeeping, shared with any front-end thread that
+/// registers or cancels queries.
+struct Ledger {
+    active_queries: usize,
+    active_joiners: usize,
+    /// Active `-- name:` labels → query id (labels are unique while
+    /// registered; freed on cancel).
+    names: BTreeMap<String, u64>,
+}
+
+/// One registered query's runtime state on the ingest side.
+struct Query {
+    name: Option<String>,
+    cfg: EngineConfig,
+    tracker: WatermarkTracker,
+    senders: Vec<Sender<Msg>>,
+    handles: Vec<JoinHandle<Option<JoinerReport>>>,
+    reports: Vec<JoinerReport>,
+    failures: Arc<FailureCell>,
+    kill: Arc<AtomicBool>,
+    retries: Arc<AtomicU64>,
+    /// Per-worker acknowledged watermarks feeding the central evictor.
+    acks: Vec<Arc<AtomicI64>>,
+    /// First observed failure: the query stops receiving, neighbours
+    /// are untouched.
+    poison: Option<Error>,
+    /// Per-joiner coalescing buffers (`batch_size > 1`).
+    batches: Vec<Vec<BaseMsg>>,
+    since_heartbeat: usize,
+    pushed: u64,
+    shed: u64,
+    /// Probe-side lateness violations (base-side ones are counted by
+    /// the workers; the sum matches a solo run's accounting).
+    probe_late: u64,
+    started: Option<Instant>,
+}
+
+impl Query {
+    /// Routed send on the `ingest -> query` edge. Lossless mode blocks
+    /// up to `send_timeout` and poisons the query on failure; lossy
+    /// mode drops full-channel base traffic and counts the shed.
+    fn route(&mut self, j: usize, msg: Msg, lossy: bool) -> Result<()> {
+        if lossy {
+            match self.senders[j].try_send(msg) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(dropped)) => {
+                    self.shed += match dropped {
+                        Msg::Data(_) => 1,
+                        Msg::Batch(b) => b.len() as u64,
+                        // Control traffic is never shed; unreachable
+                        // because heartbeats/flushes route losslessly.
+                        Msg::Heartbeat(_) | Msg::Flush => 0,
+                    };
+                    return Ok(());
+                }
+                // A disconnect means the worker died: fall through to
+                // the guarded path, which waits briefly for the
+                // supervisor's attribution and reports the real cause.
+                Err(TrySendError::Disconnected(m)) => {
+                    return self.route_guarded(j, m);
+                }
+            }
+        }
+        self.route_guarded(j, msg)
+    }
+
+    fn route_guarded(&mut self, j: usize, msg: Msg) -> Result<()> {
+        match send_guarded(
+            &self.senders[j],
+            msg,
+            self.cfg.send_timeout,
+            ENGINE,
+            j,
+            &self.failures,
+        ) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poison = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Routes one base message, coalescing per destination when the
+    /// query asked for batching.
+    fn route_base(&mut self, msg: BaseMsg, lossy: bool) -> Result<()> {
+        let j = (hash_key(msg.tuple.key) % self.cfg.joiners as u64) as usize;
+        if self.cfg.batch_size > 1 {
+            self.batches[j].push(msg);
+            if self.batches[j].len() >= self.cfg.batch_size {
+                let out = std::mem::take(&mut self.batches[j]);
+                // PROTO: ingest-query.stream
+                return self.route(j, Msg::Batch(out), lossy);
+            }
+            Ok(())
+        } else {
+            // PROTO: ingest-query.stream
+            self.route(j, Msg::Data(Box::new(msg)), lossy)
+        }
+    }
+
+    /// Hands over every partially filled batch buffer.
+    fn flush_batches(&mut self, lossy: bool) -> Result<()> {
+        for j in 0..self.batches.len() {
+            if self.batches[j].is_empty() {
+                continue;
+            }
+            let out = std::mem::take(&mut self.batches[j]);
+            // PROTO: ingest-query.stream
+            self.route(j, Msg::Batch(out), lossy)?;
+        }
+        Ok(())
+    }
+
+    /// Ends the query: flushes, joins every worker, and merges its
+    /// reports — or returns the first failure (the poison, if already
+    /// set). Workers are always joined, even on the failure path.
+    fn shutdown(&mut self) -> Result<RunStats> {
+        if self.poison.is_none() {
+            // Terminal flush; failures here poison and fall through to
+            // the joins below so no thread leaks.
+            let _ = self.flush_batches(false);
+            for j in 0..self.senders.len() {
+                if self.poison.is_some() {
+                    break;
+                }
+                // PROTO: ingest-query.closed
+                let _ = self.route(j, Msg::Flush, false);
+            }
+        }
+        if self.poison.is_some() {
+            // ORDERING: Release — pairs with the workers' Acquire `kill` loads (fault supervision paths), so teardown state precedes the flag.
+            self.kill.store(true, Ordering::Release);
+        }
+        self.senders.clear();
+        let mut first_err: Option<Error> = None;
+        for (j, handle) in self.handles.drain(..).enumerate() {
+            let (report, err) = join_within(
+                handle,
+                self.cfg.send_timeout,
+                ENGINE,
+                j,
+                &self.failures,
+                &self.kill,
+            );
+            if let Some(r) = report {
+                self.reports.push(r);
+            }
+            if let Some(e) = err {
+                first_err.get_or_insert(e);
+            }
+        }
+        if let Some(e) = self.poison.clone().or(first_err) {
+            self.poison = Some(e.clone());
+            return Err(e);
+        }
+        let elapsed = self
+            .started
+            .map(|s| s.elapsed())
+            .unwrap_or_else(|| std::time::Duration::from_nanos(1));
+        let reports = std::mem::take(&mut self.reports);
+        let mut stats = RunStats::from_reports(self.pushed, elapsed, reports, 0);
+        stats.late_violations += self.probe_late;
+        stats.shed_events = self.shed;
+        // ORDERING: Relaxed — statistics counter; workers are already joined.
+        stats.sink_retries = self.retries.load(Ordering::Relaxed);
+        Ok(stats)
+    }
+}
+
+impl Drop for Query {
+    fn drop(&mut self) {
+        // Dropped without shutdown (runtime dropped mid-serve): raise
+        // the kill flag first, disconnect, then join with a deadline.
+        // ORDERING: Release — pairs with the workers' Acquire `kill` loads (fault supervision paths), so teardown state precedes the flag.
+        self.kill.store(true, Ordering::Release);
+        self.senders.clear();
+        while let Some(handle) = self.handles.pop() {
+            let _ = join_within(
+                handle,
+                self.cfg.send_timeout,
+                ENGINE,
+                self.handles.len(),
+                &self.failures,
+                &self.kill,
+            );
+        }
+    }
+}
+
+/// The serving runtime. One instance per ingested stream; see the
+/// [crate docs](self) for the model.
+///
+/// The runtime itself is driven from one thread (`&mut self` ingest —
+/// the single-writer contract of the shared index); its workers are
+/// supervised background threads. A debug-assertions tripwire flags any
+/// unsound future attempt to touch the writer concurrently.
+pub struct ServeRuntime {
+    cfg: ServeConfig,
+    writer: BackendWriter,
+    probe_inserts: u64,
+    queries: BTreeMap<u64, Query>,
+    /// Final stats of cleanly cancelled queries (observability after
+    /// cancel, e.g. the CLI's `STATS`).
+    retired: BTreeMap<u64, RunStats>,
+    next_id: u64,
+    ledger: Mutex<Ledger>,
+    /// Debug tripwire for the single-writer invariant (only read under
+    /// `debug_assertions`; release builds keep the ingest path free).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    write_busy: AtomicBool,
+    origin: Instant,
+    events: u64,
+    since_expire: usize,
+    evicted: u64,
+}
+
+impl ServeRuntime {
+    /// A runtime with no registered queries.
+    pub fn new(cfg: ServeConfig) -> Result<Self> {
+        cfg.validate()?;
+        let (writer, _) = cfg.index_backend.build();
+        Ok(ServeRuntime {
+            writer,
+            cfg,
+            probe_inserts: 0,
+            queries: BTreeMap::new(),
+            retired: BTreeMap::new(),
+            next_id: 0,
+            ledger: Mutex::new(
+                "serve_admission",
+                Ledger {
+                    active_queries: 0,
+                    active_joiners: 0,
+                    names: BTreeMap::new(),
+                },
+            ),
+            write_busy: AtomicBool::new(false),
+            origin: Instant::now(),
+            events: 0,
+            since_expire: 0,
+            evicted: 0,
+        })
+    }
+
+    /// Registers a query given as OpenMLDB SQL text (one statement; an
+    /// optional `-- name:` label names the plan). Uses
+    /// [`ServeConfig::default_joiners`] and engine defaults.
+    pub fn register_sql(&mut self, sql: &str, sink: Sink) -> Result<QueryId> {
+        let parsed = oij_sql::parse(sql)?;
+        let query = parsed.to_oij_query()?;
+        let cfg = EngineConfig::new(query, self.cfg.default_joiners)?;
+        self.register(cfg, sink, parsed.name)
+    }
+
+    /// Registers every `;`-separated statement of a SQL script,
+    /// returning the ids in statement order. All-or-nothing: a failed
+    /// admission mid-script cancels the statements already admitted.
+    pub fn register_script(&mut self, sql: &str, sink: &Sink) -> Result<Vec<QueryId>> {
+        let parsed = oij_sql::parse_many(sql)?;
+        let mut ids = Vec::with_capacity(parsed.len());
+        for stmt in parsed {
+            let lowered = stmt.to_oij_query().and_then(|q| {
+                EngineConfig::new(q, self.cfg.default_joiners)
+                    .and_then(|cfg| self.register(cfg, sink.clone(), stmt.name.clone()))
+            });
+            match lowered {
+                Ok(id) => ids.push(id),
+                Err(e) => {
+                    for id in ids {
+                        let _ = self.cancel(id);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Registers a query with an explicit engine configuration —
+    /// joiners, channel capacity, batching, fault plan (tests) — and an
+    /// optional unique name. Runs the admission checks and spawns the
+    /// query's supervised workers; ingest is **not** paused.
+    pub fn register(
+        &mut self,
+        cfg: EngineConfig,
+        sink: Sink,
+        name: Option<String>,
+    ) -> Result<QueryId> {
+        cfg.validate()?;
+        if cfg.query.emit != EmitMode::Eager {
+            return Err(Error::Admission(
+                "only eager emission is served (watermark emission needs per-query \
+                 buffering the shared-ingest runtime does not provide)"
+                    .into(),
+            ));
+        }
+        if cfg.durability.is_some() {
+            return Err(Error::Admission(
+                "durability is per-engine-run; the serving runtime does not write-ahead-log".into(),
+            ));
+        }
+        if cfg.channel_capacity > self.cfg.max_channel_capacity {
+            return Err(Error::Admission(format!(
+                "channel_capacity {} exceeds the per-query memory budget of {} messages",
+                cfg.channel_capacity, self.cfg.max_channel_capacity
+            )));
+        }
+        let id = self.next_id;
+        {
+            // Reserve budget before spawning anything.
+            // LOCK: serve_admission
+            let mut ledger = self.ledger.lock();
+            if ledger.active_queries + 1 > self.cfg.max_queries {
+                return Err(Error::Admission(format!(
+                    "concurrent query limit of {} reached",
+                    self.cfg.max_queries
+                )));
+            }
+            if ledger.active_joiners + cfg.joiners > self.cfg.max_total_joiners {
+                return Err(Error::Admission(format!(
+                    "joiner budget exhausted: {} in use of {}, query wants {}",
+                    ledger.active_joiners, self.cfg.max_total_joiners, cfg.joiners
+                )));
+            }
+            if let Some(n) = &name {
+                if ledger.names.contains_key(n) {
+                    return Err(Error::Admission(format!(
+                        "query name '{n}' is already registered"
+                    )));
+                }
+                ledger.names.insert(n.clone(), id);
+            }
+            ledger.active_queries += 1;
+            ledger.active_joiners += cfg.joiners;
+        }
+        match self.spawn_query(id, cfg, sink, name.clone()) {
+            Ok(()) => {
+                self.next_id += 1;
+                Ok(QueryId(id))
+            }
+            Err(e) => {
+                // Release the reservation; nothing was spawned durably
+                // (spawn_query joins what it managed to start).
+                // LOCK: serve_admission
+                let mut ledger = self.ledger.lock();
+                ledger.active_queries -= 1;
+                ledger.active_joiners -= self
+                    .queries
+                    .get(&id)
+                    .map(|q| q.cfg.joiners)
+                    .unwrap_or_default();
+                if let Some(n) = &name {
+                    ledger.names.remove(n);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn spawn_query(
+        &mut self,
+        id: u64,
+        mut cfg: EngineConfig,
+        sink: Sink,
+        name: Option<String>,
+    ) -> Result<()> {
+        // All queries scan the shared store; the runtime's backend wins.
+        cfg.index_backend = self.cfg.index_backend;
+        let failures = Arc::new(FailureCell::new());
+        let kill = Arc::new(AtomicBool::new(false));
+        let retries = Arc::new(AtomicU64::new(0));
+        let mut senders = Vec::with_capacity(cfg.joiners);
+        let mut handles = Vec::with_capacity(cfg.joiners);
+        let mut acks = Vec::with_capacity(cfg.joiners);
+        for w in 0..cfg.joiners {
+            // CHANNEL: ingest -> query (one bounded queue per worker of one registered plan)
+            let (tx, rx) = bounded::<Msg>(cfg.channel_capacity);
+            let worker_sink =
+                worker_sink_stack(&cfg, w, sink.clone(), &None, &failures, &retries, &kill);
+            let ack = Arc::new(AtomicI64::new(i64::MIN));
+            let worker = QueryWorker::new(
+                &cfg,
+                worker_sink,
+                self.origin,
+                self.writer.reader(),
+                Arc::clone(&ack),
+            );
+            let faults = cfg.faults.for_worker(w, ENGINE, w, &failures);
+            let cell = Arc::clone(&failures);
+            let wkill = Arc::clone(&kill);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("oij-serve-q{id}-w{w}"))
+                    .spawn(move || {
+                        run_supervised(ENGINE, w, &cell, move || worker.run(rx, faults, wkill))
+                    })
+                    .map_err(|e| Error::InvalidState(format!("spawn failed: {e}")))?,
+            );
+            senders.push(tx);
+            acks.push(ack);
+        }
+        let lateness = cfg.query.window.lateness;
+        let batches = (0..cfg.joiners).map(|_| Vec::new()).collect();
+        self.queries.insert(
+            id,
+            Query {
+                name,
+                tracker: WatermarkTracker::new(lateness),
+                senders,
+                handles,
+                reports: Vec::new(),
+                failures,
+                kill,
+                retries,
+                acks,
+                poison: None,
+                batches,
+                since_heartbeat: 0,
+                pushed: 0,
+                shed: 0,
+                probe_late: 0,
+                started: None,
+                cfg,
+            },
+        );
+        Ok(())
+    }
+
+    /// Deregisters a query without draining shared ingest: flushes its
+    /// workers, joins them, frees its admission budget, and returns its
+    /// final [`RunStats`] — or the failure that poisoned it
+    /// ([`Error::WorkerFailed`]/[`Error::WorkerStalled`], attributable
+    /// to this query alone).
+    pub fn cancel(&mut self, id: QueryId) -> Result<RunStats> {
+        let mut q = self
+            .queries
+            .remove(&id.0)
+            .ok_or_else(|| Error::InvalidState(format!("unknown query {id}")))?;
+        {
+            // LOCK: serve_admission
+            let mut ledger = self.ledger.lock();
+            ledger.active_queries -= 1;
+            ledger.active_joiners -= q.cfg.joiners;
+            if let Some(n) = &q.name {
+                ledger.names.remove(n);
+            }
+        }
+        let result = q.shutdown();
+        if let Ok(stats) = &result {
+            self.retired.insert(id.0, stats.clone());
+        }
+        result
+    }
+
+    /// Cancels every remaining query (shutdown path); per-query results
+    /// in registration order.
+    pub fn finish(&mut self) -> Vec<(QueryId, Result<RunStats>)> {
+        let ids: Vec<u64> = self.queries.keys().copied().collect();
+        ids.into_iter()
+            .map(|id| (QueryId(id), self.cancel(QueryId(id))))
+            .collect()
+    }
+
+    /// Resolves an active query's `-- name:` label.
+    pub fn lookup(&self, name: &str) -> Option<QueryId> {
+        // LOCK: serve_admission
+        self.ledger.lock().names.get(name).copied().map(QueryId)
+    }
+
+    /// Live per-query counters, in registration order.
+    pub fn stats(&self) -> Vec<QueryStats> {
+        self.queries
+            .iter()
+            .map(|(&id, q)| QueryStats {
+                id: QueryId(id),
+                name: q.name.clone(),
+                joiners: q.cfg.joiners,
+                pushed: q.pushed,
+                shed: q.shed,
+                failed: q.poison.is_some(),
+            })
+            .collect()
+    }
+
+    /// Final stats of a cleanly cancelled query, if retained.
+    pub fn retired_stats(&self, id: QueryId) -> Option<&RunStats> {
+        self.retired.get(&id.0)
+    }
+
+    /// Runtime-wide counters.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            active_queries: self.queries.len(),
+            events: self.events,
+            probe_inserts: self.probe_inserts,
+            retained: self.writer.len(),
+            evicted: self.evicted,
+        }
+    }
+
+    /// Feeds one event to every registered query. Probes are indexed
+    /// once in the shared store; bases fan out with a visibility bound.
+    /// Per-query failures are contained (the failing query is poisoned
+    /// and skipped; see [`stats`](Self::stats) and
+    /// [`cancel`](Self::cancel)) — `push` itself only fails on runtime-
+    /// level misuse.
+    pub fn push(&mut self, event: Event) -> Result<()> {
+        self.push_at(event, Instant::now())
+    }
+
+    /// [`push`](Self::push) with an explicit arrival instant, from which
+    /// per-row latency is measured. Open-loop load generators pass the
+    /// event's **scheduled** arrival here (which may be in the past when
+    /// the feeder fell behind), so queueing delay accumulated while
+    /// ingest was backed up is charged to the runtime instead of being
+    /// silently omitted (coordinated omission).
+    pub fn push_at(&mut self, event: Event, arrival: Instant) -> Result<()> {
+        match event.kind {
+            // A flush marker ends one *feed*, not the service: queries
+            // are long-running and are ended individually by `cancel`.
+            EventKind::Flush => Ok(()),
+            EventKind::Data { side, tuple } => {
+                self.dispatch(event.seq, side, tuple, arrival);
+                Ok(())
+            }
+        }
+    }
+
+    fn dispatch(&mut self, seq: u64, side: Side, tuple: Tuple, now: Instant) {
+        self.events += 1;
+        if side == Side::Probe {
+            self.writer_enter();
+            self.writer.insert(tuple.clone());
+            self.writer_exit();
+            self.probe_inserts += 1;
+        }
+        let bound = self.probe_inserts;
+        let lossy = self.cfg.shed_when_full;
+        for q in self.queries.values_mut() {
+            if q.poison.is_some() {
+                continue;
+            }
+            if q.started.is_none() {
+                q.started = Some(now);
+            }
+            // Pre-observation stamp, exactly as the engine drivers do.
+            // STAMP: stamp-observe.pre
+            let watermark = q.tracker.current().time();
+            // STAMP: stamp-observe.post
+            q.tracker.observe(tuple.ts);
+            q.pushed += 1;
+            match side {
+                Side::Probe => {
+                    if tuple.ts < watermark {
+                        q.probe_late += 1;
+                    }
+                }
+                Side::Base => {
+                    let msg = BaseMsg {
+                        tuple: tuple.clone(),
+                        seq,
+                        arrival: now,
+                        watermark,
+                        bound,
+                    };
+                    // Isolation: a failed route poisons q only.
+                    let _ = q.route_base(msg, lossy);
+                }
+            }
+            q.since_heartbeat += 1;
+            if q.since_heartbeat >= q.cfg.heartbeat_every && q.poison.is_none() {
+                q.since_heartbeat = 0;
+                // Flush-before-heartbeat: a heartbeat must never pass
+                // tuples still parked in a coalescing buffer.
+                // STAMP: flush-heartbeat.pre
+                let flushed = q.flush_batches(lossy);
+                if flushed.is_ok() {
+                    for j in 0..q.senders.len() {
+                        // Control traffic always routes losslessly.
+                        // STAMP: flush-heartbeat.post
+                        // PROTO: ingest-query.stream
+                        if q.route(j, Msg::Heartbeat(watermark), false).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.since_expire += 1;
+        if self.since_expire >= self.cfg.expire_every {
+            self.since_expire = 0;
+            self.expire();
+        }
+    }
+
+    /// Central eviction of the shared index: conservative over every
+    /// query's *acknowledged* progress, so a backlogged worker's pending
+    /// scans never lose probes. (A per-query engine evicts at its own
+    /// `last_wm − window length`; the shared store must take the
+    /// minimum, and only over watermarks the workers have actually
+    /// caught up to.)
+    fn expire(&mut self) {
+        let mut bound: Option<Timestamp> = None;
+        for q in self.queries.values() {
+            if q.poison.is_some() {
+                // A poisoned query's workers may be gone and will never
+                // acknowledge again; its output is already void, so it
+                // no longer pins retention.
+                continue;
+            }
+            let mut q_min = i64::MAX;
+            for ack in &q.acks {
+                // ORDERING: Acquire — pairs with the workers' Release fetch_max publications, so acknowledged scans are complete before we trust the watermark.
+                q_min = q_min.min(ack.load(Ordering::Acquire));
+            }
+            if q_min == i64::MIN {
+                // Some worker has not acknowledged anything yet
+                // (registered mid-stream or idle slice): retain all.
+                return;
+            }
+            let cand = Timestamp::from_micros(q_min).saturating_sub(q.cfg.query.window.length());
+            bound = Some(match bound {
+                None => cand,
+                Some(b) => b.min(cand),
+            });
+        }
+        if let Some(b) = bound {
+            if b > Timestamp::MIN {
+                self.writer_enter();
+                self.evicted += self.writer.evict_below(b) as u64;
+                self.writer_exit();
+            }
+        }
+    }
+
+    /// Single-writer tripwire (debug builds): every mutation of the
+    /// shared index must be bracketed by enter/exit; any overlap —
+    /// which the `&mut self` API should make impossible — panics
+    /// instead of corrupting readers.
+    #[inline]
+    fn writer_enter(&self) {
+        #[cfg(debug_assertions)]
+        {
+            // ORDERING: AcqRel — the swap both claims the writer (Acquire: later index writes cannot float above it) and publishes the claim (Release).
+            let was = self.write_busy.swap(true, Ordering::AcqRel);
+            assert!(
+                !was,
+                "single-writer invariant violated: concurrent access to the shared index writer"
+            );
+        }
+    }
+
+    #[inline]
+    fn writer_exit(&self) {
+        #[cfg(debug_assertions)]
+        {
+            // ORDERING: Release — index writes made under the claim are published before it is dropped.
+            self.write_busy.store(false, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oij_common::{AggSpec, Duration, OijQuery};
+    use oij_core::faults::FaultPlan;
+    use oij_core::{KeyOij, OijEngine};
+
+    fn query(pre: i64, lateness: i64) -> OijQuery {
+        OijQuery::builder()
+            .preceding(Duration::from_micros(pre))
+            .lateness(Duration::from_micros(lateness))
+            .agg(AggSpec::Sum)
+            .emit(EmitMode::Eager)
+            .build()
+            .unwrap()
+    }
+
+    fn events(n: u64) -> Vec<Event> {
+        // Deterministic interleaved stream over a handful of keys with
+        // mild compliant disorder.
+        (0..n)
+            .map(|i| {
+                let ts = (i * 7 % 9 + i * 5) as i64;
+                let side = if i % 3 == 0 { Side::Base } else { Side::Probe };
+                Event::data(
+                    i,
+                    side,
+                    Tuple::new(Timestamp::from_micros(ts), i % 4, i as f64 * 0.5),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_served_query_matches_a_solo_engine_run() {
+        let cfg = EngineConfig::new(query(40, 20), 2).unwrap();
+        let (solo_sink, solo_rows) = Sink::collect();
+        let mut solo = KeyOij::spawn(cfg.clone(), solo_sink).unwrap();
+        let mut rt = ServeRuntime::new(ServeConfig::new()).unwrap();
+        let (sink, rows) = Sink::collect();
+        let id = rt.register(cfg, sink, None).unwrap();
+        for ev in events(500) {
+            solo.push(ev.clone()).unwrap();
+            rt.push(ev).unwrap();
+        }
+        let solo_stats = solo.finish().unwrap();
+        let stats = rt.cancel(id).unwrap();
+        let mut a = solo_rows.lock().clone();
+        let mut b = rows.lock().clone();
+        a.sort_by_key(|r| r.seq);
+        b.sort_by_key(|r| r.seq);
+        assert_eq!(a, b, "served rows must be bit-identical to the solo run");
+        assert_eq!(stats.results, solo_stats.results);
+        assert_eq!(stats.late_violations, solo_stats.late_violations);
+        assert_eq!(stats.shed_events, 0);
+    }
+
+    #[test]
+    fn admission_budgets_reject_with_reasons() {
+        let mut rt = ServeRuntime::new(ServeConfig::new().with_budgets(2, 3, 1 << 12)).unwrap();
+        let cfg = |j| EngineConfig::new(query(10, 0), j).unwrap();
+        let a = rt.register(cfg(2), Sink::null(), Some("a".into())).unwrap();
+        // Joiner budget: 2 of 3 in use, next wants 2.
+        let err = rt.register(cfg(2), Sink::null(), None).unwrap_err();
+        assert!(matches!(err, Error::Admission(ref r) if r.contains("joiner budget")));
+        let _b = rt.register(cfg(1), Sink::null(), Some("b".into())).unwrap();
+        // Query-count limit.
+        let err = rt.register(cfg(1), Sink::null(), None).unwrap_err();
+        assert!(matches!(err, Error::Admission(ref r) if r.contains("query limit")));
+        // Cancelling frees the budget.
+        rt.cancel(a).unwrap();
+        // Duplicate name while active.
+        let err = rt
+            .register(cfg(1), Sink::null(), Some("b".into()))
+            .unwrap_err();
+        assert!(matches!(err, Error::Admission(ref r) if r.contains("already registered")));
+        let a2 = rt.register(cfg(2), Sink::null(), Some("a".into())).unwrap();
+        assert_eq!(rt.lookup("a"), Some(a2));
+        // Memory budget.
+        let mut big = cfg(1);
+        big.channel_capacity = 1 << 13;
+        let err = rt.register(big, Sink::null(), None).unwrap_err();
+        assert!(matches!(err, Error::Admission(ref r) if r.contains("memory budget")));
+        // Watermark emission is not served.
+        let wm_query = OijQuery::builder()
+            .preceding(Duration::from_micros(10))
+            .agg(AggSpec::Sum)
+            .emit(EmitMode::Watermark)
+            .build()
+            .unwrap();
+        let err = rt
+            .register(EngineConfig::new(wm_query, 1).unwrap(), Sink::null(), None)
+            .unwrap_err();
+        assert!(matches!(err, Error::Admission(ref r) if r.contains("eager")));
+    }
+
+    #[test]
+    fn sql_registration_carries_names() {
+        let mut rt = ServeRuntime::new(ServeConfig::new()).unwrap();
+        let sql = "-- name: spend\n\
+                   SELECT SUM(value) OVER w FROM base WINDOW w AS (UNION probe \
+                   PARTITION BY key ORDER BY ts ROWS_RANGE BETWEEN 100 PRECEDING AND CURRENT ROW)";
+        let id = rt.register_sql(sql, Sink::null()).unwrap();
+        assert_eq!(rt.lookup("spend"), Some(id));
+        let stats = rt.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name.as_deref(), Some("spend"));
+        rt.cancel(id).unwrap();
+        assert_eq!(rt.lookup("spend"), None);
+        assert!(rt.retired_stats(id).is_some());
+    }
+
+    #[test]
+    fn a_panicking_query_is_isolated_from_its_neighbour() {
+        let mut rt = ServeRuntime::new(ServeConfig::new()).unwrap();
+        let cfg = EngineConfig::new(query(40, 20), 1).unwrap();
+        // Healthy twin for comparison.
+        let (sink_b, rows_b) = Sink::collect();
+        let b = rt.register(cfg.clone(), sink_b, None).unwrap();
+        let mut bad = cfg.clone();
+        bad.faults = FaultPlan::none().panic_at(0, 10, "injected worker panic");
+        let a = rt.register(bad, Sink::null(), None).unwrap();
+        for ev in events(400) {
+            rt.push(ev).unwrap();
+        }
+        let err = rt.cancel(a).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::WorkerFailed {
+                engine: "serve",
+                ..
+            }
+        ));
+        // B is bit-identical to a solo run over the same events.
+        let (solo_sink, solo_rows) = Sink::collect();
+        let mut solo = KeyOij::spawn(cfg, solo_sink).unwrap();
+        for ev in events(400) {
+            solo.push(ev).unwrap();
+        }
+        solo.finish().unwrap();
+        rt.cancel(b).unwrap();
+        let mut got = rows_b.lock().clone();
+        let mut want = solo_rows.lock().clone();
+        got.sort_by_key(|r| r.seq);
+        want.sort_by_key(|r| r.seq);
+        assert_eq!(got, want, "the healthy neighbour must be unaffected");
+    }
+
+    #[test]
+    fn eviction_keeps_the_shared_store_bounded() {
+        let mut rt = ServeRuntime::new(ServeConfig {
+            expire_every: 128,
+            ..ServeConfig::new()
+        })
+        .unwrap();
+        let mut cfg = EngineConfig::new(query(50, 10), 1).unwrap();
+        cfg.heartbeat_every = 64;
+        let id = rt.register(cfg, Sink::null(), None).unwrap();
+        for i in 0..20_000u64 {
+            let side = if i % 8 == 0 { Side::Base } else { Side::Probe };
+            rt.push(Event::data(
+                i,
+                side,
+                Tuple::new(Timestamp::from_micros(i as i64), i % 3, 1.0),
+            ))
+            .unwrap();
+        }
+        let snap = rt.snapshot();
+        assert!(snap.evicted > 0, "central eviction must have fired");
+        assert!(
+            snap.retained < 5_000,
+            "retention must track the window, not the stream: {} tuples live",
+            snap.retained
+        );
+        rt.cancel(id).unwrap();
+    }
+}

@@ -253,6 +253,29 @@ impl IndexReader {
         self.scan_window_addr(key, window, |t, _| f(t))
     }
 
+    /// Visits every stored tuple of `key` inside `window` in `(ts, seq)`
+    /// order, passing each tuple's dense per-index insertion sequence
+    /// number. A reader that remembers the writer's insert count at some
+    /// instant can filter on `seq < count` to reproduce exactly the
+    /// prefix of inserts that preceded that instant — the serving
+    /// runtime's shared-index visibility bound.
+    pub fn scan_window_seq(
+        &self,
+        key: Key,
+        window: Window,
+        mut f: impl FnMut(&Tuple, u64),
+    ) -> usize {
+        let lo = (window.start, 0u64);
+        let hi = (window.end, u64::MAX);
+        self.keys
+            .get_with(&key, |shared| {
+                shared
+                    .reader
+                    .for_each_range(&lo, &hi, |k, tuple| f(tuple, k.1))
+            })
+            .unwrap_or(0)
+    }
+
     /// Visits every stored tuple of `key` with `lo ≤ ts ≤ hi` — the
     /// incremental join uses this to scan only the delta between two
     /// overlapping windows.

@@ -7,6 +7,11 @@ use serde::{Deserialize, Serialize};
 /// interval join (paper §II-A).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WindowUnionQuery {
+    /// Optional query label from a leading `-- name: <ident>` comment.
+    /// The serving runtime uses it to address registered queries; absent
+    /// (and irrelevant) for one-shot `oij run` invocations.
+    #[serde(default)]
+    pub name: Option<String>,
     /// The aggregation function (`sum`, `count`, `avg`, `min`, `max`).
     pub agg: AggSpec,
     /// Column the aggregate reads (`col2` in the paper's example). `*` is
@@ -44,7 +49,11 @@ impl WindowUnionQuery {
     /// Renders the plan back to canonical SQL text. `parse(q.to_sql())`
     /// reproduces `q` (round-trip property-tested).
     pub fn to_sql(&self) -> String {
-        let mut sql = format!(
+        let mut sql = String::new();
+        if let Some(name) = &self.name {
+            sql.push_str(&format!("-- name: {name}\n"));
+        }
+        sql += &format!(
             "SELECT {}({}) OVER {} FROM {} WINDOW {} AS (UNION {} PARTITION BY {}              ORDER BY {} ROWS_RANGE BETWEEN {} PRECEDING AND ",
             self.agg.sql_name(),
             self.agg_column,
@@ -91,6 +100,7 @@ mod tests {
     #[test]
     fn lowering_carries_all_window_fields() {
         let q = WindowUnionQuery {
+            name: None,
             agg: AggSpec::Avg,
             agg_column: "price".into(),
             window_name: "w".into(),

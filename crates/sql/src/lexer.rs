@@ -27,6 +27,10 @@ pub enum TokenKind {
     Duration(Duration),
     /// A single punctuation symbol: `( ) , ; . *`.
     Symbol(char),
+    /// A `-- name: <ident>` comment — the query-label extension used by
+    /// the serving runtime to address registered queries. All other `--`
+    /// comments are skipped without producing a token.
+    Label(String),
 }
 
 /// Tokenizes `input`, rejecting unknown characters and malformed literals.
@@ -97,6 +101,37 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 offset: start,
                 kind: TokenKind::Symbol(c),
             });
+        } else if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            // `--` line comment. The `-- name: <ident>` form is the query
+            // label extension and becomes a token; anything else is skipped.
+            let eol = bytes[i..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|p| i + p)
+                .unwrap_or(bytes.len());
+            let body = input[i + 2..eol].trim();
+            if let Some(label) = body.strip_prefix("name:") {
+                let label = label.trim();
+                let valid = !label.is_empty()
+                    && label
+                        .bytes()
+                        .all(|b| b.is_ascii_alphanumeric() || b == b'_')
+                    && !label.as_bytes()[0].is_ascii_digit();
+                if !valid {
+                    return Err(Error::SqlParse {
+                        offset: start,
+                        message: format!(
+                            "malformed query label '-- name: {label}' \
+                             (expected an identifier)"
+                        ),
+                    });
+                }
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Label(label.to_string()),
+                });
+            }
+            i = eol;
         } else {
             return Err(Error::SqlParse {
                 offset: start,
@@ -161,6 +196,33 @@ mod tests {
         let err = tokenize("5parsecs").unwrap_err();
         assert!(matches!(err, Error::SqlParse { offset: 1, .. }), "{err}");
         assert!(tokenize("a @ b").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped_and_labels_tokenized() {
+        assert_eq!(
+            kinds("-- just a remark\nSELECT -- trailing\n42"),
+            vec![TokenKind::Word("SELECT".into()), TokenKind::Number(42)]
+        );
+        assert_eq!(
+            kinds("-- name: user_clicks\nSELECT"),
+            vec![
+                TokenKind::Label("user_clicks".into()),
+                TokenKind::Word("SELECT".into()),
+            ]
+        );
+        // A comment with no newline terminates at end of input.
+        assert_eq!(
+            kinds("SELECT -- tail"),
+            vec![TokenKind::Word("SELECT".into())]
+        );
+    }
+
+    #[test]
+    fn malformed_labels_are_rejected() {
+        assert!(tokenize("-- name: \nSELECT").is_err());
+        assert!(tokenize("-- name: 9lives\nSELECT").is_err());
+        assert!(tokenize("-- name: two words\nSELECT").is_err());
     }
 
     #[test]

@@ -38,4 +38,4 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::WindowUnionQuery;
-pub use parser::parse;
+pub use parser::{parse, parse_many};

@@ -32,6 +32,37 @@ pub fn parse(sql: &str) -> Result<WindowUnionQuery> {
     Ok(q)
 }
 
+/// Parses a script of `;`-separated window-union queries, each optionally
+/// preceded by a `-- name: <ident>` label. An empty script parses to an
+/// empty list; duplicate labels are rejected so registered queries stay
+/// addressable by name.
+pub fn parse_many(sql: &str) -> Result<Vec<WindowUnionQuery>> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+        input_len: sql.len(),
+    };
+    let mut queries = Vec::new();
+    while p.peek().is_some() {
+        let offset = p.here();
+        let q = p.query()?;
+        if let Some(name) = &q.name {
+            if queries
+                .iter()
+                .any(|prev: &WindowUnionQuery| prev.name.as_deref() == Some(name))
+            {
+                return Err(Error::SqlParse {
+                    offset,
+                    message: format!("duplicate query label '{name}'"),
+                });
+            }
+        }
+        queries.push(q);
+    }
+    Ok(queries)
+}
+
 struct Parser<'a> {
     tokens: &'a [Token],
     pos: usize,
@@ -142,6 +173,7 @@ impl<'a> Parser<'a> {
     }
 
     fn query(&mut self) -> Result<WindowUnionQuery> {
+        let name = self.eat_label();
         self.keyword("SELECT")?;
         let agg_offset = self.here();
         let agg_name = self.ident("an aggregation function")?;
@@ -204,6 +236,7 @@ impl<'a> Parser<'a> {
         self.symbol(')')?;
         let _ = self.eat_symbol(';');
         Ok(WindowUnionQuery {
+            name,
             agg,
             agg_column,
             window_name,
@@ -215,6 +248,20 @@ impl<'a> Parser<'a> {
             following,
             lateness,
         })
+    }
+
+    /// Consumes a `-- name: <ident>` label token if one is next.
+    fn eat_label(&mut self) -> Option<String> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Label(n),
+                ..
+            }) => {
+                self.pos += 1;
+                Some(n.clone())
+            }
+            _ => None,
+        }
     }
 
     fn eat_symbol(&mut self, sym: char) -> bool {
@@ -374,6 +421,52 @@ mod tests {
         .unwrap();
         assert_eq!(q.preceding, Duration::ZERO);
         assert!(q.to_oij_query().is_ok());
+    }
+
+    #[test]
+    fn name_label_is_carried_on_the_plan() {
+        let q = parse(&format!("-- name: paper_example\n{PAPER_SQL}")).unwrap();
+        assert_eq!(q.name.as_deref(), Some("paper_example"));
+        // Round trip: the label survives to_sql → parse.
+        assert_eq!(parse(&q.to_sql()).unwrap(), q);
+        // Unlabelled queries have no name.
+        assert_eq!(parse(PAPER_SQL).unwrap().name, None);
+    }
+
+    #[test]
+    fn parse_many_splits_on_semicolons() {
+        let script = format!(
+            "-- name: first\n{PAPER_SQL}\n\
+             SELECT count(*) OVER w FROM a WINDOW w AS (UNION b PARTITION BY k \
+             ORDER BY t ROWS_RANGE BETWEEN 100ms PRECEDING AND CURRENT ROW);\n\
+             -- name: third\n\
+             SELECT avg(v) OVER w FROM a WINDOW w AS (UNION b PARTITION BY k \
+             ORDER BY t ROWS_RANGE BETWEEN 1s PRECEDING AND CURRENT ROW)"
+        );
+        let qs = super::parse_many(&script).unwrap();
+        assert_eq!(qs.len(), 3);
+        assert_eq!(qs[0].name.as_deref(), Some("first"));
+        assert_eq!(qs[1].name, None);
+        assert_eq!(qs[2].name.as_deref(), Some("third"));
+        assert_eq!(qs[1].agg, AggSpec::Count);
+        assert_eq!(qs[2].agg, AggSpec::Avg);
+    }
+
+    #[test]
+    fn parse_many_accepts_empty_and_rejects_duplicates_and_garbage() {
+        assert_eq!(super::parse_many("").unwrap(), vec![]);
+        assert_eq!(super::parse_many("-- only a comment\n").unwrap(), vec![]);
+        let dup = format!("-- name: a\n{PAPER_SQL}\n-- name: a\n{PAPER_SQL}");
+        let err = super::parse_many(&dup).unwrap_err();
+        assert!(err.to_string().contains("duplicate query label"), "{err}");
+        // A malformed second statement is rejected, not silently dropped.
+        assert!(super::parse_many(&format!("{PAPER_SQL} SELECT nonsense")).is_err());
+    }
+
+    #[test]
+    fn single_parse_rejects_a_second_statement() {
+        let err = parse(&format!("{PAPER_SQL}{PAPER_SQL}")).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
     }
 
     #[test]

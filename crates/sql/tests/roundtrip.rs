@@ -51,9 +51,12 @@ proptest! {
         pre_us in 0i64..10_000_000,
         fol_us in 0i64..10_000_000,
         late_us in 0i64..10_000_000,
+        labelled in any::<bool>(),
+        label in ident(),
     ) {
         let agg = [AggSpec::Sum, AggSpec::Count, AggSpec::Avg, AggSpec::Min, AggSpec::Max][agg_idx];
         let q = WindowUnionQuery {
+            name: labelled.then_some(label),
             agg,
             agg_column: if agg == AggSpec::Count { "*".into() } else { column },
             window_name: window,

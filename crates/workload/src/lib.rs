@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod openloop;
 pub mod realworld;
 pub mod replay;
 pub mod synthetic;
 
 pub use csv::{read_csv, write_csv};
+pub use openloop::{ChurnAction, ChurnPlan, OpenLoopConfig, OpenLoopPlan, Pacing};
 pub use realworld::{NamedWorkload, PaperSpec};
 pub use replay::{read_events, write_events};
 pub use synthetic::{KeyDist, SyntheticConfig};

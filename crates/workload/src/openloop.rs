@@ -1,0 +1,290 @@
+//! Open-loop load generation for the serving runtime.
+//!
+//! A closed-loop driver (push, wait for completion, push again) lets a
+//! slow system throttle its own load, which hides overload: measured
+//! latency stays flat because the generator politely backs off. This is
+//! the *coordinated omission* problem. An **open-loop** generator fixes
+//! the arrival schedule ahead of time — tuple `i` is due at a wall-clock
+//! instant derived only from the offered rate, never from how fast the
+//! system drained tuples `0..i` — and latency is measured from the
+//! **scheduled** arrival, so queueing delay accumulated while the sender
+//! fell behind is charged to the system under test.
+//!
+//! [`OpenLoopConfig`] pairs a [`SyntheticConfig`] event shape (keys,
+//! skew, disorder — Section III-C of the paper) with an offered wall
+//! rate and a pacing shape ([`Pacing::Steady`] or mean-preserving
+//! [`Pacing::Bursty`] on/off waves). [`ChurnPlan`] adds a deterministic
+//! register/cancel timetable for multi-query serving experiments.
+
+use std::time::Duration as StdDuration;
+
+use crate::synthetic::SyntheticConfig;
+use oij_common::Event;
+
+/// Arrival pacing of the offered load.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pacing {
+    /// Evenly spaced arrivals at the offered rate.
+    Steady,
+    /// On/off square wave: every cycle of length `on + off`, the whole
+    /// cycle's worth of arrivals is compressed into the leading `on`
+    /// span and the trailing `off` span is silent. The *mean* rate is
+    /// preserved, so sustainable-throughput numbers stay comparable
+    /// while tail latency feels the bursts.
+    Bursty {
+        /// Length of the active span of each cycle.
+        on: StdDuration,
+        /// Length of the silent span of each cycle.
+        off: StdDuration,
+    },
+}
+
+/// An open-loop workload description: *what* arrives ([`SyntheticConfig`])
+/// and *when* it is due (offered rate + [`Pacing`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopConfig {
+    /// Event shape: tuple count, key space, skew, probe split, disorder.
+    pub events: SyntheticConfig,
+    /// Offered mean arrival rate, tuples per wall-clock second.
+    pub rate_per_sec: f64,
+    /// Arrival pacing shape.
+    pub pacing: Pacing,
+}
+
+impl OpenLoopConfig {
+    /// A steady open-loop feed of `cfg` at `rate_per_sec` tuples/s.
+    pub fn steady(events: SyntheticConfig, rate_per_sec: f64) -> Self {
+        OpenLoopConfig {
+            events,
+            rate_per_sec,
+            pacing: Pacing::Steady,
+        }
+    }
+
+    /// Materialises the deterministic arrival schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite, or if a bursty
+    /// pacing has an empty active span.
+    pub fn plan(&self) -> OpenLoopPlan {
+        assert!(
+            self.rate_per_sec.is_finite() && self.rate_per_sec > 0.0,
+            "offered rate must be positive"
+        );
+        let events = self.events.generate();
+        let offsets = match &self.pacing {
+            Pacing::Steady => (0..events.len())
+                .map(|i| StdDuration::from_secs_f64(i as f64 / self.rate_per_sec))
+                .collect(),
+            Pacing::Bursty { on, off } => {
+                assert!(!on.is_zero(), "bursty pacing needs a non-empty active span");
+                let cycle = on.as_secs_f64() + off.as_secs_f64();
+                let compress = on.as_secs_f64() / cycle;
+                (0..events.len())
+                    .map(|i| {
+                        // Steady due-time, then compress each cycle's
+                        // arrivals into its leading active span.
+                        let steady = i as f64 / self.rate_per_sec;
+                        let cycle_start = (steady / cycle).floor() * cycle;
+                        // `steady / cycle` can round up to an exact
+                        // integer, leaving cycle_start a hair past
+                        // steady; clamp so the offset stays in-cycle.
+                        let within = (steady - cycle_start).max(0.0);
+                        StdDuration::from_secs_f64(cycle_start + within * compress)
+                    })
+                    .collect()
+            }
+        };
+        OpenLoopPlan { events, offsets }
+    }
+}
+
+/// A fully materialised open-loop schedule: event `i` is due at
+/// `start + offsets[i]` for whatever `start` instant the driver picks.
+///
+/// The driver must *never* skip or delay a due event because the system
+/// is slow — if it falls behind it sends immediately and lets queueing
+/// delay show up in the latency measured from the scheduled instant.
+#[derive(Debug, Clone)]
+pub struct OpenLoopPlan {
+    /// The arrival-ordered event feed.
+    pub events: Vec<Event>,
+    /// Scheduled arrival offset of `events[i]` from the run start.
+    pub offsets: Vec<StdDuration>,
+}
+
+impl OpenLoopPlan {
+    /// Number of scheduled arrivals.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The offset of the last scheduled arrival (the offered duration of
+    /// the run).
+    pub fn offered_duration(&self) -> StdDuration {
+        self.offsets.last().copied().unwrap_or_default()
+    }
+
+    /// Iterates `(scheduled offset, event)` pairs in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = (StdDuration, &Event)> {
+        self.offsets.iter().copied().zip(self.events.iter())
+    }
+}
+
+/// One step of a query-churn timetable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// Register query slot `n` (the driver maps slots to SQL texts).
+    Register(usize),
+    /// Cancel query slot `n`.
+    Cancel(usize),
+}
+
+/// A deterministic register/cancel timetable, for exercising admission
+/// and deregistration while the shared ingest keeps flowing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnPlan {
+    /// Time-ordered `(offset from run start, action)` steps.
+    pub steps: Vec<(StdDuration, ChurnAction)>,
+}
+
+impl ChurnPlan {
+    /// Registers `queries` slots one `stagger` apart, each cancelled
+    /// `hold` after its registration. Steps come back time-ordered, so a
+    /// driver can drain them with a single cursor while feeding events.
+    pub fn staggered(queries: usize, stagger: StdDuration, hold: StdDuration) -> ChurnPlan {
+        let mut steps: Vec<(StdDuration, ChurnAction)> = Vec::with_capacity(queries * 2);
+        for q in 0..queries {
+            let at = stagger * q as u32;
+            steps.push((at, ChurnAction::Register(q)));
+            steps.push((at + hold, ChurnAction::Cancel(q)));
+        }
+        steps.sort_by_key(|(at, _)| *at);
+        ChurnPlan { steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(tuples: usize) -> SyntheticConfig {
+        SyntheticConfig {
+            tuples,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn steady_schedule_is_evenly_spaced() {
+        let plan = OpenLoopConfig::steady(small(1000), 10_000.0).plan();
+        assert_eq!(plan.len(), 1000);
+        assert_eq!(plan.offsets[0], StdDuration::ZERO);
+        for w in plan.offsets.windows(2) {
+            let gap = (w[1] - w[0]).as_secs_f64();
+            assert!((gap - 1e-4).abs() < 1e-9, "gap {gap}");
+        }
+        assert!((plan.offered_duration().as_secs_f64() - 0.0999).abs() < 1e-6);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let cfg = OpenLoopConfig::steady(small(500), 25_000.0);
+        let (a, b) = (cfg.plan(), cfg.plan());
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn bursty_preserves_mean_rate_and_leaves_gaps() {
+        let cfg = OpenLoopConfig {
+            events: small(10_000),
+            rate_per_sec: 100_000.0,
+            pacing: Pacing::Bursty {
+                on: StdDuration::from_millis(10),
+                off: StdDuration::from_millis(10),
+            },
+        };
+        let plan = cfg.plan();
+        // Mean rate preserved: last due-time within one cycle of steady.
+        let steady_last = (plan.len() - 1) as f64 / cfg.rate_per_sec;
+        let bursty_last = plan.offered_duration().as_secs_f64();
+        assert!((bursty_last - steady_last).abs() < 0.02);
+        // Every arrival lands in the active half of its 20ms cycle
+        // (integer nanos: f64 modulo misbehaves at cycle boundaries).
+        for off in &plan.offsets {
+            let in_cycle = off.as_nanos() % 20_000_000;
+            assert!(in_cycle <= 10_000_000, "arrival at {in_cycle}ns into cycle");
+        }
+        // Instantaneous rate during bursts is ~2x the mean.
+        let first_cycle = plan
+            .offsets
+            .iter()
+            .filter(|o| o.as_secs_f64() < 0.010)
+            .count();
+        assert!(first_cycle > 1800, "burst carried {first_cycle} arrivals");
+    }
+
+    #[test]
+    fn monotone_offsets_even_when_bursty() {
+        let plan = OpenLoopConfig {
+            events: small(5000),
+            rate_per_sec: 50_000.0,
+            pacing: Pacing::Bursty {
+                on: StdDuration::from_millis(2),
+                off: StdDuration::from_millis(6),
+            },
+        }
+        .plan();
+        for w in plan.offsets.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn churn_plan_is_time_ordered_and_complete() {
+        let plan =
+            ChurnPlan::staggered(4, StdDuration::from_millis(5), StdDuration::from_millis(12));
+        assert_eq!(plan.steps.len(), 8);
+        for w in plan.steps.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        let registers: Vec<usize> = plan
+            .steps
+            .iter()
+            .filter_map(|(_, a)| match a {
+                ChurnAction::Register(q) => Some(*q),
+                ChurnAction::Cancel(_) => None,
+            })
+            .collect();
+        assert_eq!(registers, vec![0, 1, 2, 3]);
+        // Every slot is cancelled exactly `hold` after it registers.
+        for q in 0..4usize {
+            let reg = plan
+                .steps
+                .iter()
+                .find(|(_, a)| *a == ChurnAction::Register(q))
+                .unwrap()
+                .0;
+            let cancel = plan
+                .steps
+                .iter()
+                .find(|(_, a)| *a == ChurnAction::Cancel(q))
+                .unwrap()
+                .0;
+            assert_eq!(cancel - reg, StdDuration::from_millis(12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "offered rate")]
+    fn non_positive_rate_panics() {
+        OpenLoopConfig::steady(small(1), 0.0).plan();
+    }
+}

@@ -22,6 +22,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("workloads") => cmd_workloads(),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", HELP);
@@ -45,6 +46,7 @@ USAGE:
   oij workloads                     print the paper's workload proxies
   oij gen  [feed options] --out F   generate a replayable event feed
   oij run  [query] [feed] [engine]  execute one join and report statistics
+  oij serve [budgets]               multi-query serving runtime on stdin
 
 QUERY (either):
   --sql <text>                      OpenMLDB WINDOW ... UNION ... ROWS_RANGE
@@ -67,6 +69,18 @@ ENGINE:
   --batch <n>       coalesce up to n tuples per routed message (default 1 = off)
   --rate <tuples/s> pace arrivals (default: full speed)
   --latency         record latency percentiles
+
+SERVE (line protocol on stdin; budgets reject with a reason):
+  --max-queries <n>   admission: concurrent query limit (default 64)
+  --max-joiners <n>   admission: total joiner-thread budget (default 256)
+  --capacity <n>      admission: per-query channel-capacity cap (default 65536)
+  --joiners <n>       joiner threads per SQL-registered query (default 1)
+  --index <backend>   shared-store backend (default skiplist)
+  --keys <n>          key space of the FEED pump (default 16)
+  --shed              drop base messages instead of blocking when a
+                      query's channel is full (counts shed events)
+  commands:  REGISTER <sql>   CANCEL <id|name>   STATS   FEED <n>   QUIT
+  (`\\n` in REGISTER splits lines, so `-- name: x` labels fit one line)
 
 DURATIONS: 500us, 20ms, 1s, 10m, 2h (bare numbers are milliseconds).
 ";
@@ -231,6 +245,129 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         write_events(writer, &events).map_err(|e| e.to_string())?;
     }
     println!("wrote {} events to {out}", events.len());
+    Ok(())
+}
+
+/// The `oij serve` command: a long-running multi-query serving runtime
+/// driven by a line protocol on stdin (see `HELP`). `FEED n` pumps `n`
+/// deterministic synthetic events through the shared ingest so smoke
+/// tests and demos need no external event source: event `i` has
+/// `ts = i µs` (monotone), alternates probe/base, and cycles keys.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use std::io::BufRead;
+
+    let flags = Flags::parse(args)?;
+    let mut cfg = ServeConfig::new().with_budgets(
+        flags.parse_num("max-queries", 64usize)?,
+        flags.parse_num("max-joiners", 256usize)?,
+        flags.parse_num("capacity", 1usize << 16)?,
+    );
+    cfg.default_joiners = flags.parse_num("joiners", 1usize)?;
+    if let Some(label) = flags.get("index") {
+        let backend = IndexBackend::from_label(label)
+            .ok_or_else(|| format!("--index: unknown backend '{label}'"))?;
+        cfg = cfg.with_index_backend(backend);
+    }
+    if flags.has("shed") {
+        cfg = cfg.with_shedding();
+    }
+    let keys = flags.parse_num("keys", 16u64)?.max(1);
+    let mut runtime = ServeRuntime::new(cfg).map_err(|e| e.to_string())?;
+    let mut fed = 0u64;
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        let (verb, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        match (verb.to_ascii_uppercase().as_str(), rest.trim()) {
+            ("", "") => {}
+            ("QUIT", _) => break,
+            // A literal `\n` splits lines, so `-- name: x` labels fit
+            // the one-line protocol.
+            ("REGISTER", sql) => {
+                match runtime.register_sql(&sql.replace("\\n", "\n"), Sink::null()) {
+                    Ok(id) => {
+                        let name = runtime
+                            .stats()
+                            .into_iter()
+                            .find(|q| q.id == id)
+                            .and_then(|q| q.name);
+                        match name {
+                            Some(name) => println!("registered {id} ({name})"),
+                            None => println!("registered {id}"),
+                        }
+                    }
+                    Err(e) => println!("rejected: {e}"),
+                }
+            }
+            ("CANCEL", target) => {
+                let id = runtime.lookup(target).or_else(|| {
+                    runtime
+                        .stats()
+                        .into_iter()
+                        .map(|q| q.id)
+                        .find(|id| id.to_string() == target || id.raw().to_string() == target)
+                });
+                match id {
+                    None => println!("no such query '{target}'"),
+                    Some(id) => match runtime.cancel(id) {
+                        Ok(stats) => println!(
+                            "cancelled {id}: results={} shed={}",
+                            stats.results, stats.shed_events
+                        ),
+                        Err(e) => println!("cancelled {id} with failure: {e}"),
+                    },
+                }
+            }
+            ("STATS", _) => {
+                let snap = runtime.snapshot();
+                println!(
+                    "active={} events={} probes={} retained={} evicted={}",
+                    snap.active_queries,
+                    snap.events,
+                    snap.probe_inserts,
+                    snap.retained,
+                    snap.evicted
+                );
+                for q in runtime.stats() {
+                    println!(
+                        "  {} name={} joiners={} pushed={} shed={} {}",
+                        q.id,
+                        q.name.as_deref().unwrap_or("-"),
+                        q.joiners,
+                        q.pushed,
+                        q.shed,
+                        if q.failed { "FAILED" } else { "ok" }
+                    );
+                }
+            }
+            ("FEED", n) => {
+                let n: u64 = n.parse().map_err(|_| format!("FEED: bad count '{n}'"))?;
+                for i in fed..fed + n {
+                    let side = if i % 2 == 0 { Side::Probe } else { Side::Base };
+                    let tuple =
+                        Tuple::new(Timestamp::from_micros(i as i64), i % keys, i as f64 * 0.5);
+                    runtime
+                        .push(Event::data(i, side, tuple))
+                        .map_err(|e| e.to_string())?;
+                }
+                fed += n;
+                println!("fed {n} events");
+            }
+            (other, _) => println!("unknown command '{other}' (REGISTER/CANCEL/STATS/FEED/QUIT)"),
+        }
+    }
+
+    for (id, result) in runtime.finish() {
+        match result {
+            Ok(stats) => println!(
+                "finished {id}: results={} shed={}",
+                stats.results, stats.shed_events
+            ),
+            Err(e) => println!("finished {id} with failure: {e}"),
+        }
+    }
     Ok(())
 }
 

@@ -86,8 +86,8 @@ pub mod index {
 /// Stream workload generators (re-export of `oij-workload`).
 pub mod workload {
     pub use oij_workload::{
-        read_csv, read_events, write_csv, write_events, KeyDist, NamedWorkload, PaperSpec,
-        SyntheticConfig,
+        read_csv, read_events, write_csv, write_events, ChurnAction, ChurnPlan, KeyDist,
+        NamedWorkload, OpenLoopConfig, OpenLoopPlan, Pacing, PaperSpec, SyntheticConfig,
     };
 }
 
@@ -106,7 +106,14 @@ pub mod cache {
 
 /// The OpenMLDB SQL dialect front-end (re-export of `oij-sql`).
 pub mod sql {
-    pub use oij_sql::{parse, WindowUnionQuery};
+    pub use oij_sql::{parse, parse_many, WindowUnionQuery};
+}
+
+/// The multi-query feature-serving runtime (re-export of `oij-serve`):
+/// concurrent OIJ plans over one shared ingest with admission control,
+/// backpressure, and per-query fault isolation. See DESIGN.md §13.
+pub mod serve {
+    pub use oij_serve::{QueryId, QueryStats, ServeConfig, ServeRuntime, ServeSnapshot};
 }
 
 /// Class-carrying locks behind the workspace lockdep witness (re-export
@@ -125,6 +132,7 @@ pub mod prelude {
         OpenMldbBaseline, Oracle, RunStats, ScaleOij, Sink, SinkRetryPolicy, SplitJoin,
     };
     pub use crate::index::IndexBackend;
+    pub use crate::serve::{ServeConfig, ServeRuntime};
     pub use crate::sql::parse as parse_sql;
     pub use crate::workload::{KeyDist, NamedWorkload, SyntheticConfig};
     pub use crate::{

@@ -161,6 +161,76 @@ fn bad_engine_and_bad_duration_error_cleanly() {
 }
 
 #[test]
+fn serve_line_protocol_registers_feeds_and_cancels() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let mut child = oij()
+        .args(["serve", "--joiners", "2", "--keys", "4"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn oij serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"REGISTER -- name: spend\\nSELECT SUM(value) OVER w FROM base WINDOW w AS \
+              (UNION probe PARTITION BY key ORDER BY ts ROWS_RANGE BETWEEN 100 PRECEDING \
+              AND CURRENT ROW)\n\
+              REGISTER nonsense query text\n\
+              FEED 1000\n\
+              STATS\n\
+              CANCEL spend\n\
+              QUIT\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().expect("wait for oij serve");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("registered q0 (spend)"), "{text}");
+    assert!(text.contains("rejected: SQL parse error"), "{text}");
+    assert!(text.contains("fed 1000 events"), "{text}");
+    assert!(text.contains("active=1 events=1000 probes="), "{text}");
+    assert!(text.contains("name=spend joiners=2 pushed=1000"), "{text}");
+    // 1000 alternating events = 500 base rows answered by the query.
+    assert!(text.contains("cancelled q0: results=500 shed=0"), "{text}");
+}
+
+#[test]
+fn serve_admission_rejects_over_budget() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let sql = "REGISTER SELECT COUNT(value) OVER w FROM base WINDOW w AS (UNION probe \
+               PARTITION BY key ORDER BY ts ROWS_RANGE BETWEEN 10 PRECEDING AND CURRENT ROW)\n";
+    let mut child = oij()
+        .args(["serve", "--max-queries", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn oij serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(format!("{sql}{sql}QUIT\n").as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("wait for oij serve");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("registered q0"), "{text}");
+    assert!(text.contains("rejected: admission rejected"), "{text}");
+    assert!(text.contains("finished q0: results=0"), "{text}");
+}
+
+#[test]
 fn missing_query_is_reported() {
     let out = oij().args(["run", "--tuples", "10"]).output().expect("run");
     assert!(!out.status.success());

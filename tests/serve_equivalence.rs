@@ -1,0 +1,240 @@
+//! Serving-runtime differential suite: N concurrently served queries
+//! must be **bit-identical** to N solo engine runs.
+//!
+//! The serving runtime (DESIGN.md §13) shares one single-writer probe
+//! index across every registered plan. Its correctness argument is that
+//! each base message carries the writer's probe-insert count at dispatch
+//! as a visibility `bound`, and workers scan their cloned readers in
+//! `(ts, seq)` order filtered to `seq < bound` — recovering exactly the
+//! probe prefix (and the `f64` accumulation order) a solo run would
+//! have used. This suite checks that claim end to end:
+//!
+//! - **16 concurrent queries** with distinct windows, aggregates and
+//!   joiner counts, across backends {skip list, Jiffy-lite} × batch
+//!   sizes {1, 64}: every query's rows equal its solo Key-OIJ run's
+//!   rows, `assert_eq` on the full [`FeatureRow`] including float bits;
+//! - **mid-stream registration**: a query admitted halfway through the
+//!   feed — ingest never drains — answers exactly the solo rows from
+//!   its admission point on (the shared index already holds the earlier
+//!   probes);
+//! - **fault isolation at scale**: one plan with an injected worker
+//!   panic among 16 healthy neighbours; the panic is attributed to that
+//!   plan alone and every neighbour stays bit-identical.
+//!
+//! Debug builds additionally arm the runtime's single-writer tripwire,
+//! so any concurrent access to the shared writer fails these tests.
+
+use oij::prelude::*;
+use oij::serve::{ServeConfig, ServeRuntime};
+use oij::Error;
+
+const QUERIES: usize = 16;
+const LATENESS_US: i64 = 20;
+
+/// A seeded feed with disorder inside the queries' lateness bound, so
+/// every run is exact and the row comparison is meaningful.
+fn feed(tuples: usize) -> Vec<Event> {
+    SyntheticConfig {
+        tuples,
+        unique_keys: 16,
+        key_dist: KeyDist::Uniform,
+        probe_fraction: 0.5,
+        spacing: Duration::from_micros(1),
+        disorder: Duration::from_micros(LATENESS_US),
+        payload_bytes: 0,
+        seed: 0x5E21,
+    }
+    .generate()
+}
+
+/// Slot `i` gets its own window extent, aggregate and joiner count, so
+/// the 16 concurrent plans genuinely differ.
+fn query_for(slot: usize) -> OijQuery {
+    const AGGS: [AggSpec; 5] = [
+        AggSpec::Sum,
+        AggSpec::Count,
+        AggSpec::Avg,
+        AggSpec::Min,
+        AggSpec::Max,
+    ];
+    OijQuery::builder()
+        .preceding(Duration::from_micros(50 + 25 * slot as i64))
+        .lateness(Duration::from_micros(LATENESS_US))
+        .agg(AGGS[slot % AGGS.len()])
+        .emit(EmitMode::Eager)
+        .build()
+        .unwrap()
+}
+
+fn cfg_for(slot: usize, batch: usize, backend: IndexBackend) -> EngineConfig {
+    EngineConfig::new(query_for(slot), 1 + slot % 2)
+        .unwrap()
+        .with_batch_size(batch)
+        .with_index_backend(backend)
+}
+
+/// Runs `cfg` solo over `events` and returns its seq-sorted rows.
+fn solo_rows(cfg: EngineConfig, events: &[Event]) -> (Vec<FeatureRow>, u64) {
+    let (sink, rows) = Sink::collect();
+    let mut solo = KeyOij::spawn(cfg, sink).unwrap();
+    for ev in events {
+        solo.push(ev.clone()).unwrap();
+    }
+    let stats = solo.finish().unwrap();
+    let mut rows = rows.lock().clone();
+    rows.sort_by_key(|r| r.seq);
+    (rows, stats.results)
+}
+
+fn served_match_solo(backend: IndexBackend, batch: usize) {
+    let events = feed(6000);
+    let mut rt = ServeRuntime::new(ServeConfig::new().with_index_backend(backend)).unwrap();
+    let mut served = Vec::new();
+    for slot in 0..QUERIES {
+        let cfg = cfg_for(slot, batch, backend);
+        let (sink, rows) = Sink::collect();
+        let id = rt
+            .register(cfg.clone(), sink, Some(format!("slot-{slot}")))
+            .unwrap();
+        served.push((slot, id, cfg, rows));
+    }
+    for ev in &events {
+        rt.push(ev.clone()).unwrap();
+    }
+    for (slot, id, cfg, rows) in served {
+        let (want, want_results) = solo_rows(cfg, &events);
+        let stats = rt.cancel(id).unwrap();
+        assert_eq!(
+            stats.results, want_results,
+            "[{backend:?} batch={batch}] slot {slot}: result count"
+        );
+        assert_eq!(
+            stats.shed_events, 0,
+            "slot {slot}: lossless mode never sheds"
+        );
+        let mut got = rows.lock().clone();
+        got.sort_by_key(|r| r.seq);
+        assert_eq!(
+            got, want,
+            "[{backend:?} batch={batch}] slot {slot}: served rows must be \
+             bit-identical to the solo run"
+        );
+    }
+    let snap = rt.snapshot();
+    assert_eq!(snap.active_queries, 0);
+    assert_eq!(
+        snap.probe_inserts as usize,
+        events.len() - snap_bases(&events)
+    );
+}
+
+fn snap_bases(events: &[Event]) -> usize {
+    events
+        .iter()
+        .filter(|e| matches!(e.as_data(), Some((Side::Base, _))))
+        .count()
+}
+
+#[test]
+fn sixteen_served_queries_match_solo_runs_skiplist() {
+    served_match_solo(IndexBackend::SkipList, 1);
+}
+
+#[test]
+fn sixteen_served_queries_match_solo_runs_skiplist_batched() {
+    served_match_solo(IndexBackend::SkipList, 64);
+}
+
+#[test]
+fn sixteen_served_queries_match_solo_runs_jiffy() {
+    served_match_solo(IndexBackend::JiffyLite, 1);
+}
+
+#[test]
+fn sixteen_served_queries_match_solo_runs_jiffy_batched() {
+    served_match_solo(IndexBackend::JiffyLite, 64);
+}
+
+#[test]
+fn mid_stream_registration_joins_without_draining_ingest() {
+    let events = feed(4000);
+    let cut = events.len() / 2;
+    let mut rt = ServeRuntime::new(ServeConfig::new()).unwrap();
+
+    // One query from the start, as a control.
+    let early_cfg = cfg_for(0, 1, IndexBackend::SkipList);
+    let (early_sink, early_rows) = Sink::collect();
+    let early = rt.register(early_cfg.clone(), early_sink, None).unwrap();
+
+    for ev in &events[..cut] {
+        rt.push(ev.clone()).unwrap();
+    }
+    // Admission happens while ingest is live — no drain, no barrier.
+    let late_cfg = cfg_for(3, 1, IndexBackend::SkipList);
+    let (late_sink, late_rows) = Sink::collect();
+    let late = rt.register(late_cfg.clone(), late_sink, None).unwrap();
+    for ev in &events[cut..] {
+        rt.push(ev.clone()).unwrap();
+    }
+
+    // The early query matches a full solo run.
+    let (want_early, _) = solo_rows(early_cfg, &events);
+    rt.cancel(early).unwrap();
+    let mut got = early_rows.lock().clone();
+    got.sort_by_key(|r| r.seq);
+    assert_eq!(got, want_early);
+
+    // The late query answers exactly the solo rows from its admission
+    // point on: the shared index already held the earlier probes, so a
+    // solo run over the full feed filtered to `seq >= cut` is the
+    // ground truth.
+    let (full, _) = solo_rows(late_cfg, &events);
+    let want_late: Vec<FeatureRow> = full.into_iter().filter(|r| r.seq >= cut as u64).collect();
+    rt.cancel(late).unwrap();
+    let mut got = late_rows.lock().clone();
+    got.sort_by_key(|r| r.seq);
+    assert_eq!(got, want_late, "late-registered query rows");
+}
+
+#[test]
+fn a_faulty_plan_among_sixteen_leaves_every_neighbour_bit_identical() {
+    let events = feed(3000);
+    let mut rt = ServeRuntime::new(ServeConfig::new()).unwrap();
+    let mut healthy = Vec::new();
+    for slot in 0..QUERIES {
+        let cfg = cfg_for(slot, 1, IndexBackend::SkipList);
+        let (sink, rows) = Sink::collect();
+        let id = rt.register(cfg.clone(), sink, None).unwrap();
+        healthy.push((slot, id, cfg, rows));
+    }
+    let mut bad = cfg_for(1, 1, IndexBackend::SkipList);
+    bad.faults = FaultPlan::none().panic_at(0, 25, "injected serving-plan panic");
+    let faulty = rt
+        .register(bad, Sink::null(), Some("faulty".into()))
+        .unwrap();
+
+    for ev in &events {
+        rt.push(ev.clone()).unwrap();
+    }
+
+    // The panic is attributed to the faulty plan alone.
+    let err = rt.cancel(faulty).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            Error::WorkerFailed {
+                engine: "serve",
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+
+    for (slot, id, cfg, rows) in healthy {
+        let (want, _) = solo_rows(cfg, &events);
+        rt.cancel(id).unwrap();
+        let mut got = rows.lock().clone();
+        got.sort_by_key(|r| r.seq);
+        assert_eq!(got, want, "neighbour slot {slot} diverged after a fault");
+    }
+}

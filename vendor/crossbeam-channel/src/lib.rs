@@ -47,6 +47,27 @@ impl<T> std::fmt::Display for SendTimeoutError<T> {
 
 impl<T: std::fmt::Debug> std::error::Error for SendTimeoutError<T> {}
 
+/// Error returned by [`Sender::try_send`]. Holds the unsent message,
+/// like the real crate.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is full (receivers still connected).
+    Full(T),
+    /// All receivers were dropped.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
 /// Error returned by [`Receiver::recv`] when the channel is empty and all
 /// senders are gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +153,21 @@ impl<T> Sender<T> {
                 .wait(state)
                 .unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Non-blocking send: enqueues `msg` if there is queue space right
+    /// now, otherwise hands it back immediately. Never waits.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if state.buf.len() < self.shared.capacity {
+            state.buf.push_back(msg);
+            self.shared.not_empty.notify_one();
+            return Ok(());
+        }
+        Err(TrySendError::Full(msg))
     }
 
     /// Like [`send`](Self::send), but gives up once `timeout` has elapsed
@@ -360,6 +396,17 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         h.join().unwrap().unwrap();
         assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn try_send_never_blocks() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]
